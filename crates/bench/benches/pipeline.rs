@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks for the compiler pipeline itself:
+//! description parsing (the code generator generator), instruction
+//! selection, scheduling, and whole-program compilation per strategy,
+//! plus simulator throughput.
+//!
+//! The paper notes "Marion compilers are not fast" (Table 3); these
+//! benches characterise where this reproduction spends its time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marion_core::{sched, select, Compiler, StrategyKind};
+use std::hint::black_box;
+
+fn bench_parse_descriptions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maril-parse");
+    for name in marion_machines::ALL {
+        let text = match name {
+            "toyp" => marion_machines::toyp::text(),
+            "r2000" => marion_machines::r2000::text(),
+            "m88k" => marion_machines::m88k::text(),
+            _ => marion_machines::i860::text(),
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| marion_maril::Machine::parse(name, black_box(text)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn kernel_module() -> marion_ir::Module {
+    let kernels = marion_workloads::livermore::kernels();
+    let ll7 = kernels.iter().find(|k| k.name == "LL7").unwrap();
+    let mut module = ll7.module();
+    // Raw selection needs the driver's float-constant pool.
+    marion_core::driver::materialize_float_constants(&mut module);
+    module
+}
+
+fn bench_select(c: &mut Criterion) {
+    let module = kernel_module();
+    let mut g = c.benchmark_group("select-LL7");
+    for name in ["r2000", "i860"] {
+        let spec = marion_machines::load(name);
+        let mut funcs = module.funcs.clone();
+        for f in &mut funcs {
+            marion_core::glue::apply_glue(&spec.machine, f).unwrap();
+        }
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for f in &funcs {
+                    black_box(
+                        select::select_func(&spec.machine, &spec.escapes, &module, f).unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let module = kernel_module();
+    let mut g = c.benchmark_group("schedule-LL7");
+    for name in ["r2000", "i860"] {
+        let spec = marion_machines::load(name);
+        let mut f = module.funcs[0].clone();
+        marion_core::glue::apply_glue(&spec.machine, &mut f).unwrap();
+        let code = select::select_func(&spec.machine, &spec.escapes, &module, &f).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for block in &code.blocks {
+                    black_box(sched::schedule_block_robust(
+                        &spec.machine,
+                        &code,
+                        block,
+                        &Default::default(),
+                    ));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile_strategies(c: &mut Criterion) {
+    let module = kernel_module();
+    let mut g = c.benchmark_group("compile-LL7-r2000");
+    let spec = marion_machines::load("r2000");
+    for strategy in StrategyKind::ALL {
+        let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), strategy);
+        g.bench_function(strategy.name(), |b| {
+            b.iter(|| black_box(compiler.compile_module(black_box(&module)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let kernels = marion_workloads::livermore::kernels();
+    let ll12 = kernels.iter().find(|k| k.name == "LL12").unwrap();
+    let module = ll12.module();
+    let spec = marion_machines::load("r2000");
+    let compiler = Compiler::new(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        StrategyKind::Postpass,
+    );
+    let program = compiler.compile_module(&module).unwrap();
+    c.bench_function("simulate-LL12-r2000", |b| {
+        b.iter(|| {
+            black_box(
+                marion_sim::run_program(
+                    &spec.machine,
+                    &program,
+                    "main",
+                    &[],
+                    Some(marion_maril::Ty::Int),
+                    &marion_sim::SimConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse_descriptions,
+    bench_select,
+    bench_schedule,
+    bench_compile_strategies,
+    bench_simulate
+);
+criterion_main!(benches);

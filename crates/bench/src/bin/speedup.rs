@@ -1,0 +1,57 @@
+//! §5 headline result — "RASE and IPS both produce code that is 12%
+//! faster than that produced by Postpass, on a computation-intensive
+//! workload" \[BEH91b\].
+//!
+//! Measures the Livermore suite plus the floating-point suite programs
+//! on every machine and prints each strategy's speedup over Postpass
+//! (geometric mean over the workload).
+
+use marion_bench::{geomean, measure, row};
+use marion_core::StrategyKind;
+use marion_sim::SimConfig;
+
+fn main() {
+    let config = SimConfig::default();
+    let mut workloads = marion_workloads::livermore::kernels();
+    workloads.extend(
+        marion_workloads::suite::programs()
+            .into_iter()
+            .filter(|w| w.name != "lcc"), // compute-intensive subset
+    );
+    println!("Strategy speedups over Postpass (geomean cycles, computation-intensive suite)");
+    println!("(paper: RASE and IPS each about 12% faster than Postpass)");
+    println!();
+    let widths = [7usize, 14, 12, 12];
+    println!(
+        "{}",
+        row(
+            &["target".into(), "Postpass cyc".into(), "IPS".into(), "RASE".into()],
+            &widths
+        )
+    );
+    for machine in marion_machines::ALL {
+        let spec = marion_machines::load(machine);
+        let mut cycles = vec![Vec::new(), Vec::new(), Vec::new()];
+        for w in &workloads {
+            for (si, strategy) in StrategyKind::ALL.iter().enumerate() {
+                let m = measure(&spec, *strategy, w, &config);
+                cycles[si].push(m.run.cycles as f64);
+            }
+        }
+        let post = geomean(&cycles[0]);
+        let ips = geomean(&cycles[1]);
+        let rase = geomean(&cycles[2]);
+        println!(
+            "{}",
+            row(
+                &[
+                    machine.into(),
+                    format!("{post:.0}"),
+                    format!("{:+.1}%", (post / ips - 1.0) * 100.0),
+                    format!("{:+.1}%", (post / rase - 1.0) * 100.0),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! The selected-code representation: machine instructions over virtual
+//! registers, organised into basic blocks.
+//!
+//! This is what the code generation strategy manipulates: the selector
+//! produces it, the scheduler reorders it, the register allocator maps
+//! its virtual registers onto physical ones and inserts spill code.
+
+use marion_ir::{BlockId, SymbolId};
+use marion_maril::{Machine, PhysReg, RegClassId, TemplateId};
+use std::fmt;
+
+/// A virtual register created during code selection.
+///
+/// *Local* virtual registers (expression temporaries) are live within
+/// a single basic block; *global* ones (user variables, cross-block
+/// values) may be live anywhere — the distinction matters to the IPS
+/// and RASE strategies, which treat local register demand per block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vreg(pub u32);
+
+impl fmt::Display for Vreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Liveness classification of a virtual register (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VregKind {
+    /// Live in only one basic block.
+    Local,
+    /// Live in more than one block.
+    Global,
+}
+
+/// Metadata for one virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VregInfo {
+    /// Register class the value must live in.
+    pub class: RegClassId,
+    /// Local or global.
+    pub kind: VregKind,
+}
+
+/// An immediate-like value: a plain constant or a (possibly split)
+/// symbol address resolved by the loader/simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImmVal {
+    /// A constant.
+    Const(i64),
+    /// `symbol + addend` — a full address.
+    Sym(SymbolId, i64),
+    /// Upper 16 bits of `symbol + addend` (for `lui`-style escapes).
+    SymHigh(SymbolId, i64),
+    /// Lower 16 bits of `symbol + addend`.
+    SymLow(SymbolId, i64),
+}
+
+impl fmt::Display for ImmVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImmVal::Const(v) => write!(f, "{v}"),
+            ImmVal::Sym(s, 0) => write!(f, "{s}"),
+            ImmVal::Sym(s, a) => write!(f, "{s}+{a}"),
+            ImmVal::SymHigh(s, a) => write!(f, "%hi({s}+{a})"),
+            ImmVal::SymLow(s, a) => write!(f, "%lo({s}+{a})"),
+        }
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A virtual register (pre-allocation).
+    Vreg(Vreg),
+    /// Half `i` (0 or 1) of a wide virtual register — used by `*func`
+    /// escapes that manipulate register halves (paper §3.4).
+    VregHalf(Vreg, u8),
+    /// A physical register (precoloured, or post-allocation).
+    Phys(PhysReg),
+    /// An immediate.
+    Imm(ImmVal),
+    /// A branch target within the function.
+    Block(BlockId),
+    /// A call target.
+    Func(SymbolId),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Vreg(v) => write!(f, "{v}"),
+            Operand::VregHalf(v, h) => write!(f, "{v}.h{h}"),
+            Operand::Phys(p) => write!(f, "p{}[{}]", p.class.0, p.index),
+            Operand::Imm(i) => write!(f, "{i}"),
+            Operand::Block(b) => write!(f, "{b}"),
+            Operand::Func(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One selected machine instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The instruction template.
+    pub template: TemplateId,
+    /// Operands, `$k` = `ops[k-1]`.
+    pub ops: Vec<Operand>,
+    /// Extra physical registers read (beyond the template's operands);
+    /// used for calls (argument registers) and returns (result
+    /// register).
+    pub extra_uses: Vec<PhysReg>,
+    /// Extra physical registers written: call-clobbered registers and
+    /// the return-address register on calls.
+    pub extra_defs: Vec<PhysReg>,
+}
+
+impl Inst {
+    /// Creates an instruction with no extra defs/uses.
+    pub fn new(template: TemplateId, ops: Vec<Operand>) -> Inst {
+        Inst {
+            template,
+            ops,
+            extra_uses: Vec::new(),
+            extra_defs: Vec::new(),
+        }
+    }
+
+    /// Register operands written by this instruction, per the
+    /// template's derived effects (excluding `extra_defs`).
+    pub fn def_operands<'a>(&'a self, machine: &'a Machine) -> impl Iterator<Item = &'a Operand> {
+        machine
+            .template(self.template)
+            .effects
+            .defs
+            .iter()
+            .filter_map(move |k| self.ops.get((*k - 1) as usize))
+    }
+
+    /// Register operands read by this instruction (excluding
+    /// `extra_uses`).
+    pub fn use_operands<'a>(&'a self, machine: &'a Machine) -> impl Iterator<Item = &'a Operand> {
+        machine
+            .template(self.template)
+            .effects
+            .uses
+            .iter()
+            .filter_map(move |k| self.ops.get((*k - 1) as usize))
+    }
+
+    /// Whether this instruction ends a block (any control transfer).
+    pub fn is_control(&self, machine: &Machine) -> bool {
+        machine.template(self.template).effects.is_control()
+    }
+}
+
+/// A basic block of selected code.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CodeBlock {
+    /// Instructions in code-thread order. Control transfers, if any,
+    /// are last.
+    pub insts: Vec<Inst>,
+    /// Successor blocks (for liveness); the fall-through successor, if
+    /// any, is last.
+    pub succs: Vec<BlockId>,
+}
+
+/// A function of selected code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeFunc {
+    /// Function name.
+    pub name: String,
+    /// Basic blocks, indexed by [`BlockId`]; block 0 is the entry and
+    /// the last block is the epilogue/exit.
+    pub blocks: Vec<CodeBlock>,
+    /// Virtual register table.
+    pub vregs: Vec<VregInfo>,
+    /// Bytes of frame space used by IR locals (spill slots are
+    /// appended above this by the register allocator).
+    pub local_frame_size: u32,
+    /// Bytes of spill slots allocated so far.
+    pub spill_size: u32,
+    /// Whether the function contains calls (needs the return address
+    /// saved).
+    pub has_calls: bool,
+}
+
+impl CodeFunc {
+    /// Creates an empty function.
+    pub fn new(name: &str) -> CodeFunc {
+        CodeFunc {
+            name: name.to_owned(),
+            blocks: Vec::new(),
+            vregs: Vec::new(),
+            local_frame_size: 0,
+            spill_size: 0,
+            has_calls: false,
+        }
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_vreg(&mut self, class: RegClassId, kind: VregKind) -> Vreg {
+        self.vregs.push(VregInfo { class, kind });
+        Vreg(self.vregs.len() as u32 - 1)
+    }
+
+    /// Info for one virtual register.
+    pub fn vreg(&self, v: Vreg) -> VregInfo {
+        self.vregs[v.0 as usize]
+    }
+
+    /// Allocates an 8-byte spill slot; returns its sp-relative offset.
+    pub fn new_spill_slot(&mut self) -> u32 {
+        let off = self.local_frame_size + self.spill_size;
+        self.spill_size += 8;
+        off
+    }
+
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vreg_allocation_and_spill_slots() {
+        let mut f = CodeFunc::new("f");
+        f.local_frame_size = 16;
+        let a = f.new_vreg(RegClassId(0), VregKind::Local);
+        let b = f.new_vreg(RegClassId(1), VregKind::Global);
+        assert_eq!(a, Vreg(0));
+        assert_eq!(b, Vreg(1));
+        assert_eq!(f.vreg(b).kind, VregKind::Global);
+        assert_eq!(f.new_spill_slot(), 16);
+        assert_eq!(f.new_spill_slot(), 24);
+        assert_eq!(f.spill_size, 16);
+    }
+
+    #[test]
+    fn operand_display() {
+        assert_eq!(Operand::Vreg(Vreg(3)).to_string(), "t3");
+        assert_eq!(Operand::Imm(ImmVal::Const(-5)).to_string(), "-5");
+        assert_eq!(
+            Operand::Imm(ImmVal::SymHigh(SymbolId(1), 8)).to_string(),
+            "%hi(sym1+8)"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! The compilation driver: glue → selection → strategy → emission,
+//! per function, over a whole IR module.
+
+use crate::code::CodeFunc;
+use crate::emit::{emit_func, AsmProgram};
+use crate::error::CodegenError;
+use crate::glue::apply_glue;
+use crate::select::{select_func, EscapeRegistry};
+use crate::strategy::{strategy_for, StrategyKind, StrategyStats};
+use marion_ir as ir;
+use marion_ir::{Node, NodeId, NodeKind};
+use marion_maril::{Machine, Ty};
+
+/// A fully compiled program, ready for the `marion-sim` simulator.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The emitted code.
+    pub asm: AsmProgram,
+    /// Global data, in layout order: (name, initialiser).
+    pub globals: Vec<(String, ir::GlobalInit)>,
+    /// Symbol names indexed by [`ir::SymbolId`].
+    pub symbols: Vec<String>,
+    /// The machine this was compiled for.
+    pub machine_name: String,
+    /// Strategy used.
+    pub strategy: StrategyKind,
+    /// Aggregate statistics.
+    pub stats: CompileStats,
+}
+
+impl CompiledProgram {
+    /// Renders the program as assembly text.
+    pub fn render(&self, machine: &Machine) -> String {
+        crate::emit::render_program(machine, &self.asm, &self.symbols)
+    }
+}
+
+/// Aggregate compile statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CompileStats {
+    /// Machine instructions generated (the dilation denominator).
+    pub insts_generated: usize,
+    /// Total virtual registers spilled.
+    pub spills: usize,
+    /// Scheduling passes across all functions.
+    pub schedule_passes: usize,
+    /// Sum of final block cycle estimates across the program.
+    pub estimated_cycles: u64,
+    /// Branch delay slots filled with useful instructions instead of
+    /// nops (the §4.4 optional pass).
+    pub delay_slots_filled: usize,
+}
+
+/// A Marion code generator for one machine and one strategy.
+pub struct Compiler {
+    machine: Machine,
+    escapes: EscapeRegistry,
+    strategy: StrategyKind,
+}
+
+impl Compiler {
+    /// Creates a compiler from a compiled machine description, its
+    /// escape functions and a strategy.
+    pub fn new(machine: Machine, escapes: EscapeRegistry, strategy: StrategyKind) -> Compiler {
+        Compiler {
+            machine,
+            escapes,
+            strategy,
+        }
+    }
+
+    /// The target machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    /// Compiles an IR module to machine code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any phase, tagged with the phase name.
+    pub fn compile_module(&self, module: &ir::Module) -> Result<CompiledProgram, CodegenError> {
+        let mut module = module.clone();
+        materialize_float_constants(&mut module);
+        let strategy = strategy_for(self.strategy);
+        let mut asm = AsmProgram::default();
+        let mut stats = CompileStats::default();
+        for func in &module.funcs {
+            let mut func = func.clone();
+            apply_glue(&self.machine, &mut func)?;
+            let mut code: CodeFunc =
+                select_func(&self.machine, &self.escapes, &module, &func)?;
+            let (schedules, s): (_, StrategyStats) = strategy.run(&self.machine, &mut code)?;
+            let mut emitted = emit_func(&self.machine, &code, &schedules)?;
+            if std::env::var("MARION_NO_FILL").is_err() {
+                stats.delay_slots_filled +=
+                    crate::emit::fill_delay_slots(&self.machine, &mut emitted);
+            }
+            stats.insts_generated += emitted.inst_count();
+            stats.spills += s.spills;
+            stats.schedule_passes += s.schedule_passes;
+            stats.estimated_cycles += s.estimated_cycles;
+            asm.funcs.push(emitted);
+        }
+        let symbols: Vec<String> = (0..module.symbol_count())
+            .map(|i| module.symbol_name(ir::SymbolId(i as u32)).to_owned())
+            .collect();
+        let globals = module
+            .globals
+            .iter()
+            .map(|g| (g.name.clone(), g.init.clone()))
+            .collect();
+        Ok(CompiledProgram {
+            asm,
+            globals,
+            symbols,
+            machine_name: self.machine.name().to_owned(),
+            strategy: self.strategy,
+            stats,
+        })
+    }
+}
+
+/// Floating-point constants cannot be instruction immediates on these
+/// machines; place them in an anonymous constant pool and rewrite each
+/// `ConstF` node into a load. The [`Compiler`] applies this
+/// automatically; it is public so tools driving the phases manually
+/// (tests, experiments) can do the same.
+pub fn materialize_float_constants(module: &mut ir::Module) {
+    use std::collections::HashMap;
+    let mut pool: HashMap<(u64, bool), ir::SymbolId> = HashMap::new();
+    let nfuncs = module.funcs.len();
+    for fi in 0..nfuncs {
+        // Collect rewrites first to appease the borrow checker.
+        let mut rewrites: Vec<(NodeId, f64, Ty)> = Vec::new();
+        for (ni, node) in module.funcs[fi].nodes.iter().enumerate() {
+            if let NodeKind::ConstF(v) = node.kind {
+                rewrites.push((NodeId(ni as u32), v, node.ty));
+            }
+        }
+        for (id, v, ty) in rewrites {
+            let single = ty == Ty::Float;
+            let key = (v.to_bits(), single);
+            let sym = *pool.entry(key).or_insert_with(|| {
+                let name = format!("$fc{}", module.globals.len());
+                module.add_global(ir::Global {
+                    name,
+                    init: if single {
+                        ir::GlobalInit::Words(vec![(v as f32).to_bits()])
+                    } else {
+                        ir::GlobalInit::Doubles(vec![v])
+                    },
+                })
+            });
+            let func = &mut module.funcs[fi];
+            func.nodes.push(Node {
+                kind: NodeKind::GlobalAddr(sym),
+                ty: Ty::Ptr,
+            });
+            let addr = NodeId(func.nodes.len() as u32 - 1);
+            func.nodes[id.0 as usize] = Node {
+                kind: NodeKind::Load(addr),
+                ty,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_ir::FuncBuilder;
+
+    #[test]
+    fn float_constants_become_pool_loads() {
+        let mut module = ir::Module::new();
+        let mut b = FuncBuilder::new("f", Some(Ty::Double));
+        let c = b.const_f(3.25, Ty::Double);
+        let d = b.const_f(3.25, Ty::Double);
+        assert_eq!(c, d, "builder CSE");
+        b.ret(Some(c));
+        module.add_func(b.finish());
+        materialize_float_constants(&mut module);
+        assert_eq!(module.globals.len(), 1);
+        let func = &module.funcs[0];
+        assert!(matches!(func.node(c).kind, NodeKind::Load(_)));
+    }
+
+    #[test]
+    fn distinct_constants_get_distinct_slots() {
+        let mut module = ir::Module::new();
+        let mut b = FuncBuilder::new("f", Some(Ty::Double));
+        let c = b.const_f(1.5, Ty::Double);
+        let d = b.const_f(2.5, Ty::Double);
+        let s = b.bin(marion_ir::BinOp::Add, c, d, Ty::Double);
+        b.ret(Some(s));
+        module.add_func(b.finish());
+        materialize_float_constants(&mut module);
+        assert_eq!(module.globals.len(), 2);
+    }
+}

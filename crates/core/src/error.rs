@@ -1,0 +1,75 @@
+//! Errors produced by the back end.
+
+use std::error::Error;
+use std::fmt;
+
+/// A code generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError {
+    /// Which phase failed.
+    pub phase: Phase,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Back-end phases, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Glue transformation.
+    Glue,
+    /// Instruction selection.
+    Select,
+    /// Code DAG construction.
+    Dag,
+    /// Instruction scheduling.
+    Schedule,
+    /// Register allocation.
+    RegAlloc,
+    /// Frame construction / emission.
+    Emit,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Glue => "glue",
+            Phase::Select => "selection",
+            Phase::Dag => "code dag",
+            Phase::Schedule => "scheduling",
+            Phase::RegAlloc => "register allocation",
+            Phase::Emit => "emission",
+        })
+    }
+}
+
+impl CodegenError {
+    /// Creates an error tagged with its phase.
+    pub fn new(phase: Phase, message: impl Into<String>) -> CodegenError {
+        CodegenError {
+            phase,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failed: {}", self.phase, self.message)
+    }
+}
+
+impl Error for CodegenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_phase() {
+        let e = CodegenError::new(Phase::Select, "no pattern matches `(n1 + n2)`");
+        assert_eq!(
+            e.to_string(),
+            "selection failed: no pattern matches `(n1 + n2)`"
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! Glue transformations: tree-to-tree rewrites applied to the IL
+//! before code selection (paper §3.4).
+//!
+//! Condition rules rewrite branch comparisons — e.g. TOYP's
+//! `($1 == $2) ==> (($1 :: $2) == 0)` turns a register-register
+//! equality branch into a generic compare feeding a compare-to-zero
+//! branch. Value rules rewrite value trees. Each rule carries the
+//! operand class constraints from its `%glue` operand list, so integer
+//! and floating comparisons can be routed to different instruction
+//! sequences. The built-ins `high`, `low` and `eval` are constant-
+//! folded during instantiation.
+
+use crate::error::{CodegenError, Phase};
+use marion_ir::{Function, Node, NodeId, NodeKind, Terminator};
+use marion_maril::machine::{GlueKind, GlueRule};
+use marion_maril::{BinOp, Builtin, Expr, Machine, RegClassId, Ty, UnOp};
+
+/// Applies every applicable glue rule to `func`. Each branch condition
+/// receives at most one condition rewrite; each value node at most one
+/// value rewrite (this mirrors the paper's use of glue as a one-step
+/// mapping aid and keeps rule sets like "compare becomes `::` + test"
+/// from re-firing on their own output).
+///
+/// # Errors
+///
+/// Returns an error if a rule's replacement applies a built-in to a
+/// non-constant expression.
+pub fn apply_glue(machine: &Machine, func: &mut Function) -> Result<(), CodegenError> {
+    apply_cond_rules(machine, func)?;
+    apply_value_rules(machine, func)?;
+    Ok(())
+}
+
+fn natural_class(machine: &Machine, ty: Ty) -> Option<RegClassId> {
+    machine.cwvm().general_class(ty)
+}
+
+fn class_ok(
+    machine: &Machine,
+    rule: &GlueRule,
+    k: usize,
+    func: &Function,
+    node: NodeId,
+) -> bool {
+    match rule.operand_classes.get(k).copied().flatten() {
+        None => true,
+        Some(want) => natural_class(machine, func.node(node).ty) == Some(want),
+    }
+}
+
+fn apply_cond_rules(machine: &Machine, func: &mut Function) -> Result<(), CodegenError> {
+    for bi in 0..func.blocks.len() {
+        let Terminator::CondJump {
+            rel, lhs, rhs, ..
+        } = func.blocks[bi].term
+        else {
+            continue;
+        };
+        let mut chosen = None;
+        for rule in machine.glue_rules() {
+            let GlueKind::Cond {
+                from_rel,
+                to_rel,
+                to_lhs,
+                to_rhs,
+            } = &rule.kind
+            else {
+                continue;
+            };
+            // Try the rule as written, then with the relation (and
+            // operand bindings) swapped: `a > b` matches a `<` rule as
+            // `b < a`.
+            if *from_rel == rel
+                && class_ok(machine, rule, 0, func, lhs)
+                && class_ok(machine, rule, 1, func, rhs)
+            {
+                chosen = Some((*to_rel, to_lhs.clone(), to_rhs.clone(), lhs, rhs));
+                break;
+            }
+            if from_rel.swapped() == rel
+                && *from_rel != rel
+                && class_ok(machine, rule, 0, func, rhs)
+                && class_ok(machine, rule, 1, func, lhs)
+            {
+                chosen = Some((*to_rel, to_lhs.clone(), to_rhs.clone(), rhs, lhs));
+                break;
+            }
+        }
+        let Some((to_rel, to_lhs, to_rhs, b1, b2)) = chosen else {
+            continue;
+        };
+        let new_lhs = instantiate(func, &to_lhs, &[b1, b2])?;
+        let new_rhs = instantiate(func, &to_rhs, &[b1, b2])?;
+        if let Terminator::CondJump { rel, lhs, rhs, .. } = &mut func.blocks[bi].term {
+            *rel = to_rel;
+            *lhs = new_lhs;
+            *rhs = new_rhs;
+        }
+    }
+    Ok(())
+}
+
+fn apply_value_rules(machine: &Machine, func: &mut Function) -> Result<(), CodegenError> {
+    let value_rules: Vec<&GlueRule> = machine
+        .glue_rules()
+        .iter()
+        .filter(|r| matches!(r.kind, GlueKind::Value { .. }))
+        .collect();
+    if value_rules.is_empty() {
+        return Ok(());
+    }
+    // One pass, one rewrite per node; replacements are appended to the
+    // arena so they are never themselves rewritten.
+    let original_len = func.nodes.len();
+    for id in 0..original_len {
+        let id = NodeId(id as u32);
+        for rule in &value_rules {
+            let GlueKind::Value { from, to } = &rule.kind else {
+                unreachable!()
+            };
+            let mut binds: Vec<Option<NodeId>> = vec![None; 8];
+            if match_pattern(func, from, id, &mut binds)
+                && binds
+                    .iter()
+                    .enumerate()
+                    .all(|(k, b)| b.is_none_or(|n| class_ok(machine, rule, k, func, n)))
+            {
+                let bound: Vec<NodeId> = binds.iter().map(|b| b.unwrap_or(id)).collect();
+                let replacement = instantiate(func, to, &bound)?;
+                // Re-point the matched node at the replacement's kind.
+                let new_kind = func.node(replacement).kind.clone();
+                let ty = func.node(replacement).ty;
+                func.nodes[id.0 as usize] = Node { kind: new_kind, ty };
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Structural match of a glue pattern against an IR subtree. `$k`
+/// wildcards bind whole subtrees.
+fn match_pattern(
+    func: &Function,
+    pat: &Expr,
+    node: NodeId,
+    binds: &mut Vec<Option<NodeId>>,
+) -> bool {
+    match pat {
+        Expr::Operand(k) => {
+            let slot = (*k - 1) as usize;
+            if slot >= binds.len() {
+                return false;
+            }
+            match binds[slot] {
+                None => {
+                    binds[slot] = Some(node);
+                    true
+                }
+                Some(prev) => prev == node,
+            }
+        }
+        Expr::Int(c) => matches!(func.node(node).kind, NodeKind::ConstI(v) if v == *c),
+        Expr::Bin(op, a, b) => match &func.node(node).kind {
+            NodeKind::Bin(nop, x, y) if nop == op => {
+                match_pattern(func, a, *x, binds) && match_pattern(func, b, *y, binds)
+            }
+            _ => false,
+        },
+        Expr::Un(op, a) => match &func.node(node).kind {
+            NodeKind::Un(nop, x) if nop == op => match_pattern(func, a, *x, binds),
+            _ => false,
+        },
+        Expr::Convert(ty, a) => match &func.node(node).kind {
+            NodeKind::Cvt(x) if func.node(node).ty == *ty => match_pattern(func, a, *x, binds),
+            _ => false,
+        },
+        Expr::Mem(_, a) => match &func.node(node).kind {
+            NodeKind::Load(x) => match_pattern(func, a, *x, binds),
+            _ => false,
+        },
+        // Temporal registers and built-ins never occur in glue *match*
+        // patterns.
+        Expr::Temporal(_) | Expr::Call(..) => false,
+    }
+}
+
+/// Builds IR nodes for a replacement expression. `$k` refers to
+/// `bound[k-1]`. Built-ins fold over constants.
+fn instantiate(func: &mut Function, expr: &Expr, bound: &[NodeId]) -> Result<NodeId, CodegenError> {
+    let push = |func: &mut Function, kind: NodeKind, ty: Ty| {
+        func.nodes.push(Node { kind, ty });
+        NodeId(func.nodes.len() as u32 - 1)
+    };
+    match expr {
+        Expr::Operand(k) => bound
+            .get((*k - 1) as usize)
+            .copied()
+            .ok_or_else(|| CodegenError::new(Phase::Glue, format!("glue references ${k}"))),
+        Expr::Int(c) => Ok(push(func, NodeKind::ConstI(*c), Ty::Int)),
+        Expr::Bin(op, a, b) => {
+            let x = instantiate(func, a, bound)?;
+            let y = instantiate(func, b, bound)?;
+            // The generic compare `::` and relationals produce an int
+            // condition value; other operators keep the operand type.
+            let ty = if *op == BinOp::Cmp || op.is_relational() {
+                Ty::Int
+            } else {
+                func.node(x).ty
+            };
+            Ok(push(func, NodeKind::Bin(*op, x, y), ty))
+        }
+        Expr::Un(op, a) => {
+            let x = instantiate(func, a, bound)?;
+            let ty = func.node(x).ty;
+            Ok(push(func, NodeKind::Un(*op, x), ty))
+        }
+        Expr::Convert(ty, a) => {
+            let x = instantiate(func, a, bound)?;
+            Ok(push(func, NodeKind::Cvt(x), *ty))
+        }
+        Expr::Call(builtin, a) => {
+            let x = instantiate(func, a, bound)?;
+            let NodeKind::ConstI(c) = func.node(x).kind else {
+                return Err(CodegenError::new(
+                    Phase::Glue,
+                    format!("built-in `{builtin}` applied to a non-constant"),
+                ));
+            };
+            let v = match builtin {
+                Builtin::High => ((c as u32) >> 16) as i64,
+                Builtin::Low => (c as u32 & 0xffff) as i64,
+                Builtin::Eval => c,
+            };
+            Ok(push(func, NodeKind::ConstI(v), Ty::Int))
+        }
+        Expr::Temporal(name) => Err(CodegenError::new(
+            Phase::Glue,
+            format!("temporal register `{name}` in glue replacement"),
+        )),
+        Expr::Mem(_, a) => {
+            let x = instantiate(func, a, bound)?;
+            Ok(push(func, NodeKind::Load(x), Ty::Int))
+        }
+    }
+}
+
+/// Folds `UnOp::Neg` over integer constants (helper shared with the
+/// selector's immediate matching).
+pub fn fold_const(func: &Function, id: NodeId) -> Option<i64> {
+    match &func.node(id).kind {
+        NodeKind::ConstI(v) => Some(*v),
+        NodeKind::Un(UnOp::Neg, x) => fold_const(func, *x).map(|v| -v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_ir::FuncBuilder;
+
+    const TOY: &str = r#"
+        declare {
+            %reg r[0:7] (int);
+            %reg d[0:3] (double);
+            %resource IF;
+            %def const16 [-32768:32767];
+            %label rlab [-32768:32767] +relative;
+            %memory m[0:2147483647];
+        }
+        cwvm { %general (int) r; %general (double) d; }
+        instr {
+            %instr cmp r, r, r (int) {$1 = $2 :: $3;} [IF;] (1,1,0)
+            %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [IF;] (1,2,1)
+            %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}
+            %glue d, d {($1 < $2) ==> (($1 :: $2) < 0);}
+        }
+    "#;
+
+    fn toy() -> Machine {
+        Machine::parse("toy", TOY).unwrap()
+    }
+
+    #[test]
+    fn cond_rule_rewrites_int_equality() {
+        let machine = toy();
+        let mut b = FuncBuilder::new("f", None);
+        let p = b.param(Ty::Int);
+        let q = b.param(Ty::Int);
+        let x = b.read_vreg(p);
+        let y = b.read_vreg(q);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_jump(BinOp::Eq, x, y, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut f = b.finish();
+        apply_glue(&machine, &mut f).unwrap();
+        let Terminator::CondJump { rel, lhs, rhs, .. } = &f.blocks[0].term else {
+            panic!()
+        };
+        assert_eq!(*rel, BinOp::Eq);
+        assert!(matches!(f.node(*lhs).kind, NodeKind::Bin(BinOp::Cmp, a, b)
+            if a == x && b == y));
+        assert!(matches!(f.node(*rhs).kind, NodeKind::ConstI(0)));
+    }
+
+    #[test]
+    fn cond_rule_respects_class_constraint() {
+        // The `==` rule is declared for (r, r); a double comparison
+        // must not fire it.
+        let machine = toy();
+        let mut b = FuncBuilder::new("f", None);
+        let p = b.param(Ty::Double);
+        let x = b.read_vreg(p);
+        let z = b.const_f(0.0, Ty::Double);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_jump(BinOp::Eq, x, z, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut f = b.finish();
+        apply_glue(&machine, &mut f).unwrap();
+        let Terminator::CondJump { lhs, .. } = &f.blocks[0].term else {
+            panic!()
+        };
+        assert!(
+            matches!(f.node(*lhs).kind, NodeKind::ReadVreg(_)),
+            "double == must be left alone by the int-only rule"
+        );
+    }
+
+    #[test]
+    fn swapped_relation_matches() {
+        // `a > b` (doubles) should fire the `<` rule as `b < a`.
+        let machine = toy();
+        let mut b = FuncBuilder::new("f", None);
+        let p = b.param(Ty::Double);
+        let q = b.param(Ty::Double);
+        let x = b.read_vreg(p);
+        let y = b.read_vreg(q);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_jump(BinOp::Gt, x, y, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut f = b.finish();
+        apply_glue(&machine, &mut f).unwrap();
+        let Terminator::CondJump { rel, lhs, .. } = &f.blocks[0].term else {
+            panic!()
+        };
+        assert_eq!(*rel, BinOp::Lt);
+        // (y :: x) — swapped binding order.
+        assert!(matches!(f.node(*lhs).kind, NodeKind::Bin(BinOp::Cmp, a, c)
+            if a == y && c == x));
+    }
+
+    #[test]
+    fn builtins_fold_constants() {
+        let machine = Machine::parse(
+            "t",
+            r#"
+            declare { %reg r[0:7] (int); %resource IF; }
+            cwvm { %general (int) r; }
+            instr {
+                %glue {(12345678 * $1) ==> ((high(12345678) + low(12345678)) * $1);}
+            }
+            "#,
+        )
+        .unwrap();
+        let mut b = FuncBuilder::new("f", Some(Ty::Int));
+        let big = b.const_i(12_345_678, Ty::Int);
+        let p = b.param(Ty::Int);
+        let x = b.read_vreg(p);
+        let prod = b.bin(BinOp::Mul, big, x, Ty::Int);
+        b.ret(Some(prod));
+        let mut f = b.finish();
+        apply_glue(&machine, &mut f).unwrap();
+        let Terminator::Ret(Some(n)) = f.blocks[0].term else {
+            panic!()
+        };
+        let NodeKind::Bin(BinOp::Mul, l, _) = f.node(n).kind else {
+            panic!("mul survives")
+        };
+        let NodeKind::Bin(BinOp::Add, hi, lo) = f.node(l).kind else {
+            panic!("lhs should be high + low")
+        };
+        assert!(matches!(f.node(hi).kind, NodeKind::ConstI(188)));
+        assert!(
+            matches!(f.node(lo).kind, NodeKind::ConstI(v) if v == (12_345_678 & 0xffff))
+        );
+    }
+
+    #[test]
+    fn fold_const_handles_negation() {
+        let mut b = FuncBuilder::new("f", None);
+        let c = b.const_i(7, Ty::Int);
+        let n = b.un(UnOp::Neg, c, Ty::Int);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(fold_const(&f, c), Some(7));
+        assert_eq!(fold_const(&f, n), Some(-7));
+    }
+}

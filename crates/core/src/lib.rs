@@ -1,0 +1,29 @@
+//! # marion-core — the retargetable back end
+//!
+//! The target- and strategy-independent portion of Marion (the
+//! paper's "TSI"): glue transformation, instruction selection, code
+//! DAG construction, list scheduling with temporal scheduling, graph
+//! coloring register allocation, the three code generation strategies
+//! (Postpass, IPS, RASE), and assembly emission.
+//!
+//! The entry point is [`driver::Compiler`], which binds a compiled
+//! Maril [`marion_maril::Machine`], an [`select::EscapeRegistry`] of
+//! `*func` escapes, and a [`strategy::Strategy`].
+
+pub mod code;
+pub mod dag;
+pub mod driver;
+pub mod emit;
+pub mod error;
+pub mod glue;
+pub mod regalloc;
+pub mod sched;
+pub mod select;
+pub mod strategy;
+
+pub use code::{CodeBlock, CodeFunc, ImmVal, Inst, Operand, Vreg, VregInfo, VregKind};
+pub use driver::{CompiledProgram, Compiler};
+pub use emit::{AsmBlock, AsmFunc, AsmInst, AsmProgram, Word};
+pub use error::{CodegenError, Phase};
+pub use select::{EscapeCtx, EscapeFn, EscapeRegistry};
+pub use strategy::{Strategy, StrategyKind};

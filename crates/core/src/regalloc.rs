@@ -1,0 +1,929 @@
+//! Global register allocation by graph coloring (paper §2.2).
+//!
+//! The allocator follows Chaitin as refined by Briggs et al.:
+//! interference is determined from the instruction order presented to
+//! it, simplification is optimistic, and an uncolorable node is
+//! spilled for its entire lifetime (load before every use, store
+//! after every def) before the whole allocation is retried.
+//!
+//! Register *pairs* are handled at unit granularity via the
+//! description's `%equiv` overlays: a 64-bit `d` register interferes
+//! with both 32-bit registers it covers. Values live across calls
+//! interfere with the caller-save registers and therefore gravitate
+//! to callee-saves.
+
+use crate::code::*;
+use crate::error::{CodegenError, Phase};
+use marion_maril::{Machine, PhysReg};
+use std::collections::{HashMap, HashSet};
+
+/// Result of one allocation run.
+#[derive(Debug, Clone, Default)]
+pub struct AllocResult {
+    /// Number of virtual registers spilled (total across retries).
+    pub spills: usize,
+    /// Callee-save registers the function ended up using (to be saved
+    /// in the prologue).
+    pub used_callee_saves: Vec<PhysReg>,
+    /// Number of build/simplify/select iterations.
+    pub rounds: usize,
+}
+
+fn err(msg: impl Into<String>) -> CodegenError {
+    CodegenError::new(Phase::RegAlloc, msg)
+}
+
+/// Liveness key: a virtual register or a physical register unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Key {
+    V(Vreg),
+    U(u32),
+}
+
+/// Allocates physical registers for `func`, inserting spill code as
+/// needed. `extra_cost` biases spill choice (used by RASE's schedule
+/// estimates: a high value makes a vreg *less* likely to spill).
+///
+/// # Errors
+///
+/// Fails when a class has no allocable registers, when spilling makes
+/// no progress, or when the machine lacks spill load/store templates
+/// for a class that needs them.
+pub fn allocate(
+    machine: &Machine,
+    func: &mut CodeFunc,
+    extra_cost: &HashMap<Vreg, f64>,
+) -> Result<AllocResult, CodegenError> {
+    let mut result = AllocResult::default();
+    // Temporaries created by spilling have minimal live ranges and
+    // must never themselves be spilled (that would loop forever).
+    let mut no_spill: std::collections::HashSet<Vreg> = std::collections::HashSet::new();
+    for round in 0..32 {
+        result.rounds = round + 1;
+        let graph = build_interference(machine, func);
+        match color(machine, func, &graph, extra_cost, &no_spill)? {
+            Coloring::Complete { colors } => {
+                rewrite(machine, func, &colors)?;
+                let mut saves: Vec<PhysReg> = Vec::new();
+                for reg in colors.values() {
+                    for cs in &machine.cwvm().callee_save {
+                        if machine.regs_overlap(*reg, *cs) && !saves.contains(cs) {
+                            saves.push(*cs);
+                        }
+                    }
+                }
+                saves.sort();
+                result.used_callee_saves = saves;
+                return Ok(result);
+            }
+            Coloring::Spill(vregs) => {
+                if vregs.is_empty() {
+                    return Err(err("allocator failed without spill candidates"));
+                }
+                if std::env::var("MARION_RA_DEBUG").is_ok() {
+                    eprintln!("round {round}: spilling {vregs:?} in {}", func.name);
+                }
+                // A failing spill temporary must not be re-spilled (that
+                // loops): evict a colourable neighbor instead, or give
+                // up — the site is structurally over-committed.
+                let mut to_spill: Vec<Vreg> = Vec::new();
+                for v in vregs {
+                    if !no_spill.contains(&v) {
+                        if !to_spill.contains(&v) {
+                            to_spill.push(v);
+                        }
+                        continue;
+                    }
+                    // Any neighbor whose class shares register units
+                    // with ours frees colours when evicted (on TOYP a
+                    // double blocks two integer registers).
+                    let shares_units = |a: marion_maril::RegClassId,
+                                        b: marion_maril::RegClassId| {
+                        let ca = machine.reg_class(a);
+                        let cb = machine.reg_class(b);
+                        let (a0, a1) = (ca.unit_base, ca.unit_base + ca.count * ca.unit_stride);
+                        let (b0, b1) = (cb.unit_base, cb.unit_base + cb.count * cb.unit_stride);
+                        a0 < b1 && b0 < a1
+                    };
+                    let neighbor = graph
+                        .adj
+                        .get(&v)
+                        .and_then(|ns| {
+                            ns.iter()
+                                .filter(|n| {
+                                    !no_spill.contains(n)
+                                        && shares_units(func.vreg(**n).class, func.vreg(v).class)
+                                })
+                                .max_by_key(|n| graph.adj.get(n).map(|s| s.len()).unwrap_or(0))
+                                .copied()
+                        });
+                    match neighbor {
+                        Some(n) => {
+                            if !to_spill.contains(&n) {
+                                to_spill.push(n);
+                            }
+                        }
+                        None => {
+                            return Err(err(format!(
+                                "no register can hold spill temporary {v} of class `{}`                                  (the machine is structurally over-committed at that point)",
+                                machine.reg_class(func.vreg(v).class).name
+                            )));
+                        }
+                    }
+                }
+                for v in &to_spill {
+                    let first_temp = func.vregs.len();
+                    spill_vreg(machine, func, *v)?;
+                    for t in first_temp..func.vregs.len() {
+                        no_spill.insert(Vreg(t as u32));
+                    }
+                }
+                result.spills += to_spill.len();
+            }
+        }
+    }
+    Err(err("register allocation did not converge after 32 rounds"))
+}
+
+/// The interference graph plus loop-weighted occurrence costs.
+#[derive(Debug, Default)]
+struct Graph {
+    adj: HashMap<Vreg, HashSet<Vreg>>,
+    /// Physical units each vreg must avoid.
+    phys_conflicts: HashMap<Vreg, HashSet<u32>>,
+    /// Occurrence cost (def/use count weighted by loop depth).
+    cost: HashMap<Vreg, f64>,
+    /// Vregs live across at least one call.
+    across_call: HashSet<Vreg>,
+    nodes: Vec<Vreg>,
+}
+
+fn keys_of_operand(machine: &Machine, op: &Operand, out: &mut Vec<Key>) {
+    match op {
+        Operand::Vreg(v) | Operand::VregHalf(v, _) => out.push(Key::V(*v)),
+        Operand::Phys(p) => out.extend(machine.units_of(*p).map(Key::U)),
+        _ => {}
+    }
+}
+
+fn inst_defs_uses(machine: &Machine, inst: &Inst) -> (Vec<Key>, Vec<Key>) {
+    let mut defs = Vec::new();
+    let mut uses = Vec::new();
+    for op in inst.def_operands(machine) {
+        keys_of_operand(machine, op, &mut defs);
+        // Writing half a register keeps the other half live.
+        if let Operand::VregHalf(v, _) = op {
+            uses.push(Key::V(*v));
+        }
+    }
+    for op in inst.use_operands(machine) {
+        keys_of_operand(machine, op, &mut uses);
+    }
+    for p in &inst.extra_defs {
+        defs.extend(machine.units_of(*p).map(Key::U));
+    }
+    for p in &inst.extra_uses {
+        uses.extend(machine.units_of(*p).map(Key::U));
+    }
+    (defs, uses)
+}
+
+/// Approximate loop depth per block: an edge to a lower-numbered block
+/// is taken as a back edge `latch -> header`, and a block inside
+/// `[header, latch]` is inside that loop. Our front end lays loops out
+/// this way.
+fn loop_depth(func: &CodeFunc) -> Vec<u32> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for succ in &block.succs {
+            let h = succ.0 as usize;
+            if h <= bi {
+                spans.push((h, bi));
+            }
+        }
+    }
+    (0..func.blocks.len())
+        .map(|bi| spans.iter().filter(|(h, l)| *h <= bi && bi <= *l).count() as u32)
+        .collect()
+}
+
+fn build_interference(machine: &Machine, func: &CodeFunc) -> Graph {
+    let nblocks = func.blocks.len();
+    // Backward liveness over Key.
+    let mut live_in: Vec<HashSet<Key>> = vec![HashSet::new(); nblocks];
+    let mut live_out: Vec<HashSet<Key>> = vec![HashSet::new(); nblocks];
+    // Per-block gen/kill.
+    let mut gen: Vec<HashSet<Key>> = vec![HashSet::new(); nblocks];
+    let mut kill: Vec<HashSet<Key>> = vec![HashSet::new(); nblocks];
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for inst in &block.insts {
+            let (defs, uses) = inst_defs_uses(machine, inst);
+            for u in uses {
+                if !kill[bi].contains(&u) {
+                    gen[bi].insert(u);
+                }
+            }
+            for d in defs {
+                kill[bi].insert(d);
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nblocks).rev() {
+            let mut out: HashSet<Key> = HashSet::new();
+            for succ in &func.blocks[bi].succs {
+                out.extend(live_in[succ.0 as usize].iter().copied());
+            }
+            let mut inn: HashSet<Key> = gen[bi].clone();
+            for k in &out {
+                if !kill[bi].contains(k) {
+                    inn.insert(*k);
+                }
+            }
+            if out != live_out[bi] || inn != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    let depth = loop_depth(func);
+    let mut graph = Graph::default();
+    for (i, info) in func.vregs.iter().enumerate() {
+        let _ = info;
+        graph.nodes.push(Vreg(i as u32));
+    }
+    let add_conflict = |graph: &mut Graph, a: Key, b: Key| {
+        match (a, b) {
+            (Key::V(x), Key::V(y)) if x != y => {
+                graph.adj.entry(x).or_default().insert(y);
+                graph.adj.entry(y).or_default().insert(x);
+            }
+            (Key::V(x), Key::U(u)) | (Key::U(u), Key::V(x)) => {
+                graph.phys_conflicts.entry(x).or_default().insert(u);
+            }
+            _ => {}
+        }
+    };
+
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let weight = 10f64.powi(depth[bi].min(4) as i32);
+        let mut live = live_out[bi].clone();
+        for inst in block.insts.iter().rev() {
+            let (defs, uses) = inst_defs_uses(machine, inst);
+            let is_call = machine.template(inst.template).effects.is_call;
+            for d in &defs {
+                if let Key::V(v) = d {
+                    *graph.cost.entry(*v).or_insert(0.0) += weight;
+                }
+                for l in &live {
+                    if l != d {
+                        add_conflict(&mut graph, *d, *l);
+                    }
+                }
+            }
+            // Defs of the same instruction conflict with each other.
+            for (i, a) in defs.iter().enumerate() {
+                for b in &defs[i + 1..] {
+                    add_conflict(&mut graph, *a, *b);
+                }
+            }
+            if is_call {
+                for l in &live {
+                    if let Key::V(v) = l {
+                        graph.across_call.insert(*v);
+                    }
+                }
+            }
+            for d in &defs {
+                live.remove(d);
+            }
+            for u in uses {
+                if let Key::V(v) = u {
+                    *graph.cost.entry(v).or_insert(0.0) += weight;
+                }
+                live.insert(u);
+            }
+        }
+    }
+    graph
+}
+
+enum Coloring {
+    Complete { colors: HashMap<Vreg, PhysReg> },
+    Spill(Vec<Vreg>),
+}
+
+fn color(
+    machine: &Machine,
+    func: &CodeFunc,
+    graph: &Graph,
+    extra_cost: &HashMap<Vreg, f64>,
+    no_spill: &HashSet<Vreg>,
+) -> Result<Coloring, CodegenError> {
+    // Only vregs that actually occur need colors.
+    let occurring: HashSet<Vreg> = graph
+        .cost
+        .keys()
+        .copied()
+        .chain(graph.adj.keys().copied())
+        .collect();
+    let mut degree: HashMap<Vreg, usize> = HashMap::new();
+    for v in &occurring {
+        degree.insert(
+            *v,
+            graph.adj.get(v).map(|s| s.len()).unwrap_or(0),
+        );
+    }
+    let k_of = |v: Vreg| -> usize {
+        machine
+            .allocable_of_class(func.vreg(v).class)
+            .len()
+    };
+    for v in &occurring {
+        if k_of(*v) == 0 {
+            return Err(err(format!(
+                "class `{}` has no allocable registers",
+                machine.reg_class(func.vreg(*v).class).name
+            )));
+        }
+    }
+
+    // Simplify with optimistic push (Briggs).
+    let mut stack: Vec<Vreg> = Vec::new();
+    let mut removed: HashSet<Vreg> = HashSet::new();
+    let mut work: Vec<Vreg> = occurring.iter().copied().collect();
+    work.sort();
+    while removed.len() < occurring.len() {
+        let next_low = work
+            .iter()
+            .find(|v| !removed.contains(v) && degree[v] < k_of(**v))
+            .copied();
+        let chosen = match next_low {
+            Some(v) => v,
+            None => {
+                // Optimistic spill candidate: lowest cost/degree.
+                // Spill-generated temporaries are strongly avoided.
+                let mut best: Option<(f64, Vreg)> = None;
+                for v in &work {
+                    if removed.contains(v) {
+                        continue;
+                    }
+                    let mut c = graph.cost.get(v).copied().unwrap_or(0.0)
+                        + extra_cost.get(v).copied().unwrap_or(0.0);
+                    if no_spill.contains(v) {
+                        c += 1e12;
+                    }
+                    let d = degree[v].max(1) as f64;
+                    let metric = c / d;
+                    if best.is_none_or(|(m, _)| metric < m) {
+                        best = Some((metric, *v));
+                    }
+                }
+                best.map(|(_, v)| v).ok_or_else(|| err("empty worklist"))?
+            }
+        };
+        removed.insert(chosen);
+        stack.push(chosen);
+        if let Some(neigh) = graph.adj.get(&chosen) {
+            for n in neigh {
+                if !removed.contains(n) {
+                    *degree.get_mut(n).unwrap() -= 1;
+                }
+            }
+        }
+    }
+
+    // Select.
+    let mut colors: HashMap<Vreg, PhysReg> = HashMap::new();
+    let mut spilled: Vec<Vreg> = Vec::new();
+    while let Some(v) = stack.pop() {
+        let class = func.vreg(v).class;
+        let mut order = machine.allocable_of_class(class);
+        // Values live across calls prefer callee-saves; leaves prefer
+        // caller-saves (so calls need no saves around them).
+        let is_callee_save = |r: &PhysReg| {
+            machine
+                .cwvm()
+                .callee_save
+                .iter()
+                .any(|cs| machine.regs_overlap(*r, *cs))
+        };
+        if graph.across_call.contains(&v) {
+            order.sort_by_key(|r| (!is_callee_save(r), r.index));
+        } else {
+            order.sort_by_key(|r| (is_callee_save(r), r.index));
+        }
+        let forbidden_units: HashSet<u32> = graph
+            .phys_conflicts
+            .get(&v)
+            .cloned()
+            .unwrap_or_default();
+        let neighbors = graph.adj.get(&v);
+        let choice = order.into_iter().find(|cand| {
+            // Avoid precolored conflicts.
+            if machine.units_of(*cand).any(|u| forbidden_units.contains(&u)) {
+                return false;
+            }
+            // Avoid colored neighbors (unit overlap).
+            if let Some(ns) = neighbors {
+                for n in ns {
+                    if let Some(nc) = colors.get(n) {
+                        if machine.regs_overlap(*cand, *nc) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            // A value live across a call must not sit in a
+            // caller-save register (the call clobbers it) — the call's
+            // extra_defs already created phys conflicts, so this is
+            // covered by `forbidden_units`.
+            true
+        });
+        match choice {
+            Some(c) => {
+                colors.insert(v, c);
+            }
+            None => {
+                if std::env::var("MARION_RA_DEBUG").is_ok() {
+                    let neigh: Vec<String> = graph
+                        .adj
+                        .get(&v)
+                        .map(|ns| {
+                            ns.iter()
+                                .map(|n| format!("{n}={:?}", colors.get(n)))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    eprintln!(
+                        "  select fail {v} class {:?} no_spill={} forb={:?} neigh={:?}",
+                        func.vreg(v).class,
+                        no_spill.contains(&v),
+                        forbidden_units,
+                        neigh
+                    );
+                }
+                spilled.push(v);
+            }
+        }
+    }
+    if spilled.is_empty() {
+        Ok(Coloring::Complete { colors })
+    } else {
+        Ok(Coloring::Spill(spilled))
+    }
+}
+
+/// Rewrites every vreg operand to its physical register.
+fn rewrite(
+    machine: &Machine,
+    func: &mut CodeFunc,
+    colors: &HashMap<Vreg, PhysReg>,
+) -> Result<(), CodegenError> {
+    let vreg_classes: Vec<marion_maril::RegClassId> =
+        func.vregs.iter().map(|i| i.class).collect();
+    // Resolve half-references: half i of vreg v is the i-th
+    // single-unit register overlapping v's color.
+    let half_of = |p: PhysReg, h: u8| -> Result<PhysReg, CodegenError> {
+        let units: Vec<u32> = machine.units_of(p).collect();
+        let want = *units.get(h as usize).ok_or_else(|| {
+            err(format!(
+                "register {}{} (class `{}`) has no half {h}",
+                machine.reg_class(p.class).name,
+                p.index,
+                machine.reg_class(p.class).name
+            ))
+        })?;
+        for (ci, c) in machine.reg_classes().iter().enumerate() {
+            if c.unit_width == 1 {
+                for r in 0..c.count {
+                    if c.unit_base + r * c.unit_stride == want {
+                        return Ok(PhysReg::new(marion_maril::RegClassId(ci as u32), r));
+                    }
+                }
+            }
+        }
+        Err(err("no single-unit class overlaps this register"))
+    };
+    for block in &mut func.blocks {
+        for inst in &mut block.insts {
+            for op in &mut inst.ops {
+                match *op {
+                    Operand::Vreg(v) => {
+                        let c = colors
+                            .get(&v)
+                            .ok_or_else(|| err(format!("vreg {v} left uncolored")))?;
+                        *op = Operand::Phys(*c);
+                    }
+                    Operand::VregHalf(v, h) => {
+                        let c = colors
+                            .get(&v)
+                            .ok_or_else(|| err(format!("vreg {v} left uncolored")))?;
+                        *op = Operand::Phys(half_of(*c, h).map_err(|e| {
+                            err(format!(
+                                "{e} (half of {v}, class `{}`)",
+                                machine.reg_class(vreg_classes[v.0 as usize]).name
+                            ))
+                        })?);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Recognises a spill run that is a pure register copy between `v`
+/// and exactly one physical register of `v`'s class. Returns that
+/// register and whether `v` is the source.
+fn pure_copy_run(
+    machine: &Machine,
+    run: &[Inst],
+    v: Vreg,
+) -> Option<(PhysReg, bool)> {
+    let mut phys_units: Vec<u32> = Vec::new();
+    let mut v_source: Option<bool> = None;
+    for inst in run {
+        let t = machine.template(inst.template);
+        // Must be a plain `$a = $b` move shape.
+        let (a, b) = match t.sem.as_slice() {
+            [marion_maril::expr::Stmt::Assign(
+                marion_maril::expr::LValue::Operand(a),
+                marion_maril::Expr::Operand(b),
+            )] => (*a, *b),
+            _ => return None,
+        };
+        let dst = inst.ops.get((a - 1) as usize)?;
+        let src = inst.ops.get((b - 1) as usize)?;
+        let (phys_op, this_v_source) = match (dst, src) {
+            (Operand::Phys(p), Operand::Vreg(x) | Operand::VregHalf(x, _)) if *x == v => {
+                (*p, true)
+            }
+            (Operand::Vreg(x) | Operand::VregHalf(x, _), Operand::Phys(p)) if *x == v => {
+                (*p, false)
+            }
+            _ => return None,
+        };
+        if *v_source.get_or_insert(this_v_source) != this_v_source {
+            return None;
+        }
+        phys_units.extend(machine.units_of(phys_op));
+    }
+    let v_source = v_source?;
+    // The physical units must exactly compose one register of a class
+    // that the spill load/store for `v` can address; search every
+    // class for it.
+    phys_units.sort_unstable();
+    phys_units.dedup();
+    for (ci, c) in machine.reg_classes().iter().enumerate() {
+        for r in 0..c.count {
+            let reg = PhysReg::new(marion_maril::RegClassId(ci as u32), r);
+            let mut units: Vec<u32> = machine.units_of(reg).collect();
+            units.sort_unstable();
+            if units == phys_units {
+                return Some((reg, v_source));
+            }
+        }
+    }
+    None
+}
+
+/// Spills `v`: allocate a slot, load before each use, store after each
+/// def, rewriting occurrences to fresh one-shot temporaries.
+fn spill_vreg(machine: &Machine, func: &mut CodeFunc, v: Vreg) -> Result<(), CodegenError> {
+    let class = func.vreg(v).class;
+    let load_t = machine
+        .spill_load(class)
+        .ok_or_else(|| err(format!(
+            "no spill load for class `{}`",
+            machine.reg_class(class).name
+        )))?;
+    let store_t = machine
+        .spill_store(class)
+        .ok_or_else(|| err(format!(
+            "no spill store for class `{}`",
+            machine.reg_class(class).name
+        )))?;
+    let sp = machine
+        .cwvm()
+        .sp
+        .ok_or_else(|| err("machine declares no stack pointer"))?;
+    let slot = func.new_spill_slot() as i64;
+    let kind = func.vreg(v).kind;
+    let _ = kind;
+
+    for bi in 0..func.blocks.len() {
+        let mut new_insts: Vec<Inst> = Vec::new();
+        let insts = std::mem::take(&mut func.blocks[bi].insts);
+        // Group maximal runs of consecutive instructions touching `v`
+        // (a `*func` escape writes a pair register with two adjacent
+        // half-moves; the pair must be reloaded/stored as one unit).
+        let mut i = 0;
+        while i < insts.len() {
+            let touches = |inst: &Inst| {
+                inst.ops.iter().any(|op| {
+                    matches!(op, Operand::Vreg(x) | Operand::VregHalf(x, _) if *x == v)
+                })
+            };
+            let touches_half = |inst: &Inst| {
+                inst.ops
+                    .iter()
+                    .any(|op| matches!(op, Operand::VregHalf(x, _) if *x == v))
+            };
+            if !touches(&insts[i]) {
+                new_insts.push(insts[i].clone());
+                i += 1;
+                continue;
+            }
+            // One instruction per run, except half-register (escape
+            // pair) sequences, which must reload/store as one unit.
+            // Merging arbitrary touching neighbours would keep the
+            // temporary live through unrelated instructions and can
+            // make tiny register files uncolourable.
+            let mut j = i + 1;
+            if touches_half(&insts[i]) {
+                while j < insts.len() && touches_half(&insts[j]) {
+                    j += 1;
+                }
+            }
+            let run = &insts[i..j];
+            // A run that merely copies between `v` and one physical
+            // register (argument/result moves, including half-move
+            // pairs from `*func` escapes) needs no temporary at all:
+            // transfer directly between the spill slot and that
+            // register. This is what keeps call boundaries colourable
+            // on machines whose register pairs cover the whole file.
+            if let Some((phys, v_is_source)) = pure_copy_run(machine, run, v) {
+                if v_is_source {
+                    // phys := v  ==>  load phys from the slot.
+                    new_insts.push(Inst::new(
+                        load_t,
+                        vec![
+                            Operand::Phys(phys),
+                            Operand::Phys(sp),
+                            Operand::Imm(ImmVal::Const(slot)),
+                        ],
+                    ));
+                } else {
+                    // v := phys  ==>  store phys to the slot.
+                    new_insts.push(Inst::new(
+                        store_t,
+                        vec![
+                            Operand::Phys(phys),
+                            Operand::Phys(sp),
+                            Operand::Imm(ImmVal::Const(slot)),
+                        ],
+                    ));
+                }
+                i = j;
+                continue;
+            }
+            let tmp = func.new_vreg(class, VregKind::Local);
+            let mut run_uses = false;
+            let mut run_defs = false;
+            let mut rewritten: Vec<Inst> = Vec::with_capacity(run.len());
+            for inst in run {
+                let t = machine.template(inst.template);
+                for k in &t.effects.uses {
+                    if let Some(Operand::Vreg(x)) | Some(Operand::VregHalf(x, _)) =
+                        inst.ops.get((*k - 1) as usize)
+                    {
+                        if *x == v {
+                            run_uses = true;
+                        }
+                    }
+                }
+                for k in &t.effects.defs {
+                    if let Some(Operand::Vreg(x)) | Some(Operand::VregHalf(x, _)) =
+                        inst.ops.get((*k - 1) as usize)
+                    {
+                        if *x == v {
+                            run_defs = true;
+                        }
+                    }
+                }
+                let mut inst = inst.clone();
+                for op in &mut inst.ops {
+                    match *op {
+                        Operand::Vreg(x) if x == v => *op = Operand::Vreg(tmp),
+                        Operand::VregHalf(x, h) if x == v => *op = Operand::VregHalf(tmp, h),
+                        _ => {}
+                    }
+                }
+                rewritten.push(inst);
+            }
+            // A run that writes only part of the register (one half)
+            // must merge with the slot's existing contents.
+            let partial_def = run_defs
+                && rewritten.iter().any(|inst| {
+                    inst.ops
+                        .iter()
+                        .any(|op| matches!(op, Operand::VregHalf(..)))
+                });
+            if run_uses || partial_def {
+                new_insts.push(Inst::new(
+                    load_t,
+                    vec![
+                        Operand::Vreg(tmp),
+                        Operand::Phys(sp),
+                        Operand::Imm(ImmVal::Const(slot)),
+                    ],
+                ));
+            }
+            new_insts.extend(rewritten);
+            if run_defs {
+                new_insts.push(Inst::new(
+                    store_t,
+                    vec![
+                        Operand::Vreg(tmp),
+                        Operand::Phys(sp),
+                        Operand::Imm(ImmVal::Const(slot)),
+                    ],
+                ));
+            }
+            i = j;
+        }
+        func.blocks[bi].insts = new_insts;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_maril::RegClassId;
+    use marion_ir::BlockId;
+
+    const TOY: &str = r#"
+        declare {
+            %reg r[0:7] (int);
+            %resource IE;
+            %def const16 [-32768:32767];
+            %label rlab [-32768:32767] +relative;
+            %memory m[0:2147483647];
+        }
+        cwvm {
+            %general (int) r;
+            %allocable r[1:5];
+            %calleesave r[4:7];
+            %sp r[7] +down; %fp r[6] +down; %retaddr r[1];
+            %hard r[0] 0;
+        }
+        instr {
+            %instr add r, r, r (int) {$1 = $2 + $3;} [IE;] (1,1,0)
+            %instr ld r, r, #const16 (int) {$1 = m[$2+$3];} [IE;] (1,3,0)
+            %instr st r, r, #const16 (int) {m[$2+$3] = $1;} [IE;] (1,1,0)
+            %move add2 r, r, r[0] {$1 = $2;} [IE;] (1,1,0)
+        }
+    "#;
+
+    fn toy() -> Machine {
+        Machine::parse("toy", TOY).unwrap()
+    }
+
+    fn v(n: u32) -> Operand {
+        Operand::Vreg(Vreg(n))
+    }
+
+    fn imm(c: i64) -> Operand {
+        Operand::Imm(ImmVal::Const(c))
+    }
+
+    fn inst(m: &Machine, mnem: &str, ops: Vec<Operand>) -> Inst {
+        Inst::new(m.template_by_mnemonic(mnem).unwrap(), ops)
+    }
+
+    fn phys_ops(f: &CodeFunc) -> Vec<Vec<Operand>> {
+        f.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter().map(|i| i.ops.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn colors_simple_chain() {
+        let m = toy();
+        let mut f = CodeFunc::new("t");
+        let r = RegClassId(0);
+        for _ in 0..4 {
+            f.new_vreg(r, VregKind::Local);
+        }
+        f.blocks.push(CodeBlock {
+            insts: vec![
+                inst(&m, "ld", vec![v(0), Operand::Phys(PhysReg::new(r, 7)), imm(0)]),
+                inst(&m, "add", vec![v(1), v(0), v(0)]),
+                inst(&m, "st", vec![v(1), Operand::Phys(PhysReg::new(r, 7)), imm(4)]),
+            ],
+            succs: vec![],
+        });
+        let res = allocate(&m, &mut f, &HashMap::new()).unwrap();
+        assert_eq!(res.spills, 0);
+        for ops in phys_ops(&f) {
+            for op in ops {
+                assert!(!matches!(op, Operand::Vreg(_)), "vreg survived: {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn interfering_values_get_distinct_registers() {
+        let m = toy();
+        let mut f = CodeFunc::new("t");
+        let r = RegClassId(0);
+        for _ in 0..3 {
+            f.new_vreg(r, VregKind::Local);
+        }
+        let sp = Operand::Phys(PhysReg::new(r, 7));
+        // v0 and v1 are simultaneously live.
+        f.blocks.push(CodeBlock {
+            insts: vec![
+                inst(&m, "ld", vec![v(0), sp, imm(0)]),
+                inst(&m, "ld", vec![v(1), sp, imm(4)]),
+                inst(&m, "add", vec![v(2), v(0), v(1)]),
+                inst(&m, "st", vec![v(2), sp, imm(8)]),
+            ],
+            succs: vec![],
+        });
+        allocate(&m, &mut f, &HashMap::new()).unwrap();
+        let ops = phys_ops(&f);
+        let (a, b) = (ops[0][0], ops[1][0]);
+        assert_ne!(a, b, "interfering vregs colored alike");
+    }
+
+    #[test]
+    fn spills_when_pressure_exceeds_registers() {
+        let m = toy();
+        let mut f = CodeFunc::new("t");
+        let r = RegClassId(0);
+        // 8 simultaneously-live values, only 5 allocable registers.
+        let n = 8;
+        for _ in 0..=n {
+            f.new_vreg(r, VregKind::Local);
+        }
+        let sp = Operand::Phys(PhysReg::new(r, 7));
+        let mut insts: Vec<Inst> = (0..n)
+            .map(|i| inst(&m, "ld", vec![v(i), sp, imm(4 * i as i64)]))
+            .collect();
+        // One instruction using all of them pairwise.
+        let mut acc = 0u32;
+        for i in 1..n {
+            insts.push(inst(&m, "add", vec![v(acc), v(acc), v(i)]));
+            acc = 0;
+        }
+        insts.push(inst(&m, "st", vec![v(0), sp, imm(64)]));
+        f.blocks.push(CodeBlock {
+            insts,
+            succs: vec![],
+        });
+        let res = allocate(&m, &mut f, &HashMap::new()).unwrap();
+        assert!(res.spills > 0, "must spill: {res:?}");
+        assert!(f.spill_size > 0);
+        // And the result must be fully physical.
+        for ops in phys_ops(&f) {
+            for op in ops {
+                assert!(!matches!(op, Operand::Vreg(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn precolored_conflicts_respected() {
+        let m = toy();
+        let mut f = CodeFunc::new("t");
+        let r = RegClassId(0);
+        f.new_vreg(r, VregKind::Local);
+        let sp = Operand::Phys(PhysReg::new(r, 7));
+        let r2 = Operand::Phys(PhysReg::new(r, 2));
+        // v0 live across a def of r2 — must not be colored r2.
+        f.blocks.push(CodeBlock {
+            insts: vec![
+                inst(&m, "ld", vec![v(0), sp, imm(0)]),
+                inst(&m, "ld", vec![r2, sp, imm(4)]),
+                inst(&m, "add", vec![r2, r2, v(0)]),
+                inst(&m, "st", vec![r2, sp, imm(8)]),
+            ],
+            succs: vec![],
+        });
+        allocate(&m, &mut f, &HashMap::new()).unwrap();
+        let ops = phys_ops(&f);
+        assert_ne!(ops[0][0], r2, "v0 colored into a conflicting phys reg");
+    }
+
+    #[test]
+    fn loop_depth_heuristic() {
+        let mut f = CodeFunc::new("t");
+        f.blocks = vec![
+            CodeBlock { insts: vec![], succs: vec![BlockId(1)] },
+            CodeBlock { insts: vec![], succs: vec![BlockId(2), BlockId(3)] },
+            CodeBlock { insts: vec![], succs: vec![BlockId(1)] }, // back edge
+            CodeBlock { insts: vec![], succs: vec![] },
+        ];
+        let d = loop_depth(&f);
+        assert_eq!(d, vec![0, 1, 1, 0]);
+    }
+}

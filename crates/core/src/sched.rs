@@ -1,0 +1,974 @@
+//! List scheduling (paper §4.2–§4.6).
+//!
+//! The scheduler keeps a list of instructions that are ready to be
+//! scheduled without causing a delay and, each iteration, picks the
+//! ready instruction with the greatest maximum distance to a leaf of
+//! the code DAG. Structural hazards are avoided by intersecting each
+//! candidate's *resource vector* with the composite of the resources
+//! in use (§4.3); multiple instruction issue falls out of disjoint
+//! resource sets. Irregular instruction-word packing is checked with
+//! *classes* — two sub-operations pack only if their class
+//! intersection is non-empty (§4.5). Explicitly advanced pipelines
+//! are handled with *temporal scheduling*: Rule 1 (an instruction that
+//! affects clock `k` may not be scheduled before the open destination
+//! of a temporal edge on `k`, though it may be packed with it) plus
+//! temporal groups, which schedule all open destinations of a clock as
+//! one unit (§4.6).
+
+use crate::code::{CodeBlock, CodeFunc, Operand, Vreg, VregKind};
+use crate::dag::{CodeDag, EdgeKind};
+use crate::error::{CodegenError, Phase};
+use marion_maril::machine::ClockId;
+use marion_maril::{Machine, ResSet};
+use std::collections::HashMap;
+
+/// Scheduling options.
+#[derive(Debug, Clone, Default)]
+pub struct SchedOptions {
+    /// IPS-style limit on simultaneously live *local* virtual
+    /// registers per register class (paper §2: "schedules with a limit
+    /// on local register use"). `None` = unlimited.
+    pub local_reg_limit: Option<usize>,
+    /// Skip Rule 1 and temporal grouping; only meaningful with a DAG
+    /// built by [`crate::dag::build_dag_with`] with latch
+    /// name-dependences, which then provide latch ordering.
+    pub ignore_rule1: bool,
+}
+
+/// A completed block schedule.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// Instructions issued per cycle, in issue order.
+    pub cycles: Vec<Vec<usize>>,
+    /// Issue cycle of each instruction.
+    pub inst_cycle: Vec<u32>,
+    /// Schedule length in issue cycles, including the trailing delay
+    /// slots of a final branch — the scheduler's *estimate* of the
+    /// block's execution cost (used by RASE and by Table 4).
+    pub length: u32,
+    /// Peak number of simultaneously live local virtual registers
+    /// observed while scheduling.
+    pub peak_local_pressure: usize,
+}
+
+/// Schedules one block against its code DAG.
+///
+/// # Errors
+///
+/// Fails only on internal deadlock (which temporal-sequence
+/// protection is designed to prevent); the error message names the
+/// stuck instructions.
+pub fn schedule_block(
+    machine: &Machine,
+    func: &CodeFunc,
+    block: &CodeBlock,
+    dag: &CodeDag,
+    opts: &SchedOptions,
+) -> Result<Schedule, CodegenError> {
+    let n = block.insts.len();
+    if n == 0 {
+        return Ok(Schedule::default());
+    }
+    let priority = dag.critical_path();
+
+    // Local-vreg pressure bookkeeping (for the IPS limit).
+    let mut use_count: HashMap<Vreg, u32> = HashMap::new();
+    for inst in &block.insts {
+        for op in inst.use_operands(machine) {
+            if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
+                if func.vreg(*v).kind == VregKind::Local {
+                    *use_count.entry(*v).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    let mut state = SchedState {
+        machine,
+        block,
+        dag,
+        priority,
+        scheduled: vec![false; n],
+        inst_cycle: vec![0u32; n],
+        pred_left: dag.preds.iter().map(|p| p.len()).collect(),
+        earliest: vec![0u32; n],
+        timeline: Vec::new(),
+        cycles: Vec::new(),
+        t: 0,
+        word_elems: None,
+        live_local: HashMap::new(),
+        uses_left: use_count,
+        local_limit: opts.local_reg_limit,
+        ignore_rule1: opts.ignore_rule1,
+        peak_pressure: 0,
+        func,
+    };
+
+    let mut remaining = n;
+    let max_cycles = (n as u32 + 8) * 64 + 1024;
+    while remaining > 0 {
+        let mut progress = true;
+        while progress {
+            progress = false;
+            // 1. Temporal groups: all open destinations of a clock go
+            //    together.
+            if !opts.ignore_rule1 {
+                for k in 0..machine.clocks().len() {
+                    let clock = ClockId(k as u32);
+                    let dests = state.open_dests(clock);
+                    if dests.is_empty() {
+                        continue;
+                    }
+                    if state.try_place_group(&dests) {
+                        remaining -= dests.len();
+                        progress = true;
+                    }
+                }
+            }
+            // 2. Best regular candidate.
+            if let Some(i) = state.pick_candidate(remaining) {
+                state.place(i);
+                remaining -= 1;
+                progress = true;
+            }
+        }
+        if remaining > 0 {
+            state.advance_cycle();
+            if state.t > max_cycles {
+                let stuck: Vec<usize> = (0..n).filter(|i| !state.scheduled[*i]).collect();
+                return Err(CodegenError::new(
+                    Phase::Schedule,
+                    format!("scheduling deadlock; unscheduled instructions {stuck:?}"),
+                ));
+            }
+        }
+    }
+
+    // Schedule length: last issue cycle + 1, plus the delay slots of
+    // the block's final control transfer.
+    let mut length = state.cycles.len() as u32;
+    if let Some(last) = block
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| inst.is_control(machine))
+        .map(|(i, _)| i)
+        .max()
+    {
+        let slots = machine.template(block.insts[last].template).slots;
+        length = length.max(state.inst_cycle[last] + 1 + slots.unsigned_abs());
+    }
+    Ok(Schedule {
+        cycles: state.cycles,
+        inst_cycle: state.inst_cycle,
+        length,
+        peak_local_pressure: state.peak_pressure,
+    })
+}
+
+/// Verifies that a schedule satisfies every constraint the paper
+/// imposes (used by tests and property checks):
+///
+/// 1. **dependence** — for every DAG edge `(x, y, l)`,
+///    `cycle(y) ≥ cycle(x) + l`;
+/// 2. **structural** — no resource is claimed twice in any cycle
+///    (§4.3);
+/// 3. **packing** — the classes of all classed sub-operations issued
+///    in one cycle have a non-empty intersection (§4.5);
+/// 4. **Rule 1** — no instruction affecting clock `k` issues strictly
+///    between the source and destination cycles of a temporal edge on
+///    `k` (§4.6).
+///
+/// Returns a description of the first violation.
+pub fn verify_schedule(
+    machine: &Machine,
+    block: &CodeBlock,
+    dag: &CodeDag,
+    schedule: &Schedule,
+) -> Result<(), String> {
+    verify_schedule_with(machine, block, dag, schedule, true)
+}
+
+/// [`verify_schedule`] with Rule 1 optional: schedules produced under
+/// the latch name-dependence fallback discipline get their latch
+/// safety from DAG edges instead, so constraint 4 does not apply.
+pub fn verify_schedule_with(
+    machine: &Machine,
+    block: &CodeBlock,
+    dag: &CodeDag,
+    schedule: &Schedule,
+    check_rule1: bool,
+) -> Result<(), String> {
+    let n = block.insts.len();
+    if schedule.inst_cycle.len() != n {
+        return Err(format!(
+            "schedule covers {} of {} instructions",
+            schedule.inst_cycle.len(),
+            n
+        ));
+    }
+    // 1. Dependences.
+    for e in &dag.edges {
+        let (cf, ct) = (schedule.inst_cycle[e.from], schedule.inst_cycle[e.to]);
+        if ct < cf + e.latency {
+            return Err(format!(
+                "edge {} -> {} (lat {}) violated: cycles {cf} -> {ct} ({:?})",
+                e.from, e.to, e.latency, e.kind
+            ));
+        }
+    }
+    // 2. Structural hazards.
+    let mut usage: HashMap<u32, ResSet> = HashMap::new();
+    for (i, inst) in block.insts.iter().enumerate() {
+        let t = machine.template(inst.template);
+        for (c, need) in t.rsrc.iter().enumerate() {
+            let at = schedule.inst_cycle[i] + c as u32;
+            let slot = usage.entry(at).or_insert(ResSet::EMPTY);
+            if slot.intersects(need) {
+                return Err(format!(
+                    "resource conflict at cycle {at} caused by instruction {i}"
+                ));
+            }
+            slot.union_with(need);
+        }
+    }
+    // 3. Class packing.
+    let mut per_cycle: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, c) in schedule.inst_cycle.iter().enumerate() {
+        per_cycle.entry(*c).or_default().push(i);
+    }
+    for (cycle, members) in &per_cycle {
+        let mut word: Option<ResSet> = None;
+        for &i in members {
+            if let Some(cid) = machine.template(block.insts[i].template).class {
+                let elems = machine.class(cid).elements;
+                word = Some(match word {
+                    None => elems,
+                    Some(w) => {
+                        let inter = w.intersection(&elems);
+                        if inter.is_empty() {
+                            return Err(format!(
+                                "illegal packing at cycle {cycle}: classes do not intersect"
+                            ));
+                        }
+                        inter
+                    }
+                });
+            }
+        }
+    }
+    // 4. Rule 1.
+    if !check_rule1 {
+        return Ok(());
+    }
+    for e in &dag.edges {
+        let EdgeKind::TrueTemporal(k) = e.kind else {
+            continue;
+        };
+        let (cf, ct) = (schedule.inst_cycle[e.from], schedule.inst_cycle[e.to]);
+        for (z, inst) in block.insts.iter().enumerate() {
+            if z == e.to || z == e.from {
+                continue;
+            }
+            if machine.template(inst.template).affects_clock == Some(k) {
+                let cz = schedule.inst_cycle[z];
+                if cz > cf && cz < ct {
+                    return Err(format!(
+                        "Rule 1 violated: instruction {z} (affects clock {k}) at cycle                          {cz} sits inside temporal edge {} -> {} (cycles {cf} -> {ct})",
+                        e.from, e.to
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Schedules a block with the full fallback ladder the strategies
+/// use: Rule 1 list scheduling, then same-clock sequence
+/// serialisation, then the latch name-dependence discipline, then a
+/// serial thread-order schedule. Never fails; the returned flag names
+/// the discipline that succeeded.
+pub fn schedule_block_robust(
+    machine: &Machine,
+    func: &CodeFunc,
+    block: &CodeBlock,
+    opts: &SchedOptions,
+) -> (Schedule, &'static str) {
+    let dag = crate::dag::build_dag(machine, block, true);
+    if let Ok(s) = schedule_block(machine, func, block, &dag, opts) {
+        return (s, "rule1");
+    }
+    let mut dag2 = crate::dag::build_dag(machine, block, true);
+    crate::dag::serialize_same_clock_sequences(&mut dag2);
+    if let Ok(s) = schedule_block(machine, func, block, &dag2, opts) {
+        return (s, "serialized");
+    }
+    let dag3 = crate::dag::build_dag_with(machine, block, true, true);
+    let relaxed = SchedOptions {
+        ignore_rule1: true,
+        ..opts.clone()
+    };
+    if let Ok(s) = schedule_block(machine, func, block, &dag3, &relaxed) {
+        return (s, "name-deps");
+    }
+    (serial_schedule(machine, block, &dag3), "serial")
+}
+
+/// A degenerate but always-valid schedule: instructions in code-thread
+/// order, one per cycle, delayed only by DAG latencies and structural
+/// hazards. Used as the last-resort fallback when list scheduling with
+/// Rule 1 deadlocks on a pathological explicitly-advanced-pipeline
+/// interleaving: under the simulator's read-old/write-new word
+/// semantics, thread order preserves the latch dataflow the code DAG
+/// records.
+pub fn serial_schedule(
+    machine: &Machine,
+    block: &CodeBlock,
+    dag: &CodeDag,
+) -> Schedule {
+    let n = block.insts.len();
+    let mut inst_cycle = vec![0u32; n];
+    let mut timeline: Vec<ResSet> = Vec::new();
+    let mut t = 0u32;
+    let mut cycles: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let mut at = t;
+        for &ei in &dag.preds[i] {
+            let e = dag.edges[ei];
+            at = at.max(inst_cycle[e.from] + e.latency);
+        }
+        let tmpl = machine.template(block.insts[i].template);
+        'search: loop {
+            for (c, need) in tmpl.rsrc.iter().enumerate() {
+                let idx = at as usize + c;
+                if timeline.len() > idx && timeline[idx].intersects(need) {
+                    at += 1;
+                    continue 'search;
+                }
+            }
+            break;
+        }
+        for (c, need) in tmpl.rsrc.iter().enumerate() {
+            let idx = at as usize + c;
+            if timeline.len() <= idx {
+                timeline.resize(idx + 1, ResSet::EMPTY);
+            }
+            timeline[idx].union_with(need);
+        }
+        inst_cycle[i] = at;
+        while cycles.len() <= at as usize {
+            cycles.push(Vec::new());
+        }
+        cycles[at as usize].push(i);
+        // Strictly serial: the next instruction issues later.
+        t = at + 1;
+    }
+    let mut length = cycles.len() as u32;
+    if let Some(last) = block
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| inst.is_control(machine))
+        .map(|(i, _)| i)
+        .max()
+    {
+        let slots = machine.template(block.insts[last].template).slots;
+        length = length.max(inst_cycle[last] + 1 + slots.unsigned_abs());
+    }
+    Schedule {
+        cycles,
+        inst_cycle,
+        length,
+        peak_local_pressure: 0,
+    }
+}
+
+struct SchedState<'a> {
+    machine: &'a Machine,
+    block: &'a CodeBlock,
+    dag: &'a CodeDag,
+    priority: Vec<u32>,
+    scheduled: Vec<bool>,
+    inst_cycle: Vec<u32>,
+    pred_left: Vec<usize>,
+    earliest: Vec<u32>,
+    timeline: Vec<ResSet>,
+    cycles: Vec<Vec<usize>>,
+    t: u32,
+    /// Intersection of the packing classes issued this cycle.
+    word_elems: Option<ResSet>,
+    live_local: HashMap<Vreg, bool>,
+    uses_left: HashMap<Vreg, u32>,
+    local_limit: Option<usize>,
+    ignore_rule1: bool,
+    peak_pressure: usize,
+    func: &'a CodeFunc,
+}
+
+impl<'a> SchedState<'a> {
+    /// Destinations of currently open temporal edges on `clock`:
+    /// source scheduled, destination not.
+    fn open_dests(&self, clock: ClockId) -> Vec<usize> {
+        let mut out = Vec::new();
+        for e in &self.dag.edges {
+            if let EdgeKind::TrueTemporal(k) = e.kind {
+                if k == clock
+                    && self.scheduled[e.from]
+                    && !self.scheduled[e.to]
+                    && !out.contains(&e.to)
+                {
+                    out.push(e.to);
+                }
+            }
+        }
+        out
+    }
+
+    fn is_ready(&self, i: usize) -> bool {
+        !self.scheduled[i] && self.pred_left[i] == 0 && self.earliest[i] <= self.t
+    }
+
+    fn resources_fit(&self, i: usize, extra: &[ResSet]) -> bool {
+        let t = self.machine.template(self.block.insts[i].template);
+        for (c, need) in t.rsrc.iter().enumerate() {
+            let at = self.t as usize + c;
+            let mut in_use = self.timeline.get(at).copied().unwrap_or(ResSet::EMPTY);
+            if let Some(e) = extra.get(c) {
+                in_use.union_with(e);
+            }
+            if in_use.intersects(need) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn class_fits(&self, i: usize, word: Option<ResSet>) -> (bool, Option<ResSet>) {
+        let t = self.machine.template(self.block.insts[i].template);
+        match t.class {
+            None => (true, word),
+            Some(cid) => {
+                let elems = self.machine.class(cid).elements;
+                match word {
+                    None => (true, Some(elems)),
+                    Some(w) => {
+                        let inter = w.intersection(&elems);
+                        (!inter.is_empty(), Some(inter))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rule 1 (paper §4.6): if there is a temporal edge `(x, y)` based
+    /// on clock `k` and `x` has been scheduled, an instruction `z ≠ y`
+    /// that affects `k` may not be scheduled before `y` — but may be
+    /// *packed* with it. In cycle terms: `z` may issue at cycle `t`
+    /// only if every open temporal edge on `k` (other than one ending
+    /// at `z` itself) has its source issued in this same cycle, so the
+    /// pending latch value is consumed by the same clock tick `z`
+    /// rides on.
+    fn rule1_allows(&self, i: usize) -> bool {
+        if self.ignore_rule1 {
+            return true;
+        }
+        let Some(k) = self.machine.template(self.block.insts[i].template).affects_clock else {
+            return true;
+        };
+        for e in &self.dag.edges {
+            if let EdgeKind::TrueTemporal(ek) = e.kind {
+                if ek == k
+                    && self.scheduled[e.from]
+                    && !self.scheduled[e.to]
+                    && e.to != i
+                    && self.inst_cycle[e.from] != self.t
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// IPS pressure check: would scheduling `i` push live local vregs
+    /// past the limit?
+    fn pressure_allows(&self, i: usize) -> bool {
+        let Some(limit) = self.local_limit else {
+            return true;
+        };
+        let delta = self.pressure_delta(i);
+        let live = self.live_local.values().filter(|v| **v).count() as i64;
+        live + delta <= limit as i64
+    }
+
+    fn pressure_delta(&self, i: usize) -> i64 {
+        let inst = &self.block.insts[i];
+        let mut delta = 0i64;
+        for op in inst.use_operands(self.machine) {
+            if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
+                if let Some(left) = self.uses_left.get(v) {
+                    if *left == 1 && self.live_local.get(v) == Some(&true) {
+                        delta -= 1;
+                    }
+                }
+            }
+        }
+        for op in inst.def_operands(self.machine) {
+            if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
+                if self.func.vreg(*v).kind == VregKind::Local
+                    && self.uses_left.get(v).copied().unwrap_or(0) > 0
+                    && self.live_local.get(v) != Some(&true)
+                {
+                    delta += 1;
+                }
+            }
+        }
+        delta
+    }
+
+    fn pick_candidate(&mut self, remaining: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let mut relax_best: Option<usize> = None;
+        for i in 0..self.block.insts.len() {
+            if !self.is_ready(i) || !self.rule1_allows(i) {
+                continue;
+            }
+            if !self.resources_fit(i, &[]) {
+                continue;
+            }
+            if !self.class_fits(i, self.word_elems).0 {
+                continue;
+            }
+            let better = |cur: Option<usize>| {
+                cur.is_none_or(|b| {
+                    (self.priority[i], std::cmp::Reverse(i))
+                        > (self.priority[b], std::cmp::Reverse(b))
+                })
+            };
+            if self.pressure_allows(i) {
+                if better(best) {
+                    best = Some(i);
+                }
+            } else if better(relax_best) {
+                relax_best = Some(i);
+            }
+        }
+        // When the register limit blocks everything *and* advancing
+        // time cannot make anything new ready (every unscheduled
+        // instruction either is already ready-but-blocked or waits on
+        // a blocked producer), exceed the limit rather than deadlock
+        // (Goodman–Hsu switch from CSP to CSR).
+        if best.is_none() && remaining > 0 {
+            if let Some(r) = relax_best {
+                let waiting_on_time = (0..self.block.insts.len()).any(|i| {
+                    !self.scheduled[i] && self.pred_left[i] == 0 && self.earliest[i] > self.t
+                });
+                if !waiting_on_time {
+                    return Some(r);
+                }
+            }
+        }
+        best
+    }
+
+    /// Attempts to place an entire temporal group this cycle.
+    fn try_place_group(&mut self, dests: &[usize]) -> bool {
+        // Every member must be ready.
+        if !dests.iter().all(|&d| self.is_ready(d)) {
+            return false;
+        }
+        // Chained members can affect a *different* clock than the
+        // group's (the i860's M1a is a clk_a-edge destination but
+        // ticks clk_m): Rule 1 must hold for those clocks too, with
+        // edges whose destinations are inside this group counting as
+        // satisfied (they issue this very cycle).
+        for &d in dests {
+            let Some(k) = self.machine.template(self.block.insts[d].template).affects_clock
+            else {
+                continue;
+            };
+            for e in &self.dag.edges {
+                if let EdgeKind::TrueTemporal(ek) = e.kind {
+                    if ek == k
+                        && self.scheduled[e.from]
+                        && !self.scheduled[e.to]
+                        && e.to != d
+                        && !dests.contains(&e.to)
+                        && self.inst_cycle[e.from] != self.t
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Combined resources must fit and classes must intersect.
+        let mut extra: Vec<ResSet> = Vec::new();
+        let mut word = self.word_elems;
+        for &d in dests {
+            let t = self.machine.template(self.block.insts[d].template);
+            let (ok, new_word) = self.class_fits(d, word);
+            if !ok {
+                return false;
+            }
+            word = new_word;
+            for (c, need) in t.rsrc.iter().enumerate() {
+                if extra.len() <= c {
+                    extra.resize(c + 1, ResSet::EMPTY);
+                }
+                if extra[c].intersects(need) {
+                    return false;
+                }
+                extra[c].union_with(need);
+            }
+        }
+        for (c, e) in extra.iter().enumerate() {
+            let at = self.t as usize + c;
+            let in_use = self.timeline.get(at).copied().unwrap_or(ResSet::EMPTY);
+            if in_use.intersects(e) {
+                return false;
+            }
+        }
+        for &d in dests {
+            self.place(d);
+        }
+        true
+    }
+
+    fn place(&mut self, i: usize) {
+        debug_assert!(!self.scheduled[i]);
+        let inst = &self.block.insts[i];
+        let t = self.machine.template(inst.template);
+        // Commit resources.
+        for (c, need) in t.rsrc.iter().enumerate() {
+            let at = self.t as usize + c;
+            if self.timeline.len() <= at {
+                self.timeline.resize(at + 1, ResSet::EMPTY);
+            }
+            self.timeline[at].union_with(need);
+        }
+        // Commit the word class.
+        let (_, word) = self.class_fits(i, self.word_elems);
+        self.word_elems = word;
+        // Record.
+        self.scheduled[i] = true;
+        self.inst_cycle[i] = self.t;
+        while self.cycles.len() <= self.t as usize {
+            self.cycles.push(Vec::new());
+        }
+        self.cycles[self.t as usize].push(i);
+        // Release successors.
+        for &ei in &self.dag.succs[i] {
+            let e = self.dag.edges[ei];
+            self.pred_left[e.to] -= 1;
+            self.earliest[e.to] = self.earliest[e.to].max(self.t + e.latency);
+        }
+        // Pressure bookkeeping.
+        for op in inst.use_operands(self.machine).cloned().collect::<Vec<_>>() {
+            if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
+                if let Some(left) = self.uses_left.get_mut(&v) {
+                    *left = left.saturating_sub(1);
+                    if *left == 0 {
+                        self.live_local.insert(v, false);
+                    }
+                }
+            }
+        }
+        for op in inst.def_operands(self.machine).cloned().collect::<Vec<_>>() {
+            if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
+                if self.func.vreg(v).kind == VregKind::Local
+                    && self.uses_left.get(&v).copied().unwrap_or(0) > 0
+                {
+                    self.live_local.insert(v, true);
+                }
+            }
+        }
+        let live = self.live_local.values().filter(|x| **x).count();
+        self.peak_pressure = self.peak_pressure.max(live);
+    }
+
+    fn advance_cycle(&mut self) {
+        self.t += 1;
+        self.word_elems = None;
+        while self.cycles.len() < self.t as usize {
+            self.cycles.push(Vec::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::{CodeFunc, ImmVal, Inst};
+    use crate::dag::build_dag;
+    use marion_maril::RegClassId;
+
+    const TOY: &str = r#"
+        declare {
+            %reg r[0:7] (int);
+            %resource IF; ID; IE; IA; IW; MUL;
+            %def const16 [-32768:32767];
+            %label rlab [-32768:32767] +relative;
+            %memory m[0:2147483647];
+        }
+        cwvm { %general (int) r; %allocable r[1:5]; %sp r[7] +down; %fp r[6] +down; %retaddr r[1]; }
+        instr {
+            %instr add r, r, r (int) {$1 = $2 + $3;} [IE;] (1,1,0)
+            %instr mul r, r, r (int) {$1 = $2 * $3;} [IE; MUL; MUL; MUL;] (1,4,0)
+            %instr ld r, r, #const16 (int) {$1 = m[$2+$3];} [IE; IA;] (1,3,0)
+            %instr st r, r, #const16 (int) {m[$2+$3] = $1;} [IE; IA;] (1,1,0)
+            %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [IE;] (1,2,1)
+            %instr nop {} [IE;] (1,1,0)
+        }
+    "#;
+
+    fn toy() -> Machine {
+        Machine::parse("toy", TOY).unwrap()
+    }
+
+    fn v(n: u32) -> Operand {
+        Operand::Vreg(Vreg(n))
+    }
+
+    fn imm(c: i64) -> Operand {
+        Operand::Imm(ImmVal::Const(c))
+    }
+
+    fn setup(_m: &Machine, insts: Vec<Inst>) -> (CodeFunc, CodeBlock) {
+        let mut f = CodeFunc::new("t");
+        for _ in 0..20 {
+            f.new_vreg(RegClassId(0), VregKind::Local);
+        }
+        (f, CodeBlock { insts, succs: vec![] })
+    }
+
+    fn inst(m: &Machine, mnem: &str, ops: Vec<Operand>) -> Inst {
+        Inst::new(m.template_by_mnemonic(mnem).unwrap(), ops)
+    }
+
+    #[test]
+    fn fills_load_latency_with_independent_work() {
+        let m = toy();
+        // ld t1 <- [t0]; add t2 = t1+t1 (dependent, 3 cycles later);
+        // add t3 = t4+t5 and add t6 = t7+t8 are independent fillers.
+        let insts = vec![
+            inst(&m, "ld", vec![v(1), v(0), imm(0)]),
+            inst(&m, "add", vec![v(2), v(1), v(1)]),
+            inst(&m, "add", vec![v(3), v(4), v(5)]),
+            inst(&m, "add", vec![v(6), v(7), v(8)]),
+        ];
+        let (f, block) = setup(&m, insts);
+        let dag = build_dag(&m, &block, true);
+        let s = schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
+        assert_eq!(s.inst_cycle[0], 0);
+        assert_eq!(s.inst_cycle[1], 3, "dependent add waits for the load");
+        assert!(s.inst_cycle[2] < 3 && s.inst_cycle[3] < 3, "fillers moved up: {s:?}");
+        assert_eq!(s.length, 4);
+    }
+
+    #[test]
+    fn structural_hazard_on_multiplier_serialises() {
+        let m = toy();
+        // Two independent multiplies fight over the MUL resource
+        // (cycles 1-3 of each): second can start only when the
+        // pipeline stage frees.
+        let insts = vec![
+            inst(&m, "mul", vec![v(1), v(0), v(0)]),
+            inst(&m, "mul", vec![v(2), v(3), v(3)]),
+        ];
+        let (f, block) = setup(&m, insts);
+        let dag = build_dag(&m, &block, true);
+        let s = schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
+        assert_eq!(s.inst_cycle[0], 0);
+        assert_eq!(s.inst_cycle[1], 3, "MUL stays busy cycles 1..=3: {s:?}");
+    }
+
+    #[test]
+    fn critical_path_priority_orders_long_chain_first() {
+        let m = toy();
+        // A 3-mul chain and one trivial add. The chain instructions
+        // should issue as early as their dependences allow.
+        let insts = vec![
+            inst(&m, "add", vec![v(9), v(8), v(8)]),
+            inst(&m, "mul", vec![v(1), v(0), v(0)]),
+            inst(&m, "mul", vec![v(2), v(1), v(1)]),
+            inst(&m, "mul", vec![v(3), v(2), v(2)]),
+        ];
+        let (f, block) = setup(&m, insts);
+        let dag = build_dag(&m, &block, true);
+        let s = schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
+        assert_eq!(s.inst_cycle[1], 0, "chain head first despite thread order");
+        assert_eq!(s.inst_cycle[2], 4);
+        assert_eq!(s.inst_cycle[3], 8);
+    }
+
+    #[test]
+    fn branch_scheduled_last_and_slots_counted() {
+        let m = toy();
+        let insts = vec![
+            inst(&m, "add", vec![v(1), v(0), v(0)]),
+            inst(&m, "beq0", vec![v(1), Operand::Block(marion_ir::BlockId(0))]),
+        ];
+        let (f, block) = setup(&m, insts);
+        let dag = build_dag(&m, &block, true);
+        let s = schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
+        assert!(s.inst_cycle[1] >= s.inst_cycle[0]);
+        // length includes the branch delay slot.
+        assert_eq!(s.length, s.inst_cycle[1] + 2);
+    }
+
+    #[test]
+    fn register_limit_caps_pressure() {
+        let m = toy();
+        // Four independent loads, each value consumed later: with a
+        // limit of 2 locals the scheduler must interleave def/use.
+        let insts = vec![
+            inst(&m, "ld", vec![v(1), v(0), imm(0)]),
+            inst(&m, "ld", vec![v(2), v(0), imm(4)]),
+            inst(&m, "ld", vec![v(3), v(0), imm(8)]),
+            inst(&m, "ld", vec![v(4), v(0), imm(12)]),
+            inst(&m, "add", vec![v(5), v(1), v(2)]),
+            inst(&m, "add", vec![v(6), v(3), v(4)]),
+            inst(&m, "add", vec![v(7), v(5), v(6)]),
+        ];
+        let (f, block) = setup(&m, insts);
+        let dag = build_dag(&m, &block, true);
+        let unlimited =
+            schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
+        let limited = schedule_block(
+            &m,
+            &f,
+            &block,
+            &dag,
+            &SchedOptions {
+                local_reg_limit: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(unlimited.peak_local_pressure > 2);
+        assert!(
+            limited.peak_local_pressure <= 3,
+            "limit roughly respected: {limited:?}"
+        );
+        assert!(limited.length >= unlimited.length);
+    }
+
+    const EAP: &str = r#"
+        declare {
+            %reg d[0:7] (double);
+            %resource RM1; RM2; RFWB; RALU;
+            %clock clk_m;
+            %reg m1 (double; clk_m) +temporal;
+            %reg m2 (double; clk_m) +temporal;
+            %element pfmul;
+            %element pfall;
+            %class mul_ops { pfmul, pfall };
+            %class all_ops { pfall };
+        }
+        cwvm { %general (double) d; }
+        instr {
+            %instr M1 d, d (double; clk_m) <mul_ops> {m1 = $1 * $2;} [RM1;] (1,1,0)
+            %instr M2 (double; clk_m) <mul_ops> {m2 = m1;} [RM2;] (1,1,0)
+            %instr FWB d (double; clk_m) <mul_ops> {$1 = m2;} [RFWB;] (1,1,0)
+            %instr dadd d, d, d (double) <all_ops> {$1 = $2 + $3;} [RALU;] (1,1,0)
+        }
+    "#;
+
+    fn eap() -> Machine {
+        Machine::parse("eap", EAP).unwrap()
+    }
+
+    fn dsetup(m: &Machine, insts: Vec<Inst>) -> (CodeFunc, CodeBlock) {
+        let mut f = CodeFunc::new("t");
+        for _ in 0..20 {
+            f.new_vreg(m.reg_class_by_name("d").unwrap(), VregKind::Local);
+        }
+        (f, CodeBlock { insts, succs: vec![] })
+    }
+
+    #[test]
+    fn temporal_sequence_schedules_in_order() {
+        let m = eap();
+        let insts = vec![
+            inst(&m, "M1", vec![v(0), v(1)]),
+            inst(&m, "M2", vec![]),
+            inst(&m, "FWB", vec![v(2)]),
+        ];
+        let (f, block) = dsetup(&m, insts);
+        let dag = build_dag(&m, &block, true);
+        let s = schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
+        assert!(s.inst_cycle[0] < s.inst_cycle[1]);
+        assert!(s.inst_cycle[1] < s.inst_cycle[2]);
+    }
+
+    #[test]
+    fn rule1_packs_second_launch_with_advance() {
+        let m = eap();
+        // Two independent multiplies: M1a; M2a; FWBa; M1b; M2b; FWBb.
+        // Rule 1 forbids M1b before M2a but allows packing with it —
+        // their resources (RM1 vs RM2) and classes (mul/mul) permit it.
+        let insts = vec![
+            inst(&m, "M1", vec![v(0), v(1)]),
+            inst(&m, "M2", vec![]),
+            inst(&m, "FWB", vec![v(2)]),
+            inst(&m, "M1", vec![v(3), v(4)]),
+            inst(&m, "M2", vec![]),
+            inst(&m, "FWB", vec![v(5)]),
+        ];
+        let (f, block) = dsetup(&m, insts);
+        let dag = build_dag(&m, &block, true);
+        let s = schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
+        // Second launch must not precede the first advance...
+        assert!(
+            s.inst_cycle[3] >= s.inst_cycle[1],
+            "Rule 1 violated: M1b at {} before M2a at {}",
+            s.inst_cycle[3],
+            s.inst_cycle[1]
+        );
+        // ...and overlap should beat full serialisation (≤ 5 cycles
+        // for 6 sub-operations rather than 6).
+        assert!(
+            s.length <= 5,
+            "pipelines should overlap, got length {} ({:?})",
+            s.length,
+            s.cycles
+        );
+        // All temporal-register hazards respected: every M1->M2 pair
+        // advances in order.
+        assert!(s.inst_cycle[4] > s.inst_cycle[3]);
+        assert!(s.inst_cycle[5] > s.inst_cycle[4]);
+    }
+
+    #[test]
+    fn class_packing_restriction_enforced() {
+        let m = eap();
+        // dadd is in class all_ops = {pfall}; M1 is in {pfmul, pfall}.
+        // They may pack (intersection {pfall}). Two dadds cannot pack
+        // with an M2 issued the same cycle if resources clash — here
+        // resources differ, so the class rule is what matters: a word
+        // already holding M1+M2 (intersection {pfmul, pfall}) still
+        // accepts dadd (∩ = {pfall}).
+        let insts = vec![
+            inst(&m, "M1", vec![v(0), v(1)]),
+            inst(&m, "dadd", vec![v(2), v(3), v(4)]),
+        ];
+        let (f, block) = dsetup(&m, insts);
+        let dag = build_dag(&m, &block, true);
+        let s = schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
+        assert_eq!(
+            s.inst_cycle[0], s.inst_cycle[1],
+            "compatible classes pack into one word: {s:?}"
+        );
+    }
+
+    #[test]
+    fn empty_block_schedules_empty() {
+        let m = toy();
+        let (f, block) = setup(&m, vec![]);
+        let dag = build_dag(&m, &block, true);
+        let s = schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
+        assert_eq!(s.length, 0);
+        assert!(s.cycles.is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! Code generation strategies (paper §2): the strategy directs the
+//! invocation of, and level of communication between, instruction
+//! scheduling and global register allocation.
+//!
+//! * [`StrategyKind::Postpass`] — global register allocation followed
+//!   by instruction scheduling (Gibbons & Muchnick);
+//! * [`StrategyKind::Ips`] — Integrated Prepass Scheduling (Goodman &
+//!   Hsu): schedule with a limit on local register use, allocate,
+//!   then schedule again;
+//! * [`StrategyKind::Rase`] — Register Allocation with Schedule
+//!   Estimates (Bradlee, Eggers & Henry): invoke the scheduler to
+//!   gather schedule cost estimates, allocate with those estimates
+//!   biasing spill choices, then do final scheduling.
+
+use crate::code::{CodeFunc, Operand, VregKind};
+use crate::dag::build_dag;
+use crate::error::CodegenError;
+use crate::regalloc::allocate;
+use crate::sched::{SchedOptions, Schedule};
+use marion_maril::Machine;
+use std::collections::HashMap;
+
+/// Which strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Allocate, then schedule.
+    Postpass,
+    /// Schedule (register-limited), allocate, schedule again.
+    Ips,
+    /// Estimate schedules, allocate with estimates, schedule.
+    Rase,
+    /// Ablation baseline: allocate, then keep code-thread order (no
+    /// list scheduling at all — only latency/resource legality). Not
+    /// part of [`StrategyKind::ALL`]; the paper's comparison point for
+    /// "what does scheduling buy".
+    NoSchedule,
+}
+
+impl StrategyKind {
+    /// All strategies, for sweeps.
+    pub const ALL: [StrategyKind; 3] =
+        [StrategyKind::Postpass, StrategyKind::Ips, StrategyKind::Rase];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Postpass => "Postpass",
+            StrategyKind::Ips => "IPS",
+            StrategyKind::Rase => "RASE",
+            StrategyKind::NoSchedule => "NoSched",
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Statistics from one strategy run over a function.
+#[derive(Debug, Clone, Default)]
+pub struct StrategyStats {
+    /// Virtual registers spilled.
+    pub spills: usize,
+    /// Number of per-block scheduling passes performed.
+    pub schedule_passes: usize,
+    /// Sum of final block cycle estimates.
+    pub estimated_cycles: u64,
+}
+
+/// A code generation strategy: consumes selected code, returns the
+/// final per-block schedules (over the possibly spill-expanded
+/// function).
+pub trait Strategy {
+    /// The strategy's display name.
+    fn name(&self) -> &'static str;
+
+    /// Runs allocation and scheduling over `func`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and allocation failures.
+    fn run(
+        &self,
+        machine: &Machine,
+        func: &mut CodeFunc,
+    ) -> Result<(Vec<Schedule>, StrategyStats), CodegenError>;
+}
+
+/// Builds the strategy object for a kind.
+pub fn strategy_for(kind: StrategyKind) -> Box<dyn Strategy + Send + Sync> {
+    match kind {
+        StrategyKind::Postpass => Box::new(Postpass),
+        StrategyKind::Ips => Box::new(Ips),
+        StrategyKind::Rase => Box::new(Rase),
+        StrategyKind::NoSchedule => Box::new(NoSchedule),
+    }
+}
+
+/// The ablation baseline: global register allocation followed by a
+/// serial thread-order "schedule" (dependence- and resource-legal but
+/// with no reordering). Comparing against [`Postpass`] isolates what
+/// list scheduling itself buys.
+pub struct NoSchedule;
+
+impl Strategy for NoSchedule {
+    fn name(&self) -> &'static str {
+        "NoSched"
+    }
+
+    fn run(
+        &self,
+        machine: &Machine,
+        func: &mut CodeFunc,
+    ) -> Result<(Vec<Schedule>, StrategyStats), CodegenError> {
+        let alloc = allocate(machine, func, &HashMap::new())?;
+        let mut schedules = Vec::with_capacity(func.blocks.len());
+        for block in &func.blocks {
+            let dag = build_dag(machine, block, true);
+            schedules.push(crate::sched::serial_schedule(machine, block, &dag));
+        }
+        let stats = StrategyStats {
+            spills: alloc.spills,
+            schedule_passes: 0,
+            estimated_cycles: sum_len(&schedules),
+        };
+        Ok((schedules, stats))
+    }
+}
+
+fn schedule_all(
+    machine: &Machine,
+    func: &CodeFunc,
+    opts: &SchedOptions,
+) -> Result<Vec<Schedule>, CodegenError> {
+    let mut out = Vec::with_capacity(func.blocks.len());
+    for block in &func.blocks {
+        let (schedule, discipline) =
+            crate::sched::schedule_block_robust(machine, func, block, opts);
+        if discipline != "rule1" && std::env::var("MARION_SCHED_DEBUG").is_ok() {
+            eprintln!("fallback: {discipline} ({} insts)", block.insts.len());
+        }
+        out.push(schedule);
+    }
+    Ok(out)
+}
+
+/// Reorders each block's instructions into schedule order, so that the
+/// register allocator sees the scheduled instruction order (the paper:
+/// "the register allocator determines interference using the
+/// instruction order presented to it").
+///
+/// Sub-operations packed into one cycle execute with read-old /
+/// write-new latch semantics; when the cycle is flattened into a
+/// sequence, an instruction *reading* a temporal latch must precede
+/// the instruction *writing* it, or the rebuilt code DAG would pair
+/// stages with the wrong pipeline occupancy.
+fn reorder(machine: &Machine, func: &mut CodeFunc, schedules: &[Schedule]) {
+    for (block, schedule) in func.blocks.iter_mut().zip(schedules) {
+        let mut order: Vec<usize> = Vec::with_capacity(block.insts.len());
+        for cycle in &schedule.cycles {
+            let mut members = cycle.clone();
+            // Topological micro-order: readers of a latch before its
+            // writer. Cycles are tiny; simple repeated selection.
+            let mut placed: Vec<usize> = Vec::with_capacity(members.len());
+            while !members.is_empty() {
+                let pick = members
+                    .iter()
+                    .position(|&m| {
+                        // m may go next if no other member READS a
+                        // latch that m WRITES.
+                        let m_t = machine.template(block.insts[m].template);
+                        members.iter().all(|&o| {
+                            if o == m {
+                                return true;
+                            }
+                            let o_t = machine.template(block.insts[o].template);
+                            !o_t.effects
+                                .temporal_uses
+                                .iter()
+                                .any(|u| m_t.effects.temporal_defs.contains(u))
+                        })
+                    })
+                    .unwrap_or(0);
+                placed.push(members.remove(pick));
+            }
+            order.extend(placed);
+        }
+        debug_assert_eq!(order.len(), block.insts.len());
+        let old = std::mem::take(&mut block.insts);
+        let mut new_insts = Vec::with_capacity(old.len());
+        let mut taken: Vec<Option<crate::code::Inst>> = old.into_iter().map(Some).collect();
+        for i in order {
+            new_insts.push(taken[i].take().expect("schedule permutes instructions"));
+        }
+        block.insts = new_insts;
+    }
+}
+
+fn sum_len(schedules: &[Schedule]) -> u64 {
+    schedules.iter().map(|s| s.length as u64).sum()
+}
+
+/// The IPS local-register limit: the smallest general-purpose
+/// allocable class, minus headroom for globals.
+fn ips_limit(machine: &Machine) -> usize {
+    let mut k = usize::MAX;
+    for (_, class) in &machine.cwvm().general {
+        let n = machine.allocable_of_class(*class).len();
+        if n > 0 {
+            k = k.min(n);
+        }
+    }
+    if k == usize::MAX {
+        8
+    } else {
+        (k.saturating_sub(2)).max(2)
+    }
+}
+
+/// Postpass: allocation first, scheduling after (on physical
+/// registers, with full anti-dependences).
+pub struct Postpass;
+
+impl Strategy for Postpass {
+    fn name(&self) -> &'static str {
+        "Postpass"
+    }
+
+    fn run(
+        &self,
+        machine: &Machine,
+        func: &mut CodeFunc,
+    ) -> Result<(Vec<Schedule>, StrategyStats), CodegenError> {
+        let alloc = allocate(machine, func, &HashMap::new())?;
+        let schedules = schedule_all(machine, func, &SchedOptions::default())?;
+        let stats = StrategyStats {
+            spills: alloc.spills,
+            schedule_passes: 1,
+            estimated_cycles: sum_len(&schedules),
+        };
+        Ok((schedules, stats))
+    }
+}
+
+/// Integrated Prepass Scheduling: schedule each block with a limit on
+/// local register use, allocate, then schedule again.
+pub struct Ips;
+
+impl Strategy for Ips {
+    fn name(&self) -> &'static str {
+        "IPS"
+    }
+
+    fn run(
+        &self,
+        machine: &Machine,
+        func: &mut CodeFunc,
+    ) -> Result<(Vec<Schedule>, StrategyStats), CodegenError> {
+        let prepass = schedule_all(
+            machine,
+            func,
+            &SchedOptions {
+                local_reg_limit: Some(ips_limit(machine)),
+                ..SchedOptions::default()
+            },
+        )?;
+        let before = func.clone();
+        reorder(machine, func, &prepass);
+        let alloc = match allocate(machine, func, &HashMap::new()) {
+            Ok(a) => a,
+            Err(_) => {
+                // On register-starved machines the reordered code can
+                // be structurally uncolorable; fall back to the code
+                // thread order (degrading IPS towards Postpass for
+                // this function rather than failing).
+                *func = before;
+                allocate(machine, func, &HashMap::new())?
+            }
+        };
+        let schedules = schedule_all(machine, func, &SchedOptions::default())?;
+        let stats = StrategyStats {
+            spills: alloc.spills,
+            schedule_passes: 2,
+            estimated_cycles: sum_len(&schedules),
+        };
+        Ok((schedules, stats))
+    }
+}
+
+/// Register Allocation with Schedule Estimates: prepass schedules with
+/// and without a register limit give per-block sensitivity; globals
+/// crossing schedule-sensitive blocks have their spill costs reduced
+/// by the estimated schedule benefit of freeing a register there, the
+/// allocator runs with those biases, and a final pass schedules the
+/// allocated code.
+pub struct Rase;
+
+impl Strategy for Rase {
+    fn name(&self) -> &'static str {
+        "RASE"
+    }
+
+    fn run(
+        &self,
+        machine: &Machine,
+        func: &mut CodeFunc,
+    ) -> Result<(Vec<Schedule>, StrategyStats), CodegenError> {
+        // Two estimate passes per block: unconstrained and tight.
+        let unlimited = schedule_all(machine, func, &SchedOptions::default())?;
+        let tight_limit = (ips_limit(machine) / 2).max(2);
+        let tight = schedule_all(
+            machine,
+            func,
+            &SchedOptions {
+                local_reg_limit: Some(tight_limit),
+                ..SchedOptions::default()
+            },
+        )?;
+        // Sensitivity of each block's schedule to register pressure.
+        let mut extra_cost: HashMap<crate::code::Vreg, f64> = HashMap::new();
+        for (bi, block) in func.blocks.iter().enumerate() {
+            let sensitivity =
+                tight[bi].length.saturating_sub(unlimited[bi].length) as f64;
+            if sensitivity == 0.0 {
+                continue;
+            }
+            // Global vregs occurring in a pressure-sensitive block are
+            // cheaper to spill: evicting them frees registers exactly
+            // where the schedule needs them.
+            for inst in &block.insts {
+                for op in &inst.ops {
+                    if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
+                        if func.vreg(*v).kind == VregKind::Global {
+                            *extra_cost.entry(*v).or_insert(0.0) -= sensitivity;
+                        }
+                    }
+                }
+            }
+        }
+        let before = func.clone();
+        reorder(machine, func, &unlimited);
+        let alloc = match allocate(machine, func, &extra_cost) {
+            Ok(a) => a,
+            Err(_) => {
+                *func = before;
+                allocate(machine, func, &extra_cost)?
+            }
+        };
+        let schedules = schedule_all(machine, func, &SchedOptions::default())?;
+        let stats = StrategyStats {
+            spills: alloc.spills,
+            schedule_passes: 3,
+            estimated_cycles: sum_len(&schedules),
+        };
+        Ok((schedules, stats))
+    }
+}

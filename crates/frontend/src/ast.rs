@@ -1,0 +1,268 @@
+//! Abstract syntax for the C subset.
+
+use marion_maril::Ty;
+
+/// A C type in the subset: scalars, pointers, and (up to 2-D) arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CTy {
+    /// `void` (function returns only).
+    Void,
+    /// A scalar machine type.
+    Scalar(Ty),
+    /// Pointer to an element type.
+    Ptr(Box<CTy>),
+    /// Array of `len` elements.
+    Array(Box<CTy>, u32),
+}
+
+impl CTy {
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            CTy::Void => 0,
+            CTy::Scalar(t) => t.size(),
+            CTy::Ptr(_) => 4,
+            CTy::Array(el, n) => el.size() * n,
+        }
+    }
+
+    /// The scalar machine type of this C type when used as a value
+    /// (arrays decay to pointers).
+    pub fn value_ty(&self) -> Ty {
+        match self {
+            CTy::Scalar(t) => *t,
+            CTy::Ptr(_) | CTy::Array(..) => Ty::Ptr,
+            CTy::Void => Ty::Int,
+        }
+    }
+
+    /// Whether this is an arithmetic (scalar) type.
+    pub fn is_arith(&self) -> bool {
+        matches!(self, CTy::Scalar(_))
+    }
+
+    /// The element type if this is a pointer or array.
+    pub fn element(&self) -> Option<&CTy> {
+        match self {
+            CTy::Ptr(el) | CTy::Array(el, _) => Some(el),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators as written in source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LAnd,
+    /// `||`
+    LOr,
+}
+
+impl CBinOp {
+    /// Whether this is a comparison producing 0/1.
+    pub fn is_relational(self) -> bool {
+        matches!(
+            self,
+            CBinOp::Eq | CBinOp::Ne | CBinOp::Lt | CBinOp::Le | CBinOp::Gt | CBinOp::Ge
+        )
+    }
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// 1-based source line (for diagnostics).
+    pub line: usize,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal.
+    FloatLit(f64),
+    /// Variable reference.
+    Ident(String),
+    /// Binary operation.
+    Bin(CBinOp, Box<Expr>, Box<Expr>),
+    /// `-e`, `!e`, `~e`.
+    Un(CUnOp, Box<Expr>),
+    /// `lhs = rhs`.
+    Assign(Box<Expr>, Box<Expr>),
+    /// `lhs op= rhs`.
+    OpAssign(CBinOp, Box<Expr>, Box<Expr>),
+    /// `++e` / `--e` (prefix) and `e++` / `e--` (postfix).
+    IncDec {
+        /// The lvalue changed.
+        target: Box<Expr>,
+        /// +1 or -1.
+        delta: i32,
+        /// Whether the result is the old value.
+        postfix: bool,
+    },
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `*e`.
+    Deref(Box<Expr>),
+    /// `&e`.
+    AddrOf(Box<Expr>),
+    /// `(type)e`.
+    Cast(CTy, Box<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CUnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    LNot,
+    /// `~`
+    BNot,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration(s).
+    Decl(Vec<VarDecl>),
+    /// `if (cond) then else?`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_s: Box<Stmt>,
+        /// Optional else branch.
+        else_s: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`.
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional initialiser expression or declaration.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent = forever).
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return e?;`.
+    Return(Option<Expr>, usize),
+    /// `break;`
+    Break(usize),
+    /// `continue;`
+    Continue(usize),
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// One declared variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Its type.
+    pub ty: CTy,
+    /// Optional scalar initialiser.
+    pub init: Option<Expr>,
+    /// Optional aggregate initialiser (globals only).
+    pub init_list: Option<Vec<Expr>>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Its type (arrays decay to pointers).
+    pub ty: CTy,
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CTy,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body; `None` for a prototype.
+    pub body: Option<Vec<Stmt>>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A global variable declaration.
+    Global(VarDecl),
+    /// A function.
+    Func(FuncDecl),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}

@@ -1,0 +1,325 @@
+//! Lexer for the C subset.
+
+use crate::CError;
+
+/// A C token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the
+    /// parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=` `-=` `*=` `/=` `%=` — the payload is the operator char.
+    OpAssign(char),
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `++`
+    Inc,
+    /// `--`
+    Dec,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Lexes C-subset source.
+///
+/// # Errors
+///
+/// Returns an error for unterminated comments and malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    macro_rules! push {
+        ($tok:expr) => {
+            toks.push(Token { tok: $tok, line })
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(CError::new(start_line, "unterminated comment"));
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                push!(Tok::Ident(src[start..i].to_owned()));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                    i += 2;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = i64::from_str_radix(&src[start + 2..i], 16)
+                        .map_err(|_| CError::new(line, "malformed hex literal"))?;
+                    push!(Tok::Int(v));
+                    continue;
+                }
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < b.len() && b[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] | 32) == b'e' {
+                    is_float = true;
+                    i += 1;
+                    if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if is_float {
+                    let v: f64 = src[start..i]
+                        .parse()
+                        .map_err(|_| CError::new(line, "malformed float literal"))?;
+                    push!(Tok::Float(v));
+                } else {
+                    let v: i64 = src[start..i]
+                        .parse()
+                        .map_err(|_| CError::new(line, "malformed integer literal"))?;
+                    push!(Tok::Int(v));
+                }
+            }
+            b'\'' => {
+                if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    push!(Tok::Int(b[i + 1] as i64));
+                    i += 3;
+                } else if i + 3 < b.len() && b[i + 1] == b'\\' && b[i + 3] == b'\'' {
+                    let v = match b[i + 2] {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        other => other,
+                    };
+                    push!(Tok::Int(v as i64));
+                    i += 4;
+                } else {
+                    return Err(CError::new(line, "malformed character literal"));
+                }
+            }
+            _ => {
+                let two = src.get(i..i + 2);
+                let (tok, len) = match two {
+                    Some("==") => (Tok::EqEq, 2),
+                    Some("!=") => (Tok::Ne, 2),
+                    Some("<=") => (Tok::Le, 2),
+                    Some(">=") => (Tok::Ge, 2),
+                    Some("&&") => (Tok::AndAnd, 2),
+                    Some("||") => (Tok::OrOr, 2),
+                    Some("<<") => (Tok::Shl, 2),
+                    Some(">>") => (Tok::Shr, 2),
+                    Some("++") => (Tok::Inc, 2),
+                    Some("--") => (Tok::Dec, 2),
+                    Some("+=") => (Tok::OpAssign('+'), 2),
+                    Some("-=") => (Tok::OpAssign('-'), 2),
+                    Some("*=") => (Tok::OpAssign('*'), 2),
+                    Some("/=") => (Tok::OpAssign('/'), 2),
+                    Some("%=") => (Tok::OpAssign('%'), 2),
+                    _ => {
+                        let t = match c {
+                            b'(' => Tok::LParen,
+                            b')' => Tok::RParen,
+                            b'{' => Tok::LBrace,
+                            b'}' => Tok::RBrace,
+                            b'[' => Tok::LBracket,
+                            b']' => Tok::RBracket,
+                            b';' => Tok::Semi,
+                            b',' => Tok::Comma,
+                            b'+' => Tok::Plus,
+                            b'-' => Tok::Minus,
+                            b'*' => Tok::Star,
+                            b'/' => Tok::Slash,
+                            b'%' => Tok::Percent,
+                            b'=' => Tok::Assign,
+                            b'<' => Tok::Lt,
+                            b'>' => Tok::Gt,
+                            b'!' => Tok::Bang,
+                            b'&' => Tok::Amp,
+                            b'|' => Tok::Pipe,
+                            b'^' => Tok::Caret,
+                            b'~' => Tok::Tilde,
+                            other => {
+                                return Err(CError::new(
+                                    line,
+                                    format!("unexpected character `{}`", other as char),
+                                ));
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                push!(tok);
+                i += len;
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_numbers() {
+        assert_eq!(
+            kinds("x y1 _z 42 0x2A 3.5 1e3 2.5e-2")[..8],
+            [
+                Tok::Ident("x".into()),
+                Tok::Ident("y1".into()),
+                Tok::Ident("_z".into()),
+                Tok::Int(42),
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let k = kinds("a += b ++ -- && || << >> <= >= == !=");
+        assert!(k.contains(&Tok::OpAssign('+')));
+        assert!(k.contains(&Tok::Inc));
+        assert!(k.contains(&Tok::Dec));
+        assert!(k.contains(&Tok::AndAnd));
+        assert!(k.contains(&Tok::Shl));
+        assert!(k.contains(&Tok::Ge));
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // x\nb /* y\nz */ c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'A' '\\n'")[..2], [Tok::Int(65), Tok::Int(10)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! # marion-frontend — a C-subset front end
+//!
+//! A stand-in for the lcc front end used by the paper: it consumes a
+//! subset of ANSI C and produces `marion-ir` modules (typed low-level
+//! operator DAGs, one region per basic block).
+//!
+//! ## Supported subset
+//!
+//! * Types: `void`, `char`, `short`, `int`, `long`, `float`, `double`,
+//!   pointers, and one- or two-dimensional arrays of scalars.
+//! * Declarations: globals (with `{...}` initialisers), locals,
+//!   functions (definitions and prototypes).
+//! * Statements: expression statements, `if`/`else`, `while`, `do`,
+//!   `for`, `return`, `break`, `continue`, blocks.
+//! * Expressions: the usual C operators including assignment and
+//!   compound assignment, `++`/`--`, short-circuit `&&`/`||`, calls,
+//!   indexing, `&`/`*`, casts, and the full arithmetic set with the
+//!   usual arithmetic conversions.
+//!
+//! Not supported (the evaluation workloads do not need them): structs,
+//! unions, enums, `switch`, function pointers, varargs, strings,
+//! `goto`, `static`/`extern` storage classes, and the preprocessor.
+//!
+//! ```
+//! let src = "int add(int a, int b) { return a + b; }";
+//! let module = marion_frontend::compile(src).unwrap();
+//! assert_eq!(module.funcs.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+use std::error::Error;
+use std::fmt;
+
+/// A front-end diagnostic with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CError {
+    /// 1-based line the error points at (0 when unknown).
+    pub line: usize,
+    /// The message.
+    pub message: String,
+}
+
+impl CError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> CError {
+        CError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for CError {}
+
+/// Compiles a C-subset source into an IR module.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or type error with its line.
+pub fn compile(src: &str) -> Result<marion_ir::Module, CError> {
+    let tokens = lexer::lex(src)?;
+    let program = parser::parse(&tokens)?;
+    let module = lower::lower(&program)?;
+    marion_ir::verify::verify_module(&module)
+        .map_err(|e| CError::new(0, format!("internal: {e}")))?;
+    Ok(module)
+}

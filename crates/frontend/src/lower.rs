@@ -1,0 +1,1116 @@
+//! Lowering from the C AST to `marion-ir`, with type checking.
+//!
+//! Scalar variables whose address is never taken live in
+//! pseudo-registers (the paper's "user variables that may reside in
+//! registers"); arrays and address-taken scalars live in frame locals
+//! or globals and are accessed with explicit loads and stores.
+//! Short-circuit operators and comparisons used as values lower to
+//! control flow, so the IR contains relational operators only in
+//! branch terminators — machine-specific compare instructions are
+//! introduced later by Maril glue transformations.
+
+use crate::ast::*;
+use crate::CError;
+use marion_ir::{
+    BinOp, FuncBuilder, Global, GlobalInit, Module, NodeId, SymbolId, Ty, UnOp, VregId,
+};
+use std::collections::HashMap;
+
+/// Lowers a parsed program into an IR module.
+///
+/// # Errors
+///
+/// Returns the first type or name error with its source line.
+pub fn lower(program: &Program) -> Result<Module, CError> {
+    let mut lowerer = Lowerer::default();
+    lowerer.run(program)
+}
+
+#[derive(Debug, Clone)]
+enum VarInfo {
+    Vreg(VregId, CTy),
+    Frame(marion_ir::LocalId, CTy),
+    Global(SymbolId, CTy),
+}
+
+#[derive(Debug, Clone)]
+struct FuncSig {
+    ret: CTy,
+    params: Vec<CTy>,
+}
+
+#[derive(Default)]
+struct Lowerer {
+    module: Module,
+    globals: HashMap<String, (SymbolId, CTy)>,
+    funcs: HashMap<String, FuncSig>,
+}
+
+struct FnCtx<'l> {
+    l: &'l mut Lowerer,
+    b: FuncBuilder,
+    scopes: Vec<HashMap<String, VarInfo>>,
+    ret: CTy,
+    // (break target, continue target) stack.
+    loops: Vec<(marion_ir::BlockId, marion_ir::BlockId)>,
+}
+
+impl Lowerer {
+    fn run(&mut self, program: &Program) -> Result<Module, CError> {
+        // Pre-register all function signatures so forward calls type-check.
+        for item in &program.items {
+            if let Item::Func(f) = item {
+                let sig = FuncSig {
+                    ret: f.ret.clone(),
+                    params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                };
+                if let Some(existing) = self.funcs.get(&f.name) {
+                    if existing.params != sig.params || existing.ret != sig.ret {
+                        return Err(CError::new(
+                            f.line,
+                            format!("conflicting declarations of `{}`", f.name),
+                        ));
+                    }
+                } else {
+                    self.funcs.insert(f.name.clone(), sig);
+                }
+                self.module.declare(&f.name);
+            }
+        }
+        for item in &program.items {
+            match item {
+                Item::Global(decl) => self.lower_global(decl)?,
+                Item::Func(f) => {
+                    if f.body.is_some() {
+                        self.lower_func(f)?;
+                    }
+                }
+            }
+        }
+        Ok(std::mem::take(&mut self.module))
+    }
+
+    fn lower_global(&mut self, decl: &VarDecl) -> Result<(), CError> {
+        if self.globals.contains_key(&decl.name) {
+            return Err(CError::new(
+                decl.line,
+                format!("duplicate global `{}`", decl.name),
+            ));
+        }
+        let init = global_init(decl)?;
+        let sym = self.module.add_global(Global {
+            name: decl.name.clone(),
+            init,
+        });
+        self.globals
+            .insert(decl.name.clone(), (sym, decl.ty.clone()));
+        Ok(())
+    }
+
+    fn lower_func(&mut self, f: &FuncDecl) -> Result<(), CError> {
+        let ret_ty = match &f.ret {
+            CTy::Void => None,
+            other => Some(other.value_ty()),
+        };
+        let mut b = FuncBuilder::new(&f.name, ret_ty);
+        let mut scope = HashMap::new();
+        let body = f.body.as_ref().expect("definition");
+        let addr_taken = collect_addr_taken(body);
+        for p in &f.params {
+            let v = b.param(p.ty.value_ty());
+            if addr_taken.contains(&p.name) {
+                // Spill the parameter to a frame slot so `&p` works.
+                let local = b.new_local(&p.name, p.ty.size().max(4));
+                let addr = b.local_addr(local);
+                let val = b.read_vreg(v);
+                b.store(addr, val, p.ty.value_ty());
+                scope.insert(p.name.clone(), VarInfo::Frame(local, p.ty.clone()));
+            } else {
+                scope.insert(p.name.clone(), VarInfo::Vreg(v, p.ty.clone()));
+            }
+        }
+        let mut ctx = FnCtx {
+            l: self,
+            b,
+            scopes: vec![scope],
+            ret: f.ret.clone(),
+            loops: vec![],
+        };
+        for stmt in body {
+            ctx.stmt(stmt, &addr_taken)?;
+        }
+        if !ctx.b.is_sealed() {
+            if ctx.ret == CTy::Void {
+                ctx.b.ret(None);
+            } else {
+                // C permits falling off the end; return zero.
+                let zero = ctx.zero_of(&ctx.ret.clone());
+                ctx.b.ret(Some(zero));
+            }
+        }
+        let func = ctx.b.finish();
+        self.module.add_func(func);
+        Ok(())
+    }
+}
+
+/// Names whose address is taken anywhere in the body.
+fn collect_addr_taken(body: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk_expr(e: &Expr, out: &mut Vec<String>) {
+        if let ExprKind::AddrOf(inner) = &e.kind {
+            if let ExprKind::Ident(name) = &inner.kind {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        }
+        match &e.kind {
+            ExprKind::Bin(_, a, b)
+            | ExprKind::Assign(a, b)
+            | ExprKind::OpAssign(_, a, b)
+            | ExprKind::Index(a, b) => {
+                walk_expr(a, out);
+                walk_expr(b, out);
+            }
+            ExprKind::Un(_, a)
+            | ExprKind::Deref(a)
+            | ExprKind::AddrOf(a)
+            | ExprKind::Cast(_, a) => walk_expr(a, out),
+            ExprKind::IncDec { target, .. } => walk_expr(target, out),
+            ExprKind::Call(_, args) => args.iter().for_each(|a| walk_expr(a, out)),
+            _ => {}
+        }
+    }
+    fn walk_stmt(s: &Stmt, out: &mut Vec<String>) {
+        match s {
+            Stmt::Expr(e) => walk_expr(e, out),
+            Stmt::Decl(ds) => ds.iter().filter_map(|d| d.init.as_ref()).for_each(|e| walk_expr(e, out)),
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                walk_expr(cond, out);
+                walk_stmt(then_s, out);
+                if let Some(e) = else_s {
+                    walk_stmt(e, out);
+                }
+            }
+            Stmt::While { cond, body } => {
+                walk_expr(cond, out);
+                walk_stmt(body, out);
+            }
+            Stmt::DoWhile { body, cond } => {
+                walk_stmt(body, out);
+                walk_expr(cond, out);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    walk_stmt(i, out);
+                }
+                if let Some(c) = cond {
+                    walk_expr(c, out);
+                }
+                if let Some(s) = step {
+                    walk_expr(s, out);
+                }
+                walk_stmt(body, out);
+            }
+            Stmt::Return(Some(e), _) => walk_expr(e, out),
+            Stmt::Block(ss) => ss.iter().for_each(|s| walk_stmt(s, out)),
+            _ => {}
+        }
+    }
+    body.iter().for_each(|s| walk_stmt(s, &mut out));
+    out
+}
+
+fn global_init(decl: &VarDecl) -> Result<GlobalInit, CError> {
+    let elem_ty = |cty: &CTy| -> Ty {
+        match cty {
+            CTy::Array(el, _) => match &**el {
+                CTy::Array(el2, _) => el2.value_ty(),
+                other => other.value_ty(),
+            },
+            other => other.value_ty(),
+        }
+    };
+    if let Some(list) = &decl.init_list {
+        let ty = elem_ty(&decl.ty);
+        let total = decl.ty.size();
+        let mut bytes = Vec::with_capacity(total as usize);
+        for e in list {
+            let v = const_eval(e)?;
+            match ty {
+                Ty::Double => bytes.extend((v as f64).to_bits().to_le_bytes()),
+                Ty::Float => bytes.extend((v as f32).to_bits().to_le_bytes()),
+                Ty::Char => bytes.push(v as i64 as u8),
+                Ty::Short => bytes.extend((v as i64 as i16).to_le_bytes()),
+                _ => bytes.extend((v as i64 as i32).to_le_bytes()),
+            }
+        }
+        if (bytes.len() as u32) < total {
+            bytes.resize(total as usize, 0);
+        }
+        return Ok(GlobalInit::Bytes(bytes));
+    }
+    if let Some(init) = &decl.init {
+        let v = const_eval(init)?;
+        let ty = decl.ty.value_ty();
+        return Ok(match ty {
+            Ty::Double => GlobalInit::Doubles(vec![v]),
+            Ty::Float => GlobalInit::Words(vec![(v as f32).to_bits()]),
+            Ty::Char => GlobalInit::Bytes(vec![v as i64 as u8]),
+            Ty::Short => GlobalInit::Bytes((v as i64 as i16).to_le_bytes().to_vec()),
+            _ => GlobalInit::Words(vec![v as i64 as u32]),
+        });
+    }
+    Ok(GlobalInit::Zero(decl.ty.size().max(1)))
+}
+
+/// Constant-folds the tiny expression grammar allowed in global
+/// initialisers.
+fn const_eval(e: &Expr) -> Result<f64, CError> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Ok(*v as f64),
+        ExprKind::FloatLit(v) => Ok(*v),
+        ExprKind::Un(CUnOp::Neg, inner) => Ok(-const_eval(inner)?),
+        ExprKind::Bin(op, a, b) => {
+            let (x, y) = (const_eval(a)?, const_eval(b)?);
+            Ok(match op {
+                CBinOp::Add => x + y,
+                CBinOp::Sub => x - y,
+                CBinOp::Mul => x * y,
+                CBinOp::Div => x / y,
+                _ => {
+                    return Err(CError::new(
+                        e.line,
+                        "unsupported operator in constant initialiser",
+                    ));
+                }
+            })
+        }
+        _ => Err(CError::new(e.line, "initialiser is not a constant")),
+    }
+}
+
+/// Where an lvalue lives.
+enum Place {
+    Vreg(VregId, CTy),
+    Mem(NodeId, CTy),
+}
+
+impl<'l> FnCtx<'l> {
+    fn lookup(&self, name: &str) -> Option<VarInfo> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(info) = scope.get(name) {
+                return Some(info.clone());
+            }
+        }
+        self.l
+            .globals
+            .get(name)
+            .map(|(sym, ty)| VarInfo::Global(*sym, ty.clone()))
+    }
+
+    fn zero_of(&mut self, ty: &CTy) -> NodeId {
+        match ty.value_ty() {
+            t if t.is_float() => self.b.const_f(0.0, t),
+            t => self.b.const_i(0, t),
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, addr_taken: &[String]) -> Result<(), CError> {
+        if self.b.is_sealed() {
+            // Unreachable code after return/break: skip it.
+            return Ok(());
+        }
+        match s {
+            Stmt::Empty => Ok(()),
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            Stmt::Decl(decls) => {
+                for d in decls {
+                    self.local_decl(d, addr_taken)?;
+                }
+                Ok(())
+            }
+            Stmt::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                for s in stmts {
+                    self.stmt(s, addr_taken)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let then_b = self.b.new_block();
+                let else_b = self.b.new_block();
+                let join = self.b.new_block();
+                self.cond(cond, then_b, else_b)?;
+                self.b.switch_to(then_b);
+                self.stmt(then_s, addr_taken)?;
+                if !self.b.is_sealed() {
+                    self.b.jump(join);
+                }
+                self.b.switch_to(else_b);
+                if let Some(e) = else_s {
+                    self.stmt(e, addr_taken)?;
+                }
+                if !self.b.is_sealed() {
+                    self.b.jump(join);
+                }
+                self.b.switch_to(join);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let head = self.b.new_block();
+                let body_b = self.b.new_block();
+                let exit = self.b.new_block();
+                self.b.jump(head);
+                self.b.switch_to(head);
+                self.cond(cond, body_b, exit)?;
+                self.b.switch_to(body_b);
+                self.loops.push((exit, head));
+                self.stmt(body, addr_taken)?;
+                self.loops.pop();
+                if !self.b.is_sealed() {
+                    self.b.jump(head);
+                }
+                self.b.switch_to(exit);
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                let body_b = self.b.new_block();
+                let head = self.b.new_block();
+                let exit = self.b.new_block();
+                self.b.jump(body_b);
+                self.b.switch_to(body_b);
+                self.loops.push((exit, head));
+                self.stmt(body, addr_taken)?;
+                self.loops.pop();
+                if !self.b.is_sealed() {
+                    self.b.jump(head);
+                }
+                self.b.switch_to(head);
+                self.cond(cond, body_b, exit)?;
+                self.b.switch_to(exit);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i, addr_taken)?;
+                }
+                let head = self.b.new_block();
+                let body_b = self.b.new_block();
+                let step_b = self.b.new_block();
+                let exit = self.b.new_block();
+                self.b.jump(head);
+                self.b.switch_to(head);
+                match cond {
+                    Some(c) => self.cond(c, body_b, exit)?,
+                    None => self.b.jump(body_b),
+                }
+                self.b.switch_to(body_b);
+                self.loops.push((exit, step_b));
+                self.stmt(body, addr_taken)?;
+                self.loops.pop();
+                if !self.b.is_sealed() {
+                    self.b.jump(step_b);
+                }
+                self.b.switch_to(step_b);
+                if let Some(s) = step {
+                    self.expr(s)?;
+                }
+                self.b.jump(head);
+                self.b.switch_to(exit);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(value, line) => {
+                match (value, &self.ret) {
+                    (None, CTy::Void) => self.b.ret(None),
+                    (None, _) => {
+                        return Err(CError::new(*line, "missing return value"));
+                    }
+                    (Some(_), CTy::Void) => {
+                        return Err(CError::new(*line, "value returned from void function"));
+                    }
+                    (Some(e), ret) => {
+                        let ret = ret.clone();
+                        let (n, ty) = self.expr(e)?;
+                        let n = self.coerce(n, &ty, &ret, *line)?;
+                        self.b.ret(Some(n));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                let Some((brk, _)) = self.loops.last().copied() else {
+                    return Err(CError::new(*line, "`break` outside a loop"));
+                };
+                self.b.jump(brk);
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                let Some((_, cont)) = self.loops.last().copied() else {
+                    return Err(CError::new(*line, "`continue` outside a loop"));
+                };
+                self.b.jump(cont);
+                Ok(())
+            }
+        }
+    }
+
+    fn local_decl(&mut self, d: &VarDecl, addr_taken: &[String]) -> Result<(), CError> {
+        if d.init_list.is_some() {
+            return Err(CError::new(d.line, "initialiser lists only allowed on globals"));
+        }
+        let info = match &d.ty {
+            CTy::Scalar(_) | CTy::Ptr(_) if !addr_taken.contains(&d.name) => {
+                let v = self.b.new_vreg(d.ty.value_ty());
+                VarInfo::Vreg(v, d.ty.clone())
+            }
+            CTy::Void => return Err(CError::new(d.line, "cannot declare a void variable")),
+            _ => {
+                let local = self.b.new_local(&d.name, d.ty.size().max(4));
+                VarInfo::Frame(local, d.ty.clone())
+            }
+        };
+        if let Some(init) = &d.init {
+            let d_ty = d.ty.clone();
+            let (n, ty) = self.expr(init)?;
+            let n = self.coerce(n, &ty, &d_ty, d.line)?;
+            match &info {
+                VarInfo::Vreg(v, _) => self.b.set_vreg(*v, n),
+                VarInfo::Frame(l, cty) => {
+                    let addr = self.b.local_addr(*l);
+                    self.b.store(addr, n, cty.value_ty());
+                }
+                VarInfo::Global(..) => unreachable!(),
+            }
+        }
+        self.scopes
+            .last_mut()
+            .expect("scope")
+            .insert(d.name.clone(), info);
+        Ok(())
+    }
+
+    /// Lowers a condition directly to control flow.
+    fn cond(
+        &mut self,
+        e: &Expr,
+        then_b: marion_ir::BlockId,
+        else_b: marion_ir::BlockId,
+    ) -> Result<(), CError> {
+        match &e.kind {
+            ExprKind::Bin(op, a, c) if op.is_relational() => {
+                let (mut l, lt) = self.expr(a)?;
+                let (mut r, rt) = self.expr(c)?;
+                let common = usual_arith(&lt, &rt);
+                l = self.coerce(l, &lt, &common, e.line)?;
+                r = self.coerce(r, &rt, &common, e.line)?;
+                let rel = match op {
+                    CBinOp::Eq => BinOp::Eq,
+                    CBinOp::Ne => BinOp::Ne,
+                    CBinOp::Lt => BinOp::Lt,
+                    CBinOp::Le => BinOp::Le,
+                    CBinOp::Gt => BinOp::Gt,
+                    CBinOp::Ge => BinOp::Ge,
+                    _ => unreachable!(),
+                };
+                self.b.cond_jump(rel, l, r, then_b, else_b);
+                Ok(())
+            }
+            ExprKind::Bin(CBinOp::LAnd, a, c) => {
+                let mid = self.b.new_block();
+                self.cond(a, mid, else_b)?;
+                self.b.switch_to(mid);
+                self.cond(c, then_b, else_b)
+            }
+            ExprKind::Bin(CBinOp::LOr, a, c) => {
+                let mid = self.b.new_block();
+                self.cond(a, then_b, mid)?;
+                self.b.switch_to(mid);
+                self.cond(c, then_b, else_b)
+            }
+            ExprKind::Un(CUnOp::LNot, a) => self.cond(a, else_b, then_b),
+            _ => {
+                let (n, ty) = self.expr(e)?;
+                let zero = match ty.value_ty() {
+                    t if t.is_float() => self.b.const_f(0.0, t),
+                    t => self.b.const_i(0, t),
+                };
+                self.b.cond_jump(BinOp::Ne, n, zero, then_b, else_b);
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers an expression to a value node with its C type.
+    fn expr(&mut self, e: &Expr) -> Result<(NodeId, CTy), CError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok((self.b.const_i(*v, Ty::Int), CTy::Scalar(Ty::Int))),
+            ExprKind::FloatLit(v) => Ok((
+                self.b.const_f(*v, Ty::Double),
+                CTy::Scalar(Ty::Double),
+            )),
+            ExprKind::Ident(_) | ExprKind::Index(..) | ExprKind::Deref(_) => {
+                let place = self.place(e)?;
+                self.read_place(&place)
+            }
+            ExprKind::AddrOf(inner) => {
+                let place = self.place(inner)?;
+                match place {
+                    Place::Mem(addr, ty) => Ok((addr, CTy::Ptr(Box::new(ty)))),
+                    Place::Vreg(..) => Err(CError::new(
+                        e.line,
+                        "cannot take the address of a register variable",
+                    )),
+                }
+            }
+            ExprKind::Cast(to, inner) => {
+                let to = to.clone();
+                let (n, from) = self.expr(inner)?;
+                let n = self.coerce_cast(n, &from, &to);
+                Ok((n, to))
+            }
+            ExprKind::Un(op, inner) => {
+                match op {
+                    CUnOp::Neg => {
+                        let (n, ty) = self.expr(inner)?;
+                        let ty = promote(&ty);
+                        let n = self.coerce(n, &ty.clone(), &ty, e.line)?;
+                        Ok((self.b.un(UnOp::Neg, n, ty.value_ty()), ty))
+                    }
+                    CUnOp::BNot => {
+                        let (n, ty) = self.expr(inner)?;
+                        if ty.value_ty().is_float() {
+                            return Err(CError::new(e.line, "`~` on floating operand"));
+                        }
+                        let ty = promote(&ty);
+                        Ok((self.b.un(UnOp::Not, n, ty.value_ty()), ty))
+                    }
+                    CUnOp::LNot => self.bool_value(e),
+                }
+            }
+            ExprKind::Bin(op, ..) if op.is_relational() || matches!(op, CBinOp::LAnd | CBinOp::LOr) => {
+                self.bool_value(e)
+            }
+            ExprKind::Bin(op, a, c) => {
+                let (mut l, lt) = self.expr(a)?;
+                let (mut r, rt) = self.expr(c)?;
+                // Pointer arithmetic: p + i, i + p, p - i.
+                if let Some(el) = lt.element() {
+                    if matches!(op, CBinOp::Add | CBinOp::Sub) && rt.is_arith() {
+                        let size = self.b.const_i(el.size() as i64, Ty::Int);
+                        let scaled = self.b.bin(BinOp::Mul, r, size, Ty::Int);
+                        let bop = if *op == CBinOp::Add {
+                            BinOp::Add
+                        } else {
+                            BinOp::Sub
+                        };
+                        let ptr_ty = CTy::Ptr(Box::new(el.clone()));
+                        return Ok((self.b.bin(bop, l, scaled, Ty::Ptr), ptr_ty));
+                    }
+                    return Err(CError::new(e.line, "unsupported pointer arithmetic"));
+                }
+                if rt.element().is_some() && *op == CBinOp::Add && lt.is_arith() {
+                    // i + p
+                    return self.expr(&Expr {
+                        kind: ExprKind::Bin(CBinOp::Add, c.clone(), a.clone()),
+                        line: e.line,
+                    });
+                }
+                let common = usual_arith(&lt, &rt);
+                l = self.coerce(l, &lt, &common, e.line)?;
+                r = self.coerce(r, &rt, &common, e.line)?;
+                let vt = common.value_ty();
+                let bop = match op {
+                    CBinOp::Add => BinOp::Add,
+                    CBinOp::Sub => BinOp::Sub,
+                    CBinOp::Mul => BinOp::Mul,
+                    CBinOp::Div => BinOp::Div,
+                    CBinOp::Rem => BinOp::Rem,
+                    CBinOp::And => BinOp::And,
+                    CBinOp::Or => BinOp::Or,
+                    CBinOp::Xor => BinOp::Xor,
+                    CBinOp::Shl => BinOp::Shl,
+                    CBinOp::Shr => BinOp::Shr,
+                    _ => unreachable!(),
+                };
+                if vt.is_float()
+                    && matches!(
+                        bop,
+                        BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+                    )
+                {
+                    return Err(CError::new(e.line, "integer operator on floating operands"));
+                }
+                Ok((self.b.bin(bop, l, r, vt), common))
+            }
+            ExprKind::Assign(lhs, rhs) => {
+                let place = self.place(lhs)?;
+                let (n, ty) = self.expr(rhs)?;
+                let target_ty = place_ty(&place);
+                let n = self.coerce(n, &ty, &target_ty, e.line)?;
+                self.write_place(&place, n);
+                Ok((n, target_ty))
+            }
+            ExprKind::OpAssign(op, lhs, rhs) => {
+                let desugared = Expr {
+                    kind: ExprKind::Bin(*op, lhs.clone(), rhs.clone()),
+                    line: e.line,
+                };
+                let place = self.place(lhs)?;
+                let (n, ty) = self.expr(&desugared)?;
+                let target_ty = place_ty(&place);
+                let n = self.coerce(n, &ty, &target_ty, e.line)?;
+                self.write_place(&place, n);
+                Ok((n, target_ty))
+            }
+            ExprKind::IncDec {
+                target,
+                delta,
+                postfix,
+            } => {
+                let place = self.place(target)?;
+                let (old, ty) = self.read_place(&place)?;
+                let step: i64 = if let Some(el) = ty.element() {
+                    el.size() as i64 * *delta as i64
+                } else {
+                    *delta as i64
+                };
+                let vt = ty.value_ty();
+                let new = if vt.is_float() {
+                    let d = self.b.const_f(step as f64, vt);
+                    self.b.bin(BinOp::Add, old, d, vt)
+                } else {
+                    let d = self.b.const_i(step, vt);
+                    self.b.bin(BinOp::Add, old, d, vt)
+                };
+                self.write_place(&place, new);
+                Ok((if *postfix { old } else { new }, ty))
+            }
+            ExprKind::Call(name, args) => {
+                let sig = match self.l.funcs.get(name) {
+                    Some(sig) => sig.clone(),
+                    None => {
+                        // Implicit declaration: int f(...).
+                        FuncSig {
+                            ret: CTy::Scalar(Ty::Int),
+                            params: args.iter().map(|_| CTy::Scalar(Ty::Int)).collect(),
+                        }
+                    }
+                };
+                if sig.params.len() != args.len() {
+                    return Err(CError::new(
+                        e.line,
+                        format!(
+                            "`{name}` expects {} arguments, got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                let sym = self.l.module.declare(name);
+                let mut arg_nodes = Vec::with_capacity(args.len());
+                for (arg, pty) in args.iter().zip(&sig.params) {
+                    let (n, ty) = self.expr(arg)?;
+                    arg_nodes.push(self.coerce(n, &ty, pty, e.line)?);
+                }
+                let ret_vt = match &sig.ret {
+                    CTy::Void => Ty::Int,
+                    other => other.value_ty(),
+                };
+                let call = self.b.call(sym, arg_nodes, ret_vt);
+                if sig.ret == CTy::Void {
+                    self.b.call_stmt(call);
+                    Ok((call, CTy::Scalar(Ty::Int)))
+                } else {
+                    // Pin the call's value into a fresh pseudo-register so
+                    // the call executes exactly once, in statement order.
+                    let v = self.b.new_vreg(ret_vt);
+                    self.b.set_vreg(v, call);
+                    Ok((self.b.read_vreg(v), sig.ret.clone()))
+                }
+            }
+        }
+    }
+
+    /// Lowers `!e`, relationals and `&&`/`||` used as *values* via
+    /// control flow into a fresh pseudo-register.
+    fn bool_value(&mut self, e: &Expr) -> Result<(NodeId, CTy), CError> {
+        let v = self.b.new_vreg(Ty::Int);
+        let then_b = self.b.new_block();
+        let else_b = self.b.new_block();
+        let join = self.b.new_block();
+        self.cond(e, then_b, else_b)?;
+        self.b.switch_to(then_b);
+        let one = self.b.const_i(1, Ty::Int);
+        self.b.set_vreg(v, one);
+        self.b.jump(join);
+        self.b.switch_to(else_b);
+        let zero = self.b.const_i(0, Ty::Int);
+        self.b.set_vreg(v, zero);
+        self.b.jump(join);
+        self.b.switch_to(join);
+        Ok((self.b.read_vreg(v), CTy::Scalar(Ty::Int)))
+    }
+
+    fn place(&mut self, e: &Expr) -> Result<Place, CError> {
+        match &e.kind {
+            ExprKind::Ident(name) => match self.lookup(name) {
+                Some(VarInfo::Vreg(v, ty)) => Ok(Place::Vreg(v, ty)),
+                Some(VarInfo::Frame(l, ty)) => {
+                    let addr = self.b.local_addr(l);
+                    Ok(Place::Mem(addr, ty))
+                }
+                Some(VarInfo::Global(sym, ty)) => {
+                    let addr = self.b.global_addr(sym);
+                    Ok(Place::Mem(addr, ty))
+                }
+                None => Err(CError::new(e.line, format!("unknown variable `{name}`"))),
+            },
+            ExprKind::Deref(inner) => {
+                let (n, ty) = self.expr(inner)?;
+                match ty.element() {
+                    Some(el) => Ok(Place::Mem(n, el.clone())),
+                    None => Err(CError::new(e.line, "dereference of a non-pointer")),
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                // The base is itself a place (array) or a value (pointer).
+                let (base_addr, el_ty) = match &base.kind {
+                    ExprKind::Ident(_) | ExprKind::Index(..) | ExprKind::Deref(_) => {
+                        let p = self.place(base)?;
+                        match p {
+                            Place::Mem(addr, CTy::Array(el, _)) => (addr, (*el).clone()),
+                            Place::Mem(addr, CTy::Ptr(el)) => {
+                                // Pointer stored in memory: load it.
+                                let ptr = self.b.load(addr, Ty::Ptr);
+                                (ptr, (*el).clone())
+                            }
+                            Place::Vreg(v, CTy::Ptr(el)) => {
+                                (self.b.read_vreg(v), (*el).clone())
+                            }
+                            _ => {
+                                return Err(CError::new(e.line, "indexing a non-array"));
+                            }
+                        }
+                    }
+                    _ => {
+                        let (n, ty) = self.expr(base)?;
+                        match ty.element() {
+                            Some(el) => (n, el.clone()),
+                            None => return Err(CError::new(e.line, "indexing a non-array")),
+                        }
+                    }
+                };
+                let (mut i, ity) = self.expr(idx)?;
+                if !ity.is_arith() {
+                    return Err(CError::new(e.line, "array index is not arithmetic"));
+                }
+                i = self.coerce(i, &ity, &CTy::Scalar(Ty::Int), e.line)?;
+                let size = self.b.const_i(el_ty.size() as i64, Ty::Int);
+                let off = self.b.bin(BinOp::Mul, i, size, Ty::Int);
+                let addr = self.b.bin(BinOp::Add, base_addr, off, Ty::Ptr);
+                Ok(Place::Mem(addr, el_ty))
+            }
+            _ => Err(CError::new(e.line, "expression is not assignable")),
+        }
+    }
+
+    fn read_place(&mut self, place: &Place) -> Result<(NodeId, CTy), CError> {
+        match place {
+            Place::Vreg(v, ty) => Ok((self.b.read_vreg(*v), ty.clone())),
+            Place::Mem(addr, ty) => match ty {
+                // Arrays decay to their address.
+                CTy::Array(..) => Ok((*addr, ty.clone())),
+                _ => Ok((self.b.load(*addr, ty.value_ty()), ty.clone())),
+            },
+        }
+    }
+
+    fn write_place(&mut self, place: &Place, value: NodeId) {
+        match place {
+            Place::Vreg(v, _) => self.b.set_vreg(*v, value),
+            Place::Mem(addr, ty) => self.b.store(*addr, value, ty.value_ty()),
+        }
+    }
+
+    fn coerce(&mut self, n: NodeId, from: &CTy, to: &CTy, line: usize) -> Result<NodeId, CError> {
+        if from == to {
+            return Ok(n);
+        }
+        match (from, to) {
+            (CTy::Scalar(_), CTy::Scalar(t)) => Ok(self.b.cvt(n, *t)),
+            // Array-to-pointer decay and pointer compatibility.
+            (CTy::Array(a, _), CTy::Ptr(b)) if a == b => Ok(n),
+            (CTy::Ptr(_), CTy::Ptr(_)) => Ok(n),
+            (CTy::Scalar(Ty::Int), CTy::Ptr(_)) | (CTy::Ptr(_), CTy::Scalar(Ty::Int)) => {
+                Ok(self.b.cvt(n, to.value_ty()))
+            }
+            _ => Err(CError::new(
+                line,
+                format!("cannot convert {from:?} to {to:?}"),
+            )),
+        }
+    }
+
+    fn coerce_cast(&mut self, n: NodeId, from: &CTy, to: &CTy) -> NodeId {
+        if from.value_ty() == to.value_ty() {
+            n
+        } else {
+            self.b.cvt(n, to.value_ty())
+        }
+    }
+}
+
+fn place_ty(place: &Place) -> CTy {
+    match place {
+        Place::Vreg(_, ty) | Place::Mem(_, ty) => ty.clone(),
+    }
+}
+
+/// Integer promotion: char/short become int.
+fn promote(ty: &CTy) -> CTy {
+    match ty {
+        CTy::Scalar(Ty::Char) | CTy::Scalar(Ty::Short) => CTy::Scalar(Ty::Int),
+        other => other.clone(),
+    }
+}
+
+/// The usual arithmetic conversions.
+fn usual_arith(a: &CTy, b: &CTy) -> CTy {
+    use Ty::*;
+    let (ta, tb) = (a.value_ty(), b.value_ty());
+    let t = match (ta, tb) {
+        (Double, _) | (_, Double) => Double,
+        (Float, _) | (_, Float) => Float,
+        (Ptr, _) | (_, Ptr) => Ptr,
+        (Long, _) | (_, Long) => Long,
+        _ => Int,
+    };
+    CTy::Scalar(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+    use marion_ir::interp::{Interp, Value};
+
+    fn run_main(src: &str) -> Value {
+        let m = compile(src).unwrap();
+        let mut i = Interp::new(&m, 1 << 20);
+        i.call_by_name("main", &[]).unwrap().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        assert_eq!(run_main("int main() { return (3 + 4) * 5 - 36 / 6; }"), Value::I(29));
+    }
+
+    #[test]
+    fn locals_and_loops() {
+        let v = run_main(
+            "int main() {
+                int i, sum;
+                sum = 0;
+                for (i = 1; i <= 100; i++) sum += i;
+                return sum;
+            }",
+        );
+        assert_eq!(v, Value::I(5050));
+    }
+
+    #[test]
+    fn while_and_break_continue() {
+        let v = run_main(
+            "int main() {
+                int i = 0, s = 0;
+                while (1) {
+                    i++;
+                    if (i > 10) break;
+                    if (i % 2) continue;
+                    s += i;
+                }
+                return s;
+            }",
+        );
+        assert_eq!(v, Value::I(30));
+    }
+
+    #[test]
+    fn global_arrays_and_functions() {
+        let v = run_main(
+            "double a[10];
+             void fill(int n) {
+                int i;
+                for (i = 0; i < n; i++) a[i] = i * 1.5;
+             }
+             int main() {
+                double s;
+                int i;
+                fill(10);
+                s = 0.0;
+                for (i = 0; i < 10; i++) s += a[i];
+                return (int)s;
+             }",
+        );
+        assert_eq!(v, Value::I(67)); // 1.5 * 45 = 67.5
+    }
+
+    #[test]
+    fn two_d_arrays() {
+        let v = run_main(
+            "int g[3][4];
+             int main() {
+                int i, j, s = 0;
+                for (i = 0; i < 3; i++)
+                    for (j = 0; j < 4; j++)
+                        g[i][j] = i * 10 + j;
+                for (i = 0; i < 3; i++) s += g[i][3];
+                return s;
+             }",
+        );
+        assert_eq!(v, Value::I(3 + 13 + 23));
+    }
+
+    #[test]
+    fn pointers_and_addr_of() {
+        let v = run_main(
+            "void inc(int *p) { *p = *p + 1; }
+             int main() {
+                int x = 41;
+                inc(&x);
+                return x;
+             }",
+        );
+        assert_eq!(v, Value::I(42));
+    }
+
+    #[test]
+    fn pointer_params_and_indexing() {
+        let v = run_main(
+            "double dot(double *x, double *y, int n) {
+                int i; double s = 0.0;
+                for (i = 0; i < n; i++) s += x[i] * y[i];
+                return s;
+             }
+             double a[3] = {1.0, 2.0, 3.0};
+             double b[3] = {4.0, 5.0, 6.0};
+             int main() { return (int)dot(a, b, 3); }",
+        );
+        assert_eq!(v, Value::I(32));
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        let v = run_main(
+            "int g = 0;
+             int bump() { g = g + 1; return 0; }
+             int main() {
+                if (0 && bump()) g = 100;
+                if (1 || bump()) g = g + 10;
+                return g;
+             }",
+        );
+        assert_eq!(v, Value::I(10));
+    }
+
+    #[test]
+    fn bool_values_materialise() {
+        assert_eq!(run_main("int main() { return (3 < 5) + (2 == 2) + !7; }"), Value::I(2));
+    }
+
+    #[test]
+    fn casts_and_conversions() {
+        assert_eq!(run_main("int main() { return (int)3.9 + (int)(2.0 * 1.5); }"), Value::I(6));
+        assert_eq!(
+            run_main("int main() { double d; d = 7; return (int)(d / 2); }"),
+            Value::I(3)
+        );
+    }
+
+    #[test]
+    fn recursion() {
+        let v = run_main(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+             int main() { return fib(12); }",
+        );
+        assert_eq!(v, Value::I(144));
+    }
+
+    #[test]
+    fn global_scalar_inits() {
+        assert_eq!(
+            run_main("int n = 25; double h = 0.5; int main() { return n + (int)(h * 4.0); }"),
+            Value::I(27)
+        );
+    }
+
+    #[test]
+    fn incdec_semantics() {
+        assert_eq!(
+            run_main("int main() { int i = 5; int a = i++; int b = ++i; return a * 100 + b * 10 + i; }"),
+            Value::I(5 * 100 + 7 * 10 + 7)
+        );
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let e = compile("int main() {\n  return x;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let e = compile("int main() { break; return 0; }").unwrap_err();
+        assert!(e.message.contains("break"));
+    }
+
+    #[test]
+    fn rejects_void_misuse() {
+        assert!(compile("void f() { return 1; }").is_err());
+        assert!(compile("int f() { void x; return 0; }").is_err());
+    }
+
+    #[test]
+    fn do_while_runs_at_least_once() {
+        assert_eq!(
+            run_main("int main() { int i = 100, n = 0; do { n++; } while (i < 0); return n; }"),
+            Value::I(1)
+        );
+    }
+
+    #[test]
+    fn float_arithmetic_rounds_like_f32() {
+        let v = run_main(
+            "float f(float a, float b) { return a / b; }
+             int main() { return (int)(f(1.0, 3.0) * 3000000.0); }",
+        );
+        let expected = ((1.0f32 / 3.0f32) as f64 * 3000000.0) as i64;
+        assert_eq!(v, Value::I(expected));
+    }
+}

@@ -1,0 +1,102 @@
+//! Graphviz rendering of a function's CFG and per-block DAGs, for
+//! debugging.
+
+use crate::func::*;
+use std::fmt::Write as _;
+
+/// Renders `func` as a `dot` digraph: one record node per basic block
+/// listing its statements, plus CFG edges.
+pub fn func_to_dot(func: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", func.name);
+    let _ = writeln!(out, "  node [shape=box fontname=monospace];");
+    for (i, block) in func.blocks.iter().enumerate() {
+        let mut label = format!("b{i}\\l");
+        for stmt in &block.stmts {
+            let text = match stmt {
+                Stmt::SetVreg(v, n) => format!("{v} = {}", render(func, *n)),
+                Stmt::Store { addr, value, ty } => format!(
+                    "*({}):{ty} = {}",
+                    render(func, *addr),
+                    render(func, *value)
+                ),
+                Stmt::CallStmt(n) => render(func, *n),
+            };
+            let _ = write!(label, "{}\\l", text.replace('"', "'"));
+        }
+        match &block.term {
+            Terminator::Jump(t) => {
+                let _ = write!(label, "jump {t}\\l");
+            }
+            Terminator::CondJump { rel, lhs, rhs, .. } => {
+                let _ = write!(
+                    label,
+                    "if {} {rel} {}\\l",
+                    render(func, *lhs),
+                    render(func, *rhs)
+                );
+            }
+            Terminator::Ret(Some(n)) => {
+                let _ = write!(label, "ret {}\\l", render(func, *n));
+            }
+            Terminator::Ret(None) => {
+                let _ = write!(label, "ret\\l");
+            }
+        }
+        let _ = writeln!(out, "  b{i} [label=\"{label}\"];");
+        for succ in block.term.successors() {
+            let _ = writeln!(out, "  b{i} -> {succ};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders one node as an expression string.
+pub fn render(func: &Function, id: NodeId) -> String {
+    let node = func.node(id);
+    match &node.kind {
+        NodeKind::ConstI(v) => v.to_string(),
+        NodeKind::ConstF(v) => format!("{v}"),
+        NodeKind::ReadVreg(v) => v.to_string(),
+        NodeKind::GlobalAddr(s) => format!("&{s}"),
+        NodeKind::LocalAddr(l) => format!("&{l}"),
+        NodeKind::Load(a) => format!("ld.{}[{}]", node.ty, render(func, *a)),
+        NodeKind::Bin(op, a, b) => format!("({} {op} {})", render(func, *a), render(func, *b)),
+        NodeKind::Un(op, a) => format!("{op}{}", render(func, *a)),
+        NodeKind::Cvt(a) => format!("({}){}", node.ty, render(func, *a)),
+        NodeKind::Call(s, args) => {
+            let args: Vec<String> = args.iter().map(|a| render(func, *a)).collect();
+            format!("{s}({})", args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use marion_maril::{BinOp, Ty};
+
+    #[test]
+    fn dot_output_mentions_blocks_and_edges() {
+        let mut b = FuncBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let x = b.read_vreg(p);
+        let z = b.const_i(0, Ty::Int);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_jump(BinOp::Lt, x, z, t, e);
+        b.switch_to(t);
+        let one = b.const_i(1, Ty::Int);
+        b.ret(Some(one));
+        b.switch_to(e);
+        let two = b.const_i(2, Ty::Int);
+        b.ret(Some(two));
+        let dot = func_to_dot(&b.finish());
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("b0 -> b1"));
+        assert!(dot.contains("b0 -> b2"));
+        assert!(dot.contains("if v0 < 0"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # marion-ir — the intermediate language
+//!
+//! Marion's front end (the paper used lcc) produces an intermediate
+//! language of directed acyclic graphs built from typed low-level
+//! operators, one DAG region per basic block. This crate defines that
+//! IL: value [`Node`]s held in a per-function arena, effectful
+//! [`Stmt`]s in source order inside [`Block`]s, and [`Terminator`]s
+//! forming the control-flow graph.
+//!
+//! Cross-block values live in *pseudo-registers* ([`VregId`]): scalar
+//! user variables that may reside in registers, exactly as in the
+//! paper (§2.1). Aggregates and address-taken variables live in frame
+//! [`Local`]s and are accessed through explicit `Load`/`Store`.
+//!
+//! The crate also provides:
+//!
+//! * [`FuncBuilder`] — an API for constructing functions with local
+//!   common-subexpression sharing (nodes with more than one parent are
+//!   later forced into registers by the selector);
+//! * [`verify`](verify::verify_module) — structural and type checking;
+//! * [`interp`](interp::Interp) — a reference interpreter used for
+//!   differential testing against generated code running on the
+//!   `marion-sim` pipeline simulator.
+//!
+//! Types and operators are shared with the Maril description language
+//! ([`Ty`], [`BinOp`]) so selection patterns compare directly.
+
+pub mod builder;
+pub mod dot;
+pub mod func;
+pub mod interp;
+pub mod module;
+pub mod verify;
+
+pub use builder::FuncBuilder;
+pub use func::{
+    Block, BlockId, Function, Local, LocalId, Node, NodeId, NodeKind, Stmt, Terminator, VregId,
+};
+pub use marion_maril::{BinOp, Ty, UnOp};
+pub use module::{Global, GlobalInit, Module, SymbolId};

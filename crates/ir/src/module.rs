@@ -1,0 +1,207 @@
+//! Modules and global data.
+
+use crate::func::Function;
+use std::fmt;
+
+/// Index of a symbol (function or global) in a [`Module`]'s symbol
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// Initial contents of a global.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialised, `size` bytes.
+    Zero(u32),
+    /// 32-bit words (ints or raw float bits), in order.
+    Words(Vec<u32>),
+    /// 64-bit doubles, in order.
+    Doubles(Vec<f64>),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+impl GlobalInit {
+    /// Size in bytes of the initialised data.
+    pub fn size(&self) -> u32 {
+        match self {
+            GlobalInit::Zero(n) => *n,
+            GlobalInit::Words(w) => (w.len() * 4) as u32,
+            GlobalInit::Doubles(d) => (d.len() * 8) as u32,
+            GlobalInit::Bytes(b) => b.len() as u32,
+        }
+    }
+
+    /// The raw bytes, little-endian.
+    pub fn bytes(&self) -> Vec<u8> {
+        match self {
+            GlobalInit::Zero(n) => vec![0; *n as usize],
+            GlobalInit::Words(w) => w.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            GlobalInit::Doubles(d) => d
+                .iter()
+                .flat_map(|v| v.to_bits().to_le_bytes())
+                .collect(),
+            GlobalInit::Bytes(b) => b.clone(),
+        }
+    }
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Initial contents (also fixes the size).
+    pub init: GlobalInit,
+}
+
+/// A symbol table entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Symbol {
+    /// A function defined in this module (index into
+    /// [`Module::funcs`]).
+    Func(usize),
+    /// A global defined in this module (index into
+    /// [`Module::globals`]).
+    Global(usize),
+    /// A name declared but not defined here.
+    Extern(String),
+}
+
+/// A compilation unit: functions, globals and the symbol table tying
+/// names to both.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Defined functions.
+    pub funcs: Vec<Function>,
+    /// Defined globals.
+    pub globals: Vec<Global>,
+    symbols: Vec<(String, Symbol)>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Adds a function, creating (or completing) its symbol.
+    pub fn add_func(&mut self, func: Function) -> SymbolId {
+        let idx = self.funcs.len();
+        let name = func.name.clone();
+        self.funcs.push(func);
+        self.bind(name, Symbol::Func(idx))
+    }
+
+    /// Adds a global, creating (or completing) its symbol.
+    pub fn add_global(&mut self, global: Global) -> SymbolId {
+        let idx = self.globals.len();
+        let name = global.name.clone();
+        self.globals.push(global);
+        self.bind(name, Symbol::Global(idx))
+    }
+
+    /// Interns a symbol name without a definition (external
+    /// reference). Returns the existing id if already present.
+    pub fn declare(&mut self, name: &str) -> SymbolId {
+        if let Some(id) = self.symbol_id(name) {
+            return id;
+        }
+        self.symbols
+            .push((name.to_owned(), Symbol::Extern(name.to_owned())));
+        SymbolId(self.symbols.len() as u32 - 1)
+    }
+
+    fn bind(&mut self, name: String, sym: Symbol) -> SymbolId {
+        if let Some(pos) = self.symbols.iter().position(|(n, _)| *n == name) {
+            self.symbols[pos].1 = sym;
+            SymbolId(pos as u32)
+        } else {
+            self.symbols.push((name, sym));
+            SymbolId(self.symbols.len() as u32 - 1)
+        }
+    }
+
+    /// Looks up a symbol id by name.
+    pub fn symbol_id(&self, name: &str) -> Option<SymbolId> {
+        self.symbols
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| SymbolId(i as u32))
+    }
+
+    /// The name of a symbol.
+    pub fn symbol_name(&self, id: SymbolId) -> &str {
+        &self.symbols[id.0 as usize].0
+    }
+
+    /// The binding of a symbol.
+    pub fn symbol(&self, id: SymbolId) -> &Symbol {
+        &self.symbols[id.0 as usize].1
+    }
+
+    /// Number of symbols.
+    pub fn symbol_count(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<&Function> {
+        match self.symbol_id(name).map(|id| self.symbol(id)) {
+            Some(Symbol::Func(i)) => Some(&self.funcs[*i]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::*;
+    use marion_maril::Ty;
+
+    fn empty_func(name: &str) -> Function {
+        Function {
+            name: name.into(),
+            params: vec![],
+            ret_ty: None,
+            vreg_tys: vec![],
+            locals: vec![],
+            blocks: vec![Block {
+                stmts: vec![],
+                term: Terminator::Ret(None),
+            }],
+            nodes: vec![],
+        }
+    }
+
+    #[test]
+    fn declare_then_define_shares_symbol() {
+        let mut m = Module::new();
+        let fwd = m.declare("f");
+        let def = m.add_func(empty_func("f"));
+        assert_eq!(fwd, def);
+        assert!(matches!(m.symbol(def), Symbol::Func(0)));
+        assert!(m.func_by_name("f").is_some());
+        assert!(m.func_by_name("g").is_none());
+    }
+
+    #[test]
+    fn global_init_bytes() {
+        assert_eq!(GlobalInit::Zero(3).bytes(), vec![0, 0, 0]);
+        assert_eq!(
+            GlobalInit::Words(vec![0x01020304]).bytes(),
+            vec![4, 3, 2, 1]
+        );
+        let d = GlobalInit::Doubles(vec![1.0]);
+        assert_eq!(d.size(), 8);
+        assert_eq!(d.bytes(), 1.0f64.to_bits().to_le_bytes().to_vec());
+        let _ = Ty::Double; // silence unused import in cfg(test)
+    }
+}

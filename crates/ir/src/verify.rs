@@ -1,0 +1,250 @@
+//! Structural and type verification of IR modules.
+
+use crate::func::*;
+use crate::module::Module;
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure, naming the function and the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function the error was found in (empty for module-level).
+    pub func: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.func.is_empty() {
+            write!(f, "ir verification failed: {}", self.message)
+        } else {
+            write!(f, "ir verification failed in `{}`: {}", self.func, self.message)
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns the first structural problem found: dangling node, block,
+/// vreg or symbol references; forward node references (the arena must
+/// be topologically ordered); non-relational branch conditions; type
+/// mismatches on vreg writes.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for func in &module.funcs {
+        verify_func(func, module.symbol_count())?;
+    }
+    Ok(())
+}
+
+/// Verifies one function. `symbol_count` bounds symbol references.
+///
+/// # Errors
+///
+/// See [`verify_module`].
+pub fn verify_func(func: &Function, symbol_count: usize) -> Result<(), VerifyError> {
+    let err = |message: String| VerifyError {
+        func: func.name.clone(),
+        message,
+    };
+    let nnodes = func.nodes.len();
+    let check_node = |id: NodeId, parent: usize| -> Result<(), VerifyError> {
+        if id.0 as usize >= nnodes {
+            return Err(err(format!("node {id} out of range")));
+        }
+        if id.0 as usize >= parent {
+            return Err(err(format!(
+                "node n{parent} references later node {id} (arena must be topological)"
+            )));
+        }
+        Ok(())
+    };
+    for (i, node) in func.nodes.iter().enumerate() {
+        match &node.kind {
+            NodeKind::ConstI(_) | NodeKind::ConstF(_) => {}
+            NodeKind::ReadVreg(v) => {
+                if v.0 as usize >= func.vreg_tys.len() {
+                    return Err(err(format!("vreg {v} out of range")));
+                }
+                if func.vreg_ty(*v) != node.ty {
+                    return Err(err(format!(
+                        "n{i}: ReadVreg type {} != vreg type {}",
+                        node.ty,
+                        func.vreg_ty(*v)
+                    )));
+                }
+            }
+            NodeKind::GlobalAddr(s) => {
+                if s.0 as usize >= symbol_count {
+                    return Err(err(format!("symbol {s} out of range")));
+                }
+            }
+            NodeKind::LocalAddr(l) => {
+                if l.0 as usize >= func.locals.len() {
+                    return Err(err(format!("local {l} out of range")));
+                }
+            }
+            NodeKind::Load(a) | NodeKind::Un(_, a) | NodeKind::Cvt(a) => check_node(*a, i)?,
+            NodeKind::Bin(_, a, b) => {
+                check_node(*a, i)?;
+                check_node(*b, i)?;
+            }
+            NodeKind::Call(s, args) => {
+                if s.0 as usize >= symbol_count {
+                    return Err(err(format!("symbol {s} out of range")));
+                }
+                for a in args {
+                    check_node(*a, i)?;
+                }
+            }
+        }
+    }
+    if func.blocks.is_empty() {
+        return Err(err("function has no blocks".into()));
+    }
+    let nblocks = func.blocks.len();
+    let in_range =
+        |id: NodeId| -> Result<(), VerifyError> {
+            if id.0 as usize >= nnodes {
+                Err(err(format!("node {id} out of range")))
+            } else {
+                Ok(())
+            }
+        };
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::SetVreg(v, n) => {
+                    in_range(*n)?;
+                    if v.0 as usize >= func.vreg_tys.len() {
+                        return Err(err(format!("vreg {v} out of range")));
+                    }
+                    let nt = func.node(*n).ty;
+                    let vt = func.vreg_ty(*v);
+                    if nt != vt {
+                        return Err(err(format!(
+                            "b{bi}: SetVreg({v}) type mismatch: node {nt} vs vreg {vt}"
+                        )));
+                    }
+                }
+                Stmt::Store { addr, value, .. } => {
+                    in_range(*addr)?;
+                    in_range(*value)?;
+                }
+                Stmt::CallStmt(n) => {
+                    in_range(*n)?;
+                    if !matches!(func.node(*n).kind, NodeKind::Call(..)) {
+                        return Err(err(format!("b{bi}: CallStmt on non-call node")));
+                    }
+                }
+            }
+        }
+        match &block.term {
+            Terminator::Jump(t) => {
+                if t.0 as usize >= nblocks {
+                    return Err(err(format!("jump target {t} out of range")));
+                }
+            }
+            Terminator::CondJump {
+                rel,
+                lhs,
+                rhs,
+                then_to,
+                else_to,
+            } => {
+                if !rel.is_relational() {
+                    return Err(err(format!("b{bi}: branch relation `{rel}` not relational")));
+                }
+                in_range(*lhs)?;
+                in_range(*rhs)?;
+                for t in [then_to, else_to] {
+                    if t.0 as usize >= nblocks {
+                        return Err(err(format!("branch target {t} out of range")));
+                    }
+                }
+            }
+            Terminator::Ret(Some(n)) => {
+                in_range(*n)?;
+                if func.ret_ty.is_none() {
+                    return Err(err(format!("b{bi}: value return from void function")));
+                }
+            }
+            Terminator::Ret(None) => {}
+        }
+    }
+    for (v, _) in &func.params {
+        if v.0 as usize >= func.vreg_tys.len() {
+            return Err(err(format!("parameter vreg {v} out of range")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use marion_maril::{BinOp, Ty};
+
+    #[test]
+    fn accepts_well_formed() {
+        let mut b = FuncBuilder::new("ok", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let x = b.read_vreg(p);
+        let c = b.const_i(1, Ty::Int);
+        let s = b.bin(BinOp::Add, x, c, Ty::Int);
+        b.ret(Some(s));
+        assert_eq!(verify_func(&b.finish(), 0), Ok(()));
+    }
+
+    #[test]
+    fn rejects_dangling_node() {
+        let mut b = FuncBuilder::new("bad", Some(Ty::Int));
+        b.ret(Some(NodeId(42)));
+        let e = verify_func(&b.finish(), 0).unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_vreg_type_mismatch() {
+        let mut b = FuncBuilder::new("bad", None);
+        let v = b.new_vreg(Ty::Double);
+        let c = b.const_i(0, Ty::Int);
+        b.set_vreg(v, c);
+        b.ret(None);
+        let e = verify_func(&b.finish(), 0).unwrap_err();
+        assert!(e.to_string().contains("mismatch"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut b = FuncBuilder::new("bad", None);
+        b.jump(BlockId(9));
+        let e = verify_func(&b.finish(), 0).unwrap_err();
+        assert!(e.to_string().contains("target"), "{e}");
+    }
+
+    #[test]
+    fn rejects_value_return_from_void() {
+        let mut b = FuncBuilder::new("bad", None);
+        let c = b.const_i(0, Ty::Int);
+        b.ret(Some(c));
+        let e = verify_func(&b.finish(), 0).unwrap_err();
+        assert!(e.to_string().contains("void"), "{e}");
+    }
+
+    #[test]
+    fn rejects_symbol_out_of_range() {
+        let mut b = FuncBuilder::new("bad", None);
+        let g = b.global_addr(crate::module::SymbolId(5));
+        let c = b.const_i(0, Ty::Int);
+        b.store(g, c, Ty::Int);
+        b.ret(None);
+        let e = verify_func(&b.finish(), 2).unwrap_err();
+        assert!(e.to_string().contains("symbol"), "{e}");
+    }
+}

@@ -1,0 +1,367 @@
+//! An Intel i860 lookalike — the paper's most challenging target.
+//!
+//! Models the features that forced Maril's *classes* and *temporal
+//! scheduling* (paper §4.5–4.6):
+//!
+//! * **dual issue** — one core (integer) instruction and one
+//!   floating-point long instruction word per cycle, expressed purely
+//!   through disjoint resource sets (Figure 4);
+//! * **explicitly advanced pipelines** — the double-precision add and
+//!   multiply units are EAPs: each advances only when one of its
+//!   sub-operations issues. The pipelines appear as *sub-operation*
+//!   instructions (`M1 M2 M3 MWB`, `A1 A2 A3 AWB`, Figure 5) over
+//!   temporal registers `m1..m3` / `a1..a3` based on clocks `clk_m` /
+//!   `clk_a`;
+//! * **chaining** — `A1m` launches the adder with the multiplier's
+//!   output `m3` as an input (the special `T` register path), and
+//!   `M1a` feeds the adder output back into the multiplier, so
+//!   dual-operation instructions like the paper's Figure 7 schedule;
+//! * **irregular packing** — each sub-operation carries a packing
+//!   class over long-instruction-word *elements* (`pfadd`, `pfmul`,
+//!   `m12apm`, ...); two sub-operations pack only if their classes
+//!   intersect. The bundled set is a representative scale-down of the
+//!   paper's 140 elements / 67 classes.
+//!
+//! Single-precision arithmetic is modelled as ordinary pipelined
+//! instructions (the real machine runs the same units in three-stage
+//! mode) and an integer `div`/`rem` instruction stands in for the
+//! machine's software division (documented substitutions).
+
+use crate::MachineSpec;
+use marion_core::{CodegenError, EscapeCtx, EscapeRegistry, ImmVal, Operand};
+use marion_maril::Machine;
+
+/// The Maril source text.
+pub fn text() -> &'static str {
+    I860
+}
+
+/// Parses and compiles the description.
+///
+/// # Panics
+///
+/// Never in practice — the bundled text is tested.
+pub fn load() -> Machine {
+    match Machine::parse("i860", I860) {
+        Ok(m) => m,
+        Err(e) => panic!("{}", e.render("i860.maril", I860)),
+    }
+}
+
+/// The machine plus its escapes.
+pub fn spec() -> MachineSpec {
+    MachineSpec {
+        machine: load(),
+        escapes: escapes(),
+    }
+}
+
+/// i860 escapes.
+pub fn escapes() -> EscapeRegistry {
+    let mut reg = EscapeRegistry::new();
+    reg.register("li32", li32);
+    reg.register("fmov.d", fmovd);
+    reg.register("cvt8", cvt8);
+    reg.register("cvt16", cvt16);
+    reg
+}
+
+/// `*li32` — `orh` (high) then `or` (low).
+fn li32(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    let dest = ops[0];
+    let Operand::Imm(imm) = ops[1] else {
+        return Err(CodegenError::new(
+            marion_core::Phase::Select,
+            "li32 needs an immediate operand",
+        ));
+    };
+    let hi = ctx.imm_high(imm);
+    let lo = ctx.imm_low(imm);
+    ctx.emit("orh", vec![dest, Operand::Imm(hi)])?;
+    ctx.emit("or.l", vec![dest, dest, Operand::Imm(lo)])?;
+    Ok(())
+}
+
+/// `*fmov.d d, d` — two `fmov.s` on the register halves (Figure 4's
+/// single-precision move).
+fn fmovd(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    for half in 0..2u8 {
+        let d = ctx.half(ops[0], half)?;
+        let s = ctx.half(ops[1], half)?;
+        ctx.emit("fmov.s", vec![d, s])?;
+    }
+    Ok(())
+}
+
+fn cvt8(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    narrow(ctx, ops, 24)
+}
+
+fn cvt16(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    narrow(ctx, ops, 16)
+}
+
+fn narrow(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand], bits: i64) -> Result<(), CodegenError> {
+    let sh = Operand::Imm(ImmVal::Const(bits));
+    ctx.emit("shl.i", vec![ops[0], ops[1], sh])?;
+    ctx.emit("shra.i", vec![ops[0], ops[0], sh])?;
+    Ok(())
+}
+
+const I860: &str = r#"
+/* Intel i860 lookalike: dual issue via disjoint core/fp resources;
+ * explicitly advanced double-precision add and multiply pipelines
+ * (clocks clk_a, clk_m); packing classes over long-word elements. */
+
+declare {
+    %reg r[0:31] (int);
+    %reg f[0:31] (float);
+    %reg d[0:15] (double);
+    %equiv f[0] d[0];
+
+    /* core (integer) unit */
+    %resource CE; CM;
+    /* fp long-instruction-word fields (Fig. 5's view) */
+    %resource RA1; RA2; RA3;       /* adder stages */
+    %resource RM1; RM2; RM3;       /* multiplier stages */
+    %resource RFWB;                /* fp write-back bus */
+    %resource RGR;                 /* fp graphics/single unit */
+    %resource RDIV;
+
+    /* explicitly advanced pipelines */
+    %clock clk_a;
+    %clock clk_m;
+    %reg a1 (double; clk_a) +temporal;
+    %reg a2 (double; clk_a) +temporal;
+    %reg a3 (double; clk_a) +temporal;
+    %reg m1 (double; clk_m) +temporal;
+    %reg m2 (double; clk_m) +temporal;
+    %reg m3 (double; clk_m) +temporal;
+
+    /* long-instruction-word elements (scaled-down set) */
+    %element pfadd;     %element pfsub;    %element pfmul;
+    %element pfamov;    %element m12apm;   %element m12asm;
+    %element a12pm;     %element r2p1;     %element r2s1;
+    %element i2ap1;     %element mm12mpm;  %element pfiadd;
+
+    /* packing classes: the words each sub-operation may appear in */
+    %class cls_a1   { pfadd, m12apm, a12pm, r2p1, i2ap1 };
+    %class cls_s1   { pfsub, m12asm, r2s1 };
+    %class cls_a1m  { m12apm, a12pm, mm12mpm };
+    %class cls_adder { pfadd, pfsub, pfamov, m12apm, m12asm, a12pm, r2p1, r2s1, i2ap1, mm12mpm };
+    %class cls_m1   { pfmul, m12apm, m12asm, mm12mpm };
+    %class cls_m1a  { m12apm, mm12mpm };
+    %class cls_muler { pfmul, m12apm, m12asm, a12pm, mm12mpm };
+    %class cls_wb   { pfadd, pfsub, pfmul, pfamov, m12apm, m12asm, a12pm, r2p1, r2s1, i2ap1, mm12mpm };
+
+    %def const16 [-32768:32767];
+    %def uconst16 [0:65535];
+    %def uconst5 [0:31];
+    %def const32 [-2147483648:2147483647] +abs;
+    %label rlab [-65536:65535] +relative;
+    %memory m[0:2147483647];
+}
+
+cwvm {
+    %general (int) r;
+    %general (float) f;
+    %general (double) d;
+    %allocable r[3:27];
+    %allocable f[2:31];
+    %allocable d[1:15];
+    %calleesave r[4:15];    /* real i860 convention: r4-r15 preserved */
+    %calleesave d[6:7];     /* f12-f15; clear of args (d4,d5) and
+                             * results (d2, f2) */
+    %sp r[2] +down;
+    %fp r[28] +down;
+    %retaddr r[1];
+    %hard r[0] 0;
+    %arg (int) r[16] 1;
+    %arg (int) r[17] 2;
+    %arg (int) r[18] 3;
+    %arg (int) r[19] 4;
+    %arg (double) d[4] 1;
+    %arg (double) d[5] 2;
+    %arg (float) f[2] 1;
+    %result r[16] (int);
+    %result d[2] (double);
+    %result f[2] (float);
+}
+
+instr {
+    /* ================= core (integer) unit ================= */
+    %instr adds r, r, r (int) {$1 = $2 + $3;} [CE;] (1,1,0)
+    %instr adds.i r, r, #const16 (int) {$1 = $2 + $3;} [CE;] (1,1,0)
+    %instr li r, r[0], #const16 (int) {$1 = $3;} [CE;] (1,1,0)
+    %instr *li32 r, #const32 (int) {$1 = $2;} [CE;] (1,1,0)
+    %instr orh r, #uconst16 (int) {$1 = $2 << 16;} [CE;] (1,1,0)
+    %instr or.l r, r, #uconst16 (int) {$1 = $2 | $3;} [CE;] (1,1,0)
+    %instr subs r, r, r (int) {$1 = $2 - $3;} [CE;] (1,1,0)
+    %instr subs.i r, r, #const16 (int) {$1 = $2 - $3;} [CE;] (1,1,0)
+    %instr negs r, r (int) {$1 = -$2;} [CE;] (1,1,0)
+    %instr nots r, r (int) {$1 = ~$2;} [CE;] (1,1,0)
+    %instr and r, r, r (int) {$1 = $2 & $3;} [CE;] (1,1,0)
+    %instr or r, r, r (int) {$1 = $2 | $3;} [CE;] (1,1,0)
+    %instr xor r, r, r (int) {$1 = $2 ^ $3;} [CE;] (1,1,0)
+    %instr shl r, r, r (int) {$1 = $2 << $3;} [CE;] (1,1,0)
+    %instr shl.i r, r, #uconst5 (int) {$1 = $2 << $3;} [CE;] (1,1,0)
+    %instr shra r, r, r (int) {$1 = $2 >> $3;} [CE;] (1,1,0)
+    %instr shra.i r, r, #uconst5 (int) {$1 = $2 >> $3;} [CE;] (1,1,0)
+    %instr cmp r, r, r (int) {$1 = $2 :: $3;} [CE;] (1,1,0)
+    %instr mul r, r, r (int) {$1 = $2 * $3;} [CE; CE; CE; CE; CE; CE; CE; CE; CE;] (1,10,0)
+    %instr div r, r, r (int) {$1 = $2 / $3;} [CE; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV;] (1,40,0)
+    %instr rem r, r, r (int) {$1 = $2 % $3;} [CE; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV;] (1,40,0)
+
+    /* ---- memory (loads through the core unit) ---- */
+    %instr ld.l r, r, #const16 (int) {$1 = m[$2+$3];} [CE; CM;] (1,2,0)
+    %instr st.l r, r, #const16 (int) {m[$2+$3] = $1;} [CE; CM;] (1,1,0)
+    %instr ld.b r, r, #const16 (char) {$1 = m[$2+$3];} [CE; CM;] (1,2,0)
+    %instr st.b r, r, #const16 (char) {m[$2+$3] = $1;} [CE; CM;] (1,1,0)
+    %instr ld.sh r, r, #const16 (short) {$1 = m[$2+$3];} [CE; CM;] (1,2,0)
+    %instr st.sh r, r, #const16 (short) {m[$2+$3] = $1;} [CE; CM;] (1,1,0)
+    %instr fld.d d, r, #const16 (double) {$1 = m[$2+$3];} [CE; CM; CM;] (1,3,0)
+    %instr fst.d d, r, #const16 (double) {m[$2+$3] = $1;} [CE; CM; CM;] (1,2,0)
+    %instr fld.s f, r, #const16 (float) {$1 = m[$2+$3];} [CE; CM;] (1,2,0)
+    %instr fst.s f, r, #const16 (float) {m[$2+$3] = $1;} [CE; CM;] (1,1,0)
+
+    /* ============ double precision: EAP sub-operations ============ */
+    /* The adder pipe. A1m/A1ma chain the multiplier output in. */
+    %instr A1m d (double; clk_a) <cls_a1m> {a1 = m3 + $1;} [RA1;] (1,1,0)
+    %instr A1ma (double; clk_a) <cls_a1m> {a1 = m3 + a3;} [RA1;] (1,1,0)
+    %instr A1 d, d (double; clk_a) <cls_a1> {a1 = $1 + $2;} [RA1;] (1,1,0)
+    %instr S1m d (double; clk_a) <cls_a1m> {a1 = m3 - $1;} [RA1;] (1,1,0)
+    %instr S1 d, d (double; clk_a) <cls_s1> {a1 = $1 - $2;} [RA1;] (1,1,0)
+    %instr A2 (double; clk_a) <cls_adder> {a2 = a1;} [RA2;] (1,1,0)
+    %instr A3 (double; clk_a) <cls_adder> {a3 = a2;} [RA3;] (1,1,0)
+    %instr AWB d (double; clk_a) <cls_wb> {$1 = a3;} [RFWB;] (1,1,0)
+    /* The multiplier pipe. M1a chains the adder output in. */
+    %instr M1a d (double; clk_m) <cls_m1a> {m1 = a3 * $1;} [RM1;] (1,1,0)
+    %instr M1 d, d (double; clk_m) <cls_m1> {m1 = $1 * $2;} [RM1;] (1,1,0)
+    %instr M2 (double; clk_m) <cls_muler> {m2 = m1;} [RM2;] (1,1,0)
+    %instr M3 (double; clk_m) <cls_muler> {m3 = m2;} [RM3;] (1,1,0)
+    %instr MWB d (double; clk_m) <cls_wb> {$1 = m3;} [RFWB;] (1,1,0)
+    /* Divide is software on the real machine; modelled directly. */
+    %instr ddiv d, d, d (double) {$1 = $2 / $3;} [RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV;] (1,38,0)
+    %instr dneg d, d (double) {$1 = -$2;} [RGR;] (1,2,0)
+
+    /* ---- single precision (three-stage mode, modelled plainly) ---- */
+    %instr fadd.ss f, f, f (float) {$1 = $2 + $3;} [RGR; RGR; RGR;] (1,3,0)
+    %instr fsub.ss f, f, f (float) {$1 = $2 - $3;} [RGR; RGR; RGR;] (1,3,0)
+    %instr fneg.ss f, f (float) {$1 = -$2;} [RGR;] (1,1,0)
+    %instr fmul.ss f, f, f (float) {$1 = $2 * $3;} [RGR; RGR; RGR;] (1,3,0)
+    %instr fdiv.ss f, f, f (float) {$1 = $2 / $3;} [RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV; RDIV;] (1,22,0)
+    %instr fcmp.dd r, d, d (int) {$1 = $2 :: $3;} [RGR; RGR;] (1,3,0)
+    %instr fcmp.ss r, f, f (int) {$1 = $2 :: $3;} [RGR; RGR;] (1,3,0)
+
+    /* ---- conversions ---- */
+    %instr cvt.w r, r (int) {$1 = (int)$2;} [] (0,0,0)
+    %instr fix.dd r, d (int) {$1 = (int)$2;} [RGR; RGR;] (1,3,0)
+    %instr flt.dd d, r (double) {$1 = (double)$2;} [RGR; RGR;] (1,3,0)
+    %instr fix.ss r, f (int) {$1 = (int)$2;} [RGR; RGR;] (1,3,0)
+    %instr flt.ss f, r (float) {$1 = (float)$2;} [RGR; RGR;] (1,3,0)
+    %instr fmov.ds d, f (double) {$1 = (double)$2;} [RGR;] (1,2,0)
+    %instr fmov.sd f, d (float) {$1 = (float)$2;} [RGR;] (1,2,0)
+    %instr *cvt8 r, r (char) {$1 = (char)$2;} [] (0,0,0)
+    %instr *cvt16 r, r (short) {$1 = (short)$2;} [] (0,0,0)
+
+    /* ---- control (core unit, 1 delay slot) ---- */
+    %instr bte0 r, #rlab {if ($1 == 0) goto $2;} [CE;] (1,2,1)
+    %instr btne0 r, #rlab {if ($1 != 0) goto $2;} [CE;] (1,2,1)
+    %instr blt0 r, #rlab {if ($1 < 0) goto $2;} [CE;] (1,2,1)
+    %instr ble0 r, #rlab {if ($1 <= 0) goto $2;} [CE;] (1,2,1)
+    %instr bgt0 r, #rlab {if ($1 > 0) goto $2;} [CE;] (1,2,1)
+    %instr bge0 r, #rlab {if ($1 >= 0) goto $2;} [CE;] (1,2,1)
+    %instr br #rlab {goto $1;} [CE;] (1,1,1)
+    %instr call #rlab {call $1;} [CE;] (1,1,1)
+    %instr bri.r1 {return;} [CE;] (1,1,1)
+    %instr nop {} [CE;] (1,1,0)
+
+    /* ---- moves ---- */
+    %move mov r, r, r[0] {$1 = $2;} [CE;] (1,1,0)
+    %move fmov.s f, f (float) {$1 = $2;} [RGR;] (1,1,0)
+    %move *fmov.d d, d {$1 = $2;} [] (0,0,0)
+
+    /* ---- aux latencies (12, matching Table 1's count) ---- */
+    %aux fld.d : fst.d (1.$1 == 2.$1) (4)
+    %aux fld.s : fst.s (1.$1 == 2.$1) (3)
+    %aux ld.l : st.l (1.$1 == 2.$1) (3)
+    %aux AWB : fst.d (1.$1 == 2.$1) (2)
+    %aux MWB : fst.d (1.$1 == 2.$1) (2)
+    %aux AWB : A1 (1.$1 == 2.$1) (2)
+    %aux AWB : S1 (1.$1 == 2.$1) (2)
+    %aux MWB : M1 (1.$1 == 2.$1) (2)
+    %aux AWB : M1 (1.$1 == 2.$1) (2)
+    %aux MWB : A1 (1.$1 == 2.$1) (2)
+    %aux fadd.ss : fst.s (1.$1 == 2.$1) (4)
+    %aux fmul.ss : fst.s (1.$1 == 2.$1) (4)
+
+    /* ---- glue: comparisons through the generic compare ---- */
+    %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}
+    %glue r, r {($1 != $2) ==> (($1 :: $2) != 0);}
+    %glue r, r {($1 < $2) ==> (($1 :: $2) < 0);}
+    %glue r, r {($1 <= $2) ==> (($1 :: $2) <= 0);}
+    %glue d, d {($1 == $2) ==> (($1 :: $2) == 0);}
+    %glue d, d {($1 != $2) ==> (($1 :: $2) != 0);}
+    %glue d, d {($1 < $2) ==> (($1 :: $2) < 0);}
+    %glue d, d {($1 <= $2) ==> (($1 :: $2) <= 0);}
+    %glue f, f {($1 == $2) ==> (($1 :: $2) == 0);}
+    %glue f, f {($1 != $2) ==> (($1 :: $2) != 0);}
+    %glue f, f {($1 < $2) ==> (($1 :: $2) < 0);}
+    %glue f, f {($1 <= $2) ==> (($1 :: $2) <= 0);}
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_expected_shape() {
+        let m = load();
+        assert_eq!(m.stats().clocks, 2);
+        assert_eq!(m.stats().elements, 12);
+        assert_eq!(m.stats().classes, 8);
+        assert_eq!(m.stats().aux_lats, 12, "Table 1: i860 has 12 aux lats");
+        assert_eq!(m.temporals().len(), 6);
+    }
+
+    #[test]
+    fn sub_operations_affect_their_clocks() {
+        let m = load();
+        let m1 = m.template_by_mnemonic("M1").unwrap();
+        let a1 = m.template_by_mnemonic("A1").unwrap();
+        let clk_a = 0u32; // declared first
+        let clk_m = 1u32;
+        assert_eq!(m.template(a1).affects_clock.map(|c| c.0), Some(clk_a));
+        assert_eq!(m.template(m1).affects_clock.map(|c| c.0), Some(clk_m));
+    }
+
+    #[test]
+    fn dual_op_packing_classes_intersect() {
+        let m = load();
+        let a1 = m.template_by_mnemonic("A1").unwrap();
+        let m1 = m.template_by_mnemonic("M1").unwrap();
+        let ca = m.class(m.template(a1).class.unwrap()).elements;
+        let cm = m.class(m.template(m1).class.unwrap()).elements;
+        assert!(
+            ca.intersects(&cm),
+            "A1 and M1 must pack into a dual-operation word (m12apm)"
+        );
+        // But two plain adds never pack with a subtract word.
+        let s1 = m.template_by_mnemonic("S1").unwrap();
+        let cs = m.class(m.template(s1).class.unwrap()).elements;
+        assert!(!ca.intersects(&cs), "pfadd and pfsub words are disjoint");
+    }
+
+    #[test]
+    fn chaining_sub_operations_read_other_pipe() {
+        let m = load();
+        let a1m = m.template_by_mnemonic("A1m").unwrap();
+        let t = m.template(a1m);
+        // Reads m3 (multiplier latch), writes a1 (adder latch).
+        let m3 = m.temporal_by_name("m3").unwrap();
+        let a1 = m.temporal_by_name("a1").unwrap();
+        assert!(t.effects.temporal_uses.contains(&m3));
+        assert!(t.effects.temporal_defs.contains(&a1));
+    }
+}

@@ -1,0 +1,150 @@
+//! # marion-machines — ready-made Maril machine descriptions
+//!
+//! The paper's targets, as complete Maril descriptions plus their
+//! `*func` escape functions:
+//!
+//! * [`toyp`] — the paper's running-example toy processor (Figures
+//!   1–3), extended with the instructions a real compiler needs;
+//! * [`r2000`] — a MIPS R2000 lookalike: delayed branches, delayed
+//!   loads, a multiply/divide unit and a paired floating register
+//!   file;
+//! * [`m88k`] — a Motorola 88000 lookalike: scoreboarded latencies,
+//!   doubles in general-register pairs and a shared write-back bus
+//!   (the structural hazard the paper discusses);
+//! * [`i860`] — an Intel i860 lookalike: dual issue modelled with
+//!   disjoint resources, explicitly advanced floating-point add and
+//!   multiply pipelines with clocks and temporal registers,
+//!   sub-operation selection and packing classes for dual-operation
+//!   long instruction words;
+//! * [`rs6000`] — the paper's §5 future-work target, carried out: an
+//!   IBM RS/6000 lookalike whose branch, fixed-point and floating
+//!   units have disjoint resources (superscalar issue), with fused
+//!   multiply-add and no delay slots.
+//!
+//! Each module exposes `text()` (the Maril source), `load()` (the
+//! compiled [`Machine`]) and `escapes()` (its escape registry);
+//! [`MachineSpec`] bundles them for driving a
+//! [`marion_core::Compiler`].
+
+pub mod i860;
+pub mod m88k;
+pub mod r2000;
+pub mod rs6000;
+pub mod toyp;
+
+use marion_core::EscapeRegistry;
+use marion_maril::Machine;
+
+/// A machine bundled with its escapes, ready for compilation.
+pub struct MachineSpec {
+    /// The compiled description.
+    pub machine: Machine,
+    /// Its `*func` escape functions.
+    pub escapes: EscapeRegistry,
+}
+
+impl std::fmt::Debug for MachineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineSpec")
+            .field("machine", &self.machine.name())
+            .finish()
+    }
+}
+
+/// The paper's four machines.
+pub const ALL: [&str; 4] = ["toyp", "r2000", "m88k", "i860"];
+
+/// All bundled machines, including the RS/6000 extension (paper §5's
+/// future-work target).
+pub const EXTENDED: [&str; 5] = ["toyp", "r2000", "m88k", "i860", "rs6000"];
+
+/// Loads a bundled machine by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`ALL`] — the bundled descriptions
+/// themselves are covered by tests and always parse.
+pub fn load(name: &str) -> MachineSpec {
+    match name {
+        "toyp" => toyp::spec(),
+        "r2000" => r2000::spec(),
+        "m88k" => m88k::spec(),
+        "i860" => i860::spec(),
+        "rs6000" => rs6000::spec(),
+        other => panic!("unknown machine `{other}` (expected one of {EXTENDED:?})"),
+    }
+}
+
+/// Loads the paper's four machines.
+pub fn load_all() -> Vec<MachineSpec> {
+    ALL.iter().map(|n| load(n)).collect()
+}
+
+/// Loads every bundled machine including extensions.
+pub fn load_extended() -> Vec<MachineSpec> {
+    EXTENDED.iter().map(|n| load(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_descriptions_compile() {
+        for spec in load_extended() {
+            assert!(!spec.machine.templates().is_empty());
+            assert!(
+                spec.machine.nop_template().is_some(),
+                "{} needs a nop",
+                spec.machine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_machine_has_required_cwvm_entries() {
+        for spec in load_extended() {
+            let cwvm = spec.machine.cwvm();
+            let name = spec.machine.name();
+            assert!(cwvm.sp.is_some(), "{name}: no %sp");
+            assert!(cwvm.fp.is_some(), "{name}: no %fp");
+            assert!(cwvm.retaddr.is_some(), "{name}: no %retaddr");
+            assert!(!cwvm.allocable.is_empty(), "{name}: no %allocable");
+            assert!(
+                cwvm.general_class(marion_maril::Ty::Int).is_some(),
+                "{name}: no int class"
+            );
+            assert!(
+                cwvm.general_class(marion_maril::Ty::Double).is_some(),
+                "{name}: no double class"
+            );
+        }
+    }
+
+    #[test]
+    fn every_machine_has_spill_templates() {
+        for spec in load_extended() {
+            let m = &spec.machine;
+            for (_, class) in &m.cwvm().general {
+                assert!(
+                    m.spill_load(*class).is_some(),
+                    "{}: no spill load for {}",
+                    m.name(),
+                    m.reg_class(*class).name
+                );
+                assert!(
+                    m.spill_store(*class).is_some(),
+                    "{}: no spill store for {}",
+                    m.name(),
+                    m.reg_class(*class).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine")]
+    fn unknown_machine_panics() {
+        load("vax");
+    }
+}

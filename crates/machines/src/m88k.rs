@@ -1,0 +1,290 @@
+//! A Motorola 88000 (MC88100) lookalike.
+//!
+//! Models the 88100 traits the paper leans on: a scoreboarded single-
+//! issue core, doubles living in *general register pairs* (`%equiv`
+//! overlays at their heaviest), delayed branches with the `.n` annul
+//! form (negative delay slots: executed only if taken), a data unit
+//! with multi-cycle loads, floating point in a separate pipeline —
+//! and a single shared *write-back bus*: every instruction needs `WB`
+//! on its final cycle, so differently-latencied operations collide
+//! structurally, which is exactly the §5 discussion point ("the 88000
+//! uses a priority scheme for its write-back bus ... instead, we give
+//! priority to the instruction scheduled first").
+//!
+//! Single-precision floats are computed in double registers and
+//! rounded on store/convert (documented substitution).
+
+use crate::MachineSpec;
+use marion_core::{CodegenError, EscapeCtx, EscapeRegistry, ImmVal, Operand};
+use marion_maril::Machine;
+
+/// The Maril source text.
+pub fn text() -> &'static str {
+    M88K
+}
+
+/// Parses and compiles the description.
+///
+/// # Panics
+///
+/// Never in practice — the bundled text is tested.
+pub fn load() -> Machine {
+    match Machine::parse("m88k", M88K) {
+        Ok(m) => m,
+        Err(e) => panic!("{}", e.render("m88k.maril", M88K)),
+    }
+}
+
+/// The machine plus its escapes.
+pub fn spec() -> MachineSpec {
+    MachineSpec {
+        machine: load(),
+        escapes: escapes(),
+    }
+}
+
+/// M88K escapes.
+pub fn escapes() -> EscapeRegistry {
+    let mut reg = EscapeRegistry::new();
+    reg.register("movd", movd);
+    reg.register("li32", li32);
+    reg.register("cvt8", cvt8);
+    reg.register("cvt16", cvt16);
+    reg
+}
+
+/// `*movd d, d` — doubles live in general register pairs; a double
+/// move is two integer moves on the halves.
+fn movd(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    let r0 = zero_reg(ctx);
+    for half in 0..2u8 {
+        let d = ctx.half(ops[0], half)?;
+        let s = ctx.half(ops[1], half)?;
+        ctx.emit_labelled("s.mov", vec![d, s, r0])?;
+    }
+    Ok(())
+}
+
+/// `*li32` — `or.u` (high) then `or` (low).
+fn li32(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    let dest = ops[0];
+    let Operand::Imm(imm) = ops[1] else {
+        return Err(CodegenError::new(
+            marion_core::Phase::Select,
+            "li32 needs an immediate operand",
+        ));
+    };
+    let hi = ctx.imm_high(imm);
+    let lo = ctx.imm_low(imm);
+    ctx.emit("or.u", vec![dest, Operand::Imm(hi)])?;
+    ctx.emit("or.l", vec![dest, dest, Operand::Imm(lo)])?;
+    Ok(())
+}
+
+fn cvt8(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    narrow(ctx, ops, 24)
+}
+
+fn cvt16(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    narrow(ctx, ops, 16)
+}
+
+fn narrow(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand], bits: i64) -> Result<(), CodegenError> {
+    let sh = Operand::Imm(ImmVal::Const(bits));
+    ctx.emit("mak", vec![ops[0], ops[1], sh])?;
+    ctx.emit("ext", vec![ops[0], ops[0], sh])?;
+    Ok(())
+}
+
+fn zero_reg(ctx: &EscapeCtx<'_, '_>) -> Operand {
+    let class = ctx.machine().reg_class_by_name("r").expect("class r");
+    Operand::Phys(marion_maril::PhysReg::new(class, 0))
+}
+
+const M88K: &str = r#"
+/* Motorola 88000 (MC88100) lookalike. Scoreboarded single issue;
+ * doubles in general register pairs; shared write-back bus WB. */
+
+declare {
+    %reg r[0:31] (int);
+    %reg d[0:15] (double);
+    %equiv r[0] d[0];
+    %resource EX; DM1; DM2;         /* integer execute; data unit */
+    %resource FP1; FP2; FP3; FP4; FP5;  /* fp pipeline */
+    %resource WB;                   /* the shared write-back bus */
+    %def const16 [-32768:32767];
+    %def uconst16 [0:65535];
+    %def uconst5 [0:31];
+    %def const32 [-2147483648:2147483647] +abs;
+    %label rlab [-65536:65535] +relative;
+    %memory m[0:2147483647];
+}
+
+cwvm {
+    %general (int) r;
+    %general (double) d;
+    %general (float) d;
+    %allocable r[2:25];
+    %allocable d[1:12];
+    %calleesave r[14:25];
+    %calleesave d[7:12];
+    %sp r[31] +down;
+    %fp r[30] +down;
+    %retaddr r[1];
+    %hard r[0] 0;
+    %arg (int) r[2] 1;
+    %arg (int) r[3] 2;
+    %arg (int) r[4] 3;
+    %arg (int) r[5] 4;
+    %arg (double) d[3] 1;       /* r6:r7 */
+    %arg (double) d[4] 2;       /* r8:r9 */
+    %result r[2] (int);
+    %result d[1] (double);
+}
+
+instr {
+    /* ---- integer unit (WB on the final cycle of everything) ---- */
+    %instr add r, r, r (int) {$1 = $2 + $3;} [EX; WB;] (1,1,0)
+    %instr addi r, r, #const16 (int) {$1 = $2 + $3;} [EX; WB;] (1,1,0)
+    %instr li r, r[0], #const16 (int) {$1 = $3;} [EX; WB;] (1,1,0)
+    %instr *li32 r, #const32 (int) {$1 = $2;} [EX; WB;] (1,1,0)
+    %instr or.u r, #uconst16 (int) {$1 = $2 << 16;} [EX; WB;] (1,1,0)
+    %instr or.l r, r, #uconst16 (int) {$1 = $2 | $3;} [EX; WB;] (1,1,0)
+    %instr sub r, r, r (int) {$1 = $2 - $3;} [EX; WB;] (1,1,0)
+    %instr subi r, r, #const16 (int) {$1 = $2 - $3;} [EX; WB;] (1,1,0)
+    %instr neg r, r (int) {$1 = -$2;} [EX; WB;] (1,1,0)
+    %instr not r, r (int) {$1 = ~$2;} [EX; WB;] (1,1,0)
+    %instr and r, r, r (int) {$1 = $2 & $3;} [EX; WB;] (1,1,0)
+    %instr or r, r, r (int) {$1 = $2 | $3;} [EX; WB;] (1,1,0)
+    %instr xor r, r, r (int) {$1 = $2 ^ $3;} [EX; WB;] (1,1,0)
+    %instr shl r, r, r (int) {$1 = $2 << $3;} [EX; WB;] (1,1,0)
+    %instr mak r, r, #uconst5 (int) {$1 = $2 << $3;} [EX; WB;] (1,1,0)
+    %instr shr r, r, r (int) {$1 = $2 >> $3;} [EX; WB;] (1,1,0)
+    %instr ext r, r, #uconst5 (int) {$1 = $2 >> $3;} [EX; WB;] (1,1,0)
+    %instr mul r, r, r (int) {$1 = $2 * $3;} [EX; EX; EX; WB;] (1,4,0)
+    %instr div r, r, r (int) {$1 = $2 / $3;} [EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; WB;] (1,38,0)
+    %instr rem r, r, r (int) {$1 = $2 % $3;} [EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; EX; WB;] (1,38,0)
+    %instr cmp r, r, r (int) {$1 = $2 :: $3;} [EX; WB;] (1,1,0)
+
+    /* ---- data unit (loads: latency 3) ---- */
+    %instr ld r, r, #const16 (int) {$1 = m[$2+$3];} [DM1; DM2; WB;] (1,3,0)
+    %instr st r, r, #const16 (int) {m[$2+$3] = $1;} [DM1; DM2;] (1,1,0)
+    %instr ld.b r, r, #const16 (char) {$1 = m[$2+$3];} [DM1; DM2; WB;] (1,3,0)
+    %instr st.b r, r, #const16 (char) {m[$2+$3] = $1;} [DM1; DM2;] (1,1,0)
+    %instr ld.h r, r, #const16 (short) {$1 = m[$2+$3];} [DM1; DM2; WB;] (1,3,0)
+    %instr st.h r, r, #const16 (short) {m[$2+$3] = $1;} [DM1; DM2;] (1,1,0)
+    %instr ld.d d, r, #const16 (double) {$1 = m[$2+$3];} [DM1; DM2; DM2; WB;] (1,3,0)
+    %instr st.d d, r, #const16 (double) {m[$2+$3] = $1;} [DM1; DM2; DM2;] (1,2,0)
+    %instr ld.s d, r, #const16 (float) {$1 = m[$2+$3];} [DM1; DM2; WB;] (1,3,0)
+    %instr st.s d, r, #const16 (float) {m[$2+$3] = $1;} [DM1; DM2;] (1,1,0)
+
+    /* ---- floating point (doubles and floats in r-pairs) ---- */
+    %instr fadd.d d, d, d (double) {$1 = $2 + $3;} [FP1; FP2; FP3; FP4; FP5,WB;] (1,5,0)
+    %instr fsub.d d, d, d (double) {$1 = $2 - $3;} [FP1; FP2; FP3; FP4; FP5,WB;] (1,5,0)
+    %instr fneg.d d, d (double) {$1 = -$2;} [FP1; FP2,WB;] (1,2,0)
+    %instr fmul.d d, d, d (double) {$1 = $2 * $3;} [FP1; FP1; FP2; FP3; FP4; FP5,WB;] (1,6,0)
+    %instr fdiv.d d, d, d (double) {$1 = $2 / $3;} [FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP2; FP3; FP4; FP5,WB;] (1,30,0)
+    %instr fadd.s d, d, d (float) {$1 = $2 + $3;} [FP1; FP2; FP3; FP4,WB;] (1,4,0)
+    %instr fsub.s d, d, d (float) {$1 = $2 - $3;} [FP1; FP2; FP3; FP4,WB;] (1,4,0)
+    %instr fneg.s d, d (float) {$1 = -$2;} [FP1; FP2,WB;] (1,2,0)
+    %instr fmul.s d, d, d (float) {$1 = $2 * $3;} [FP1; FP2; FP3; FP4,WB;] (1,4,0)
+    %instr fdiv.s d, d, d (float) {$1 = $2 / $3;} [FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP1; FP2; FP3,WB;] (1,20,0)
+    %instr fcmp r, d, d (int) {$1 = $2 :: $3;} [FP1; FP2; FP3,WB;] (1,3,0)
+    %instr fcmp.s r, d, d (int) {$1 = $2 :: $3;} [FP1; FP2; FP3,WB;] (1,3,0)
+
+    /* ---- conversions ---- */
+    %instr cvt.w r, r (int) {$1 = (int)$2;} [] (0,0,0)
+    %instr flt.d d, r (double) {$1 = (double)$2;} [FP1; FP2; FP3,WB;] (1,3,0)
+    %instr int.d r, d (int) {$1 = (int)$2;} [FP1; FP2; FP3,WB;] (1,3,0)
+    %instr flt.s d, r (float) {$1 = (float)$2;} [FP1; FP2; FP3,WB;] (1,3,0)
+    %instr int.s r, d (int) {$1 = (int)$2;} [FP1; FP2; FP3,WB;] (1,3,0)
+    %instr fcvt.ds d, d (double) {$1 = (double)$2;} [FP1; FP2,WB;] (1,2,0)
+    %instr fcvt.sd d, d (float) {$1 = (float)$2;} [FP1; FP2,WB;] (1,2,0)
+    %instr *cvt8 r, r (char) {$1 = (char)$2;} [] (0,0,0)
+    %instr *cvt16 r, r (short) {$1 = (short)$2;} [] (0,0,0)
+
+    /* ---- control: bcnd.n forms annul the slot when not taken ---- */
+    %instr beq0.n r, #rlab {if ($1 == 0) goto $2;} [EX;] (1,2,-1)
+    %instr bne0.n r, #rlab {if ($1 != 0) goto $2;} [EX;] (1,2,-1)
+    %instr blt0.n r, #rlab {if ($1 < 0) goto $2;} [EX;] (1,2,-1)
+    %instr ble0.n r, #rlab {if ($1 <= 0) goto $2;} [EX;] (1,2,-1)
+    %instr bgt0.n r, #rlab {if ($1 > 0) goto $2;} [EX;] (1,2,-1)
+    %instr bge0.n r, #rlab {if ($1 >= 0) goto $2;} [EX;] (1,2,-1)
+    %instr br.n #rlab {goto $1;} [EX;] (1,1,1)
+    %instr bsr.n #rlab {call $1;} [EX;] (1,1,1)
+    %instr jmp.r1 {return;} [EX;] (1,1,1)
+    %instr nop {} [EX;] (1,1,0)
+
+    /* ---- moves ---- */
+    %move [s.mov] or2 r, r, r[0] {$1 = $2;} [EX; WB;] (1,1,0)
+    %move *movd d, d {$1 = $2;} [] (0,0,0)
+
+    /* ---- aux latencies (6, as Table 1 reports) ---- */
+    %aux fadd.d : st.d (1.$1 == 2.$1) (6)
+    %aux fmul.d : st.d (1.$1 == 2.$1) (7)
+    %aux fadd.s : st.s (1.$1 == 2.$1) (5)
+    %aux fmul.s : st.s (1.$1 == 2.$1) (5)
+    %aux ld : st (1.$1 == 2.$1) (4)
+    %aux ld.d : st.d (1.$1 == 2.$1) (4)
+
+    /* ---- glue: all comparisons go through the generic compare ---- */
+    %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}
+    %glue r, r {($1 != $2) ==> (($1 :: $2) != 0);}
+    %glue r, r {($1 < $2) ==> (($1 :: $2) < 0);}
+    %glue r, r {($1 <= $2) ==> (($1 :: $2) <= 0);}
+    %glue d, d {($1 == $2) ==> (($1 :: $2) == 0);}
+    %glue d, d {($1 != $2) ==> (($1 :: $2) != 0);}
+    %glue d, d {($1 < $2) ==> (($1 :: $2) < 0);}
+    %glue d, d {($1 <= $2) ==> (($1 :: $2) <= 0);}
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_expected_shape() {
+        let m = load();
+        assert_eq!(m.stats().aux_lats, 6, "Table 1: 88000 has 6 aux lats");
+        assert_eq!(m.stats().clocks, 0);
+        assert_eq!(m.stats().elements, 0);
+        assert_eq!(m.stats().glue_xforms, 8);
+    }
+
+    #[test]
+    fn doubles_pair_over_integer_registers() {
+        let m = load();
+        let r = m.reg_class_by_name("r").unwrap();
+        let d = m.reg_class_by_name("d").unwrap();
+        assert!(m.regs_overlap(
+            marion_maril::PhysReg::new(d, 3),
+            marion_maril::PhysReg::new(r, 6)
+        ));
+        assert!(m.regs_overlap(
+            marion_maril::PhysReg::new(d, 3),
+            marion_maril::PhysReg::new(r, 7)
+        ));
+    }
+
+    #[test]
+    fn annulled_branch_slots_are_negative() {
+        let m = load();
+        let b = m.template_by_mnemonic("beq0.n").unwrap();
+        assert_eq!(m.template(b).slots, -1);
+    }
+
+    #[test]
+    fn write_back_bus_is_shared() {
+        let m = load();
+        let wb = m
+            .resources()
+            .iter()
+            .position(|r| r == "WB")
+            .expect("WB resource") as u32;
+        let add = m.template_by_mnemonic("add").unwrap();
+        let fadd = m.template_by_mnemonic("fadd.d").unwrap();
+        assert!(m.template(add).rsrc.last().unwrap().contains(wb));
+        assert!(m.template(fadd).rsrc.last().unwrap().contains(wb));
+    }
+}

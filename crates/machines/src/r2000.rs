@@ -1,0 +1,295 @@
+//! A MIPS R2000 lookalike.
+//!
+//! Models the traits the paper relies on: single issue, one
+//! architectural branch delay slot, a delayed load (latency 2), an
+//! autonomous multiply/divide unit that blocks for many cycles, and a
+//! floating-point register file of 32-bit registers paired into
+//! doubles.
+//!
+//! Deliberate modelling simplifications (documented in DESIGN.md):
+//! `mul`/`div` stand in for `mult`+`mflo` sequences, `l.d`/`s.d` are
+//! the standard assembler pseudos for paired word accesses, and
+//! `cmp.d` writing an integer register condenses `c.cond.d` + the FP
+//! condition bit read. Double moves go through the `*mov.d` escape
+//! (two `mov.s` on the register halves), and 32-bit immediates and
+//! addresses go through the `*li32`/`*la` escapes (`lui` + `ori`),
+//! exactly the situations the paper gives for `*func`s.
+
+use crate::MachineSpec;
+use marion_core::{CodegenError, EscapeCtx, EscapeRegistry, ImmVal, Operand};
+use marion_maril::Machine;
+
+/// The Maril source text.
+pub fn text() -> &'static str {
+    R2000
+}
+
+/// Parses and compiles the description.
+///
+/// # Panics
+///
+/// Never in practice — the bundled text is tested.
+pub fn load() -> Machine {
+    match Machine::parse("r2000", R2000) {
+        Ok(m) => m,
+        Err(e) => panic!("{}", e.render("r2000.maril", R2000)),
+    }
+}
+
+/// The machine plus its escapes.
+pub fn spec() -> MachineSpec {
+    MachineSpec {
+        machine: load(),
+        escapes: escapes(),
+    }
+}
+
+/// R2000 escapes.
+pub fn escapes() -> EscapeRegistry {
+    let mut reg = EscapeRegistry::new();
+    reg.register("li32", li32);
+    reg.register("la", li32); // same lui/ori expansion
+    reg.register("mov.d", movd);
+    reg.register("cvt8", cvt8);
+    reg.register("cvt16", cvt16);
+    reg
+}
+
+/// `*li32` / `*la` — a 32-bit immediate or address splits into
+/// `lui` (high half shifted) and `ori` (low half).
+fn li32(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    let dest = ops[0];
+    let Operand::Imm(imm) = ops[1] else {
+        return Err(CodegenError::new(
+            marion_core::Phase::Select,
+            "li32 needs an immediate operand",
+        ));
+    };
+    let hi = ctx.imm_high(imm);
+    let lo = ctx.imm_low(imm);
+    ctx.emit("lui", vec![dest, Operand::Imm(hi)])?;
+    ctx.emit("ori", vec![dest, dest, Operand::Imm(lo)])?;
+    Ok(())
+}
+
+/// `*mov.d d, d` — two single moves between register halves.
+fn movd(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    for half in 0..2u8 {
+        let d = ctx.half(ops[0], half)?;
+        let s = ctx.half(ops[1], half)?;
+        ctx.emit("mov.s", vec![d, s])?;
+    }
+    Ok(())
+}
+
+fn cvt8(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    narrow(ctx, ops, 24)
+}
+
+fn cvt16(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    narrow(ctx, ops, 16)
+}
+
+fn narrow(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand], bits: i64) -> Result<(), CodegenError> {
+    let sh = Operand::Imm(ImmVal::Const(bits));
+    ctx.emit("sll", vec![ops[0], ops[1], sh])?;
+    ctx.emit("sra", vec![ops[0], ops[0], sh])?;
+    Ok(())
+}
+
+const R2000: &str = r#"
+/* MIPS R2000 lookalike. Single issue; 1 branch delay slot; delayed
+ * loads (latency 2); autonomous multiply/divide unit; paired FP regs. */
+
+declare {
+    %reg r[0:31] (int);
+    %reg f[0:15] (float);
+    %reg d[0:7] (double);
+    %equiv f[0] d[0];
+    %resource EX; MEM; MD;          /* execute, data access, mult/div unit */
+    %resource FPA1; FPA2;           /* fp adder stages */
+    %resource FPM1; FPM2; FPM3;     /* fp multiplier stages */
+    %resource FPD;                  /* fp divider */
+    %def const16 [-32768:32767];
+    %def uconst16 [0:65535];
+    %def uconst5 [0:31];
+    %def const32 [-2147483648:2147483647] +abs;
+    %label rlab [-131072:131071] +relative;
+    %label jlab [0:268435455];
+    %memory m[0:2147483647];
+}
+
+cwvm {
+    %general (int) r;
+    %general (float) f;
+    %general (double) d;
+    %allocable r[2:23];
+    %allocable f[0:15];
+    %allocable d[0:7];
+    %calleesave r[16:23];
+    %calleesave d[4:5];
+    %sp r[29] +down;
+    %fp r[30] +down;
+    %retaddr r[31];
+    %hard r[0] 0;
+    %arg (int) r[4] 1;
+    %arg (int) r[5] 2;
+    %arg (int) r[6] 3;
+    %arg (int) r[7] 4;
+    %arg (double) d[6] 1;
+    %arg (double) d[7] 2;
+    %arg (float) f[12] 1;
+    %arg (float) f[14] 2;
+    %result r[2] (int);
+    %result d[0] (double);
+    %result f[0] (float);
+}
+
+instr {
+    /* ---- integer ALU (1-cycle, fully bypassed) ---- */
+    %instr addu r, r, r (int) {$1 = $2 + $3;} [EX;] (1,1,0)
+    %instr addiu r, r, #const16 (int) {$1 = $2 + $3;} [EX;] (1,1,0)
+    %instr li r, r[0], #const16 (int) {$1 = $3;} [EX;] (1,1,0)
+    %instr *li32 r, #const32 (int) {$1 = $2;} [EX;] (1,1,0)
+    %instr subu r, r, r (int) {$1 = $2 - $3;} [EX;] (1,1,0)
+    %instr subiu r, r, #const16 (int) {$1 = $2 - $3;} [EX;] (1,1,0)
+    %instr negu r, r (int) {$1 = -$2;} [EX;] (1,1,0)
+    %instr nor1 r, r (int) {$1 = ~$2;} [EX;] (1,1,0)
+    %instr and r, r, r (int) {$1 = $2 & $3;} [EX;] (1,1,0)
+    %instr andi r, r, #uconst16 (int) {$1 = $2 & $3;} [EX;] (1,1,0)
+    %instr or r, r, r (int) {$1 = $2 | $3;} [EX;] (1,1,0)
+    %instr ori r, r, #uconst16 (int) {$1 = $2 | $3;} [EX;] (1,1,0)
+    %instr xor r, r, r (int) {$1 = $2 ^ $3;} [EX;] (1,1,0)
+    %instr xori r, r, #uconst16 (int) {$1 = $2 ^ $3;} [EX;] (1,1,0)
+    %instr sll r, r, #uconst5 (int) {$1 = $2 << $3;} [EX;] (1,1,0)
+    %instr sllv r, r, r (int) {$1 = $2 << $3;} [EX;] (1,1,0)
+    %instr sra r, r, #uconst5 (int) {$1 = $2 >> $3;} [EX;] (1,1,0)
+    %instr srav r, r, r (int) {$1 = $2 >> $3;} [EX;] (1,1,0)
+    %instr lui r, #uconst16 (int) {$1 = $2 << 16;} [EX;] (1,1,0)
+    %instr slt r, r, r (int) {$1 = $2 < $3;} [EX;] (1,1,0)
+    %instr slti r, r, #const16 (int) {$1 = $2 < $3;} [EX;] (1,1,0)
+
+    /* ---- multiply/divide unit (mult+mflo / div+mflo pairs) ---- */
+    %instr mul r, r, r (int) {$1 = $2 * $3;} [EX; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;] (1,12,0)
+    %instr div r, r, r (int) {$1 = $2 / $3;} [EX; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;] (1,33,0)
+    %instr rem r, r, r (int) {$1 = $2 % $3;} [EX; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;] (1,33,0)
+
+    /* ---- memory (delayed loads: latency 2) ---- */
+    %instr lw r, r, #const16 (int) {$1 = m[$2+$3];} [EX; MEM;] (1,2,0)
+    %instr sw r, r, #const16 (int) {m[$2+$3] = $1;} [EX; MEM;] (1,1,0)
+    %instr lb r, r, #const16 (char) {$1 = m[$2+$3];} [EX; MEM;] (1,2,0)
+    %instr sb r, r, #const16 (char) {m[$2+$3] = $1;} [EX; MEM;] (1,1,0)
+    %instr lh r, r, #const16 (short) {$1 = m[$2+$3];} [EX; MEM;] (1,2,0)
+    %instr sh r, r, #const16 (short) {m[$2+$3] = $1;} [EX; MEM;] (1,1,0)
+    %instr l.s f, r, #const16 (float) {$1 = m[$2+$3];} [EX; MEM;] (1,2,0)
+    %instr s.s f, r, #const16 (float) {m[$2+$3] = $1;} [EX; MEM;] (1,1,0)
+    %instr l.d d, r, #const16 (double) {$1 = m[$2+$3];} [EX; MEM; MEM;] (1,3,0)
+    %instr s.d d, r, #const16 (double) {m[$2+$3] = $1;} [EX; MEM; MEM;] (1,2,0)
+
+    /* ---- floating point ---- */
+    %instr add.d d, d, d (double) {$1 = $2 + $3;} [FPA1; FPA2;] (1,2,0)
+    %instr sub.d d, d, d (double) {$1 = $2 - $3;} [FPA1; FPA2;] (1,2,0)
+    %instr neg.d d, d (double) {$1 = -$2;} [FPA1;] (1,1,0)
+    %instr mul.d d, d, d (double) {$1 = $2 * $3;} [FPM1; FPM1; FPM2; FPM2; FPM3;] (1,5,0)
+    %instr div.d d, d, d (double) {$1 = $2 / $3;} [FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD;] (1,19,0)
+    %instr add.s f, f, f (float) {$1 = $2 + $3;} [FPA1; FPA2;] (1,2,0)
+    %instr sub.s f, f, f (float) {$1 = $2 - $3;} [FPA1; FPA2;] (1,2,0)
+    %instr neg.s f, f (float) {$1 = -$2;} [FPA1;] (1,1,0)
+    %instr mul.s f, f, f (float) {$1 = $2 * $3;} [FPM1; FPM2; FPM3;] (1,4,0)
+    %instr div.s f, f, f (float) {$1 = $2 / $3;} [FPD; FPD; FPD; FPD; FPD; FPD; FPD; FPD;] (1,12,0)
+    %instr cmp.d r, d, d (int) {$1 = $2 :: $3;} [FPA1; FPA2;] (1,2,0)
+    %instr cmp.s r, f, f (int) {$1 = $2 :: $3;} [FPA1; FPA2;] (1,2,0)
+
+    /* ---- conversions ---- */
+    %instr cvt.w r, r (int) {$1 = (int)$2;} [] (0,0,0)
+    %instr cvt.d.w d, r (double) {$1 = (double)$2;} [FPA1; FPA2;] (1,3,0)
+    %instr cvt.w.d r, d (int) {$1 = (int)$2;} [FPA1; FPA2;] (1,3,0)
+    %instr cvt.s.w f, r (float) {$1 = (float)$2;} [FPA1; FPA2;] (1,3,0)
+    %instr cvt.w.s r, f (int) {$1 = (int)$2;} [FPA1; FPA2;] (1,3,0)
+    %instr cvt.d.s d, f (double) {$1 = (double)$2;} [FPA1;] (1,2,0)
+    %instr cvt.s.d f, d (float) {$1 = (float)$2;} [FPA1;] (1,2,0)
+    %instr *cvt8 r, r (char) {$1 = (char)$2;} [] (0,0,0)
+    %instr *cvt16 r, r (short) {$1 = (short)$2;} [] (0,0,0)
+
+    /* ---- control (1 delay slot) ---- */
+    %instr beq r, r, #rlab {if ($1 == $2) goto $3;} [EX;] (1,2,1)
+    %instr bne r, r, #rlab {if ($1 != $2) goto $3;} [EX;] (1,2,1)
+    %instr bltz r, #rlab {if ($1 < 0) goto $2;} [EX;] (1,2,1)
+    %instr blez r, #rlab {if ($1 <= 0) goto $2;} [EX;] (1,2,1)
+    %instr bgtz r, #rlab {if ($1 > 0) goto $2;} [EX;] (1,2,1)
+    %instr bgez r, #rlab {if ($1 >= 0) goto $2;} [EX;] (1,2,1)
+    %instr j #jlab {goto $1;} [EX;] (1,2,1)
+    %instr jal #jlab {call $1;} [EX;] (1,2,1)
+    %instr jr.ra {return;} [EX;] (1,2,1)
+    %instr nop {} [EX;] (1,1,0)
+
+    /* ---- moves ---- */
+    %move move r, r, r[0] {$1 = $2;} [EX;] (1,1,0)
+    %move mov.s f, f (float) {$1 = $2;} [FPA1;] (1,1,0)
+    %move *mov.d d, d {$1 = $2;} [] (0,0,0)
+
+    /* ---- glue: < and <= through slt; doubles/floats through :: ---- */
+    %glue r, r {($1 < $2) ==> (($1 < $2) != 0);}
+    %glue r, r {($1 <= $2) ==> (($2 < $1) == 0);}
+    %glue d, d {($1 == $2) ==> (($1 :: $2) == 0);}
+    %glue d, d {($1 != $2) ==> (($1 :: $2) != 0);}
+    %glue d, d {($1 < $2) ==> (($1 :: $2) < 0);}
+    %glue d, d {($1 <= $2) ==> (($1 :: $2) <= 0);}
+    %glue f, f {($1 == $2) ==> (($1 :: $2) == 0);}
+    %glue f, f {($1 != $2) ==> (($1 :: $2) != 0);}
+    %glue f, f {($1 < $2) ==> (($1 :: $2) < 0);}
+    %glue f, f {($1 <= $2) ==> (($1 :: $2) <= 0);}
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_maril::Ty;
+
+    #[test]
+    fn parses_with_expected_shape() {
+        let m = load();
+        assert_eq!(m.reg_class_by_name("r").map(|c| m.reg_class(c).count), Some(32));
+        assert_eq!(m.reg_class_by_name("d").map(|c| m.reg_class(c).count), Some(8));
+        assert_eq!(m.stats().aux_lats, 0, "R2000 has no aux latencies (Table 1)");
+        assert_eq!(m.stats().clocks, 0);
+        assert_eq!(m.stats().classes, 0);
+        assert!(m.stats().funcs >= 4);
+        assert_eq!(m.cwvm().arg_regs(Ty::Int).len(), 4);
+    }
+
+    #[test]
+    fn doubles_pair_over_floats() {
+        let m = load();
+        let f = m.reg_class_by_name("f").unwrap();
+        let d = m.reg_class_by_name("d").unwrap();
+        assert!(m.regs_overlap(
+            marion_maril::PhysReg::new(d, 3),
+            marion_maril::PhysReg::new(f, 6)
+        ));
+        assert!(m.regs_overlap(
+            marion_maril::PhysReg::new(d, 3),
+            marion_maril::PhysReg::new(f, 7)
+        ));
+        assert!(!m.regs_overlap(
+            marion_maril::PhysReg::new(d, 3),
+            marion_maril::PhysReg::new(f, 8)
+        ));
+        // Integer registers are a separate unit space entirely.
+        let r = m.reg_class_by_name("r").unwrap();
+        assert!(!m.regs_overlap(
+            marion_maril::PhysReg::new(d, 0),
+            marion_maril::PhysReg::new(r, 0)
+        ));
+    }
+
+    #[test]
+    fn branch_has_delay_slot_and_load_is_delayed() {
+        let m = load();
+        let beq = m.template_by_mnemonic("beq").unwrap();
+        assert_eq!(m.template(beq).slots, 1);
+        let lw = m.template_by_mnemonic("lw").unwrap();
+        assert_eq!(m.template(lw).latency, 2);
+    }
+}

@@ -1,0 +1,315 @@
+//! TOYP — the paper's toy processor (Figures 1–3), completed.
+//!
+//! The figures give TOYP five operations (load, store, add, compare,
+//! branch), eight 32-bit integer registers usable as four 64-bit
+//! pairs, a 5-stage instruction pipeline and a 5-stage floating add
+//! pipe. This description keeps every directive the figures show —
+//! including the `[s.movs]` labelled single move, the `*movd` escape
+//! that moves a double as two halves, the `%aux fadd.d : st.d`
+//! latency override and the compare glue rule — and extends the
+//! instruction set (subtract, multiply, divide, logicals, shifts,
+//! conversions, byte/half accesses, call/return) so whole C programs
+//! compile.
+
+use crate::MachineSpec;
+use marion_core::{CodegenError, EscapeCtx, EscapeRegistry, Operand};
+use marion_maril::Machine;
+
+/// The Maril source text.
+pub fn text() -> &'static str {
+    TOYP
+}
+
+/// Parses and compiles the description.
+///
+/// # Panics
+///
+/// Never in practice — the bundled text is tested.
+pub fn load() -> Machine {
+    match Machine::parse("toyp", TOYP) {
+        Ok(m) => m,
+        Err(e) => panic!("{}", e.render("toyp.maril", TOYP)),
+    }
+}
+
+/// The machine plus its escapes.
+pub fn spec() -> MachineSpec {
+    MachineSpec {
+        machine: load(),
+        escapes: escapes(),
+    }
+}
+
+/// TOYP's `*func` escapes.
+pub fn escapes() -> EscapeRegistry {
+    let mut reg = EscapeRegistry::new();
+    reg.register("movd", movd);
+    reg.register("li32", li32);
+    reg.register("cvt8", cvt8);
+    reg.register("cvt16", cvt16);
+    reg
+}
+
+/// `*movd d, d` — a double move maps into two single moves between
+/// register halves (paper §3.4's example): the user function creates
+/// operands for the two halves of each `d` register and generates two
+/// `[s.movs]` instructions.
+fn movd(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    let dest = ops[0];
+    let src = ops[1];
+    let r0 = zero_reg(ctx);
+    for half in 0..2u8 {
+        let d = ctx.half(dest, half)?;
+        let s = ctx.half(src, half)?;
+        ctx.emit_labelled("s.movs", vec![d, s, r0])?;
+    }
+    Ok(())
+}
+
+/// `*li32 r, #const32` — TOYP has 16-bit immediates only; a 32-bit
+/// constant builds as load-high, shift, or-low.
+fn li32(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    let dest = ops[0];
+    let Operand::Imm(imm) = ops[1] else {
+        return Err(CodegenError::new(
+            marion_core::Phase::Select,
+            "li32 needs an immediate operand",
+        ));
+    };
+    let hi = ctx.imm_high(imm);
+    let lo = ctx.imm_low(imm);
+    let r0 = zero_reg(ctx);
+    ctx.emit("li", vec![dest, r0, Operand::Imm(hi)])?;
+    ctx.emit("shli", vec![dest, dest, Operand::Imm(marion_core::ImmVal::Const(16))])?;
+    ctx.emit("ori", vec![dest, dest, Operand::Imm(lo)])?;
+    Ok(())
+}
+
+/// `*cvt8 r, r` — int-to-char truncation via shift left then
+/// arithmetic shift right by 24.
+fn cvt8(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    narrow(ctx, ops, 24)
+}
+
+/// `*cvt16 r, r` — int-to-short truncation (shifts by 16).
+fn cvt16(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError> {
+    narrow(ctx, ops, 16)
+}
+
+fn narrow(
+    ctx: &mut EscapeCtx<'_, '_>,
+    ops: &[Operand],
+    bits: i64,
+) -> Result<(), CodegenError> {
+    let dest = ops[0];
+    let src = ops[1];
+    let sh = Operand::Imm(marion_core::ImmVal::Const(bits));
+    ctx.emit("shli", vec![dest, src, sh])?;
+    ctx.emit("srai", vec![dest, dest, sh])?;
+    Ok(())
+}
+
+fn zero_reg(ctx: &EscapeCtx<'_, '_>) -> Operand {
+    let class = ctx.machine().reg_class_by_name("r").expect("class r");
+    Operand::Phys(marion_maril::PhysReg::new(class, 0))
+}
+
+const TOYP: &str = r#"
+/* TOYP — the toy processor of Bradlee/Henry/Eggers, PLDI 1991,
+ * Figures 1-3, completed into a full compilation target. */
+
+declare {
+    %reg r[0:7] (int);          /* Integer regs */
+    %reg d[0:3] (double);       /* Double float regs */
+    %equiv r[0] d[0];           /* d regs overlap r regs */
+    %resource IF; ID; IE; IA; IW;   /* fetch; decode; execute; access mem; writeback */
+    %resource F1; F2; F3; F4; F5;   /* Floating add pipe */
+    %def const16 [-32768:32767];    /* signed immediate */
+    %def uconst5 [0:31];            /* shift amounts */
+    %def addr16 [0:32767] +abs;     /* small absolute addresses */
+    %def const32 [-2147483648:2147483647] +abs;
+    %label rlab [-32768:32767] +relative;   /* Branch offset */
+    %memory m[0:2147483647];
+}
+
+cwvm {
+    %general (int) r;
+    %general (double) d;
+    %general (float) d;
+    %allocable r[1:6];    /* Fig. 2 gives r[1:5]; r6 (the unused frame
+                           * pointer) is added so real programs fit */
+    %allocable d[1:2];
+    %calleesave r[4:7];
+    %sp r[7] +down;
+    %fp r[6] +down;
+    %retaddr r[1];
+    %hard r[0] 0;
+    %arg (int) r[2] 1;          /* 1st int arg in r[2] */
+    %arg (int) r[3] 2;          /* 2nd int arg in r[3] */
+    %arg (double) d[1] 1;       /* "either two integer parameters or
+                                 * one double float parameter may be
+                                 * passed in registers" (paper, Fig 2) */
+    %result r[2] (int);
+    %result d[1] (double);
+}
+
+instr {
+    /* ---- integer ALU ---- */
+    %instr add r, r, r (int) {$1 = $2 + $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr addi r, r, #const16 (int) {$1 = $2 + $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr li r, r[0], #const16 (int) {$1 = $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr la r, r[0], #addr16 (int) {$1 = $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr *li32 r, #const32 (int) {$1 = $2;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr sub r, r, r (int) {$1 = $2 - $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr subi r, r, #const16 (int) {$1 = $2 - $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr neg r, r (int) {$1 = -$2;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr not r, r (int) {$1 = ~$2;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr and r, r, r (int) {$1 = $2 & $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr andi r, r, #const16 (int) {$1 = $2 & $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr or r, r, r (int) {$1 = $2 | $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr ori r, r, #const16 (int) {$1 = $2 | $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr xor r, r, r (int) {$1 = $2 ^ $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr shl r, r, r (int) {$1 = $2 << $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr shli r, r, #uconst5 (int) {$1 = $2 << $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr sra r, r, r (int) {$1 = $2 >> $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr srai r, r, #uconst5 (int) {$1 = $2 >> $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+
+    /* Iterative multiply/divide occupy the execute stage */
+    %instr mul r, r, r (int) {$1 = $2 * $3;} [IF; ID; IE; IE; IE; IE; IA; IW;] (1,5,0)
+    %instr div r, r, r (int) {$1 = $2 / $3;} [IF; ID; IE; IE; IE; IE; IE; IE; IE; IE; IE; IE; IA; IW;] (1,12,0)
+    %instr rem r, r, r (int) {$1 = $2 % $3;} [IF; ID; IE; IE; IE; IE; IE; IE; IE; IE; IE; IE; IA; IW;] (1,12,0)
+
+    /* ---- generic compares (fed by the %glue rules) ---- */
+    %instr cmp r, r, r (int) {$1 = $2 :: $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr fcmp r, d, d (int) {$1 = $2 :: $3;} [IF; ID; F1; F2; F3; F4; F5; IW;] (1,6,0)
+
+    /* ---- memory ---- */
+    %instr ld r, r, #const16 (int) {$1 = m[$2+$3];} [IF; ID; IE; IA; IW;] (1,3,0)
+    %instr st r, r, #const16 (int) {m[$2+$3] = $1;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr ld.b r, r, #const16 (char) {$1 = m[$2+$3];} [IF; ID; IE; IA; IW;] (1,3,0)
+    %instr st.b r, r, #const16 (char) {m[$2+$3] = $1;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr ld.h r, r, #const16 (short) {$1 = m[$2+$3];} [IF; ID; IE; IA; IW;] (1,3,0)
+    %instr st.h r, r, #const16 (short) {m[$2+$3] = $1;} [IF; ID; IE; IA; IW;] (1,1,0)
+    %instr ld.d d, r, #const16 (double) {$1 = m[$2+$3];} [IF; ID; IE; IA; IA; IW;] (1,4,0)
+    %instr st.d d, r, #const16 (double) {m[$2+$3] = $1;} [IF; ID; IE; IA; IA; IW;] (1,1,0)
+
+    /* ---- floating point (5-stage add pipe) ---- */
+    %instr fadd.d d, d, d (double) {$1 = $2 + $3;} [IF; ID; F1,ID; F1; F2; F3; F4; F5; IW;] (1,6,0)
+    %instr fsub.d d, d, d (double) {$1 = $2 - $3;} [IF; ID; F1,ID; F1; F2; F3; F4; F5; IW;] (1,6,0)
+    %instr fneg.d d, d (double) {$1 = -$2;} [IF; ID; F1; F2; F3; F4; F5; IW;] (1,6,0)
+    %instr fmul.d d, d, d (double) {$1 = $2 * $3;} [IF; ID; F1; F1; F2; F2; F3; F4; F5; IW;] (1,8,0)
+    %instr fdiv.d d, d, d (double) {$1 = $2 / $3;} [IF; ID; F1; F1; F1; F1; F1; F1; F1; F1; F1; F1; F1; F1; F1; F1; F1; F1; F2; F3; F4; F5; IW;] (1,20,0)
+
+    /* ---- single precision (computed in d registers) ---- */
+    %instr fadd.s d, d, d (float) {$1 = $2 + $3;} [IF; ID; F1; F2; F3; F4; IW;] (1,5,0)
+    %instr fsub.s d, d, d (float) {$1 = $2 - $3;} [IF; ID; F1; F2; F3; F4; IW;] (1,5,0)
+    %instr fneg.s d, d (float) {$1 = -$2;} [IF; ID; F1; F2; IW;] (1,3,0)
+    %instr fmul.s d, d, d (float) {$1 = $2 * $3;} [IF; ID; F1; F1; F2; F3; F4; IW;] (1,6,0)
+    %instr fdiv.s d, d, d (float) {$1 = $2 / $3;} [IF; ID; F1; F1; F1; F1; F1; F1; F1; F1; F2; F3; IW;] (1,12,0)
+    %instr fcmp.s r, d, d (int) {$1 = $2 :: $3;} [IF; ID; F1; F2; F3; IW;] (1,4,0)
+    %instr ld.s d, r, #const16 (float) {$1 = m[$2+$3];} [IF; ID; IE; IA; IW;] (1,3,0)
+    %instr st.s d, r, #const16 (float) {m[$2+$3] = $1;} [IF; ID; IE; IA; IW;] (1,1,0)
+
+    /* ---- conversions ---- */
+    %instr cvt.w r, r (int) {$1 = (int)$2;} [] (0,0,0)
+    %instr cvtid d, r (double) {$1 = (double)$2;} [IF; ID; F1; F2; F3; F4; F5; IW;] (1,6,0)
+    %instr cvtdi r, d (int) {$1 = (int)$2;} [IF; ID; F1; F2; F3; F4; F5; IW;] (1,6,0)
+    %instr cvtis d, r (float) {$1 = (float)$2;} [IF; ID; F1; F2; F3; F4; IW;] (1,5,0)
+    %instr cvtsi r, d (int) {$1 = (int)$2;} [IF; ID; F1; F2; F3; F4; IW;] (1,5,0)
+    %instr fcvt.ds d, d (double) {$1 = (double)$2;} [IF; ID; F1; F2; IW;] (1,3,0)
+    %instr fcvt.sd d, d (float) {$1 = (float)$2;} [IF; ID; F1; F2; IW;] (1,3,0)
+    %instr *cvt8 r, r (char) {$1 = (char)$2;} [] (0,0,0)
+    %instr *cvt16 r, r (short) {$1 = (short)$2;} [] (0,0,0)
+
+    /* ---- control ---- */
+    %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [IF; ID; IE;] (1,2,1)
+    %instr bne0 r, #rlab {if ($1 != 0) goto $2;} [IF; ID; IE;] (1,2,1)
+    %instr blt0 r, #rlab {if ($1 < 0) goto $2;} [IF; ID; IE;] (1,2,1)
+    %instr ble0 r, #rlab {if ($1 <= 0) goto $2;} [IF; ID; IE;] (1,2,1)
+    %instr bgt0 r, #rlab {if ($1 > 0) goto $2;} [IF; ID; IE;] (1,2,1)
+    %instr bge0 r, #rlab {if ($1 >= 0) goto $2;} [IF; ID; IE;] (1,2,1)
+    %instr br #rlab {goto $1;} [IF; ID; IE;] (1,2,1)
+    %instr bsr #rlab {call $1;} [IF; ID; IE;] (1,2,1)
+    %instr rts {return;} [IF; ID; IE;] (1,2,1)
+    %instr nop {} [IF; ID; IE; IA; IW;] (1,1,0)
+
+    /* single reg move, referenced by movd */
+    %move [s.movs] add r, r, r[0] {$1 = $2;} [IF; ID; IE; IA; IW;] (1,1,0)
+    /* func escape: double reg move (2 instrs) */
+    %move *movd d, d {$1 = $2;} [] (0,0,0)
+    /* auxiliary latency for instruction pair (Fig. 3) */
+    %aux fadd.d : st.d (1.$1 == 2.$1) (7)
+    %aux fmul.d : st.d (1.$1 == 2.$1) (9)
+
+    /* glue value transformation: strength-reduce a doubling (the
+     * iterative multiplier costs 5 cycles; an add costs 1) */
+    %glue r {($1 * 2) ==> ($1 + $1);}
+
+    /* glue transformations: compares expand into the generic compare
+     * :: against zero */
+    %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}
+    %glue r, r {($1 != $2) ==> (($1 :: $2) != 0);}
+    %glue r, r {($1 < $2) ==> (($1 :: $2) < 0);}
+    %glue r, r {($1 <= $2) ==> (($1 :: $2) <= 0);}
+    %glue d, d {($1 == $2) ==> (($1 :: $2) == 0);}
+    %glue d, d {($1 != $2) ==> (($1 :: $2) != 0);}
+    %glue d, d {($1 < $2) ==> (($1 :: $2) < 0);}
+    %glue d, d {($1 <= $2) ==> (($1 :: $2) <= 0);}
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_maril::Ty;
+
+    #[test]
+    fn parses_and_matches_figures() {
+        let m = load();
+        // Figure 1: registers, resources, immediates.
+        assert_eq!(m.reg_class_by_name("r").map(|c| m.reg_class(c).count), Some(8));
+        assert_eq!(m.reg_class_by_name("d").map(|c| m.reg_class(c).count), Some(4));
+        assert_eq!(m.resources().len(), 10);
+        assert!(m.imm_defs().iter().any(|d| d.name == "const16"));
+        assert!(m.label_defs().iter().any(|l| l.name == "rlab" && l.relative));
+        // Figure 2: runtime model.
+        let cwvm = m.cwvm();
+        assert_eq!(cwvm.allocable.len(), 6 + 2);
+        assert_eq!(cwvm.arg_regs(Ty::Int).len(), 2);
+        assert!(cwvm.stack_down);
+        // Figure 3: instructions.
+        assert!(m.template_by_mnemonic("fadd.d").is_some());
+        assert!(m.template_by_label("s.movs").is_some());
+        assert_eq!(m.aux_latencies().len(), 2);
+        assert_eq!(m.stats().glue_xforms, 9);
+        assert_eq!(m.stats().funcs, 4);
+    }
+
+    #[test]
+    fn d_regs_overlap_r_regs() {
+        let m = load();
+        let r = m.reg_class_by_name("r").unwrap();
+        let d = m.reg_class_by_name("d").unwrap();
+        assert!(m.regs_overlap(
+            marion_maril::PhysReg::new(d, 1),
+            marion_maril::PhysReg::new(r, 2)
+        ));
+        assert!(m.regs_overlap(
+            marion_maril::PhysReg::new(d, 1),
+            marion_maril::PhysReg::new(r, 3)
+        ));
+        assert!(!m.regs_overlap(
+            marion_maril::PhysReg::new(d, 1),
+            marion_maril::PhysReg::new(r, 4)
+        ));
+    }
+
+    #[test]
+    fn fadd_aux_latency_applies_to_store_of_result() {
+        let m = load();
+        let fadd = m.template_by_mnemonic("fadd.d").unwrap();
+        let st = m.template_by_mnemonic("st.d").unwrap();
+        assert_eq!(m.edge_latency(fadd, st, &|i, j| i == 1 && j == 1), 7);
+        assert_eq!(m.edge_latency(fadd, st, &|_, _| false), 6);
+    }
+}

@@ -1,0 +1,324 @@
+//! Abstract syntax for a parsed (but not yet analysed) Maril
+//! description.
+//!
+//! The parser produces this tree; [`crate::sema`] checks it and lowers
+//! it into the compiled [`crate::machine::Machine`] tables.
+
+use crate::error::Span;
+use crate::expr::{BinOp, Expr, Stmt};
+use crate::machine::Ty;
+
+/// A whole description: `declare { ... } cwvm { ... } instr { ... }`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Description {
+    /// Items of the `declare` section, in source order.
+    pub declare: Vec<DeclItem>,
+    /// Items of the `cwvm` section, in source order.
+    pub cwvm: Vec<CwvmItem>,
+    /// Items of the `instr` section, in source order.
+    pub instrs: Vec<InstrItem>,
+    /// Source spans per section, for Table 1 line statistics.
+    pub section_spans: SectionSpans,
+}
+
+/// Source spans of the three sections (paper Table 1 reports the
+/// `declare` and `cwvm` sizes in lines; line counts are derived from
+/// these spans against the original source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectionSpans {
+    /// Span of the `declare { ... }` block.
+    pub declare: Option<Span>,
+    /// Span of the `cwvm { ... }` block.
+    pub cwvm: Option<Span>,
+    /// Span of the `instr { ... }` block.
+    pub instr: Option<Span>,
+}
+
+/// A reference to one register of a class: `r[3]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegRef {
+    /// Register class name, e.g. `r`.
+    pub class: String,
+    /// Index within the class.
+    pub index: u32,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A reference to a contiguous sub-range of a class: `r[1:5]` or `r`
+/// (the whole class, index range omitted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegRange {
+    /// Register class name.
+    pub class: String,
+    /// Inclusive index range, or `None` for the whole class.
+    pub range: Option<(u32, u32)>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One item of the `declare` section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclItem {
+    /// `%reg r[0:7] (int);` or `%reg m1 (double; clk_m) +temporal;`
+    Reg {
+        /// Class (or temporal register) name.
+        name: String,
+        /// Inclusive index range; `None` declares a single register.
+        range: Option<(u32, u32)>,
+        /// Datatypes that may reside in these registers.
+        tys: Vec<Ty>,
+        /// Clock the register is based on (temporal registers only).
+        clock: Option<String>,
+        /// `+temporal` flag.
+        temporal: bool,
+        /// Source location.
+        span: Span,
+    },
+    /// `%equiv r[0] d[0];` — the second class overlays the first.
+    Equiv {
+        /// Anchor register in the first (smaller-granularity) class.
+        a: RegRef,
+        /// Anchor register in the overlaying class.
+        b: RegRef,
+        /// Source location.
+        span: Span,
+    },
+    /// `%resource IF; ID; IE;` — processor resources.
+    Resource {
+        /// Declared resource names.
+        names: Vec<String>,
+        /// Source location.
+        span: Span,
+    },
+    /// `%def const16 [-32768:32767];` — immediate operand range.
+    Def {
+        /// Name used as `#const16` in operand lists.
+        name: String,
+        /// Inclusive value range.
+        range: (i64, i64),
+        /// Optional `+flag`s.
+        flags: Vec<String>,
+        /// Source location.
+        span: Span,
+    },
+    /// `%label rlab [-32768:32767] +relative;` — branch offsets.
+    Label {
+        /// Name used as `#rlab` in operand lists.
+        name: String,
+        /// Inclusive offset range.
+        range: (i64, i64),
+        /// Optional `+flag`s (e.g. `relative`, `absolute`).
+        flags: Vec<String>,
+        /// Source location.
+        span: Span,
+    },
+    /// `%memory m[0:2147483647];` — a memory bank.
+    Memory {
+        /// Name used as `m[...]` in semantic expressions.
+        name: String,
+        /// Inclusive address range.
+        range: (i64, i64),
+        /// Source location.
+        span: Span,
+    },
+    /// `%clock clk_m;` — a clock for an explicitly advanced pipeline.
+    Clock {
+        /// Clock name.
+        name: String,
+        /// Source location.
+        span: Span,
+    },
+    /// `%element pfmul;` — a long-instruction-word element.
+    Element {
+        /// Element name (the printable long-word mnemonic).
+        name: String,
+        /// Source location.
+        span: Span,
+    },
+    /// `%class mul_ops { pfmul, m12apm };` — a packing class.
+    Class {
+        /// Class name referenced as `<mul_ops>` in instruction
+        /// directives.
+        name: String,
+        /// Member elements.
+        elements: Vec<String>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+/// One item of the `cwvm` section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CwvmItem {
+    /// `%general (int) r;`
+    General {
+        /// Datatype served by the class.
+        ty: Ty,
+        /// Register class name.
+        class: String,
+        /// Source location.
+        span: Span,
+    },
+    /// `%allocable r[1:5];`
+    Allocable(RegRange),
+    /// `%calleesave r[4:7];`
+    CalleeSave(RegRange),
+    /// `%sp r[7] +down;`
+    Sp {
+        /// The stack-pointer register.
+        reg: RegRef,
+        /// `+down` — the stack grows towards lower addresses.
+        down: bool,
+    },
+    /// `%fp r[6] +down;`
+    Fp {
+        /// The frame-pointer register.
+        reg: RegRef,
+        /// `+down` flag.
+        down: bool,
+    },
+    /// `%retaddr r[1];`
+    RetAddr(RegRef),
+    /// `%gp r[5];` — optional global data pointer.
+    GlobalPtr(RegRef),
+    /// `%hard r[0] 0;` — a register hard-wired to a value.
+    Hard {
+        /// The hard-wired register.
+        reg: RegRef,
+        /// Its constant value.
+        value: i64,
+    },
+    /// `%arg (int) r[2] 1;` — the N-th argument register for a type.
+    Arg {
+        /// Argument datatype.
+        ty: Ty,
+        /// Register carrying the argument.
+        reg: RegRef,
+        /// 1-based argument position.
+        index: u32,
+    },
+    /// `%result r[2] (int);`
+    Result {
+        /// Register carrying the result.
+        reg: RegRef,
+        /// Result datatype.
+        ty: Ty,
+    },
+}
+
+/// Operand shape in an instruction directive's operand list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OperandAst {
+    /// A register of a class: `r`.
+    RegClass(String),
+    /// A specific register: `r[0]`.
+    FixedReg(RegRef),
+    /// An immediate constrained by a `%def`: `#const16`.
+    Imm(String),
+    /// A branch/call target constrained by a `%label`: `#rlab`.
+    Lab(String),
+}
+
+/// The body of an `%instr` or `%move` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrDef {
+    /// Instruction mnemonic, e.g. `fadd.d`.
+    pub mnemonic: String,
+    /// `true` for `*func` escapes (`%move *movd d, d`).
+    pub escape: bool,
+    /// Optional `[label]` so escapes can reference this directive.
+    pub label: Option<String>,
+    /// Operand shapes in order (`$1` is `operands[0]`).
+    pub operands: Vec<OperandAst>,
+    /// Optional type constraint `(int)` used during selection.
+    pub ty: Option<Ty>,
+    /// Optional clock affected, from `(double; clk_m)`.
+    pub clock: Option<String>,
+    /// Optional packing class `<mul_ops>`.
+    pub class: Option<String>,
+    /// Semantic statements between braces.
+    pub sem: Vec<Stmt>,
+    /// Resource names required per cycle: `[IF; ID; F1,ID; ...]`.
+    pub resources: Vec<Vec<String>>,
+    /// `(cost, latency, slots)` triple.
+    pub cost: i64,
+    /// Cycles before the result may be used.
+    pub latency: i64,
+    /// Delay slots after the instruction (sign gives the execution
+    /// condition, see paper §3.3).
+    pub slots: i64,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The operand condition on an `%aux` directive:
+/// `(1.$1 == 2.$1)` — operand `$1` of the first instruction equals
+/// operand `$1` of the second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuxCond {
+    /// Operand index on the first instruction.
+    pub first_op: u8,
+    /// Operand index on the second instruction.
+    pub second_op: u8,
+}
+
+/// One item of the `instr` section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstrItem {
+    /// A plain machine instruction.
+    Instr(InstrDef),
+    /// A `%move` directive — how to copy within a register set.
+    Move(InstrDef),
+    /// `%aux fadd.d : st.d (1.$1 == 2.$1) (7)` — latency override for
+    /// an instruction pair.
+    Aux {
+        /// Mnemonic of the producing instruction.
+        first: String,
+        /// Mnemonic of the consuming instruction.
+        second: String,
+        /// Operand condition, `None` meaning "always".
+        cond: Option<AuxCond>,
+        /// Overriding latency.
+        latency: i64,
+        /// Source location.
+        span: Span,
+    },
+    /// A glue transformation. The paper's example rewrites branch
+    /// comparisons: `{($1 == $2) ==> (($1 :: $2) == 0);}`.
+    Glue {
+        /// Operand class names for `$k` (documentation only).
+        operands: Vec<OperandAst>,
+        /// The rule itself.
+        rule: GlueRule,
+        /// Source location.
+        span: Span,
+    },
+}
+
+/// A tree-to-tree rewrite applied to the IL before code selection.
+///
+/// The left side is a *comparison shape* (`lhs REL rhs`) or a plain
+/// expression; the right side is the replacement, which may use the
+/// built-ins `high`, `low` and `eval`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlueRule {
+    /// Rewrites a branch condition: `(a REL b) ==> (a' REL' b')`.
+    Cond {
+        /// Relation matched on the left.
+        from_rel: BinOp,
+        /// Replacement relation.
+        to_rel: BinOp,
+        /// Replacement left operand (in terms of `$1`, `$2`).
+        to_lhs: Expr,
+        /// Replacement right operand.
+        to_rhs: Expr,
+    },
+    /// Rewrites a value expression: `expr ==> expr'`.
+    Value {
+        /// Pattern matched (in terms of `$k` wildcards).
+        from: Expr,
+        /// Replacement.
+        to: Expr,
+    },
+}

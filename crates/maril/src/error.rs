@@ -1,0 +1,172 @@
+//! Error and source-location types shared across the Maril pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// A byte range into the description source, used for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Computes the 1-based (line, column) of the span start in `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in src.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// An error produced while lexing, parsing or analysing a Maril
+/// description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarilError {
+    kind: ErrorKind,
+    message: String,
+    span: Span,
+}
+
+/// Coarse classification of a [`MarilError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A malformed token (unterminated comment, bad number, ...).
+    Lex,
+    /// A grammar violation.
+    Parse,
+    /// A semantic inconsistency (duplicate names, unknown references,
+    /// ill-formed resource vectors, ...).
+    Sema,
+}
+
+impl MarilError {
+    /// Creates a lexer error at `span`.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        MarilError {
+            kind: ErrorKind::Lex,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a parser error at `span`.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        MarilError {
+            kind: ErrorKind::Parse,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a semantic-analysis error at `span`.
+    pub fn sema(message: impl Into<String>, span: Span) -> Self {
+        MarilError {
+            kind: ErrorKind::Sema,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The human-readable message, without location information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source span the error points at.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders the error with line/column information against `src`.
+    pub fn render(&self, name: &str, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("{name}:{line}:{col}: {self}")
+    }
+}
+
+impl fmt::Display for MarilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.kind {
+            ErrorKind::Lex => "lexical error",
+            ErrorKind::Parse => "syntax error",
+            ErrorKind::Sema => "semantic error",
+        };
+        write!(f, "{stage}: {}", self.message)
+    }
+}
+
+impl Error for MarilError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(4, 9);
+        let b = Span::new(2, 6);
+        assert_eq!(a.join(b), Span::new(2, 9));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(6, 7).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn render_includes_location_and_stage() {
+        let err = MarilError::parse("expected `;`", Span::new(4, 5));
+        let rendered = err.render("toy.maril", "ab\ncd\nef");
+        assert!(rendered.contains("toy.maril:2:2"), "{rendered}");
+        assert!(rendered.contains("syntax error"), "{rendered}");
+    }
+
+    #[test]
+    fn display_is_lowercase_no_period() {
+        let err = MarilError::sema("unknown resource `XX`", Span::default());
+        let msg = err.to_string();
+        assert!(msg.starts_with("semantic error: "), "{msg}");
+        assert!(!msg.ends_with('.'));
+    }
+}

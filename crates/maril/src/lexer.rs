@@ -1,0 +1,315 @@
+//! Hand-written lexer for Maril descriptions.
+//!
+//! Maril is whitespace-insensitive and uses C-style `/* ... */`
+//! comments (they do not nest). Identifiers may contain dots so that
+//! instruction mnemonics like `fadd.d` and labels like `s.movs` lex as
+//! a single token.
+
+use crate::error::{MarilError, Span};
+use crate::token::{Token, TokenKind};
+
+/// Lexes an entire Maril source into a token vector ending in
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns an error for unterminated comments, malformed numbers or
+/// characters outside the Maril alphabet.
+pub fn lex(src: &str) -> Result<Vec<Token>, MarilError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, MarilError> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => self.skip_comment()?,
+                b'%' => self.lex_percent(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                b'0'..=b'9' => self.lex_number(start)?,
+                _ => self.lex_punct(start)?,
+            }
+        }
+        let end = self.src.len();
+        self.push(TokenKind::Eof, Span::new(end, end));
+        Ok(self.tokens)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn skip_comment(&mut self) -> Result<(), MarilError> {
+        let start = self.pos;
+        self.pos += 2;
+        while self.pos + 1 < self.bytes.len() {
+            if self.bytes[self.pos] == b'*' && self.bytes[self.pos + 1] == b'/' {
+                self.pos += 2;
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(MarilError::lex(
+            "unterminated comment",
+            Span::new(start, self.src.len()),
+        ))
+    }
+
+    fn lex_percent(&mut self, start: usize) -> Result<(), MarilError> {
+        // `%foo` is a directive; a bare `%` is the modulo operator.
+        if matches!(self.peek(1), Some(b'a'..=b'z') | Some(b'A'..=b'Z')) {
+            self.pos += 1;
+            let word_start = self.pos;
+            while matches!(
+                self.peek(0),
+                Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9') | Some(b'_')
+            ) {
+                self.pos += 1;
+            }
+            let word = self.src[word_start..self.pos].to_ascii_lowercase();
+            self.push(TokenKind::Directive(word), Span::new(start, self.pos));
+        } else {
+            self.pos += 1;
+            self.push(TokenKind::Percent, Span::new(start, self.pos));
+        }
+        Ok(())
+    }
+
+    fn lex_ident(&mut self, start: usize) {
+        while matches!(
+            self.peek(0),
+            Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9') | Some(b'_')
+        ) || (self.peek(0) == Some(b'.')
+            && matches!(self.peek(1), Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9')))
+        {
+            self.pos += 1;
+        }
+        let text = self.src[start..self.pos].to_owned();
+        self.push(TokenKind::Ident(text), Span::new(start, self.pos));
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<(), MarilError> {
+        let radix = if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x') | Some(b'X'))
+        {
+            self.pos += 2;
+            16
+        } else {
+            10
+        };
+        let digits_start = self.pos;
+        while matches!(self.peek(0), Some(c) if (c as char).is_digit(radix)) {
+            self.pos += 1;
+        }
+        let text = &self.src[digits_start..self.pos];
+        if text.is_empty() {
+            return Err(MarilError::lex(
+                "malformed number",
+                Span::new(start, self.pos),
+            ));
+        }
+        let value = i64::from_str_radix(text, radix).map_err(|_| {
+            MarilError::lex(
+                format!("integer literal `{text}` out of range"),
+                Span::new(start, self.pos),
+            )
+        })?;
+        self.push(TokenKind::Int(value), Span::new(start, self.pos));
+        Ok(())
+    }
+
+    fn lex_punct(&mut self, start: usize) -> Result<(), MarilError> {
+        // `==>` must be tried before `==`.
+        if self.src.get(self.pos..self.pos + 3) == Some("==>") {
+            self.pos += 3;
+            self.push(TokenKind::Arrow, Span::new(start, self.pos));
+            return Ok(());
+        }
+        let kind2 = match self.src.get(self.pos..self.pos + 2) {
+            Some("::") => Some(TokenKind::ColonColon),
+            Some("==") => Some(TokenKind::EqEq),
+            Some("!=") => Some(TokenKind::Ne),
+            Some("<=") => Some(TokenKind::Le),
+            Some(">=") => Some(TokenKind::Ge),
+            Some("<<") => Some(TokenKind::Shl),
+            Some(">>") => Some(TokenKind::Shr),
+            _ => None,
+        };
+        if let Some(kind) = kind2 {
+            self.pos += 2;
+            self.push(kind, Span::new(start, self.pos));
+            return Ok(());
+        }
+        let kind = match self.bytes[self.pos] {
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b':' => TokenKind::Colon,
+            b'#' => TokenKind::Hash,
+            b'$' => TokenKind::Dollar,
+            b'*' => TokenKind::Star,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'/' => TokenKind::Slash,
+            b'&' => TokenKind::Amp,
+            b'|' => TokenKind::Pipe,
+            b'^' => TokenKind::Caret,
+            b'~' => TokenKind::Tilde,
+            b'!' => TokenKind::Bang,
+            b'<' => TokenKind::Lt,
+            b'>' => TokenKind::Gt,
+            b'=' => TokenKind::Assign,
+            b'.' => TokenKind::Dot,
+            other => {
+                return Err(MarilError::lex(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(start, start + 1),
+                ));
+            }
+        };
+        self.pos += 1;
+        self.push(kind, Span::new(start, self.pos));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_directives_lowercased() {
+        let toks = kinds("%reg %Instr %AUX");
+        assert_eq!(
+            toks[..3],
+            [
+                TokenKind::Directive("reg".into()),
+                TokenKind::Directive("instr".into()),
+                TokenKind::Directive("aux".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_dotted_mnemonics_as_one_ident() {
+        let toks = kinds("fadd.d st.d s.movs");
+        assert_eq!(
+            toks[..3],
+            [
+                TokenKind::Ident("fadd.d".into()),
+                TokenKind::Ident("st.d".into()),
+                TokenKind::Ident("s.movs".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_not_followed_by_alnum_is_an_error() {
+        assert!(lex("a.").is_err() || kinds("a. ").len() >= 2);
+    }
+
+    #[test]
+    fn lexes_numbers_and_negative_via_minus_token() {
+        let toks = kinds("-32768:32767 0x1F");
+        assert_eq!(toks[0], TokenKind::Minus);
+        assert_eq!(toks[1], TokenKind::Int(32768));
+        assert_eq!(toks[2], TokenKind::Colon);
+        assert_eq!(toks[3], TokenKind::Int(32767));
+        assert_eq!(toks[4], TokenKind::Int(31));
+    }
+
+    #[test]
+    fn distinguishes_colon_coloncolon_and_arrow() {
+        let toks = kinds(": :: == ==> = !=");
+        assert_eq!(
+            toks[..6],
+            [
+                TokenKind::Colon,
+                TokenKind::ColonColon,
+                TokenKind::EqEq,
+                TokenKind::Arrow,
+                TokenKind::Assign,
+                TokenKind::Ne,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("add /* integer register */ r");
+        assert_eq!(
+            toks[..2],
+            [TokenKind::Ident("add".into()), TokenKind::Ident("r".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        let err = lex("add /* oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated comment"));
+    }
+
+    #[test]
+    fn percent_alone_is_modulo() {
+        let toks = kinds("$1 % $2");
+        assert!(toks.contains(&TokenKind::Percent));
+    }
+
+    #[test]
+    fn eof_is_final_token() {
+        let toks = kinds("");
+        assert_eq!(toks, vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let toks = lex("  add").unwrap();
+        assert_eq!(toks[0].span, Span::new(2, 5));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("add @").unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn lexes_shift_operators() {
+        let toks = kinds("$1 << 16 >> 2");
+        assert!(toks.contains(&TokenKind::Shl));
+        assert!(toks.contains(&TokenKind::Shr));
+    }
+}

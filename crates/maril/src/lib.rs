@@ -1,0 +1,69 @@
+//! # marion-maril — the Maril machine description language
+//!
+//! Maril is the machine description language of the Marion retargetable
+//! code generator system (Bradlee, Henry & Eggers, PLDI 1991). A
+//! description has three sections:
+//!
+//! * `declare` — registers, resources (pipeline stages, buses),
+//!   immediate/label ranges, memory banks, clocks for explicitly
+//!   advanced pipelines, and packing elements/classes;
+//! * `cwvm` — the Compiler Writer's Virtual Machine: the runtime model
+//!   (general-purpose sets, allocable registers, callee-saves, stack and
+//!   frame pointers, argument and result registers);
+//! * `instr` — one directive per machine instruction giving its
+//!   operands, an optional type constraint, a semantic expression used
+//!   to derive selection patterns, the hardware resources used on each
+//!   cycle after issue, and a `(cost, latency, slots)` triple — plus
+//!   `%move` register-move markers, `*func` escapes, `%aux` auxiliary
+//!   latencies and `%glue` IL transformations.
+//!
+//! This crate is Marion's *code generator generator*: it parses a Maril
+//! description and compiles it into the [`Machine`] tables (selection
+//! patterns, resource vectors, latency/aux tables, packing classes,
+//! clock effects) consumed by the `marion-core` back end.
+//!
+//! ```
+//! use marion_maril::Machine;
+//!
+//! # fn main() -> Result<(), Box<marion_maril::MarilError>> {
+//! let toy = r#"
+//! declare {
+//!   %reg r[0:7] (int);
+//!   %resource IF; ID; IE; IA; IW;
+//!   %def const16 [-32768:32767];
+//! }
+//! cwvm {
+//!   %general (int) r;
+//!   %allocable r[1:5];
+//!   %sp r[7] +down;
+//!   %fp r[6] +down;
+//!   %retaddr r[1];
+//! }
+//! instr {
+//!   %instr add r, r, r (int) {$1 = $2 + $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+//! }
+//! "#;
+//! let machine = Machine::parse("toy", toy)?;
+//! assert_eq!(machine.templates().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod expr;
+pub mod lexer;
+pub mod machine;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod stats;
+pub mod token;
+
+pub use error::{MarilError, Span};
+pub use expr::{BinOp, Builtin, Expr, Stmt, UnOp};
+pub use machine::{
+    ClassId, ClockId, Cwvm, ImmDef, ImmDefId, Machine, OperandSpec, PhysReg, RegClass, RegClassId,
+    ResSet, Template, TemplateId, Ty,
+};
+pub use stats::DescriptionStats;

@@ -1,0 +1,1142 @@
+//! Recursive-descent parser for Maril descriptions.
+//!
+//! The grammar follows the paper's Figures 1–5. Each section is a
+//! keyword (`declare` / `cwvm` / `instr`) followed by a braced list of
+//! `%`-directives. Sections may appear in any order; each at most
+//! once.
+
+use crate::ast::*;
+use crate::error::{MarilError, Span};
+use crate::expr::{BinOp, Builtin, Expr, LValue, Stmt, UnOp};
+use crate::machine::Ty;
+use crate::token::{Token, TokenKind};
+
+/// Parses a token stream (from [`crate::lexer::lex`]) into a
+/// [`Description`].
+///
+/// # Errors
+///
+/// Returns the first grammar violation, with its source span.
+pub fn parse(tokens: &[Token]) -> Result<Description, MarilError> {
+    Parser {
+        tokens,
+        pos: 0,
+    }
+    .description()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_at(&self, ahead: usize) -> &TokenKind {
+        &self.tokens[(self.pos + ahead).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> &'a Token {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<&'a Token, MarilError> {
+        if self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(MarilError::parse(
+                format!("expected `{kind}`, found `{}`", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), MarilError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(MarilError::parse(
+                format!("expected identifier, found `{other}`"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, MarilError> {
+        let neg = self.eat(&TokenKind::Minus);
+        match *self.peek() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            ref other => Err(MarilError::parse(
+                format!("expected integer, found `{other}`"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn description(mut self) -> Result<Description, MarilError> {
+        let mut desc = Description::default();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            let (section, span) = self.expect_ident()?;
+            self.expect(&TokenKind::LBrace)?;
+            match section.as_str() {
+                "declare" => {
+                    while !matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+                        let item = self.decl_item()?;
+                        desc.declare.push(item);
+                    }
+                }
+                "cwvm" => {
+                    while !matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+                        let item = self.cwvm_item()?;
+                        desc.cwvm.push(item);
+                    }
+                }
+                "instr" => {
+                    while !matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+                        let item = self.instr_item()?;
+                        desc.instrs.push(item);
+                    }
+                }
+                other => {
+                    return Err(MarilError::parse(
+                        format!("unknown section `{other}` (expected declare, cwvm or instr)"),
+                        span,
+                    ));
+                }
+            }
+            let close = self.expect(&TokenKind::RBrace)?.span;
+            let section_span = Some(Span::new(span.start, close.end));
+            match section.as_str() {
+                "declare" => desc.section_spans.declare = section_span,
+                "cwvm" => desc.section_spans.cwvm = section_span,
+                _ => desc.section_spans.instr = section_span,
+            }
+        }
+        Ok(desc)
+    }
+
+    // ---------------- declare ----------------
+
+    fn decl_item(&mut self) -> Result<DeclItem, MarilError> {
+        let span = self.span();
+        let dir = match self.peek().clone() {
+            TokenKind::Directive(d) => {
+                self.bump();
+                d
+            }
+            other => {
+                return Err(MarilError::parse(
+                    format!("expected a %directive, found `{other}`"),
+                    span,
+                ));
+            }
+        };
+        match dir.as_str() {
+            "reg" => self.decl_reg(span),
+            "equiv" => {
+                let a = self.reg_ref()?;
+                let b = self.reg_ref()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(DeclItem::Equiv { a, b, span })
+            }
+            "resource" => {
+                let mut names = Vec::new();
+                loop {
+                    let (name, _) = self.expect_ident()?;
+                    names.push(name);
+                    if !self.eat(&TokenKind::Semi) && !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                    if !matches!(self.peek(), TokenKind::Ident(_)) {
+                        break;
+                    }
+                }
+                Ok(DeclItem::Resource { names, span })
+            }
+            "def" | "label" => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::LBracket)?;
+                let lo = self.expect_int()?;
+                self.expect(&TokenKind::Colon)?;
+                let hi = self.expect_int()?;
+                self.expect(&TokenKind::RBracket)?;
+                let flags = self.flags()?;
+                self.expect(&TokenKind::Semi)?;
+                if dir == "def" {
+                    Ok(DeclItem::Def {
+                        name,
+                        range: (lo, hi),
+                        flags,
+                        span,
+                    })
+                } else {
+                    Ok(DeclItem::Label {
+                        name,
+                        range: (lo, hi),
+                        flags,
+                        span,
+                    })
+                }
+            }
+            "memory" => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::LBracket)?;
+                let lo = self.expect_int()?;
+                self.expect(&TokenKind::Colon)?;
+                let hi = self.expect_int()?;
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(DeclItem::Memory {
+                    name,
+                    range: (lo, hi),
+                    span,
+                })
+            }
+            "clock" => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(DeclItem::Clock { name, span })
+            }
+            "element" => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(DeclItem::Element { name, span })
+            }
+            "class" => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::LBrace)?;
+                let mut elements = Vec::new();
+                loop {
+                    let (e, _) = self.expect_ident()?;
+                    elements.push(e);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RBrace)?;
+                self.eat(&TokenKind::Semi);
+                Ok(DeclItem::Class {
+                    name,
+                    elements,
+                    span,
+                })
+            }
+            other => Err(MarilError::parse(
+                format!("unknown declare directive `%{other}`"),
+                span,
+            )),
+        }
+    }
+
+    fn decl_reg(&mut self, span: Span) -> Result<DeclItem, MarilError> {
+        let (name, _) = self.expect_ident()?;
+        let range = if self.eat(&TokenKind::LBracket) {
+            let lo = self.expect_int()?;
+            self.expect(&TokenKind::Colon)?;
+            let hi = self.expect_int()?;
+            self.expect(&TokenKind::RBracket)?;
+            Some((lo as u32, hi as u32))
+        } else {
+            None
+        };
+        self.expect(&TokenKind::LParen)?;
+        let mut tys = vec![self.ty()?];
+        while self.eat(&TokenKind::Comma) {
+            tys.push(self.ty()?);
+        }
+        let clock = if self.eat(&TokenKind::Semi) {
+            Some(self.expect_ident()?.0)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::RParen)?;
+        let flags = self.flags()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(DeclItem::Reg {
+            name,
+            range,
+            tys,
+            clock,
+            temporal: flags.iter().any(|f| f == "temporal"),
+            span,
+        })
+    }
+
+    fn flags(&mut self) -> Result<Vec<String>, MarilError> {
+        let mut flags = Vec::new();
+        while self.eat(&TokenKind::Plus) {
+            flags.push(self.expect_ident()?.0);
+        }
+        Ok(flags)
+    }
+
+    fn ty(&mut self) -> Result<Ty, MarilError> {
+        let (name, span) = self.expect_ident()?;
+        Ty::from_keyword(&name)
+            .ok_or_else(|| MarilError::parse(format!("unknown type `{name}`"), span))
+    }
+
+    fn reg_ref(&mut self) -> Result<RegRef, MarilError> {
+        let (class, span) = self.expect_ident()?;
+        self.expect(&TokenKind::LBracket)?;
+        let index = self.expect_int()? as u32;
+        self.expect(&TokenKind::RBracket)?;
+        Ok(RegRef { class, index, span })
+    }
+
+    fn reg_range(&mut self) -> Result<RegRange, MarilError> {
+        let (class, span) = self.expect_ident()?;
+        let range = if self.eat(&TokenKind::LBracket) {
+            let lo = self.expect_int()? as u32;
+            let hi = if self.eat(&TokenKind::Colon) {
+                self.expect_int()? as u32
+            } else {
+                lo
+            };
+            self.expect(&TokenKind::RBracket)?;
+            Some((lo, hi))
+        } else {
+            None
+        };
+        Ok(RegRange { class, range, span })
+    }
+
+    // ---------------- cwvm ----------------
+
+    fn cwvm_item(&mut self) -> Result<CwvmItem, MarilError> {
+        let span = self.span();
+        let dir = match self.peek().clone() {
+            TokenKind::Directive(d) => {
+                self.bump();
+                d
+            }
+            other => {
+                return Err(MarilError::parse(
+                    format!("expected a %directive, found `{other}`"),
+                    span,
+                ));
+            }
+        };
+        let item = match dir.as_str() {
+            "general" => {
+                self.expect(&TokenKind::LParen)?;
+                let ty = self.ty()?;
+                self.expect(&TokenKind::RParen)?;
+                let (class, cspan) = self.expect_ident()?;
+                CwvmItem::General {
+                    ty,
+                    class,
+                    span: cspan,
+                }
+            }
+            "allocable" => CwvmItem::Allocable(self.reg_range()?),
+            "calleesave" => CwvmItem::CalleeSave(self.reg_range()?),
+            "sp" => {
+                let reg = self.reg_ref()?;
+                let flags = self.flags()?;
+                CwvmItem::Sp {
+                    reg,
+                    down: flags.iter().any(|f| f == "down"),
+                }
+            }
+            "fp" => {
+                let reg = self.reg_ref()?;
+                let flags = self.flags()?;
+                CwvmItem::Fp {
+                    reg,
+                    down: flags.iter().any(|f| f == "down"),
+                }
+            }
+            "retaddr" => CwvmItem::RetAddr(self.reg_ref()?),
+            "gp" | "globalptr" => CwvmItem::GlobalPtr(self.reg_ref()?),
+            "hard" => {
+                let reg = self.reg_ref()?;
+                let value = self.expect_int()?;
+                CwvmItem::Hard { reg, value }
+            }
+            "arg" => {
+                self.expect(&TokenKind::LParen)?;
+                let ty = self.ty()?;
+                self.expect(&TokenKind::RParen)?;
+                let reg = self.reg_ref()?;
+                let index = self.expect_int()? as u32;
+                CwvmItem::Arg { ty, reg, index }
+            }
+            "result" => {
+                let reg = self.reg_ref()?;
+                self.expect(&TokenKind::LParen)?;
+                let ty = self.ty()?;
+                self.expect(&TokenKind::RParen)?;
+                CwvmItem::Result { reg, ty }
+            }
+            other => {
+                return Err(MarilError::parse(
+                    format!("unknown cwvm directive `%{other}`"),
+                    span,
+                ));
+            }
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(item)
+    }
+
+    // ---------------- instr ----------------
+
+    fn instr_item(&mut self) -> Result<InstrItem, MarilError> {
+        let span = self.span();
+        let dir = match self.peek().clone() {
+            TokenKind::Directive(d) => {
+                self.bump();
+                d
+            }
+            other => {
+                return Err(MarilError::parse(
+                    format!("expected a %directive, found `{other}`"),
+                    span,
+                ));
+            }
+        };
+        match dir.as_str() {
+            "instr" => Ok(InstrItem::Instr(self.instr_def(span)?)),
+            "move" => Ok(InstrItem::Move(self.instr_def(span)?)),
+            "aux" => self.aux_item(span),
+            "glue" => self.glue_item(span),
+            other => Err(MarilError::parse(
+                format!("unknown instr directive `%{other}`"),
+                span,
+            )),
+        }
+    }
+
+    fn instr_def(&mut self, span: Span) -> Result<InstrDef, MarilError> {
+        // Optional [label] before the mnemonic (Fig. 3: `%move [s.movs] add ...`).
+        let label = if self.eat(&TokenKind::LBracket) {
+            let (l, _) = self.expect_ident()?;
+            self.expect(&TokenKind::RBracket)?;
+            Some(l)
+        } else {
+            None
+        };
+        let escape = self.eat(&TokenKind::Star);
+        let (mnemonic, _) = self.expect_ident()?;
+        // Operand list runs until `(`, `<` or `{`.
+        let mut operands = Vec::new();
+        if !matches!(
+            self.peek(),
+            TokenKind::LParen | TokenKind::LBrace | TokenKind::Lt
+        ) {
+            loop {
+                operands.push(self.operand()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        // Optional type constraint `(int)` / `(double; clk_m)`.
+        let mut ty = None;
+        let mut clock = None;
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            ty = Some(self.ty()?);
+            if self.eat(&TokenKind::Semi) {
+                clock = Some(self.expect_ident()?.0);
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        // Optional packing class `<mul_ops>`.
+        let class = if self.eat(&TokenKind::Lt) {
+            let (c, _) = self.expect_ident()?;
+            self.expect(&TokenKind::Gt)?;
+            Some(c)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::LBrace)?;
+        let sem = self.stmts()?;
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::LBracket)?;
+        let resources = self.resource_vector()?;
+        self.expect(&TokenKind::RBracket)?;
+        self.expect(&TokenKind::LParen)?;
+        let cost = self.expect_int()?;
+        self.expect(&TokenKind::Comma)?;
+        let latency = self.expect_int()?;
+        self.expect(&TokenKind::Comma)?;
+        let slots = self.expect_int()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(InstrDef {
+            mnemonic,
+            escape,
+            label,
+            operands,
+            ty,
+            clock,
+            class,
+            sem,
+            resources,
+            cost,
+            latency,
+            slots,
+            span,
+        })
+    }
+
+    fn operand(&mut self) -> Result<OperandAst, MarilError> {
+        if self.eat(&TokenKind::Hash) {
+            let (name, span) = self.expect_ident()?;
+            // Whether it is an Imm or Lab is resolved by sema; store
+            // the ambiguity as Imm and let sema reclassify.
+            let _ = span;
+            return Ok(OperandAst::Imm(name));
+        }
+        let (class, span) = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let index = self.expect_int()? as u32;
+            self.expect(&TokenKind::RBracket)?;
+            Ok(OperandAst::FixedReg(RegRef { class, index, span }))
+        } else {
+            Ok(OperandAst::RegClass(class))
+        }
+    }
+
+    fn resource_vector(&mut self) -> Result<Vec<Vec<String>>, MarilError> {
+        let mut cycles = Vec::new();
+        while matches!(self.peek(), TokenKind::Ident(_)) {
+            let mut cycle = vec![self.expect_ident()?.0];
+            while self.eat(&TokenKind::Comma) {
+                cycle.push(self.expect_ident()?.0);
+            }
+            cycles.push(cycle);
+            if !self.eat(&TokenKind::Semi) {
+                break;
+            }
+        }
+        Ok(cycles)
+    }
+
+    fn aux_item(&mut self, span: Span) -> Result<InstrItem, MarilError> {
+        let (first, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let (second, _) = self.expect_ident()?;
+        let mut cond = None;
+        // Optional `(1.$1 == 2.$1)` condition; distinguished from the
+        // latency parens by the `.` after the first integer.
+        if matches!(self.peek(), TokenKind::LParen)
+            && matches!(self.peek_at(1), TokenKind::Int(_))
+            && matches!(self.peek_at(2), TokenKind::Dot)
+        {
+            self.bump(); // (
+            let fi = self.expect_int()?;
+            self.expect(&TokenKind::Dot)?;
+            self.expect(&TokenKind::Dollar)?;
+            let fop = self.expect_int()?;
+            self.expect(&TokenKind::EqEq)?;
+            let si = self.expect_int()?;
+            self.expect(&TokenKind::Dot)?;
+            self.expect(&TokenKind::Dollar)?;
+            let sop = self.expect_int()?;
+            self.expect(&TokenKind::RParen)?;
+            if fi != 1 || si != 2 {
+                return Err(MarilError::parse(
+                    "aux condition must compare `1.$i` with `2.$j`",
+                    span,
+                ));
+            }
+            cond = Some(AuxCond {
+                first_op: fop as u8,
+                second_op: sop as u8,
+            });
+        }
+        self.expect(&TokenKind::LParen)?;
+        let latency = self.expect_int()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(InstrItem::Aux {
+            first,
+            second,
+            cond,
+            latency,
+            span,
+        })
+    }
+
+    fn glue_item(&mut self, span: Span) -> Result<InstrItem, MarilError> {
+        let mut operands = Vec::new();
+        if !matches!(self.peek(), TokenKind::LBrace) {
+            loop {
+                operands.push(self.operand()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let from = self.expr(0)?;
+        self.expect(&TokenKind::Arrow)?;
+        let to = self.expr(0)?;
+        self.eat(&TokenKind::Semi);
+        self.expect(&TokenKind::RBrace)?;
+        let rule = match (split_rel(&from), split_rel(&to)) {
+            (Some((fr, _, _)), Some((tr, tl, trr))) => GlueRule::Cond {
+                from_rel: fr,
+                to_rel: tr,
+                to_lhs: tl,
+                to_rhs: trr,
+            },
+            _ => GlueRule::Value { from, to },
+        };
+        Ok(InstrItem::Glue {
+            operands,
+            rule,
+            span,
+        })
+    }
+
+    // ---------------- statements & expressions ----------------
+
+    fn stmts(&mut self) -> Result<Vec<Stmt>, MarilError> {
+        let mut out = Vec::new();
+        while !matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+            if self.eat(&TokenKind::Semi) {
+                continue;
+            }
+            out.push(self.stmt()?);
+        }
+        if out.is_empty() {
+            out.push(Stmt::Nop);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, MarilError> {
+        match self.peek().clone() {
+            TokenKind::Ident(kw) if kw == "if" => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr(0)?;
+                self.expect(&TokenKind::RParen)?;
+                let (goto_kw, gspan) = self.expect_ident()?;
+                if goto_kw != "goto" {
+                    return Err(MarilError::parse("expected `goto` after if-condition", gspan));
+                }
+                self.expect(&TokenKind::Dollar)?;
+                let target = self.expect_int()? as u8;
+                self.expect(&TokenKind::Semi)?;
+                let (rel, lhs, rhs) = split_rel(&cond).ok_or_else(|| {
+                    MarilError::parse(
+                        "if-condition must be a relational comparison",
+                        gspan,
+                    )
+                })?;
+                Ok(Stmt::CondGoto {
+                    rel,
+                    lhs,
+                    rhs,
+                    target,
+                })
+            }
+            TokenKind::Ident(kw) if kw == "goto" => {
+                self.bump();
+                self.expect(&TokenKind::Dollar)?;
+                let target = self.expect_int()? as u8;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Goto(target))
+            }
+            TokenKind::Ident(kw) if kw == "call" => {
+                self.bump();
+                self.expect(&TokenKind::Dollar)?;
+                let target = self.expect_int()? as u8;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Call(target))
+            }
+            TokenKind::Ident(kw) if kw == "return" => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return)
+            }
+            _ => {
+                let lv = self.lvalue()?;
+                self.expect(&TokenKind::Assign)?;
+                let rhs = self.expr(0)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Assign(lv, rhs))
+            }
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, MarilError> {
+        if self.eat(&TokenKind::Dollar) {
+            let k = self.expect_int()? as u8;
+            return Ok(LValue::Operand(k));
+        }
+        let (name, _) = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let addr = self.expr(0)?;
+            self.expect(&TokenKind::RBracket)?;
+            Ok(LValue::Mem(name, addr))
+        } else {
+            Ok(LValue::Temporal(name))
+        }
+    }
+
+    /// Pratt expression parser. Precedence (loosest to tightest):
+    /// `|`, `^`, `&`, `== !=`, `< <= > >= ::`, `<< >>`, `+ -`,
+    /// `* / %`.
+    fn expr(&mut self, min_bp: u8) -> Result<Expr, MarilError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, bp) = match self.peek() {
+                TokenKind::Pipe => (BinOp::Or, 1),
+                TokenKind::Caret => (BinOp::Xor, 2),
+                TokenKind::Amp => (BinOp::And, 3),
+                TokenKind::EqEq => (BinOp::Eq, 4),
+                TokenKind::Ne => (BinOp::Ne, 4),
+                TokenKind::Lt => (BinOp::Lt, 5),
+                TokenKind::Le => (BinOp::Le, 5),
+                TokenKind::Gt => (BinOp::Gt, 5),
+                TokenKind::Ge => (BinOp::Ge, 5),
+                TokenKind::ColonColon => (BinOp::Cmp, 5),
+                TokenKind::Shl => (BinOp::Shl, 6),
+                TokenKind::Shr => (BinOp::Shr, 6),
+                TokenKind::Plus => (BinOp::Add, 7),
+                TokenKind::Minus => (BinOp::Sub, 7),
+                TokenKind::Star => (BinOp::Mul, 8),
+                TokenKind::Slash => (BinOp::Div, 8),
+                TokenKind::Percent => (BinOp::Rem, 8),
+                _ => break,
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr(bp + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, MarilError> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Expr::Int(v) => Expr::Int(-v),
+                other => Expr::Un(UnOp::Neg, Box::new(other)),
+            });
+        }
+        if self.eat(&TokenKind::Tilde) {
+            let inner = self.unary()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, MarilError> {
+        match self.peek().clone() {
+            TokenKind::Dollar => {
+                self.bump();
+                let k = self.expect_int()? as u8;
+                Ok(Expr::Operand(k))
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::LParen => {
+                // `(int)$2` conversion vs parenthesised expression.
+                if let TokenKind::Ident(name) = self.peek_at(1) {
+                    if Ty::from_keyword(name).is_some()
+                        && matches!(self.peek_at(2), TokenKind::RParen)
+                    {
+                        self.bump(); // (
+                        let ty = self.ty()?;
+                        self.bump(); // )
+                        let inner = self.unary()?;
+                        return Ok(Expr::Convert(ty, Box::new(inner)));
+                    }
+                }
+                self.bump();
+                let e = self.expr(0)?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let builtin = match name.as_str() {
+                        "high" => Builtin::High,
+                        "low" => Builtin::Low,
+                        "eval" => Builtin::Eval,
+                        other => {
+                            return Err(MarilError::parse(
+                                format!("unknown built-in `{other}`"),
+                                span,
+                            ));
+                        }
+                    };
+                    let arg = self.expr(0)?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call(builtin, Box::new(arg)))
+                } else if self.eat(&TokenKind::LBracket) {
+                    let addr = self.expr(0)?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(Expr::Mem(name, Box::new(addr)))
+                } else {
+                    Ok(Expr::Temporal(name))
+                }
+            }
+            other => Err(MarilError::parse(
+                format!("expected expression, found `{other}`"),
+                self.span(),
+            )),
+        }
+    }
+}
+
+/// If `e` is a top-level relational comparison, splits it into
+/// `(relation, lhs, rhs)`.
+fn split_rel(e: &Expr) -> Option<(BinOp, Expr, Expr)> {
+    match e {
+        Expr::Bin(op, lhs, rhs) if op.is_relational() => {
+            Some((*op, (**lhs).clone(), (**rhs).clone()))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Description {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_toyp_declare() {
+        let d = parse_src(
+            r#"declare {
+                %reg r[0:7] (int);
+                %reg d[0:3] (double);
+                %equiv r[0] d[0];
+                %resource IF; ID; IE; IA; IW;
+                %resource F1; F2; F3; F4; F5;
+                %def const16 [-32768:32767];
+                %label rlab [-32768:32767] +relative;
+                %memory m[0:2147483647];
+            }"#,
+        );
+        assert_eq!(d.declare.len(), 8);
+        assert!(matches!(
+            &d.declare[0],
+            DeclItem::Reg { name, range: Some((0, 7)), tys, .. }
+                if name == "r" && tys == &[Ty::Int]
+        ));
+        assert!(matches!(
+            &d.declare[3],
+            DeclItem::Resource { names, .. } if names.len() == 5
+        ));
+        assert!(matches!(
+            &d.declare[6],
+            DeclItem::Label { name, flags, .. } if name == "rlab" && flags == &["relative".to_string()]
+        ));
+    }
+
+    #[test]
+    fn parses_temporal_reg_with_clock() {
+        let d = parse_src(
+            r#"declare {
+                %clock clk_m;
+                %reg m1 (double; clk_m) +temporal;
+            }"#,
+        );
+        assert!(matches!(
+            &d.declare[1],
+            DeclItem::Reg { name, range: None, clock: Some(c), temporal: true, .. }
+                if name == "m1" && c == "clk_m"
+        ));
+    }
+
+    #[test]
+    fn parses_cwvm() {
+        let d = parse_src(
+            r#"cwvm {
+                %general (int) r;
+                %allocable r[1:5];
+                %calleesave r[4:7];
+                %sp r[7] +down;
+                %fp r[6] +down;
+                %retaddr r[1];
+                %hard r[0] 0;
+                %arg (int) r[2] 1;
+                %result r[2] (int);
+            }"#,
+        );
+        assert_eq!(d.cwvm.len(), 9);
+        assert!(matches!(&d.cwvm[3], CwvmItem::Sp { down: true, .. }));
+        assert!(matches!(
+            &d.cwvm[7],
+            CwvmItem::Arg { ty: Ty::Int, index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_simple_instr() {
+        let d = parse_src(
+            r#"instr {
+                %instr add r, r, r (int) {$1 = $2 + $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+            }"#,
+        );
+        let InstrItem::Instr(def) = &d.instrs[0] else {
+            panic!("expected instr");
+        };
+        assert_eq!(def.mnemonic, "add");
+        assert_eq!(def.operands.len(), 3);
+        assert_eq!(def.resources.len(), 5);
+        assert_eq!((def.cost, def.latency, def.slots), (1, 1, 0));
+        assert_eq!(def.sem.len(), 1);
+    }
+
+    #[test]
+    fn parses_fixed_reg_and_imm_operands() {
+        let d = parse_src(
+            r#"instr {
+                %instr add r, r[0], #const16 (int) {$1 = $3;} [IF;] (1,1,0)
+            }"#,
+        );
+        let InstrItem::Instr(def) = &d.instrs[0] else {
+            panic!()
+        };
+        assert!(matches!(&def.operands[1], OperandAst::FixedReg(r) if r.class == "r" && r.index == 0));
+        assert!(matches!(&def.operands[2], OperandAst::Imm(n) if n == "const16"));
+    }
+
+    #[test]
+    fn parses_branch_with_negative_slots() {
+        let d = parse_src(
+            r#"instr {
+                %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [IF; ID; IE;] (1,2,-1)
+            }"#,
+        );
+        let InstrItem::Instr(def) = &d.instrs[0] else {
+            panic!()
+        };
+        assert_eq!(def.slots, -1);
+        assert!(matches!(
+            &def.sem[0],
+            Stmt::CondGoto { rel: BinOp::Eq, target: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_multi_resource_cycles() {
+        let d = parse_src(
+            r#"instr {
+                %instr fadd.d d, d, d {$1 = $2 + $3;} [IF; ID; F1,ID; F1; F2; F3; F4; F5; IW,F5;] (1,6,0)
+            }"#,
+        );
+        let InstrItem::Instr(def) = &d.instrs[0] else {
+            panic!()
+        };
+        assert_eq!(def.resources.len(), 9);
+        assert_eq!(def.resources[2], vec!["F1".to_string(), "ID".to_string()]);
+    }
+
+    #[test]
+    fn parses_move_with_label_and_escape() {
+        let d = parse_src(
+            r#"instr {
+                %move [s.movs] add r, r, r[0] {$1 = $2;} [IF; ID; IE; IA; IW;] (1,1,0)
+                %move *movd d, d {$1 = $2;} [] (0,0,0)
+            }"#,
+        );
+        let InstrItem::Move(m1) = &d.instrs[0] else {
+            panic!()
+        };
+        assert_eq!(m1.label.as_deref(), Some("s.movs"));
+        assert!(!m1.escape);
+        let InstrItem::Move(m2) = &d.instrs[1] else {
+            panic!()
+        };
+        assert!(m2.escape);
+        assert!(m2.resources.is_empty());
+    }
+
+    #[test]
+    fn parses_aux_with_condition() {
+        let d = parse_src(
+            r#"instr {
+                %aux fadd.d : st.d (1.$1 == 2.$1) (7)
+            }"#,
+        );
+        assert!(matches!(
+            &d.instrs[0],
+            InstrItem::Aux { first, second, cond: Some(AuxCond { first_op: 1, second_op: 1 }), latency: 7, .. }
+                if first == "fadd.d" && second == "st.d"
+        ));
+    }
+
+    #[test]
+    fn parses_aux_without_condition() {
+        let d = parse_src(r#"instr { %aux ld : st (3) }"#);
+        assert!(matches!(
+            &d.instrs[0],
+            InstrItem::Aux { cond: None, latency: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_glue_cond_rule() {
+        let d = parse_src(
+            r#"instr {
+                %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}
+            }"#,
+        );
+        let InstrItem::Glue { rule, .. } = &d.instrs[0] else {
+            panic!()
+        };
+        let GlueRule::Cond {
+            from_rel,
+            to_rel,
+            to_lhs,
+            to_rhs,
+        } = rule
+        else {
+            panic!("expected cond rule, got {rule:?}")
+        };
+        assert_eq!(*from_rel, BinOp::Eq);
+        assert_eq!(*to_rel, BinOp::Eq);
+        assert_eq!(to_lhs.to_string(), "($1 :: $2)");
+        assert_eq!(to_rhs.to_string(), "0");
+    }
+
+    #[test]
+    fn parses_conversion_expression() {
+        let d = parse_src(
+            r#"instr {
+                %instr cvt d, r {$1 = (double)$2;} [IF;] (1,2,0)
+            }"#,
+        );
+        let InstrItem::Instr(def) = &d.instrs[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &def.sem[0],
+            Stmt::Assign(_, Expr::Convert(Ty::Double, _))
+        ));
+    }
+
+    #[test]
+    fn parses_temporal_semantics_and_class() {
+        let d = parse_src(
+            r#"declare { %clock clk_m; }
+               instr {
+                %instr M1 d, d (double; clk_m) <mul_ops> {m1 = $1 * $2;} [M1;] (1,1,0)
+                %instr M2 (double; clk_m) {m2 = m1;} [M2;] (1,1,0)
+            }"#,
+        );
+        let InstrItem::Instr(m1) = &d.instrs[0] else {
+            panic!()
+        };
+        assert_eq!(m1.clock.as_deref(), Some("clk_m"));
+        assert_eq!(m1.class.as_deref(), Some("mul_ops"));
+        let InstrItem::Instr(m2) = &d.instrs[1] else {
+            panic!()
+        };
+        assert!(m2.operands.is_empty());
+        assert!(matches!(
+            &m2.sem[0],
+            Stmt::Assign(LValue::Temporal(t), Expr::Temporal(s)) if t == "m2" && s == "m1"
+        ));
+    }
+
+    #[test]
+    fn parses_store_semantics() {
+        let d = parse_src(
+            r#"instr {
+                %instr st r, r, #const16 {m[$2+$3] = $1;} [IF;] (1,1,0)
+            }"#,
+        );
+        let InstrItem::Instr(def) = &d.instrs[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &def.sem[0],
+            Stmt::Assign(LValue::Mem(bank, _), Expr::Operand(1)) if bank == "m"
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_section() {
+        let err = parse(&lex("bogus { }").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("unknown section"));
+    }
+
+    #[test]
+    fn rejects_missing_triple() {
+        let err = parse(&lex("instr { %instr add r, r, r {$1 = $2 + $3;} [IF;] }").unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn parses_call_and_return_semantics() {
+        let d = parse_src(
+            r#"instr {
+                %instr bsr #rlab {call $1;} [IF; ID; IE;] (1,1,1)
+                %instr rts {return;} [IF; ID; IE;] (1,1,1)
+            }"#,
+        );
+        let InstrItem::Instr(bsr) = &d.instrs[0] else {
+            panic!()
+        };
+        assert!(matches!(&bsr.sem[0], Stmt::Call(1)));
+        let InstrItem::Instr(rts) = &d.instrs[1] else {
+            panic!()
+        };
+        assert!(matches!(&rts.sem[0], Stmt::Return));
+    }
+
+    #[test]
+    fn parses_builtin_high_low() {
+        let d = parse_src(
+            r#"instr {
+                %instr lui r, #const32 {$1 = high($2) << 16;} [IF;] (1,1,0)
+            }"#,
+        );
+        let InstrItem::Instr(def) = &d.instrs[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &def.sem[0],
+            Stmt::Assign(_, Expr::Bin(BinOp::Shl, lhs, _))
+                if matches!(**lhs, Expr::Call(Builtin::High, _))
+        ));
+    }
+}

@@ -1,0 +1,343 @@
+//! Pretty-printing a parsed [`Description`] back to Maril source.
+//!
+//! The printer is the inverse of the parser up to whitespace and
+//! comments: `parse(print(parse(s)))` equals `parse(s)`. Useful for
+//! tooling (normalising descriptions, emitting machine variants
+//! programmatically) and as a strong parser test.
+
+use crate::ast::*;
+use crate::expr::{LValue, Stmt};
+use std::fmt::Write as _;
+
+/// Renders a description as Maril source.
+pub fn print_description(desc: &Description) -> String {
+    let mut out = String::new();
+    if !desc.declare.is_empty() {
+        out.push_str("declare {\n");
+        for item in &desc.declare {
+            let _ = writeln!(out, "    {}", print_decl(item));
+        }
+        out.push_str("}\n");
+    }
+    if !desc.cwvm.is_empty() {
+        out.push_str("cwvm {\n");
+        for item in &desc.cwvm {
+            let _ = writeln!(out, "    {}", print_cwvm(item));
+        }
+        out.push_str("}\n");
+    }
+    if !desc.instrs.is_empty() {
+        out.push_str("instr {\n");
+        for item in &desc.instrs {
+            let _ = writeln!(out, "    {}", print_instr_item(item));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn print_range(range: &Option<(u32, u32)>) -> String {
+    match range {
+        Some((lo, hi)) => format!("[{lo}:{hi}]"),
+        None => String::new(),
+    }
+}
+
+fn print_flags(flags: &[String]) -> String {
+    flags
+        .iter()
+        .map(|f| format!(" +{f}"))
+        .collect::<String>()
+}
+
+fn print_decl(item: &DeclItem) -> String {
+    match item {
+        DeclItem::Reg {
+            name,
+            range,
+            tys,
+            clock,
+            temporal,
+            ..
+        } => {
+            let tys: Vec<String> = tys.iter().map(|t| t.to_string()).collect();
+            let clock = clock
+                .as_ref()
+                .map(|c| format!("; {c}"))
+                .unwrap_or_default();
+            let temporal = if *temporal { " +temporal" } else { "" };
+            format!(
+                "%reg {name}{} ({}{clock}){temporal};",
+                print_range(range),
+                tys.join(", ")
+            )
+        }
+        DeclItem::Equiv { a, b, .. } => {
+            format!("%equiv {}[{}] {}[{}];", a.class, a.index, b.class, b.index)
+        }
+        DeclItem::Resource { names, .. } => {
+            format!("%resource {};", names.join("; "))
+        }
+        DeclItem::Def {
+            name, range, flags, ..
+        } => format!(
+            "%def {name} [{}:{}]{};",
+            range.0,
+            range.1,
+            print_flags(flags)
+        ),
+        DeclItem::Label {
+            name, range, flags, ..
+        } => format!(
+            "%label {name} [{}:{}]{};",
+            range.0,
+            range.1,
+            print_flags(flags)
+        ),
+        DeclItem::Memory { name, range, .. } => {
+            format!("%memory {name}[{}:{}];", range.0, range.1)
+        }
+        DeclItem::Clock { name, .. } => format!("%clock {name};"),
+        DeclItem::Element { name, .. } => format!("%element {name};"),
+        DeclItem::Class { name, elements, .. } => {
+            format!("%class {name} {{ {} }};", elements.join(", "))
+        }
+    }
+}
+
+fn print_reg_ref(r: &RegRef) -> String {
+    format!("{}[{}]", r.class, r.index)
+}
+
+fn print_reg_range(r: &RegRange) -> String {
+    format!("{}{}", r.class, print_range(&r.range))
+}
+
+fn print_cwvm(item: &CwvmItem) -> String {
+    match item {
+        CwvmItem::General { ty, class, .. } => format!("%general ({ty}) {class};"),
+        CwvmItem::Allocable(r) => format!("%allocable {};", print_reg_range(r)),
+        CwvmItem::CalleeSave(r) => format!("%calleesave {};", print_reg_range(r)),
+        CwvmItem::Sp { reg, down } => format!(
+            "%sp {}{};",
+            print_reg_ref(reg),
+            if *down { " +down" } else { "" }
+        ),
+        CwvmItem::Fp { reg, down } => format!(
+            "%fp {}{};",
+            print_reg_ref(reg),
+            if *down { " +down" } else { "" }
+        ),
+        CwvmItem::RetAddr(reg) => format!("%retaddr {};", print_reg_ref(reg)),
+        CwvmItem::GlobalPtr(reg) => format!("%gp {};", print_reg_ref(reg)),
+        CwvmItem::Hard { reg, value } => format!("%hard {} {value};", print_reg_ref(reg)),
+        CwvmItem::Arg { ty, reg, index } => {
+            format!("%arg ({ty}) {} {index};", print_reg_ref(reg))
+        }
+        CwvmItem::Result { reg, ty } => format!("%result {} ({ty});", print_reg_ref(reg)),
+    }
+}
+
+fn print_operand(op: &OperandAst) -> String {
+    match op {
+        OperandAst::RegClass(name) => name.clone(),
+        OperandAst::FixedReg(r) => print_reg_ref(r),
+        OperandAst::Imm(name) | OperandAst::Lab(name) => format!("#{name}"),
+    }
+}
+
+fn print_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Assign(LValue::Operand(k), e) => format!("${k} = {};", print_expr(e)),
+        Stmt::Assign(LValue::Temporal(t), e) => format!("{t} = {};", print_expr(e)),
+        Stmt::Assign(LValue::Mem(bank, a), e) => {
+            format!("{bank}[{}] = {};", print_expr(a), print_expr(e))
+        }
+        Stmt::CondGoto {
+            rel,
+            lhs,
+            rhs,
+            target,
+        } => format!(
+            "if ({} {rel} {}) goto ${target};",
+            print_expr(lhs),
+            print_expr(rhs)
+        ),
+        Stmt::Goto(k) => format!("goto ${k};"),
+        Stmt::Call(k) => format!("call ${k};"),
+        Stmt::Return => "return;".into(),
+        Stmt::Nop => String::new(),
+    }
+}
+
+fn print_expr(e: &crate::Expr) -> String {
+    // The Display impl already parenthesises compound expressions.
+    e.to_string()
+}
+
+fn print_instr_item(item: &InstrItem) -> String {
+    match item {
+        InstrItem::Instr(def) => format!("%instr {}", print_instr_def(def)),
+        InstrItem::Move(def) => format!("%move {}", print_instr_def(def)),
+        InstrItem::Aux {
+            first,
+            second,
+            cond,
+            latency,
+            ..
+        } => {
+            let cond = cond
+                .map(|c| format!(" (1.${} == 2.${})", c.first_op, c.second_op))
+                .unwrap_or_default();
+            format!("%aux {first} : {second}{cond} ({latency})")
+        }
+        InstrItem::Glue { operands, rule, .. } => {
+            let ops: Vec<String> = operands.iter().map(print_operand).collect();
+            let ops = if ops.is_empty() {
+                String::new()
+            } else {
+                format!("{} ", ops.join(", "))
+            };
+            let body = match rule {
+                GlueRule::Cond {
+                    from_rel,
+                    to_rel,
+                    to_lhs,
+                    to_rhs,
+                } => format!(
+                    "($1 {from_rel} $2) ==> ({} {to_rel} {})",
+                    print_expr(to_lhs),
+                    print_expr(to_rhs)
+                ),
+                GlueRule::Value { from, to } =>
+
+                    format!("{} ==> {}", print_expr(from), print_expr(to)),
+            };
+            format!("%glue {ops}{{{body};}}")
+        }
+    }
+}
+
+fn print_instr_def(def: &InstrDef) -> String {
+    let mut out = String::new();
+    if let Some(label) = &def.label {
+        let _ = write!(out, "[{label}] ");
+    }
+    if def.escape {
+        out.push('*');
+    }
+    out.push_str(&def.mnemonic);
+    if !def.operands.is_empty() {
+        let ops: Vec<String> = def.operands.iter().map(print_operand).collect();
+        let _ = write!(out, " {}", ops.join(", "));
+    }
+    if let Some(ty) = def.ty {
+        match &def.clock {
+            Some(c) => {
+                let _ = write!(out, " ({ty}; {c})");
+            }
+            None => {
+                let _ = write!(out, " ({ty})");
+            }
+        }
+    }
+    if let Some(class) = &def.class {
+        let _ = write!(out, " <{class}>");
+    }
+    let stmts: Vec<String> = def.sem.iter().map(print_stmt).collect();
+    let _ = write!(out, " {{{}}}", stmts.join(" "));
+    let cycles: Vec<String> = def.resources.iter().map(|c| c.join(",")).collect();
+    let _ = write!(out, " [{}]", {
+        let mut t = cycles.join("; ");
+        if !t.is_empty() {
+            t.push(';');
+        }
+        t
+    });
+    let _ = write!(out, " ({},{},{})", def.cost, def.latency, def.slots);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    /// Strips spans so round-tripped ASTs compare structurally.
+    fn normalize(desc: &Description) -> String {
+        // Printing twice normalises formatting; comparing the printed
+        // forms avoids span differences entirely.
+        print_description(desc)
+    }
+
+    fn round_trip(src: &str) {
+        let first = parse(&lex(src).unwrap()).unwrap();
+        let printed = print_description(&first);
+        let second = parse(&lex(&printed).unwrap())
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(
+            normalize(&first),
+            normalize(&second),
+            "round trip changed the description:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn round_trips_a_kitchen_sink() {
+        round_trip(
+            r#"
+            declare {
+                %reg r[0:7] (int);
+                %reg d[0:3] (double);
+                %equiv r[0] d[0];
+                %resource IF; ID; IE;
+                %clock clk_m;
+                %reg m1 (double; clk_m) +temporal;
+                %element pfmul;
+                %element pfadd;
+                %class muls { pfmul, pfadd };
+                %def const16 [-32768:32767];
+                %def addr [0:65535] +abs;
+                %label rlab [-1024:1023] +relative;
+                %memory m[0:1048575];
+            }
+            cwvm {
+                %general (int) r;
+                %allocable r[1:5];
+                %calleesave r[4:7];
+                %sp r[7] +down;
+                %fp r[6];
+                %retaddr r[1];
+                %hard r[0] 0;
+                %arg (int) r[2] 1;
+                %result r[2] (int);
+            }
+            instr {
+                %instr add r, r, r (int) {$1 = $2 + $3;} [IF; ID,IE;] (1,1,0)
+                %instr M1 d, d (double; clk_m) <muls> {m1 = $1 * $2;} [IF;] (1,1,0)
+                %instr st r, r, #const16 {m[$2+$3] = $1;} [IF;] (1,1,0)
+                %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [IF;] (1,2,-1)
+                %instr nop {} [IF;] (1,1,0)
+                %move [s.movs] add2 r, r, r[0] {$1 = $2;} [IF;] (1,1,0)
+                %move *movd d, d {$1 = $2;} [] (0,0,0)
+                %aux add : st (1.$1 == 2.$1) (3)
+                %aux add : add (2)
+                %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_all_bundled_machine_sections() {
+        // The bundled descriptions live in marion-machines (which
+        // depends on this crate), so this test uses representative
+        // fragments of each feature instead; the machines crate has
+        // its own parse tests.
+        round_trip("declare { %resource A; B; C; }");
+        round_trip("instr { %instr ret {return;} [A;] (1,1,1) }");
+        round_trip("instr { %instr bsr #l {call $1;} [A;] (1,1,1) }
+                    declare { %label l [0:1] +relative; %resource A; }");
+    }
+}

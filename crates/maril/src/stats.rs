@@ -1,0 +1,65 @@
+//! Description statistics, mirroring the paper's Table 1.
+
+use std::fmt;
+
+/// Size and composition of one machine description. The paper's
+/// Table 1 reports these for the 88000, R2000 and i860: section sizes
+/// in lines and item counts per kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DescriptionStats {
+    /// Lines of the `declare` section.
+    pub declare_lines: usize,
+    /// Lines of the `cwvm` section.
+    pub cwvm_lines: usize,
+    /// Lines of the `instr` section.
+    pub instr_lines: usize,
+    /// Number of `%instr` directives (including `%move`).
+    pub instr_directives: usize,
+    /// Number of clocks declared.
+    pub clocks: usize,
+    /// Number of long-instruction-word elements.
+    pub elements: usize,
+    /// Number of packing classes.
+    pub classes: usize,
+    /// Number of `%aux` auxiliary latency directives.
+    pub aux_lats: usize,
+    /// Number of `%glue` transformations.
+    pub glue_xforms: usize,
+    /// Number of `*func` escapes.
+    pub funcs: usize,
+}
+
+impl fmt::Display for DescriptionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "declare lines   {:>6}", self.declare_lines)?;
+        writeln!(f, "cwvm lines      {:>6}", self.cwvm_lines)?;
+        writeln!(f, "instr lines     {:>6}", self.instr_lines)?;
+        writeln!(f, "instr dirs      {:>6}", self.instr_directives)?;
+        writeln!(f, "clocks          {:>6}", self.clocks)?;
+        writeln!(f, "elements        {:>6}", self.elements)?;
+        writeln!(f, "classes         {:>6}", self.classes)?;
+        writeln!(f, "aux lats        {:>6}", self.aux_lats)?;
+        writeln!(f, "glue xforms     {:>6}", self.glue_xforms)?;
+        write!(f, "funcs           {:>6}", self.funcs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_every_row() {
+        let s = DescriptionStats {
+            clocks: 4,
+            elements: 140,
+            classes: 67,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        for key in ["declare", "cwvm", "clocks", "elements", "classes", "aux", "glue", "funcs"] {
+            assert!(text.contains(key), "missing {key}: {text}");
+        }
+        assert!(text.contains("140"));
+    }
+}

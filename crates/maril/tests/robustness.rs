@@ -1,0 +1,105 @@
+//! Robustness: the Maril front end must reject garbage with errors,
+//! never panics — mutated descriptions, truncations and random token
+//! soup all produce `Err`, and spans stay within the source.
+
+use marion_maril::Machine;
+use proptest::prelude::*;
+
+const BASE: &str = r#"
+declare {
+    %reg r[0:7] (int);
+    %resource IF; ID;
+    %def c16 [-32768:32767];
+    %label l [-128:127] +relative;
+    %memory m[0:65535];
+}
+cwvm {
+    %general (int) r;
+    %allocable r[1:5];
+    %sp r[7] +down;
+    %fp r[6];
+    %retaddr r[1];
+}
+instr {
+    %instr add r, r, r (int) {$1 = $2 + $3;} [IF; ID;] (1,1,0)
+    %instr b #l {goto $1;} [IF;] (1,1,1)
+}
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Truncating a valid description anywhere must not panic.
+    #[test]
+    fn truncations_never_panic(cut in 0usize..BASE.len()) {
+        // Cut on a char boundary.
+        let mut cut = cut;
+        while !BASE.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = Machine::parse("t", &BASE[..cut]);
+    }
+
+    /// Splicing random bytes into a valid description must not panic,
+    /// and any reported span must lie within the source.
+    #[test]
+    fn mutations_never_panic(pos in 0usize..BASE.len(), noise in "[ -~]{1,12}") {
+        let mut pos = pos;
+        while !BASE.is_char_boundary(pos) {
+            pos -= 1;
+        }
+        let mutated = format!("{}{}{}", &BASE[..pos], noise, &BASE[pos..]);
+        match Machine::parse("t", &mutated) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(e.span().start <= mutated.len());
+                // Rendering the diagnostic must also be safe.
+                let _ = e.render("t.maril", &mutated);
+            }
+        }
+    }
+
+    /// Pure token soup.
+    #[test]
+    fn token_soup_never_panics(src in "[%a-z0-9\\[\\]{}();:,#$*+<>=!&|^~. -]{0,200}") {
+        let _ = Machine::parse("t", &src);
+    }
+}
+
+#[test]
+fn specific_nasty_inputs() {
+    // (The empty string is a valid — degenerate — description.)
+    for src in [
+        "declare",
+        "declare {",
+        "declare { %reg }",
+        "declare { %reg r[7:0] (int); }",
+        "declare { %reg r[0:7] (bogus); }",
+        "instr { %instr x {$1 = $2;} [A;] (1,1,0) }",
+        "instr { %instr x r {$9 = $1;} [] (1,1,0) }",
+        "declare { %resource A; } instr { %instr x {$1 = m[$2];} [A;] (1,1,0) }",
+        "declare { %reg r[0:7] (int); %reg r[0:3] (int); }",
+        "cwvm { %sp r[0]; }",
+        "instr { %aux a : b (1) }",
+        "declare { %class c { x }; }",
+        "declare { %reg m1 (double; nope) +temporal; }",
+        "%%%%%",
+        "declare { %def d [5:1]; }",
+    ] {
+        assert!(Machine::parse("t", src).is_err(), "accepted garbage: {src}");
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    let mut expr = String::from("$2");
+    for _ in 0..60 {
+        expr = format!("({expr} + $3)");
+    }
+    let src = format!(
+        "declare {{ %reg r[0:7] (int); %resource A; }}
+         cwvm {{ %general (int) r; }}
+         instr {{ %instr x r, r, r (int) {{$1 = {expr};}} [A;] (1,1,0) }}"
+    );
+    Machine::parse("t", &src).unwrap();
+}

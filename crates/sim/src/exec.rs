@@ -1,0 +1,306 @@
+//! Functional execution of instruction semantics.
+//!
+//! Each instruction's behaviour is its Maril semantic expression —
+//! the same trees the selector matched — evaluated against the
+//! simulated register file, latches and memory. A whole instruction
+//! word reads pre-word state and commits afterwards (EAP tick
+//! semantics).
+
+use crate::regs::RegFile;
+use crate::{fault, SimError};
+use marion_core::{AsmInst, ImmVal, Operand};
+use marion_ir::interp::{binop, compare, convert, Value};
+use marion_maril::expr::{LValue, Stmt};
+use marion_maril::{Builtin, Expr, Machine, PhysReg, Ty};
+
+/// A control-flow event produced by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Control {
+    /// Conditional/unconditional branch to a block of the current
+    /// function.
+    Branch(marion_ir::BlockId),
+    /// Call to a function symbol.
+    Call(marion_ir::SymbolId),
+    /// Return to the address in the return-address register.
+    Return,
+}
+
+/// The buffered effects of one instruction word.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Register writes to commit.
+    pub reg_writes: Vec<(PhysReg, Value)>,
+    /// Raw register writes (bit-exact moves), captured pre-word.
+    pub raw_writes: Vec<(PhysReg, Vec<u32>)>,
+    /// Temporal latch writes to commit.
+    pub latch_writes: Vec<(usize, f64)>,
+    /// Memory writes: (address, value, width type).
+    pub mem_writes: Vec<(u32, Value, Ty)>,
+    /// Memory addresses read (for the data cache model).
+    pub mem_reads: Vec<u32>,
+    /// Control event, if any.
+    pub control: Option<Control>,
+}
+
+/// Evaluation context for one instruction.
+pub struct ExecCtx<'a> {
+    /// The machine description.
+    pub machine: &'a Machine,
+    /// Registers and latches (pre-word state).
+    pub regs: &'a RegFile,
+    /// Memory (pre-word state).
+    pub mem: &'a [u8],
+    /// Resolved data symbol addresses by symbol index.
+    pub sym_addrs: &'a [Option<u32>],
+}
+
+impl<'a> ExecCtx<'a> {
+    fn operand_value(&self, inst: &AsmInst, k: u8) -> Result<Value, SimError> {
+        let Some(op) = inst.ops.get((k - 1) as usize) else {
+            return fault(format!("operand ${k} missing"));
+        };
+        match op {
+            Operand::Phys(p) => Ok(self.regs.read(self.machine, *p)),
+            Operand::Imm(imm) => Ok(Value::I(self.imm_value(*imm)?)),
+            other => fault(format!("operand {other} used as data")),
+        }
+    }
+
+    fn imm_value(&self, imm: ImmVal) -> Result<i64, SimError> {
+        Ok(match imm {
+            ImmVal::Const(v) => v,
+            ImmVal::Sym(s, a) => self.sym_addr(s)? as i64 + a,
+            ImmVal::SymHigh(s, a) => ((self.sym_addr(s)? as i64 + a) >> 16) & 0xffff,
+            ImmVal::SymLow(s, a) => (self.sym_addr(s)? as i64 + a) & 0xffff,
+        })
+    }
+
+    fn sym_addr(&self, s: marion_ir::SymbolId) -> Result<u32, SimError> {
+        self.sym_addrs
+            .get(s.0 as usize)
+            .copied()
+            .flatten()
+            .ok_or_else(|| SimError(format!("symbol {s} has no data address")))
+    }
+
+    fn eval(&self, inst: &AsmInst, width: Ty, e: &Expr) -> Result<Value, SimError> {
+        match e {
+            Expr::Operand(k) => self.operand_value(inst, *k),
+            Expr::Int(v) => Ok(Value::I(*v)),
+            Expr::Temporal(name) => {
+                let id = self
+                    .machine
+                    .temporal_by_name(name)
+                    .ok_or_else(|| SimError(format!("unknown latch {name}")))?;
+                Ok(Value::F(self.regs.read_latch(id.0 as usize)))
+            }
+            Expr::Mem(_, addr) => {
+                let a = self.eval(inst, width, addr)?.as_i() as u32;
+                read_mem(self.mem, a, width).map_err(SimError)
+            }
+            Expr::Bin(op, a, b) => {
+                let l = self.eval(inst, width, a)?;
+                let r = self.eval(inst, width, b)?;
+                let ty = self
+                    .machine
+                    .template(inst.template)
+                    .ty
+                    .unwrap_or(Ty::Double);
+                binop(*op, l, r, ty).map_err(|e| SimError(e.to_string()))
+            }
+            Expr::Un(op, a) => {
+                let v = self.eval(inst, width, a)?;
+                Ok(match (op, v) {
+                    (marion_maril::UnOp::Neg, Value::I(x)) => Value::I(x.wrapping_neg() as i32 as i64),
+                    (marion_maril::UnOp::Neg, Value::F(x)) => {
+                        let ty = self.machine.template(inst.template).ty.unwrap_or(Ty::Double);
+                        Value::F(if ty == Ty::Float { (-x) as f32 as f64 } else { -x })
+                    }
+                    (marion_maril::UnOp::Not, Value::I(x)) => Value::I(!x as i32 as i64),
+                    (marion_maril::UnOp::Not, Value::F(_)) => {
+                        return fault("bitwise not on float");
+                    }
+                })
+            }
+            Expr::Call(b, a) => {
+                let v = self.eval(inst, width, a)?.as_i();
+                Ok(Value::I(match b {
+                    Builtin::High => ((v as u32) >> 16) as i64,
+                    Builtin::Low => (v as u32 & 0xffff) as i64,
+                    Builtin::Eval => v,
+                }))
+            }
+            Expr::Convert(to, a) => {
+                let v = self.eval(inst, width, a)?;
+                let from = match v {
+                    Value::I(_) => Ty::Int,
+                    Value::F(_) => Ty::Double,
+                };
+                Ok(convert(v, from, *to))
+            }
+        }
+    }
+
+    /// Executes one instruction's semantics, buffering its effects.
+    ///
+    /// # Errors
+    ///
+    /// Faults on invalid memory accesses, division by zero, malformed
+    /// operands.
+    pub fn exec_inst(&self, inst: &AsmInst, out: &mut Effects) -> Result<(), SimError> {
+        let t = self.machine.template(inst.template);
+        let width = t.ty.unwrap_or(Ty::Int);
+
+        // Register moves are raw bit copies: half-moves shuttle the
+        // raw words of a double and must not round through f32.
+        if let [Stmt::Assign(LValue::Operand(a), Expr::Operand(b))] = t.sem.as_slice() {
+            if let (Some(Operand::Phys(d)), Some(Operand::Phys(s))) = (
+                inst.ops.get((*a - 1) as usize),
+                inst.ops.get((*b - 1) as usize),
+            ) {
+                let dw = self.machine.units_of(*d).count();
+                let sw = self.machine.units_of(*s).count();
+                if dw == sw {
+                    out.raw_writes
+                        .push((*d, self.regs.read_units(self.machine, *s)));
+                    return Ok(());
+                }
+            }
+        }
+
+        for stmt in &t.sem {
+            match stmt {
+                Stmt::Nop => {}
+                Stmt::Assign(lv, rhs) => {
+                    // Track load addresses for the cache model.
+                    collect_mem_reads(self, inst, width, rhs, &mut out.mem_reads)?;
+                    let value = self.eval(inst, width, rhs)?;
+                    match lv {
+                        LValue::Operand(k) => {
+                            let Some(Operand::Phys(p)) = inst.ops.get((*k - 1) as usize) else {
+                                return fault(format!("def operand ${k} is not physical"));
+                            };
+                            out.reg_writes.push((*p, value));
+                        }
+                        LValue::Temporal(name) => {
+                            let id = self
+                                .machine
+                                .temporal_by_name(name)
+                                .ok_or_else(|| SimError(format!("unknown latch {name}")))?;
+                            let f = match value {
+                                Value::F(v) => v,
+                                Value::I(v) => v as f64,
+                            };
+                            out.latch_writes.push((id.0 as usize, f));
+                        }
+                        LValue::Mem(_, addr) => {
+                            collect_mem_reads(self, inst, width, addr, &mut out.mem_reads)?;
+                            let a = self.eval(inst, width, addr)?.as_i() as u32;
+                            out.mem_writes.push((a, value, width));
+                        }
+                    }
+                }
+                Stmt::CondGoto {
+                    rel,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
+                    let l = self.eval(inst, width, lhs)?;
+                    let r = self.eval(inst, width, rhs)?;
+                    if compare(*rel, l, r).map_err(|e| SimError(e.to_string()))? {
+                        let Some(Operand::Block(b)) = inst.ops.get((*target - 1) as usize) else {
+                            return fault("branch target is not a block");
+                        };
+                        out.control = Some(Control::Branch(*b));
+                    }
+                }
+                Stmt::Goto(k) => {
+                    let Some(Operand::Block(b)) = inst.ops.get((*k - 1) as usize) else {
+                        return fault("goto target is not a block");
+                    };
+                    out.control = Some(Control::Branch(*b));
+                }
+                Stmt::Call(k) => {
+                    let Some(Operand::Func(s)) = inst.ops.get((*k - 1) as usize) else {
+                        return fault("call target is not a function");
+                    };
+                    out.control = Some(Control::Call(*s));
+                }
+                Stmt::Return => {
+                    out.control = Some(Control::Return);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn collect_mem_reads(
+    ctx: &ExecCtx<'_>,
+    inst: &AsmInst,
+    width: Ty,
+    e: &Expr,
+    out: &mut Vec<u32>,
+) -> Result<(), SimError> {
+    match e {
+        Expr::Mem(_, addr) => {
+            let a = ctx.eval(inst, width, addr)?.as_i() as u32;
+            out.push(a);
+            Ok(())
+        }
+        Expr::Bin(_, a, b) => {
+            collect_mem_reads(ctx, inst, width, a, out)?;
+            collect_mem_reads(ctx, inst, width, b, out)
+        }
+        Expr::Un(_, a) | Expr::Call(_, a) | Expr::Convert(_, a) => {
+            collect_mem_reads(ctx, inst, width, a, out)
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Reads a typed value from simulated memory.
+///
+/// # Errors
+///
+/// Returns a message on out-of-range access.
+pub fn read_mem(mem: &[u8], addr: u32, ty: Ty) -> Result<Value, String> {
+    let size = ty.size() as usize;
+    let a = addr as usize;
+    if a + size > mem.len() || addr < 64 {
+        return Err(format!("load from invalid address {addr:#x}"));
+    }
+    Ok(match ty {
+        Ty::Char => Value::I(mem[a] as i8 as i64),
+        Ty::Short => Value::I(i16::from_le_bytes([mem[a], mem[a + 1]]) as i64),
+        Ty::Int | Ty::Long | Ty::Ptr => {
+            Value::I(i32::from_le_bytes(mem[a..a + 4].try_into().unwrap()) as i64)
+        }
+        Ty::Float => Value::F(f32::from_le_bytes(mem[a..a + 4].try_into().unwrap()) as f64),
+        Ty::Double => Value::F(f64::from_le_bytes(mem[a..a + 8].try_into().unwrap())),
+    })
+}
+
+/// Writes a typed value to simulated memory.
+///
+/// # Errors
+///
+/// Returns a message on out-of-range access.
+pub fn write_mem(mem: &mut [u8], addr: u32, value: Value, ty: Ty) -> Result<(), String> {
+    let size = ty.size() as usize;
+    let a = addr as usize;
+    if a + size > mem.len() || addr < 64 {
+        return Err(format!("store to invalid address {addr:#x}"));
+    }
+    match ty {
+        Ty::Char => mem[a] = value.as_i() as u8,
+        Ty::Short => mem[a..a + 2].copy_from_slice(&(value.as_i() as i16).to_le_bytes()),
+        Ty::Int | Ty::Long | Ty::Ptr => {
+            mem[a..a + 4].copy_from_slice(&(value.as_i() as i32).to_le_bytes());
+        }
+        Ty::Float => mem[a..a + 4].copy_from_slice(&(value.as_f() as f32).to_le_bytes()),
+        Ty::Double => mem[a..a + 8].copy_from_slice(&value.as_f().to_le_bytes()),
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # marion-sim — a pipeline-accurate simulator for Marion targets
+//!
+//! Executes programs emitted by `marion-core` both *functionally*
+//! (evaluating each instruction's Maril semantic expressions, so
+//! generated code can be differentially tested against the
+//! `marion-ir` reference interpreter) and *temporally* (an in-order
+//! model driven by the same resource vectors and latencies the
+//! scheduler used, plus interlock stalls and optional instruction/data
+//! caches).
+//!
+//! The paper's Table 4 compares scheduler-estimated cycles against
+//! *actual* execution time on hardware; the estimates ignore cache
+//! misses, so actual/estimated ratios sit a little above 1.0. This
+//! simulator reproduces that shape: with caches enabled, measured
+//! cycles exceed the per-block estimates by realistic stall and miss
+//! overheads.
+//!
+//! Explicitly advanced pipelines execute with per-word tick
+//! semantics: all sub-operations of a long instruction word read the
+//! machine state from before the word, then commit their writes —
+//! the latch behaviour Rule 1 assumes.
+
+pub mod exec;
+pub mod regs;
+pub mod run;
+
+pub use marion_ir::interp::Value;
+pub use run::{run_program, CacheConfig, RunResult, SimConfig, Simulator};
+
+use std::error::Error;
+use std::fmt;
+
+/// A simulation fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError(pub String);
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation fault: {}", self.0)
+    }
+}
+
+impl Error for SimError {}
+
+pub(crate) fn fault<T>(msg: impl Into<String>) -> Result<T, SimError> {
+    Err(SimError(msg.into()))
+}

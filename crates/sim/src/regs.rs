@@ -1,0 +1,180 @@
+//! The simulated register file, at register-unit granularity.
+//!
+//! `%equiv` overlays mean one architectural value can span several
+//! 32-bit units (a TOYP double covers two integer registers); storing
+//! per-unit words makes aliasing exact: writing `d1` changes what
+//! `r2`/`r3` read and vice versa, and `*func` half-moves are raw
+//! 32-bit copies.
+
+use marion_ir::interp::Value;
+use marion_maril::{Machine, PhysReg};
+
+/// The register file: one 32-bit word per register unit, plus the
+/// temporal latches of explicitly advanced pipelines.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    units: Vec<u32>,
+    latches: Vec<f64>,
+}
+
+impl RegFile {
+    /// Creates a zeroed register file for `machine`.
+    pub fn new(machine: &Machine) -> RegFile {
+        RegFile {
+            units: vec![0; machine.unit_count() as usize],
+            latches: vec![0.0; machine.temporals().len()],
+        }
+    }
+
+    /// Whether a class holds floating values.
+    pub fn is_fp_class(machine: &Machine, reg: PhysReg) -> bool {
+        machine
+            .reg_class(reg.class)
+            .tys
+            .iter()
+            .all(|t| t.is_float())
+    }
+
+    /// Reads a register as a typed value. Width-1 fp registers hold
+    /// f32 bits; width-2 fp registers hold f64 bits; integer registers
+    /// hold i32.
+    pub fn read(&self, machine: &Machine, reg: PhysReg) -> Value {
+        let units: Vec<u32> = machine.units_of(reg).map(|u| self.units[u as usize]).collect();
+        if Self::is_fp_class(machine, reg) {
+            match units.len() {
+                1 => Value::F(f32::from_bits(units[0]) as f64),
+                _ => {
+                    let bits = (units[1] as u64) << 32 | units[0] as u64;
+                    Value::F(f64::from_bits(bits))
+                }
+            }
+        } else {
+            match units.len() {
+                1 => Value::I(units[0] as i32 as i64),
+                _ => {
+                    let bits = (units[1] as u64) << 32 | units[0] as u64;
+                    // Wide integer registers are only used for doubles
+                    // stored in general register pairs.
+                    Value::F(f64::from_bits(bits))
+                }
+            }
+        }
+    }
+
+    /// Writes a typed value to a register.
+    pub fn write(&mut self, machine: &Machine, reg: PhysReg, value: Value) {
+        let unit_ids: Vec<u32> = machine.units_of(reg).collect();
+        match (unit_ids.len(), value) {
+            (1, Value::I(v)) => self.units[unit_ids[0] as usize] = v as u32,
+            (1, Value::F(v)) => self.units[unit_ids[0] as usize] = (v as f32).to_bits(),
+            (_, Value::F(v)) => {
+                let bits = v.to_bits();
+                self.units[unit_ids[0] as usize] = bits as u32;
+                self.units[unit_ids[1] as usize] = (bits >> 32) as u32;
+            }
+            (_, Value::I(v)) => {
+                self.units[unit_ids[0] as usize] = v as u32;
+                self.units[unit_ids[1] as usize] = (v >> 32) as u32;
+            }
+        }
+    }
+
+    /// Raw 32-bit copy between single-unit registers (register moves
+    /// must be bit-exact even when the unit holds half of a double).
+    pub fn copy_raw(&mut self, machine: &Machine, dest: PhysReg, src: PhysReg) {
+        let s = self.read_units(machine, src);
+        self.write_units(machine, dest, &s);
+    }
+
+    /// The raw unit words of a register.
+    pub fn read_units(&self, machine: &Machine, reg: PhysReg) -> Vec<u32> {
+        machine.units_of(reg).map(|u| self.units[u as usize]).collect()
+    }
+
+    /// Writes raw unit words to a register.
+    pub fn write_units(&mut self, machine: &Machine, reg: PhysReg, words: &[u32]) {
+        for (u, w) in machine.units_of(reg).zip(words.iter()) {
+            self.units[u as usize] = *w;
+        }
+    }
+
+    /// Reads a temporal latch.
+    pub fn read_latch(&self, id: usize) -> f64 {
+        self.latches[id]
+    }
+
+    /// Writes a temporal latch.
+    pub fn write_latch(&mut self, id: usize, value: f64) {
+        self.latches[id] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_maril::Machine;
+
+    fn toyp_like() -> Machine {
+        Machine::parse(
+            "t",
+            r#"declare {
+                %reg r[0:7] (int);
+                %reg d[0:3] (double);
+                %equiv r[0] d[0];
+                %resource IF;
+            }
+            cwvm { %general (int) r; %general (double) d; }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aliasing_is_exact() {
+        let m = toyp_like();
+        let r = m.reg_class_by_name("r").unwrap();
+        let d = m.reg_class_by_name("d").unwrap();
+        let mut rf = RegFile::new(&m);
+        rf.write(&m, PhysReg::new(d, 1), Value::F(1.5));
+        // d1 overlays r2, r3: reading them gives the bit halves.
+        let bits = 1.5f64.to_bits();
+        assert_eq!(
+            rf.read(&m, PhysReg::new(r, 2)),
+            Value::I(bits as u32 as i32 as i64)
+        );
+        assert_eq!(
+            rf.read(&m, PhysReg::new(r, 3)),
+            Value::I((bits >> 32) as u32 as i32 as i64)
+        );
+        // Raw-copy both halves elsewhere and read back the double.
+        rf.copy_raw(&m, PhysReg::new(r, 4), PhysReg::new(r, 2));
+        rf.copy_raw(&m, PhysReg::new(r, 5), PhysReg::new(r, 3));
+        assert_eq!(rf.read(&m, PhysReg::new(d, 2)), Value::F(1.5));
+    }
+
+    #[test]
+    fn int_write_read_roundtrip() {
+        let m = toyp_like();
+        let r = m.reg_class_by_name("r").unwrap();
+        let mut rf = RegFile::new(&m);
+        rf.write(&m, PhysReg::new(r, 6), Value::I(-42));
+        assert_eq!(rf.read(&m, PhysReg::new(r, 6)), Value::I(-42));
+    }
+
+    #[test]
+    fn latches() {
+        let m = Machine::parse(
+            "t",
+            r#"declare {
+                %reg d[0:3] (double);
+                %resource X;
+                %clock k;
+                %reg t1 (double; k) +temporal;
+            }
+            cwvm { %general (double) d; }"#,
+        )
+        .unwrap();
+        let mut rf = RegFile::new(&m);
+        rf.write_latch(0, 2.75);
+        assert_eq!(rf.read_latch(0), 2.75);
+    }
+}

@@ -1,0 +1,237 @@
+//! Differential testing: every program must produce the same result
+//! when (a) interpreted at the IR level and (b) compiled by Marion and
+//! executed on the pipeline simulator — for every machine and every
+//! code generation strategy.
+
+use marion_core::{Compiler, StrategyKind};
+use marion_ir::interp::{Interp, Value};
+use marion_machines::load_extended;
+use marion_maril::Ty;
+use marion_sim::{run_program, SimConfig};
+
+fn check_program(name: &str, src: &str, ret_ty: Ty) {
+    let module = marion_frontend::compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut interp = Interp::new(&module, 1 << 21);
+    let expected = interp
+        .call_by_name("main", &[])
+        .unwrap_or_else(|e| panic!("{name}: interp: {e}"))
+        .expect("main returns a value");
+    // The user-visible globals span [64, data_end) in both worlds
+    // (pool constants are appended after them by the compiler, so the
+    // shared prefix layouts agree).
+    let user_data_end = {
+        let mut next = 64u32;
+        for g in &module.globals {
+            next = (next + 7) & !7;
+            next += g.init.size().max(1);
+        }
+        next as usize
+    };
+    for spec in load_extended() {
+        for strategy in StrategyKind::ALL {
+            let compiler =
+                Compiler::new(spec.machine.clone(), spec.escapes.clone(), strategy);
+            let program = match compiler.compile_module(&module) {
+                Ok(p) => p,
+                // TOYP's CWVM passes at most one double parameter
+                // (paper Fig. 2); programs needing more are outside
+                // that machine's runtime model.
+                Err(e) if e.message.contains("parameters") => continue,
+                Err(e) => panic!("{name} on {}/{strategy}: {e}", spec.machine.name()),
+            };
+            let mut config = SimConfig::default();
+            config.keep_memory = true;
+            let run = run_program(
+                &spec.machine,
+                &program,
+                "main",
+                &[],
+                Some(ret_ty),
+                &config,
+            )
+            .unwrap_or_else(|e| panic!("{name} on {}/{strategy}: {e}", spec.machine.name()));
+            let got = run.result.expect("result");
+            let ok = match (expected, got) {
+                (Value::I(a), Value::I(b)) => a == b,
+                (Value::F(a), Value::F(b)) => (a - b).abs() < 1e-9 * a.abs().max(1.0),
+                _ => false,
+            };
+            assert!(
+                ok,
+                "{name} on {}/{strategy}: interp {expected:?} != sim {got:?}\n{}",
+                spec.machine.name(),
+                program.render(&spec.machine)
+            );
+            // The entire user global area must match byte for byte.
+            let sim_mem = run.memory.as_ref().expect("keep_memory");
+            if sim_mem[64..user_data_end] != interp.mem[64..user_data_end] {
+                let first = (64..user_data_end)
+                    .find(|&i| sim_mem[i] != interp.mem[i])
+                    .unwrap();
+                panic!(
+                    "{name} on {}/{strategy}: memory diverges at {first:#x}: \
+                     interp {:#04x} sim {:#04x}",
+                    spec.machine.name(),
+                    interp.mem[first],
+                    sim_mem[first]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arithmetic_expressions() {
+    check_program(
+        "arith",
+        "int main() {
+            int a = 12345, b = -678;
+            return a * 3 - b / 2 + a % 7 + (a << 3) - (a >> 2) + (a & b) + (a | b) + (a ^ b) + ~a + -b;
+         }",
+        Ty::Int,
+    );
+}
+
+#[test]
+fn loops_and_conditionals() {
+    check_program(
+        "loops",
+        "int main() {
+            int i, j, s = 0;
+            for (i = 0; i < 20; i++) {
+                for (j = 0; j <= i; j++) {
+                    if ((i + j) % 3 == 0) s += i * j;
+                    else if (i > 10) s -= j;
+                }
+            }
+            while (s > 1000) s /= 2;
+            do { s++; } while (s < 100);
+            return s;
+         }",
+        Ty::Int,
+    );
+}
+
+#[test]
+fn double_arithmetic_and_arrays() {
+    check_program(
+        "doubles",
+        "double x[40]; double y[40];
+         int main() {
+            int i; double s = 0.0;
+            for (i = 0; i < 40; i++) { x[i] = i * 0.75 - 3.0; y[i] = 10.0 - i * 0.5; }
+            for (i = 0; i < 40; i++) s += x[i] * y[i] + 0.125;
+            if (s < 0.0) s = -s;
+            return (int)(s * 16.0);
+         }",
+        Ty::Int,
+    );
+}
+
+#[test]
+fn function_calls_and_recursion() {
+    check_program(
+        "calls",
+        "int gcd(int a, int b) { if (b == 0) return a; return gcd(b, a % b); }
+         int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+         int main() { return gcd(462, 1071) * 100 + fib(10); }",
+        Ty::Int,
+    );
+}
+
+#[test]
+fn double_functions_and_args() {
+    check_program(
+        "dargs",
+        "double hypot2(double a, double b) { return a * a + b * b; }
+         int main() {
+            double h = hypot2(3.0, 4.0);
+            return (int)h;
+         }",
+        Ty::Int,
+    );
+}
+
+#[test]
+fn pointers_and_locals() {
+    check_program(
+        "ptrs",
+        "void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+         int main() {
+            int x = 3, y = 17;
+            int arr[8];
+            int i;
+            for (i = 0; i < 8; i++) arr[i] = i * i;
+            swap(&x, &y);
+            return x * 1000 + y * 10 + arr[5];
+         }",
+        Ty::Int,
+    );
+}
+
+#[test]
+fn float_single_precision() {
+    check_program(
+        "floats",
+        "float frac(float a, float b) { return a / b; }
+         int main() {
+            float s = 0.0;
+            int i;
+            for (i = 1; i <= 8; i++) s += frac(1.0, i);
+            return (int)(s * 10000.0);
+         }",
+        Ty::Int,
+    );
+}
+
+#[test]
+fn chars_shorts_and_conversions() {
+    check_program(
+        "narrow",
+        "char cbuf[16]; short sbuf[16];
+         int main() {
+            int i, s = 0;
+            for (i = 0; i < 16; i++) { cbuf[i] = (char)(i * 37); sbuf[i] = (short)(i * 4099); }
+            for (i = 0; i < 16; i++) s += cbuf[i] + sbuf[i];
+            return s + (int)3.99 + (int)-2.5;
+         }",
+        Ty::Int,
+    );
+}
+
+#[test]
+fn deep_double_expressions() {
+    // Deep dependent chains of multiplies and adds exercise the i860
+    // EAP chaining (A1m, dual-operation words) and the %aux latency
+    // overrides on the other machines.
+    check_program(
+        "chains",
+        "double a, b, x, y, z;
+         double f() { return (x + b) + (a * z); }
+         int main() {
+            a = 1.5; b = 2.25; x = -0.5; y = 3.0; z = 0.125;
+            double r = f() * 8.0 + (a * b) * (x + y + z) + (a + b) * (y * z);
+            return (int)(r * 64.0);
+         }",
+        Ty::Int,
+    );
+}
+
+#[test]
+fn spill_heavy_kernel() {
+    // Enough simultaneously-live values to force spills on TOYP's tiny
+    // register file.
+    check_program(
+        "spills",
+        "int main() {
+            int a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8;
+            int i;
+            for (i = 0; i < 10; i++) {
+                a += b * c; b += c * d; c += d * e; d += e * f;
+                e += f * g; f += g * h; g += h * a; h += a * b;
+            }
+            return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+         }",
+        Ty::Int,
+    );
+}

@@ -1,0 +1,184 @@
+//! Timing-model tests: the simulator must charge stalls for
+//! interlocks, reward dual issue, and model cache locality — the
+//! behaviours Table 4's "actual" column depends on.
+
+use marion_core::{Compiler, StrategyKind};
+use marion_machines::load;
+use marion_sim::{run_program, CacheConfig, SimConfig, Value};
+use marion_maril::Ty;
+
+fn compile_and_run(
+    machine: &str,
+    strategy: StrategyKind,
+    src: &str,
+    config: &SimConfig,
+) -> (marion_sim::RunResult, usize) {
+    let spec = load(machine);
+    let module = marion_frontend::compile(src).unwrap();
+    let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), strategy);
+    let program = compiler.compile_module(&module).unwrap();
+    let run = run_program(&spec.machine, &program, "main", &[], Some(Ty::Int), config).unwrap();
+    (run, program.asm.inst_count())
+}
+
+#[test]
+fn scheduling_reduces_interlock_stalls() {
+    // A load feeding an add chain: NoSchedule leaves the loads right
+    // next to their uses; Postpass hoists them. Same machine, same
+    // program — the scheduled version must stall less.
+    let src = "int a[64];
+        int main() {
+            int i, s = 0;
+            for (i = 0; i < 64; i++) a[i] = i;
+            for (i = 0; i < 60; i++)
+                s += a[i] * 3 + a[i + 1] * 5 + a[i + 2] * 7 + a[i + 3] * 11;
+            return s;
+        }";
+    let cfg = SimConfig::no_caches();
+    let (unsched, _) = compile_and_run("m88k", StrategyKind::NoSchedule, src, &cfg);
+    let (sched, _) = compile_and_run("m88k", StrategyKind::Postpass, src, &cfg);
+    assert_eq!(unsched.result, sched.result, "same semantics");
+    assert!(
+        sched.stall_cycles < unsched.stall_cycles,
+        "scheduling should cut stalls: {} vs {}",
+        sched.stall_cycles,
+        unsched.stall_cycles
+    );
+    assert!(sched.cycles < unsched.cycles);
+}
+
+#[test]
+fn dual_issue_beats_words_executed() {
+    // On the i860, words executed < instructions executed when packing
+    // happens; on single-issue TOYP they are equal.
+    // Independent multiply/add chains that the i860 can overlap and
+    // pack into dual-operation words.
+    let src = "double a, b, x, y, c, d2;
+        int main() {
+            a = 1.5; b = 2.5; x = 0.25; y = 4.0;
+            c = 0.0; d2 = 0.0;
+            int i;
+            for (i = 0; i < 50; i++) {
+                c = c + a * b + x;
+                d2 = d2 + x * y + b;
+            }
+            return (int)(c + d2);
+        }";
+    let cfg = SimConfig::default();
+    let (i860, _) = compile_and_run("i860", StrategyKind::Postpass, src, &cfg);
+    assert!(
+        i860.insts_executed > i860.words_executed,
+        "i860 should pack sub-operations: {} insts in {} words",
+        i860.insts_executed,
+        i860.words_executed
+    );
+    let (toyp, _) = compile_and_run("toyp", StrategyKind::Postpass, src, &cfg);
+    assert_eq!(
+        toyp.insts_executed, toyp.words_executed,
+        "TOYP is single-issue"
+    );
+    assert_eq!(i860.result, toyp.result);
+}
+
+#[test]
+fn cache_misses_cost_cycles_and_locality_pays() {
+    let src = "int a[2048];
+        int main() {
+            int i, s = 0;
+            for (i = 0; i < 2048; i++) a[i] = i;
+            for (i = 0; i < 2048; i++) s += a[i];
+            return s;
+        }";
+    let cached = SimConfig::default();
+    let uncached = SimConfig::no_caches();
+    let (with, _) = compile_and_run("r2000", StrategyKind::Postpass, src, &cached);
+    let (without, _) = compile_and_run("r2000", StrategyKind::Postpass, src, &uncached);
+    assert_eq!(with.result, without.result);
+    assert!(with.miss_cycles > 0);
+    assert_eq!(without.miss_cycles, 0);
+    assert!(with.cycles > without.cycles);
+    // Sequential access: most accesses hit (line size 16 = 4 ints, so
+    // ≤ 1 miss per 4 loads on the second sweep).
+    let loads = 2048 * 2;
+    let penalty = CacheConfig::default().miss_penalty as u64;
+    assert!(
+        with.miss_cycles < loads / 2 * penalty,
+        "locality should keep miss cycles low: {}",
+        with.miss_cycles
+    );
+}
+
+#[test]
+fn structural_hazards_serialise_the_divider() {
+    // Two independent divides on ZEPHYR-like machines fight over the
+    // divider; measure against two independent adds.
+    let divs = "int main() {
+        int a = 1000, b = 7, c = 2000, d2 = 11;
+        int i, s = 0;
+        for (i = 0; i < 30; i++) s += a / b + c / d2;
+        return s;
+    }";
+    let adds = "int main() {
+        int a = 1000, b = 7, c = 2000, d2 = 11;
+        int i, s = 0;
+        for (i = 0; i < 30; i++) s += a + b + c + d2;
+        return s;
+    }";
+    let cfg = SimConfig::no_caches();
+    let (dv, _) = compile_and_run("r2000", StrategyKind::Postpass, divs, &cfg);
+    let (ad, _) = compile_and_run("r2000", StrategyKind::Postpass, adds, &cfg);
+    assert!(
+        dv.cycles > ad.cycles * 3,
+        "divides should dominate: {} vs {}",
+        dv.cycles,
+        ad.cycles
+    );
+}
+
+#[test]
+fn recursion_depth_and_stack_discipline() {
+    // Deep recursion exercises prologue/epilogue, the return-address
+    // save slot and stack growth.
+    let src = "int sum(int n) { if (n == 0) return 0; return n + sum(n - 1); }
+               int main() { return sum(300); }";
+    let cfg = SimConfig::default();
+    for machine in ["toyp", "r2000", "i860", "rs6000"] {
+        let (run, _) = compile_and_run(machine, StrategyKind::Ips, src, &cfg);
+        assert_eq!(
+            run.result,
+            Some(Value::I(300 * 301 / 2)),
+            "wrong sum on {machine}"
+        );
+    }
+}
+
+#[test]
+fn block_counts_reflect_the_trip_counts() {
+    let src = "int main() {
+        int i, s = 0;
+        for (i = 0; i < 37; i++) s += i;
+        return s;
+    }";
+    let spec = load("r2000");
+    let module = marion_frontend::compile(src).unwrap();
+    let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), StrategyKind::Postpass);
+    let program = compiler.compile_module(&module).unwrap();
+    let run = run_program(
+        &spec.machine,
+        &program,
+        "main",
+        &[],
+        Some(Ty::Int),
+        &SimConfig::default(),
+    )
+    .unwrap();
+    // Some block must have executed exactly 37 times (the loop body).
+    assert!(
+        run.block_counts.values().any(|&c| c == 37),
+        "{:?}",
+        run.block_counts
+    );
+    // And the whole-program estimate uses those counts.
+    let est = marion_sim::run::estimated_cycles(&program, &run.block_counts);
+    assert!(est > 37);
+}

@@ -1,0 +1,409 @@
+//! The first fourteen Livermore Loop kernels (McMahon's Livermore
+//! Fortran Kernels), hand-translated to the C subset — the programs
+//! behind the paper's Table 4.
+//!
+//! Problem sizes are scaled down so simulated runs finish quickly, but
+//! each kernel keeps its characteristic dependence structure: LL1/LL7
+//! are wide instruction-level parallelism, LL3 is a reduction, LL5 and
+//! LL11 are serial recurrences, LL6 a triangular recurrence, LL13/LL14
+//! are integer/floating hybrids with gather-scatter.
+
+use crate::Workload;
+
+/// The kernel sources, `LL1` through `LL14`.
+pub fn kernels() -> Vec<Workload> {
+    let mk = |i: usize, desc: &str, body: &str| Workload {
+        name: format!("LL{i}"),
+        source: body.to_string(),
+        description: desc.to_string(),
+    };
+    vec![
+        mk(
+            1,
+            "hydro fragment",
+            "double x[128]; double y[128]; double z[160];
+             int main() {
+                int l, k;
+                double q = 0.5, r = 0.25, t = 0.125, s = 0.0;
+                for (k = 0; k < 160; k++) z[k] = 0.01 * (k + 1);
+                for (k = 0; k < 128; k++) y[k] = 0.02 * (k + 3);
+                for (l = 0; l < 12; l++) {
+                    for (k = 0; k < 128; k++)
+                        x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+                }
+                for (k = 0; k < 128; k++) s += x[k];
+                return (int)(s * 100.0);
+             }",
+        ),
+        mk(
+            2,
+            "ICCG excerpt (incomplete Cholesky conjugate gradient)",
+            "double x[256]; double v[256];
+             int main() {
+                int l, k, i, ii, ipnt, ipntp;
+                double s = 0.0;
+                for (k = 0; k < 256; k++) { x[k] = 0.0125 * (k + 1); v[k] = 0.0025 * (k + 2); }
+                for (l = 0; l < 12; l++) {
+                    ii = 128; ipntp = 0;
+                    do {
+                        ipnt = ipntp;
+                        ipntp = ipntp + ii;
+                        ii = ii / 2;
+                        i = ipntp - 1;
+                        for (k = ipnt + 1; k < ipntp; k = k + 2) {
+                            i = i + 1;
+                            x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+                        }
+                    } while (ii > 0);
+                }
+                for (k = 0; k < 256; k++) s += x[k];
+                if (s < 0.0) s = -s;
+                while (s > 1000000.0) s = s * 0.001;
+                return (int)s;
+             }",
+        ),
+        mk(
+            3,
+            "inner product",
+            "double x[256]; double z[256];
+             int main() {
+                int l, k;
+                double q = 0.0;
+                for (k = 0; k < 256; k++) { x[k] = 0.001 * (k + 1); z[k] = 0.002 * (k + 2); }
+                for (l = 0; l < 20; l++) {
+                    q = 0.0;
+                    for (k = 0; k < 256; k++) q += z[k] * x[k];
+                }
+                return (int)(q * 10.0);
+             }",
+        ),
+        mk(
+            4,
+            "banded linear equations",
+            "double x[256]; double y[256];
+             int main() {
+                int l, j, k, lw;
+                double temp, s = 0.0;
+                for (k = 0; k < 256; k++) { x[k] = 0.01 * (k + 1); y[k] = 0.002 * (k + 2); }
+                for (l = 0; l < 12; l++) {
+                    for (k = 6; k < 100; k = k + 5) {
+                        lw = k - 6;
+                        temp = x[k - 1];
+                        for (j = 4; j < 100; j = j + 5) {
+                            temp -= x[lw] * y[j];
+                            lw++;
+                        }
+                        x[k - 1] = y[4] * temp;
+                    }
+                }
+                for (k = 0; k < 256; k++) s += x[k];
+                return (int)(s * 10.0);
+             }",
+        ),
+        mk(
+            5,
+            "tridiagonal elimination, below diagonal (serial recurrence)",
+            "double x[256]; double y[256]; double z[256];
+             int main() {
+                int l, i;
+                double s = 0.0;
+                for (i = 0; i < 256; i++) { y[i] = 0.0015 * (i + 1); z[i] = 0.5 - 0.001 * i; x[i] = 0.0; }
+                for (l = 0; l < 12; l++) {
+                    for (i = 1; i < 256; i++)
+                        x[i] = z[i] * (y[i] - x[i - 1]);
+                }
+                for (i = 0; i < 256; i++) s += x[i];
+                return (int)(s * 100.0);
+             }",
+        ),
+        mk(
+            6,
+            "general linear recurrence equations",
+            "double w[64]; double b[64][64];
+             int main() {
+                int l, i, k;
+                double s = 0.0;
+                for (i = 0; i < 64; i++)
+                    for (k = 0; k < 64; k++)
+                        b[i][k] = 0.0001 * (i + k + 2);
+                for (l = 0; l < 8; l++) {
+                    w[0] = 0.0100;
+                    for (i = 1; i < 64; i++) {
+                        w[i] = 0.0100;
+                        for (k = 0; k < i; k++)
+                            w[i] += b[k][i] * w[(i - k) - 1];
+                    }
+                }
+                for (i = 0; i < 64; i++) s += w[i];
+                return (int)(s * 100.0);
+             }",
+        ),
+        mk(
+            7,
+            "equation of state fragment (wide ILP)",
+            "double x[128]; double y[160]; double z[160]; double u[160];
+             int main() {
+                int l, k;
+                double q = 0.5, r = 0.25, t = 0.125, s = 0.0;
+                for (k = 0; k < 160; k++) {
+                    y[k] = 0.001 * (k + 1);
+                    z[k] = 0.0015 * (k + 2);
+                    u[k] = 0.0008 * (k + 3);
+                }
+                for (l = 0; l < 12; l++) {
+                    for (k = 0; k < 128; k++) {
+                        x[k] = u[k] + r * (z[k] + r * y[k]) +
+                               t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1]) +
+                                    t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+                    }
+                }
+                for (k = 0; k < 128; k++) s += x[k];
+                return (int)(s * 100.0);
+             }",
+        ),
+        mk(
+            8,
+            "ADI integration (flattened 3-D arrays)",
+            "double u1[1060]; double u2[1060]; double u3[1060];
+             double du1[101]; double du2[101]; double du3[101];
+             int main() {
+                int l, kx, ky, i1, i2, j2;
+                double a11 = 1.0, a12 = 0.5, a13 = 0.33, a21 = 0.25, a22 = 0.2,
+                       a23 = 0.16, a31 = 0.125, a32 = 0.1, a33 = 0.09, sig = 2.0;
+                double s = 0.0;
+                int nl1 = 0, nl2 = 1;
+                for (kx = 0; kx < 1060; kx++) {
+                    u1[kx] = 0.001 * (kx % 37 + 1);
+                    u2[kx] = 0.002 * (kx % 31 + 1);
+                    u3[kx] = 0.003 * (kx % 29 + 1);
+                }
+                for (l = 0; l < 4; l++) {
+                    for (kx = 1; kx < 3; kx++) {
+                        for (ky = 1; ky < 100; ky++) {
+                            i1 = nl1 * 530 + kx * 101 + ky;
+                            j2 = nl2 * 530 + kx * 101 + ky;
+                            du1[ky] = u1[i1 + 1] - u1[i1 - 1];
+                            du2[ky] = u2[i1 + 1] - u2[i1 - 1];
+                            du3[ky] = u3[i1 + 1] - u3[i1 - 1];
+                            u1[j2] = u1[i1] + a11 * du1[ky] + a12 * du2[ky] + a13 * du3[ky] +
+                                     sig * (u1[i1 + 101] - 2.0 * u1[i1] + u1[i1 - 101]);
+                            u2[j2] = u2[i1] + a21 * du1[ky] + a22 * du2[ky] + a23 * du3[ky] +
+                                     sig * (u2[i1 + 101] - 2.0 * u2[i1] + u2[i1 - 101]);
+                            u3[j2] = u3[i1] + a31 * du1[ky] + a32 * du2[ky] + a33 * du3[ky] +
+                                     sig * (u3[i1 + 101] - 2.0 * u3[i1] + u3[i1 - 101]);
+                        }
+                    }
+                    i2 = nl1; nl1 = nl2; nl2 = i2;
+                }
+                for (kx = 0; kx < 1060; kx++) s += u1[kx] + u2[kx];
+                return (int)(s);
+             }",
+        ),
+        mk(
+            9,
+            "integrate predictors",
+            "double px[256][13];
+             int main() {
+                int l, i, j;
+                double dm22 = 0.2, dm23 = 0.3, dm24 = 0.4, dm25 = 0.5,
+                       dm26 = 0.6, dm27 = 0.7, dm28 = 0.8, c0 = 1.1;
+                double s = 0.0;
+                for (i = 0; i < 256; i++)
+                    for (j = 0; j < 13; j++)
+                        px[i][j] = 0.001 * (i + j + 1);
+                for (l = 0; l < 8; l++) {
+                    for (i = 0; i < 256; i++) {
+                        px[i][0] = dm28 * px[i][12] + dm27 * px[i][11] + dm26 * px[i][10] +
+                                   dm25 * px[i][9] + dm24 * px[i][8] + dm23 * px[i][7] +
+                                   dm22 * px[i][6] + c0 * (px[i][4] + px[i][5]) + px[i][2];
+                    }
+                }
+                for (i = 0; i < 256; i++) s += px[i][0];
+                return (int)(s * 0.01);
+             }",
+        ),
+        mk(
+            10,
+            "difference predictors",
+            "double px[128][13]; double cx[128][13];
+             int main() {
+                int l, i;
+                double ar, br, cr, s = 0.0;
+                for (i = 0; i < 128; i++) {
+                    int j;
+                    for (j = 0; j < 13; j++) { px[i][j] = 0.001 * (i + j + 1); cx[i][j] = 0.002 * (i + 2 * j + 1); }
+                }
+                for (l = 0; l < 8; l++) {
+                    for (i = 0; i < 128; i++) {
+                        ar = cx[i][4];
+                        br = ar - px[i][4];
+                        px[i][4] = ar;
+                        cr = br - px[i][5];
+                        px[i][5] = br;
+                        ar = cr - px[i][6];
+                        px[i][6] = cr;
+                        br = ar - px[i][7];
+                        px[i][7] = ar;
+                        cr = br - px[i][8];
+                        px[i][8] = br;
+                        ar = cr - px[i][9];
+                        px[i][9] = cr;
+                        br = ar - px[i][10];
+                        px[i][10] = ar;
+                        cr = br - px[i][11];
+                        px[i][11] = br;
+                        px[i][13 - 1] = cr - px[i][12];
+                        px[i][12] = cr;
+                    }
+                }
+                for (i = 0; i < 128; i++) s += px[i][12];
+                return (int)(s * 10.0);
+             }",
+        ),
+        mk(
+            11,
+            "first sum (prefix sum, serial)",
+            "double x[512]; double y[512];
+             int main() {
+                int l, k;
+                double s = 0.0;
+                for (k = 0; k < 512; k++) y[k] = 0.0005 * (k + 1);
+                for (l = 0; l < 12; l++) {
+                    x[0] = y[0];
+                    for (k = 1; k < 512; k++)
+                        x[k] = x[k - 1] + y[k];
+                }
+                for (k = 0; k < 512; k++) s += x[k];
+                return (int)(s * 0.1);
+             }",
+        ),
+        mk(
+            12,
+            "first difference (fully parallel)",
+            "double x[512]; double y[520];
+             int main() {
+                int l, k;
+                double s = 0.0;
+                for (k = 0; k < 520; k++) y[k] = 0.01 * (k % 17 + 1);
+                for (l = 0; l < 12; l++) {
+                    for (k = 0; k < 512; k++)
+                        x[k] = y[k + 1] - y[k];
+                }
+                for (k = 0; k < 512; k++) s += x[k];
+                return (int)(s * 100.0);
+             }",
+        ),
+        mk(
+            13,
+            "2-D particle in cell",
+            "double p[128][4]; double b[32][32]; double c[32][32];
+             double y[40]; double z[40]; double h[32][32];
+             int main() {
+                int l, ip, i1, j1, i2, j2, k;
+                double s = 0.0;
+                for (ip = 0; ip < 128; ip++) {
+                    p[ip][0] = 1.0 + 0.25 * (ip % 13);
+                    p[ip][1] = 1.5 + 0.25 * (ip % 11);
+                    p[ip][2] = 0.001 * (ip + 1);
+                    p[ip][3] = 0.002 * (ip + 1);
+                }
+                for (i1 = 0; i1 < 32; i1++)
+                    for (j1 = 0; j1 < 32; j1++) {
+                        b[i1][j1] = 0.003 * (i1 + j1 + 1);
+                        c[i1][j1] = 0.004 * (i1 + 2 * j1 + 1);
+                        h[i1][j1] = 0.0;
+                    }
+                for (k = 0; k < 40; k++) { y[k] = 0.1 * (k + 1); z[k] = 0.2 * (k + 1); }
+                for (l = 0; l < 4; l++) {
+                    for (ip = 0; ip < 128; ip++) {
+                        i1 = (int)p[ip][0];
+                        j1 = (int)p[ip][1];
+                        i1 = i1 & 31;
+                        j1 = j1 & 31;
+                        p[ip][2] += b[j1][i1];
+                        p[ip][3] += c[j1][i1];
+                        p[ip][0] += p[ip][2];
+                        p[ip][1] += p[ip][3];
+                        i2 = (int)p[ip][0];
+                        j2 = (int)p[ip][1];
+                        i2 = i2 & 31;
+                        j2 = j2 & 31;
+                        p[ip][0] += y[i2 + 4];
+                        p[ip][1] += z[j2 + 4];
+                        i2 = i2 + 2;
+                        j2 = j2 + 2;
+                        h[j2 & 31][i2 & 31] = h[j2 & 31][i2 & 31] + 1.0;
+                    }
+                }
+                for (i1 = 0; i1 < 32; i1++)
+                    for (j1 = 0; j1 < 32; j1++) s += h[i1][j1];
+                for (ip = 0; ip < 128; ip++) s += p[ip][0];
+                return (int)s;
+             }",
+        ),
+        mk(
+            14,
+            "1-D particle in cell",
+            "double vx[256]; double xx[256]; double xi[256];
+             double ex[256]; double ex1[256]; double dex[256]; double dex1[256];
+             double rh[320]; double ir[256]; double rx[256]; double grd[256];
+             int main() {
+                int l, k, ix, i;
+                double flx = 0.001, s = 0.0;
+                for (k = 0; k < 256; k++) {
+                    vx[k] = 0.0;
+                    xx[k] = 1.0 + 0.027 * k;
+                    grd[k] = 2.0 + (k % 60);
+                    ex[k] = 0.01 * (k % 23 + 1);
+                    dex[k] = 0.005 * (k % 19 + 1);
+                }
+                for (k = 0; k < 320; k++) rh[k] = 0.0;
+                for (l = 0; l < 4; l++) {
+                    for (k = 0; k < 256; k++) {
+                        ix = (int)grd[k];
+                        xi[k] = (double)ix;
+                        ex1[k] = ex[ix - 1];
+                        dex1[k] = dex[ix - 1];
+                    }
+                    for (k = 0; k < 256; k++) {
+                        vx[k] = vx[k] + ex1[k] + (xx[k] - xi[k]) * dex1[k];
+                        xx[k] = xx[k] + vx[k] + flx;
+                        ir[k] = (double)((int)xx[k]);
+                        rx[k] = xx[k] - ir[k];
+                        i = ((int)ir[k]) & 255;
+                        xx[k] = rx[k] + (double)i;
+                    }
+                    for (k = 0; k < 256; k++) {
+                        i = (int)xx[k];
+                        i = i & 255;
+                        rh[i] = rh[i] + 1.0 - rx[k];
+                        rh[i + 1] = rh[i + 1] + rx[k];
+                    }
+                }
+                for (k = 0; k < 320; k++) s += rh[k];
+                for (k = 0; k < 256; k++) s += vx[k];
+                return (int)(s * 10.0);
+             }",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_ir::interp::{Interp, Value};
+
+    #[test]
+    fn kernels_have_nonzero_checksums() {
+        for k in kernels() {
+            let module = k.module();
+            let mut interp = Interp::new(&module, 1 << 22).with_budget(200_000_000);
+            let v = interp
+                .call_by_name("main", &[])
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name))
+                .unwrap();
+            let Value::I(c) = v else { panic!("{}: non-int", k.name) };
+            assert!(c != 0, "{} checksum is zero (degenerate kernel?)", k.name);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! The compile-time program suite — stand-ins for the paper's
+//! Table 3 workload (NAS Kernel, SPHOT, ARC2D and the Lcc front end).
+//!
+//! The paper measured how long each Marion back end takes to compile
+//! a fixed suite and the *dilation* (instructions executed /
+//! instructions generated). These synthetic programs keep the original
+//! mix: three floating-point-loop-heavy scientific codes and one
+//! integer, branch-heavy systems program.
+
+use crate::Workload;
+
+/// The four suite programs.
+pub fn programs() -> Vec<Workload> {
+    vec![nasker(), sphot(), arc2d(), lcc_like()]
+}
+
+/// `nasker` — NAS-kernel-style dense linear algebra: matrix multiply,
+/// a Cholesky-ish triangular update and a butterfly pass.
+fn nasker() -> Workload {
+    Workload {
+        name: "nasker".into(),
+        description: "dense FP kernels: matmul, triangular update, butterfly".into(),
+        source: r#"
+double a[24][24]; double b[24][24]; double c[24][24];
+double vr[64]; double vi[64]; double wr[64]; double wi[64];
+
+void setup() {
+    int i, j;
+    for (i = 0; i < 24; i++)
+        for (j = 0; j < 24; j++) {
+            a[i][j] = 0.01 * (i + j + 1);
+            b[i][j] = 0.02 * (i - j) + 0.5;
+            c[i][j] = 0.0;
+        }
+    for (i = 0; i < 64; i++) {
+        vr[i] = 0.001 * (i + 1); vi[i] = 0.002 * (i + 2);
+        wr[i] = 0.97 - 0.001 * i; wi[i] = 0.01 * (i % 7);
+    }
+}
+
+void matmul() {
+    int i, j, k;
+    for (i = 0; i < 24; i++)
+        for (j = 0; j < 24; j++) {
+            double s = 0.0;
+            for (k = 0; k < 24; k++)
+                s += a[i][k] * b[k][j];
+            c[i][j] = s;
+        }
+}
+
+void triangular() {
+    int i, j, k;
+    for (k = 0; k < 24; k++) {
+        for (i = k + 1; i < 24; i++) {
+            double m = a[i][k] / (a[k][k] + 1.0);
+            for (j = k; j < 24; j++)
+                a[i][j] -= m * a[k][j];
+        }
+    }
+}
+
+void butterfly(int span) {
+    int i;
+    for (i = 0; i + span < 64; i++) {
+        double tr = vr[i + span] * wr[i] - vi[i + span] * wi[i];
+        double ti = vr[i + span] * wi[i] + vi[i + span] * wr[i];
+        vr[i + span] = vr[i] - tr;
+        vi[i + span] = vi[i] - ti;
+        vr[i] = vr[i] + tr;
+        vi[i] = vi[i] + ti;
+    }
+}
+
+int main() {
+    int i, j, span;
+    double s = 0.0;
+    setup();
+    matmul();
+    triangular();
+    for (span = 1; span < 64; span = span * 2)
+        butterfly(span);
+    for (i = 0; i < 24; i++)
+        for (j = 0; j < 24; j++) s += c[i][j] + a[i][j] * 0.125;
+    for (i = 0; i < 64; i++) s += vr[i] * 0.0625;
+    if (s < 0.0) s = -s;
+    while (s > 100000.0) s = s * 0.01;
+    return (int)(s * 10.0);
+}
+"#
+        .into(),
+    }
+}
+
+/// `sphot` — photon-transport-style Monte Carlo: a linear congruential
+/// generator drives scattering decisions through branchy FP code.
+fn sphot() -> Workload {
+    Workload {
+        name: "sphot".into(),
+        description: "Monte-Carlo photon transport: LCG + branchy FP scattering".into(),
+        source: r#"
+double absorbed[16]; double escaped[16]; double flux[64];
+int seed = 12345;
+
+int lcg() {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    return seed;
+}
+
+double uniform() {
+    return (double)(lcg() % 10000) * 0.0001;
+}
+
+int main() {
+    int p, step, zone;
+    double s = 0.0;
+    for (p = 0; p < 16; p++) { absorbed[p] = 0.0; escaped[p] = 0.0; }
+    for (p = 0; p < 64; p++) flux[p] = 0.0;
+    for (p = 0; p < 300; p++) {
+        double energy = 1.0 + uniform();
+        double weight = 1.0;
+        zone = p % 16;
+        for (step = 0; step < 40; step++) {
+            double r = uniform();
+            flux[(zone * 4 + step) % 64] += weight * energy * 0.01;
+            if (r < 0.3) {
+                /* absorption */
+                absorbed[zone] += weight * energy;
+                weight = 0.0;
+                break;
+            } else if (r < 0.7) {
+                /* scatter: lose energy, maybe change zone */
+                energy = energy * (0.5 + 0.5 * uniform());
+                if (r < 0.5) zone = (zone + 1) % 16;
+            } else {
+                /* streaming */
+                zone = zone + 1;
+                if (zone >= 16) {
+                    escaped[zone % 16] += weight * energy;
+                    break;
+                }
+            }
+            if (energy < 0.05) {
+                absorbed[zone] += weight * energy;
+                break;
+            }
+        }
+    }
+    for (p = 0; p < 16; p++) s += absorbed[p] + escaped[p];
+    for (p = 0; p < 64; p++) s += flux[p] * 0.1;
+    return (int)(s * 100.0);
+}
+"#
+        .into(),
+    }
+}
+
+/// `arc2d` — implicit-fluid-code flavour: repeated 2-D stencil sweeps
+/// with boundary handling and a tridiagonal-style line solve.
+fn arc2d() -> Workload {
+    Workload {
+        name: "arc2d".into(),
+        description: "2-D stencil sweeps + line solves (ARC2D-style)".into(),
+        source: r#"
+double q[34][34]; double qn[34][34]; double rhs[34][34];
+double aa[34]; double bb[34]; double cc[34]; double dd[34]; double xx[34];
+
+void init() {
+    int i, j;
+    for (i = 0; i < 34; i++)
+        for (j = 0; j < 34; j++) {
+            q[i][j] = 1.0 + 0.01 * i - 0.005 * j;
+            qn[i][j] = 0.0;
+            rhs[i][j] = 0.0;
+        }
+}
+
+void stencil() {
+    int i, j;
+    for (i = 1; i < 33; i++)
+        for (j = 1; j < 33; j++)
+            rhs[i][j] = 0.25 * (q[i - 1][j] + q[i + 1][j] + q[i][j - 1] + q[i][j + 1]) - q[i][j];
+}
+
+void linesolve(int i) {
+    int j;
+    /* Thomas algorithm along one line */
+    for (j = 0; j < 34; j++) {
+        aa[j] = -0.2; bb[j] = 1.4; cc[j] = -0.2; dd[j] = rhs[i][j];
+    }
+    for (j = 1; j < 34; j++) {
+        double m = aa[j] / bb[j - 1];
+        bb[j] = bb[j] - m * cc[j - 1];
+        dd[j] = dd[j] - m * dd[j - 1];
+    }
+    xx[33] = dd[33] / bb[33];
+    for (j = 32; j >= 0; j--)
+        xx[j] = (dd[j] - cc[j] * xx[j + 1]) / bb[j];
+    for (j = 0; j < 34; j++)
+        qn[i][j] = q[i][j] + xx[j];
+}
+
+int main() {
+    int it, i, j;
+    double s = 0.0;
+    init();
+    for (it = 0; it < 6; it++) {
+        stencil();
+        for (i = 1; i < 33; i++) linesolve(i);
+        for (i = 0; i < 34; i++)
+            for (j = 0; j < 34; j++) q[i][j] = qn[i][j] * 0.5 + q[i][j] * 0.5;
+    }
+    for (i = 0; i < 34; i++)
+        for (j = 0; j < 34; j++) s += q[i][j];
+    return (int)(s * 10.0);
+}
+"#
+        .into(),
+    }
+}
+
+/// `lcc` — compiler-front-end flavour: a tokenizer and expression
+/// evaluator over a byte buffer. Integer ops, tables, tight branches —
+/// the opposite mix from the scientific codes.
+fn lcc_like() -> Workload {
+    Workload {
+        name: "lcc".into(),
+        description: "tokenizer + recursive-descent evaluator (integer/branchy)".into(),
+        source: r#"
+char buf[256];
+int pos = 0;
+int kinds[64]; int values[64]; int ntok = 0;
+
+void emitc(int i, char c) { buf[i] = c; }
+
+void fill() {
+    /* "(1+2)*(3+4)-5*6+78/3;" repeated with varying digits */
+    int i, base = 0, d = 1;
+    for (i = 0; i + 24 < 256; i += 24) {
+        emitc(i + 0, '('); emitc(i + 1, (char)('0' + d % 10));
+        emitc(i + 2, '+'); emitc(i + 3, (char)('0' + (d + 1) % 10));
+        emitc(i + 4, ')'); emitc(i + 5, '*');
+        emitc(i + 6, '('); emitc(i + 7, (char)('0' + (d + 2) % 10));
+        emitc(i + 8, '+'); emitc(i + 9, (char)('0' + (d + 3) % 10));
+        emitc(i + 10, ')'); emitc(i + 11, '-');
+        emitc(i + 12, (char)('0' + (d + 4) % 10));
+        emitc(i + 13, '*'); emitc(i + 14, (char)('0' + (d + 5) % 10));
+        emitc(i + 15, '+'); emitc(i + 16, (char)('0' + (d + 6) % 10));
+        emitc(i + 17, (char)('0' + (d + 7) % 10));
+        emitc(i + 18, '/'); emitc(i + 19, (char)('0' + (d % 3 + 1)));
+        emitc(i + 20, ';');
+        emitc(i + 21, ' '); emitc(i + 22, ' '); emitc(i + 23, ' ');
+        d = d + 3;
+        base = i;
+    }
+    buf[base + 21] = 0;
+    pos = 0;
+}
+
+/* token kinds: 0 eof, 1 num, 2 +, 3 -, 4 *, 5 /, 6 (, 7 ), 8 ; */
+void tokenize() {
+    ntok = 0;
+    while (ntok < 63) {
+        char c = buf[pos];
+        if (c == 0) break;
+        if (c == ' ') { pos++; continue; }
+        if (c >= '0' && c <= '9') {
+            int v = 0;
+            while (buf[pos] >= '0' && buf[pos] <= '9') {
+                v = v * 10 + (buf[pos] - '0');
+                pos++;
+            }
+            kinds[ntok] = 1; values[ntok] = v; ntok++;
+            continue;
+        }
+        if (c == '+') kinds[ntok] = 2;
+        else if (c == '-') kinds[ntok] = 3;
+        else if (c == '*') kinds[ntok] = 4;
+        else if (c == '/') kinds[ntok] = 5;
+        else if (c == '(') kinds[ntok] = 6;
+        else if (c == ')') kinds[ntok] = 7;
+        else kinds[ntok] = 8;
+        values[ntok] = 0;
+        ntok++;
+        pos++;
+    }
+    kinds[ntok] = 0;
+}
+
+int tp = 0;
+
+int parse_expr();
+
+int parse_primary() {
+    if (kinds[tp] == 6) {
+        int v;
+        tp++;
+        v = parse_expr();
+        if (kinds[tp] == 7) tp++;
+        return v;
+    }
+    if (kinds[tp] == 1) {
+        int v = values[tp];
+        tp++;
+        return v;
+    }
+    tp++;
+    return 0;
+}
+
+int parse_term() {
+    int v = parse_primary();
+    while (kinds[tp] == 4 || kinds[tp] == 5) {
+        int op = kinds[tp];
+        int rhs;
+        tp++;
+        rhs = parse_primary();
+        if (op == 4) v = v * rhs;
+        else if (rhs != 0) v = v / rhs;
+    }
+    return v;
+}
+
+int parse_expr() {
+    int v = parse_term();
+    while (kinds[tp] == 2 || kinds[tp] == 3) {
+        int op = kinds[tp];
+        int rhs;
+        tp++;
+        rhs = parse_term();
+        if (op == 2) v = v + rhs;
+        else v = v - rhs;
+    }
+    return v;
+}
+
+int main() {
+    int round, total = 0;
+    for (round = 0; round < 20; round++) {
+        int statement_sum = 0;
+        fill();
+        tokenize();
+        tp = 0;
+        while (kinds[tp] != 0) {
+            statement_sum += parse_expr();
+            if (kinds[tp] == 8) tp++;
+        }
+        total = total + statement_sum % 9973;
+    }
+    return total;
+}
+"#
+        .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_ir::interp::{Interp, Value};
+
+    #[test]
+    fn suite_runs_and_checksums_are_stable() {
+        for w in programs() {
+            let module = w.module();
+            let mut i1 = Interp::new(&module, 1 << 22).with_budget(200_000_000);
+            let a = i1.call_by_name("main", &[]).unwrap().unwrap();
+            let mut i2 = Interp::new(&module, 1 << 22).with_budget(200_000_000);
+            let b = i2.call_by_name("main", &[]).unwrap().unwrap();
+            assert_eq!(a, b, "{} is nondeterministic", w.name);
+            let Value::I(c) = a else { panic!() };
+            assert!(c != 0, "{} checksum is zero", w.name);
+        }
+    }
+}

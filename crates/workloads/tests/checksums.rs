@@ -1,0 +1,39 @@
+//! Pinned reference checksums for the Livermore kernels: any change to
+//! a kernel's code or data must be deliberate (every timing experiment
+//! in `marion-bench` verifies against these via the interpreter).
+
+use marion_ir::interp::{Interp, Value};
+
+const EXPECTED: &[(&str, i64)] = &[
+    ("LL1", 12487),
+    ("LL2", 142),
+    ("LL3", 113),
+    ("LL4", 3190),
+    ("LL5", 1218),
+    ("LL6", 78),
+    ("LL7", 1183),
+    ("LL8", 54),
+    ("LL9", 2),
+    ("LL10", -97),
+    ("LL11", 1125),
+    ("LL12", 1),
+    ("LL13", 1324),
+    ("LL14", 19717),
+];
+
+#[test]
+fn livermore_checksums_are_pinned() {
+    let kernels = marion_workloads::livermore::kernels();
+    assert_eq!(kernels.len(), EXPECTED.len());
+    for (kernel, (name, want)) in kernels.iter().zip(EXPECTED) {
+        assert_eq!(kernel.name, *name);
+        let module = kernel.module();
+        let mut interp = Interp::new(&module, 1 << 22).with_budget(400_000_000);
+        let got = interp.call_by_name("main", &[]).unwrap().unwrap();
+        assert_eq!(
+            got,
+            Value::I(*want),
+            "{name}: checksum drifted — was the kernel edited?"
+        );
+    }
+}

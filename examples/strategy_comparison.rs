@@ -1,0 +1,59 @@
+//! Postpass vs IPS vs RASE on one kernel.
+//!
+//! ```sh
+//! cargo run --example strategy_comparison [machine] [LLn]
+//! ```
+//!
+//! The strategy decides how register allocation and instruction
+//! scheduling talk to each other (paper §2): Postpass allocates first
+//! and schedules around the chosen registers; IPS schedules first
+//! (with a limit on local register use) so the allocator sees the
+//! better order; RASE hands the allocator per-block schedule cost
+//! estimates. Compare spills, code size, estimated and actual cycles.
+
+use marion::backend::{Compiler, StrategyKind};
+use marion::sim::{run_program, SimConfig};
+
+fn main() {
+    let machine = std::env::args().nth(1).unwrap_or_else(|| "r2000".into());
+    let kernel_name = std::env::args().nth(2).unwrap_or_else(|| "LL7".into());
+    let kernels = marion::workloads::livermore::kernels();
+    let kernel = kernels
+        .iter()
+        .find(|k| k.name == kernel_name)
+        .unwrap_or_else(|| panic!("no kernel {kernel_name} (try LL1..LL14)"));
+    let spec = marion::machines::load(&machine);
+    let module = kernel.module();
+
+    println!(
+        "{} ({}) on {machine}\n",
+        kernel.name, kernel.description
+    );
+    println!(
+        "{:>10} {:>8} {:>8} {:>12} {:>12} {:>7}",
+        "strategy", "insts", "spills", "est cycles", "actual", "a/e"
+    );
+    for strategy in StrategyKind::ALL {
+        let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), strategy);
+        let program = compiler.compile_module(&module).expect("codegen");
+        let run = run_program(
+            &spec.machine,
+            &program,
+            "main",
+            &[],
+            Some(marion::maril::Ty::Int),
+            &SimConfig::default(),
+        )
+        .expect("simulation");
+        let est = marion::sim::run::estimated_cycles(&program, &run.block_counts);
+        println!(
+            "{:>10} {:>8} {:>8} {:>12} {:>12} {:>7.2}",
+            strategy.name(),
+            program.stats.insts_generated,
+            program.stats.spills,
+            est,
+            run.cycles,
+            run.cycles as f64 / est.max(1) as f64
+        );
+    }
+}

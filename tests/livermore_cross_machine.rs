@@ -1,0 +1,75 @@
+//! Livermore kernels, compiled and simulated, must agree with the IR
+//! interpreter on every machine (a subset per machine keeps the debug
+//! profile fast; the bench binaries run all 14 everywhere).
+
+use marion::backend::{Compiler, StrategyKind};
+use marion::ir::interp::{Interp, Value};
+use marion::sim::{run_program, SimConfig};
+
+fn check(kernel_name: &str, machine: &str, strategy: StrategyKind) {
+    let kernels = marion::workloads::livermore::kernels();
+    let kernel = kernels.iter().find(|k| k.name == kernel_name).unwrap();
+    let module = kernel.module();
+    let mut interp = Interp::new(&module, 1 << 22).with_budget(400_000_000);
+    let expected = interp.call_by_name("main", &[]).unwrap().unwrap();
+    let spec = marion::machines::load(machine);
+    let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), strategy);
+    let program = compiler
+        .compile_module(&module)
+        .unwrap_or_else(|e| panic!("{kernel_name} on {machine}/{strategy}: {e}"));
+    let run = run_program(
+        &spec.machine,
+        &program,
+        "main",
+        &[],
+        Some(marion::maril::Ty::Int),
+        &SimConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("{kernel_name} on {machine}/{strategy}: {e}"));
+    let got = run.result.unwrap();
+    let ok = matches!((expected, got), (Value::I(a), Value::I(b)) if a == b);
+    assert!(
+        ok,
+        "{kernel_name} on {machine}/{strategy}: interp {expected:?} != sim {got:?}"
+    );
+}
+
+#[test]
+fn ll1_hydro_everywhere() {
+    for machine in marion::machines::ALL {
+        check("LL1", machine, StrategyKind::Ips);
+    }
+}
+
+#[test]
+fn ll3_inner_product_everywhere() {
+    for machine in marion::machines::ALL {
+        check("LL3", machine, StrategyKind::Postpass);
+    }
+}
+
+#[test]
+fn ll5_recurrence_r2000_all_strategies() {
+    for strategy in StrategyKind::ALL {
+        check("LL5", "r2000", strategy);
+    }
+}
+
+#[test]
+fn ll7_eos_i860_postpass_and_ips() {
+    check("LL7", "i860", StrategyKind::Postpass);
+    check("LL7", "i860", StrategyKind::Ips);
+}
+
+#[test]
+fn ll12_first_diff_everywhere_rase() {
+    for machine in marion::machines::ALL {
+        check("LL12", machine, StrategyKind::Rase);
+    }
+}
+
+#[test]
+fn ll13_pic_m88k_and_toyp() {
+    check("LL13", "m88k", StrategyKind::Ips);
+    check("LL13", "toyp", StrategyKind::Postpass);
+}
