@@ -1,0 +1,21 @@
+#!/bin/sh
+# Offline CI gate: formatting, lints, release build, tests.
+# The workspace has zero external dependencies, so every step runs
+# without network access (--offline keeps cargo honest about that).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test --workspace -q --offline
+
+echo "CI OK"

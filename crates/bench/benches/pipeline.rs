@@ -1,17 +1,47 @@
-//! Criterion micro-benchmarks for the compiler pipeline itself:
-//! description parsing (the code generator generator), instruction
-//! selection, scheduling, and whole-program compilation per strategy,
-//! plus simulator throughput.
+//! Micro-benchmarks for the compiler pipeline itself: description
+//! parsing (the code generator generator), instruction selection,
+//! scheduling, and whole-program compilation per strategy, plus
+//! simulator throughput.
 //!
 //! The paper notes "Marion compilers are not fast" (Table 3); these
 //! benches characterise where this reproduction spends its time.
+//!
+//! Uses a plain `std::time::Instant` harness (median of several
+//! batches) so the workspace needs no external bench framework and
+//! builds offline. Run with `cargo bench -p marion-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use marion_core::{sched, select, Compiler, StrategyKind};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_parse_descriptions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("maril-parse");
+/// Times `f` in `batches` batches of `iters` calls and reports the
+/// median per-iteration time.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    const BATCHES: usize = 7;
+    // Warm-up.
+    f();
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[BATCHES / 2];
+    let (value, unit) = if median < 1e-6 {
+        (median * 1e9, "ns")
+    } else if median < 1e-3 {
+        (median * 1e6, "µs")
+    } else {
+        (median * 1e3, "ms")
+    };
+    println!("{name:<40} {value:>10.2} {unit}/iter  ({iters} iters x {BATCHES} batches)");
+}
+
+fn bench_parse_descriptions() {
     for name in marion_machines::ALL {
         let text = match name {
             "toyp" => marion_machines::toyp::text(),
@@ -19,11 +49,10 @@ fn bench_parse_descriptions(c: &mut Criterion) {
             "m88k" => marion_machines::m88k::text(),
             _ => marion_machines::i860::text(),
         };
-        g.bench_function(name, |b| {
-            b.iter(|| marion_maril::Machine::parse(name, black_box(text)).unwrap())
+        bench(&format!("maril-parse/{name}"), 20, || {
+            black_box(marion_maril::Machine::parse(name, black_box(text)).unwrap());
         });
     }
-    g.finish();
 }
 
 fn kernel_module() -> marion_ir::Module {
@@ -35,66 +64,58 @@ fn kernel_module() -> marion_ir::Module {
     module
 }
 
-fn bench_select(c: &mut Criterion) {
+fn bench_select() {
     let module = kernel_module();
-    let mut g = c.benchmark_group("select-LL7");
     for name in ["r2000", "i860"] {
         let spec = marion_machines::load(name);
         let mut funcs = module.funcs.clone();
         for f in &mut funcs {
             marion_core::glue::apply_glue(&spec.machine, f).unwrap();
         }
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                for f in &funcs {
-                    black_box(
-                        select::select_func(&spec.machine, &spec.escapes, &module, f).unwrap(),
-                    );
-                }
-            })
+        bench(&format!("select-LL7/{name}"), 50, || {
+            for f in &funcs {
+                black_box(select::select_func(&spec.machine, &spec.escapes, &module, f).unwrap());
+            }
         });
     }
-    g.finish();
 }
 
-fn bench_schedule(c: &mut Criterion) {
+fn bench_schedule() {
     let module = kernel_module();
-    let mut g = c.benchmark_group("schedule-LL7");
     for name in ["r2000", "i860"] {
         let spec = marion_machines::load(name);
         let mut f = module.funcs[0].clone();
         marion_core::glue::apply_glue(&spec.machine, &mut f).unwrap();
         let code = select::select_func(&spec.machine, &spec.escapes, &module, &f).unwrap();
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                for block in &code.blocks {
-                    black_box(sched::schedule_block_robust(
-                        &spec.machine,
-                        &code,
-                        block,
-                        &Default::default(),
-                    ));
-                }
-            })
+        bench(&format!("schedule-LL7/{name}"), 50, || {
+            for block in &code.blocks {
+                black_box(sched::schedule_block_robust(
+                    &spec.machine,
+                    &code,
+                    block,
+                    &Default::default(),
+                ));
+            }
         });
     }
-    g.finish();
 }
 
-fn bench_compile_strategies(c: &mut Criterion) {
+fn bench_compile_strategies() {
     let module = kernel_module();
-    let mut g = c.benchmark_group("compile-LL7-r2000");
     let spec = marion_machines::load("r2000");
     for strategy in StrategyKind::ALL {
         let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), strategy);
-        g.bench_function(strategy.name(), |b| {
-            b.iter(|| black_box(compiler.compile_module(black_box(&module)).unwrap()))
-        });
+        bench(
+            &format!("compile-LL7-r2000/{}", strategy.name()),
+            20,
+            || {
+                black_box(compiler.compile_module(black_box(&module)).unwrap());
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_simulate(c: &mut Criterion) {
+fn bench_simulate() {
     let kernels = marion_workloads::livermore::kernels();
     let ll12 = kernels.iter().find(|k| k.name == "LL12").unwrap();
     let module = ll12.module();
@@ -105,29 +126,26 @@ fn bench_simulate(c: &mut Criterion) {
         StrategyKind::Postpass,
     );
     let program = compiler.compile_module(&module).unwrap();
-    c.bench_function("simulate-LL12-r2000", |b| {
-        b.iter(|| {
-            black_box(
-                marion_sim::run_program(
-                    &spec.machine,
-                    &program,
-                    "main",
-                    &[],
-                    Some(marion_maril::Ty::Int),
-                    &marion_sim::SimConfig::default(),
-                )
-                .unwrap(),
+    bench("simulate-LL12-r2000", 5, || {
+        black_box(
+            marion_sim::run_program(
+                &spec.machine,
+                &program,
+                "main",
+                &[],
+                Some(marion_maril::Ty::Int),
+                &marion_sim::SimConfig::default(),
             )
-        })
+            .unwrap(),
+        );
     });
 }
 
-criterion_group!(
-    benches,
-    bench_parse_descriptions,
-    bench_select,
-    bench_schedule,
-    bench_compile_strategies,
-    bench_simulate
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    bench_parse_descriptions();
+    bench_select();
+    bench_schedule();
+    bench_compile_strategies();
+    bench_simulate();
+}

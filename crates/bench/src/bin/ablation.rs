@@ -11,15 +11,21 @@
 //!    1.0 come from.
 
 use marion_bench::{geomean, measure, row};
-use marion_core::{dag::build_dag, regalloc::allocate, sched, select::select_func, Compiler,
-                  StrategyKind};
+use marion_core::{
+    dag::build_dag, regalloc::allocate, sched, select::select_func, Compiler, StrategyKind,
+};
 use marion_sim::{run_program, SimConfig};
 
 fn main() {
     let kernels = marion_workloads::livermore::kernels();
     let subset: Vec<_> = kernels
         .iter()
-        .filter(|k| matches!(k.name.as_str(), "LL1" | "LL3" | "LL5" | "LL7" | "LL12" | "LL14"))
+        .filter(|k| {
+            matches!(
+                k.name.as_str(),
+                "LL1" | "LL3" | "LL5" | "LL7" | "LL12" | "LL14"
+            )
+        })
         .cloned()
         .collect();
     let config = SimConfig::default();
@@ -30,7 +36,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["machine".into(), "NoSched".into(), "Postpass".into(), "sched gain".into()],
+            &[
+                "machine".into(),
+                "NoSched".into(),
+                "Postpass".into(),
+                "sched gain".into()
+            ],
             &widths
         )
     );
@@ -39,8 +50,16 @@ fn main() {
         let mut unsched = Vec::new();
         let mut post = Vec::new();
         for k in &subset {
-            unsched.push(measure(&spec, StrategyKind::NoSchedule, k, &config).run.cycles as f64);
-            post.push(measure(&spec, StrategyKind::Postpass, k, &config).run.cycles as f64);
+            unsched.push(
+                measure(&spec, StrategyKind::NoSchedule, k, &config)
+                    .run
+                    .cycles as f64,
+            );
+            post.push(
+                measure(&spec, StrategyKind::Postpass, k, &config)
+                    .run
+                    .cycles as f64,
+            );
         }
         let (u, p) = (geomean(&unsched), geomean(&post));
         println!(

@@ -21,7 +21,11 @@ fn main() {
                    return (y + z);
                }";
     let module = marion_frontend::compile(src).expect("fragment compiles");
-    let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), StrategyKind::Postpass);
+    let compiler = Compiler::new(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        StrategyKind::Postpass,
+    );
     let program = compiler.compile_module(&module).expect("codegen");
     println!("Figure 7: Marion i860 Postpass code for");
     println!("    a = (x + b) + (a * z);  return (y + z);");
@@ -33,8 +37,7 @@ fn main() {
     for (bi, block) in func.blocks.iter().enumerate() {
         println!(".Lf_{bi}:");
         for word in &block.words {
-            let text =
-                marion_core::emit::render_word(&spec.machine, word, &program.symbols, "f");
+            let text = marion_core::emit::render_word(&spec.machine, word, &program.symbols, "f");
             println!("  {cycle:>3}  {text}");
             cycle += 1;
             if word.insts.len() > 1 {

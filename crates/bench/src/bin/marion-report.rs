@@ -1,0 +1,230 @@
+//! marion-report — aggregates JSONL pipeline traces (see
+//! `marion_trace`) into the paper-style summary tables:
+//!
+//! * a per-phase wall-clock table (where compile time goes, Table 3's
+//!   "Marion compilers are not fast" breakdown);
+//! * a per-function summary of the static counters (instructions
+//!   generated, spills, estimated cycles, delay slots, stalls — the
+//!   Table 1 / Table 2 shape);
+//! * every per-block reservation table (cycles × resource vector)
+//!   recorded in the trace.
+//!
+//! Usage:
+//!
+//! ```text
+//! marion-report TRACE.jsonl [MORE.jsonl ...]
+//! marion-report --demo [--jsonl OUT.jsonl]
+//! ```
+//!
+//! `--demo` compiles a Livermore kernel for the R2000 (IPS) and the
+//! dual-issue i860 (Postpass) with tracing and reservation tables
+//! enabled, then reports on the result; `--jsonl` additionally writes
+//! the merged trace for re-aggregation.
+
+use marion_bench::row;
+use marion_core::{CompileOptions, Compiler, StrategyKind};
+use marion_trace::{Record, TraceConfig, TraceData};
+use std::collections::BTreeMap;
+
+fn usage() -> ! {
+    eprintln!("usage: marion-report TRACE.jsonl [MORE.jsonl ...]");
+    eprintln!("       marion-report --demo [--jsonl OUT.jsonl]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let data = if args[0] == "--demo" {
+        let data = demo();
+        if let Some(pos) = args.iter().position(|a| a == "--jsonl") {
+            let path = args.get(pos + 1).unwrap_or_else(|| usage());
+            std::fs::write(path, data.to_jsonl()).unwrap_or_else(|e| {
+                eprintln!("marion-report: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        data
+    } else {
+        let mut data = TraceData::default();
+        for path in &args {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("marion-report: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let part = TraceData::parse_jsonl(&text).unwrap_or_else(|e| {
+                eprintln!("marion-report: {path}: {e}");
+                std::process::exit(1);
+            });
+            data.merge(part);
+        }
+        data
+    };
+    print!("{}", report(&data));
+}
+
+/// Compiles a kernel on a scalar and a dual-issue machine with full
+/// tracing and returns the merged trace.
+fn demo() -> TraceData {
+    let kernels = marion_workloads::livermore::kernels();
+    let ll7 = kernels
+        .iter()
+        .find(|k| k.name == "LL7")
+        .expect("LL7 kernel");
+    let module = ll7.module();
+    let options = CompileOptions {
+        trace: Some(TraceConfig {
+            reservation_tables: true,
+        }),
+        ..CompileOptions::default()
+    };
+    let mut data = TraceData::default();
+    for (machine, strategy) in [
+        ("r2000", StrategyKind::Ips),
+        ("i860", StrategyKind::Postpass),
+    ] {
+        let spec = marion_machines::load(machine);
+        let compiler = Compiler::with_options(
+            spec.machine.clone(),
+            spec.escapes.clone(),
+            strategy,
+            options.clone(),
+        );
+        let program = compiler
+            .compile_module(&module)
+            .unwrap_or_else(|e| panic!("LL7 on {machine}: {e}"));
+        data.merge(program.trace.expect("tracing was enabled"));
+    }
+    data
+}
+
+/// Renders the three summary tables from an aggregated trace.
+fn report(data: &TraceData) -> String {
+    let mut out = String::new();
+
+    // ---- per-phase wall-clock ----
+    let mut phases: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for r in &data.records {
+        if let Record::Span { name, dur_us, .. } = r {
+            let slot = phases.entry(name).or_insert((0, 0));
+            slot.0 += dur_us;
+            slot.1 += 1;
+        }
+    }
+    if !phases.is_empty() {
+        let widths = [24, 12, 8, 10];
+        out.push_str("phase timing (wall clock)\n");
+        out.push_str(&row(
+            &[
+                "phase".into(),
+                "total us".into(),
+                "spans".into(),
+                "mean us".into(),
+            ],
+            &widths,
+        ));
+        out.push('\n');
+        let mut rows: Vec<(&str, u64, u64)> =
+            phases.into_iter().map(|(n, (t, c))| (n, t, c)).collect();
+        rows.sort_by_key(|(_, t, _)| std::cmp::Reverse(*t));
+        for (name, total, count) in rows {
+            out.push_str(&row(
+                &[
+                    name.into(),
+                    total.to_string(),
+                    count.to_string(),
+                    format!("{:.1}", total as f64 / count.max(1) as f64),
+                ],
+                &widths,
+            ));
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+
+    // ---- per-function static counters ----
+    let mut funcs: BTreeMap<&str, BTreeMap<&str, i64>> = BTreeMap::new();
+    for r in &data.records {
+        if let Record::Counter { name, ctx, value } = r {
+            *funcs.entry(ctx).or_default().entry(name).or_insert(0) += value;
+        }
+    }
+    if !funcs.is_empty() {
+        let cols = [
+            ("insts_generated", "insts"),
+            ("spills", "spills"),
+            ("estimated_cycles", "est cyc"),
+            ("delay_slots_filled", "filled"),
+            ("nops_emitted", "nops"),
+            ("sched_stall_cycles", "stalls"),
+            ("packed_words", "packed"),
+            ("ra_rounds", "ra rnd"),
+        ];
+        let mut widths = vec![28usize];
+        widths.extend(cols.iter().map(|(_, h)| h.len().max(7)));
+        out.push_str("per-function summary\n");
+        let mut header: Vec<String> = vec!["machine/function".into()];
+        header.extend(cols.iter().map(|(_, h)| h.to_string()));
+        out.push_str(&row(&header, &widths));
+        out.push('\n');
+        for (ctx, counters) in &funcs {
+            let mut cells: Vec<String> = vec![(*ctx).into()];
+            cells.extend(
+                cols.iter()
+                    .map(|(key, _)| counters.get(key).copied().unwrap_or(0).to_string()),
+            );
+            out.push_str(&row(&cells, &widths));
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+
+    // ---- issue-slot utilization (multi-issue machines) ----
+    let mut any_util = false;
+    for (ctx, counters) in &funcs {
+        let slots = counters.get("issue_slots_used").copied().unwrap_or(0);
+        let cycles = counters.get("issue_cycles").copied().unwrap_or(0);
+        if cycles > 0 && slots > cycles {
+            if !any_util {
+                out.push_str("issue-slot utilization\n");
+                any_util = true;
+            }
+            out.push_str(&format!(
+                "  {ctx:<28} {:.2} sub-ops/word ({slots} ops in {cycles} words)\n",
+                slots as f64 / cycles as f64
+            ));
+        }
+    }
+    if any_util {
+        out.push('\n');
+    }
+
+    // ---- reservation tables ----
+    let tables = data.events_named("reservation_table");
+    if !tables.is_empty() {
+        out.push_str("reservation tables (cycle x resource)\n");
+        for (ctx, fields) in tables {
+            let pass = fields
+                .iter()
+                .find(|(k, _)| k == "pass")
+                .and_then(|(_, v)| v.as_str())
+                .unwrap_or("?");
+            out.push_str(&format!("\n{ctx} [{pass}]\n"));
+            if let Some(table) = fields
+                .iter()
+                .find(|(k, _)| k == "table")
+                .and_then(|(_, v)| v.as_str())
+            {
+                for line in table.lines() {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}

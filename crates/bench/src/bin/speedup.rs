@@ -25,13 +25,18 @@ fn main() {
     println!(
         "{}",
         row(
-            &["target".into(), "Postpass cyc".into(), "IPS".into(), "RASE".into()],
+            &[
+                "target".into(),
+                "Postpass cyc".into(),
+                "IPS".into(),
+                "RASE".into()
+            ],
             &widths
         )
     );
     for machine in marion_machines::ALL {
         let spec = marion_machines::load(machine);
-        let mut cycles = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut cycles = [Vec::new(), Vec::new(), Vec::new()];
         for w in &workloads {
             for (si, strategy) in StrategyKind::ALL.iter().enumerate() {
                 let m = measure(&spec, *strategy, w, &config);

@@ -8,6 +8,11 @@
 
 use marion_machines::{load, ALL};
 
+type StatRow = (
+    &'static str,
+    Box<dyn Fn(&marion_maril::DescriptionStats) -> usize>,
+);
+
 fn main() {
     println!("Table 1: Maril machine description statistics");
     println!("(paper reported 88000/R2000/i860: clocks 0/0/4, classes 0/0/67, aux 6/0/12)");
@@ -18,7 +23,7 @@ fn main() {
         .collect();
     let widths = [16usize, 8, 8, 8, 8];
     println!("{}", marion_bench::row(&name_row, &widths));
-    let rows: Vec<(&str, Box<dyn Fn(&marion_maril::DescriptionStats) -> usize>)> = vec![
+    let rows: Vec<StatRow> = vec![
         ("Declare lines", Box::new(|s| s.declare_lines)),
         ("Cwvm lines", Box::new(|s| s.cwvm_lines)),
         ("Instr lines", Box::new(|s| s.instr_lines)),

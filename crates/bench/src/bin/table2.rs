@@ -36,7 +36,9 @@ fn loc_dir(dir: &Path) -> usize {
 /// Lines of the `impl Strategy for X` block in strategy.rs.
 fn strategy_impl_lines(src: &str, name: &str) -> usize {
     let marker = format!("impl Strategy for {name}");
-    let Some(start) = src.find(&marker) else { return 0 };
+    let Some(start) = src.find(&marker) else {
+        return 0;
+    };
     let mut depth = 0usize;
     let mut lines = 0usize;
     let mut started = false;

@@ -23,7 +23,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["target".into(), "strategy".into(), "time (ms)".into(), "dilation".into()],
+            &[
+                "target".into(),
+                "strategy".into(),
+                "time (ms)".into(),
+                "dilation".into()
+            ],
             &widths
         )
     );

@@ -38,8 +38,8 @@ fn main() {
             &widths
         )
     );
-    let mut cyc = vec![Vec::new(), Vec::new(), Vec::new()];
-    let mut ratios = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut cyc = [Vec::new(), Vec::new(), Vec::new()];
+    let mut ratios = [Vec::new(), Vec::new(), Vec::new()];
     for kernel in marion_workloads::livermore::kernels() {
         let mut cells = vec![kernel.name.clone()];
         let mut rcells = Vec::new();

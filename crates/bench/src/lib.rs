@@ -127,12 +127,7 @@ mod tests {
         let spec = marion_machines::load("r2000");
         let kernels = marion_workloads::livermore::kernels();
         let ll12 = kernels.iter().find(|k| k.name == "LL12").unwrap();
-        let m = measure(
-            &spec,
-            StrategyKind::Postpass,
-            ll12,
-            &SimConfig::default(),
-        );
+        let m = measure(&spec, StrategyKind::Postpass, ll12, &SimConfig::default());
         verify_against_interp(ll12, &m);
         assert!(m.run.cycles > 0);
         assert!(m.estimated_cycles > 0);

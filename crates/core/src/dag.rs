@@ -258,9 +258,7 @@ pub fn build_dag_with(
                     ops_equal(producer, inst, a, b)
                 });
                 let kind = match atom {
-                    Atom::Temporal(tid) => {
-                        EdgeKind::TrueTemporal(machine.temporal(*tid).clock)
-                    }
+                    Atom::Temporal(tid) => EdgeKind::TrueTemporal(machine.temporal(*tid).clock),
                     _ => EdgeKind::True,
                 };
                 dag.add_edge(d, i, lat, kind);
@@ -698,7 +696,11 @@ mod tests {
         let insts = vec![
             inst(&m, "add", vec![v(1), v(0), v(0)]),
             inst(&m, "add", vec![v(2), v(0), v(0)]),
-            inst(&m, "beq0", vec![v(1), Operand::Block(marion_ir::BlockId(1))]),
+            inst(
+                &m,
+                "beq0",
+                vec![v(1), Operand::Block(marion_ir::BlockId(1))],
+            ),
         ];
         let (_f, block) = func_with(&m, insts);
         let dag = build_dag(&m, &block, true);

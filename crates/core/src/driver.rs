@@ -10,6 +10,7 @@ use crate::strategy::{strategy_for, StrategyKind, StrategyStats};
 use marion_ir as ir;
 use marion_ir::{Node, NodeId, NodeKind};
 use marion_maril::{Machine, Ty};
+use marion_trace::{TraceConfig, TraceData, Tracer};
 
 /// A fully compiled program, ready for the `marion-sim` simulator.
 #[derive(Debug, Clone)]
@@ -26,6 +27,9 @@ pub struct CompiledProgram {
     pub strategy: StrategyKind,
     /// Aggregate statistics.
     pub stats: CompileStats,
+    /// The trace collected during compilation, when
+    /// [`CompileOptions::trace`] was set.
+    pub trace: Option<TraceData>,
 }
 
 impl CompiledProgram {
@@ -49,6 +53,60 @@ pub struct CompileStats {
     /// Branch delay slots filled with useful instructions instead of
     /// nops (the §4.4 optional pass).
     pub delay_slots_filled: usize,
+    /// `nop`s remaining in the emitted code (unfilled delay slots).
+    pub nops_emitted: usize,
+    /// The same statistics, per function.
+    pub per_func: Vec<FuncStats>,
+}
+
+/// Compile statistics for one function.
+#[derive(Debug, Clone, Default)]
+pub struct FuncStats {
+    /// Function name.
+    pub name: String,
+    /// Machine instructions generated.
+    pub insts_generated: usize,
+    /// Virtual registers spilled.
+    pub spills: usize,
+    /// Scheduling passes performed.
+    pub schedule_passes: usize,
+    /// Sum of final block cycle estimates.
+    pub estimated_cycles: u64,
+    /// Delay slots filled with useful instructions.
+    pub delay_slots_filled: usize,
+    /// `nop`s remaining in the emitted code.
+    pub nops_emitted: usize,
+}
+
+/// Options controlling one [`Compiler`].
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Fill branch delay slots with useful instructions where possible
+    /// (paper §4.4). On by default.
+    pub fill_delay_slots: bool,
+    /// Collect a trace (phase spans, counters, per-block scheduler
+    /// metrics) during compilation; the result lands in
+    /// [`CompiledProgram::trace`]. `None` (the default) collects
+    /// nothing and costs nothing.
+    pub trace: Option<TraceConfig>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            fill_delay_slots: !no_fill_env(),
+            trace: None,
+        }
+    }
+}
+
+/// Deprecated escape hatch: setting `MARION_NO_FILL` used to be the
+/// only way to disable delay-slot filling. [`CompileOptions`] replaces
+/// it; the variable is still honoured as the *default* for
+/// [`CompileOptions::fill_delay_slots`], read once per process.
+fn no_fill_env() -> bool {
+    static NO_FILL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *NO_FILL.get_or_init(|| std::env::var("MARION_NO_FILL").is_ok())
 }
 
 /// A Marion code generator for one machine and one strategy.
@@ -56,16 +114,28 @@ pub struct Compiler {
     machine: Machine,
     escapes: EscapeRegistry,
     strategy: StrategyKind,
+    options: CompileOptions,
 }
 
 impl Compiler {
     /// Creates a compiler from a compiled machine description, its
-    /// escape functions and a strategy.
+    /// escape functions and a strategy, with default options.
     pub fn new(machine: Machine, escapes: EscapeRegistry, strategy: StrategyKind) -> Compiler {
+        Compiler::with_options(machine, escapes, strategy, CompileOptions::default())
+    }
+
+    /// Creates a compiler with explicit [`CompileOptions`].
+    pub fn with_options(
+        machine: Machine,
+        escapes: EscapeRegistry,
+        strategy: StrategyKind,
+        options: CompileOptions,
+    ) -> Compiler {
         Compiler {
             machine,
             escapes,
             strategy,
+            options,
         }
     }
 
@@ -79,34 +149,81 @@ impl Compiler {
         self.strategy
     }
 
+    /// The options in use.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
     /// Compiles an IR module to machine code.
     ///
     /// # Errors
     ///
     /// Propagates failures from any phase, tagged with the phase name.
     pub fn compile_module(&self, module: &ir::Module) -> Result<CompiledProgram, CodegenError> {
+        let tracer = match &self.options.trace {
+            Some(config) => Tracer::new(config.clone()),
+            None => Tracer::off(),
+        };
         let mut module = module.clone();
         materialize_float_constants(&mut module);
         let strategy = strategy_for(self.strategy);
         let mut asm = AsmProgram::default();
         let mut stats = CompileStats::default();
+        let module_ctx = self.machine.name().to_owned();
+        let module_span = tracer.span(&module_ctx, "compile_module");
         for func in &module.funcs {
+            let ctx = format!("{}/{}", self.machine.name(), func.name);
+            let _func_span = tracer.span(&ctx, "compile_func");
             let mut func = func.clone();
-            apply_glue(&self.machine, &mut func)?;
-            let mut code: CodeFunc =
-                select_func(&self.machine, &self.escapes, &module, &func)?;
-            let (schedules, s): (_, StrategyStats) = strategy.run(&self.machine, &mut code)?;
-            let mut emitted = emit_func(&self.machine, &code, &schedules)?;
-            if std::env::var("MARION_NO_FILL").is_err() {
-                stats.delay_slots_filled +=
-                    crate::emit::fill_delay_slots(&self.machine, &mut emitted);
+            {
+                let _span = tracer.span(&ctx, "glue");
+                apply_glue(&self.machine, &mut func)?;
             }
-            stats.insts_generated += emitted.inst_count();
-            stats.spills += s.spills;
-            stats.schedule_passes += s.schedule_passes;
-            stats.estimated_cycles += s.estimated_cycles;
+            let mut code: CodeFunc = {
+                let _span = tracer.span(&ctx, "select");
+                select_func(&self.machine, &self.escapes, &module, &func)?
+            };
+            let (schedules, s): (_, StrategyStats) = {
+                let _span = tracer.span(&ctx, "strategy");
+                strategy.run(&self.machine, &mut code, &tracer, &ctx)?
+            };
+            let mut emitted = {
+                let _span = tracer.span(&ctx, "emit");
+                emit_func(&self.machine, &code, &schedules)?
+            };
+            let filled = if self.options.fill_delay_slots {
+                let _span = tracer.span(&ctx, "fill_delay_slots");
+                crate::emit::fill_delay_slots(&self.machine, &mut emitted)
+            } else {
+                0
+            };
+            let fs = FuncStats {
+                name: func.name.clone(),
+                insts_generated: emitted.inst_count(),
+                spills: s.spills,
+                schedule_passes: s.schedule_passes,
+                estimated_cycles: s.estimated_cycles,
+                delay_slots_filled: filled,
+                nops_emitted: emitted.nop_count(&self.machine),
+            };
+            // "spills" is recorded by the strategy's allocator hook;
+            // everything else lands here so the trace and
+            // `CompileStats` agree per function.
+            tracer.add(&ctx, "insts_generated", fs.insts_generated as i64);
+            tracer.add(&ctx, "schedule_passes", fs.schedule_passes as i64);
+            tracer.add(&ctx, "estimated_cycles", fs.estimated_cycles as i64);
+            tracer.add(&ctx, "delay_slots_filled", fs.delay_slots_filled as i64);
+            tracer.add(&ctx, "nops_emitted", fs.nops_emitted as i64);
+            stats.insts_generated += fs.insts_generated;
+            stats.spills += fs.spills;
+            stats.schedule_passes += fs.schedule_passes;
+            stats.estimated_cycles += fs.estimated_cycles;
+            stats.delay_slots_filled += fs.delay_slots_filled;
+            stats.nops_emitted += fs.nops_emitted;
+            stats.per_func.push(fs);
             asm.funcs.push(emitted);
         }
+        drop(module_span);
         let symbols: Vec<String> = (0..module.symbol_count())
             .map(|i| module.symbol_name(ir::SymbolId(i as u32)).to_owned())
             .collect();
@@ -122,6 +239,7 @@ impl Compiler {
             machine_name: self.machine.name().to_owned(),
             strategy: self.strategy,
             stats,
+            trace: tracer.finish(),
         })
     }
 }

@@ -56,6 +56,20 @@ impl AsmFunc {
             .map(|b| b.words.iter().map(|w| w.insts.len()).sum::<usize>())
             .sum()
     }
+
+    /// How many of those instructions are `nop`s (delay-slot padding
+    /// the filler could not replace with useful work).
+    pub fn nop_count(&self, machine: &Machine) -> usize {
+        let Some(nop) = machine.nop_template() else {
+            return 0;
+        };
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.words)
+            .flat_map(|w| &w.insts)
+            .filter(|i| i.template == nop)
+            .count()
+    }
 }
 
 /// An emitted program.
@@ -95,7 +109,9 @@ pub fn emit_func(
     schedules: &[Schedule],
 ) -> Result<AsmFunc, CodegenError> {
     let cwvm = machine.cwvm();
-    let sp = cwvm.sp.ok_or_else(|| err("machine declares no stack pointer"))?;
+    let sp = cwvm
+        .sp
+        .ok_or_else(|| err("machine declares no stack pointer"))?;
 
     // Frame layout (sp-relative): [locals][spills][saves][ra], rounded
     // to 8.
@@ -224,9 +240,7 @@ fn linearize(
             let inst = &block.insts[i];
             for op in &inst.ops {
                 if matches!(op, Operand::Vreg(_) | Operand::VregHalf(..)) {
-                    return Err(err(format!(
-                        "virtual register {op} survived to emission"
-                    )));
+                    return Err(err(format!("virtual register {op} survived to emission")));
                 }
             }
             word.insts.push(AsmInst {
@@ -302,8 +316,8 @@ pub fn fill_delay_slots(machine: &Machine, func: &mut AsmFunc) -> usize {
                 if si >= block.words.len() {
                     break;
                 }
-                let is_nop = block.words[si].insts.len() == 1
-                    && block.words[si].insts[0].template == nop;
+                let is_nop =
+                    block.words[si].insts.len() == 1 && block.words[si].insts[0].template == nop;
                 if !is_nop {
                     continue;
                 }
@@ -316,9 +330,9 @@ pub fn fill_delay_slots(machine: &Machine, func: &mut AsmFunc) -> usize {
                 for wi in (0..ci).rev() {
                     let w = &block.words[wi];
                     if wi != ci
-                        && w.insts.iter().any(|i| {
-                            machine.template(i.template).effects.is_control()
-                        })
+                        && w.insts
+                            .iter()
+                            .any(|i| machine.template(i.template).effects.is_control())
                     {
                         break;
                     }
@@ -455,9 +469,7 @@ fn addi(machine: &Machine, reg: PhysReg, value: i64) -> Result<AsmInst, CodegenE
     let mut ops = Vec::with_capacity(t.operands.len());
     for i in 0..t.operands.len() {
         let k = (i + 1) as u8;
-        ops.push(if k == 1 {
-            Operand::Phys(reg)
-        } else if k == reg_slot {
+        ops.push(if k == 1 || k == reg_slot {
             Operand::Phys(reg)
         } else if k == imm_slot {
             Operand::Imm(ImmVal::Const(value))
@@ -606,11 +618,7 @@ pub fn render_word(machine: &Machine, word: &Word, symbols: &[String], func: &st
 
 fn render_operand(machine: &Machine, op: &Operand, symbols: &[String], func: &str) -> String {
     match op {
-        Operand::Phys(p) => format!(
-            "{}{}",
-            machine.reg_class(p.class).name,
-            p.index
-        ),
+        Operand::Phys(p) => format!("{}{}", machine.reg_class(p.class).name, p.index),
         Operand::Imm(ImmVal::Const(v)) => v.to_string(),
         Operand::Imm(ImmVal::Sym(s, a)) => {
             let name = symbols.get(s.0 as usize).cloned().unwrap_or(s.to_string());

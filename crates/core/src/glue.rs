@@ -35,13 +35,7 @@ fn natural_class(machine: &Machine, ty: Ty) -> Option<RegClassId> {
     machine.cwvm().general_class(ty)
 }
 
-fn class_ok(
-    machine: &Machine,
-    rule: &GlueRule,
-    k: usize,
-    func: &Function,
-    node: NodeId,
-) -> bool {
+fn class_ok(machine: &Machine, rule: &GlueRule, k: usize, func: &Function, node: NodeId) -> bool {
     match rule.operand_classes.get(k).copied().flatten() {
         None => true,
         Some(want) => natural_class(machine, func.node(node).ty) == Some(want),
@@ -50,10 +44,7 @@ fn class_ok(
 
 fn apply_cond_rules(machine: &Machine, func: &mut Function) -> Result<(), CodegenError> {
     for bi in 0..func.blocks.len() {
-        let Terminator::CondJump {
-            rel, lhs, rhs, ..
-        } = func.blocks[bi].term
-        else {
+        let Terminator::CondJump { rel, lhs, rhs, .. } = func.blocks[bi].term else {
             continue;
         };
         let mut chosen = None;
@@ -393,9 +384,7 @@ mod tests {
             panic!("lhs should be high + low")
         };
         assert!(matches!(f.node(hi).kind, NodeKind::ConstI(188)));
-        assert!(
-            matches!(f.node(lo).kind, NodeKind::ConstI(v) if v == (12_345_678 & 0xffff))
-        );
+        assert!(matches!(f.node(lo).kind, NodeKind::ConstI(v) if v == (12_345_678 & 0xffff)));
     }
 
     #[test]

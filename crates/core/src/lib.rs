@@ -22,7 +22,7 @@ pub mod select;
 pub mod strategy;
 
 pub use code::{CodeBlock, CodeFunc, ImmVal, Inst, Operand, Vreg, VregInfo, VregKind};
-pub use driver::{CompiledProgram, Compiler};
+pub use driver::{CompileOptions, CompileStats, CompiledProgram, Compiler, FuncStats};
 pub use emit::{AsmBlock, AsmFunc, AsmInst, AsmProgram, Word};
 pub use error::{CodegenError, Phase};
 pub use select::{EscapeCtx, EscapeFn, EscapeRegistry};

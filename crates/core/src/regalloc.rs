@@ -27,6 +27,15 @@ pub struct AllocResult {
     pub used_callee_saves: Vec<PhysReg>,
     /// Number of build/simplify/select iterations.
     pub rounds: usize,
+    /// Interference-graph nodes on the first build (the original
+    /// allocation problem, before any spill code was inserted).
+    pub graph_nodes: usize,
+    /// Interference-graph edges (vreg–vreg, undirected) on the first
+    /// build.
+    pub graph_edges: usize,
+    /// Total loop-weighted occurrence cost of the vregs chosen for
+    /// spilling (0.0 when nothing spilled).
+    pub spill_cost: f64,
 }
 
 fn err(msg: impl Into<String>) -> CodegenError {
@@ -61,6 +70,10 @@ pub fn allocate(
     for round in 0..32 {
         result.rounds = round + 1;
         let graph = build_interference(machine, func);
+        if round == 0 {
+            result.graph_nodes = graph.nodes.len();
+            result.graph_edges = graph.adj.values().map(|s| s.len()).sum::<usize>() / 2;
+        }
         match color(machine, func, &graph, extra_cost, &no_spill)? {
             Coloring::Complete { colors } => {
                 rewrite(machine, func, &colors)?;
@@ -97,26 +110,23 @@ pub fn allocate(
                     // Any neighbor whose class shares register units
                     // with ours frees colours when evicted (on TOYP a
                     // double blocks two integer registers).
-                    let shares_units = |a: marion_maril::RegClassId,
-                                        b: marion_maril::RegClassId| {
-                        let ca = machine.reg_class(a);
-                        let cb = machine.reg_class(b);
-                        let (a0, a1) = (ca.unit_base, ca.unit_base + ca.count * ca.unit_stride);
-                        let (b0, b1) = (cb.unit_base, cb.unit_base + cb.count * cb.unit_stride);
-                        a0 < b1 && b0 < a1
-                    };
-                    let neighbor = graph
-                        .adj
-                        .get(&v)
-                        .and_then(|ns| {
-                            ns.iter()
-                                .filter(|n| {
-                                    !no_spill.contains(n)
-                                        && shares_units(func.vreg(**n).class, func.vreg(v).class)
-                                })
-                                .max_by_key(|n| graph.adj.get(n).map(|s| s.len()).unwrap_or(0))
-                                .copied()
-                        });
+                    let shares_units =
+                        |a: marion_maril::RegClassId, b: marion_maril::RegClassId| {
+                            let ca = machine.reg_class(a);
+                            let cb = machine.reg_class(b);
+                            let (a0, a1) = (ca.unit_base, ca.unit_base + ca.count * ca.unit_stride);
+                            let (b0, b1) = (cb.unit_base, cb.unit_base + cb.count * cb.unit_stride);
+                            a0 < b1 && b0 < a1
+                        };
+                    let neighbor = graph.adj.get(&v).and_then(|ns| {
+                        ns.iter()
+                            .filter(|n| {
+                                !no_spill.contains(n)
+                                    && shares_units(func.vreg(**n).class, func.vreg(v).class)
+                            })
+                            .max_by_key(|n| graph.adj.get(n).map(|s| s.len()).unwrap_or(0))
+                            .copied()
+                    });
                     match neighbor {
                         Some(n) => {
                             if !to_spill.contains(&n) {
@@ -132,6 +142,7 @@ pub fn allocate(
                     }
                 }
                 for v in &to_spill {
+                    result.spill_cost += graph.cost.get(v).copied().unwrap_or(0.0);
                     let first_temp = func.vregs.len();
                     spill_vreg(machine, func, *v)?;
                     for t in first_temp..func.vregs.len() {
@@ -256,17 +267,15 @@ fn build_interference(machine: &Machine, func: &CodeFunc) -> Graph {
         let _ = info;
         graph.nodes.push(Vreg(i as u32));
     }
-    let add_conflict = |graph: &mut Graph, a: Key, b: Key| {
-        match (a, b) {
-            (Key::V(x), Key::V(y)) if x != y => {
-                graph.adj.entry(x).or_default().insert(y);
-                graph.adj.entry(y).or_default().insert(x);
-            }
-            (Key::V(x), Key::U(u)) | (Key::U(u), Key::V(x)) => {
-                graph.phys_conflicts.entry(x).or_default().insert(u);
-            }
-            _ => {}
+    let add_conflict = |graph: &mut Graph, a: Key, b: Key| match (a, b) {
+        (Key::V(x), Key::V(y)) if x != y => {
+            graph.adj.entry(x).or_default().insert(y);
+            graph.adj.entry(y).or_default().insert(x);
         }
+        (Key::V(x), Key::U(u)) | (Key::U(u), Key::V(x)) => {
+            graph.phys_conflicts.entry(x).or_default().insert(u);
+        }
+        _ => {}
     };
 
     for (bi, block) in func.blocks.iter().enumerate() {
@@ -333,16 +342,9 @@ fn color(
         .collect();
     let mut degree: HashMap<Vreg, usize> = HashMap::new();
     for v in &occurring {
-        degree.insert(
-            *v,
-            graph.adj.get(v).map(|s| s.len()).unwrap_or(0),
-        );
+        degree.insert(*v, graph.adj.get(v).map(|s| s.len()).unwrap_or(0));
     }
-    let k_of = |v: Vreg| -> usize {
-        machine
-            .allocable_of_class(func.vreg(v).class)
-            .len()
-    };
+    let k_of = |v: Vreg| -> usize { machine.allocable_of_class(func.vreg(v).class).len() };
     for v in &occurring {
         if k_of(*v) == 0 {
             return Err(err(format!(
@@ -417,15 +419,15 @@ fn color(
         } else {
             order.sort_by_key(|r| (is_callee_save(r), r.index));
         }
-        let forbidden_units: HashSet<u32> = graph
-            .phys_conflicts
-            .get(&v)
-            .cloned()
-            .unwrap_or_default();
+        let forbidden_units: HashSet<u32> =
+            graph.phys_conflicts.get(&v).cloned().unwrap_or_default();
         let neighbors = graph.adj.get(&v);
         let choice = order.into_iter().find(|cand| {
             // Avoid precolored conflicts.
-            if machine.units_of(*cand).any(|u| forbidden_units.contains(&u)) {
+            if machine
+                .units_of(*cand)
+                .any(|u| forbidden_units.contains(&u))
+            {
                 return false;
             }
             // Avoid colored neighbors (unit overlap).
@@ -484,8 +486,7 @@ fn rewrite(
     func: &mut CodeFunc,
     colors: &HashMap<Vreg, PhysReg>,
 ) -> Result<(), CodegenError> {
-    let vreg_classes: Vec<marion_maril::RegClassId> =
-        func.vregs.iter().map(|i| i.class).collect();
+    let vreg_classes: Vec<marion_maril::RegClassId> = func.vregs.iter().map(|i| i.class).collect();
     // Resolve half-references: half i of vreg v is the i-th
     // single-unit register overlapping v's color.
     let half_of = |p: PhysReg, h: u8| -> Result<PhysReg, CodegenError> {
@@ -541,11 +542,7 @@ fn rewrite(
 /// Recognises a spill run that is a pure register copy between `v`
 /// and exactly one physical register of `v`'s class. Returns that
 /// register and whether `v` is the source.
-fn pure_copy_run(
-    machine: &Machine,
-    run: &[Inst],
-    v: Vreg,
-) -> Option<(PhysReg, bool)> {
+fn pure_copy_run(machine: &Machine, run: &[Inst], v: Vreg) -> Option<(PhysReg, bool)> {
     let mut phys_units: Vec<u32> = Vec::new();
     let mut v_source: Option<bool> = None;
     for inst in run {
@@ -561,9 +558,7 @@ fn pure_copy_run(
         let dst = inst.ops.get((a - 1) as usize)?;
         let src = inst.ops.get((b - 1) as usize)?;
         let (phys_op, this_v_source) = match (dst, src) {
-            (Operand::Phys(p), Operand::Vreg(x) | Operand::VregHalf(x, _)) if *x == v => {
-                (*p, true)
-            }
+            (Operand::Phys(p), Operand::Vreg(x) | Operand::VregHalf(x, _)) if *x == v => (*p, true),
             (Operand::Vreg(x) | Operand::VregHalf(x, _), Operand::Phys(p)) if *x == v => {
                 (*p, false)
             }
@@ -597,18 +592,18 @@ fn pure_copy_run(
 /// def, rewriting occurrences to fresh one-shot temporaries.
 fn spill_vreg(machine: &Machine, func: &mut CodeFunc, v: Vreg) -> Result<(), CodegenError> {
     let class = func.vreg(v).class;
-    let load_t = machine
-        .spill_load(class)
-        .ok_or_else(|| err(format!(
+    let load_t = machine.spill_load(class).ok_or_else(|| {
+        err(format!(
             "no spill load for class `{}`",
             machine.reg_class(class).name
-        )))?;
-    let store_t = machine
-        .spill_store(class)
-        .ok_or_else(|| err(format!(
+        ))
+    })?;
+    let store_t = machine.spill_store(class).ok_or_else(|| {
+        err(format!(
             "no spill store for class `{}`",
             machine.reg_class(class).name
-        )))?;
+        ))
+    })?;
     let sp = machine
         .cwvm()
         .sp
@@ -626,9 +621,9 @@ fn spill_vreg(machine: &Machine, func: &mut CodeFunc, v: Vreg) -> Result<(), Cod
         let mut i = 0;
         while i < insts.len() {
             let touches = |inst: &Inst| {
-                inst.ops.iter().any(|op| {
-                    matches!(op, Operand::Vreg(x) | Operand::VregHalf(x, _) if *x == v)
-                })
+                inst.ops
+                    .iter()
+                    .any(|op| matches!(op, Operand::Vreg(x) | Operand::VregHalf(x, _) if *x == v))
             };
             let touches_half = |inst: &Inst| {
                 inst.ops
@@ -756,8 +751,8 @@ fn spill_vreg(machine: &Machine, func: &mut CodeFunc, v: Vreg) -> Result<(), Cod
 #[cfg(test)]
 mod tests {
     use super::*;
-    use marion_maril::RegClassId;
     use marion_ir::BlockId;
+    use marion_maril::RegClassId;
 
     const TOY: &str = r#"
         declare {
@@ -815,9 +810,17 @@ mod tests {
         }
         f.blocks.push(CodeBlock {
             insts: vec![
-                inst(&m, "ld", vec![v(0), Operand::Phys(PhysReg::new(r, 7)), imm(0)]),
+                inst(
+                    &m,
+                    "ld",
+                    vec![v(0), Operand::Phys(PhysReg::new(r, 7)), imm(0)],
+                ),
                 inst(&m, "add", vec![v(1), v(0), v(0)]),
-                inst(&m, "st", vec![v(1), Operand::Phys(PhysReg::new(r, 7)), imm(4)]),
+                inst(
+                    &m,
+                    "st",
+                    vec![v(1), Operand::Phys(PhysReg::new(r, 7)), imm(4)],
+                ),
             ],
             succs: vec![],
         });
@@ -918,10 +921,22 @@ mod tests {
     fn loop_depth_heuristic() {
         let mut f = CodeFunc::new("t");
         f.blocks = vec![
-            CodeBlock { insts: vec![], succs: vec![BlockId(1)] },
-            CodeBlock { insts: vec![], succs: vec![BlockId(2), BlockId(3)] },
-            CodeBlock { insts: vec![], succs: vec![BlockId(1)] }, // back edge
-            CodeBlock { insts: vec![], succs: vec![] },
+            CodeBlock {
+                insts: vec![],
+                succs: vec![BlockId(1)],
+            },
+            CodeBlock {
+                insts: vec![],
+                succs: vec![BlockId(2), BlockId(3)],
+            },
+            CodeBlock {
+                insts: vec![],
+                succs: vec![BlockId(1)],
+            }, // back edge
+            CodeBlock {
+                insts: vec![],
+                succs: vec![],
+            },
         ];
         let d = loop_depth(&f);
         assert_eq!(d, vec![0, 1, 1, 0]);

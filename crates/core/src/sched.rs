@@ -49,6 +49,75 @@ pub struct Schedule {
     /// Peak number of simultaneously live local virtual registers
     /// observed while scheduling.
     pub peak_local_pressure: usize,
+    /// What the scheduler saw and did (cheap to collect; consumers
+    /// decide whether to keep it).
+    pub metrics: SchedMetrics,
+}
+
+/// Per-block scheduler observations: the code DAG's shape, how
+/// contended the ready list got, and where cycles went.
+#[derive(Debug, Clone, Default)]
+pub struct SchedMetrics {
+    /// Code DAG nodes (= block instructions).
+    pub dag_nodes: usize,
+    /// DAG edges by kind (paper edge types 1/2/3 plus ordering).
+    pub edges_true: usize,
+    pub edges_temporal: usize,
+    pub edges_anti: usize,
+    pub edges_output: usize,
+    pub edges_mem: usize,
+    pub edges_order: usize,
+    /// Most instructions simultaneously ready (dependences satisfied,
+    /// earliest cycle reached) at any scheduling step.
+    pub ready_high_water: usize,
+    /// Issue cycles in which nothing could be placed — latency or
+    /// structural-hazard stalls the schedule could not fill.
+    pub stall_cycles: usize,
+    /// Temporal groups placed as a unit (§4.6 sequence scheduling).
+    pub temporal_groups: usize,
+    /// Sub-operations issued (multi-issue slot usage numerator).
+    pub issue_slots_used: usize,
+    /// Cycles that issued at least one sub-operation (instruction
+    /// words emitted).
+    pub issue_cycles: usize,
+    /// Cycles that issued at least two sub-operations (packed words).
+    pub packed_words: usize,
+}
+
+impl SchedMetrics {
+    fn from_dag(dag: &CodeDag) -> SchedMetrics {
+        let mut m = SchedMetrics {
+            dag_nodes: dag.n,
+            ..SchedMetrics::default()
+        };
+        for e in &dag.edges {
+            match e.kind {
+                EdgeKind::True => m.edges_true += 1,
+                EdgeKind::TrueTemporal(_) => m.edges_temporal += 1,
+                EdgeKind::Anti => m.edges_anti += 1,
+                EdgeKind::Output => m.edges_output += 1,
+                EdgeKind::Mem => m.edges_mem += 1,
+                EdgeKind::Order => m.edges_order += 1,
+            }
+        }
+        m
+    }
+
+    /// Total DAG edges of every kind.
+    pub fn dag_edges(&self) -> usize {
+        self.edges_true
+            + self.edges_temporal
+            + self.edges_anti
+            + self.edges_output
+            + self.edges_mem
+            + self.edges_order
+    }
+
+    /// Sub-operations per issuing cycle (1.0 on a single-issue
+    /// machine; above it when words pack).
+    pub fn issue_utilization(&self) -> f64 {
+        self.issue_slots_used as f64 / self.issue_cycles.max(1) as f64
+    }
 }
 
 /// Schedules one block against its code DAG.
@@ -104,9 +173,12 @@ pub fn schedule_block(
         func,
     };
 
+    let mut metrics = SchedMetrics::from_dag(dag);
     let mut remaining = n;
     let max_cycles = (n as u32 + 8) * 64 + 1024;
     while remaining > 0 {
+        let ready = (0..n).filter(|&i| state.is_ready(i)).count();
+        metrics.ready_high_water = metrics.ready_high_water.max(ready);
         let mut progress = true;
         while progress {
             progress = false;
@@ -121,6 +193,7 @@ pub fn schedule_block(
                     }
                     if state.try_place_group(&dests) {
                         remaining -= dests.len();
+                        metrics.temporal_groups += 1;
                         progress = true;
                     }
                 }
@@ -158,11 +231,16 @@ pub fn schedule_block(
         let slots = machine.template(block.insts[last].template).slots;
         length = length.max(state.inst_cycle[last] + 1 + slots.unsigned_abs());
     }
+    metrics.issue_slots_used = n;
+    metrics.issue_cycles = state.cycles.iter().filter(|c| !c.is_empty()).count();
+    metrics.packed_words = state.cycles.iter().filter(|c| c.len() >= 2).count();
+    metrics.stall_cycles = state.cycles.iter().filter(|c| c.is_empty()).count();
     Ok(Schedule {
         cycles: state.cycles,
         inst_cycle: state.inst_cycle,
         length,
         peak_local_pressure: state.peak_pressure,
+        metrics,
     })
 }
 
@@ -322,11 +400,7 @@ pub fn schedule_block_robust(
 /// interleaving: under the simulator's read-old/write-new word
 /// semantics, thread order preserves the latch dataflow the code DAG
 /// records.
-pub fn serial_schedule(
-    machine: &Machine,
-    block: &CodeBlock,
-    dag: &CodeDag,
-) -> Schedule {
+pub fn serial_schedule(machine: &Machine, block: &CodeBlock, dag: &CodeDag) -> Schedule {
     let n = block.insts.len();
     let mut inst_cycle = vec![0u32; n];
     let mut timeline: Vec<ResSet> = Vec::new();
@@ -376,12 +450,67 @@ pub fn serial_schedule(
         let slots = machine.template(block.insts[last].template).slots;
         length = length.max(inst_cycle[last] + 1 + slots.unsigned_abs());
     }
+    let mut metrics = SchedMetrics::from_dag(dag);
+    metrics.issue_slots_used = n;
+    metrics.issue_cycles = cycles.iter().filter(|c| !c.is_empty()).count();
+    metrics.packed_words = cycles.iter().filter(|c| c.len() >= 2).count();
+    metrics.stall_cycles = cycles.iter().filter(|c| c.is_empty()).count();
     Schedule {
         cycles,
         inst_cycle,
         length,
         peak_local_pressure: 0,
+        metrics,
     }
+}
+
+/// Renders a block schedule as a reservation table: one row per
+/// cycle, one column per declared resource, `X` where the cycle
+/// claims the resource (§4.3's composite resource vector, unrolled
+/// over time). A trailing column lists the sub-operations issued that
+/// cycle, so packed words on a multi-issue machine read directly off
+/// the table. Empty for an empty block.
+pub fn reservation_rows(machine: &Machine, block: &CodeBlock, schedule: &Schedule) -> Vec<String> {
+    if block.insts.is_empty() {
+        return Vec::new();
+    }
+    let names = machine.resources();
+    let mut timeline: Vec<ResSet> = Vec::new();
+    for (i, inst) in block.insts.iter().enumerate() {
+        let t = machine.template(inst.template);
+        for (c, need) in t.rsrc.iter().enumerate() {
+            let at = schedule.inst_cycle[i] as usize + c;
+            if timeline.len() <= at {
+                timeline.resize(at + 1, ResSet::EMPTY);
+            }
+            timeline[at].union_with(need);
+        }
+    }
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(1).max(2);
+    let mut rows = Vec::with_capacity(timeline.len() + 1);
+    let header: Vec<String> = names.iter().map(|n| format!("{n:>width$}")).collect();
+    rows.push(format!("cycle | {} | issued", header.join(" ")));
+    for (c, used) in timeline.iter().enumerate() {
+        let cells: Vec<String> = (0..names.len())
+            .map(|r| {
+                let mark = if used.contains(r as u32) { "X" } else { "." };
+                format!("{mark:>width$}")
+            })
+            .collect();
+        let issued = schedule
+            .cycles
+            .get(c)
+            .map(|members| {
+                members
+                    .iter()
+                    .map(|&i| machine.template(block.insts[i].template).mnemonic.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" + ")
+            })
+            .unwrap_or_default();
+        rows.push(format!("{c:>5} | {} | {issued}", cells.join(" ")));
+    }
+    rows
 }
 
 struct SchedState<'a> {
@@ -473,7 +602,11 @@ impl<'a> SchedState<'a> {
         if self.ignore_rule1 {
             return true;
         }
-        let Some(k) = self.machine.template(self.block.insts[i].template).affects_clock else {
+        let Some(k) = self
+            .machine
+            .template(self.block.insts[i].template)
+            .affects_clock
+        else {
             return true;
         };
         for e in &self.dag.edges {
@@ -584,7 +717,10 @@ impl<'a> SchedState<'a> {
         // edges whose destinations are inside this group counting as
         // satisfied (they issue this very cycle).
         for &d in dests {
-            let Some(k) = self.machine.template(self.block.insts[d].template).affects_clock
+            let Some(k) = self
+                .machine
+                .template(self.block.insts[d].template)
+                .affects_clock
             else {
                 continue;
             };
@@ -739,7 +875,13 @@ mod tests {
         for _ in 0..20 {
             f.new_vreg(RegClassId(0), VregKind::Local);
         }
-        (f, CodeBlock { insts, succs: vec![] })
+        (
+            f,
+            CodeBlock {
+                insts,
+                succs: vec![],
+            },
+        )
     }
 
     fn inst(m: &Machine, mnem: &str, ops: Vec<Operand>) -> Inst {
@@ -762,7 +904,10 @@ mod tests {
         let s = schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
         assert_eq!(s.inst_cycle[0], 0);
         assert_eq!(s.inst_cycle[1], 3, "dependent add waits for the load");
-        assert!(s.inst_cycle[2] < 3 && s.inst_cycle[3] < 3, "fillers moved up: {s:?}");
+        assert!(
+            s.inst_cycle[2] < 3 && s.inst_cycle[3] < 3,
+            "fillers moved up: {s:?}"
+        );
         assert_eq!(s.length, 4);
     }
 
@@ -807,7 +952,11 @@ mod tests {
         let m = toy();
         let insts = vec![
             inst(&m, "add", vec![v(1), v(0), v(0)]),
-            inst(&m, "beq0", vec![v(1), Operand::Block(marion_ir::BlockId(0))]),
+            inst(
+                &m,
+                "beq0",
+                vec![v(1), Operand::Block(marion_ir::BlockId(0))],
+            ),
         ];
         let (f, block) = setup(&m, insts);
         let dag = build_dag(&m, &block, true);
@@ -833,8 +982,7 @@ mod tests {
         ];
         let (f, block) = setup(&m, insts);
         let dag = build_dag(&m, &block, true);
-        let unlimited =
-            schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
+        let unlimited = schedule_block(&m, &f, &block, &dag, &SchedOptions::default()).unwrap();
         let limited = schedule_block(
             &m,
             &f,
@@ -884,7 +1032,13 @@ mod tests {
         for _ in 0..20 {
             f.new_vreg(m.reg_class_by_name("d").unwrap(), VregKind::Local);
         }
-        (f, CodeBlock { insts, succs: vec![] })
+        (
+            f,
+            CodeBlock {
+                insts,
+                succs: vec![],
+            },
+        )
     }
 
     #[test]

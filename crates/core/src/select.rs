@@ -28,16 +28,13 @@ use crate::glue::fold_const;
 use marion_ir as ir;
 use marion_ir::{NodeId, NodeKind};
 use marion_maril::expr::{LValue, Stmt};
-use marion_maril::{
-    BinOp, Expr, Machine, OperandSpec, PhysReg, RegClassId, TemplateId, Ty,
-};
+use marion_maril::{BinOp, Expr, Machine, OperandSpec, PhysReg, RegClassId, TemplateId, Ty};
 use std::collections::HashMap;
 
 /// A user-supplied escape function: receives the resolved operands of
 /// the matched directive (operand 1 first) and emits replacement
 /// instructions through the [`EscapeCtx`].
-pub type EscapeFn =
-    fn(&mut EscapeCtx<'_, '_>, &[Operand]) -> Result<(), CodegenError>;
+pub type EscapeFn = fn(&mut EscapeCtx<'_, '_>, &[Operand]) -> Result<(), CodegenError>;
 
 /// Registry of `*func` escapes for one machine.
 #[derive(Default, Clone)]
@@ -404,11 +401,7 @@ impl<'a> SelCtx<'a> {
 
     /// Tries every template in description order against value node
     /// `id`; emits the first full match.
-    fn match_value(
-        &mut self,
-        id: NodeId,
-        dest: Option<Vreg>,
-    ) -> Result<Operand, CodegenError> {
+    fn match_value(&mut self, id: NodeId, dest: Option<Vreg>) -> Result<Operand, CodegenError> {
         let node_ty = self.irf.node(id).ty;
         let want_class = self.natural_class(node_ty)?;
         for ti in 0..self.machine.templates().len() {
@@ -464,13 +457,7 @@ impl<'a> SelCtx<'a> {
 
     /// Structural match of a pattern expression against an IR node,
     /// recording operand bindings in `plan`. Pure: nothing is emitted.
-    fn match_expr(
-        &mut self,
-        pat: &Expr,
-        node: NodeId,
-        plan: &mut MatchPlan,
-        in_mem: bool,
-    ) -> bool {
+    fn match_expr(&mut self, pat: &Expr, node: NodeId, plan: &mut MatchPlan, in_mem: bool) -> bool {
         self.match_expr_at(pat, node, plan, in_mem, 0)
     }
 
@@ -567,8 +554,7 @@ impl<'a> SelCtx<'a> {
                         return false;
                     };
                     let slot = (*k - 1) as usize;
-                    let OperandSpec::Imm(d) =
-                        this.machine.template(plan.template).operands[slot]
+                    let OperandSpec::Imm(d) = this.machine.template(plan.template).operands[slot]
                     else {
                         return false;
                     };
@@ -645,10 +631,10 @@ impl<'a> SelCtx<'a> {
                         continue;
                     }
                     // Find the statement assigning this latch.
-                    let Some(Stmt::Assign(LValue::Temporal(_), urhs)) =
-                        u.sem.iter().find(|s| {
-                            matches!(s, Stmt::Assign(LValue::Temporal(t), _) if t == name)
-                        })
+                    let Some(Stmt::Assign(LValue::Temporal(_), urhs)) = u
+                        .sem
+                        .iter()
+                        .find(|s| matches!(s, Stmt::Assign(LValue::Temporal(t), _) if t == name))
                     else {
                         continue;
                     };
@@ -675,11 +661,7 @@ impl<'a> SelCtx<'a> {
     /// Emits a match plan: chain producers first, then the instruction
     /// itself. Returns the defined operand (for dummies, the forwarded
     /// source operand).
-    fn emit_plan(
-        &mut self,
-        plan: &MatchPlan,
-        dest: Option<Vreg>,
-    ) -> Result<Operand, CodegenError> {
+    fn emit_plan(&mut self, plan: &MatchPlan, dest: Option<Vreg>) -> Result<Operand, CodegenError> {
         let t = self.machine.template(plan.template);
         let (is_dummy, escape, tid) = (t.is_dummy(), t.escape.clone(), plan.template);
         let operands_spec: Vec<OperandSpec> = t.operands.clone();
@@ -779,12 +761,7 @@ impl<'a> SelCtx<'a> {
 
     // ------------------------------------------------------ stores
 
-    fn select_store(
-        &mut self,
-        addr: NodeId,
-        value: NodeId,
-        ty: Ty,
-    ) -> Result<(), CodegenError> {
+    fn select_store(&mut self, addr: NodeId, value: NodeId, ty: Ty) -> Result<(), CodegenError> {
         for ti in 0..self.machine.templates().len() {
             let tid = TemplateId(ti as u32);
             let t = self.machine.template(tid);
@@ -995,11 +972,7 @@ impl<'a> SelCtx<'a> {
     // ------------------------------------------------------ moves
 
     /// Emits `sp + offset` into `dest` (or a fresh vreg).
-    fn emit_sp_offset(
-        &mut self,
-        offset: i64,
-        dest: Option<Vreg>,
-    ) -> Result<Operand, CodegenError> {
+    fn emit_sp_offset(&mut self, offset: i64, dest: Option<Vreg>) -> Result<Operand, CodegenError> {
         let sp = self
             .machine
             .cwvm()
@@ -1012,8 +985,7 @@ impl<'a> SelCtx<'a> {
         let dest = dest.unwrap_or_else(|| self.out.new_vreg(sp.class, VregKind::Local));
         let mut ops = Vec::with_capacity(t.operands.len());
         let sem = t.sem.clone();
-        let [Stmt::Assign(LValue::Operand(1), Expr::Bin(BinOp::Add, a, b))] = sem.as_slice()
-        else {
+        let [Stmt::Assign(LValue::Operand(1), Expr::Bin(BinOp::Add, a, b))] = sem.as_slice() else {
             return Err(err("malformed add-immediate template"));
         };
         let (reg_slot, imm_slot) = match (&**a, &**b) {
@@ -1041,29 +1013,33 @@ impl<'a> SelCtx<'a> {
     /// Finds a `$1 = $2 + #imm` template for `class` whose immediate
     /// range contains `value`.
     fn find_addi(&self, class: RegClassId, value: i64) -> Option<TemplateId> {
-        self.machine.templates().iter().enumerate().find_map(|(i, t)| {
-            if t.escape.is_some() || t.def_class() != Some(class) {
-                return None;
-            }
-            let [Stmt::Assign(LValue::Operand(1), Expr::Bin(BinOp::Add, a, b))] =
-                t.sem.as_slice()
-            else {
-                return None;
-            };
-            let (Expr::Operand(x), Expr::Operand(y)) = (&**a, &**b) else {
-                return None;
-            };
-            let x_spec = t.operands.get((*x - 1) as usize)?;
-            let y_spec = t.operands.get((*y - 1) as usize)?;
-            match (x_spec, y_spec) {
-                (OperandSpec::Reg(c), OperandSpec::Imm(d))
-                    if *c == class && self.machine.imm_def(*d).contains(value) =>
-                {
-                    Some(TemplateId(i as u32))
+        self.machine
+            .templates()
+            .iter()
+            .enumerate()
+            .find_map(|(i, t)| {
+                if t.escape.is_some() || t.def_class() != Some(class) {
+                    return None;
                 }
-                _ => None,
-            }
-        })
+                let [Stmt::Assign(LValue::Operand(1), Expr::Bin(BinOp::Add, a, b))] =
+                    t.sem.as_slice()
+                else {
+                    return None;
+                };
+                let (Expr::Operand(x), Expr::Operand(y)) = (&**a, &**b) else {
+                    return None;
+                };
+                let x_spec = t.operands.get((*x - 1) as usize)?;
+                let y_spec = t.operands.get((*y - 1) as usize)?;
+                match (x_spec, y_spec) {
+                    (OperandSpec::Reg(c), OperandSpec::Imm(d))
+                        if *c == class && self.machine.imm_def(*d).contains(value) =>
+                    {
+                        Some(TemplateId(i as u32))
+                    }
+                    _ => None,
+                }
+            })
     }
 
     /// Emits a move of `src` into virtual register `dest`.

@@ -15,9 +15,10 @@
 use crate::code::{CodeFunc, Operand, VregKind};
 use crate::dag::build_dag;
 use crate::error::CodegenError;
-use crate::regalloc::allocate;
+use crate::regalloc::{allocate, AllocResult};
 use crate::sched::{SchedOptions, Schedule};
 use marion_maril::Machine;
+use marion_trace::{Tracer, Value};
 use std::collections::HashMap;
 
 /// Which strategy to run.
@@ -38,8 +39,11 @@ pub enum StrategyKind {
 
 impl StrategyKind {
     /// All strategies, for sweeps.
-    pub const ALL: [StrategyKind; 3] =
-        [StrategyKind::Postpass, StrategyKind::Ips, StrategyKind::Rase];
+    pub const ALL: [StrategyKind; 3] = [
+        StrategyKind::Postpass,
+        StrategyKind::Ips,
+        StrategyKind::Rase,
+    ];
 
     /// Display name as used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -76,7 +80,10 @@ pub trait Strategy {
     /// The strategy's display name.
     fn name(&self) -> &'static str;
 
-    /// Runs allocation and scheduling over `func`.
+    /// Runs allocation and scheduling over `func`. `tracer` collects
+    /// spans and per-block scheduler metrics (pass a
+    /// [`Tracer::off`] to collect nothing); `ctx` scopes the trace
+    /// records, conventionally `machine/function`.
     ///
     /// # Errors
     ///
@@ -85,6 +92,8 @@ pub trait Strategy {
         &self,
         machine: &Machine,
         func: &mut CodeFunc,
+        tracer: &Tracer,
+        ctx: &str,
     ) -> Result<(Vec<Schedule>, StrategyStats), CodegenError>;
 }
 
@@ -113,13 +122,19 @@ impl Strategy for NoSchedule {
         &self,
         machine: &Machine,
         func: &mut CodeFunc,
+        tracer: &Tracer,
+        ctx: &str,
     ) -> Result<(Vec<Schedule>, StrategyStats), CodegenError> {
-        let alloc = allocate(machine, func, &HashMap::new())?;
+        let alloc = run_allocate(machine, func, &HashMap::new(), tracer, ctx)?;
         let mut schedules = Vec::with_capacity(func.blocks.len());
-        for block in &func.blocks {
-            let dag = build_dag(machine, block, true);
-            schedules.push(crate::sched::serial_schedule(machine, block, &dag));
+        {
+            let _span = tracer.span(ctx, "sched:serial");
+            for block in &func.blocks {
+                let dag = build_dag(machine, block, true);
+                schedules.push(crate::sched::serial_schedule(machine, block, &dag));
+            }
         }
+        record_sched_pass(machine, func, &schedules, tracer, ctx, "serial", true);
         let stats = StrategyStats {
             spills: alloc.spills,
             schedule_passes: 0,
@@ -129,20 +144,147 @@ impl Strategy for NoSchedule {
     }
 }
 
+/// Wraps [`allocate`] in a trace span and records its metrics:
+/// interference-graph size, simplify/spill rounds, spill count and
+/// the loop-weighted cost of what was spilled.
+fn run_allocate(
+    machine: &Machine,
+    func: &mut CodeFunc,
+    extra_cost: &HashMap<crate::code::Vreg, f64>,
+    tracer: &Tracer,
+    ctx: &str,
+) -> Result<AllocResult, CodegenError> {
+    let alloc = {
+        let _span = tracer.span(ctx, "regalloc");
+        allocate(machine, func, extra_cost)?
+    };
+    tracer.add(ctx, "ra_graph_nodes", alloc.graph_nodes as i64);
+    tracer.add(ctx, "ra_graph_edges", alloc.graph_edges as i64);
+    tracer.add(ctx, "ra_rounds", alloc.rounds as i64);
+    tracer.add(ctx, "spills", alloc.spills as i64);
+    if alloc.spills > 0 {
+        tracer.event(
+            ctx,
+            "regalloc_spills",
+            &[
+                ("spills", Value::from(alloc.spills)),
+                ("spill_cost", Value::Float(alloc.spill_cost)),
+                ("rounds", Value::from(alloc.rounds)),
+            ],
+        );
+    }
+    Ok(alloc)
+}
+
+/// Emits per-block scheduler metrics for a completed pass. Aggregate
+/// counters (stalls, slot usage, temporal groups) are only added on
+/// the `final_pass` so estimate passes do not double-count; the
+/// per-block `sched_block` events carry the pass label either way.
+fn record_sched_pass(
+    machine: &Machine,
+    func: &CodeFunc,
+    schedules: &[Schedule],
+    tracer: &Tracer,
+    ctx: &str,
+    pass: &'static str,
+    final_pass: bool,
+) {
+    if !tracer.is_on() {
+        return;
+    }
+    for (bi, (block, schedule)) in func.blocks.iter().zip(schedules).enumerate() {
+        if block.insts.is_empty() {
+            continue;
+        }
+        let m = &schedule.metrics;
+        let bctx = format!("{ctx}/b{bi}");
+        tracer.event(
+            &bctx,
+            "sched_block",
+            &[
+                ("pass", Value::from(pass)),
+                ("final", Value::Int(final_pass as i64)),
+                ("insts", Value::from(block.insts.len())),
+                ("length", Value::from(schedule.length as i64)),
+                ("dag_nodes", Value::from(m.dag_nodes)),
+                ("dag_edges", Value::from(m.dag_edges())),
+                ("edges_true", Value::from(m.edges_true)),
+                ("edges_temporal", Value::from(m.edges_temporal)),
+                ("edges_anti", Value::from(m.edges_anti)),
+                ("edges_output", Value::from(m.edges_output)),
+                ("edges_mem", Value::from(m.edges_mem)),
+                ("edges_order", Value::from(m.edges_order)),
+                ("ready_high_water", Value::from(m.ready_high_water)),
+                ("stall_cycles", Value::from(m.stall_cycles)),
+                ("temporal_groups", Value::from(m.temporal_groups)),
+                ("issue_slots_used", Value::from(m.issue_slots_used)),
+                ("issue_cycles", Value::from(m.issue_cycles)),
+                ("packed_words", Value::from(m.packed_words)),
+                ("issue_utilization", Value::Float(m.issue_utilization())),
+                (
+                    "peak_local_pressure",
+                    Value::from(schedule.peak_local_pressure),
+                ),
+            ],
+        );
+        if final_pass {
+            tracer.add(ctx, "sched_stall_cycles", m.stall_cycles as i64);
+            tracer.add(ctx, "sched_temporal_groups", m.temporal_groups as i64);
+            tracer.add(ctx, "issue_slots_used", m.issue_slots_used as i64);
+            tracer.add(ctx, "issue_cycles", m.issue_cycles as i64);
+            tracer.add(ctx, "packed_words", m.packed_words as i64);
+            if tracer.wants_reservation_tables() {
+                let rows = crate::sched::reservation_rows(machine, block, schedule);
+                tracer.event(
+                    &bctx,
+                    "reservation_table",
+                    &[
+                        ("pass", Value::from(pass)),
+                        ("table", Value::Str(rows.join("\n"))),
+                    ],
+                );
+            }
+        }
+    }
+}
+
 fn schedule_all(
     machine: &Machine,
     func: &CodeFunc,
     opts: &SchedOptions,
+    tracer: &Tracer,
+    ctx: &str,
+    pass: &'static str,
+    final_pass: bool,
 ) -> Result<Vec<Schedule>, CodegenError> {
     let mut out = Vec::with_capacity(func.blocks.len());
-    for block in &func.blocks {
-        let (schedule, discipline) =
-            crate::sched::schedule_block_robust(machine, func, block, opts);
-        if discipline != "rule1" && std::env::var("MARION_SCHED_DEBUG").is_ok() {
-            eprintln!("fallback: {discipline} ({} insts)", block.insts.len());
+    {
+        let _span = tracer.span(ctx, pass);
+        for (bi, block) in func.blocks.iter().enumerate() {
+            let (schedule, discipline) =
+                crate::sched::schedule_block_robust(machine, func, block, opts);
+            if discipline != "rule1" {
+                if std::env::var("MARION_SCHED_DEBUG").is_ok() {
+                    eprintln!("fallback: {discipline} ({} insts)", block.insts.len());
+                }
+                // Temporal sequence protection failed to keep plain
+                // Rule 1 scheduling live; record which fallback
+                // discipline rescued the block.
+                tracer.event(
+                    &format!("{ctx}/b{bi}"),
+                    "sched_fallback",
+                    &[
+                        ("pass", Value::from(pass)),
+                        ("discipline", Value::from(discipline)),
+                        ("insts", Value::from(block.insts.len())),
+                    ],
+                );
+                tracer.add(ctx, "sched_fallbacks", 1);
+            }
+            out.push(schedule);
         }
-        out.push(schedule);
     }
+    record_sched_pass(machine, func, &out, tracer, ctx, pass, final_pass);
     Ok(out)
 }
 
@@ -232,9 +374,19 @@ impl Strategy for Postpass {
         &self,
         machine: &Machine,
         func: &mut CodeFunc,
+        tracer: &Tracer,
+        ctx: &str,
     ) -> Result<(Vec<Schedule>, StrategyStats), CodegenError> {
-        let alloc = allocate(machine, func, &HashMap::new())?;
-        let schedules = schedule_all(machine, func, &SchedOptions::default())?;
+        let alloc = run_allocate(machine, func, &HashMap::new(), tracer, ctx)?;
+        let schedules = schedule_all(
+            machine,
+            func,
+            &SchedOptions::default(),
+            tracer,
+            ctx,
+            "sched:postpass",
+            true,
+        )?;
         let stats = StrategyStats {
             spills: alloc.spills,
             schedule_passes: 1,
@@ -257,6 +409,8 @@ impl Strategy for Ips {
         &self,
         machine: &Machine,
         func: &mut CodeFunc,
+        tracer: &Tracer,
+        ctx: &str,
     ) -> Result<(Vec<Schedule>, StrategyStats), CodegenError> {
         let prepass = schedule_all(
             machine,
@@ -265,10 +419,14 @@ impl Strategy for Ips {
                 local_reg_limit: Some(ips_limit(machine)),
                 ..SchedOptions::default()
             },
+            tracer,
+            ctx,
+            "sched:ips-prepass",
+            false,
         )?;
         let before = func.clone();
         reorder(machine, func, &prepass);
-        let alloc = match allocate(machine, func, &HashMap::new()) {
+        let alloc = match run_allocate(machine, func, &HashMap::new(), tracer, ctx) {
             Ok(a) => a,
             Err(_) => {
                 // On register-starved machines the reordered code can
@@ -276,10 +434,19 @@ impl Strategy for Ips {
                 // thread order (degrading IPS towards Postpass for
                 // this function rather than failing).
                 *func = before;
-                allocate(machine, func, &HashMap::new())?
+                tracer.event(ctx, "ips_reorder_abandoned", &[]);
+                run_allocate(machine, func, &HashMap::new(), tracer, ctx)?
             }
         };
-        let schedules = schedule_all(machine, func, &SchedOptions::default())?;
+        let schedules = schedule_all(
+            machine,
+            func,
+            &SchedOptions::default(),
+            tracer,
+            ctx,
+            "sched:ips-final",
+            true,
+        )?;
         let stats = StrategyStats {
             spills: alloc.spills,
             schedule_passes: 2,
@@ -306,9 +473,19 @@ impl Strategy for Rase {
         &self,
         machine: &Machine,
         func: &mut CodeFunc,
+        tracer: &Tracer,
+        ctx: &str,
     ) -> Result<(Vec<Schedule>, StrategyStats), CodegenError> {
         // Two estimate passes per block: unconstrained and tight.
-        let unlimited = schedule_all(machine, func, &SchedOptions::default())?;
+        let unlimited = schedule_all(
+            machine,
+            func,
+            &SchedOptions::default(),
+            tracer,
+            ctx,
+            "sched:rase-estimate",
+            false,
+        )?;
         let tight_limit = (ips_limit(machine) / 2).max(2);
         let tight = schedule_all(
             machine,
@@ -317,12 +494,15 @@ impl Strategy for Rase {
                 local_reg_limit: Some(tight_limit),
                 ..SchedOptions::default()
             },
+            tracer,
+            ctx,
+            "sched:rase-tight",
+            false,
         )?;
         // Sensitivity of each block's schedule to register pressure.
         let mut extra_cost: HashMap<crate::code::Vreg, f64> = HashMap::new();
         for (bi, block) in func.blocks.iter().enumerate() {
-            let sensitivity =
-                tight[bi].length.saturating_sub(unlimited[bi].length) as f64;
+            let sensitivity = tight[bi].length.saturating_sub(unlimited[bi].length) as f64;
             if sensitivity == 0.0 {
                 continue;
             }
@@ -341,14 +521,23 @@ impl Strategy for Rase {
         }
         let before = func.clone();
         reorder(machine, func, &unlimited);
-        let alloc = match allocate(machine, func, &extra_cost) {
+        let alloc = match run_allocate(machine, func, &extra_cost, tracer, ctx) {
             Ok(a) => a,
             Err(_) => {
                 *func = before;
-                allocate(machine, func, &extra_cost)?
+                tracer.event(ctx, "rase_reorder_abandoned", &[]);
+                run_allocate(machine, func, &extra_cost, tracer, ctx)?
             }
         };
-        let schedules = schedule_all(machine, func, &SchedOptions::default())?;
+        let schedules = schedule_all(
+            machine,
+            func,
+            &SchedOptions::default(),
+            tracer,
+            ctx,
+            "sched:rase-final",
+            true,
+        )?;
         let stats = StrategyStats {
             spills: alloc.spills,
             schedule_passes: 3,

@@ -74,9 +74,7 @@ fn regs_written(m: &Machine, f: &marion_core::AsmFunc) -> Vec<u32> {
             for inst in &word.insts {
                 let t = m.template(inst.template);
                 for k in &t.effects.defs {
-                    if let Some(marion_core::Operand::Phys(p)) =
-                        inst.ops.get((*k - 1) as usize)
-                    {
+                    if let Some(marion_core::Operand::Phys(p)) = inst.ops.get((*k - 1) as usize) {
                         out.push(p.index);
                     }
                 }
@@ -161,9 +159,9 @@ fn spill_choice_prefers_values_outside_loops() {
     let mut min_loads_in_loop = usize::MAX;
     for (bi, block) in f.blocks.iter().enumerate() {
         let branches_back = block.words.iter().flat_map(|w| &w.insts).any(|inst| {
-            inst.ops.iter().any(
-                |op| matches!(op, marion_core::Operand::Block(b) if (b.0 as usize) <= bi),
-            )
+            inst.ops
+                .iter()
+                .any(|op| matches!(op, marion_core::Operand::Block(b) if (b.0 as usize) <= bi))
         });
         if branches_back {
             let loads = block

@@ -207,8 +207,14 @@ fn address_fallback_covers_bare_and_computed_addresses() {
     assert_eq!(lds.len(), 2);
     // One load has offset 0 (fallback), the other a constant 8.
     let offsets: Vec<Operand> = lds.iter().map(|i| i.ops[2]).collect();
-    assert!(offsets.contains(&Operand::Imm(marion_core::ImmVal::Const(0))), "{offsets:?}");
-    assert!(offsets.contains(&Operand::Imm(marion_core::ImmVal::Const(8))), "{offsets:?}");
+    assert!(
+        offsets.contains(&Operand::Imm(marion_core::ImmVal::Const(0))),
+        "{offsets:?}"
+    );
+    assert!(
+        offsets.contains(&Operand::Imm(marion_core::ImmVal::Const(8))),
+        "{offsets:?}"
+    );
 }
 
 #[test]
@@ -250,7 +256,10 @@ fn dummy_conversion_emits_nothing() {
         b.ret(Some(back));
     });
     let ms = mnemonics(&m, &code);
-    assert!(!ms.contains(&"cvt.w".to_string()), "dummies must vanish: {ms:?}");
+    assert!(
+        !ms.contains(&"cvt.w".to_string()),
+        "dummies must vanish: {ms:?}"
+    );
 }
 
 #[test]

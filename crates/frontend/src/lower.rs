@@ -185,7 +185,10 @@ fn collect_addr_taken(body: &[Stmt]) -> Vec<String> {
     fn walk_stmt(s: &Stmt, out: &mut Vec<String>) {
         match s {
             Stmt::Expr(e) => walk_expr(e, out),
-            Stmt::Decl(ds) => ds.iter().filter_map(|d| d.init.as_ref()).for_each(|e| walk_expr(e, out)),
+            Stmt::Decl(ds) => ds
+                .iter()
+                .filter_map(|d| d.init.as_ref())
+                .for_each(|e| walk_expr(e, out)),
             Stmt::If {
                 cond,
                 then_s,
@@ -248,7 +251,7 @@ fn global_init(decl: &VarDecl) -> Result<GlobalInit, CError> {
         for e in list {
             let v = const_eval(e)?;
             match ty {
-                Ty::Double => bytes.extend((v as f64).to_bits().to_le_bytes()),
+                Ty::Double => bytes.extend(v.to_bits().to_le_bytes()),
                 Ty::Float => bytes.extend((v as f32).to_bits().to_le_bytes()),
                 Ty::Char => bytes.push(v as i64 as u8),
                 Ty::Short => bytes.extend((v as i64 as i16).to_le_bytes()),
@@ -482,7 +485,10 @@ impl<'l> FnCtx<'l> {
 
     fn local_decl(&mut self, d: &VarDecl, addr_taken: &[String]) -> Result<(), CError> {
         if d.init_list.is_some() {
-            return Err(CError::new(d.line, "initialiser lists only allowed on globals"));
+            return Err(CError::new(
+                d.line,
+                "initialiser lists only allowed on globals",
+            ));
         }
         let info = match &d.ty {
             CTy::Scalar(_) | CTy::Ptr(_) if !addr_taken.contains(&d.name) => {
@@ -570,10 +576,7 @@ impl<'l> FnCtx<'l> {
     fn expr(&mut self, e: &Expr) -> Result<(NodeId, CTy), CError> {
         match &e.kind {
             ExprKind::IntLit(v) => Ok((self.b.const_i(*v, Ty::Int), CTy::Scalar(Ty::Int))),
-            ExprKind::FloatLit(v) => Ok((
-                self.b.const_f(*v, Ty::Double),
-                CTy::Scalar(Ty::Double),
-            )),
+            ExprKind::FloatLit(v) => Ok((self.b.const_f(*v, Ty::Double), CTy::Scalar(Ty::Double))),
             ExprKind::Ident(_) | ExprKind::Index(..) | ExprKind::Deref(_) => {
                 let place = self.place(e)?;
                 self.read_place(&place)
@@ -594,26 +597,26 @@ impl<'l> FnCtx<'l> {
                 let n = self.coerce_cast(n, &from, &to);
                 Ok((n, to))
             }
-            ExprKind::Un(op, inner) => {
-                match op {
-                    CUnOp::Neg => {
-                        let (n, ty) = self.expr(inner)?;
-                        let ty = promote(&ty);
-                        let n = self.coerce(n, &ty.clone(), &ty, e.line)?;
-                        Ok((self.b.un(UnOp::Neg, n, ty.value_ty()), ty))
-                    }
-                    CUnOp::BNot => {
-                        let (n, ty) = self.expr(inner)?;
-                        if ty.value_ty().is_float() {
-                            return Err(CError::new(e.line, "`~` on floating operand"));
-                        }
-                        let ty = promote(&ty);
-                        Ok((self.b.un(UnOp::Not, n, ty.value_ty()), ty))
-                    }
-                    CUnOp::LNot => self.bool_value(e),
+            ExprKind::Un(op, inner) => match op {
+                CUnOp::Neg => {
+                    let (n, ty) = self.expr(inner)?;
+                    let ty = promote(&ty);
+                    let n = self.coerce(n, &ty.clone(), &ty, e.line)?;
+                    Ok((self.b.un(UnOp::Neg, n, ty.value_ty()), ty))
                 }
-            }
-            ExprKind::Bin(op, ..) if op.is_relational() || matches!(op, CBinOp::LAnd | CBinOp::LOr) => {
+                CUnOp::BNot => {
+                    let (n, ty) = self.expr(inner)?;
+                    if ty.value_ty().is_float() {
+                        return Err(CError::new(e.line, "`~` on floating operand"));
+                    }
+                    let ty = promote(&ty);
+                    Ok((self.b.un(UnOp::Not, n, ty.value_ty()), ty))
+                }
+                CUnOp::LNot => self.bool_value(e),
+            },
+            ExprKind::Bin(op, ..)
+                if op.is_relational() || matches!(op, CBinOp::LAnd | CBinOp::LOr) =>
+            {
                 self.bool_value(e)
             }
             ExprKind::Bin(op, a, c) => {
@@ -810,9 +813,7 @@ impl<'l> FnCtx<'l> {
                                 let ptr = self.b.load(addr, Ty::Ptr);
                                 (ptr, (*el).clone())
                             }
-                            Place::Vreg(v, CTy::Ptr(el)) => {
-                                (self.b.read_vreg(v), (*el).clone())
-                            }
+                            Place::Vreg(v, CTy::Ptr(el)) => (self.b.read_vreg(v), (*el).clone()),
                             _ => {
                                 return Err(CError::new(e.line, "indexing a non-array"));
                             }
@@ -927,7 +928,10 @@ mod tests {
 
     #[test]
     fn arithmetic_program() {
-        assert_eq!(run_main("int main() { return (3 + 4) * 5 - 36 / 6; }"), Value::I(29));
+        assert_eq!(
+            run_main("int main() { return (3 + 4) * 5 - 36 / 6; }"),
+            Value::I(29)
+        );
     }
 
     #[test]
@@ -1040,12 +1044,18 @@ mod tests {
 
     #[test]
     fn bool_values_materialise() {
-        assert_eq!(run_main("int main() { return (3 < 5) + (2 == 2) + !7; }"), Value::I(2));
+        assert_eq!(
+            run_main("int main() { return (3 < 5) + (2 == 2) + !7; }"),
+            Value::I(2)
+        );
     }
 
     #[test]
     fn casts_and_conversions() {
-        assert_eq!(run_main("int main() { return (int)3.9 + (int)(2.0 * 1.5); }"), Value::I(6));
+        assert_eq!(
+            run_main("int main() { return (int)3.9 + (int)(2.0 * 1.5); }"),
+            Value::I(6)
+        );
         assert_eq!(
             run_main("int main() { double d; d = 7; return (int)(d / 2); }"),
             Value::I(3)
@@ -1072,7 +1082,9 @@ mod tests {
     #[test]
     fn incdec_semantics() {
         assert_eq!(
-            run_main("int main() { int i = 5; int a = i++; int b = ++i; return a * 100 + b * 10 + i; }"),
+            run_main(
+                "int main() { int i = 5; int a = i++; int b = ++i; return a * 100 + b * 10 + i; }"
+            ),
             Value::I(5 * 100 + 7 * 10 + 7)
         );
     }

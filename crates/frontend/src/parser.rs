@@ -109,14 +109,18 @@ impl<'a> Parser<'a> {
     fn item(&mut self) -> Result<Vec<Item>, CError> {
         let line = self.line();
         let Some(base) = self.base_type()? else {
-            return Err(CError::new(line, format!("expected a declaration, found {:?}", self.peek())));
+            return Err(CError::new(
+                line,
+                format!("expected a declaration, found {:?}", self.peek()),
+            ));
         };
         // Look ahead: `ident (` → function.
         let mut stars = 0;
         while matches!(self.peek_at(stars), Tok::Star) {
             stars += 1;
         }
-        if matches!(self.peek_at(stars), Tok::Ident(_)) && matches!(self.peek_at(stars + 1), Tok::LParen)
+        if matches!(self.peek_at(stars), Tok::Ident(_))
+            && matches!(self.peek_at(stars + 1), Tok::LParen)
         {
             let mut ret = base;
             for _ in 0..stars {
@@ -223,7 +227,10 @@ impl<'a> Parser<'a> {
             if self.eat(&Tok::Assign) {
                 if self.eat(&Tok::LBrace) {
                     if !allow_lists {
-                        return Err(CError::new(line, "initialiser lists only allowed on globals"));
+                        return Err(CError::new(
+                            line,
+                            "initialiser lists only allowed on globals",
+                        ));
                     }
                     let mut items = Vec::new();
                     loop {
@@ -302,7 +309,10 @@ impl<'a> Parser<'a> {
                 match self.bump() {
                     Tok::Ident(k) if k == "while" => {}
                     other => {
-                        return Err(CError::new(line, format!("expected `while`, found {other:?}")));
+                        return Err(CError::new(
+                            line,
+                            format!("expected `while`, found {other:?}"),
+                        ));
                     }
                 }
                 self.expect(&Tok::LParen)?;
@@ -652,16 +662,22 @@ mod tests {
     fn parses_globals_with_arrays_and_lists() {
         let p = parse_src("double x[100]; int n = 3, m; double w[2] = {1.0, 2.0};");
         assert_eq!(p.items.len(), 4);
-        let Item::Global(g) = &p.items[0] else { panic!() };
+        let Item::Global(g) = &p.items[0] else {
+            panic!()
+        };
         assert_eq!(g.ty, CTy::Array(Box::new(CTy::Scalar(Ty::Double)), 100));
-        let Item::Global(w) = &p.items[3] else { panic!() };
+        let Item::Global(w) = &p.items[3] else {
+            panic!()
+        };
         assert_eq!(w.init_list.as_ref().unwrap().len(), 2);
     }
 
     #[test]
     fn parses_2d_array() {
         let p = parse_src("double u[5][22];");
-        let Item::Global(g) = &p.items[0] else { panic!() };
+        let Item::Global(g) = &p.items[0] else {
+            panic!()
+        };
         assert_eq!(
             g.ty,
             CTy::Array(
@@ -699,15 +715,22 @@ mod tests {
     fn parses_casts_and_unaries() {
         let p = parse_src("int f(double x) { return (int)x + -1 + !0 + ~5; }");
         let Item::Func(f) = &p.items[0] else { panic!() };
-        assert!(matches!(f.body.as_ref().unwrap()[0], Stmt::Return(Some(_), _)));
+        assert!(matches!(
+            f.body.as_ref().unwrap()[0],
+            Stmt::Return(Some(_), _)
+        ));
     }
 
     #[test]
     fn parses_prototypes() {
         let p = parse_src("double kernel(int n); int main(void) { return 0; }");
-        let Item::Func(proto) = &p.items[0] else { panic!() };
+        let Item::Func(proto) = &p.items[0] else {
+            panic!()
+        };
         assert!(proto.body.is_none());
-        let Item::Func(main) = &p.items[1] else { panic!() };
+        let Item::Func(main) = &p.items[1] else {
+            panic!()
+        };
         assert!(main.params.is_empty());
     }
 

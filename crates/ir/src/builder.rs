@@ -139,7 +139,11 @@ impl FuncBuilder {
 
     /// Address of a frame local.
     pub fn local_addr(&mut self, local: LocalId) -> NodeId {
-        self.intern(CseKey::LocalAddr(local), NodeKind::LocalAddr(local), Ty::Ptr)
+        self.intern(
+            CseKey::LocalAddr(local),
+            NodeKind::LocalAddr(local),
+            Ty::Ptr,
+        )
     }
 
     /// Memory load of type `ty` from `addr`.
@@ -198,11 +202,9 @@ impl FuncBuilder {
     /// Appends a store; conservatively invalidates all cached loads.
     pub fn store(&mut self, addr: NodeId, value: NodeId, ty: Ty) {
         self.invalidate_loads();
-        self.func.blocks[self.current.0 as usize].stmts.push(Stmt::Store {
-            addr,
-            value,
-            ty,
-        });
+        self.func.blocks[self.current.0 as usize]
+            .stmts
+            .push(Stmt::Store { addr, value, ty });
     }
 
     /// Appends a call-for-effect statement.
@@ -218,7 +220,14 @@ impl FuncBuilder {
     }
 
     /// Terminates the current block with a conditional branch.
-    pub fn cond_jump(&mut self, rel: BinOp, lhs: NodeId, rhs: NodeId, then_to: BlockId, else_to: BlockId) {
+    pub fn cond_jump(
+        &mut self,
+        rel: BinOp,
+        lhs: NodeId,
+        rhs: NodeId,
+        then_to: BlockId,
+        else_to: BlockId,
+    ) {
         assert!(rel.is_relational(), "cond_jump needs a relational op");
         self.seal(Terminator::CondJump {
             rel,

@@ -15,11 +15,9 @@ pub fn func_to_dot(func: &Function) -> String {
         for stmt in &block.stmts {
             let text = match stmt {
                 Stmt::SetVreg(v, n) => format!("{v} = {}", render(func, *n)),
-                Stmt::Store { addr, value, ty } => format!(
-                    "*({}):{ty} = {}",
-                    render(func, *addr),
-                    render(func, *value)
-                ),
+                Stmt::Store { addr, value, ty } => {
+                    format!("*({}):{ty} = {}", render(func, *addr), render(func, *value))
+                }
                 Stmt::CallStmt(n) => render(func, *n),
             };
             let _ = write!(label, "{}\\l", text.replace('"', "'"));

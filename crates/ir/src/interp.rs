@@ -148,7 +148,11 @@ impl<'m> Interp<'m> {
         self.call_func(func, args)
     }
 
-    fn call_func(&mut self, func: &'m Function, args: &[Value]) -> Result<Option<Value>, InterpError> {
+    fn call_func(
+        &mut self,
+        func: &'m Function,
+        args: &[Value],
+    ) -> Result<Option<Value>, InterpError> {
         self.stats.calls += 1;
         if args.len() != func.params.len() {
             return fault(format!(
@@ -311,15 +315,13 @@ impl<'m> Interp<'m> {
         Ok(match ty {
             Ty::Char => Value::I(self.mem[a] as i8 as i64),
             Ty::Short => Value::I(i16::from_le_bytes([self.mem[a], self.mem[a + 1]]) as i64),
-            Ty::Int | Ty::Long | Ty::Ptr => Value::I(i32::from_le_bytes(
-                self.mem[a..a + 4].try_into().unwrap(),
-            ) as i64),
-            Ty::Float => Value::F(f32::from_le_bytes(
-                self.mem[a..a + 4].try_into().unwrap(),
-            ) as f64),
-            Ty::Double => Value::F(f64::from_le_bytes(
-                self.mem[a..a + 8].try_into().unwrap(),
-            )),
+            Ty::Int | Ty::Long | Ty::Ptr => {
+                Value::I(i32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()) as i64)
+            }
+            Ty::Float => {
+                Value::F(f32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()) as f64)
+            }
+            Ty::Double => Value::F(f64::from_le_bytes(self.mem[a..a + 8].try_into().unwrap())),
         })
     }
 

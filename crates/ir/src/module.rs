@@ -43,10 +43,7 @@ impl GlobalInit {
         match self {
             GlobalInit::Zero(n) => vec![0; *n as usize],
             GlobalInit::Words(w) => w.iter().flat_map(|v| v.to_le_bytes()).collect(),
-            GlobalInit::Doubles(d) => d
-                .iter()
-                .flat_map(|v| v.to_bits().to_le_bytes())
-                .collect(),
+            GlobalInit::Doubles(d) => d.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect(),
             GlobalInit::Bytes(b) => b.clone(),
         }
     }

@@ -19,7 +19,11 @@ impl fmt::Display for VerifyError {
         if self.func.is_empty() {
             write!(f, "ir verification failed: {}", self.message)
         } else {
-            write!(f, "ir verification failed in `{}`: {}", self.func, self.message)
+            write!(
+                f,
+                "ir verification failed in `{}`: {}",
+                self.func, self.message
+            )
         }
     }
 }
@@ -107,14 +111,13 @@ pub fn verify_func(func: &Function, symbol_count: usize) -> Result<(), VerifyErr
         return Err(err("function has no blocks".into()));
     }
     let nblocks = func.blocks.len();
-    let in_range =
-        |id: NodeId| -> Result<(), VerifyError> {
-            if id.0 as usize >= nnodes {
-                Err(err(format!("node {id} out of range")))
-            } else {
-                Ok(())
-            }
-        };
+    let in_range = |id: NodeId| -> Result<(), VerifyError> {
+        if id.0 as usize >= nnodes {
+            Err(err(format!("node {id} out of range")))
+        } else {
+            Ok(())
+        }
+    };
     for (bi, block) in func.blocks.iter().enumerate() {
         for stmt in &block.stmts {
             match stmt {
@@ -157,7 +160,9 @@ pub fn verify_func(func: &Function, symbol_count: usize) -> Result<(), VerifyErr
                 else_to,
             } => {
                 if !rel.is_relational() {
-                    return Err(err(format!("b{bi}: branch relation `{rel}` not relational")));
+                    return Err(err(format!(
+                        "b{bi}: branch relation `{rel}` not relational"
+                    )));
                 }
                 in_range(*lhs)?;
                 in_range(*rhs)?;

@@ -250,9 +250,19 @@ mod tests {
     #[test]
     fn parses_with_expected_shape() {
         let m = load();
-        assert_eq!(m.reg_class_by_name("r").map(|c| m.reg_class(c).count), Some(32));
-        assert_eq!(m.reg_class_by_name("d").map(|c| m.reg_class(c).count), Some(8));
-        assert_eq!(m.stats().aux_lats, 0, "R2000 has no aux latencies (Table 1)");
+        assert_eq!(
+            m.reg_class_by_name("r").map(|c| m.reg_class(c).count),
+            Some(32)
+        );
+        assert_eq!(
+            m.reg_class_by_name("d").map(|c| m.reg_class(c).count),
+            Some(8)
+        );
+        assert_eq!(
+            m.stats().aux_lats,
+            0,
+            "R2000 has no aux latencies (Table 1)"
+        );
         assert_eq!(m.stats().clocks, 0);
         assert_eq!(m.stats().classes, 0);
         assert!(m.stats().funcs >= 4);

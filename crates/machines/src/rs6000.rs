@@ -303,6 +303,10 @@ mod tests {
             .iter()
             .flat_map(|b| b.words.iter())
             .any(|w| w.insts.len() > 1);
-        assert!(packed, "expected multi-unit issue:\n{}", program.render(&spec.machine));
+        assert!(
+            packed,
+            "expected multi-unit issue:\n{}",
+            program.render(&spec.machine)
+        );
     }
 }

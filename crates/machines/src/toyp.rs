@@ -80,7 +80,10 @@ fn li32(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenError
     let lo = ctx.imm_low(imm);
     let r0 = zero_reg(ctx);
     ctx.emit("li", vec![dest, r0, Operand::Imm(hi)])?;
-    ctx.emit("shli", vec![dest, dest, Operand::Imm(marion_core::ImmVal::Const(16))])?;
+    ctx.emit(
+        "shli",
+        vec![dest, dest, Operand::Imm(marion_core::ImmVal::Const(16))],
+    )?;
     ctx.emit("ori", vec![dest, dest, Operand::Imm(lo)])?;
     Ok(())
 }
@@ -96,11 +99,7 @@ fn cvt16(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand]) -> Result<(), CodegenErro
     narrow(ctx, ops, 16)
 }
 
-fn narrow(
-    ctx: &mut EscapeCtx<'_, '_>,
-    ops: &[Operand],
-    bits: i64,
-) -> Result<(), CodegenError> {
+fn narrow(ctx: &mut EscapeCtx<'_, '_>, ops: &[Operand], bits: i64) -> Result<(), CodegenError> {
     let dest = ops[0];
     let src = ops[1];
     let sh = Operand::Imm(marion_core::ImmVal::Const(bits));
@@ -267,11 +266,20 @@ mod tests {
     fn parses_and_matches_figures() {
         let m = load();
         // Figure 1: registers, resources, immediates.
-        assert_eq!(m.reg_class_by_name("r").map(|c| m.reg_class(c).count), Some(8));
-        assert_eq!(m.reg_class_by_name("d").map(|c| m.reg_class(c).count), Some(4));
+        assert_eq!(
+            m.reg_class_by_name("r").map(|c| m.reg_class(c).count),
+            Some(8)
+        );
+        assert_eq!(
+            m.reg_class_by_name("d").map(|c| m.reg_class(c).count),
+            Some(4)
+        );
         assert_eq!(m.resources().len(), 10);
         assert!(m.imm_defs().iter().any(|d| d.name == "const16"));
-        assert!(m.label_defs().iter().any(|l| l.name == "rlab" && l.relative));
+        assert!(m
+            .label_defs()
+            .iter()
+            .any(|l| l.name == "rlab" && l.relative));
         // Figure 2: runtime model.
         let cwvm = m.cwvm();
         assert_eq!(cwvm.allocable.len(), 6 + 2);

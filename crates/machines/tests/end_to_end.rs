@@ -54,16 +54,12 @@ const PROGRAMS: &[(&str, &str)] = &[
 fn compiles_on_every_machine_and_strategy() {
     for spec in load_all() {
         for strategy in StrategyKind::ALL {
-            let compiler =
-                Compiler::new(spec.machine.clone(), spec.escapes.clone(), strategy);
+            let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), strategy);
             for (name, src) in PROGRAMS {
                 let module = marion_frontend::compile(src)
                     .unwrap_or_else(|e| panic!("{name}: front end: {e}"));
                 let program = compiler.compile_module(&module).unwrap_or_else(|e| {
-                    panic!(
-                        "{name} on {} with {strategy}: {e}",
-                        spec.machine.name()
-                    )
+                    panic!("{name} on {} with {strategy}: {e}", spec.machine.name())
                 });
                 assert!(
                     program.stats.insts_generated > 0,
@@ -97,9 +93,18 @@ fn i860_emits_dual_operation_words() {
         .flat_map(|w| w.insts.iter())
         .map(|i| spec.machine.template(i.template).mnemonic.as_str())
         .collect();
-    assert!(mnems.contains(&"M1"), "multiplier launch missing: {mnems:?}");
-    assert!(mnems.contains(&"A1") || mnems.contains(&"A1m"), "adder launch missing: {mnems:?}");
-    assert!(mnems.contains(&"AWB"), "adder write-back missing: {mnems:?}");
+    assert!(
+        mnems.contains(&"M1"),
+        "multiplier launch missing: {mnems:?}"
+    );
+    assert!(
+        mnems.contains(&"A1") || mnems.contains(&"A1m"),
+        "adder launch missing: {mnems:?}"
+    );
+    assert!(
+        mnems.contains(&"AWB"),
+        "adder write-back missing: {mnems:?}"
+    );
     let packed = func
         .blocks
         .iter()

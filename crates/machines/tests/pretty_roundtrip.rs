@@ -9,8 +9,8 @@ use marion_maril::{lexer::lex, parser::parse, pretty::print_description, Machine
 fn round_trip(name: &str, text: &str) {
     let desc = parse(&lex(text).unwrap()).unwrap();
     let printed = print_description(&desc);
-    let reparsed = parse(&lex(&printed).unwrap())
-        .unwrap_or_else(|e| panic!("{name}: reparse: {e}"));
+    let reparsed =
+        parse(&lex(&printed).unwrap()).unwrap_or_else(|e| panic!("{name}: reparse: {e}"));
     let m1 = marion_maril::sema::analyze(name, &desc).unwrap();
     let m2 = marion_maril::sema::analyze(name, &reparsed)
         .unwrap_or_else(|e| panic!("{name}: re-analysis: {e}"));

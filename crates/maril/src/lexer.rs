@@ -105,7 +105,10 @@ impl<'a> Lexer<'a> {
             self.peek(0),
             Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9') | Some(b'_')
         ) || (self.peek(0) == Some(b'.')
-            && matches!(self.peek(1), Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9')))
+            && matches!(
+                self.peek(1),
+                Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9')
+            ))
         {
             self.pos += 1;
         }

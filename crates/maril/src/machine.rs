@@ -533,13 +533,14 @@ impl Template {
 
     /// The register class written by this instruction, if any.
     pub fn def_class(&self) -> Option<RegClassId> {
-        self.effects.defs.first().and_then(|k| {
-            match self.operands.get((*k - 1) as usize) {
+        self.effects
+            .defs
+            .first()
+            .and_then(|k| match self.operands.get((*k - 1) as usize) {
                 Some(OperandSpec::Reg(c)) => Some(*c),
                 Some(OperandSpec::FixedReg(p)) => Some(p.class),
                 _ => None,
-            }
-        })
+            })
     }
 }
 
@@ -848,17 +849,19 @@ impl Machine {
     /// Finds a load template `$1 = m[$2 + $3]` producing `class`, for
     /// spill reloads.
     pub fn spill_load(&self, class: RegClassId) -> Option<TemplateId> {
-        self.templates.iter().position(|t| {
-            if t.def_class() != Some(class) || t.escape.is_some() {
-                return false;
-            }
-            matches!(
-                t.sem.as_slice(),
-                [Stmt::Assign(LValue::Operand(1), Expr::Mem(_, addr))]
-                    if matches!(**addr, Expr::Bin(crate::expr::BinOp::Add, _, _))
-            )
-        })
-        .map(|i| TemplateId(i as u32))
+        self.templates
+            .iter()
+            .position(|t| {
+                if t.def_class() != Some(class) || t.escape.is_some() {
+                    return false;
+                }
+                matches!(
+                    t.sem.as_slice(),
+                    [Stmt::Assign(LValue::Operand(1), Expr::Mem(_, addr))]
+                        if matches!(**addr, Expr::Bin(crate::expr::BinOp::Add, _, _))
+                )
+            })
+            .map(|i| TemplateId(i as u32))
     }
 
     /// Finds a store template `m[$2 + $3] = $1` consuming `class`, for
@@ -875,7 +878,10 @@ impl Machine {
                 stores_class
                     && matches!(
                         t.sem.as_slice(),
-                        [Stmt::Assign(LValue::Mem(_, Expr::Bin(crate::expr::BinOp::Add, _, _)), Expr::Operand(1))]
+                        [Stmt::Assign(
+                            LValue::Mem(_, Expr::Bin(crate::expr::BinOp::Add, _, _)),
+                            Expr::Operand(1)
+                        )]
                     )
             })
             .map(|i| TemplateId(i as u32))

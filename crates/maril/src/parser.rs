@@ -18,11 +18,7 @@ use crate::token::{Token, TokenKind};
 ///
 /// Returns the first grammar violation, with its source span.
 pub fn parse(tokens: &[Token]) -> Result<Description, MarilError> {
-    Parser {
-        tokens,
-        pos: 0,
-    }
-    .description()
+    Parser { tokens, pos: 0 }.description()
 }
 
 struct Parser<'a> {
@@ -642,16 +638,16 @@ impl<'a> Parser<'a> {
                 self.expect(&TokenKind::RParen)?;
                 let (goto_kw, gspan) = self.expect_ident()?;
                 if goto_kw != "goto" {
-                    return Err(MarilError::parse("expected `goto` after if-condition", gspan));
+                    return Err(MarilError::parse(
+                        "expected `goto` after if-condition",
+                        gspan,
+                    ));
                 }
                 self.expect(&TokenKind::Dollar)?;
                 let target = self.expect_int()? as u8;
                 self.expect(&TokenKind::Semi)?;
                 let (rel, lhs, rhs) = split_rel(&cond).ok_or_else(|| {
-                    MarilError::parse(
-                        "if-condition must be a relational comparison",
-                        gspan,
-                    )
+                    MarilError::parse("if-condition must be a relational comparison", gspan)
                 })?;
                 Ok(Stmt::CondGoto {
                     rel,
@@ -902,7 +898,11 @@ mod tests {
         assert!(matches!(&d.cwvm[3], CwvmItem::Sp { down: true, .. }));
         assert!(matches!(
             &d.cwvm[7],
-            CwvmItem::Arg { ty: Ty::Int, index: 1, .. }
+            CwvmItem::Arg {
+                ty: Ty::Int,
+                index: 1,
+                ..
+            }
         ));
     }
 
@@ -933,7 +933,9 @@ mod tests {
         let InstrItem::Instr(def) = &d.instrs[0] else {
             panic!()
         };
-        assert!(matches!(&def.operands[1], OperandAst::FixedReg(r) if r.class == "r" && r.index == 0));
+        assert!(
+            matches!(&def.operands[1], OperandAst::FixedReg(r) if r.class == "r" && r.index == 0)
+        );
         assert!(matches!(&def.operands[2], OperandAst::Imm(n) if n == "const16"));
     }
 
@@ -950,7 +952,11 @@ mod tests {
         assert_eq!(def.slots, -1);
         assert!(matches!(
             &def.sem[0],
-            Stmt::CondGoto { rel: BinOp::Eq, target: 2, .. }
+            Stmt::CondGoto {
+                rel: BinOp::Eq,
+                target: 2,
+                ..
+            }
         ));
     }
 
@@ -1007,7 +1013,11 @@ mod tests {
         let d = parse_src(r#"instr { %aux ld : st (3) }"#);
         assert!(matches!(
             &d.instrs[0],
-            InstrItem::Aux { cond: None, latency: 3, .. }
+            InstrItem::Aux {
+                cond: None,
+                latency: 3,
+                ..
+            }
         ));
     }
 
@@ -1100,8 +1110,8 @@ mod tests {
 
     #[test]
     fn rejects_missing_triple() {
-        let err = parse(&lex("instr { %instr add r, r, r {$1 = $2 + $3;} [IF;] }").unwrap())
-            .unwrap_err();
+        let err =
+            parse(&lex("instr { %instr add r, r, r {$1 = $2 + $3;} [IF;] }").unwrap()).unwrap_err();
         assert!(err.to_string().contains("expected"));
     }
 

@@ -44,10 +44,7 @@ fn print_range(range: &Option<(u32, u32)>) -> String {
 }
 
 fn print_flags(flags: &[String]) -> String {
-    flags
-        .iter()
-        .map(|f| format!(" +{f}"))
-        .collect::<String>()
+    flags.iter().map(|f| format!(" +{f}")).collect::<String>()
 }
 
 fn print_decl(item: &DeclItem) -> String {
@@ -61,10 +58,7 @@ fn print_decl(item: &DeclItem) -> String {
             ..
         } => {
             let tys: Vec<String> = tys.iter().map(|t| t.to_string()).collect();
-            let clock = clock
-                .as_ref()
-                .map(|c| format!("; {c}"))
-                .unwrap_or_default();
+            let clock = clock.as_ref().map(|c| format!("; {c}")).unwrap_or_default();
             let temporal = if *temporal { " +temporal" } else { "" };
             format!(
                 "%reg {name}{} ({}{clock}){temporal};",
@@ -209,9 +203,9 @@ fn print_instr_item(item: &InstrItem) -> String {
                     print_expr(to_lhs),
                     print_expr(to_rhs)
                 ),
-                GlueRule::Value { from, to } =>
-
-                    format!("{} ==> {}", print_expr(from), print_expr(to)),
+                GlueRule::Value { from, to } => {
+                    format!("{} ==> {}", print_expr(from), print_expr(to))
+                }
             };
             format!("%glue {ops}{{{body};}}")
         }
@@ -337,7 +331,9 @@ mod tests {
         // its own parse tests.
         round_trip("declare { %resource A; B; C; }");
         round_trip("instr { %instr ret {return;} [A;] (1,1,1) }");
-        round_trip("instr { %instr bsr #l {call $1;} [A;] (1,1,1) }
-                    declare { %label l [0:1] +relative; %resource A; }");
+        round_trip(
+            "instr { %instr bsr #l {call $1;} [A;] (1,1,1) }
+                    declare { %label l [0:1] +relative; %resource A; }",
+        );
     }
 }

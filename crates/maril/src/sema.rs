@@ -96,11 +96,7 @@ impl<'a> Analyzer<'a> {
             declare_lines: 0,
             cwvm_lines: 0,
             instr_lines: 0,
-            instr_directives: self
-                .templates
-                .iter()
-                .filter(|t| t.escape.is_none())
-                .count(),
+            instr_directives: self.templates.iter().filter(|t| t.escape.is_none()).count(),
             clocks: self.clocks.len(),
             elements: self.elements.len(),
             classes: self.classes.len(),
@@ -316,13 +312,9 @@ impl<'a> Analyzer<'a> {
                     }
                     let mut set = ResSet::EMPTY;
                     for e in elements {
-                        let id = self
-                            .elements
-                            .iter()
-                            .position(|x| x == e)
-                            .ok_or_else(|| {
-                                MarilError::sema(format!("unknown element `{e}`"), *span)
-                            })?;
+                        let id = self.elements.iter().position(|x| x == e).ok_or_else(|| {
+                            MarilError::sema(format!("unknown element `{e}`"), *span)
+                        })?;
                         set.insert(id as u32);
                     }
                     self.classes.push(PackClass {
@@ -355,7 +347,7 @@ impl<'a> Analyzer<'a> {
         }
         // Union groups of equivalent classes.
         let mut group: Vec<usize> = (0..self.reg_classes.len()).collect();
-        fn find(group: &mut Vec<usize>, mut i: usize) -> usize {
+        fn find(group: &mut [usize], mut i: usize) -> usize {
             while group[i] != i {
                 group[i] = group[group[i]];
                 i = group[i];
@@ -386,10 +378,10 @@ impl<'a> Analyzer<'a> {
         // Lay out unit bases: group leaders first, then overlays.
         let mut next_base = 0u32;
         let mut base_set = vec![false; self.reg_classes.len()];
-        for i in 0..self.reg_classes.len() {
+        for (i, is_base) in base_set.iter_mut().enumerate() {
             if find(&mut group, i) == i {
                 self.reg_classes[i].unit_base = next_base;
-                base_set[i] = true;
+                *is_base = true;
                 next_base += self.reg_classes[i].count * self.reg_classes[i].unit_stride;
             }
         }
@@ -436,10 +428,7 @@ impl<'a> Analyzer<'a> {
                     }
                     (true, true) => {
                         if wa + ia * sa != wb + ib * sb {
-                            return Err(MarilError::sema(
-                                "conflicting %equiv anchors",
-                                span,
-                            ));
+                            return Err(MarilError::sema("conflicting %equiv anchors", span));
                         }
                     }
                     (false, false) => {}
@@ -563,14 +552,14 @@ impl<'a> Analyzer<'a> {
                     let mut operand_classes = Vec::new();
                     for op in operands {
                         operand_classes.push(match op {
-                            OperandAst::RegClass(name) => Some(self.class_id(name).ok_or_else(
-                                || {
+                            OperandAst::RegClass(name) => {
+                                Some(self.class_id(name).ok_or_else(|| {
                                     MarilError::sema(
                                         format!("unknown register class `{name}` in %glue"),
                                         *span,
                                     )
-                                },
-                            )?),
+                                })?)
+                            }
                             _ => None,
                         });
                     }
@@ -645,9 +634,10 @@ impl<'a> Analyzer<'a> {
         for cycle in &def.resources {
             let mut set = ResSet::EMPTY;
             for r in cycle {
-                let id = self.resources.iter().position(|x| x == r).ok_or_else(|| {
-                    MarilError::sema(format!("unknown resource `{r}`"), def.span)
-                })?;
+                let id =
+                    self.resources.iter().position(|x| x == r).ok_or_else(|| {
+                        MarilError::sema(format!("unknown resource `{r}`"), def.span)
+                    })?;
                 set.insert(id as u32);
             }
             rsrc.push(set);
@@ -662,9 +652,7 @@ impl<'a> Analyzer<'a> {
                     .iter()
                     .position(|x| x.name == *c)
                     .map(|i| ClassId(i as u32))
-                    .ok_or_else(|| {
-                        MarilError::sema(format!("unknown class `{c}`"), def.span)
-                    })?,
+                    .ok_or_else(|| MarilError::sema(format!("unknown class `{c}`"), def.span))?,
             ),
             None => None,
         };
@@ -1039,9 +1027,7 @@ mod tests {
 
     #[test]
     fn rejects_aux_on_unknown_mnemonic() {
-        let err = machine_err(&format!(
-            "{TOY_DECLS} instr {{ %aux foo : bar (3) }}"
-        ));
+        let err = machine_err(&format!("{TOY_DECLS} instr {{ %aux foo : bar (3) }}"));
         assert!(err.to_string().contains("unknown instruction"));
     }
 

@@ -57,7 +57,9 @@ mod tests {
             ..Default::default()
         };
         let text = s.to_string();
-        for key in ["declare", "cwvm", "clocks", "elements", "classes", "aux", "glue", "funcs"] {
+        for key in [
+            "declare", "cwvm", "clocks", "elements", "classes", "aux", "glue", "funcs",
+        ] {
             assert!(text.contains(key), "missing {key}: {text}");
         }
         assert!(text.contains("140"));

@@ -1,9 +1,35 @@
 //! Robustness: the Maril front end must reject garbage with errors,
 //! never panics — mutated descriptions, truncations and random token
 //! soup all produce `Err`, and spans stay within the source.
+//!
+//! Fuzzing is driven by a local SplitMix64 stream (deterministic, no
+//! external dependency); each case can be reproduced from its index.
 
 use marion_maril::Machine;
-use proptest::prelude::*;
+
+/// Minimal deterministic PRNG for the fuzz loops (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        ((u128::from(self.next()) * n as u128) >> 64) as usize
+    }
+
+    fn string(&mut self, charset: &[u8], max_len: usize) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| charset[self.below(charset.len())] as char)
+            .collect()
+    }
+}
 
 const BASE: &str = r#"
 declare {
@@ -26,42 +52,52 @@ instr {
 }
 "#;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Truncating a valid description anywhere must not panic.
-    #[test]
-    fn truncations_never_panic(cut in 0usize..BASE.len()) {
-        // Cut on a char boundary.
-        let mut cut = cut;
-        while !BASE.is_char_boundary(cut) {
-            cut -= 1;
+/// Truncating a valid description anywhere must not panic.
+#[test]
+fn truncations_never_panic() {
+    for cut in 0..=BASE.len() {
+        if !BASE.is_char_boundary(cut) {
+            continue;
         }
         let _ = Machine::parse("t", &BASE[..cut]);
     }
+}
 
-    /// Splicing random bytes into a valid description must not panic,
-    /// and any reported span must lie within the source.
-    #[test]
-    fn mutations_never_panic(pos in 0usize..BASE.len(), noise in "[ -~]{1,12}") {
-        let mut pos = pos;
+/// Splicing random bytes into a valid description must not panic,
+/// and any reported span must lie within the source.
+#[test]
+fn mutations_never_panic() {
+    let charset: Vec<u8> = (b' '..=b'~').collect();
+    let mut rng = Rng(0xBEEF);
+    for _ in 0..256 {
+        let mut pos = rng.below(BASE.len());
         while !BASE.is_char_boundary(pos) {
             pos -= 1;
+        }
+        let mut noise = rng.string(&charset, 12);
+        if noise.is_empty() {
+            noise.push('%');
         }
         let mutated = format!("{}{}{}", &BASE[..pos], noise, &BASE[pos..]);
         match Machine::parse("t", &mutated) {
             Ok(_) => {}
             Err(e) => {
-                prop_assert!(e.span().start <= mutated.len());
+                assert!(e.span().start <= mutated.len());
                 // Rendering the diagnostic must also be safe.
                 let _ = e.render("t.maril", &mutated);
             }
         }
     }
+}
 
-    /// Pure token soup.
-    #[test]
-    fn token_soup_never_panics(src in "[%a-z0-9\\[\\]{}();:,#$*+<>=!&|^~. -]{0,200}") {
+/// Pure token soup.
+#[test]
+fn token_soup_never_panics() {
+    let charset: Vec<u8> =
+        b"%abcdefghijklmnopqrstuvwxyz0123456789[]{}();:,#$*+<>=!&|^~. -".to_vec();
+    let mut rng = Rng(0x5011);
+    for _ in 0..256 {
+        let src = rng.string(&charset, 200);
         let _ = Machine::parse("t", &src);
     }
 }

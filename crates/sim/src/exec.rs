@@ -111,10 +111,20 @@ impl<'a> ExecCtx<'a> {
             Expr::Un(op, a) => {
                 let v = self.eval(inst, width, a)?;
                 Ok(match (op, v) {
-                    (marion_maril::UnOp::Neg, Value::I(x)) => Value::I(x.wrapping_neg() as i32 as i64),
+                    (marion_maril::UnOp::Neg, Value::I(x)) => {
+                        Value::I(x.wrapping_neg() as i32 as i64)
+                    }
                     (marion_maril::UnOp::Neg, Value::F(x)) => {
-                        let ty = self.machine.template(inst.template).ty.unwrap_or(Ty::Double);
-                        Value::F(if ty == Ty::Float { (-x) as f32 as f64 } else { -x })
+                        let ty = self
+                            .machine
+                            .template(inst.template)
+                            .ty
+                            .unwrap_or(Ty::Double);
+                        Value::F(if ty == Ty::Float {
+                            (-x) as f32 as f64
+                        } else {
+                            -x
+                        })
                     }
                     (marion_maril::UnOp::Not, Value::I(x)) => Value::I(!x as i32 as i64),
                     (marion_maril::UnOp::Not, Value::F(_)) => {

@@ -39,7 +39,10 @@ impl RegFile {
     /// f32 bits; width-2 fp registers hold f64 bits; integer registers
     /// hold i32.
     pub fn read(&self, machine: &Machine, reg: PhysReg) -> Value {
-        let units: Vec<u32> = machine.units_of(reg).map(|u| self.units[u as usize]).collect();
+        let units: Vec<u32> = machine
+            .units_of(reg)
+            .map(|u| self.units[u as usize])
+            .collect();
         if Self::is_fp_class(machine, reg) {
             match units.len() {
                 1 => Value::F(f32::from_bits(units[0]) as f64),
@@ -88,7 +91,10 @@ impl RegFile {
 
     /// The raw unit words of a register.
     pub fn read_units(&self, machine: &Machine, reg: PhysReg) -> Vec<u32> {
-        machine.units_of(reg).map(|u| self.units[u as usize]).collect()
+        machine
+            .units_of(reg)
+            .map(|u| self.units[u as usize])
+            .collect()
     }
 
     /// Writes raw unit words to a register.

@@ -84,6 +84,8 @@ pub struct RunResult {
     pub stall_cycles: u64,
     /// Cycles lost to cache misses.
     pub miss_cycles: u64,
+    /// `nop` sub-operations retired (unfilled delay slots executed).
+    pub nops_retired: u64,
     /// The entry function's return value, read from the integer
     /// result register (see also [`RunResult::fp_result`]).
     pub result: Option<Value>,
@@ -206,13 +208,7 @@ impl<'a> Simulator<'a> {
         args: &[Value],
         config: &SimConfig,
     ) -> Result<RunResult, SimError> {
-        let Some(entry_fi) = self
-            .program
-            .asm
-            .funcs
-            .iter()
-            .position(|f| f.name == entry)
-        else {
+        let Some(entry_fi) = self.program.asm.funcs.iter().position(|f| f.name == entry) else {
             return fault(format!("no function `{entry}`"));
         };
         let halt = self.flat.len();
@@ -233,12 +229,18 @@ impl<'a> Simulator<'a> {
             }
         }
         // ABI setup.
-        let sp = cwvm
-            .sp
-            .ok_or_else(|| SimError("no stack pointer".into()))?;
-        regs.write(self.machine, sp, Value::I((config.mem_size as i64 - 64) & !15));
+        let sp = cwvm.sp.ok_or_else(|| SimError("no stack pointer".into()))?;
+        regs.write(
+            self.machine,
+            sp,
+            Value::I((config.mem_size as i64 - 64) & !15),
+        );
         if let Some(fp) = cwvm.fp {
-            regs.write(self.machine, fp, Value::I((config.mem_size as i64 - 64) & !15));
+            regs.write(
+                self.machine,
+                fp,
+                Value::I((config.mem_size as i64 - 64) & !15),
+            );
         }
         let ra = cwvm
             .retaddr
@@ -277,6 +279,7 @@ impl<'a> Simulator<'a> {
             insts_executed: 0,
             stall_cycles: 0,
             miss_cycles: 0,
+            nops_retired: 0,
             result: None,
             fp_result: None,
             block_counts: HashMap::new(),
@@ -295,6 +298,7 @@ impl<'a> Simulator<'a> {
             }
         }
 
+        let nop_template = self.machine.nop_template();
         let mut pc = self.func_entry[entry_fi];
         let mut cycle: u64 = 0;
         // Pending redirect: take effect after `countdown` more words.
@@ -326,8 +330,7 @@ impl<'a> Simulator<'a> {
             for inst in insts {
                 let t = self.machine.template(inst.template);
                 for k in &t.effects.uses {
-                    if let Some(marion_core::Operand::Phys(p)) = inst.ops.get((*k - 1) as usize)
-                    {
+                    if let Some(marion_core::Operand::Phys(p)) = inst.ops.get((*k - 1) as usize) {
                         for u in self.machine.units_of(*p) {
                             if let Some(&(pissue, pflat, pinst)) = unit_ready.get(&u) {
                                 let producer = &self.word(pflat)[pinst];
@@ -434,8 +437,7 @@ impl<'a> Simulator<'a> {
                 let t = self.machine.template(inst.template);
                 let extra = if t.effects.reads_mem { load_extra } else { 0 };
                 for k in &t.effects.defs {
-                    if let Some(marion_core::Operand::Phys(p)) = inst.ops.get((*k - 1) as usize)
-                    {
+                    if let Some(marion_core::Operand::Phys(p)) = inst.ops.get((*k - 1) as usize) {
                         for u in self.machine.units_of(*p) {
                             unit_ready.insert(u, (issue + extra, pc, i));
                         }
@@ -453,6 +455,9 @@ impl<'a> Simulator<'a> {
             }
             result.words_executed += 1;
             result.insts_executed += insts.len() as u64;
+            if let Some(nop) = nop_template {
+                result.nops_retired += insts.iter().filter(|i| i.template == nop).count() as u64;
+            }
 
             // ---- control ----
             let slots_here: u32 = insts
@@ -463,20 +468,14 @@ impl<'a> Simulator<'a> {
             let (fi, _, _) = self.flat[pc];
             let new_target = match fx.control {
                 None => None,
-                Some(Control::Branch(b)) => {
-                    Some(self.block_target(fi, b.0 as usize)?)
-                }
+                Some(Control::Branch(b)) => Some(self.block_target(fi, b.0 as usize)?),
                 Some(Control::Call(sym)) => {
-                    let callee = self
-                        .func_of_symbol
-                        .get(&sym.0)
-                        .copied()
-                        .ok_or_else(|| {
-                            SimError(format!(
-                                "call to undefined function `{}`",
-                                self.program.symbols[sym.0 as usize]
-                            ))
-                        })?;
+                    let callee = self.func_of_symbol.get(&sym.0).copied().ok_or_else(|| {
+                        SimError(format!(
+                            "call to undefined function `{}`",
+                            self.program.symbols[sym.0 as usize]
+                        ))
+                    })?;
                     // The return address points past the delay slots.
                     let ret_to = pc + 1 + slots_here as usize;
                     regs.write(self.machine, ra, Value::I(ret_to as i64));
@@ -535,7 +534,6 @@ impl<'a> Simulator<'a> {
             .copied()
             .ok_or_else(|| SimError(format!("branch to unknown block b{block}")))
     }
-
 }
 
 /// Convenience wrapper: load, run, and type the result by the entry

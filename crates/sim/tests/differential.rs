@@ -29,8 +29,7 @@ fn check_program(name: &str, src: &str, ret_ty: Ty) {
     };
     for spec in load_extended() {
         for strategy in StrategyKind::ALL {
-            let compiler =
-                Compiler::new(spec.machine.clone(), spec.escapes.clone(), strategy);
+            let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), strategy);
             let program = match compiler.compile_module(&module) {
                 Ok(p) => p,
                 // TOYP's CWVM passes at most one double parameter
@@ -39,17 +38,12 @@ fn check_program(name: &str, src: &str, ret_ty: Ty) {
                 Err(e) if e.message.contains("parameters") => continue,
                 Err(e) => panic!("{name} on {}/{strategy}: {e}", spec.machine.name()),
             };
-            let mut config = SimConfig::default();
-            config.keep_memory = true;
-            let run = run_program(
-                &spec.machine,
-                &program,
-                "main",
-                &[],
-                Some(ret_ty),
-                &config,
-            )
-            .unwrap_or_else(|e| panic!("{name} on {}/{strategy}: {e}", spec.machine.name()));
+            let config = SimConfig {
+                keep_memory: true,
+                ..SimConfig::default()
+            };
+            let run = run_program(&spec.machine, &program, "main", &[], Some(ret_ty), &config)
+                .unwrap_or_else(|e| panic!("{name} on {}/{strategy}: {e}", spec.machine.name()));
             let got = run.result.expect("result");
             let ok = match (expected, got) {
                 (Value::I(a), Value::I(b)) => a == b,

@@ -4,8 +4,8 @@
 
 use marion_core::{Compiler, StrategyKind};
 use marion_machines::load;
-use marion_sim::{run_program, CacheConfig, SimConfig, Value};
 use marion_maril::Ty;
+use marion_sim::{run_program, CacheConfig, SimConfig, Value};
 
 fn compile_and_run(
     machine: &str,
@@ -161,7 +161,11 @@ fn block_counts_reflect_the_trip_counts() {
     }";
     let spec = load("r2000");
     let module = marion_frontend::compile(src).unwrap();
-    let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), StrategyKind::Postpass);
+    let compiler = Compiler::new(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        StrategyKind::Postpass,
+    );
     let program = compiler.compile_module(&module).unwrap();
     let run = run_program(
         &spec.machine,

@@ -1,0 +1,318 @@
+//! Just enough JSON for the trace format: a writer for flat objects
+//! and a parser for single-line flat objects (string / number /
+//! boolean values only — the trace schema never nests).
+
+use crate::Value;
+
+/// Escape `s` for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental writer for one flat JSON object.
+pub struct ObjWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjWriter {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> ObjWriter {
+        ObjWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    pub fn str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+    }
+
+    pub fn int(&mut self, key: &str, value: i64) {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+    }
+
+    pub fn float(&mut self, key: &str, value: f64) {
+        self.key(key);
+        if value.is_finite() {
+            // `{:?}` prints enough digits to round-trip f64.
+            self.buf.push_str(&format!("{value:?}"));
+        } else {
+            // JSON has no NaN/Inf; encode as null and parse back as 0.
+            self.buf.push_str("null");
+        }
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Parse one flat JSON object into key/value pairs. Values must be
+/// scalars (string, number, `true`, `false`, `null`); nested objects
+/// or arrays are errors. Integers without fractional part parse as
+/// [`Value::Int`], everything else numeric as [`Value::Float`];
+/// booleans become 1/0, `null` becomes `Int(0)`.
+pub fn parse_flat(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.scalar()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {:?}", d as char))?;
+                        }
+                        // Surrogate pairs are not produced by our
+                        // writer; map lone surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-assemble a UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err("invalid utf-8 in string".to_string()),
+                    };
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or("truncated utf-8 sequence")?;
+                    let s = std::str::from_utf8(slice).map_err(|_| "invalid utf-8 in string")?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(Value::Int(1))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(Value::Int(0))
+            }
+            Some(b'n') => {
+                self.literal("null")?;
+                Ok(Value::Int(0))
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                if self.peek() == Some(b'-') {
+                    self.pos += 1;
+                }
+                let mut is_float = false;
+                while let Some(b) = self.peek() {
+                    match b {
+                        b'0'..=b'9' => self.pos += 1,
+                        b'.' | b'e' | b'E' | b'+' | b'-' => {
+                            is_float = true;
+                            self.pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| format!("bad number {text:?}"))
+                } else {
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| format!("bad integer {text:?}"))
+                }
+            }
+            Some(b'{' | b'[') => Err("nested values are not supported".to_string()),
+            other => Err(format!("expected scalar, got {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected {word:?}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_and_parser_round_trip() {
+        let mut w = ObjWriter::new();
+        w.str("t", "event");
+        w.str("msg", "a \"quoted\"\nline\twith\\slashes");
+        w.int("n", -42);
+        w.float("x", 0.125);
+        let line = w.finish();
+        let fields = parse_flat(&line).unwrap();
+        assert_eq!(fields[0], ("t".to_string(), Value::Str("event".into())));
+        assert_eq!(
+            fields[1].1,
+            Value::Str("a \"quoted\"\nline\twith\\slashes".into())
+        );
+        assert_eq!(fields[2].1, Value::Int(-42));
+        assert_eq!(fields[3].1, Value::Float(0.125));
+    }
+
+    #[test]
+    fn parses_unicode_and_escapes() {
+        let fields = parse_flat(r#"{"k":"café — ✓"}"#).unwrap();
+        assert_eq!(fields[0].1, Value::Str("café — ✓".into()));
+    }
+
+    #[test]
+    fn accepts_booleans_null_and_empty_object() {
+        let fields = parse_flat(r#"{"a":true,"b":false,"c":null}"#).unwrap();
+        assert_eq!(fields[0].1, Value::Int(1));
+        assert_eq!(fields[1].1, Value::Int(0));
+        assert_eq!(fields[2].1, Value::Int(0));
+        assert!(parse_flat("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":[1]}",
+            "{} junk",
+        ] {
+            assert!(parse_flat(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = ObjWriter::new();
+        w.float("x", f64::NAN);
+        let line = w.finish();
+        assert_eq!(line, "{\"x\":null}");
+        assert_eq!(parse_flat(&line).unwrap()[0].1, Value::Int(0));
+    }
+}

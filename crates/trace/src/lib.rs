@@ -1,0 +1,647 @@
+//! Lightweight observability for the Marion pipeline: wall-clock
+//! spans, named counters and structured events, with no external
+//! dependencies.
+//!
+//! The design optimises for the *disabled* case: a [`Tracer`] built
+//! with [`Tracer::off`] carries no state and every operation on it is
+//! a branch on `None`. Code under measurement takes `&Tracer` and
+//! never needs to know whether collection is live.
+//!
+//! A live tracer accumulates [`Record`]s; [`Tracer::finish`] folds the
+//! counter map into the record stream and yields a [`TraceData`],
+//! which can be rendered as a human-readable report
+//! ([`TraceData::render_text`]) or serialised as JSON Lines
+//! ([`TraceData::to_jsonl`]) for downstream aggregation by
+//! `marion-report`. [`TraceData::parse_jsonl`] round-trips the JSONL
+//! form.
+//!
+//! Spans nest: the guard returned by [`Tracer::span`] records its
+//! start eagerly (so records appear in begin order) and fills in the
+//! duration when dropped. Counters are keyed by `(ctx, name)` and
+//! accumulate; events carry arbitrary flat key/value payloads.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub mod json;
+pub mod sink;
+
+pub use sink::{JsonlSink, Sink, TextSink};
+
+/// What the tracer should collect beyond the always-on spans,
+/// counters and events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Emit a per-block reservation table (cycles x resource vector)
+    /// event for every scheduled block. Verbose; off by default.
+    pub reservation_tables: bool,
+}
+
+/// A scalar value carried by an [`Record::Event`] field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Value {
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// One collected fact. `ctx` scopes the record (typically
+/// `machine/function` or `machine/function/block`); `name` says what
+/// it is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A timed region. `depth` is the span-stack depth at begin time
+    /// (0 = top level); `start_us`/`dur_us` are microseconds relative
+    /// to the tracer's origin.
+    Span {
+        name: String,
+        ctx: String,
+        depth: u32,
+        start_us: u64,
+        dur_us: u64,
+    },
+    /// An accumulated named total.
+    Counter {
+        name: String,
+        ctx: String,
+        value: i64,
+    },
+    /// A one-off structured fact with flat key/value fields.
+    Event {
+        name: String,
+        ctx: String,
+        fields: Vec<(String, Value)>,
+    },
+}
+
+struct Inner {
+    origin: Instant,
+    records: Vec<Record>,
+    /// Indices into `records` of spans that have begun but not ended.
+    open: Vec<usize>,
+    counters: BTreeMap<(String, String), i64>,
+    config: TraceConfig,
+}
+
+/// The collector. Cheap to pass by reference everywhere; all methods
+/// are no-ops when built with [`Tracer::off`].
+pub struct Tracer {
+    inner: Option<RefCell<Inner>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: every operation is a no-op.
+    pub fn off() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A live tracer collecting according to `config`.
+    pub fn new(config: TraceConfig) -> Tracer {
+        Tracer {
+            inner: Some(RefCell::new(Inner {
+                origin: Instant::now(),
+                records: Vec::new(),
+                open: Vec::new(),
+                counters: BTreeMap::new(),
+                config,
+            })),
+        }
+    }
+
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether per-block reservation tables were requested (false when
+    /// the tracer is off).
+    pub fn wants_reservation_tables(&self) -> bool {
+        self.inner
+            .as_ref()
+            .map(|i| i.borrow().config.reservation_tables)
+            .unwrap_or(false)
+    }
+
+    /// Begin a timed span; the region ends when the returned guard is
+    /// dropped. Spans may nest freely.
+    pub fn span(&self, ctx: &str, name: &str) -> SpanGuard<'_> {
+        let index = self.inner.as_ref().map(|cell| {
+            let mut inner = cell.borrow_mut();
+            let start_us = inner.origin.elapsed().as_micros() as u64;
+            let depth = inner.open.len() as u32;
+            let index = inner.records.len();
+            inner.records.push(Record::Span {
+                name: name.to_string(),
+                ctx: ctx.to_string(),
+                depth,
+                start_us,
+                dur_us: 0,
+            });
+            inner.open.push(index);
+            index
+        });
+        SpanGuard {
+            tracer: self,
+            index,
+        }
+    }
+
+    /// Add `delta` to the counter `(ctx, name)`.
+    pub fn add(&self, ctx: &str, name: &str, delta: i64) {
+        if let Some(cell) = &self.inner {
+            *cell
+                .borrow_mut()
+                .counters
+                .entry((ctx.to_string(), name.to_string()))
+                .or_insert(0) += delta;
+        }
+    }
+
+    /// Record a structured event.
+    pub fn event(&self, ctx: &str, name: &str, fields: &[(&str, Value)]) {
+        if let Some(cell) = &self.inner {
+            cell.borrow_mut().records.push(Record::Event {
+                name: name.to_string(),
+                ctx: ctx.to_string(),
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// End collection: close any still-open spans, fold the counter
+    /// map into the record stream and return the data. `None` when
+    /// the tracer was off.
+    pub fn finish(self) -> Option<TraceData> {
+        let cell = self.inner?;
+        let mut inner = cell.into_inner();
+        // Close leaked spans at the current time so the data is
+        // well-formed even if a guard was forgotten.
+        let now = inner.origin.elapsed().as_micros() as u64;
+        while let Some(index) = inner.open.pop() {
+            if let Record::Span {
+                start_us, dur_us, ..
+            } = &mut inner.records[index]
+            {
+                *dur_us = now.saturating_sub(*start_us);
+            }
+        }
+        let counters = std::mem::take(&mut inner.counters);
+        for ((ctx, name), value) in counters {
+            inner.records.push(Record::Counter { name, ctx, value });
+        }
+        Some(TraceData {
+            records: inner.records,
+        })
+    }
+}
+
+/// Guard returned by [`Tracer::span`]; records the span's duration on
+/// drop.
+pub struct SpanGuard<'t> {
+    tracer: &'t Tracer,
+    index: Option<usize>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let (Some(cell), Some(index)) = (&self.tracer.inner, self.index) else {
+            return;
+        };
+        let mut inner = cell.borrow_mut();
+        let now = inner.origin.elapsed().as_micros() as u64;
+        if let Some(pos) = inner.open.iter().rposition(|&i| i == index) {
+            inner.open.remove(pos);
+        }
+        if let Record::Span {
+            start_us, dur_us, ..
+        } = &mut inner.records[index]
+        {
+            *dur_us = now.saturating_sub(*start_us);
+        }
+    }
+}
+
+/// A finished trace: the ordered record stream plus query and
+/// serialisation helpers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceData {
+    pub records: Vec<Record>,
+}
+
+impl TraceData {
+    /// Sum of counter `name` across all contexts.
+    pub fn counter_total(&self, name: &str) -> i64 {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Counter { name: n, value, .. } if n == name => Some(*value),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The counter `(ctx, name)`, if recorded.
+    pub fn counter(&self, ctx: &str, name: &str) -> Option<i64> {
+        self.records.iter().find_map(|r| match r {
+            Record::Counter {
+                name: n,
+                ctx: c,
+                value,
+            } if n == name && c == ctx => Some(*value),
+            _ => None,
+        })
+    }
+
+    /// All spans named `name`, in begin order.
+    pub fn spans_named(&self, name: &str) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, Record::Span { name: n, .. } if n == name))
+            .collect()
+    }
+
+    /// All events named `name`, in record order.
+    pub fn events_named(&self, name: &str) -> Vec<(&str, &[(String, Value)])> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Event {
+                    name: n,
+                    ctx,
+                    fields,
+                } if n == name => Some((ctx.as_str(), fields.as_slice())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Append another trace's records (used by `marion-report` when
+    /// aggregating several JSONL files).
+    pub fn merge(&mut self, other: TraceData) {
+        self.records.extend(other.records);
+    }
+
+    /// Human-readable report: span tree (indented by depth), counter
+    /// table, then events.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let spans: Vec<_> = self
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Span { .. }))
+            .collect();
+        if !spans.is_empty() {
+            out.push_str("spans (us):\n");
+            for r in spans {
+                if let Record::Span {
+                    name,
+                    ctx,
+                    depth,
+                    dur_us,
+                    ..
+                } = r
+                {
+                    let indent = "  ".repeat(*depth as usize + 1);
+                    out.push_str(&format!("{indent}{name:<24} {dur_us:>10}  [{ctx}]\n"));
+                }
+            }
+        }
+        let counters: Vec<_> = self
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Counter { .. }))
+            .collect();
+        if !counters.is_empty() {
+            out.push_str("counters:\n");
+            for r in counters {
+                if let Record::Counter { name, ctx, value } = r {
+                    out.push_str(&format!("  {name:<28} {value:>12}  [{ctx}]\n"));
+                }
+            }
+        }
+        let events: Vec<_> = self
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Event { .. }))
+            .collect();
+        if !events.is_empty() {
+            out.push_str("events:\n");
+            for r in events {
+                if let Record::Event { name, ctx, fields } = r {
+                    out.push_str(&format!("  {name} [{ctx}]\n"));
+                    for (k, v) in fields {
+                        match v {
+                            Value::Str(s) if s.contains('\n') => {
+                                out.push_str(&format!("    {k}:\n"));
+                                for line in s.lines() {
+                                    out.push_str(&format!("      {line}\n"));
+                                }
+                            }
+                            Value::Str(s) => out.push_str(&format!("    {k}: {s}\n")),
+                            Value::Int(i) => out.push_str(&format!("    {k}: {i}\n")),
+                            Value::Float(f) => out.push_str(&format!("    {k}: {f}\n")),
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialise as JSON Lines: one flat object per record, with a
+    /// `"t"` discriminator of `"span"`, `"counter"` or `"event"`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            let mut obj = json::ObjWriter::new();
+            match record {
+                Record::Span {
+                    name,
+                    ctx,
+                    depth,
+                    start_us,
+                    dur_us,
+                } => {
+                    obj.str("t", "span");
+                    obj.str("name", name);
+                    obj.str("ctx", ctx);
+                    obj.int("depth", *depth as i64);
+                    obj.int("start_us", *start_us as i64);
+                    obj.int("dur_us", *dur_us as i64);
+                }
+                Record::Counter { name, ctx, value } => {
+                    obj.str("t", "counter");
+                    obj.str("name", name);
+                    obj.str("ctx", ctx);
+                    obj.int("value", *value);
+                }
+                Record::Event { name, ctx, fields } => {
+                    obj.str("t", "event");
+                    obj.str("name", name);
+                    obj.str("ctx", ctx);
+                    for (k, v) in fields {
+                        match v {
+                            Value::Int(i) => obj.int(k, *i),
+                            Value::Float(f) => obj.float(k, *f),
+                            Value::Str(s) => obj.str(k, s),
+                        }
+                    }
+                }
+            }
+            out.push_str(&obj.finish());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the JSON Lines form produced by [`TraceData::to_jsonl`].
+    /// Blank lines are skipped; unknown `"t"` values and missing
+    /// required keys are errors.
+    pub fn parse_jsonl(text: &str) -> Result<TraceData, String> {
+        let mut records = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = json::parse_flat(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let get_str = |key: &str| -> Result<String, String> {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.as_str().map(str::to_string))
+                    .ok_or_else(|| format!("line {}: missing string {key:?}", lineno + 1))
+            };
+            let get_int = |key: &str| -> Result<i64, String> {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.as_int())
+                    .ok_or_else(|| format!("line {}: missing integer {key:?}", lineno + 1))
+            };
+            let tag = get_str("t")?;
+            match tag.as_str() {
+                "span" => records.push(Record::Span {
+                    name: get_str("name")?,
+                    ctx: get_str("ctx")?,
+                    depth: get_int("depth")? as u32,
+                    start_us: get_int("start_us")? as u64,
+                    dur_us: get_int("dur_us")? as u64,
+                }),
+                "counter" => records.push(Record::Counter {
+                    name: get_str("name")?,
+                    ctx: get_str("ctx")?,
+                    value: get_int("value")?,
+                }),
+                "event" => {
+                    let name = get_str("name")?;
+                    let ctx = get_str("ctx")?;
+                    let extra = fields
+                        .into_iter()
+                        .filter(|(k, _)| k != "t" && k != "name" && k != "ctx")
+                        .collect();
+                    records.push(Record::Event {
+                        name,
+                        ctx,
+                        fields: extra,
+                    });
+                }
+                other => {
+                    return Err(format!(
+                        "line {}: unknown record type {other:?}",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        Ok(TraceData { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_collects_nothing() {
+        let tracer = Tracer::off();
+        {
+            let _g = tracer.span("ctx", "phase");
+            tracer.add("ctx", "n", 3);
+            tracer.event("ctx", "e", &[("k", Value::Int(1))]);
+        }
+        assert!(!tracer.is_on());
+        assert!(tracer.finish().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_keep_begin_order() {
+        let tracer = Tracer::new(TraceConfig::default());
+        {
+            let _outer = tracer.span("f", "compile");
+            {
+                let _a = tracer.span("f", "select");
+            }
+            {
+                let _b = tracer.span("f", "schedule");
+                let _c = tracer.span("f/b0", "block");
+            }
+        }
+        let data = tracer.finish().unwrap();
+        let spans: Vec<(String, u32)> = data
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span { name, depth, .. } => Some((name.clone(), *depth)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![
+                ("compile".to_string(), 0),
+                ("select".to_string(), 1),
+                ("schedule".to_string(), 1),
+                ("block".to_string(), 2),
+            ]
+        );
+        // Parent spans cover their children.
+        let dur = |name: &str| match data.spans_named(name)[0] {
+            Record::Span {
+                start_us, dur_us, ..
+            } => (*start_us, *dur_us),
+            _ => unreachable!(),
+        };
+        let (outer_start, outer_dur) = dur("compile");
+        let (inner_start, inner_dur) = dur("block");
+        assert!(inner_start >= outer_start);
+        assert!(inner_start + inner_dur <= outer_start + outer_dur);
+    }
+
+    #[test]
+    fn leaked_spans_are_closed_at_finish() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let guard = tracer.span("f", "open");
+        std::mem::forget(guard);
+        let data = tracer.finish().unwrap();
+        match &data.records[0] {
+            Record::Span { name, .. } => assert_eq!(name, "open"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_per_context_and_total() {
+        let tracer = Tracer::new(TraceConfig::default());
+        tracer.add("m/f1", "spills", 2);
+        tracer.add("m/f1", "spills", 3);
+        tracer.add("m/f2", "spills", 7);
+        tracer.add("m/f1", "insts", 40);
+        let data = tracer.finish().unwrap();
+        assert_eq!(data.counter("m/f1", "spills"), Some(5));
+        assert_eq!(data.counter("m/f2", "spills"), Some(7));
+        assert_eq!(data.counter_total("spills"), 12);
+        assert_eq!(data.counter_total("insts"), 40);
+        assert_eq!(data.counter("m/f3", "spills"), None);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let tracer = Tracer::new(TraceConfig::default());
+        {
+            let _g = tracer.span("m/f", "compile");
+            tracer.event(
+                "m/f/b0",
+                "sched_block",
+                &[
+                    ("nodes", Value::Int(12)),
+                    ("util", Value::Float(0.75)),
+                    ("table", Value::Str("c0 | IF ID\nc1 | -- ID".to_string())),
+                ],
+            );
+        }
+        tracer.add("m/f", "insts_generated", 17);
+        let data = tracer.finish().unwrap();
+        let jsonl = data.to_jsonl();
+        let parsed = TraceData::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, data);
+    }
+
+    #[test]
+    fn render_text_mentions_everything() {
+        let tracer = Tracer::new(TraceConfig::default());
+        {
+            let _g = tracer.span("m/f", "compile");
+        }
+        tracer.add("m/f", "spills", 1);
+        tracer.event("m/f", "note", &[("detail", Value::Str("hi".into()))]);
+        let text = tracer.finish().unwrap().render_text();
+        assert!(text.contains("compile"));
+        assert!(text.contains("spills"));
+        assert!(text.contains("note"));
+        assert!(text.contains("detail: hi"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TraceData::parse_jsonl("not json").is_err());
+        assert!(TraceData::parse_jsonl("{\"t\":\"mystery\"}").is_err());
+        assert!(TraceData::parse_jsonl("{\"t\":\"span\",\"name\":\"x\"}").is_err());
+        // Blank lines are fine.
+        assert!(TraceData::parse_jsonl("\n\n").unwrap().records.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Pluggable output sinks for finished traces. A [`Sink`] consumes a
+//! [`TraceData`]; the two bundled sinks emit the human-readable text
+//! report and the machine-readable JSON Lines form.
+
+use crate::TraceData;
+use std::io::{self, Write};
+
+/// Consumes a finished trace, e.g. by writing it somewhere.
+pub trait Sink {
+    fn emit(&mut self, data: &TraceData) -> io::Result<()>;
+}
+
+/// Writes the human-readable report to the wrapped writer.
+pub struct TextSink<W: Write>(pub W);
+
+impl<W: Write> Sink for TextSink<W> {
+    fn emit(&mut self, data: &TraceData) -> io::Result<()> {
+        self.0.write_all(data.render_text().as_bytes())
+    }
+}
+
+/// Writes JSON Lines to the wrapped writer.
+pub struct JsonlSink<W: Write>(pub W);
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn emit(&mut self, data: &TraceData) -> io::Result<()> {
+        self.0.write_all(data.to_jsonl().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceConfig, Tracer};
+
+    #[test]
+    fn sinks_write_both_forms() {
+        let tracer = Tracer::new(TraceConfig::default());
+        tracer.add("f", "n", 1);
+        let data = tracer.finish().unwrap();
+
+        let mut text = Vec::new();
+        TextSink(&mut text).emit(&data).unwrap();
+        assert!(String::from_utf8(text).unwrap().contains("counters:"));
+
+        let mut jsonl = Vec::new();
+        JsonlSink(&mut jsonl).emit(&data).unwrap();
+        let parsed = TraceData::parse_jsonl(&String::from_utf8(jsonl).unwrap()).unwrap();
+        assert_eq!(parsed, data);
+    }
+}

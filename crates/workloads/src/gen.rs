@@ -7,9 +7,12 @@
 //! zero so both the reference interpreter and generated code are
 //! defined. Floating expressions avoid division entirely (values stay
 //! in ranges where double rounding is exact enough to compare).
+//!
+//! Randomness comes from the in-repo [`crate::rng::SplitMix64`]
+//! generator, so generation is deterministic across platforms and the
+//! crate builds with no external dependencies.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Parameters for the generator.
 #[derive(Debug, Clone)]
@@ -40,16 +43,16 @@ impl Default for GenConfig {
 
 /// Generates a random self-checking program from a seed.
 pub fn random_program(seed: u64, config: &GenConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut src = String::new();
     src.push_str("int main() {\n");
     for i in 0..config.int_vars {
-        let init = rng.gen_range(-50..50);
+        let init = rng.range(-50, 50);
         src.push_str(&format!("    int i{i} = {init};\n"));
     }
     for d in 0..config.dbl_vars {
-        let whole = rng.gen_range(-8..8);
-        let frac = rng.gen_range(0..16) as f64 / 16.0;
+        let whole = rng.range(-8, 8);
+        let frac = rng.range(0, 16) as f64 / 16.0;
         src.push_str(&format!("    double d{d} = {:.6};\n", whole as f64 + frac));
     }
     src.push_str(&format!(
@@ -66,44 +69,46 @@ pub fn random_program(seed: u64, config: &GenConfig) -> String {
     let mut terms: Vec<String> = (0..config.int_vars).map(|i| format!("i{i}")).collect();
     for d in 0..config.dbl_vars {
         // Clamp doubles into int range before folding them in.
-        terms.push(format!("(int)(d{d} - (double)(int)(d{d} * 0.001) * 1000.0)"));
+        terms.push(format!(
+            "(int)(d{d} - (double)(int)(d{d} * 0.001) * 1000.0)"
+        ));
     }
     src.push_str(&terms.join(" + "));
     src.push_str(";\n}\n");
     src
 }
 
-fn random_stmt(rng: &mut StdRng, config: &GenConfig) -> String {
-    if rng.gen_bool(0.3) && config.dbl_vars > 0 {
-        let d = rng.gen_range(0..config.dbl_vars);
+fn random_stmt(rng: &mut SplitMix64, config: &GenConfig) -> String {
+    if rng.chance(0.3) && config.dbl_vars > 0 {
+        let d = rng.below(config.dbl_vars as u64);
         let e = random_dbl_expr(rng, config, config.max_depth);
         // Keep magnitudes bounded so checksums stay exactly
         // representable.
         format!("d{d} = ({e}) * 0.5 + 0.125;")
-    } else if rng.gen_bool(0.25) {
-        let i = rng.gen_range(0..config.int_vars);
+    } else if rng.chance(0.25) {
+        let i = rng.below(config.int_vars as u64);
         let c = random_int_expr(rng, config, 2);
         let t = random_int_expr(rng, config, 2);
         let f = random_int_expr(rng, config, 2);
         format!("if (({c}) % 7 < 3) i{i} = {t}; else i{i} = {f};")
     } else {
-        let i = rng.gen_range(0..config.int_vars);
+        let i = rng.below(config.int_vars as u64);
         let e = random_int_expr(rng, config, config.max_depth);
         format!("i{i} = ({e}) % 100003;")
     }
 }
 
-fn random_int_expr(rng: &mut StdRng, config: &GenConfig, depth: u32) -> String {
-    if depth == 0 || rng.gen_bool(0.3) {
-        return if rng.gen_bool(0.5) {
-            format!("i{}", rng.gen_range(0..config.int_vars))
+fn random_int_expr(rng: &mut SplitMix64, config: &GenConfig, depth: u32) -> String {
+    if depth == 0 || rng.chance(0.3) {
+        return if rng.chance(0.5) {
+            format!("i{}", rng.below(config.int_vars as u64))
         } else {
-            format!("{}", rng.gen_range(-100..100))
+            format!("{}", rng.range(-100, 100))
         };
     }
     let a = random_int_expr(rng, config, depth - 1);
     let b = random_int_expr(rng, config, depth - 1);
-    match rng.gen_range(0..8) {
+    match rng.below(8) {
         0 => format!("({a} + {b})"),
         1 => format!("({a} - {b})"),
         2 => format!("({a} * {b})"),
@@ -116,19 +121,19 @@ fn random_int_expr(rng: &mut StdRng, config: &GenConfig, depth: u32) -> String {
     }
 }
 
-fn random_dbl_expr(rng: &mut StdRng, config: &GenConfig, depth: u32) -> String {
-    if depth == 0 || rng.gen_bool(0.35) {
-        return if rng.gen_bool(0.6) && config.dbl_vars > 0 {
-            format!("d{}", rng.gen_range(0..config.dbl_vars))
+fn random_dbl_expr(rng: &mut SplitMix64, config: &GenConfig, depth: u32) -> String {
+    if depth == 0 || rng.chance(0.35) {
+        return if rng.chance(0.6) && config.dbl_vars > 0 {
+            format!("d{}", rng.below(config.dbl_vars as u64))
         } else {
-            let w = rng.gen_range(-4..4);
-            let f = rng.gen_range(0..8) as f64 / 8.0;
+            let w = rng.range(-4, 4);
+            let f = rng.range(0, 8) as f64 / 8.0;
             format!("{:.6}", w as f64 + f)
         };
     }
     let a = random_dbl_expr(rng, config, depth - 1);
     let b = random_dbl_expr(rng, config, depth - 1);
-    match rng.gen_range(0..3) {
+    match rng.below(3) {
         0 => format!("({a} + {b})"),
         1 => format!("({a} - {b})"),
         _ => format!("({a} * 0.25 + {b} * 0.125)"),

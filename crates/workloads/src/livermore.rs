@@ -402,7 +402,9 @@ mod tests {
                 .call_by_name("main", &[])
                 .unwrap_or_else(|e| panic!("{}: {e}", k.name))
                 .unwrap();
-            let Value::I(c) = v else { panic!("{}: non-int", k.name) };
+            let Value::I(c) = v else {
+                panic!("{}: non-int", k.name)
+            };
             assert!(c != 0, "{} checksum is zero (degenerate kernel?)", k.name);
         }
     }

@@ -33,8 +33,7 @@ fn main() {
     );
     for name in marion::machines::ALL {
         let spec = marion::machines::load(name);
-        let compiler =
-            Compiler::new(spec.machine.clone(), spec.escapes, StrategyKind::Rase);
+        let compiler = Compiler::new(spec.machine.clone(), spec.escapes, StrategyKind::Rase);
         let program = compiler.compile_module(&module).expect("codegen");
         let run = run_program(
             &spec.machine,

@@ -200,7 +200,10 @@ fn main() {
     .expect("simulation");
     println!("result  = {:?}   (fib(15) = 610 + poly sum)", run.result);
     println!("cycles  = {}", run.cycles);
-    println!("insts   = {} generated, {} executed", program.stats.insts_generated, run.insts_executed);
+    println!(
+        "insts   = {} generated, {} executed",
+        program.stats.insts_generated, run.insts_executed
+    );
 
     // Dual issue at work: count cycles in which both pipes fired.
     let text = program.render(&machine);

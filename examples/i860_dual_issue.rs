@@ -35,7 +35,7 @@ fn main() {
     let program = compiler.compile_module(&module).expect("codegen");
 
     println!("f():  a = (x + b) + (a * z);  return (y + z);   [i860, Postpass]\n");
-    println!("{:>5}  {:<44} {}", "cycle", "word", "notes");
+    println!("{:>5}  {:<44} notes", "cycle", "word");
     let func = program.asm.func("f").expect("f");
     let mut cycle = 0;
     for block in &func.blocks {
@@ -55,7 +55,7 @@ fn main() {
                         "advances add pipe"
                     });
                 }
-                if t.effects.temporal_uses.len() > 0 && t.effects.temporal_defs.len() > 0 {
+                if !t.effects.temporal_uses.is_empty() && !t.effects.temporal_defs.is_empty() {
                     let reads_m = t
                         .effects
                         .temporal_uses

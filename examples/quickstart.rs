@@ -44,8 +44,7 @@ fn main() {
     let program = compiler.compile_module(&module).expect("codegen");
     println!(
         "back end ({} / {}): {} instructions, {} spills",
-        program.machine_name, program.strategy, program.stats.insts_generated,
-        program.stats.spills
+        program.machine_name, program.strategy, program.stats.insts_generated, program.stats.spills
     );
 
     // 3. Inspect the generated assembly.

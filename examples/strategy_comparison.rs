@@ -25,10 +25,7 @@ fn main() {
     let spec = marion::machines::load(&machine);
     let module = kernel.module();
 
-    println!(
-        "{} ({}) on {machine}\n",
-        kernel.name, kernel.description
-    );
+    println!("{} ({}) on {machine}\n", kernel.name, kernel.description);
     println!(
         "{:>10} {:>8} {:>8} {:>12} {:>12} {:>7}",
         "strategy", "insts", "spills", "est cycles", "actual", "a/e"

@@ -16,7 +16,9 @@
 //! * [`sim`] — a pipeline-accurate simulator used to measure actual
 //!   execution cycles of generated code;
 //! * [`workloads`] — the Livermore loops and compile-suite programs
-//!   used by the paper's evaluation.
+//!   used by the paper's evaluation;
+//! * [`trace`] — zero-dependency span/counter/event collection wired
+//!   through the whole pipeline (see `CompileOptions::trace`).
 //!
 //! ```
 //! use marion::backend::{Compiler, StrategyKind};
@@ -44,4 +46,5 @@ pub use marion_ir as ir;
 pub use marion_machines as machines;
 pub use marion_maril as maril;
 pub use marion_sim as sim;
+pub use marion_trace as trace;
 pub use marion_workloads as workloads;

@@ -27,9 +27,8 @@ fn aux_latency_changes_schedules() {
         let si = block.insts.iter().position(|i| i.template == st);
         if let (Some(fi), Some(si)) = (fi, si) {
             let dag = build_dag(&spec.machine, block, true);
-            let sch =
-                sched::schedule_block(&spec.machine, &code, block, &dag, &Default::default())
-                    .unwrap();
+            let sch = sched::schedule_block(&spec.machine, &code, block, &dag, &Default::default())
+                .unwrap();
             assert!(
                 sch.inst_cycle[si] >= sch.inst_cycle[fi] + 7,
                 "aux latency (7) not honoured: fadd at {}, st at {}",
@@ -68,18 +67,18 @@ fn delay_slots_filled_with_nops() {
         return s;
     }";
     let module = marion::frontend::compile(src).unwrap();
-    let compiler = Compiler::new(spec.machine.clone(), spec.escapes.clone(), StrategyKind::Postpass);
+    let compiler = Compiler::new(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        StrategyKind::Postpass,
+    );
     let program = compiler.compile_module(&module).unwrap();
     let func = program.asm.func("f").unwrap();
     let nop = spec.machine.nop_template().unwrap();
     // Every control word must be followed (in its block or the layout)
     // by something — and at least one nop should exist somewhere,
     // since tight loop branches rarely find fillers for every slot.
-    let words: Vec<_> = func
-        .blocks
-        .iter()
-        .flat_map(|b| b.words.iter())
-        .collect();
+    let words: Vec<_> = func.blocks.iter().flat_map(|b| b.words.iter()).collect();
     let mut after_branch_ok = true;
     for (i, w) in words.iter().enumerate() {
         let slots: u32 = w
@@ -119,8 +118,11 @@ fn toyp_movd_escape_expands_to_half_moves() {
     let spec = marion::machines::load("toyp");
     let src = "double g(double x) { double y; y = x; return y; }";
     let module = marion::frontend::compile(src).unwrap();
-    let compiler =
-        Compiler::new(spec.machine.clone(), spec.escapes.clone(), StrategyKind::Postpass);
+    let compiler = Compiler::new(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        StrategyKind::Postpass,
+    );
     let program = compiler.compile_module(&module).unwrap();
     let smovs = spec.machine.template_by_label("s.movs").unwrap();
     let count = program
@@ -161,8 +163,11 @@ fn all_comparisons_work_everywhere() {
     let module = marion::frontend::compile(src).unwrap();
     for name in marion::machines::ALL {
         let spec = marion::machines::load(name);
-        let compiler =
-            Compiler::new(spec.machine.clone(), spec.escapes.clone(), StrategyKind::Postpass);
+        let compiler = Compiler::new(
+            spec.machine.clone(),
+            spec.escapes.clone(),
+            StrategyKind::Postpass,
+        );
         let program = compiler.compile_module(&module).unwrap();
         let run = marion::sim::run_program(
             &spec.machine,
@@ -240,8 +245,8 @@ fn i860_shared_writeback_bus_serialises() {
             continue;
         }
         let dag = build_dag(&spec.machine, block, true);
-        let s = sched::schedule_block(&spec.machine, &code, block, &dag, &Default::default())
-            .unwrap();
+        let s =
+            sched::schedule_block(&spec.machine, &code, block, &dag, &Default::default()).unwrap();
         for (i, &a) in wbs.iter().enumerate() {
             for &b in &wbs[i + 1..] {
                 assert_ne!(

@@ -1,0 +1,192 @@
+//! The trace must agree with the compiler's own statistics: for every
+//! function, the JSONL-visible counters equal the `CompileStats`
+//! per-function breakdown, on a tiny machine (TOYP, where spills are
+//! easy to provoke) and a real one (R2000). Also covers the
+//! reservation-table events on the dual-issue i860 and the JSONL
+//! round trip of a whole compile trace.
+
+use marion::backend::{CompileOptions, Compiler, StrategyKind};
+use marion::trace::{TraceConfig, TraceData};
+
+/// Enough simultaneously-live values to exceed TOYP's five allocable
+/// integer registers, plus a call and branches for delay slots.
+const PRESSURE: &str = "
+int leaf(int x) { return x + 1; }
+int main() {
+    int a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8;
+    int i;
+    for (i = 0; i < 4; i++) {
+        a += b * c; b += c * d; c += d * e; d += e * f;
+        e += f * g; f += g * h; g += h * a; h += a * b;
+    }
+    return leaf(a + b + c + d + e + f + g + h);
+}
+";
+
+fn compile_traced(
+    machine: &str,
+    strategy: StrategyKind,
+    reservation_tables: bool,
+) -> marion::backend::CompiledProgram {
+    let module = marion::frontend::compile(PRESSURE).unwrap();
+    let spec = marion::machines::load(machine);
+    let compiler = Compiler::with_options(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        strategy,
+        CompileOptions {
+            trace: Some(TraceConfig { reservation_tables }),
+            ..CompileOptions::default()
+        },
+    );
+    compiler.compile_module(&module).unwrap()
+}
+
+fn assert_trace_matches_stats(machine: &str, strategy: StrategyKind) {
+    let program = compile_traced(machine, strategy, false);
+    let trace = program.trace.as_ref().expect("tracing was on");
+    assert_eq!(program.stats.per_func.len(), 2, "leaf and main");
+    for fs in &program.stats.per_func {
+        let ctx = format!("{machine}/{}", fs.name);
+        for (counter, expected) in [
+            ("insts_generated", fs.insts_generated as i64),
+            ("spills", fs.spills as i64),
+            ("delay_slots_filled", fs.delay_slots_filled as i64),
+            ("schedule_passes", fs.schedule_passes as i64),
+            ("estimated_cycles", fs.estimated_cycles as i64),
+            ("nops_emitted", fs.nops_emitted as i64),
+        ] {
+            // A counter that was never bumped (e.g. spills == 0) may
+            // be absent from the trace; that still means zero.
+            let got = trace.counter(&ctx, counter).unwrap_or(0);
+            assert_eq!(
+                got, expected,
+                "{ctx}: trace {counter} = {got}, stats say {expected}"
+            );
+        }
+    }
+    // The aggregate equals the sum of the per-function breakdown.
+    let per_func_insts: usize = program
+        .stats
+        .per_func
+        .iter()
+        .map(|f| f.insts_generated)
+        .sum();
+    assert_eq!(program.stats.insts_generated, per_func_insts);
+    let per_func_spills: usize = program.stats.per_func.iter().map(|f| f.spills).sum();
+    assert_eq!(program.stats.spills, per_func_spills);
+    // Phase spans exist for every function.
+    assert_eq!(trace.spans_named("compile_func").len(), 2);
+    for phase in ["glue", "select", "strategy", "emit"] {
+        assert_eq!(trace.spans_named(phase).len(), 2, "{phase} spans");
+    }
+}
+
+#[test]
+fn trace_counters_match_stats_on_toyp() {
+    // TOYP has 5 allocable integer registers: PRESSURE must spill, so
+    // the spills counter is exercised with a non-zero value.
+    let program = compile_traced("toyp", StrategyKind::Postpass, false);
+    assert!(
+        program.stats.spills > 0,
+        "PRESSURE should spill on TOYP (got {} spills)",
+        program.stats.spills
+    );
+    assert_trace_matches_stats("toyp", StrategyKind::Postpass);
+}
+
+#[test]
+fn trace_counters_match_stats_on_r2000() {
+    assert_trace_matches_stats("r2000", StrategyKind::Ips);
+    assert_trace_matches_stats("r2000", StrategyKind::Rase);
+}
+
+#[test]
+fn delay_slot_filling_respects_compile_options() {
+    let module = marion::frontend::compile(PRESSURE).unwrap();
+    let spec = marion::machines::load("r2000");
+    let unfilled = Compiler::with_options(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        StrategyKind::Postpass,
+        CompileOptions {
+            fill_delay_slots: false,
+            trace: None,
+        },
+    )
+    .compile_module(&module)
+    .unwrap();
+    assert_eq!(unfilled.stats.delay_slots_filled, 0);
+    assert!(unfilled.trace.is_none());
+    let filled = Compiler::with_options(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        StrategyKind::Postpass,
+        CompileOptions {
+            fill_delay_slots: true,
+            trace: None,
+        },
+    )
+    .compile_module(&module)
+    .unwrap();
+    assert!(
+        filled.stats.delay_slots_filled > 0,
+        "R2000 branches have delay slots to fill"
+    );
+    assert!(
+        filled.stats.nops_emitted < unfilled.stats.nops_emitted,
+        "filling must remove nops ({} vs {})",
+        filled.stats.nops_emitted,
+        unfilled.stats.nops_emitted
+    );
+}
+
+#[test]
+fn reservation_tables_recorded_for_dual_issue_i860() {
+    let program = compile_traced("i860", StrategyKind::Postpass, true);
+    let trace = program.trace.as_ref().unwrap();
+    let tables = trace.events_named("reservation_table");
+    assert!(!tables.is_empty(), "no reservation tables recorded");
+    for (ctx, fields) in &tables {
+        assert!(ctx.starts_with("i860/"), "table ctx {ctx}");
+        let table = fields
+            .iter()
+            .find(|(k, _)| k == "table")
+            .and_then(|(_, v)| v.as_str())
+            .expect("table field");
+        // Header plus at least one cycle row, mentioning a resource.
+        assert!(table.lines().count() >= 2, "thin table:\n{table}");
+        assert!(table.contains("cycle |"), "missing header:\n{table}");
+    }
+    // The per-block scheduler events carry the DAG shape.
+    let blocks = trace.events_named("sched_block");
+    assert!(!blocks.is_empty());
+    for (_, fields) in &blocks {
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_int())
+                .unwrap_or_else(|| panic!("missing {key}"))
+        };
+        assert!(get("dag_nodes") > 0);
+        assert!(get("issue_slots_used") == get("insts"));
+        assert!(get("issue_cycles") <= get("length"));
+        assert!(get("ready_high_water") >= 1);
+    }
+}
+
+#[test]
+fn compile_trace_round_trips_through_jsonl() {
+    let program = compile_traced("r2000", StrategyKind::Ips, true);
+    let trace = program.trace.unwrap();
+    let jsonl = trace.to_jsonl();
+    let parsed = TraceData::parse_jsonl(&jsonl).unwrap();
+    assert_eq!(parsed, trace);
+    // Spot-check against the stats through the serialised form too.
+    assert_eq!(
+        parsed.counter_total("insts_generated"),
+        program.stats.insts_generated as i64
+    );
+    assert_eq!(parsed.counter_total("spills"), program.stats.spills as i64);
+}
