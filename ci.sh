@@ -18,4 +18,7 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test --workspace -q --offline
 
+echo "==> marion-explain --demo smoke (narrative + audit + DOT well-formedness)"
+cargo run --release --offline -q -p marion-bench --bin marion-explain -- --demo --check > /dev/null
+
 echo "CI OK"

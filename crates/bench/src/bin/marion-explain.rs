@@ -1,0 +1,219 @@
+//! marion-explain — why did the scheduler do that?
+//!
+//! Compiles a source file for one bundled machine, then prints a
+//! per-block cycle-by-cycle narrative of the schedule: what issued
+//! each cycle, what was ready but stalled (and on which dependence
+//! edge, resource, packing class, temporal clock or pressure limit it
+//! waited), each instruction's ready/earliest/issue cycles, the
+//! per-reason stall histogram and the DAG critical path. Every block
+//! is re-audited with `audit_schedule`, an independent legality
+//! checker that also validates the recorded provenance — the tool
+//! refuses to explain a schedule it cannot prove.
+//!
+//! Usage:
+//!
+//! ```text
+//! marion-explain MACHINE FILE.c [--strategy postpass|ips|rase] [--dot] [--check]
+//! marion-explain --demo [--dot] [--check]
+//! ```
+//!
+//! * `--dot` — after each function, also emit the annotated Graphviz
+//!   code DAG (issue cycles, edge kinds, critical path in red, stall
+//!   reasons as tooltips) for its largest block;
+//! * `--check` — exit non-zero unless every block passes both
+//!   `verify_schedule` and `audit_schedule` and every emitted DOT is
+//!   well-formed (used by CI);
+//! * `--demo` — a built-in dot-product kernel on TOYP (latency
+//!   stalls) and the dual-issue i860 (packing and temporal stalls).
+
+use marion_core::explain;
+use marion_core::sched;
+use marion_core::{CodeBlock, CodeFunc};
+use marion_maril::Machine;
+
+const DEMO_SRC: &str = "int a[64]; int b[64];
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 64; i++) s = s + a[i] * b[i];
+    return s;
+}";
+
+fn usage() -> ! {
+    eprintln!("usage: marion-explain MACHINE FILE.c [--strategy NAME] [--dot] [--check]");
+    eprintln!("       marion-explain --demo [--dot] [--check]");
+    eprintln!("machines: {:?}", marion_machines::EXTENDED);
+    std::process::exit(2);
+}
+
+struct Options {
+    dot: bool,
+    check: bool,
+    limit: Option<usize>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let opts = Options {
+        dot: args.iter().any(|a| a == "--dot"),
+        check: args.iter().any(|a| a == "--check"),
+        limit: args
+            .iter()
+            .position(|a| a == "--blocks")
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok()),
+    };
+    let mut failures = 0usize;
+    if args[0] == "--demo" {
+        for machine in ["toyp", "i860"] {
+            println!("==== {machine} (demo dot-product) ====");
+            failures += explain_source(machine, DEMO_SRC, &opts);
+        }
+    } else {
+        let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+        let (machine, path) = match positional.as_slice() {
+            [m, p, ..] => (m.as_str(), p.as_str()),
+            _ => usage(),
+        };
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("marion-explain: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        failures += explain_source(machine, &src, &opts);
+    }
+    if opts.check {
+        if failures > 0 {
+            eprintln!("marion-explain: {failures} check failure(s)");
+            std::process::exit(1);
+        }
+        println!("all checks passed");
+    }
+}
+
+/// Compiles `src` for `machine`, explains every scheduled block and
+/// returns the number of check failures.
+fn explain_source(machine_name: &str, src: &str, opts: &Options) -> usize {
+    let spec = marion_machines::load(machine_name);
+    let machine = &spec.machine;
+    let mut module = marion_frontend::compile(src).unwrap_or_else(|e| {
+        eprintln!("marion-explain: {e}");
+        std::process::exit(1);
+    });
+    marion_core::driver::materialize_float_constants(&mut module);
+    let mut failures = 0usize;
+    for f in &module.funcs {
+        let mut f = f.clone();
+        if let Err(e) = marion_core::glue::apply_glue(machine, &mut f) {
+            eprintln!("marion-explain: glue {}: {e}", f.name);
+            failures += 1;
+            continue;
+        }
+        let mut code = match marion_core::select::select_func(machine, &spec.escapes, &module, &f) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("marion-explain: select {}: {e}", f.name);
+                failures += 1;
+                continue;
+            }
+        };
+        // Postpass-style: allocate, then schedule the allocated code —
+        // what the explanation describes is then the final schedule.
+        if let Err(e) = marion_core::regalloc::allocate(machine, &mut code, &Default::default()) {
+            eprintln!(
+                "marion-explain: allocation failed for {}: {e} (skipped)",
+                f.name
+            );
+            continue;
+        }
+        println!("function {} ({} blocks)", f.name, code.blocks.len());
+        failures += explain_func(machine, &code, opts);
+    }
+    failures
+}
+
+fn explain_func(machine: &Machine, code: &CodeFunc, opts: &Options) -> usize {
+    let mut failures = 0usize;
+    let mut totals: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    let mut biggest: Option<(usize, sched::Schedule)> = None;
+    let mut explained = 0usize;
+    for (bi, block) in code.blocks.iter().enumerate() {
+        if block.insts.is_empty() {
+            continue;
+        }
+        let (schedule, discipline) =
+            sched::schedule_block_robust(machine, code, block, &Default::default());
+        failures += audit_block(machine, block, &schedule, bi);
+        for (key, cycles) in schedule.explanation.stall_histogram() {
+            *totals.entry(key).or_insert(0) += cycles;
+        }
+        let show = opts.limit.is_none_or(|lim| explained < lim);
+        if show {
+            println!("block b{bi} (discipline {discipline}):");
+            print!("{}", explain::explain_block_text(machine, block, &schedule));
+            explained += 1;
+        }
+        if biggest
+            .as_ref()
+            .is_none_or(|(prev, _)| code.blocks[*prev].insts.len() < block.insts.len())
+        {
+            biggest = Some((bi, schedule));
+        }
+    }
+    if !totals.is_empty() {
+        let mut ranked: Vec<(&str, u64)> = totals.into_iter().collect();
+        ranked.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+        let rendered: Vec<String> = ranked.iter().map(|(k, c)| format!("{k} {c}")).collect();
+        println!("top stall reasons (cycles): {}", rendered.join(", "));
+    }
+    if let Some((bi, schedule)) = biggest {
+        if opts.dot || opts.check {
+            let block = &code.blocks[bi];
+            let (dag, _) =
+                explain::dag_for_discipline(machine, block, schedule.explanation.discipline);
+            let dot = explain::dag_to_dot(
+                machine,
+                block,
+                &dag,
+                &schedule,
+                &format!("{}/b{bi}", machine.name()),
+            );
+            if let Err(e) = explain::check_dot(&dot, &dag) {
+                eprintln!("marion-explain: malformed DOT for b{bi}: {e}");
+                failures += 1;
+            }
+            if opts.dot {
+                print!("{dot}");
+            }
+        }
+    }
+    println!();
+    failures
+}
+
+/// Runs both checkers over one block's schedule against the DAG its
+/// discipline used, and reports any disagreement.
+fn audit_block(
+    machine: &Machine,
+    block: &CodeBlock,
+    schedule: &sched::Schedule,
+    bi: usize,
+) -> usize {
+    let discipline = schedule.explanation.discipline;
+    let (dag, check_rule1) = explain::dag_for_discipline(machine, block, discipline);
+    let verify = sched::verify_schedule_with(machine, block, &dag, schedule, check_rule1);
+    let audit = explain::audit_schedule(machine, block, &dag, schedule, check_rule1);
+    match (verify, audit) {
+        (Ok(()), Ok(())) => 0,
+        (v, a) => {
+            if let Err(e) = v {
+                eprintln!("marion-explain: b{bi}: verify_schedule: {e}");
+            }
+            if let Err(e) = a {
+                eprintln!("marion-explain: b{bi}: {e}");
+            }
+            1
+        }
+    }
+}

@@ -49,21 +49,34 @@ fn main() {
         }
         data
     } else {
-        let mut data = TraceData::default();
-        for path in &args {
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("marion-report: cannot read {path}: {e}");
-                std::process::exit(1);
-            });
-            let part = TraceData::parse_jsonl(&text).unwrap_or_else(|e| {
-                eprintln!("marion-report: {path}: {e}");
-                std::process::exit(1);
-            });
-            data.merge(part);
-        }
-        data
+        let parts: Vec<TraceData> = args
+            .iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("marion-report: cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                TraceData::parse_jsonl(&text).unwrap_or_else(|e| {
+                    eprintln!("marion-report: {path}: {e}");
+                    std::process::exit(1);
+                })
+            })
+            .collect();
+        merge_traces(parts)
     };
     print!("{}", report(&data));
+}
+
+/// Merges any number of parsed trace files into one [`TraceData`].
+/// Counters with the same `(ctx, name)` sum across files (per-file
+/// runs over the same function accumulate, rather than the first
+/// file's value shadowing the rest).
+fn merge_traces(parts: Vec<TraceData>) -> TraceData {
+    let mut data = TraceData::default();
+    for part in parts {
+        data.merge(part);
+    }
+    data
 }
 
 /// Compiles a kernel on a scalar and a dual-issue machine with full
@@ -78,6 +91,7 @@ fn demo() -> TraceData {
     let options = CompileOptions {
         trace: Some(TraceConfig {
             reservation_tables: true,
+            explanations: false,
         }),
         ..CompileOptions::default()
     };
@@ -202,6 +216,47 @@ fn report(data: &TraceData) -> String {
         out.push('\n');
     }
 
+    // ---- stall attribution (scheduler provenance histograms) ----
+    let stall_cols = [
+        ("stall_dependence", "depend"),
+        ("stall_resource", "resrc"),
+        ("stall_class", "class"),
+        ("stall_temporal", "tempo"),
+        ("stall_pressure", "press"),
+        ("stall_order", "order"),
+    ];
+    let any_stalls = funcs.iter().any(|(_, counters)| {
+        stall_cols
+            .iter()
+            .any(|(key, _)| counters.get(key).copied().unwrap_or(0) > 0)
+    });
+    if any_stalls {
+        let mut widths = vec![28usize];
+        widths.extend(stall_cols.iter().map(|(_, h)| h.len().max(7)));
+        out.push_str("stall attribution (cycles waited, by reason)\n");
+        let mut header: Vec<String> = vec!["machine/function".into()];
+        header.extend(stall_cols.iter().map(|(_, h)| h.to_string()));
+        out.push_str(&row(&header, &widths));
+        out.push('\n');
+        for (ctx, counters) in &funcs {
+            if !stall_cols
+                .iter()
+                .any(|(key, _)| counters.get(key).copied().unwrap_or(0) > 0)
+            {
+                continue;
+            }
+            let mut cells: Vec<String> = vec![(*ctx).into()];
+            cells.extend(
+                stall_cols
+                    .iter()
+                    .map(|(key, _)| counters.get(key).copied().unwrap_or(0).to_string()),
+            );
+            out.push_str(&row(&cells, &widths));
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+
     // ---- reservation tables ----
     let tables = data.events_named("reservation_table");
     if !tables.is_empty() {
@@ -227,4 +282,51 @@ fn report(data: &TraceData) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_trace::Tracer;
+
+    fn trace_with(ctx: &str, insts: i64, stalls: i64) -> TraceData {
+        let t = Tracer::new(TraceConfig::default());
+        t.add(ctx, "insts_generated", insts);
+        t.add(ctx, "stall_resource", stalls);
+        t.finish().unwrap()
+    }
+
+    #[test]
+    fn multiple_jsonl_files_merge_counters() {
+        // Two trace files for the same machine/function, round-tripped
+        // through JSONL exactly as main() does.
+        let a = TraceData::parse_jsonl(&trace_with("m/f", 10, 2).to_jsonl()).unwrap();
+        let b = TraceData::parse_jsonl(&trace_with("m/f", 5, 3).to_jsonl()).unwrap();
+        let merged = merge_traces(vec![a, b]);
+        // Before the merge fix, the first file's counter shadowed the
+        // second (counter() returns the first match).
+        assert_eq!(merged.counter("m/f", "insts_generated"), Some(15));
+        assert_eq!(merged.counter("m/f", "stall_resource"), Some(5));
+        let rendered = report(&merged);
+        assert!(
+            rendered.contains("15"),
+            "summed count rendered:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("stall attribution"),
+            "stall section rendered:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn distinct_functions_stay_separate_rows() {
+        let a = trace_with("m/f1", 7, 0);
+        let b = trace_with("m/f2", 9, 0);
+        let merged = merge_traces(vec![a, b]);
+        assert_eq!(merged.counter("m/f1", "insts_generated"), Some(7));
+        assert_eq!(merged.counter("m/f2", "insts_generated"), Some(9));
+        let rendered = report(&merged);
+        assert!(rendered.contains("m/f1"));
+        assert!(rendered.contains("m/f2"));
+    }
 }

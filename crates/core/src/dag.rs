@@ -100,16 +100,65 @@ impl CodeDag {
     /// Maximum distance (sum of labels) from each node to any leaf —
     /// the classic list-scheduling priority (paper §4.2).
     pub fn critical_path(&self) -> Vec<u32> {
+        let order = self.topo_order();
         let mut dist = vec![0u32; self.n];
-        // Nodes are in code-thread order and edges always point
-        // forward, so a reverse sweep suffices.
-        for i in (0..self.n).rev() {
+        for &i in order.iter().rev() {
             for &ei in &self.succs[i] {
                 let e = self.edges[ei];
                 dist[i] = dist[i].max(e.latency + dist[e.to]);
             }
         }
         dist
+    }
+
+    /// Maximum distance (sum of labels) from any root to each node:
+    /// the earliest cycle dependences alone would let the node issue.
+    /// Together with [`CodeDag::critical_path`] this gives per-node
+    /// slack: `max(est + cp) - (est[i] + cp[i])`.
+    pub fn earliest_starts(&self) -> Vec<u32> {
+        let order = self.topo_order();
+        let mut est = vec![0u32; self.n];
+        for &i in &order {
+            for &ei in &self.succs[i] {
+                let e = self.edges[ei];
+                est[e.to] = est[e.to].max(est[i] + e.latency);
+            }
+        }
+        est
+    }
+
+    /// A topological order of the nodes. Edges mostly point forward in
+    /// the code thread, but protection and serialisation edges (§4.6)
+    /// may point backward in index order, so a Kahn sweep is used; any
+    /// residue from a (never-constructed) cycle is appended in index
+    /// order so callers always receive a permutation.
+    pub fn topo_order(&self) -> Vec<usize> {
+        let mut indeg: Vec<usize> = self.preds.iter().map(|p| p.len()).collect();
+        let mut order = Vec::with_capacity(self.n);
+        // Smallest-index-first keeps the order deterministic and equal
+        // to the code thread whenever the thread is already topological.
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..self.n)
+            .filter(|&i| indeg[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        while let Some(std::cmp::Reverse(i)) = ready.pop() {
+            order.push(i);
+            for &ei in &self.succs[i] {
+                let t = self.edges[ei].to;
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    ready.push(std::cmp::Reverse(t));
+                }
+            }
+        }
+        if order.len() < self.n {
+            let mut seen = vec![false; self.n];
+            for &i in &order {
+                seen[i] = true;
+            }
+            order.extend((0..self.n).filter(|&i| !seen[i]));
+        }
+        order
     }
 
     /// Whether `to` is reachable from `from`.

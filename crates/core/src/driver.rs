@@ -94,19 +94,10 @@ pub struct CompileOptions {
 impl Default for CompileOptions {
     fn default() -> CompileOptions {
         CompileOptions {
-            fill_delay_slots: !no_fill_env(),
+            fill_delay_slots: true,
             trace: None,
         }
     }
-}
-
-/// Deprecated escape hatch: setting `MARION_NO_FILL` used to be the
-/// only way to disable delay-slot filling. [`CompileOptions`] replaces
-/// it; the variable is still honoured as the *default* for
-/// [`CompileOptions::fill_delay_slots`], read once per process.
-fn no_fill_env() -> bool {
-    static NO_FILL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *NO_FILL.get_or_init(|| std::env::var("MARION_NO_FILL").is_ok())
 }
 
 /// A Marion code generator for one machine and one strategy.
@@ -191,12 +182,24 @@ impl Compiler {
                 let _span = tracer.span(&ctx, "emit");
                 emit_func(&self.machine, &code, &schedules)?
             };
-            let filled = if self.options.fill_delay_slots {
+            let fills = if self.options.fill_delay_slots {
                 let _span = tracer.span(&ctx, "fill_delay_slots");
                 crate::emit::fill_delay_slots(&self.machine, &mut emitted)
             } else {
-                0
+                Vec::new()
             };
+            for fill in &fills {
+                tracer.event(
+                    &format!("{ctx}/b{}", fill.block),
+                    "delay_slot_fill",
+                    &[
+                        ("inst", marion_trace::Value::from(fill.inst.as_str())),
+                        ("branch", marion_trace::Value::from(fill.branch.as_str())),
+                        ("slot", marion_trace::Value::from(fill.slot)),
+                    ],
+                );
+            }
+            let filled = fills.len();
             let fs = FuncStats {
                 name: func.name.clone(),
                 insts_generated: emitted.inst_count(),

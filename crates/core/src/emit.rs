@@ -273,14 +273,15 @@ fn linearize(
 /// results the branch does not read (the instruction still executes
 /// exactly once, before the redirect takes effect, so every
 /// downstream consumer still sees it). Annulled slots (negative
-/// `slots`) are left as `nop`s. Returns the number of slots filled.
-pub fn fill_delay_slots(machine: &Machine, func: &mut AsmFunc) -> usize {
+/// `slots`) are left as `nop`s. Returns one [`FillRecord`] per slot
+/// filled, so the driver can trace which instruction moved where.
+pub fn fill_delay_slots(machine: &Machine, func: &mut AsmFunc) -> Vec<FillRecord> {
     let nop = match machine.nop_template() {
         Some(t) => t,
-        None => return 0,
+        None => return Vec::new(),
     };
-    let mut filled = 0;
-    for block in &mut func.blocks {
+    let mut filled = Vec::new();
+    for (bi, block) in func.blocks.iter_mut().enumerate() {
         // Locate control words with positive slots. (A fill mutates
         // the word list; the guard keeps indices valid and at most one
         // fill happens per block, matching the one branch a block
@@ -300,6 +301,7 @@ pub fn fill_delay_slots(machine: &Machine, func: &mut AsmFunc) -> usize {
             }) else {
                 continue;
             };
+            let branch_mnemonic = machine.template(ctl.template).mnemonic.clone();
             let slots = machine.template(ctl.template).slots as usize;
             // The branch's data uses (condition registers).
             let mut branch_uses: Vec<Operand> = Vec::new();
@@ -429,15 +431,33 @@ pub fn fill_delay_slots(machine: &Machine, func: &mut AsmFunc) -> usize {
                 }
                 if let Some(wi) = cand {
                     let word = block.words.remove(wi);
+                    filled.push(FillRecord {
+                        block: bi,
+                        inst: machine.template(word.insts[0].template).mnemonic.clone(),
+                        branch: branch_mnemonic.clone(),
+                        slot: s,
+                    });
                     // Removal shifts indices left by one.
                     block.words[si - 1] = word;
-                    filled += 1;
                     break 'block_scan; // indices moved
                 }
             }
         }
     }
     filled
+}
+
+/// Provenance of one filled branch delay slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillRecord {
+    /// Block index within the function.
+    pub block: usize,
+    /// Mnemonic of the instruction hoisted into the slot.
+    pub inst: String,
+    /// Mnemonic of the branch whose slot was filled.
+    pub branch: String,
+    /// 1-based slot position behind the branch.
+    pub slot: usize,
 }
 
 /// Delay slots demanded by the control transfers in a word.

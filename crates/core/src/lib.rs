@@ -15,6 +15,7 @@ pub mod dag;
 pub mod driver;
 pub mod emit;
 pub mod error;
+pub mod explain;
 pub mod glue;
 pub mod regalloc;
 pub mod sched;
@@ -25,5 +26,8 @@ pub use code::{CodeBlock, CodeFunc, ImmVal, Inst, Operand, Vreg, VregInfo, VregK
 pub use driver::{CompileOptions, CompileStats, CompiledProgram, Compiler, FuncStats};
 pub use emit::{AsmBlock, AsmFunc, AsmInst, AsmProgram, Word};
 pub use error::{CodegenError, Phase};
+pub use explain::{
+    audit_schedule, AuditError, PlacementRecord, ScheduleExplanation, Stall, StallReason,
+};
 pub use select::{EscapeCtx, EscapeFn, EscapeRegistry};
 pub use strategy::{Strategy, StrategyKind};

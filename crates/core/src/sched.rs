@@ -18,6 +18,7 @@
 use crate::code::{CodeBlock, CodeFunc, Operand, Vreg, VregKind};
 use crate::dag::{CodeDag, EdgeKind};
 use crate::error::{CodegenError, Phase};
+use crate::explain::{log_stall, ScheduleExplanation, Stall, StallReason};
 use marion_maril::machine::ClockId;
 use marion_maril::{Machine, ResSet};
 use std::collections::HashMap;
@@ -52,6 +53,10 @@ pub struct Schedule {
     /// What the scheduler saw and did (cheap to collect; consumers
     /// decide whether to keep it).
     pub metrics: SchedMetrics,
+    /// Per-instruction placement provenance: why each instruction
+    /// issued when it did (see [`crate::explain`]). Empty on
+    /// hand-built schedules.
+    pub explanation: ScheduleExplanation,
 }
 
 /// Per-block scheduler observations: the code DAG's shape, how
@@ -174,6 +179,12 @@ pub fn schedule_block(
     };
 
     let mut metrics = SchedMetrics::from_dag(dag);
+    // Per-instruction hazard log: one entry per cycle an instruction
+    // was ready but could not issue, stamped just before the clock
+    // advances (when cycle membership is final). Together with the
+    // dependence wait derived afterwards this tiles
+    // `[ready_cycle, issue_cycle)` exactly.
+    let mut hazard: Vec<Vec<Stall>> = vec![Vec::new(); n];
     let mut remaining = n;
     let max_cycles = (n as u32 + 8) * 64 + 1024;
     while remaining > 0 {
@@ -206,6 +217,11 @@ pub fn schedule_block(
             }
         }
         if remaining > 0 {
+            for (i, log) in hazard.iter_mut().enumerate() {
+                if state.is_ready(i) {
+                    log_stall(log, state.t, state.stall_reason_at(i));
+                }
+            }
             state.advance_cycle();
             if state.t > max_cycles {
                 let stuck: Vec<usize> = (0..n).filter(|i| !state.scheduled[*i]).collect();
@@ -235,12 +251,24 @@ pub fn schedule_block(
     metrics.issue_cycles = state.cycles.iter().filter(|c| !c.is_empty()).count();
     metrics.packed_words = state.cycles.iter().filter(|c| c.len() >= 2).count();
     metrics.stall_cycles = state.cycles.iter().filter(|c| c.is_empty()).count();
+    let (slack, critical_path) = crate::explain::critical_path_slack(dag);
+    let explanation = ScheduleExplanation {
+        records: crate::explain::build_records(dag, &state.inst_cycle, hazard),
+        slack,
+        critical_path,
+        discipline: if opts.ignore_rule1 {
+            "name-deps"
+        } else {
+            "rule1"
+        },
+    };
     Ok(Schedule {
         cycles: state.cycles,
         inst_cycle: state.inst_cycle,
         length,
         peak_local_pressure: state.peak_pressure,
         metrics,
+        explanation,
     })
 }
 
@@ -379,7 +407,8 @@ pub fn schedule_block_robust(
     }
     let mut dag2 = crate::dag::build_dag(machine, block, true);
     crate::dag::serialize_same_clock_sequences(&mut dag2);
-    if let Ok(s) = schedule_block(machine, func, block, &dag2, opts) {
+    if let Ok(mut s) = schedule_block(machine, func, block, &dag2, opts) {
+        s.explanation.discipline = "serialized";
         return (s, "serialized");
     }
     let dag3 = crate::dag::build_dag_with(machine, block, true, true);
@@ -406,17 +435,30 @@ pub fn serial_schedule(machine: &Machine, block: &CodeBlock, dag: &CodeDag) -> S
     let mut timeline: Vec<ResSet> = Vec::new();
     let mut t = 0u32;
     let mut cycles: Vec<Vec<usize>> = Vec::new();
+    let mut hazard: Vec<Vec<Stall>> = vec![Vec::new(); n];
     for i in 0..n {
-        let mut at = t;
+        let mut dep_at = 0u32;
         for &ei in &dag.preds[i] {
             let e = dag.edges[ei];
-            at = at.max(inst_cycle[e.from] + e.latency);
+            dep_at = dep_at.max(inst_cycle[e.from] + e.latency);
+        }
+        let mut at = dep_at.max(t);
+        if at > dep_at {
+            // Waiting for the serial cursor, not for a dependence.
+            hazard[i].push(Stall {
+                at: dep_at,
+                cycles: at - dep_at,
+                reason: StallReason::ThreadOrder,
+            });
         }
         let tmpl = machine.template(block.insts[i].template);
         'search: loop {
             for (c, need) in tmpl.rsrc.iter().enumerate() {
                 let idx = at as usize + c;
                 if timeline.len() > idx && timeline[idx].intersects(need) {
+                    if let Some(r) = timeline[idx].intersection(need).iter().next() {
+                        log_stall(&mut hazard[i], at, StallReason::Resource { resource: r });
+                    }
                     at += 1;
                     continue 'search;
                 }
@@ -455,12 +497,20 @@ pub fn serial_schedule(machine: &Machine, block: &CodeBlock, dag: &CodeDag) -> S
     metrics.issue_cycles = cycles.iter().filter(|c| !c.is_empty()).count();
     metrics.packed_words = cycles.iter().filter(|c| c.len() >= 2).count();
     metrics.stall_cycles = cycles.iter().filter(|c| c.is_empty()).count();
+    let (slack, critical_path) = crate::explain::critical_path_slack(dag);
+    let explanation = ScheduleExplanation {
+        records: crate::explain::build_records(dag, &inst_cycle, hazard),
+        slack,
+        critical_path,
+        discipline: "serial",
+    };
     Schedule {
         cycles,
         inst_cycle,
         length,
         peak_local_pressure: 0,
         metrics,
+        explanation,
     }
 }
 
@@ -829,6 +879,55 @@ impl<'a> SchedState<'a> {
         while self.cycles.len() < self.t as usize {
             self.cycles.push(Vec::new());
         }
+    }
+
+    /// Why a ready instruction cannot issue in the current cycle,
+    /// mirroring [`SchedState::pick_candidate`]'s check order (Rule 1,
+    /// resources, packing, pressure); the first failing check is the
+    /// recorded reason. Called only at cycle-advance time, when the
+    /// inner placement loop has reached a fixpoint, so at least one
+    /// check fails for every ready instruction; `Other` is a
+    /// defensive fallback.
+    fn stall_reason_at(&self, i: usize) -> StallReason {
+        if !self.ignore_rule1 {
+            if let Some(k) = self
+                .machine
+                .template(self.block.insts[i].template)
+                .affects_clock
+            {
+                for e in &self.dag.edges {
+                    if let EdgeKind::TrueTemporal(ek) = e.kind {
+                        if ek == k
+                            && self.scheduled[e.from]
+                            && !self.scheduled[e.to]
+                            && e.to != i
+                            && self.inst_cycle[e.from] != self.t
+                        {
+                            return StallReason::Temporal {
+                                clock: k,
+                                pending_src: e.from,
+                                pending_dst: e.to,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        let t = self.machine.template(self.block.insts[i].template);
+        for (c, need) in t.rsrc.iter().enumerate() {
+            let at = self.t as usize + c;
+            let in_use = self.timeline.get(at).copied().unwrap_or(ResSet::EMPTY);
+            if let Some(r) = in_use.intersection(need).iter().next() {
+                return StallReason::Resource { resource: r };
+            }
+        }
+        if !self.class_fits(i, self.word_elems).0 {
+            return StallReason::ClassPacking;
+        }
+        if !self.pressure_allows(i) {
+            return StallReason::RegPressure;
+        }
+        StallReason::Other
     }
 }
 

@@ -197,6 +197,15 @@ fn record_sched_pass(
             continue;
         }
         let m = &schedule.metrics;
+        let ex = &schedule.explanation;
+        let hist = ex.stall_histogram();
+        let stall_of = |key: &str| hist.get(key).copied().unwrap_or(0) as i64;
+        let critical_path_len = ex
+            .critical_path
+            .last()
+            .and_then(|&i| schedule.inst_cycle.get(i))
+            .map(|c| c + 1)
+            .unwrap_or(0) as i64;
         let bctx = format!("{ctx}/b{bi}");
         tracer.event(
             &bctx,
@@ -225,6 +234,15 @@ fn record_sched_pass(
                     "peak_local_pressure",
                     Value::from(schedule.peak_local_pressure),
                 ),
+                ("discipline", Value::from(ex.discipline)),
+                ("critical_path_len", Value::Int(critical_path_len)),
+                ("stall_total", Value::Int(ex.total_stall_cycles() as i64)),
+                ("stall_dependence", Value::Int(stall_of("dependence"))),
+                ("stall_resource", Value::Int(stall_of("resource"))),
+                ("stall_class", Value::Int(stall_of("class"))),
+                ("stall_temporal", Value::Int(stall_of("temporal"))),
+                ("stall_pressure", Value::Int(stall_of("pressure"))),
+                ("stall_order", Value::Int(stall_of("order"))),
             ],
         );
         if final_pass {
@@ -233,6 +251,24 @@ fn record_sched_pass(
             tracer.add(ctx, "issue_slots_used", m.issue_slots_used as i64);
             tracer.add(ctx, "issue_cycles", m.issue_cycles as i64);
             tracer.add(ctx, "packed_words", m.packed_words as i64);
+            for (key, cycles) in &hist {
+                tracer.add(ctx, &format!("stall_{key}"), *cycles as i64);
+            }
+            if tracer.wants_explanations() {
+                tracer.event(
+                    &bctx,
+                    "sched_explain",
+                    &[
+                        ("pass", Value::from(pass)),
+                        (
+                            "narrative",
+                            Value::Str(crate::explain::explain_block_text(
+                                machine, block, schedule,
+                            )),
+                        ),
+                    ],
+                );
+            }
             if tracer.wants_reservation_tables() {
                 let rows = crate::sched::reservation_rows(machine, block, schedule);
                 tracer.event(

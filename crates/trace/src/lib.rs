@@ -36,6 +36,10 @@ pub struct TraceConfig {
     /// Emit a per-block reservation table (cycles x resource vector)
     /// event for every scheduled block. Verbose; off by default.
     pub reservation_tables: bool,
+    /// Emit a per-block `sched_explain` event carrying the scheduler's
+    /// cycle-by-cycle stall narrative for every final-pass block.
+    /// Verbose; off by default.
+    pub explanations: bool,
 }
 
 /// A scalar value carried by an [`Record::Event`] field.
@@ -171,6 +175,15 @@ impl Tracer {
         self.inner
             .as_ref()
             .map(|i| i.borrow().config.reservation_tables)
+            .unwrap_or(false)
+    }
+
+    /// Whether per-block schedule explanations were requested (false
+    /// when the tracer is off).
+    pub fn wants_explanations(&self) -> bool {
+        self.inner
+            .as_ref()
+            .map(|i| i.borrow().config.explanations)
             .unwrap_or(false)
     }
 
@@ -330,10 +343,31 @@ impl TraceData {
             .collect()
     }
 
-    /// Append another trace's records (used by `marion-report` when
-    /// aggregating several JSONL files).
+    /// Merge another trace's records (used by `marion-report` when
+    /// aggregating several JSONL files). Spans and events append in
+    /// order; a counter whose `(ctx, name)` already exists is *summed*
+    /// into the existing record rather than appended, so per-context
+    /// lookups ([`TraceData::counter`], which returns the first match)
+    /// see the combined total instead of silently reporting whichever
+    /// file came first.
     pub fn merge(&mut self, other: TraceData) {
-        self.records.extend(other.records);
+        for record in other.records {
+            if let Record::Counter { name, ctx, value } = &record {
+                let existing = self.records.iter_mut().find_map(|r| match r {
+                    Record::Counter {
+                        name: n,
+                        ctx: c,
+                        value: v,
+                    } if n == name && c == ctx => Some(v),
+                    _ => None,
+                });
+                if let Some(v) = existing {
+                    *v += value;
+                    continue;
+                }
+            }
+            self.records.push(record);
+        }
     }
 
     /// Human-readable report: span tree (indented by depth), counter
@@ -634,6 +668,45 @@ mod tests {
         assert!(text.contains("spills"));
         assert!(text.contains("note"));
         assert!(text.contains("detail: hi"));
+    }
+
+    #[test]
+    fn merge_sums_duplicate_counters() {
+        let mk = |spills: i64, insts: i64| {
+            let t = Tracer::new(TraceConfig::default());
+            t.add("m/f", "spills", spills);
+            t.add("m/f", "insts", insts);
+            t.event("m/f", "note", &[("run", Value::Int(spills))]);
+            t.finish().unwrap()
+        };
+        let mut merged = mk(2, 10);
+        merged.merge(mk(5, 30));
+        // Same (ctx, name) folds into one record; the first-match
+        // lookup sees the combined total.
+        assert_eq!(merged.counter("m/f", "spills"), Some(7));
+        assert_eq!(merged.counter("m/f", "insts"), Some(40));
+        assert_eq!(merged.counter_total("spills"), 7);
+        let counter_records = merged
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Counter { .. }))
+            .count();
+        assert_eq!(counter_records, 2, "duplicates coalesced");
+        // Events from both traces survive.
+        assert_eq!(merged.events_named("note").len(), 2);
+    }
+
+    #[test]
+    fn merge_keeps_distinct_contexts_apart() {
+        let t1 = Tracer::new(TraceConfig::default());
+        t1.add("m/f1", "spills", 3);
+        let t2 = Tracer::new(TraceConfig::default());
+        t2.add("m/f2", "spills", 4);
+        let mut merged = t1.finish().unwrap();
+        merged.merge(t2.finish().unwrap());
+        assert_eq!(merged.counter("m/f1", "spills"), Some(3));
+        assert_eq!(merged.counter("m/f2", "spills"), Some(4));
+        assert_eq!(merged.counter_total("spills"), 7);
     }
 
     #[test]

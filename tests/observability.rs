@@ -35,7 +35,10 @@ fn compile_traced(
         spec.escapes.clone(),
         strategy,
         CompileOptions {
-            trace: Some(TraceConfig { reservation_tables }),
+            trace: Some(TraceConfig {
+                reservation_tables,
+                explanations: false,
+            }),
             ..CompileOptions::default()
         },
     );

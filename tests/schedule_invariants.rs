@@ -8,9 +8,27 @@
 //! ([`marion::workloads::rng::SplitMix64`]); a failure names its seed
 //! and reproduces exactly.
 
+use marion::backend::{audit_schedule, sched::Schedule};
 use marion::backend::{dag::build_dag, regalloc::allocate, sched, select::select_func};
 use marion::workloads::gen::{random_program, GenConfig};
 use marion::workloads::rng::SplitMix64;
+
+/// Every placed instruction's stall tiles must exactly account for
+/// the gap between its ready and issue cycles (the provenance
+/// acceptance identity).
+fn assert_stalls_account(machine_name: &str, schedule: &Schedule) {
+    for r in &schedule.explanation.records {
+        assert_eq!(
+            r.stall_cycles(),
+            r.issue_cycle - r.ready_cycle,
+            "{machine_name}: [{}] stall tiles don't cover ready {} .. issue {}: {:?}",
+            r.inst,
+            r.ready_cycle,
+            r.issue_cycle,
+            r.stalls
+        );
+    }
+}
 
 /// Select, allocate (Postpass-style) and schedule every block,
 /// verifying each schedule.
@@ -38,6 +56,11 @@ fn check_all_schedules(machine_name: &str, src: &str) {
                 Ok(schedule) => {
                     sched::verify_schedule(&spec.machine, block, &dag, &schedule)
                         .unwrap_or_else(|e| panic!("{machine_name}: invalid schedule: {e}"));
+                    // The independent auditor must agree, including
+                    // with every recorded stall reason.
+                    audit_schedule(&spec.machine, block, &dag, &schedule, true)
+                        .unwrap_or_else(|e| panic!("{machine_name}: audit disagrees: {e}"));
+                    assert_stalls_account(machine_name, &schedule);
                 }
                 Err(_) => {
                     // The strategies' fallback discipline: latch
@@ -56,6 +79,10 @@ fn check_all_schedules(machine_name: &str, src: &str) {
                         };
                     sched::verify_schedule_with(&spec.machine, block, &dag2, &schedule, false)
                         .unwrap_or_else(|e| panic!("{machine_name}: invalid fallback: {e}"));
+                    audit_schedule(&spec.machine, block, &dag2, &schedule, false).unwrap_or_else(
+                        |e| panic!("{machine_name}: fallback audit disagrees: {e}"),
+                    );
+                    assert_stalls_account(machine_name, &schedule);
                 }
             }
         }
@@ -113,7 +140,10 @@ fn serial_fallback_schedules_are_valid_too() {
             if !has_temporal {
                 sched::verify_schedule(&spec.machine, block, &dag, &schedule)
                     .unwrap_or_else(|e| panic!("serial schedule invalid: {e}"));
+                audit_schedule(&spec.machine, block, &dag, &schedule, true)
+                    .unwrap_or_else(|e| panic!("serial audit disagrees: {e}"));
             }
+            assert_stalls_account("i860", &schedule);
         }
     }
 }
