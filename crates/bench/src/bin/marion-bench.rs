@@ -1,0 +1,383 @@
+//! `marion-bench` — the compile-time benchmark and selection
+//! cross-check harness.
+//!
+//! Subcommands:
+//!
+//! * `compile [--smoke] [--iters K] [--out PATH]` — times end-to-end
+//!   compilation of the multi-function Livermore and generated suites
+//!   on every bundled machine, comparing serial brute-force selection,
+//!   serial indexed selection, and `jobs=4` parallel compilation, and
+//!   writes the result trajectory to `BENCH_compile.json`
+//!   (median-of-K wall times, functions/sec, per-phase span split).
+//! * `crosscheck` — asserts that indexed and brute-force selection
+//!   produce identical programs (same template choices, same stats,
+//!   byte-identical assembly) for every bundled machine × workload;
+//!   exits non-zero on the first divergence.
+
+use marion_core::{CompileOptions, Compiler, StrategyKind};
+use marion_ir::Module;
+use marion_machines::MachineSpec;
+use marion_trace::{Record, TraceConfig};
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+const PHASES: [&str; 5] = ["glue", "select", "strategy", "emit", "fill_delay_slots"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "compile" => {
+            let mut smoke = false;
+            let mut iters: usize = 5;
+            let mut out = "BENCH_compile.json".to_string();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--smoke" => smoke = true,
+                    "--iters" => {
+                        i += 1;
+                        iters = args[i].parse().expect("--iters takes a number");
+                    }
+                    "--out" => {
+                        i += 1;
+                        out = args[i].clone();
+                    }
+                    other => {
+                        eprintln!("unknown flag `{other}`");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
+            }
+            if smoke {
+                iters = 1;
+            }
+            bench_compile(iters, &out);
+        }
+        "crosscheck" => crosscheck(),
+        _ => {
+            eprintln!(
+                "usage: marion-bench <compile [--smoke] [--iters K] [--out PATH] | crosscheck>"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn options(jobs: usize, indexed: bool) -> CompileOptions {
+    CompileOptions {
+        jobs: NonZeroUsize::new(jobs),
+        indexed_select: indexed,
+        ..CompileOptions::default()
+    }
+}
+
+/// Median wall-clock milliseconds over `iters` compilations.
+fn time_compile(spec: &MachineSpec, module: &Module, opts: CompileOptions, iters: usize) -> f64 {
+    let compiler = Compiler::with_options(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        StrategyKind::Ips,
+        opts,
+    );
+    let mut times: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            compiler
+                .compile_module(module)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.machine.name()));
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Per-phase wall-time split (milliseconds): the per-function trace
+/// spans of each phase, summed per run, median over `iters` runs.
+fn phase_split(
+    spec: &MachineSpec,
+    module: &Module,
+    indexed: bool,
+    iters: usize,
+) -> Vec<(&'static str, f64)> {
+    let opts = CompileOptions {
+        trace: Some(TraceConfig::default()),
+        ..options(1, indexed)
+    };
+    let compiler = Compiler::with_options(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        StrategyKind::Ips,
+        opts,
+    );
+    let mut per_phase: Vec<Vec<f64>> = vec![Vec::new(); PHASES.len()];
+    for _ in 0..iters {
+        let program = compiler
+            .compile_module(module)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.machine.name()));
+        let trace = program.trace.expect("trace was requested");
+        for (pi, phase) in PHASES.iter().enumerate() {
+            let total_us: u64 = trace
+                .spans_named(phase)
+                .iter()
+                .filter_map(|r| match r {
+                    Record::Span { dur_us, .. } => Some(*dur_us),
+                    _ => None,
+                })
+                .sum();
+            per_phase[pi].push(total_us as f64 / 1e3);
+        }
+    }
+    PHASES
+        .iter()
+        .zip(per_phase)
+        .map(|(phase, mut times)| {
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            (*phase, times[times.len() / 2])
+        })
+        .collect()
+}
+
+struct Row {
+    machine: String,
+    workload: &'static str,
+    functions: usize,
+    serial_brute_ms: f64,
+    serial_indexed_ms: f64,
+    parallel4_ms: f64,
+    /// Per-phase split of a serial indexed run (trace spans).
+    phases: Vec<(&'static str, f64)>,
+    /// The select phase alone, brute-force matching (trace spans).
+    brute_select_ms: f64,
+}
+
+impl Row {
+    fn indexed_select_ms(&self) -> f64 {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == "select")
+            .map(|(_, ms)| *ms)
+            .unwrap_or(0.0)
+    }
+    /// Select-phase speedup from paired trace spans — end-to-end wall
+    /// time is dominated by scheduling and allocation, so the phase
+    /// spans are the signal.
+    fn selection_speedup(&self) -> f64 {
+        self.brute_select_ms / self.indexed_select_ms()
+    }
+    fn parallel_speedup(&self) -> f64 {
+        self.serial_indexed_ms / self.parallel4_ms
+    }
+    fn functions_per_sec(&self) -> f64 {
+        self.functions as f64 / (self.serial_indexed_ms / 1e3)
+    }
+}
+
+fn bench_compile(iters: usize, out: &str) {
+    let machines = marion_machines::load_extended();
+    let workloads: Vec<(&'static str, Module)> = vec![
+        (
+            "livermore_combined",
+            marion_workloads::multi::combined_livermore(),
+        ),
+        (
+            "generated_combined",
+            marion_workloads::multi::combined_generated(12, 42),
+        ),
+    ];
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    for spec in &machines {
+        for (name, module) in &workloads {
+            let serial_brute_ms = time_compile(spec, module, options(1, false), iters);
+            let serial_indexed_ms = time_compile(spec, module, options(1, true), iters);
+            let parallel4_ms = time_compile(spec, module, options(4, true), iters);
+            let phases = phase_split(spec, module, true, iters);
+            let brute_select_ms = phase_split(spec, module, false, iters)
+                .iter()
+                .find(|(p, _)| *p == "select")
+                .map(|(_, ms)| *ms)
+                .unwrap_or(0.0);
+            rows.push(Row {
+                machine: spec.machine.name().to_owned(),
+                workload: name,
+                functions: module.funcs.len(),
+                serial_brute_ms,
+                serial_indexed_ms,
+                parallel4_ms,
+                phases,
+                brute_select_ms,
+            });
+        }
+    }
+
+    // Human-readable table.
+    println!(
+        "compile bench  (median of {iters}, strategy ips, {cores} core{} available)",
+        if cores == 1 { "" } else { "s" }
+    );
+    println!(
+        "{:<8} {:<20} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9} {:>6} {:>6} {:>8}",
+        "machine",
+        "workload",
+        "funcs",
+        "brute ms",
+        "idx ms",
+        "j=4 ms",
+        "sel-b ms",
+        "sel-i ms",
+        "sel x",
+        "par x",
+        "funcs/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<20} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>6.2} {:>6.2} {:>8.0}",
+            r.machine,
+            r.workload,
+            r.functions,
+            r.serial_brute_ms,
+            r.serial_indexed_ms,
+            r.parallel4_ms,
+            r.brute_select_ms,
+            r.indexed_select_ms(),
+            r.selection_speedup(),
+            r.parallel_speedup(),
+            r.functions_per_sec()
+        );
+    }
+    let sel = marion_bench::geomean(&rows.iter().map(Row::selection_speedup).collect::<Vec<_>>());
+    let par = marion_bench::geomean(&rows.iter().map(Row::parallel_speedup).collect::<Vec<_>>());
+    println!("geomean select-phase speedup (indexed vs brute): {sel:.2}x");
+    println!("geomean parallel speedup (jobs=4 vs jobs=1, indexed): {par:.2}x");
+
+    let json = render_json(iters, cores, &rows, sel, par);
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}
+
+fn render_json(iters: usize, cores: usize, rows: &[Row], sel: f64, par: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"compile\",");
+    let _ = writeln!(s, "  \"strategy\": \"ips\",");
+    let _ = writeln!(s, "  \"iterations\": {iters},");
+    let _ = writeln!(s, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(s, "  \"geomean_select_phase_speedup\": {sel:.4},");
+    let _ = writeln!(s, "  \"geomean_parallel_speedup_jobs4\": {par:.4},");
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"machine\": \"{}\",", r.machine);
+        let _ = writeln!(s, "      \"workload\": \"{}\",", r.workload);
+        let _ = writeln!(s, "      \"functions\": {},", r.functions);
+        let _ = writeln!(s, "      \"serial_brute_ms\": {:.4},", r.serial_brute_ms);
+        let _ = writeln!(
+            s,
+            "      \"serial_indexed_ms\": {:.4},",
+            r.serial_indexed_ms
+        );
+        let _ = writeln!(s, "      \"parallel4_indexed_ms\": {:.4},", r.parallel4_ms);
+        let _ = writeln!(s, "      \"brute_select_ms\": {:.4},", r.brute_select_ms);
+        let _ = writeln!(
+            s,
+            "      \"indexed_select_ms\": {:.4},",
+            r.indexed_select_ms()
+        );
+        let _ = writeln!(
+            s,
+            "      \"selection_speedup\": {:.4},",
+            r.selection_speedup()
+        );
+        let _ = writeln!(
+            s,
+            "      \"parallel_speedup_jobs4\": {:.4},",
+            r.parallel_speedup()
+        );
+        let _ = writeln!(
+            s,
+            "      \"functions_per_sec\": {:.2},",
+            r.functions_per_sec()
+        );
+        s.push_str("      \"phase_ms\": {");
+        for (j, (phase, ms)) in r.phases.iter().enumerate() {
+            let _ = write!(s, "\"{phase}\": {ms:.4}");
+            if j + 1 < r.phases.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push_str("}\n");
+        s.push_str(if i + 1 < rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Compiles every bundled machine × workload twice — indexed and
+/// brute-force selection — and asserts the results are identical.
+fn crosscheck() {
+    let machines = marion_machines::load_extended();
+    let mut workloads: Vec<(String, Module)> = marion_workloads::livermore::kernels()
+        .iter()
+        .chain(marion_workloads::suite::programs().iter())
+        .map(|w| (w.name.clone(), w.module()))
+        .collect();
+    workloads.push((
+        "livermore_combined".into(),
+        marion_workloads::multi::combined_livermore(),
+    ));
+    workloads.push((
+        "generated_combined".into(),
+        marion_workloads::multi::combined_generated(12, 42),
+    ));
+
+    let mut checked = 0usize;
+    for spec in &machines {
+        for (name, module) in &workloads {
+            for strategy in [
+                StrategyKind::Postpass,
+                StrategyKind::Ips,
+                StrategyKind::Rase,
+            ] {
+                let compile = |indexed: bool| {
+                    Compiler::with_options(
+                        spec.machine.clone(),
+                        spec.escapes.clone(),
+                        strategy,
+                        options(1, indexed),
+                    )
+                    .compile_module(module)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", name, spec.machine.name()))
+                };
+                let indexed = compile(true);
+                let brute = compile(false);
+                if indexed.render(&spec.machine) != brute.render(&spec.machine)
+                    || indexed.stats != brute.stats
+                {
+                    eprintln!(
+                        "CROSSCHECK FAILED: {} on {} ({strategy:?}): indexed and brute-force \
+                         selection diverge",
+                        name,
+                        spec.machine.name()
+                    );
+                    std::process::exit(1);
+                }
+                checked += 1;
+            }
+        }
+    }
+    println!(
+        "crosscheck ok: {checked} machine x workload x strategy combinations, \
+         indexed == brute-force"
+    );
+}

@@ -2,15 +2,18 @@
 //! per function, over a whole IR module.
 
 use crate::code::CodeFunc;
-use crate::emit::{emit_func, AsmProgram};
+use crate::emit::{emit_func, AsmFunc, AsmProgram};
 use crate::error::CodegenError;
 use crate::glue::apply_glue;
-use crate::select::{select_func, EscapeRegistry};
-use crate::strategy::{strategy_for, StrategyKind, StrategyStats};
+use crate::select::{select_func_with, EscapeRegistry};
+use crate::strategy::{strategy_for, Strategy, StrategyKind, StrategyStats};
 use marion_ir as ir;
 use marion_ir::{Node, NodeId, NodeKind};
 use marion_maril::{Machine, Ty};
 use marion_trace::{TraceConfig, TraceData, Tracer};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A fully compiled program, ready for the `marion-sim` simulator.
 #[derive(Debug, Clone)]
@@ -40,7 +43,7 @@ impl CompiledProgram {
 }
 
 /// Aggregate compile statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompileStats {
     /// Machine instructions generated (the dilation denominator).
     pub insts_generated: usize,
@@ -59,8 +62,21 @@ pub struct CompileStats {
     pub per_func: Vec<FuncStats>,
 }
 
+impl CompileStats {
+    /// Folds one function's statistics into the aggregate.
+    fn accumulate(&mut self, fs: &FuncStats) {
+        self.insts_generated += fs.insts_generated;
+        self.spills += fs.spills;
+        self.schedule_passes += fs.schedule_passes;
+        self.estimated_cycles += fs.estimated_cycles;
+        self.delay_slots_filled += fs.delay_slots_filled;
+        self.nops_emitted += fs.nops_emitted;
+        self.per_func.push(fs.clone());
+    }
+}
+
 /// Compile statistics for one function.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FuncStats {
     /// Function name.
     pub name: String,
@@ -89,6 +105,18 @@ pub struct CompileOptions {
     /// [`CompiledProgram::trace`]. `None` (the default) collects
     /// nothing and costs nothing.
     pub trace: Option<TraceConfig>,
+    /// Worker threads for per-function compilation. `None` (the
+    /// default) uses [`std::thread::available_parallelism`]. `1`
+    /// compiles strictly serially on the calling thread. Results are
+    /// collected in module order regardless, so the emitted assembly
+    /// is byte-identical at any job count.
+    pub jobs: Option<NonZeroUsize>,
+    /// Select instructions through the machine's precomputed
+    /// [`marion_maril::SelectionIndex`] (the default) instead of the
+    /// brute-force scan over every template. Both pick identical
+    /// instructions; the flag exists for benchmarking and
+    /// cross-checking.
+    pub indexed_select: bool,
 }
 
 impl Default for CompileOptions {
@@ -96,6 +124,8 @@ impl Default for CompileOptions {
         CompileOptions {
             fill_delay_slots: true,
             trace: None,
+            jobs: None,
+            indexed_select: true,
         }
     }
 }
@@ -147,86 +177,86 @@ impl Compiler {
 
     /// Compiles an IR module to machine code.
     ///
+    /// Functions compile concurrently on [`CompileOptions::jobs`]
+    /// scoped worker threads (std only); results are collected in
+    /// module order, so the emitted assembly is byte-identical to a
+    /// serial run. Each worker traces into its own shard, and the
+    /// shards are merged in function order with [`TraceData::merge`],
+    /// preserving the per-context counter-summing invariants.
+    ///
     /// # Errors
     ///
     /// Propagates failures from any phase, tagged with the phase name.
+    /// When several functions fail, the error of the first failing
+    /// function in module order is returned — the same error a serial
+    /// run would report.
     pub fn compile_module(&self, module: &ir::Module) -> Result<CompiledProgram, CodegenError> {
-        let tracer = match &self.options.trace {
-            Some(config) => Tracer::new(config.clone()),
-            None => Tracer::off(),
-        };
+        let tracer = self.new_tracer();
         let mut module = module.clone();
         materialize_float_constants(&mut module);
         let strategy = strategy_for(self.strategy);
-        let mut asm = AsmProgram::default();
-        let mut stats = CompileStats::default();
         let module_ctx = self.machine.name().to_owned();
         let module_span = tracer.span(&module_ctx, "compile_module");
-        for func in &module.funcs {
-            let ctx = format!("{}/{}", self.machine.name(), func.name);
-            let _func_span = tracer.span(&ctx, "compile_func");
-            let mut func = func.clone();
-            {
-                let _span = tracer.span(&ctx, "glue");
-                apply_glue(&self.machine, &mut func)?;
+
+        let jobs = self
+            .options
+            .jobs
+            .map(NonZeroUsize::get)
+            .or_else(|| {
+                std::thread::available_parallelism()
+                    .ok()
+                    .map(NonZeroUsize::get)
+            })
+            .unwrap_or(1);
+        let workers = jobs.min(module.funcs.len()).max(1);
+
+        let mut asm = AsmProgram::default();
+        let mut stats = CompileStats::default();
+        let mut shards: Vec<TraceData> = Vec::new();
+        if workers <= 1 {
+            // Strictly serial: compile on the calling thread, tracing
+            // straight into the main tracer.
+            for func in &module.funcs {
+                let (emitted, fs) = self.compile_func(&module, func, strategy.as_ref(), &tracer)?;
+                stats.accumulate(&fs);
+                asm.funcs.push(emitted);
             }
-            let mut code: CodeFunc = {
-                let _span = tracer.span(&ctx, "select");
-                select_func(&self.machine, &self.escapes, &module, &func)?
-            };
-            let (schedules, s): (_, StrategyStats) = {
-                let _span = tracer.span(&ctx, "strategy");
-                strategy.run(&self.machine, &mut code, &tracer, &ctx)?
-            };
-            let mut emitted = {
-                let _span = tracer.span(&ctx, "emit");
-                emit_func(&self.machine, &code, &schedules)?
-            };
-            let fills = if self.options.fill_delay_slots {
-                let _span = tracer.span(&ctx, "fill_delay_slots");
-                crate::emit::fill_delay_slots(&self.machine, &mut emitted)
-            } else {
-                Vec::new()
-            };
-            for fill in &fills {
-                tracer.event(
-                    &format!("{ctx}/b{}", fill.block),
-                    "delay_slot_fill",
-                    &[
-                        ("inst", marion_trace::Value::from(fill.inst.as_str())),
-                        ("branch", marion_trace::Value::from(fill.branch.as_str())),
-                        ("slot", marion_trace::Value::from(fill.slot)),
-                    ],
-                );
+        } else {
+            let n = module.funcs.len();
+            let next = AtomicUsize::new(0);
+            type Slot = Option<Result<(AsmFunc, FuncStats, Option<TraceData>), CodegenError>>;
+            let slots: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
+            let module_ref = &module;
+            let strategy_ref: &(dyn Strategy + Send + Sync) = strategy.as_ref();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let shard = self.new_tracer();
+                        let r = self
+                            .compile_func(module_ref, &module_ref.funcs[i], strategy_ref, &shard)
+                            .map(|(emitted, fs)| (emitted, fs, shard.finish()));
+                        slots.lock().unwrap()[i] = Some(r);
+                    });
+                }
+            });
+            for slot in slots.into_inner().unwrap() {
+                let (emitted, fs, shard) = slot.expect("worker pool left a function uncompiled")?;
+                stats.accumulate(&fs);
+                asm.funcs.push(emitted);
+                shards.extend(shard);
             }
-            let filled = fills.len();
-            let fs = FuncStats {
-                name: func.name.clone(),
-                insts_generated: emitted.inst_count(),
-                spills: s.spills,
-                schedule_passes: s.schedule_passes,
-                estimated_cycles: s.estimated_cycles,
-                delay_slots_filled: filled,
-                nops_emitted: emitted.nop_count(&self.machine),
-            };
-            // "spills" is recorded by the strategy's allocator hook;
-            // everything else lands here so the trace and
-            // `CompileStats` agree per function.
-            tracer.add(&ctx, "insts_generated", fs.insts_generated as i64);
-            tracer.add(&ctx, "schedule_passes", fs.schedule_passes as i64);
-            tracer.add(&ctx, "estimated_cycles", fs.estimated_cycles as i64);
-            tracer.add(&ctx, "delay_slots_filled", fs.delay_slots_filled as i64);
-            tracer.add(&ctx, "nops_emitted", fs.nops_emitted as i64);
-            stats.insts_generated += fs.insts_generated;
-            stats.spills += fs.spills;
-            stats.schedule_passes += fs.schedule_passes;
-            stats.estimated_cycles += fs.estimated_cycles;
-            stats.delay_slots_filled += fs.delay_slots_filled;
-            stats.nops_emitted += fs.nops_emitted;
-            stats.per_func.push(fs);
-            asm.funcs.push(emitted);
         }
         drop(module_span);
+        let mut trace = tracer.finish();
+        if let Some(data) = &mut trace {
+            for shard in shards {
+                data.merge(shard);
+            }
+        }
         let symbols: Vec<String> = (0..module.symbol_count())
             .map(|i| module.symbol_name(ir::SymbolId(i as u32)).to_owned())
             .collect();
@@ -242,8 +272,86 @@ impl Compiler {
             machine_name: self.machine.name().to_owned(),
             strategy: self.strategy,
             stats,
-            trace: tracer.finish(),
+            trace,
         })
+    }
+
+    fn new_tracer(&self) -> Tracer {
+        match &self.options.trace {
+            Some(config) => Tracer::new(config.clone()),
+            None => Tracer::off(),
+        }
+    }
+
+    /// Compiles one function: glue → select → strategy → emit →
+    /// delay-slot fill, tracing into `tracer`.
+    fn compile_func(
+        &self,
+        module: &ir::Module,
+        func: &ir::Function,
+        strategy: &(dyn Strategy + Send + Sync),
+        tracer: &Tracer,
+    ) -> Result<(AsmFunc, FuncStats), CodegenError> {
+        let ctx = format!("{}/{}", self.machine.name(), func.name);
+        let _func_span = tracer.span(&ctx, "compile_func");
+        let mut func = func.clone();
+        {
+            let _span = tracer.span(&ctx, "glue");
+            apply_glue(&self.machine, &mut func)?;
+        }
+        let mut code: CodeFunc = {
+            let _span = tracer.span(&ctx, "select");
+            select_func_with(
+                &self.machine,
+                &self.escapes,
+                module,
+                &func,
+                self.options.indexed_select,
+            )?
+        };
+        let (schedules, s): (_, StrategyStats) = {
+            let _span = tracer.span(&ctx, "strategy");
+            strategy.run(&self.machine, &mut code, tracer, &ctx)?
+        };
+        let mut emitted = {
+            let _span = tracer.span(&ctx, "emit");
+            emit_func(&self.machine, &code, &schedules)?
+        };
+        let fills = if self.options.fill_delay_slots {
+            let _span = tracer.span(&ctx, "fill_delay_slots");
+            crate::emit::fill_delay_slots(&self.machine, &mut emitted)
+        } else {
+            Vec::new()
+        };
+        for fill in &fills {
+            tracer.event(
+                &format!("{ctx}/b{}", fill.block),
+                "delay_slot_fill",
+                &[
+                    ("inst", marion_trace::Value::from(fill.inst.as_str())),
+                    ("branch", marion_trace::Value::from(fill.branch.as_str())),
+                    ("slot", marion_trace::Value::from(fill.slot)),
+                ],
+            );
+        }
+        let fs = FuncStats {
+            name: func.name.clone(),
+            insts_generated: emitted.inst_count(),
+            spills: s.spills,
+            schedule_passes: s.schedule_passes,
+            estimated_cycles: s.estimated_cycles,
+            delay_slots_filled: fills.len(),
+            nops_emitted: emitted.nop_count(&self.machine),
+        };
+        // "spills" is recorded by the strategy's allocator hook;
+        // everything else lands here so the trace and `CompileStats`
+        // agree per function.
+        tracer.add(&ctx, "insts_generated", fs.insts_generated as i64);
+        tracer.add(&ctx, "schedule_passes", fs.schedule_passes as i64);
+        tracer.add(&ctx, "estimated_cycles", fs.estimated_cycles as i64);
+        tracer.add(&ctx, "delay_slots_filled", fs.delay_slots_filled as i64);
+        tracer.add(&ctx, "nops_emitted", fs.nops_emitted as i64);
+        Ok((emitted, fs))
     }
 }
 

@@ -29,5 +29,5 @@ pub use error::{CodegenError, Phase};
 pub use explain::{
     audit_schedule, AuditError, PlacementRecord, ScheduleExplanation, Stall, StallReason,
 };
-pub use select::{EscapeCtx, EscapeFn, EscapeRegistry};
+pub use select::{select_func, select_func_with, EscapeCtx, EscapeFn, EscapeRegistry};
 pub use strategy::{Strategy, StrategyKind};

@@ -124,7 +124,13 @@ pub fn allocate(
                                 !no_spill.contains(n)
                                     && shares_units(func.vreg(**n).class, func.vreg(v).class)
                             })
-                            .max_by_key(|n| graph.adj.get(n).map(|s| s.len()).unwrap_or(0))
+                            .max_by_key(|n| {
+                                // Tie-break on the vreg number: the hash
+                                // iteration order must not pick the victim,
+                                // or compilation is not reproducible.
+                                let d = graph.adj.get(n).map(|s| s.len()).unwrap_or(0);
+                                (d, std::cmp::Reverse(n.0))
+                            })
                             .copied()
                     });
                     match neighbor {

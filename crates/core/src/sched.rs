@@ -187,6 +187,8 @@ pub fn schedule_block(
     let mut hazard: Vec<Vec<Stall>> = vec![Vec::new(); n];
     let mut remaining = n;
     let max_cycles = (n as u32 + 8) * 64 + 1024;
+    // Scratch for rule-1 destination lists, reused across cycles.
+    let mut dests = Vec::new();
     while remaining > 0 {
         let ready = (0..n).filter(|&i| state.is_ready(i)).count();
         metrics.ready_high_water = metrics.ready_high_water.max(ready);
@@ -198,7 +200,7 @@ pub fn schedule_block(
             if !opts.ignore_rule1 {
                 for k in 0..machine.clocks().len() {
                     let clock = ClockId(k as u32);
-                    let dests = state.open_dests(clock);
+                    state.open_dests_into(clock, &mut dests);
                     if dests.is_empty() {
                         continue;
                     }
@@ -588,8 +590,8 @@ struct SchedState<'a> {
 impl<'a> SchedState<'a> {
     /// Destinations of currently open temporal edges on `clock`:
     /// source scheduled, destination not.
-    fn open_dests(&self, clock: ClockId) -> Vec<usize> {
-        let mut out = Vec::new();
+    fn open_dests_into(&self, clock: ClockId, out: &mut Vec<usize>) {
+        out.clear();
         for e in &self.dag.edges {
             if let EdgeKind::TrueTemporal(k) = e.kind {
                 if k == clock
@@ -601,7 +603,6 @@ impl<'a> SchedState<'a> {
                 }
             }
         }
-        out
     }
 
     fn is_ready(&self, i: usize) -> bool {
@@ -823,8 +824,12 @@ impl<'a> SchedState<'a> {
 
     fn place(&mut self, i: usize) {
         debug_assert!(!self.scheduled[i]);
-        let inst = &self.block.insts[i];
-        let t = self.machine.template(inst.template);
+        // Reborrow through the 'a references so the operand iterators
+        // below don't hold `&self` across the map mutations.
+        let block = self.block;
+        let machine = self.machine;
+        let inst = &block.insts[i];
+        let t = machine.template(inst.template);
         // Commit resources.
         for (c, need) in t.rsrc.iter().enumerate() {
             let at = self.t as usize + c;
@@ -850,8 +855,8 @@ impl<'a> SchedState<'a> {
             self.earliest[e.to] = self.earliest[e.to].max(self.t + e.latency);
         }
         // Pressure bookkeeping.
-        for op in inst.use_operands(self.machine).cloned().collect::<Vec<_>>() {
-            if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
+        for op in inst.use_operands(machine) {
+            if let Operand::Vreg(v) | Operand::VregHalf(v, _) = *op {
                 if let Some(left) = self.uses_left.get_mut(&v) {
                     *left = left.saturating_sub(1);
                     if *left == 0 {
@@ -860,8 +865,8 @@ impl<'a> SchedState<'a> {
                 }
             }
         }
-        for op in inst.def_operands(self.machine).cloned().collect::<Vec<_>>() {
-            if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
+        for op in inst.def_operands(machine) {
+            if let Operand::Vreg(v) | Operand::VregHalf(v, _) = *op {
                 if self.func.vreg(v).kind == VregKind::Local
                     && self.uses_left.get(&v).copied().unwrap_or(0) > 0
                 {

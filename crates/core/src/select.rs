@@ -28,7 +28,9 @@ use crate::glue::fold_const;
 use marion_ir as ir;
 use marion_ir::{NodeId, NodeKind};
 use marion_maril::expr::{LValue, Stmt};
-use marion_maril::{BinOp, Expr, Machine, OperandSpec, PhysReg, RegClassId, TemplateId, Ty};
+use marion_maril::{
+    BinOp, Expr, Machine, OperandSpec, PhysReg, RegClassId, RootShape, TemplateId, Ty,
+};
 use std::collections::HashMap;
 
 /// A user-supplied escape function: receives the resolved operands of
@@ -83,6 +85,26 @@ pub fn select_func(
     module: &ir::Module,
     func: &ir::Function,
 ) -> Result<CodeFunc, CodegenError> {
+    select_func_with(machine, escapes, module, func, true)
+}
+
+/// [`select_func`] with explicit matcher choice: `use_index` selects
+/// via the machine's precomputed [`marion_maril::SelectionIndex`]
+/// dispatch table; `false` falls back to the brute-force scan over
+/// every template. Both must pick identical templates (the index is a
+/// pruning, not a reordering) — the cross-check harness asserts this
+/// on every bundled machine × workload.
+///
+/// # Errors
+///
+/// Same failure modes as [`select_func`].
+pub fn select_func_with(
+    machine: &Machine,
+    escapes: &EscapeRegistry,
+    module: &ir::Module,
+    func: &ir::Function,
+    use_index: bool,
+) -> Result<CodeFunc, CodegenError> {
     let parents = func.parent_counts();
     let mut out = CodeFunc::new(&func.name);
     out.local_frame_size = (func.frame_locals_size() + 7) & !7;
@@ -99,6 +121,7 @@ pub fn select_func(
         vmap: vec![None; func.vreg_tys.len()],
         cache: HashMap::new(),
         parents,
+        use_index,
     };
     ctx.run()?;
     Ok(ctx.out)
@@ -143,11 +166,57 @@ enum OpPlan {
 
 /// A successful match: the template plus how to fill each operand, and
 /// the temporal-producer chains to emit first.
+///
+/// Backtracking is checkpoint/rollback, not whole-plan copies: slots
+/// are only ever written from `Unset` during matching (a twice-
+/// referenced operand is *compared* against its first binding, never
+/// overwritten), so undoing a failed sub-match is just resetting the
+/// slots recorded since the checkpoint and truncating the chain list.
 #[derive(Debug, Clone)]
 struct MatchPlan {
     template: TemplateId,
     ops: Vec<OpPlan>,
     chains: Vec<MatchPlan>,
+    /// Slot indices bound since creation, in binding order.
+    undo: Vec<u32>,
+}
+
+/// A rollback point inside a [`MatchPlan`].
+#[derive(Debug, Clone, Copy)]
+struct PlanMark {
+    undo_len: usize,
+    chains_len: usize,
+}
+
+impl MatchPlan {
+    fn new(template: TemplateId, nops: usize) -> MatchPlan {
+        MatchPlan {
+            template,
+            ops: vec![OpPlan::Unset; nops],
+            chains: Vec::new(),
+            undo: Vec::new(),
+        }
+    }
+
+    /// Binds a slot during matching, recording it for rollback.
+    fn bind(&mut self, slot: usize, plan: OpPlan) {
+        self.ops[slot] = plan;
+        self.undo.push(slot as u32);
+    }
+
+    fn checkpoint(&self) -> PlanMark {
+        PlanMark {
+            undo_len: self.undo.len(),
+            chains_len: self.chains.len(),
+        }
+    }
+
+    fn rollback(&mut self, mark: PlanMark) {
+        for slot in self.undo.drain(mark.undo_len..) {
+            self.ops[slot as usize] = OpPlan::Unset;
+        }
+        self.chains.truncate(mark.chains_len);
+    }
 }
 
 struct SelCtx<'a> {
@@ -161,6 +230,7 @@ struct SelCtx<'a> {
     vmap: Vec<Option<Vreg>>,
     cache: HashMap<NodeId, Operand>,
     parents: Vec<u32>,
+    use_index: bool,
 }
 
 impl<'a> SelCtx<'a> {
@@ -399,14 +469,46 @@ impl<'a> SelCtx<'a> {
             .map(|(p, _)| *p)
     }
 
-    /// Tries every template in description order against value node
-    /// `id`; emits the first full match.
+    /// Every template, in description order — the brute-force
+    /// candidate list.
+    fn all_templates(&self) -> Vec<TemplateId> {
+        (0..self.machine.templates().len())
+            .map(|i| TemplateId(i as u32))
+            .collect()
+    }
+
+    /// Candidate templates for value node `id`, in description order:
+    /// the precomputed index lookup, or every template when
+    /// brute-forcing.
+    fn value_candidates(&self, id: NodeId) -> Vec<TemplateId> {
+        if !self.use_index {
+            return self.all_templates();
+        }
+        let shape = match &self.irf.node(id).kind {
+            NodeKind::Bin(op, _, _) => RootShape::Bin(*op),
+            NodeKind::Un(op, _) => RootShape::Un(match op {
+                marion_ir::UnOp::Neg => marion_maril::UnOp::Neg,
+                marion_ir::UnOp::Not => marion_maril::UnOp::Not,
+            }),
+            NodeKind::Load(_) => RootShape::Load,
+            NodeKind::Cvt(_) => RootShape::Cvt,
+            NodeKind::ConstI(_) | NodeKind::GlobalAddr(_) => RootShape::Imm,
+            _ => RootShape::Other,
+        };
+        let foldable = fold_const(self.irf, id).is_some();
+        self.machine
+            .selection_index()
+            .value_candidates(shape, foldable)
+    }
+
+    /// Tries the candidate templates in description order against
+    /// value node `id`; emits the first full match.
     fn match_value(&mut self, id: NodeId, dest: Option<Vreg>) -> Result<Operand, CodegenError> {
+        let machine = self.machine;
         let node_ty = self.irf.node(id).ty;
         let want_class = self.natural_class(node_ty)?;
-        for ti in 0..self.machine.templates().len() {
-            let tid = TemplateId(ti as u32);
-            let t = self.machine.template(tid);
+        for tid in self.value_candidates(id) {
+            let t = machine.template(tid);
             if !ty_match(t.ty, node_ty) || t.def_class() != Some(want_class) {
                 continue;
             }
@@ -437,14 +539,9 @@ impl<'a> SelCtx<'a> {
                     continue;
                 }
             }
-            let mut plan = MatchPlan {
-                template: tid,
-                ops: vec![OpPlan::Unset; t.operands.len()],
-                chains: Vec::new(),
-            };
+            let mut plan = MatchPlan::new(tid, t.operands.len());
             plan.ops[0] = OpPlan::Def;
-            let rhs = rhs.clone();
-            if self.match_expr(&rhs, id, &mut plan, false) {
+            if self.match_expr(rhs, id, &mut plan, false) {
                 return self.emit_plan(&plan, dest);
             }
         }
@@ -534,7 +631,7 @@ impl<'a> SelCtx<'a> {
                 // An operand referenced twice must bind identically.
                 match &plan.ops[slot] {
                     OpPlan::Unset => {
-                        plan.ops[slot] = bind;
+                        plan.bind(slot, bind);
                         true
                     }
                     existing => matches!((existing, &bind),
@@ -561,14 +658,14 @@ impl<'a> SelCtx<'a> {
                     if !this.machine.imm_def(d).contains(0) {
                         return false;
                     }
-                    let save = plan.clone();
+                    let mark = plan.checkpoint();
                     if this.match_expr_at(pa, node, plan, false, depth + 1)
                         && matches!(plan.ops[slot], OpPlan::Unset)
                     {
-                        plan.ops[slot] = OpPlan::Ready(Operand::Imm(ImmVal::Const(0)));
+                        plan.bind(slot, OpPlan::Ready(Operand::Imm(ImmVal::Const(0))));
                         return true;
                     }
-                    *plan = save;
+                    plan.rollback(mark);
                     false
                 };
                 let NodeKind::Bin(nop, x, y) = *nk else {
@@ -577,13 +674,13 @@ impl<'a> SelCtx<'a> {
                 if nop != *op {
                     return fallback(self, plan);
                 }
-                let save = plan.clone();
+                let mark = plan.checkpoint();
                 if self.match_expr_at(pa, x, plan, in_mem, depth + 1)
                     && self.match_expr_at(pb, y, plan, in_mem, depth + 1)
                 {
                     return true;
                 }
-                *plan = save.clone();
+                plan.rollback(mark);
                 // Commutative retry.
                 if matches!(
                     op,
@@ -593,7 +690,7 @@ impl<'a> SelCtx<'a> {
                 {
                     return true;
                 }
-                *plan = save;
+                plan.rollback(mark);
                 fallback(self, plan)
             }
             Expr::Un(op, pa) => {
@@ -621,12 +718,20 @@ impl<'a> SelCtx<'a> {
             Expr::Temporal(name) => {
                 // Temporal chain: find a template defining this latch
                 // whose rhs matches the node, recursively.
-                let Some(tid) = self.machine.temporal_by_name(name) else {
+                let machine = self.machine;
+                let Some(tid) = machine.temporal_by_name(name) else {
                     return false;
                 };
-                for ui in 0..self.machine.templates().len() {
-                    let utid = TemplateId(ui as u32);
-                    let u = self.machine.template(utid);
+                let producers: Vec<TemplateId> = if self.use_index {
+                    machine
+                        .selection_index()
+                        .temporal_def_candidates(tid)
+                        .to_vec()
+                } else {
+                    self.all_templates()
+                };
+                for utid in producers {
+                    let u = machine.template(utid);
                     if !u.effects.temporal_defs.contains(&tid) {
                         continue;
                     }
@@ -641,13 +746,8 @@ impl<'a> SelCtx<'a> {
                     if !ty_match(u.ty, self.irf.node(node).ty) {
                         continue;
                     }
-                    let mut sub = MatchPlan {
-                        template: utid,
-                        ops: vec![OpPlan::Unset; u.operands.len()],
-                        chains: Vec::new(),
-                    };
-                    let urhs = urhs.clone();
-                    if self.match_expr_at(&urhs, node, &mut sub, false, depth + 1) {
+                    let mut sub = MatchPlan::new(utid, u.operands.len());
+                    if self.match_expr_at(urhs, node, &mut sub, false, depth + 1) {
                         plan.chains.push(sub);
                         return true;
                     }
@@ -662,11 +762,15 @@ impl<'a> SelCtx<'a> {
     /// itself. Returns the defined operand (for dummies, the forwarded
     /// source operand).
     fn emit_plan(&mut self, plan: &MatchPlan, dest: Option<Vreg>) -> Result<Operand, CodegenError> {
-        let t = self.machine.template(plan.template);
-        let (is_dummy, escape, tid) = (t.is_dummy(), t.escape.clone(), plan.template);
-        let operands_spec: Vec<OperandSpec> = t.operands.clone();
-        let def_slots: Vec<u8> = t.effects.defs.clone();
-        let use_slots: Vec<u8> = t.effects.uses.clone();
+        // Reborrow the machine directly so the template's operand and
+        // effect lists stay usable across the `&mut self` calls below
+        // (no per-template clones).
+        let machine = self.machine;
+        let t = machine.template(plan.template);
+        let (is_dummy, tid) = (t.is_dummy(), plan.template);
+        let operands_spec: &[OperandSpec] = &t.operands;
+        let def_slots: &[u8] = &t.effects.defs;
+        let use_slots: &[u8] = &t.effects.uses;
 
         let mut ops: Vec<Operand> = Vec::with_capacity(plan.ops.len());
         let mut def_op: Option<Operand> = None;
@@ -683,7 +787,7 @@ impl<'a> SelCtx<'a> {
                         }
                         _ => return Err(err("def operand is not a register")),
                     };
-                    let op = if is_dummy && escape.is_none() {
+                    let op = if is_dummy && t.escape.is_none() {
                         // Dummies forward their source; placeholder.
                         Operand::Imm(ImmVal::Const(0))
                     } else {
@@ -731,7 +835,7 @@ impl<'a> SelCtx<'a> {
             self.emit_plan(chain, None)?;
         }
 
-        if is_dummy && escape.is_none() {
+        if is_dummy && t.escape.is_none() {
             // Zero-cost dummy: forward the single use operand.
             let src = use_slots
                 .first()
@@ -740,10 +844,10 @@ impl<'a> SelCtx<'a> {
                 .ok_or_else(|| err("dummy instruction with no source operand"))?;
             return Ok(src);
         }
-        if let Some(name) = escape {
+        if let Some(name) = &t.escape {
             let f = self
                 .escapes
-                .get(&name)
+                .get(name)
                 .ok_or_else(|| err(format!("escape `*{name}` not registered")))?;
             let mut ectx = EscapeCtx { sel: self };
             f(&mut ectx, &ops)?;
@@ -762,9 +866,14 @@ impl<'a> SelCtx<'a> {
     // ------------------------------------------------------ stores
 
     fn select_store(&mut self, addr: NodeId, value: NodeId, ty: Ty) -> Result<(), CodegenError> {
-        for ti in 0..self.machine.templates().len() {
-            let tid = TemplateId(ti as u32);
-            let t = self.machine.template(tid);
+        let machine = self.machine;
+        let candidates = if self.use_index {
+            machine.selection_index().store_candidates().to_vec()
+        } else {
+            self.all_templates()
+        };
+        for tid in candidates {
+            let t = machine.template(tid);
             if t.escape.is_some() || !ty_match(t.ty, ty) {
                 continue;
             }
@@ -793,14 +902,9 @@ impl<'a> SelCtx<'a> {
                     continue;
                 }
             }
-            let mut plan = MatchPlan {
-                template: tid,
-                ops: vec![OpPlan::Unset; t.operands.len()],
-                chains: Vec::new(),
-            };
-            let (addr_pat, value_pat) = (addr_pat.clone(), value_pat.clone());
-            if self.match_expr(&addr_pat, addr, &mut plan, true)
-                && self.match_expr(&value_pat, value, &mut plan, false)
+            let mut plan = MatchPlan::new(tid, t.operands.len());
+            if self.match_expr(addr_pat, addr, &mut plan, true)
+                && self.match_expr(value_pat, value, &mut plan, false)
             {
                 self.emit_plan(&plan, None).map(|_| ())?;
                 return Ok(());
@@ -821,9 +925,14 @@ impl<'a> SelCtx<'a> {
         rhs: NodeId,
         target: ir::BlockId,
     ) -> Result<(), CodegenError> {
-        for ti in 0..self.machine.templates().len() {
-            let tid = TemplateId(ti as u32);
-            let t = self.machine.template(tid);
+        let machine = self.machine;
+        let candidates = if self.use_index {
+            machine.selection_index().cond_branch_candidates().to_vec()
+        } else {
+            self.all_templates()
+        };
+        for tid in candidates {
+            let t = machine.template(tid);
             if t.escape.is_some() {
                 continue;
             }
@@ -846,16 +955,11 @@ impl<'a> SelCtx<'a> {
                 if *trel != arel {
                     continue;
                 }
-                let mut plan = MatchPlan {
-                    template: tid,
-                    ops: vec![OpPlan::Unset; t.operands.len()],
-                    chains: Vec::new(),
-                };
+                let mut plan = MatchPlan::new(tid, t.operands.len());
                 let slot = (*tk - 1) as usize;
                 plan.ops[slot] = OpPlan::Ready(Operand::Block(target));
-                let (plhs, prhs) = (plhs.clone(), prhs.clone());
-                if self.match_expr(&plhs, albs, &mut plan, false)
-                    && self.match_expr(&prhs, arhs, &mut plan, false)
+                if self.match_expr(plhs, albs, &mut plan, false)
+                    && self.match_expr(prhs, arhs, &mut plan, false)
                 {
                     self.emit_plan(&plan, None)?;
                     return Ok(());
@@ -869,9 +973,14 @@ impl<'a> SelCtx<'a> {
     }
 
     fn emit_goto(&mut self, target: ir::BlockId) -> Result<(), CodegenError> {
-        for ti in 0..self.machine.templates().len() {
-            let tid = TemplateId(ti as u32);
-            let t = self.machine.template(tid);
+        let machine = self.machine;
+        let candidates = if self.use_index {
+            machine.selection_index().goto_candidates().to_vec()
+        } else {
+            self.all_templates()
+        };
+        for tid in candidates {
+            let t = machine.template(tid);
             if let [Stmt::Goto(k)] = t.sem.as_slice() {
                 let mut ops = self.fixed_ops(tid);
                 ops[(*k - 1) as usize] = Operand::Block(target);
@@ -981,11 +1090,12 @@ impl<'a> SelCtx<'a> {
         let tid = self
             .find_addi(sp.class, offset)
             .ok_or_else(|| err("no add-immediate instruction for frame addressing"))?;
-        let t = self.machine.template(tid);
+        let machine = self.machine;
+        let t = machine.template(tid);
         let dest = dest.unwrap_or_else(|| self.out.new_vreg(sp.class, VregKind::Local));
         let mut ops = Vec::with_capacity(t.operands.len());
-        let sem = t.sem.clone();
-        let [Stmt::Assign(LValue::Operand(1), Expr::Bin(BinOp::Add, a, b))] = sem.as_slice() else {
+        let [Stmt::Assign(LValue::Operand(1), Expr::Bin(BinOp::Add, a, b))] = t.sem.as_slice()
+        else {
             return Err(err("malformed add-immediate template"));
         };
         let (reg_slot, imm_slot) = match (&**a, &**b) {
@@ -1013,33 +1123,35 @@ impl<'a> SelCtx<'a> {
     /// Finds a `$1 = $2 + #imm` template for `class` whose immediate
     /// range contains `value`.
     fn find_addi(&self, class: RegClassId, value: i64) -> Option<TemplateId> {
-        self.machine
-            .templates()
-            .iter()
-            .enumerate()
-            .find_map(|(i, t)| {
-                if t.escape.is_some() || t.def_class() != Some(class) {
-                    return None;
-                }
-                let [Stmt::Assign(LValue::Operand(1), Expr::Bin(BinOp::Add, a, b))] =
-                    t.sem.as_slice()
-                else {
-                    return None;
-                };
-                let (Expr::Operand(x), Expr::Operand(y)) = (&**a, &**b) else {
-                    return None;
-                };
-                let x_spec = t.operands.get((*x - 1) as usize)?;
-                let y_spec = t.operands.get((*y - 1) as usize)?;
-                match (x_spec, y_spec) {
-                    (OperandSpec::Reg(c), OperandSpec::Imm(d))
-                        if *c == class && self.machine.imm_def(*d).contains(value) =>
-                    {
-                        Some(TemplateId(i as u32))
-                    }
-                    _ => None,
-                }
-            })
+        let candidates = if self.use_index {
+            self.machine
+                .selection_index()
+                .value_candidates(RootShape::Bin(BinOp::Add), false)
+        } else {
+            self.all_templates()
+        };
+        candidates.into_iter().find(|&tid| {
+            let t = self.machine.template(tid);
+            if t.escape.is_some() || t.def_class() != Some(class) {
+                return false;
+            }
+            let [Stmt::Assign(LValue::Operand(1), Expr::Bin(BinOp::Add, a, b))] = t.sem.as_slice()
+            else {
+                return false;
+            };
+            let (Expr::Operand(x), Expr::Operand(y)) = (&**a, &**b) else {
+                return false;
+            };
+            let (Some(x_spec), Some(y_spec)) = (
+                t.operands.get((*x - 1) as usize),
+                t.operands.get((*y - 1) as usize),
+            ) else {
+                return false;
+            };
+            matches!((x_spec, y_spec),
+                (OperandSpec::Reg(c), OperandSpec::Imm(d))
+                    if *c == class && self.machine.imm_def(*d).contains(value))
+        })
     }
 
     /// Emits a move of `src` into virtual register `dest`.
@@ -1106,9 +1218,14 @@ impl<'a> SelCtx<'a> {
         class: RegClassId,
         imm: ImmVal,
     ) -> Result<(), CodegenError> {
-        for ti in 0..self.machine.templates().len() {
-            let tid = TemplateId(ti as u32);
-            let t = self.machine.template(tid);
+        let machine = self.machine;
+        let candidates = if self.use_index {
+            machine.selection_index().load_imm_candidates().to_vec()
+        } else {
+            self.all_templates()
+        };
+        for tid in candidates {
+            let t = machine.template(tid);
             if t.def_class() != Some(class) {
                 continue;
             }
@@ -1128,10 +1245,10 @@ impl<'a> SelCtx<'a> {
             if !ok {
                 continue;
             }
-            if let Some(name) = t.escape.clone() {
+            if let Some(name) = &t.escape {
                 let f = self
                     .escapes
-                    .get(&name)
+                    .get(name)
                     .ok_or_else(|| err(format!("escape `*{name}` not registered")))?;
                 let mut ops = vec![dest; t.operands.len()];
                 ops[slot] = Operand::Imm(imm);

@@ -1,6 +1,6 @@
 //! Modules and global data.
 
-use crate::func::Function;
+use crate::func::{Function, NodeKind};
 use std::fmt;
 
 /// Index of a symbol (function or global) in a [`Module`]'s symbol
@@ -154,6 +154,52 @@ impl Module {
             Some(Symbol::Func(i)) => Some(&self.funcs[*i]),
             _ => None,
         }
+    }
+
+    /// Links `other` into this module: its defined functions and
+    /// globals are added under `prefix`-ed names, and every symbol
+    /// reference inside the absorbed function bodies is remapped to
+    /// this module's symbol table. External references keep their
+    /// unprefixed names and unify with (or forward-declare) this
+    /// module's symbols, like a linker resolving an undefined symbol.
+    ///
+    /// Returns the new (prefixed) names of the absorbed functions, in
+    /// `other.funcs` order. The caller must pick prefixes that keep
+    /// defined names unique across the link.
+    pub fn absorb(&mut self, other: &Module, prefix: &str) -> Vec<String> {
+        // Pass 1: intern every symbol so the id map is complete before
+        // any function body is rewritten (bodies may reference symbols
+        // declared after them).
+        let map: Vec<SymbolId> = other
+            .symbols
+            .iter()
+            .map(|(name, sym)| match sym {
+                Symbol::Func(_) | Symbol::Global(_) => self.declare(&format!("{prefix}{name}")),
+                Symbol::Extern(_) => self.declare(name),
+            })
+            .collect();
+        // Pass 2: definitions. `add_global`/`add_func` complete the
+        // symbols declared above.
+        for g in &other.globals {
+            self.add_global(Global {
+                name: format!("{prefix}{}", g.name),
+                init: g.init.clone(),
+            });
+        }
+        let mut names = Vec::with_capacity(other.funcs.len());
+        for f in &other.funcs {
+            let mut f = f.clone();
+            f.name = format!("{prefix}{}", f.name);
+            for node in &mut f.nodes {
+                match &mut node.kind {
+                    NodeKind::GlobalAddr(s) | NodeKind::Call(s, _) => *s = map[s.0 as usize],
+                    _ => {}
+                }
+            }
+            names.push(f.name.clone());
+            self.add_func(f);
+        }
+        names
     }
 }
 

@@ -64,6 +64,6 @@ pub use error::{MarilError, Span};
 pub use expr::{BinOp, Builtin, Expr, Stmt, UnOp};
 pub use machine::{
     ClassId, ClockId, Cwvm, ImmDef, ImmDefId, Machine, OperandSpec, PhysReg, RegClass, RegClassId,
-    ResSet, Template, TemplateId, Ty,
+    ResSet, RootShape, SelectionIndex, Template, TemplateId, Ty,
 };
 pub use stats::DescriptionStats;

@@ -544,6 +544,188 @@ impl Template {
     }
 }
 
+/// The root shape of an IR value node, used to look up selection
+/// candidates in a [`SelectionIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootShape {
+    /// A binary arithmetic node.
+    Bin(crate::expr::BinOp),
+    /// A unary arithmetic node.
+    Un(crate::expr::UnOp),
+    /// A memory load.
+    Load,
+    /// A type conversion.
+    Cvt,
+    /// A constant (or constant-foldable) value, or a global address —
+    /// anything an immediate operand or `Int` literal pattern could
+    /// subsume.
+    Imm,
+    /// Anything else (only temporal-chain patterns can apply).
+    Other,
+}
+
+/// A dispatch index from pattern-root shape to the candidate template
+/// list, precomputed once per [`Machine`] — the table the "code
+/// generator generator" step builds so the selector consults a
+/// handful of templates instead of scanning the whole description.
+///
+/// Every candidate list is stored in **description order** (ascending
+/// [`TemplateId`]), so iterating a list preserves the paper's
+/// "first declared pattern wins" tie-break exactly. Completeness
+/// invariant: for every IR node, the list returned by
+/// [`SelectionIndex::value_candidates`] is a superset of the templates
+/// the brute-force scan could have matched — templates whose semantic
+/// root is a temporal register (chain launchers like the i860's
+/// `FWB d {$1 = m3}`) can match *any* node shape through a producer
+/// chain, so they appear merged into every lookup.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectionIndex {
+    /// Value templates rooted `$1 = a OP b`, per operator.
+    bin: Vec<(crate::expr::BinOp, Vec<TemplateId>)>,
+    /// Value templates rooted `$1 = OP a`, per operator.
+    un: Vec<(crate::expr::UnOp, Vec<TemplateId>)>,
+    /// Value templates rooted `$1 = m[addr]`.
+    load: Vec<TemplateId>,
+    /// Value templates rooted at a conversion.
+    cvt: Vec<TemplateId>,
+    /// Value templates rooted `$1 = #imm` / `$1 = <literal>` /
+    /// `$1 = <hard-wired reg>` — candidates for constants and global
+    /// addresses.
+    imm: Vec<TemplateId>,
+    /// Value templates rooted at a temporal register: candidates for
+    /// every node shape (resolved through producer chains).
+    chained: Vec<TemplateId>,
+    /// Load-immediate templates (`$1 = $k` with an immediate operand
+    /// spec), including escape expansions — the `emit_li` scan.
+    load_imm: Vec<TemplateId>,
+    /// Store templates (`m[addr] = value`).
+    stores: Vec<TemplateId>,
+    /// Conditional-branch templates (`if (a REL b) goto $k`).
+    cond_branches: Vec<TemplateId>,
+    /// Unconditional-branch templates (`goto $k`).
+    gotos: Vec<TemplateId>,
+    /// Templates defining each temporal register, indexed by
+    /// [`TemporalId`] — the chain-producer scan.
+    temporal_defs: Vec<Vec<TemplateId>>,
+}
+
+impl SelectionIndex {
+    /// Builds the index from a template list (description order).
+    fn build(templates: &[Template], temporal_count: usize) -> SelectionIndex {
+        use crate::expr::Expr as E;
+        let mut ix = SelectionIndex {
+            temporal_defs: vec![Vec::new(); temporal_count],
+            ..SelectionIndex::default()
+        };
+        for (i, t) in templates.iter().enumerate() {
+            let tid = TemplateId(i as u32);
+            for &td in &t.effects.temporal_defs {
+                ix.temporal_defs[td.0 as usize].push(tid);
+            }
+            match t.sem.as_slice() {
+                [Stmt::Assign(LValue::Operand(1), rhs)] => match rhs {
+                    E::Bin(op, _, _) => match ix.bin.iter_mut().find(|(o, _)| o == op) {
+                        Some((_, v)) => v.push(tid),
+                        None => ix.bin.push((*op, vec![tid])),
+                    },
+                    E::Un(op, _) => match ix.un.iter_mut().find(|(o, _)| o == op) {
+                        Some((_, v)) => v.push(tid),
+                        None => ix.un.push((*op, vec![tid])),
+                    },
+                    E::Mem(_, _) => ix.load.push(tid),
+                    E::Convert(_, _) => ix.cvt.push(tid),
+                    E::Int(_) => ix.imm.push(tid),
+                    E::Temporal(_) => ix.chained.push(tid),
+                    E::Operand(k) => {
+                        // `$1 = $k`: an immediate spec is a
+                        // load-immediate pattern; a hard-wired register
+                        // spec subsumes constants; a plain register
+                        // spec is a move, which value selection skips.
+                        match t.operands.get((*k - 1) as usize) {
+                            Some(OperandSpec::Imm(_)) => {
+                                ix.imm.push(tid);
+                                ix.load_imm.push(tid);
+                            }
+                            Some(OperandSpec::FixedReg(_)) | Some(OperandSpec::Reg(_)) => {}
+                            _ => {}
+                        }
+                    }
+                    E::Call(..) => {}
+                },
+                [Stmt::Assign(LValue::Mem(..), _)] => ix.stores.push(tid),
+                [Stmt::CondGoto { .. }] => ix.cond_branches.push(tid),
+                [Stmt::Goto(_)] => ix.gotos.push(tid),
+                _ => {}
+            }
+        }
+        ix
+    }
+
+    /// Candidate value templates for a node of the given root shape,
+    /// in description order. `foldable` marks nodes that fold to an
+    /// integer constant (an `Un(Neg)` over a literal also matches
+    /// immediate patterns, not just negation patterns).
+    pub fn value_candidates(&self, shape: RootShape, foldable: bool) -> Vec<TemplateId> {
+        let shaped: &[TemplateId] = match shape {
+            RootShape::Bin(op) => self
+                .bin
+                .iter()
+                .find(|(o, _)| *o == op)
+                .map(|(_, v)| v.as_slice())
+                .unwrap_or(&[]),
+            RootShape::Un(op) => self
+                .un
+                .iter()
+                .find(|(o, _)| *o == op)
+                .map(|(_, v)| v.as_slice())
+                .unwrap_or(&[]),
+            RootShape::Load => &self.load,
+            RootShape::Cvt => &self.cvt,
+            RootShape::Imm => &self.imm,
+            RootShape::Other => &[],
+        };
+        // `Imm` already names the immediate bucket; merge it in for
+        // foldable nodes of other shapes.
+        let imm: &[TemplateId] = if foldable && !matches!(shape, RootShape::Imm) {
+            &self.imm
+        } else {
+            &[]
+        };
+        let mut out = Vec::with_capacity(shaped.len() + imm.len() + self.chained.len());
+        out.extend_from_slice(shaped);
+        out.extend_from_slice(imm);
+        out.extend_from_slice(&self.chained);
+        out.sort_unstable();
+        out
+    }
+
+    /// Load-immediate templates, in description order.
+    pub fn load_imm_candidates(&self) -> &[TemplateId] {
+        &self.load_imm
+    }
+
+    /// Store templates, in description order.
+    pub fn store_candidates(&self) -> &[TemplateId] {
+        &self.stores
+    }
+
+    /// Conditional-branch templates, in description order.
+    pub fn cond_branch_candidates(&self) -> &[TemplateId] {
+        &self.cond_branches
+    }
+
+    /// Unconditional-branch templates, in description order.
+    pub fn goto_candidates(&self) -> &[TemplateId] {
+        &self.gotos
+    }
+
+    /// Templates defining temporal register `id`, in description
+    /// order.
+    pub fn temporal_def_candidates(&self, id: TemporalId) -> &[TemplateId] {
+        &self.temporal_defs[id.0 as usize]
+    }
+}
+
 /// The fully compiled machine description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
@@ -562,6 +744,7 @@ pub struct Machine {
     glue: Vec<GlueRule>,
     cwvm: Cwvm,
     stats: crate::stats::DescriptionStats,
+    index: SelectionIndex,
 }
 
 impl Machine {
@@ -596,6 +779,7 @@ impl Machine {
         cwvm: Cwvm,
         stats: crate::stats::DescriptionStats,
     ) -> Machine {
+        let index = SelectionIndex::build(&templates, temporals.len());
         Machine {
             name,
             reg_classes,
@@ -612,7 +796,14 @@ impl Machine {
             glue,
             cwvm,
             stats,
+            index,
         }
+    }
+
+    /// The precomputed selection dispatch index (built once, at
+    /// description-compile time).
+    pub fn selection_index(&self) -> &SelectionIndex {
+        &self.index
     }
 
     /// The machine's name.

@@ -14,6 +14,7 @@
 
 pub mod gen;
 pub mod livermore;
+pub mod multi;
 pub mod rng;
 pub mod suite;
 

@@ -114,7 +114,7 @@ fn delay_slot_filling_respects_compile_options() {
         StrategyKind::Postpass,
         CompileOptions {
             fill_delay_slots: false,
-            trace: None,
+            ..CompileOptions::default()
         },
     )
     .compile_module(&module)
@@ -127,7 +127,7 @@ fn delay_slot_filling_respects_compile_options() {
         StrategyKind::Postpass,
         CompileOptions {
             fill_delay_slots: true,
-            trace: None,
+            ..CompileOptions::default()
         },
     )
     .compile_module(&module)

@@ -1,0 +1,130 @@
+//! Parallel compilation must be invisible in the output: for any
+//! worker count, the assembly is byte-identical to the serial
+//! compile, the statistics agree, and the merged trace counters sum
+//! to the serial totals. Also pins the indexed-selection cross-check:
+//! the `SelectionIndex` fast path picks exactly the templates the
+//! brute-force matcher would.
+
+use marion::backend::{CompileOptions, CompiledProgram, Compiler, StrategyKind};
+use marion::ir::Module;
+use marion::trace::TraceConfig;
+use std::num::NonZeroUsize;
+
+const MACHINES: [&str; 3] = ["toyp", "r2000", "i860"];
+const STRATEGIES: [StrategyKind; 3] = [
+    StrategyKind::Postpass,
+    StrategyKind::Ips,
+    StrategyKind::Rase,
+];
+
+fn compile(
+    machine: &str,
+    strategy: StrategyKind,
+    module: &Module,
+    jobs: usize,
+    indexed: bool,
+    trace: bool,
+) -> CompiledProgram {
+    let spec = marion::machines::load(machine);
+    let compiler = Compiler::with_options(
+        spec.machine.clone(),
+        spec.escapes.clone(),
+        strategy,
+        CompileOptions {
+            jobs: NonZeroUsize::new(jobs),
+            indexed_select: indexed,
+            trace: trace.then(TraceConfig::default),
+            ..CompileOptions::default()
+        },
+    );
+    compiler
+        .compile_module(module)
+        .unwrap_or_else(|e| panic!("{machine}/{strategy:?}: {e}"))
+}
+
+fn render(machine: &str, program: &CompiledProgram) -> String {
+    program.render(&marion::machines::load(machine).machine)
+}
+
+#[test]
+fn parallel_assembly_is_byte_identical_to_serial() {
+    let module = marion::workloads::multi::combined_livermore();
+    for machine in MACHINES {
+        for strategy in STRATEGIES {
+            let serial = compile(machine, strategy, &module, 1, true, false);
+            let parallel = compile(machine, strategy, &module, 8, true, false);
+            assert_eq!(
+                render(machine, &serial),
+                render(machine, &parallel),
+                "{machine}/{strategy:?}: jobs=8 changed the assembly"
+            );
+            assert_eq!(
+                serial.stats, parallel.stats,
+                "{machine}/{strategy:?}: jobs=8 changed the statistics"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_trace_counters_match_serial() {
+    let module = marion::workloads::multi::combined_livermore();
+    let serial = compile("r2000", StrategyKind::Ips, &module, 1, true, true);
+    let parallel = compile("r2000", StrategyKind::Ips, &module, 8, true, true);
+    let st = serial.trace.expect("serial trace");
+    let pt = parallel.trace.expect("parallel trace");
+    for counter in [
+        "insts_generated",
+        "spills",
+        "delay_slots_filled",
+        "schedule_passes",
+        "estimated_cycles",
+        "nops_emitted",
+    ] {
+        assert_eq!(
+            st.counter_total(counter),
+            pt.counter_total(counter),
+            "merged {counter} diverges from serial"
+        );
+    }
+    // The per-function spans all arrived, one per function.
+    assert_eq!(
+        st.spans_named("compile_func").len(),
+        pt.spans_named("compile_func").len()
+    );
+    assert_eq!(pt.spans_named("compile_func").len(), module.funcs.len());
+}
+
+#[test]
+fn compiling_the_same_module_twice_is_deterministic() {
+    // Guards against hash-iteration-order leaks anywhere in the
+    // pipeline (the RASE cost biasing and the allocator's eviction
+    // path have been bitten before).
+    let module = marion::workloads::multi::combined_generated(6, 42);
+    for machine in MACHINES {
+        for strategy in STRATEGIES {
+            let a = compile(machine, strategy, &module, 1, true, false);
+            let b = compile(machine, strategy, &module, 1, true, false);
+            assert_eq!(
+                render(machine, &a),
+                render(machine, &b),
+                "{machine}/{strategy:?}: two identical compiles differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn indexed_selection_matches_brute_force() {
+    let module = marion::workloads::multi::combined_livermore();
+    for machine in MACHINES {
+        let indexed = compile(machine, StrategyKind::Ips, &module, 1, true, false);
+        let brute = compile(machine, StrategyKind::Ips, &module, 1, false, false);
+        assert_eq!(
+            render(machine, &indexed),
+            render(machine, &brute),
+            "{machine}: SelectionIndex and brute-force matching diverge"
+        );
+        assert_eq!(indexed.stats, brute.stats);
+    }
+}
