@@ -27,4 +27,19 @@ cargo run --release --offline -q -p marion-bench --bin marion-bench -- crosschec
 echo "==> compile bench smoke (single iteration, writes BENCH_compile_smoke.json)"
 cargo run --release --offline -q -p marion-bench --bin marion-bench -- compile --smoke --out BENCH_compile_smoke.json
 
+echo "==> marion-serve round-trip (second identical request must be served from cache)"
+serve_out="$(printf '%s\n' \
+  '{"id":1,"machine":"r2000","strategy":"IPS","workload":"livermore"}' \
+  '{"id":2,"machine":"r2000","strategy":"IPS","workload":"livermore"}' \
+  '{"id":3,"cmd":"shutdown"}' \
+  | ./target/release/marion-serve --workers 1)"
+printf '%s\n' "$serve_out" | sed -n '1,2p'
+printf '%s\n' "$serve_out" | sed -n 1p | grep -q '"ok":1'
+printf '%s\n' "$serve_out" | sed -n 1p | grep -q '"cache_hits":0,'
+printf '%s\n' "$serve_out" | sed -n 2p | grep -q '"cache_misses":0,'
+printf '%s\n' "$serve_out" | sed -n 2p | grep -Eq '"cache_hits":[1-9]'
+
+echo "==> serve bench smoke (cold vs warm over the shared cache, writes BENCH_serve_smoke.json)"
+cargo run --release --offline -q -p marion-bench --bin marion-bench -- serve --smoke --out BENCH_serve_smoke.json
+
 echo "CI OK"

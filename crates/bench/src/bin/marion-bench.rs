@@ -9,11 +9,19 @@
 //!   serial indexed selection, and `jobs=4` parallel compilation, and
 //!   writes the result trajectory to `BENCH_compile.json`
 //!   (median-of-K wall times, functions/sec, per-phase span split).
-//! * `crosscheck` — asserts that indexed and brute-force selection
-//!   produce identical programs (same template choices, same stats,
-//!   byte-identical assembly) for every bundled machine × workload;
-//!   exits non-zero on the first divergence.
+//! * `crosscheck` — asserts that indexed vs brute-force selection and
+//!   memoized vs unmemoized matching all produce identical programs
+//!   (same template choices, same stats, byte-identical assembly) for
+//!   every bundled machine × workload; exits non-zero on the first
+//!   divergence.
+//! * `serve [--smoke] [--out PATH]` — measures cold vs warm
+//!   throughput of the compile service on the combined Livermore
+//!   workload: every machine × strategy is requested twice through
+//!   the `marion-serve` stream machinery against one shared
+//!   content-addressed cache, and the per-request wall times land in
+//!   `BENCH_serve.json` with hit/miss counters.
 
+use marion_bench::serve::{run_stream, ServeConfig, Service};
 use marion_core::{CompileOptions, Compiler, StrategyKind};
 use marion_ir::Module;
 use marion_machines::MachineSpec;
@@ -57,9 +65,30 @@ fn main() {
             bench_compile(iters, &out);
         }
         "crosscheck" => crosscheck(),
+        "serve" => {
+            let mut smoke = false;
+            let mut out = "BENCH_serve.json".to_string();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--smoke" => smoke = true,
+                    "--out" => {
+                        i += 1;
+                        out = args[i].clone();
+                    }
+                    other => {
+                        eprintln!("unknown flag `{other}`");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
+            }
+            bench_serve(smoke, &out);
+        }
         _ => {
             eprintln!(
-                "usage: marion-bench <compile [--smoke] [--iters K] [--out PATH] | crosscheck>"
+                "usage: marion-bench <compile [--smoke] [--iters K] [--out PATH] \
+                 | crosscheck | serve [--smoke] [--out PATH]>"
             );
             std::process::exit(2);
         }
@@ -323,8 +352,125 @@ fn render_json(iters: usize, cores: usize, rows: &[Row], sel: f64, par: f64) -> 
     s
 }
 
-/// Compiles every bundled machine × workload twice — indexed and
-/// brute-force selection — and asserts the results are identical.
+/// Cold vs warm throughput of the compile service: the same
+/// machine × strategy requests over the combined Livermore workload,
+/// issued twice through the serve stream against one shared cache.
+fn bench_serve(smoke: bool, out: &str) {
+    let machines: Vec<&str> = if smoke {
+        vec!["toyp", "r2000"]
+    } else {
+        marion_machines::EXTENDED.to_vec()
+    };
+    let strategies = [
+        StrategyKind::Postpass,
+        StrategyKind::Ips,
+        StrategyKind::Rase,
+    ];
+    let service = Service::new(&ServeConfig::default()).expect("in-memory service");
+    let mut requests = String::new();
+    let mut pairs = Vec::new();
+    for (i, machine) in machines.iter().enumerate() {
+        for (j, strategy) in strategies.iter().enumerate() {
+            let _ = writeln!(
+                requests,
+                "{{\"id\":{},\"machine\":\"{machine}\",\"strategy\":\"{}\",\"workload\":\"livermore\"}}",
+                i * strategies.len() + j,
+                strategy.name()
+            );
+            pairs.push((machine.to_string(), strategy.name()));
+        }
+    }
+
+    // One worker and one pass per temperature: per-request wall times
+    // then sum cleanly, with no queue or scheduler noise between them.
+    let pass = |label: &str| -> Vec<(i64, i64, i64)> {
+        let mut output: Vec<u8> = Vec::new();
+        let stats = run_stream(&service, requests.as_bytes(), &mut output, 1, 8)
+            .unwrap_or_else(|e| panic!("{label} pass: {e}"));
+        assert_eq!(stats.failures, 0, "{label} pass had failures");
+        String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|line| {
+                let fields = marion_trace::json::parse_flat(line).expect("response json");
+                let get = |name: &str| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .and_then(|(_, v)| v.as_int())
+                        .unwrap_or_else(|| panic!("{label} response missing {name}"))
+                };
+                (get("wall_us"), get("cache_hits"), get("cache_misses"))
+            })
+            .collect()
+    };
+    let cold = pass("cold");
+    let warm = pass("warm");
+    assert_eq!(cold.len(), pairs.len());
+    assert_eq!(warm.len(), pairs.len());
+
+    println!("serve bench  (combined Livermore, cold vs warm through the compile service)");
+    println!(
+        "{:<8} {:<9} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "machine", "strategy", "cold ms", "warm ms", "speedup", "cold h/m", "warm h/m"
+    );
+    let mut speedups = Vec::new();
+    for (i, (machine, strategy)) in pairs.iter().enumerate() {
+        let (cw, ch, cm) = cold[i];
+        let (ww, wh, wm) = warm[i];
+        let speedup = cw as f64 / (ww.max(1)) as f64;
+        speedups.push(speedup);
+        println!(
+            "{:<8} {:<9} {:>10.2} {:>10.2} {:>7.1}x {:>10} {:>10}",
+            machine,
+            strategy,
+            cw as f64 / 1e3,
+            ww as f64 / 1e3,
+            speedup,
+            format!("{ch}/{cm}"),
+            format!("{wh}/{wm}")
+        );
+    }
+    let geomean = marion_bench::geomean(&speedups);
+    let cold_total: i64 = cold.iter().map(|(w, _, _)| w).sum();
+    let warm_total: i64 = warm.iter().map(|(w, _, _)| w).sum();
+    let total_speedup = cold_total as f64 / warm_total.max(1) as f64;
+    println!("geomean warm speedup: {geomean:.1}x   total: {total_speedup:.1}x");
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"serve\",");
+    let _ = writeln!(s, "  \"workload\": \"livermore_combined\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"geomean_warm_speedup\": {geomean:.4},");
+    let _ = writeln!(s, "  \"total_warm_speedup\": {total_speedup:.4},");
+    let _ = writeln!(s, "  \"cold_total_ms\": {:.4},", cold_total as f64 / 1e3);
+    let _ = writeln!(s, "  \"warm_total_ms\": {:.4},", warm_total as f64 / 1e3);
+    s.push_str("  \"runs\": [\n");
+    for (i, (machine, strategy)) in pairs.iter().enumerate() {
+        let (cw, ch, cm) = cold[i];
+        let (ww, wh, wm) = warm[i];
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"machine\": \"{machine}\", \"strategy\": \"{strategy}\", \
+             \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"speedup\": {:.4}, \
+             \"cold_hits\": {ch}, \"cold_misses\": {cm}, \
+             \"warm_hits\": {wh}, \"warm_misses\": {wm}",
+            cw as f64 / 1e3,
+            ww as f64 / 1e3,
+            cw as f64 / (ww.max(1)) as f64
+        );
+        s.push_str(if i + 1 < pairs.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(out, s).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}
+
+/// Compiles every bundled machine × workload under each matcher
+/// configuration — indexed vs brute-force selection, memoized vs
+/// unmemoized matching — and asserts the results are identical.
 fn crosscheck() {
     let machines = marion_machines::load_extended();
     let mut workloads: Vec<(String, Module)> = marion_workloads::livermore::kernels()
@@ -349,28 +495,35 @@ fn crosscheck() {
                 StrategyKind::Ips,
                 StrategyKind::Rase,
             ] {
-                let compile = |indexed: bool| {
+                let compile = |indexed: bool, memo: bool| {
                     Compiler::with_options(
                         spec.machine.clone(),
                         spec.escapes.clone(),
                         strategy,
-                        options(1, indexed),
+                        CompileOptions {
+                            memo_select: memo,
+                            ..options(1, indexed)
+                        },
                     )
                     .compile_module(module)
                     .unwrap_or_else(|e| panic!("{} on {}: {e}", name, spec.machine.name()))
                 };
-                let indexed = compile(true);
-                let brute = compile(false);
-                if indexed.render(&spec.machine) != brute.render(&spec.machine)
-                    || indexed.stats != brute.stats
-                {
-                    eprintln!(
-                        "CROSSCHECK FAILED: {} on {} ({strategy:?}): indexed and brute-force \
-                         selection diverge",
-                        name,
-                        spec.machine.name()
-                    );
-                    std::process::exit(1);
+                let baseline = compile(true, true);
+                for (label, variant) in [
+                    ("brute-force selection", compile(false, true)),
+                    ("unmemoized matching", compile(true, false)),
+                ] {
+                    if baseline.render(&spec.machine) != variant.render(&spec.machine)
+                        || baseline.stats != variant.stats
+                    {
+                        eprintln!(
+                            "CROSSCHECK FAILED: {} on {} ({strategy:?}): {label} diverges \
+                             from the indexed memoized baseline",
+                            name,
+                            spec.machine.name()
+                        );
+                        std::process::exit(1);
+                    }
                 }
                 checked += 1;
             }
@@ -378,6 +531,6 @@ fn crosscheck() {
     }
     println!(
         "crosscheck ok: {checked} machine x workload x strategy combinations, \
-         indexed == brute-force"
+         indexed == brute-force, memoized == unmemoized"
     );
 }

@@ -5,7 +5,9 @@
 //! each cycle, what was ready but stalled (and on which dependence
 //! edge, resource, packing class, temporal clock or pressure limit it
 //! waited), each instruction's ready/earliest/issue cycles, the
-//! per-reason stall histogram and the DAG critical path. Every block
+//! per-reason stall histogram, the DAG critical path, and — after the
+//! blocks — the delay-slot fill provenance (which instruction moved
+//! into which branch's slot, per §4.4). Every block
 //! is re-audited with `audit_schedule`, an independent legality
 //! checker that also validates the recorded provenance — the tool
 //! refuses to explain a schedule it cannot prove.
@@ -138,12 +140,16 @@ fn explain_func(machine: &Machine, code: &CodeFunc, opts: &Options) -> usize {
     let mut totals: std::collections::BTreeMap<&'static str, u64> = Default::default();
     let mut biggest: Option<(usize, sched::Schedule)> = None;
     let mut explained = 0usize;
+    // Every block gets a schedule (empty ones trivially) so the
+    // function can be emitted afterwards for delay-slot provenance.
+    let mut schedules: Vec<sched::Schedule> = Vec::with_capacity(code.blocks.len());
     for (bi, block) in code.blocks.iter().enumerate() {
-        if block.insts.is_empty() {
-            continue;
-        }
         let (schedule, discipline) =
             sched::schedule_block_robust(machine, code, block, &Default::default());
+        if block.insts.is_empty() {
+            schedules.push(schedule);
+            continue;
+        }
         failures += audit_block(machine, block, &schedule, bi);
         for (key, cycles) in schedule.explanation.stall_histogram() {
             *totals.entry(key).or_insert(0) += cycles;
@@ -158,7 +164,31 @@ fn explain_func(machine: &Machine, code: &CodeFunc, opts: &Options) -> usize {
             .as_ref()
             .is_none_or(|(prev, _)| code.blocks[*prev].insts.len() < block.insts.len())
         {
-            biggest = Some((bi, schedule));
+            biggest = Some((bi, schedule.clone()));
+        }
+        schedules.push(schedule);
+    }
+    // Delay-slot fill provenance (§4.4): emit from the schedules just
+    // explained and run the filler, naming which instruction moved
+    // into which branch's slot.
+    match marion_core::emit::emit_func(machine, code, &schedules) {
+        Ok(mut emitted) => {
+            let fills = marion_core::emit::fill_delay_slots(machine, &mut emitted);
+            if fills.is_empty() {
+                println!("delay slots: none filled");
+            } else {
+                println!("delay slots filled ({}):", fills.len());
+                for f in &fills {
+                    println!(
+                        "  b{}: `{}` moved into slot {} of `{}`",
+                        f.block, f.inst, f.slot, f.branch
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("marion-explain: emit: {e}");
+            failures += 1;
         }
     }
     if !totals.is_empty() {

@@ -7,7 +7,11 @@
 //!   generated, spills, estimated cycles, delay slots, stalls — the
 //!   Table 1 / Table 2 shape);
 //! * every per-block reservation table (cycles × resource vector)
-//!   recorded in the trace.
+//!   recorded in the trace, with the scheduler's cycle-by-cycle
+//!   stall narrative (`sched_explain`, when `TraceConfig::explanations`
+//!   was on) rendered next to its table;
+//! * compile-cache effectiveness (hits, misses, evictions) when the
+//!   trace came from a cached compile.
 //!
 //! Usage:
 //!
@@ -91,7 +95,7 @@ fn demo() -> TraceData {
     let options = CompileOptions {
         trace: Some(TraceConfig {
             reservation_tables: true,
-            explanations: false,
+            explanations: true,
         }),
         ..CompileOptions::default()
     };
@@ -257,27 +261,107 @@ fn report(data: &TraceData) -> String {
         out.push('\n');
     }
 
-    // ---- reservation tables ----
+    // ---- compile-cache effectiveness ----
+    let cache_cols = [
+        ("cache_hit", "hits"),
+        ("cache_miss", "misses"),
+        ("cache_evict", "evicted"),
+    ];
+    let mut cache_totals = [0i64; 3];
+    for counters in funcs.values() {
+        for (i, (key, _)) in cache_cols.iter().enumerate() {
+            cache_totals[i] += counters.get(key).copied().unwrap_or(0);
+        }
+    }
+    if cache_totals.iter().any(|&t| t > 0) {
+        let mut widths = vec![28usize];
+        widths.extend(cache_cols.iter().map(|(_, h)| h.len().max(7)));
+        out.push_str("compile-cache effectiveness\n");
+        let mut header: Vec<String> = vec!["machine/function".into()];
+        header.extend(cache_cols.iter().map(|(_, h)| h.to_string()));
+        out.push_str(&row(&header, &widths));
+        out.push('\n');
+        for (ctx, counters) in &funcs {
+            if !cache_cols
+                .iter()
+                .any(|(key, _)| counters.get(key).copied().unwrap_or(0) > 0)
+            {
+                continue;
+            }
+            let mut cells: Vec<String> = vec![(*ctx).into()];
+            cells.extend(
+                cache_cols
+                    .iter()
+                    .map(|(key, _)| counters.get(key).copied().unwrap_or(0).to_string()),
+            );
+            out.push_str(&row(&cells, &widths));
+            out.push('\n');
+        }
+        let lookups = cache_totals[0] + cache_totals[1];
+        out.push_str(&format!(
+            "  total: {} hit(s), {} miss(es), {} eviction(s) — {:.0}% hit rate\n\n",
+            cache_totals[0],
+            cache_totals[1],
+            cache_totals[2],
+            if lookups > 0 {
+                cache_totals[0] as f64 * 100.0 / lookups as f64
+            } else {
+                0.0
+            }
+        ));
+    }
+
+    // ---- reservation tables, with scheduler narratives alongside ----
+    let event_field = |fields: &[(String, marion_trace::Value)], name: &str| -> Option<String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_str())
+            .map(str::to_string)
+    };
+    // `(ctx, pass) -> narratives`, drained as tables consume them so
+    // leftovers (explanations on, tables off) still render below.
+    let mut narratives: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+    for (ctx, fields) in data.events_named("sched_explain") {
+        let pass = event_field(fields, "pass").unwrap_or_else(|| "?".to_string());
+        if let Some(text) = event_field(fields, "narrative") {
+            narratives
+                .entry((ctx.to_string(), pass))
+                .or_default()
+                .push(text);
+        }
+    }
+    let indent = |out: &mut String, text: &str| {
+        for line in text.lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    };
     let tables = data.events_named("reservation_table");
     if !tables.is_empty() {
         out.push_str("reservation tables (cycle x resource)\n");
         for (ctx, fields) in tables {
-            let pass = fields
-                .iter()
-                .find(|(k, _)| k == "pass")
-                .and_then(|(_, v)| v.as_str())
-                .unwrap_or("?");
+            let pass = event_field(fields, "pass").unwrap_or_else(|| "?".to_string());
             out.push_str(&format!("\n{ctx} [{pass}]\n"));
-            if let Some(table) = fields
-                .iter()
-                .find(|(k, _)| k == "table")
-                .and_then(|(_, v)| v.as_str())
-            {
-                for line in table.lines() {
-                    out.push_str("  ");
-                    out.push_str(line);
-                    out.push('\n');
+            if let Some(table) = event_field(fields, "table") {
+                indent(&mut out, &table);
+            }
+            if let Some(texts) = narratives.remove(&(ctx.to_string(), pass)) {
+                for text in texts {
+                    out.push_str("  narrative:\n");
+                    indent(&mut out, &text);
                 }
+            }
+        }
+        out.push('\n');
+    }
+    if !narratives.is_empty() {
+        out.push_str("scheduler narratives\n");
+        for ((ctx, pass), texts) in narratives {
+            out.push_str(&format!("\n{ctx} [{pass}]\n"));
+            for text in texts {
+                indent(&mut out, &text);
             }
         }
     }
@@ -316,6 +400,77 @@ mod tests {
             rendered.contains("stall attribution"),
             "stall section rendered:\n{rendered}"
         );
+    }
+
+    #[test]
+    fn narratives_render_next_to_their_reservation_tables() {
+        use marion_trace::Value;
+        let t = Tracer::new(TraceConfig {
+            reservation_tables: true,
+            explanations: true,
+        });
+        t.event(
+            "m/f/b0",
+            "reservation_table",
+            &[
+                ("pass", Value::from("final")),
+                ("table", Value::from("cyc0 ALU\ncyc1 MEM")),
+            ],
+        );
+        t.event(
+            "m/f/b0",
+            "sched_explain",
+            &[
+                ("pass", Value::from("final")),
+                ("narrative", Value::from("cycle 1: stalled on load latency")),
+            ],
+        );
+        // A narrative with no matching table lands in its own section.
+        t.event(
+            "m/f/b1",
+            "sched_explain",
+            &[
+                ("pass", Value::from("final")),
+                ("narrative", Value::from("no stalls")),
+            ],
+        );
+        let rendered = report(&t.finish().unwrap());
+        let table_at = rendered.find("cyc0 ALU").expect("table rendered");
+        let narrative_at = rendered
+            .find("stalled on load latency")
+            .expect("narrative rendered");
+        assert!(
+            narrative_at > table_at,
+            "narrative follows its table:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("scheduler narratives"),
+            "unpaired narrative gets its own section:\n{rendered}"
+        );
+        assert!(rendered.contains("no stalls"));
+    }
+
+    #[test]
+    fn cache_counters_render_an_effectiveness_section() {
+        let t = Tracer::new(TraceConfig::default());
+        t.add("m/f1", "cache_hit", 1);
+        t.add("m/f2", "cache_miss", 1);
+        t.add("m/f2", "insts_generated", 12);
+        let rendered = report(&t.finish().unwrap());
+        assert!(
+            rendered.contains("compile-cache effectiveness"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("total: 1 hit(s), 1 miss(es), 0 eviction(s) — 50% hit rate"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn traces_without_cache_counters_skip_the_cache_section() {
+        let rendered = report(&trace_with("m/f", 3, 0));
+        assert!(!rendered.contains("compile-cache"), "{rendered}");
     }
 
     #[test]

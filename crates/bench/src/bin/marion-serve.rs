@@ -1,0 +1,190 @@
+//! `marion-serve` — the compile-service daemon.
+//!
+//! Accepts JSONL compile requests (see `marion_bench::serve` for the
+//! protocol) on stdin, or on a TCP listener with `--listen`, and
+//! streams JSONL responses back in request order. All modes share one
+//! content-addressed compile cache, so repeated requests for the same
+//! function are served without recompiling.
+//!
+//! ```text
+//! echo '{"id":1,"machine":"r2000","strategy":"IPS","workload":"livermore"}' | marion-serve
+//! marion-serve --listen 127.0.0.1:7777 --cache-disk /tmp/marion-cache.jsonl
+//! ```
+
+use marion_bench::serve::{run_stream, ServeConfig, Service};
+use std::io::{BufReader, Write as _};
+use std::num::NonZeroUsize;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+marion-serve — compile-service daemon (JSONL on stdin, or TCP with --listen)
+
+USAGE:
+    marion-serve [OPTIONS]
+
+OPTIONS:
+    --listen ADDR         serve TCP connections on ADDR instead of stdin
+    --workers N           request worker threads        [default: available cores]
+    --queue N             bounded request queue depth   [default: 64]
+    --jobs N              per-compile worker threads    [default: 1]
+    --cache-capacity N    max cached functions          [default: 4096]
+    --cache-disk PATH     write-through JSONL cache store
+    --no-cache            disable the compile cache
+    -h, --help            print this help
+
+Request lines look like:
+    {\"id\":1,\"machine\":\"r2000\",\"strategy\":\"IPS\",\"workload\":\"livermore\"}
+    {\"id\":2,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main(){return 7;}\",\"emit_asm\":1}
+    {\"id\":3,\"cmd\":\"stats\"}
+    {\"id\":4,\"cmd\":\"shutdown\"}
+";
+
+struct Args {
+    listen: Option<String>,
+    workers: usize,
+    queue: usize,
+    config: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: None,
+        workers: std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(4),
+        queue: 64,
+        config: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value (see --help)"))
+        };
+        match arg.as_str() {
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--jobs" => {
+                let n: usize = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                args.config.jobs = NonZeroUsize::new(n.max(1));
+            }
+            "--cache-capacity" => {
+                args.config.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?
+            }
+            "--cache-disk" => args.config.cache_disk = Some(value("--cache-disk")?.into()),
+            "--no-cache" => args.config.cache = false,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("marion-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = match Service::new(&args.config) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("marion-serve: cache: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.listen {
+        None => {
+            // Stdin mode: serve until EOF or a shutdown request,
+            // draining everything queued before exiting.
+            let stdin = std::io::stdin();
+            match run_stream(
+                &service,
+                stdin.lock(),
+                std::io::stdout(),
+                args.workers,
+                args.queue,
+            ) {
+                Ok(stats) => {
+                    eprintln!(
+                        "marion-serve: {} request(s), {} failure(s), cache {} hit(s) / {} miss(es)",
+                        stats.requests, stats.failures, stats.cache_hits, stats.cache_misses
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("marion-serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("marion-serve: bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("marion-serve: listening on {addr}");
+            // One thread per connection; each connection gets the full
+            // worker pool semantics over the shared service (and thus
+            // the shared cache). A `shutdown` request ends only its
+            // own connection.
+            for stream in listener.incoming() {
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("marion-serve: accept: {e}");
+                        continue;
+                    }
+                };
+                let service = service.clone();
+                let workers = args.workers;
+                let queue = args.queue;
+                std::thread::spawn(move || {
+                    let peer = stream
+                        .peer_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| "?".to_string());
+                    let reader = match stream.try_clone() {
+                        Ok(r) => BufReader::new(r),
+                        Err(e) => {
+                            eprintln!("marion-serve: {peer}: {e}");
+                            return;
+                        }
+                    };
+                    let mut writer = stream;
+                    match run_stream(&service, reader, &mut writer, workers, queue) {
+                        Ok(stats) => eprintln!(
+                            "marion-serve: {peer}: {} request(s), cache {} hit(s) / {} miss(es)",
+                            stats.requests, stats.cache_hits, stats.cache_misses
+                        ),
+                        Err(e) => eprintln!("marion-serve: {peer}: {e}"),
+                    }
+                    let _ = writer.flush();
+                });
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //! This library holds the shared plumbing: compile a workload for a
 //! machine/strategy pair, run it on the simulator, and lay out rows.
 
+pub mod serve;
+
 use marion_core::{CompiledProgram, Compiler, StrategyKind};
 use marion_machines::MachineSpec;
 use marion_sim::{run_program, RunResult, SimConfig, Value};

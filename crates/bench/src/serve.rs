@@ -1,0 +1,615 @@
+//! The compile service: JSONL request/response plumbing shared by the
+//! `marion-serve` daemon, `marion-bench serve`, and the tests.
+//!
+//! ## Protocol
+//!
+//! One request per line, in the workspace's flat-JSON dialect
+//! (`marion_trace::json` — scalar values only):
+//!
+//! ```text
+//! {"id":1,"cmd":"compile","machine":"r2000","strategy":"IPS","workload":"livermore"}
+//! {"id":2,"cmd":"compile","machine":"toyp","strategy":"Postpass","source":"int main(){return 7;}","emit_asm":1}
+//! {"id":3,"cmd":"stats"}
+//! {"id":4,"cmd":"shutdown"}
+//! ```
+//!
+//! Requests: `cmd` is `compile` (default), `stats`, or `shutdown`.
+//! `compile` takes a `machine` name, a `strategy` name, and either a
+//! named `workload` (`livermore` for the combined Livermore suite, or
+//! `gen:<count>:<seed>` for the deterministic generator) or inline C
+//! `source`; `emit_asm:1` adds the rendered assembly to the response.
+//!
+//! Responses stream back in request order, one line each:
+//!
+//! ```text
+//! {"id":1,"ok":1,"machine":"r2000","strategy":"IPS","funcs":15,"insts":…,
+//!  "spills":…,"estimated_cycles":…,"nops":…,"cache_hits":0,"cache_misses":15,
+//!  "wall_us":…}
+//! ```
+//!
+//! Failures respond `{"id":…,"ok":0,"error":"…"}` — a bad request
+//! never kills the stream. `shutdown` answers, stops reading, and
+//! drains every request already queued before returning.
+
+use marion_core::{CompileOptions, Compiler, FuncCache, StrategyKind};
+use marion_trace::json::{parse_flat, ObjWriter};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, Write};
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// How to build a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Consult the content-addressed compile cache (on by default).
+    pub cache: bool,
+    /// Maximum cached functions.
+    pub cache_capacity: usize,
+    /// Optional JSONL disk store for the cache (write-through;
+    /// existing verified entries warm the cache at startup).
+    pub cache_disk: Option<PathBuf>,
+    /// Per-compile worker threads inside `compile_module`. Defaults to
+    /// 1: the service already parallelises across requests, and nested
+    /// pools oversubscribe.
+    pub jobs: Option<NonZeroUsize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            cache: true,
+            cache_capacity: 4096,
+            cache_disk: None,
+            jobs: NonZeroUsize::new(1),
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Echoed back in the response for correlation.
+    pub id: i64,
+    /// `compile`, `stats`, or `shutdown`.
+    pub cmd: Cmd,
+    /// Target machine name (`marion_machines::EXTENDED`).
+    pub machine: String,
+    /// Strategy name ([`StrategyKind::parse`]).
+    pub strategy: String,
+    /// Inline C source to compile.
+    pub source: Option<String>,
+    /// Named workload (`livermore` or `gen:<count>:<seed>`).
+    pub workload: Option<String>,
+    /// Include rendered assembly in the response.
+    pub emit_asm: bool,
+}
+
+/// The request verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmd {
+    /// Compile a module and report statistics.
+    Compile,
+    /// Report service-level cache statistics.
+    Stats,
+    /// Answer, then stop reading and drain the queue.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message for malformed JSON or an unknown `cmd`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let fields = parse_flat(line)?;
+    let get_str = |name: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_str())
+    };
+    let get_int = |name: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_int())
+    };
+    let cmd = match get_str("cmd").unwrap_or("compile") {
+        "compile" => Cmd::Compile,
+        "stats" => Cmd::Stats,
+        "shutdown" => Cmd::Shutdown,
+        other => return Err(format!("unknown cmd `{other}`")),
+    };
+    Ok(Request {
+        id: get_int("id").unwrap_or(0),
+        cmd,
+        machine: get_str("machine").unwrap_or("r2000").to_string(),
+        strategy: get_str("strategy").unwrap_or("IPS").to_string(),
+        source: get_str("source").map(str::to_string),
+        workload: get_str("workload").map(str::to_string),
+        emit_asm: get_int("emit_asm").unwrap_or(0) != 0,
+    })
+}
+
+/// What one handled request contributed, for stream accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Outcome {
+    /// Functions served from the cache.
+    pub cache_hits: u64,
+    /// Functions compiled cold.
+    pub cache_misses: u64,
+    /// The request failed.
+    pub failed: bool,
+}
+
+/// Totals for one [`run_stream`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Requests that answered `ok:0`.
+    pub failures: u64,
+    /// Cache hits across all compiles.
+    pub cache_hits: u64,
+    /// Cache misses across all compiles.
+    pub cache_misses: u64,
+}
+
+/// The compile service: compilers and parsed modules are built once
+/// and shared; compiled functions come from the content-addressed
+/// cache when enabled. `Service` is `Sync` — share one instance across
+/// however many worker threads or connections you like.
+pub struct Service {
+    cache: Option<Arc<FuncCache>>,
+    jobs: Option<NonZeroUsize>,
+    compilers: Mutex<HashMap<(String, String), Arc<Compiler>>>,
+    modules: Mutex<HashMap<String, Arc<marion_ir::Module>>>,
+}
+
+impl Service {
+    /// Builds a service (opening the disk store when configured).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures opening the disk store.
+    pub fn new(config: &ServeConfig) -> io::Result<Service> {
+        let cache = if config.cache {
+            Some(match &config.cache_disk {
+                Some(path) => {
+                    let (cache, _load) = FuncCache::with_disk(config.cache_capacity, path)?;
+                    Arc::new(cache)
+                }
+                None => Arc::new(FuncCache::in_memory(config.cache_capacity)),
+            })
+        } else {
+            None
+        };
+        Ok(Service {
+            cache,
+            jobs: config.jobs,
+            compilers: Mutex::new(HashMap::new()),
+            modules: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The shared compile cache, if enabled.
+    pub fn cache(&self) -> Option<&Arc<FuncCache>> {
+        self.cache.as_ref()
+    }
+
+    fn compiler(&self, machine: &str, strategy: &str) -> Result<Arc<Compiler>, String> {
+        let key = (machine.to_string(), strategy.to_string());
+        if let Some(c) = self.compilers.lock().unwrap().get(&key) {
+            return Ok(c.clone());
+        }
+        if !marion_machines::EXTENDED.contains(&machine) {
+            return Err(format!(
+                "unknown machine `{machine}` (have: {})",
+                marion_machines::EXTENDED.join(", ")
+            ));
+        }
+        let kind = StrategyKind::parse(strategy)
+            .ok_or_else(|| format!("unknown strategy `{strategy}`"))?;
+        let spec = marion_machines::load(machine);
+        let options = CompileOptions {
+            jobs: self.jobs,
+            cache: self.cache.clone(),
+            ..CompileOptions::default()
+        };
+        let compiler = Arc::new(Compiler::with_options(
+            spec.machine,
+            spec.escapes,
+            kind,
+            options,
+        ));
+        self.compilers
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(compiler.clone());
+        Ok(compiler)
+    }
+
+    fn module_for(&self, req: &Request) -> Result<Arc<marion_ir::Module>, String> {
+        let key = match (&req.workload, &req.source) {
+            (Some(w), _) => format!("workload:{w}"),
+            (None, Some(s)) => format!("source:{s}"),
+            (None, None) => return Err("request needs `workload` or `source`".to_string()),
+        };
+        if let Some(m) = self.modules.lock().unwrap().get(&key) {
+            return Ok(m.clone());
+        }
+        let module = match (&req.workload, &req.source) {
+            (Some(w), _) if w == "livermore" => marion_workloads::multi::combined_livermore(),
+            (Some(w), _) => match w.strip_prefix("gen:").and_then(|rest| {
+                let (count, seed) = rest.split_once(':')?;
+                Some((count.parse::<u64>().ok()?, seed.parse::<u64>().ok()?))
+            }) {
+                Some((count, seed)) => marion_workloads::multi::combined_generated(count, seed),
+                None => {
+                    return Err(format!(
+                        "unknown workload `{w}` (have: livermore, gen:<count>:<seed>)"
+                    ))
+                }
+            },
+            (None, Some(source)) => {
+                marion_frontend::compile(source).map_err(|e| format!("frontend: {e}"))?
+            }
+            (None, None) => unreachable!(),
+        };
+        let module = Arc::new(module);
+        self.modules
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(module.clone());
+        Ok(module)
+    }
+
+    /// Handles one raw request line, returning the response line and
+    /// its accounting.
+    pub fn handle_line(&self, line: &str) -> (String, Outcome) {
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(e) => {
+                return (
+                    error_response(0, &e),
+                    Outcome {
+                        failed: true,
+                        ..Outcome::default()
+                    },
+                )
+            }
+        };
+        match req.cmd {
+            Cmd::Compile => self.handle_compile(&req),
+            Cmd::Stats => (self.stats_response(req.id), Outcome::default()),
+            Cmd::Shutdown => {
+                let mut obj = ObjWriter::new();
+                obj.int("id", req.id);
+                obj.int("ok", 1);
+                obj.str("cmd", "shutdown");
+                (obj.finish(), Outcome::default())
+            }
+        }
+    }
+
+    fn handle_compile(&self, req: &Request) -> (String, Outcome) {
+        let fail = |e: String| {
+            (
+                error_response(req.id, &e),
+                Outcome {
+                    failed: true,
+                    ..Outcome::default()
+                },
+            )
+        };
+        let compiler = match self.compiler(&req.machine, &req.strategy) {
+            Ok(c) => c,
+            Err(e) => return fail(e),
+        };
+        let module = match self.module_for(req) {
+            Ok(m) => m,
+            Err(e) => return fail(e),
+        };
+        let start = Instant::now();
+        let program = match compiler.compile_module(&module) {
+            Ok(p) => p,
+            Err(e) => return fail(format!("compile: {e}")),
+        };
+        let wall_us = start.elapsed().as_micros() as i64;
+        let summary = program.cache.unwrap_or_default();
+        let mut obj = ObjWriter::new();
+        obj.int("id", req.id);
+        obj.int("ok", 1);
+        obj.str("machine", &program.machine_name);
+        obj.str("strategy", program.strategy.name());
+        obj.int("funcs", program.stats.per_func.len() as i64);
+        obj.int("insts", program.stats.insts_generated as i64);
+        obj.int("spills", program.stats.spills as i64);
+        obj.int("estimated_cycles", program.stats.estimated_cycles as i64);
+        obj.int("nops", program.stats.nops_emitted as i64);
+        obj.int("cache_hits", summary.hits as i64);
+        obj.int("cache_misses", summary.misses as i64);
+        obj.int("wall_us", wall_us);
+        if req.emit_asm {
+            obj.str("asm", &program.render(compiler.machine()));
+        }
+        (
+            obj.finish(),
+            Outcome {
+                cache_hits: summary.hits,
+                cache_misses: summary.misses,
+                failed: false,
+            },
+        )
+    }
+
+    fn stats_response(&self, id: i64) -> String {
+        let mut obj = ObjWriter::new();
+        obj.int("id", id);
+        obj.int("ok", 1);
+        match &self.cache {
+            Some(cache) => {
+                let stats = cache.stats();
+                obj.int("cache_enabled", 1);
+                obj.int("entries", cache.len() as i64);
+                obj.int("hits", stats.hits as i64);
+                obj.int("misses", stats.misses as i64);
+                obj.int("evictions", stats.evictions as i64);
+                obj.float("hit_rate", stats.hit_rate());
+            }
+            None => obj.int("cache_enabled", 0),
+        }
+        obj.finish()
+    }
+}
+
+fn error_response(id: i64, error: &str) -> String {
+    let mut obj = ObjWriter::new();
+    obj.int("id", id);
+    obj.int("ok", 0);
+    obj.str("error", error);
+    obj.finish()
+}
+
+fn is_shutdown(line: &str) -> bool {
+    matches!(parse_request(line), Ok(req) if req.cmd == Cmd::Shutdown)
+}
+
+/// Serves `input` to `output`: requests dispatch to `workers` threads
+/// through a bounded queue of `queue` entries (backpressure — the
+/// reader blocks when the pool is saturated), and responses stream
+/// back **in request order**. Returns after end-of-input or a
+/// `shutdown` request, with every queued request answered.
+///
+/// # Errors
+///
+/// I/O failures reading `input` or writing `output`.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (poisoned internal channels).
+pub fn run_stream<R: BufRead, W: Write + Send>(
+    service: &Service,
+    input: R,
+    output: W,
+    workers: usize,
+    queue: usize,
+) -> io::Result<ServeStats> {
+    let workers = workers.max(1);
+    let queue = queue.max(1);
+    let (work_tx, work_rx) = mpsc::sync_channel::<(u64, String)>(queue);
+    let work_rx = Mutex::new(work_rx);
+    let (done_tx, done_rx) = mpsc::channel::<(u64, String)>();
+    let requests = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+
+    let (read_result, write_result) = std::thread::scope(|s| {
+        let writer = s.spawn(move || -> io::Result<()> {
+            let mut out = output;
+            let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+            let mut next = 0u64;
+            for (seq, line) in done_rx {
+                pending.insert(seq, line);
+                while let Some(line) = pending.remove(&next) {
+                    out.write_all(line.as_bytes())?;
+                    out.write_all(b"\n")?;
+                    out.flush()?;
+                    next += 1;
+                }
+            }
+            Ok(())
+        });
+        for _ in 0..workers {
+            let done_tx = done_tx.clone();
+            let work_rx = &work_rx;
+            let requests = &requests;
+            let failures = &failures;
+            let hits = &hits;
+            let misses = &misses;
+            s.spawn(move || loop {
+                let msg = work_rx.lock().unwrap().recv();
+                let Ok((seq, line)) = msg else { break };
+                let (response, outcome) = service.handle_line(&line);
+                requests.fetch_add(1, Ordering::Relaxed);
+                failures.fetch_add(outcome.failed as u64, Ordering::Relaxed);
+                hits.fetch_add(outcome.cache_hits, Ordering::Relaxed);
+                misses.fetch_add(outcome.cache_misses, Ordering::Relaxed);
+                if done_tx.send((seq, response)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(done_tx);
+
+        // Read on the calling thread; `send` blocks when the queue is
+        // full, which is the backpressure.
+        let read = (|| -> io::Result<()> {
+            let mut seq = 0u64;
+            for line in input.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let stop = is_shutdown(&line);
+                if work_tx.send((seq, line)).is_err() {
+                    break;
+                }
+                seq += 1;
+                if stop {
+                    break;
+                }
+            }
+            Ok(())
+        })();
+        drop(work_tx);
+        (read, writer.join().expect("writer thread panicked"))
+    });
+    read_result?;
+    write_result?;
+    Ok(ServeStats {
+        requests: requests.into_inner(),
+        failures: failures.into_inner(),
+        cache_hits: hits.into_inner(),
+        cache_misses: misses.into_inner(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_trace::Value;
+
+    fn respond(service: &Service, requests: &str, workers: usize) -> (Vec<String>, ServeStats) {
+        let mut out: Vec<u8> = Vec::new();
+        let stats = run_stream(service, requests.as_bytes(), &mut out, workers, 4).expect("stream");
+        let lines = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        (lines, stats)
+    }
+
+    fn field(line: &str, name: &str) -> Option<Value> {
+        parse_flat(line)
+            .unwrap()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    #[test]
+    fn compile_request_round_trips_and_second_hits_cache() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        let req = r#"{"id":1,"cmd":"compile","machine":"toyp","strategy":"Postpass","source":"int main() { return 41 + 1; }","emit_asm":1}"#;
+        let requests = format!("{req}\n{}\n", req.replace("\"id\":1", "\"id\":2"));
+        let (lines, stats) = respond(&service, &requests, 1);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(field(&lines[0], "ok"), Some(Value::Int(1)));
+        assert_eq!(field(&lines[0], "cache_hits"), Some(Value::Int(0)));
+        assert_eq!(field(&lines[0], "cache_misses"), Some(Value::Int(1)));
+        assert_eq!(field(&lines[1], "cache_hits"), Some(Value::Int(1)));
+        assert_eq!(field(&lines[1], "cache_misses"), Some(Value::Int(0)));
+        // Identical output either way.
+        assert_eq!(field(&lines[0], "asm"), field(&lines[1], "asm"));
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.failures, 0);
+    }
+
+    #[test]
+    fn responses_come_back_in_request_order() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        // Mix heavy (livermore) and trivial requests so out-of-order
+        // completion is likely, then check ordering by id.
+        let mut requests = String::new();
+        for id in 0..6 {
+            if id % 2 == 0 {
+                requests.push_str(&format!(
+                    "{{\"id\":{id},\"machine\":\"r2000\",\"strategy\":\"Postpass\",\"workload\":\"gen:2:7\"}}\n"
+                ));
+            } else {
+                requests.push_str(&format!(
+                    "{{\"id\":{id},\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() {{ return {id}; }}\"}}\n"
+                ));
+            }
+        }
+        let (lines, stats) = respond(&service, &requests, 4);
+        assert_eq!(lines.len(), 6);
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(field(line, "id"), Some(Value::Int(i as i64)), "line {i}");
+            assert_eq!(field(line, "ok"), Some(Value::Int(1)), "line {i}");
+        }
+        assert_eq!(stats.requests, 6);
+    }
+
+    #[test]
+    fn bad_requests_fail_without_killing_the_stream() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        let requests = concat!(
+            "{\"id\":1,\"machine\":\"vax\",\"strategy\":\"IPS\",\"workload\":\"livermore\"}\n",
+            "not json at all\n",
+            "{\"id\":3,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() { return 0; }\"}\n",
+        );
+        let (lines, stats) = respond(&service, requests, 2);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(field(&lines[0], "ok"), Some(Value::Int(0)));
+        assert!(field(&lines[0], "error")
+            .and_then(|v| v.as_str().map(|s| s.contains("unknown machine")))
+            .unwrap_or(false));
+        assert_eq!(field(&lines[1], "ok"), Some(Value::Int(0)));
+        assert_eq!(field(&lines[2], "ok"), Some(Value::Int(1)));
+        assert_eq!(stats.failures, 2);
+    }
+
+    #[test]
+    fn shutdown_answers_and_stops_reading() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        let requests = concat!(
+            "{\"id\":1,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() { return 1; }\"}\n",
+            "{\"id\":2,\"cmd\":\"shutdown\"}\n",
+            "{\"id\":3,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() { return 3; }\"}\n",
+        );
+        let (lines, stats) = respond(&service, requests, 2);
+        assert_eq!(lines.len(), 2, "request after shutdown must not run");
+        assert_eq!(field(&lines[1], "cmd"), Some(Value::Str("shutdown".into())));
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn stats_reports_cache_counters() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        let requests = concat!(
+            "{\"id\":1,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() { return 1; }\"}\n",
+            "{\"id\":2,\"cmd\":\"stats\"}\n",
+        );
+        let (lines, _) = respond(&service, requests, 1);
+        assert_eq!(field(&lines[1], "cache_enabled"), Some(Value::Int(1)));
+        assert_eq!(field(&lines[1], "entries"), Some(Value::Int(1)));
+        assert_eq!(field(&lines[1], "misses"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn no_cache_service_still_serves() {
+        let service = Service::new(&ServeConfig {
+            cache: false,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let req =
+            "{\"id\":1,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() { return 9; }\"}\n";
+        let (lines, stats) = respond(&service, &format!("{req}{req}"), 1);
+        assert_eq!(field(&lines[0], "ok"), Some(Value::Int(1)));
+        assert_eq!(field(&lines[1], "cache_hits"), Some(Value::Int(0)));
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! A stable, process-independent 128-bit structural hash.
+//!
+//! `std::hash` deliberately refuses to promise a stable function (and
+//! `SipHash` is seeded per process), so cache keys built on it could
+//! never be written to disk. [`StableHasher`] is a defined function of
+//! the written byte stream alone: two lanes of SplitMix64-style
+//! mixing over 8-byte chunks, seeded with distinct constants, with
+//! every variable-length write prefixed by its length so field
+//! boundaries are part of the hash (`("ab","c")` ≠ `("a","bc")`).
+
+use std::fmt;
+
+/// A 128-bit content hash, the address of one cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub [u64; 2]);
+
+impl CacheKey {
+    /// Renders as 32 lowercase hex digits (high lane first).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0[0], self.0[1])
+    }
+
+    /// Parses the [`CacheKey::to_hex`] form. `None` on any deviation.
+    pub fn from_hex(s: &str) -> Option<CacheKey> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(CacheKey([hi, lo]))
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// SplitMix64's finalizer: a full-avalanche 64-bit permutation.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The incremental hasher producing a [`CacheKey`].
+///
+/// Cloneable: hash the expensive shared prefix (the machine
+/// description) once, clone, and finish each per-function key from the
+/// clone.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher with fixed seeds.
+    pub fn new() -> StableHasher {
+        StableHasher {
+            a: 0x243F_6A88_85A3_08D3, // pi
+            b: 0xB7E1_5162_8AED_2A6A, // e
+        }
+    }
+
+    /// Absorb one 64-bit word.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.a = mix64(self.a ^ v);
+        self.b = mix64(self.b ^ v.rotate_left(32) ^ 0x5851_F42D_4C95_7F2D);
+    }
+
+    /// Absorb a signed word (two's-complement bits).
+    #[inline]
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorb a byte string, length-prefixed.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Absorb a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Finalize into a key. The hasher may keep absorbing afterwards;
+    /// `finish` is a snapshot, not a terminator.
+    pub fn finish(&self) -> CacheKey {
+        // One extra round per lane, cross-feeding, so short inputs
+        // still avalanche into both lanes.
+        let a = mix64(self.a ^ self.b.rotate_left(17));
+        let b = mix64(self.b ^ self.a.rotate_left(41));
+        CacheKey([a, b])
+    }
+}

@@ -4,16 +4,20 @@
 use crate::code::CodeFunc;
 use crate::emit::{emit_func, AsmFunc, AsmProgram};
 use crate::error::CodegenError;
+use crate::fcache::{
+    base_fingerprint, func_key, strip_spans, CacheSummary, CacheTally, CachedFunc, FuncCache,
+};
 use crate::glue::apply_glue;
-use crate::select::{select_func_with, EscapeRegistry};
+use crate::select::{select_func_opts, EscapeRegistry};
 use crate::strategy::{strategy_for, Strategy, StrategyKind, StrategyStats};
+use marion_cache::StableHasher;
 use marion_ir as ir;
 use marion_ir::{Node, NodeId, NodeKind};
 use marion_maril::{Machine, Ty};
 use marion_trace::{TraceConfig, TraceData, Tracer};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A fully compiled program, ready for the `marion-sim` simulator.
 #[derive(Debug, Clone)]
@@ -33,6 +37,10 @@ pub struct CompiledProgram {
     /// The trace collected during compilation, when
     /// [`CompileOptions::trace`] was set.
     pub trace: Option<TraceData>,
+    /// Cache accounting for this compile, when
+    /// [`CompileOptions::cache`] was set. Kept out of [`CompileStats`]
+    /// so warm and cold statistics stay byte-identical.
+    pub cache: Option<CacheSummary>,
 }
 
 impl CompiledProgram {
@@ -117,6 +125,17 @@ pub struct CompileOptions {
     /// instructions; the flag exists for benchmarking and
     /// cross-checking.
     pub indexed_select: bool,
+    /// Memoize per-node template match attempts during selection (the
+    /// default). Output-identical to unmemoized selection; the flag
+    /// exists for benchmarking and cross-checking.
+    pub memo_select: bool,
+    /// Consult (and populate) a content-addressed compile cache: each
+    /// function's key covers the machine description, strategy,
+    /// output-relevant options and the function body, so a hit returns
+    /// output byte-identical to a cold compile. `None` (the default)
+    /// compiles everything cold. The cache is shared — clone the `Arc`
+    /// into as many compilers as you like.
+    pub cache: Option<Arc<FuncCache>>,
 }
 
 impl Default for CompileOptions {
@@ -126,6 +145,8 @@ impl Default for CompileOptions {
             trace: None,
             jobs: None,
             indexed_select: true,
+            memo_select: true,
+            cache: None,
         }
     }
 }
@@ -210,6 +231,15 @@ impl Compiler {
             .unwrap_or(1);
         let workers = jobs.min(module.funcs.len()).max(1);
 
+        // The cache key's request-invariant prefix (machine, strategy,
+        // options) is hashed once; each function extends a clone.
+        let base: Option<StableHasher> = self
+            .options
+            .cache
+            .as_ref()
+            .map(|_| base_fingerprint(&self.machine, self.strategy, &self.options));
+        let tally = CacheTally::default();
+
         let mut asm = AsmProgram::default();
         let mut stats = CompileStats::default();
         let mut shards: Vec<TraceData> = Vec::new();
@@ -217,7 +247,14 @@ impl Compiler {
             // Strictly serial: compile on the calling thread, tracing
             // straight into the main tracer.
             for func in &module.funcs {
-                let (emitted, fs) = self.compile_func(&module, func, strategy.as_ref(), &tracer)?;
+                let (emitted, fs) = self.compile_func_cached(
+                    &module,
+                    func,
+                    strategy.as_ref(),
+                    &tracer,
+                    base.as_ref(),
+                    &tally,
+                )?;
                 stats.accumulate(&fs);
                 asm.funcs.push(emitted);
             }
@@ -228,6 +265,8 @@ impl Compiler {
             let slots: Mutex<Vec<Slot>> = Mutex::new((0..n).map(|_| None).collect());
             let module_ref = &module;
             let strategy_ref: &(dyn Strategy + Send + Sync) = strategy.as_ref();
+            let base_ref = base.as_ref();
+            let tally_ref = &tally;
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| loop {
@@ -237,7 +276,14 @@ impl Compiler {
                         }
                         let shard = self.new_tracer();
                         let r = self
-                            .compile_func(module_ref, &module_ref.funcs[i], strategy_ref, &shard)
+                            .compile_func_cached(
+                                module_ref,
+                                &module_ref.funcs[i],
+                                strategy_ref,
+                                &shard,
+                                base_ref,
+                                tally_ref,
+                            )
                             .map(|(emitted, fs)| (emitted, fs, shard.finish()));
                         slots.lock().unwrap()[i] = Some(r);
                     });
@@ -273,7 +319,61 @@ impl Compiler {
             strategy: self.strategy,
             stats,
             trace,
+            cache: self.options.cache.as_ref().map(|_| tally.summary()),
         })
+    }
+
+    /// [`Compiler::compile_func`] behind the cache: serves a hit when
+    /// [`CompileOptions::cache`] holds the function, compiles and
+    /// inserts on a miss. Both paths return byte-identical output.
+    fn compile_func_cached(
+        &self,
+        module: &ir::Module,
+        func: &ir::Function,
+        strategy: &(dyn Strategy + Send + Sync),
+        tracer: &Tracer,
+        base: Option<&StableHasher>,
+        tally: &CacheTally,
+    ) -> Result<(AsmFunc, FuncStats), CodegenError> {
+        let Some((cache, base)) = self.options.cache.as_deref().zip(base) else {
+            return self.compile_func(module, func, strategy, tracer);
+        };
+        let key = func_key(base, module, func);
+        let ctx = format!("{}/{}", self.machine.name(), func.name);
+        if let Some(entry) = cache.get(key) {
+            tally.hit();
+            tracer.add(&ctx, "cache_hit", 1);
+            if let Some(data) = &entry.trace {
+                // Replay the recorded counters and events so a warm
+                // trace matches a cold one (spans were stripped at
+                // insert — their timings belonged to the cold run).
+                tracer.import(data);
+            }
+            return Ok((entry.asm, entry.stats));
+        }
+        // Miss: compile into a fresh shard so the cache entry can keep
+        // a replayable copy of the function's counters and events.
+        let shard = self.new_tracer();
+        let (emitted, fs) = self.compile_func(module, func, strategy, &shard)?;
+        let recorded = shard.finish();
+        let evicted = cache.insert(
+            key,
+            CachedFunc {
+                asm: emitted.clone(),
+                stats: fs.clone(),
+                trace: recorded.as_ref().map(strip_spans),
+            },
+        );
+        tally.miss();
+        tally.evict(evicted as u64);
+        tracer.add(&ctx, "cache_miss", 1);
+        if evicted > 0 {
+            tracer.add(&ctx, "cache_evict", evicted as i64);
+        }
+        if let Some(data) = &recorded {
+            tracer.import(data);
+        }
+        Ok((emitted, fs))
     }
 
     fn new_tracer(&self) -> Tracer {
@@ -301,12 +401,13 @@ impl Compiler {
         }
         let mut code: CodeFunc = {
             let _span = tracer.span(&ctx, "select");
-            select_func_with(
+            select_func_opts(
                 &self.machine,
                 &self.escapes,
                 module,
                 &func,
                 self.options.indexed_select,
+                self.options.memo_select,
             )?
         };
         let (schedules, s): (_, StrategyStats) = {

@@ -16,6 +16,7 @@ pub mod driver;
 pub mod emit;
 pub mod error;
 pub mod explain;
+pub mod fcache;
 pub mod glue;
 pub mod regalloc;
 pub mod sched;
@@ -29,5 +30,8 @@ pub use error::{CodegenError, Phase};
 pub use explain::{
     audit_schedule, AuditError, PlacementRecord, ScheduleExplanation, Stall, StallReason,
 };
-pub use select::{select_func, select_func_with, EscapeCtx, EscapeFn, EscapeRegistry};
+pub use fcache::{CacheLoad, CacheSummary, CachedFunc, FuncCache};
+pub use select::{
+    select_func, select_func_opts, select_func_with, EscapeCtx, EscapeFn, EscapeRegistry,
+};
 pub use strategy::{Strategy, StrategyKind};

@@ -105,6 +105,28 @@ pub fn select_func_with(
     func: &ir::Function,
     use_index: bool,
 ) -> Result<CodeFunc, CodegenError> {
+    select_func_opts(machine, escapes, module, func, use_index, true)
+}
+
+/// [`select_func_with`] with explicit memoization choice: `use_memo`
+/// records each `(value node, template)` match attempt in a
+/// per-function table, so shared subtrees revisited across blocks skip
+/// templates already known not to match. Memoization is sound because
+/// a top-level value match depends only on the immutable machine
+/// description and IR — the cross-check harness asserts memoized and
+/// unmemoized selection pick identical instructions.
+///
+/// # Errors
+///
+/// Same failure modes as [`select_func`].
+pub fn select_func_opts(
+    machine: &Machine,
+    escapes: &EscapeRegistry,
+    module: &ir::Module,
+    func: &ir::Function,
+    use_index: bool,
+    use_memo: bool,
+) -> Result<CodeFunc, CodegenError> {
     let parents = func.parent_counts();
     let mut out = CodeFunc::new(&func.name);
     out.local_frame_size = (func.frame_locals_size() + 7) & !7;
@@ -122,6 +144,8 @@ pub fn select_func_with(
         cache: HashMap::new(),
         parents,
         use_index,
+        use_memo,
+        memo: HashMap::new(),
     };
     ctx.run()?;
     Ok(ctx.out)
@@ -231,6 +255,13 @@ struct SelCtx<'a> {
     cache: HashMap<NodeId, Operand>,
     parents: Vec<u32>,
     use_index: bool,
+    use_memo: bool,
+    /// Top-level value-match outcomes, `(node, template) -> matched?`.
+    /// Persists for the whole function (unlike the per-block operand
+    /// `cache`): a match attempt at depth 0 is a pure function of the
+    /// machine description and the IR, so revisited shared subtrees
+    /// skip templates already known not to match.
+    memo: HashMap<(NodeId, TemplateId), bool>,
 }
 
 impl<'a> SelCtx<'a> {
@@ -539,9 +570,16 @@ impl<'a> SelCtx<'a> {
                     continue;
                 }
             }
+            if self.use_memo && self.memo.get(&(id, tid)) == Some(&false) {
+                continue;
+            }
             let mut plan = MatchPlan::new(tid, t.operands.len());
             plan.ops[0] = OpPlan::Def;
-            if self.match_expr(rhs, id, &mut plan, false) {
+            let matched = self.match_expr(rhs, id, &mut plan, false);
+            if self.use_memo {
+                self.memo.insert((id, tid), matched);
+            }
+            if matched {
                 return self.emit_plan(&plan, dest);
             }
         }

@@ -54,6 +54,18 @@ impl StrategyKind {
             StrategyKind::NoSchedule => "NoSched",
         }
     }
+
+    /// Parses a [`StrategyKind::name`] (case-insensitive), as accepted
+    /// by the `marion-serve` request protocol and CLI flags.
+    pub fn parse(name: &str) -> Option<StrategyKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "postpass" => Some(StrategyKind::Postpass),
+            "ips" => Some(StrategyKind::Ips),
+            "rase" => Some(StrategyKind::Rase),
+            "nosched" | "noschedule" => Some(StrategyKind::NoSchedule),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for StrategyKind {

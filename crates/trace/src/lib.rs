@@ -222,6 +222,31 @@ impl Tracer {
         }
     }
 
+    /// Replays a finished trace into this tracer: counters accumulate
+    /// into the live counter map (summing with whatever this tracer
+    /// already recorded per `(ctx, name)`), events and spans append
+    /// as-is. Used by the compile cache to reattribute a cached
+    /// function's trace to the current compilation — replayed span
+    /// timings describe the run that recorded them, exactly like the
+    /// per-worker shards [`TraceData::merge`] combines.
+    pub fn import(&self, data: &TraceData) {
+        let Some(cell) = &self.inner else {
+            return;
+        };
+        let mut inner = cell.borrow_mut();
+        for record in &data.records {
+            match record {
+                Record::Counter { name, ctx, value } => {
+                    *inner
+                        .counters
+                        .entry((ctx.clone(), name.clone()))
+                        .or_insert(0) += value;
+                }
+                other => inner.records.push(other.clone()),
+            }
+        }
+    }
+
     /// Record a structured event.
     pub fn event(&self, ctx: &str, name: &str, fields: &[(&str, Value)]) {
         if let Some(cell) = &self.inner {
@@ -707,6 +732,30 @@ mod tests {
         assert_eq!(merged.counter("m/f1", "spills"), Some(3));
         assert_eq!(merged.counter("m/f2", "spills"), Some(4));
         assert_eq!(merged.counter_total("spills"), 7);
+    }
+
+    #[test]
+    fn import_replays_counters_and_events_into_a_live_tracer() {
+        let recorded = {
+            let t = Tracer::new(TraceConfig::default());
+            {
+                let _g = t.span("m/f", "compile");
+            }
+            t.add("m/f", "insts", 9);
+            t.event("m/f/b0", "note", &[("k", Value::Int(1))]);
+            t.finish().unwrap()
+        };
+        let live = Tracer::new(TraceConfig::default());
+        live.add("m/f", "insts", 1);
+        live.import(&recorded);
+        let data = live.finish().unwrap();
+        assert_eq!(data.counter("m/f", "insts"), Some(10), "counters summed");
+        assert_eq!(data.events_named("note").len(), 1);
+        assert_eq!(data.spans_named("compile").len(), 1);
+        // Importing into an off tracer is a no-op.
+        let off = Tracer::off();
+        off.import(&recorded);
+        assert!(off.finish().is_none());
     }
 
     #[test]

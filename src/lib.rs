@@ -18,7 +18,10 @@
 //! * [`workloads`] — the Livermore loops and compile-suite programs
 //!   used by the paper's evaluation;
 //! * [`trace`] — zero-dependency span/counter/event collection wired
-//!   through the whole pipeline (see `CompileOptions::trace`).
+//!   through the whole pipeline (see `CompileOptions::trace`);
+//! * [`cache`] — the content-addressed compile cache's storage layer
+//!   (stable hashing, sharded LRU, checksummed disk store) used by
+//!   `CompileOptions::cache` and the `marion-serve` daemon.
 //!
 //! ```
 //! use marion::backend::{Compiler, StrategyKind};
@@ -40,6 +43,7 @@
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
+pub use marion_cache as cache;
 pub use marion_core as backend;
 pub use marion_frontend as frontend;
 pub use marion_ir as ir;

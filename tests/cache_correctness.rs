@@ -1,0 +1,244 @@
+//! The compile cache must be invisible: warm output byte-identical to
+//! cold, keys that never collide for differing inputs, and corrupt
+//! disk entries detected and recompiled rather than served.
+
+use marion::backend::{CompileOptions, CompiledProgram, Compiler, FuncCache, StrategyKind};
+use marion::cache::{CacheKey, StableHasher};
+use marion::trace::{Record, TraceConfig};
+use marion::workloads::rng::SplitMix64;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+const MACHINES: [&str; 5] = ["toyp", "r2000", "m88k", "i860", "rs6000"];
+const STRATEGIES: [StrategyKind; 3] = [
+    StrategyKind::Postpass,
+    StrategyKind::Ips,
+    StrategyKind::Rase,
+];
+
+fn compile(
+    machine: &str,
+    strategy: StrategyKind,
+    cache: Option<Arc<FuncCache>>,
+) -> CompiledProgram {
+    let spec = marion::machines::load(machine);
+    let compiler = Compiler::with_options(
+        spec.machine.clone(),
+        spec.escapes,
+        strategy,
+        CompileOptions {
+            trace: Some(TraceConfig::default()),
+            cache,
+            ..CompileOptions::default()
+        },
+    );
+    let module = marion::workloads::multi::combined_generated(6, 42);
+    compiler
+        .compile_module(&module)
+        .unwrap_or_else(|e| panic!("{machine}/{strategy:?}: {e}"))
+}
+
+/// All trace counters except the cache's own bookkeeping, which by
+/// design exists only on cached runs.
+fn counters(program: &CompiledProgram) -> BTreeMap<(String, String), i64> {
+    let mut out = BTreeMap::new();
+    for record in &program.trace.as_ref().expect("tracing was on").records {
+        if let Record::Counter { name, ctx, value } = record {
+            if name.starts_with("cache_") {
+                continue;
+            }
+            *out.entry((ctx.clone(), name.clone())).or_insert(0) += value;
+        }
+    }
+    out
+}
+
+#[test]
+fn warm_cache_output_is_byte_identical_to_cold() {
+    for machine in MACHINES {
+        let render = |p: &CompiledProgram| p.render(&marion::machines::load(machine).machine);
+        for strategy in STRATEGIES {
+            let cold = compile(machine, strategy, None);
+            let cache = Arc::new(FuncCache::in_memory(1024));
+            let filling = compile(machine, strategy, Some(cache.clone()));
+            let warm = compile(machine, strategy, Some(cache.clone()));
+
+            let fill_summary = filling.cache.expect("cache accounting");
+            let warm_summary = warm.cache.expect("cache accounting");
+            assert_eq!(
+                fill_summary.hits, 0,
+                "{machine}/{strategy:?}: first run cold"
+            );
+            assert!(fill_summary.misses > 0);
+            assert_eq!(
+                warm_summary.misses, 0,
+                "{machine}/{strategy:?}: second run fully warm"
+            );
+            assert_eq!(warm_summary.hits, fill_summary.misses);
+
+            for run in [&filling, &warm] {
+                assert_eq!(
+                    render(&cold),
+                    render(run),
+                    "{machine}/{strategy:?}: assembly must not depend on the cache"
+                );
+                assert_eq!(cold.stats, run.stats, "{machine}/{strategy:?}: stats");
+                assert_eq!(
+                    counters(&cold),
+                    counters(run),
+                    "{machine}/{strategy:?}: trace counters (cache_* excluded)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_cache_is_identical_at_any_jobs_count() {
+    let machine = "r2000";
+    let cold = compile(machine, StrategyKind::Ips, None);
+    let cache = Arc::new(FuncCache::in_memory(1024));
+    let spec = marion::machines::load(machine);
+    let module = marion::workloads::multi::combined_generated(6, 42);
+    for jobs in [1usize, 4] {
+        let compiler = Compiler::with_options(
+            spec.machine.clone(),
+            spec.escapes.clone(),
+            StrategyKind::Ips,
+            CompileOptions {
+                trace: Some(TraceConfig::default()),
+                cache: Some(cache.clone()),
+                jobs: std::num::NonZeroUsize::new(jobs),
+                ..CompileOptions::default()
+            },
+        );
+        let program = compiler.compile_module(&module).expect("compiles");
+        assert_eq!(
+            cold.render(&spec.machine),
+            program.render(&spec.machine),
+            "jobs={jobs}"
+        );
+        assert_eq!(cold.stats, program.stats, "jobs={jobs}");
+        assert_eq!(counters(&cold), counters(&program), "jobs={jobs}");
+    }
+    // First pass filled, second pass hit — across different job counts.
+    let stats = cache.stats();
+    assert!(stats.hits > 0 && stats.misses > 0);
+}
+
+#[test]
+fn randomized_inputs_never_collide() {
+    let mut rng = SplitMix64::new(0xC0FF_EE00_1234_5678);
+    let mut keys: HashSet<CacheKey> = HashSet::new();
+    // Random structured inputs: each distinct (byte-string, word
+    // pair) must produce a distinct key.
+    let mut inputs: HashSet<(Vec<u8>, u64, u64)> = HashSet::new();
+    while inputs.len() < 4000 {
+        let len = rng.index(48);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        inputs.insert((bytes, rng.next_u64(), rng.next_u64()));
+    }
+    for (bytes, a, b) in &inputs {
+        let mut h = StableHasher::new();
+        h.write_bytes(bytes);
+        h.write_u64(*a);
+        h.write_u64(*b);
+        assert!(
+            keys.insert(h.finish()),
+            "collision for {bytes:?} / {a:#x} / {b:#x}"
+        );
+    }
+    // Flipping any single component must change the key.
+    let mut h = StableHasher::new();
+    h.write_str("machine");
+    h.write_u64(7);
+    h.write_str("function body");
+    let base = h.finish();
+    let variants = [
+        {
+            let mut h = StableHasher::new();
+            h.write_str("machinf");
+            h.write_u64(7);
+            h.write_str("function body");
+            h.finish()
+        },
+        {
+            let mut h = StableHasher::new();
+            h.write_str("machine");
+            h.write_u64(8);
+            h.write_str("function body");
+            h.finish()
+        },
+        {
+            let mut h = StableHasher::new();
+            h.write_str("machine");
+            h.write_u64(7);
+            h.write_str("function bodz");
+            h.finish()
+        },
+        // Shifting a boundary must not cancel out.
+        {
+            let mut h = StableHasher::new();
+            h.write_str("machine7");
+            h.write_u64(7);
+            h.write_str("function body");
+            h.finish()
+        },
+    ];
+    for (i, v) in variants.iter().enumerate() {
+        assert_ne!(base, *v, "variant {i} collided with the base key");
+    }
+}
+
+#[test]
+fn corrupted_disk_entry_is_recompiled_not_served() {
+    let dir = std::env::temp_dir().join(format!("marion-cache-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("store.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let machine = "r2000";
+    let strategy = StrategyKind::Ips;
+    let cold = compile(machine, strategy, None);
+
+    // Fill a disk-backed cache.
+    {
+        let (cache, load) = FuncCache::with_disk(1024, &path).unwrap();
+        assert_eq!(load.loaded, 0);
+        let filling = compile(machine, strategy, Some(Arc::new(cache)));
+        assert!(filling.cache.unwrap().misses > 0);
+    }
+    let entries = std::fs::read_to_string(&path).unwrap().lines().count();
+    assert!(entries >= 6, "one disk entry per function, got {entries}");
+
+    // Corrupt one entry: flip a payload byte without touching the
+    // recorded checksum.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let target = lines[2]
+        .find("\"payload\":\"")
+        .expect("payload field present")
+        + "\"payload\":\"".len()
+        + 40;
+    let mut bytes = lines[2].clone().into_bytes();
+    bytes[target] = if bytes[target] == b'a' { b'b' } else { b'a' };
+    lines[2] = String::from_utf8(bytes).unwrap();
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+    // Reload: the corrupt entry is counted, skipped, and recompiled.
+    let (cache, load) = FuncCache::with_disk(1024, &path).unwrap();
+    assert_eq!(load.corrupt, 1, "exactly the flipped entry is rejected");
+    assert_eq!(load.loaded, entries - 1);
+    let reloaded = compile(machine, strategy, Some(Arc::new(cache)));
+    let summary = reloaded.cache.unwrap();
+    assert_eq!(summary.misses, 1, "only the corrupt entry recompiles");
+    assert_eq!(summary.hits as usize, entries - 1);
+    assert_eq!(
+        cold.render(&marion::machines::load(machine).machine),
+        reloaded.render(&marion::machines::load(machine).machine),
+        "recompiled output must match the cold compile"
+    );
+    assert_eq!(cold.stats, reloaded.stats);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
