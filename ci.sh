@@ -27,17 +27,37 @@ cargo run --release --offline -q -p marion-bench --bin marion-bench -- crosschec
 echo "==> compile bench smoke (single iteration, writes BENCH_compile_smoke.json)"
 cargo run --release --offline -q -p marion-bench --bin marion-bench -- compile --smoke --out BENCH_compile_smoke.json
 
-echo "==> marion-serve round-trip (second identical request must be served from cache)"
+echo "==> marion-serve round-trip (cache warm-up, metrics snapshot, machines introspection)"
 serve_out="$(printf '%s\n' \
   '{"id":1,"machine":"r2000","strategy":"IPS","workload":"livermore"}' \
   '{"id":2,"machine":"r2000","strategy":"IPS","workload":"livermore"}' \
-  '{"id":3,"cmd":"shutdown"}' \
+  '{"id":3,"cmd":"metrics"}' \
+  '{"id":4,"cmd":"machines"}' \
+  '{"id":5,"cmd":"shutdown"}' \
   | ./target/release/marion-serve --workers 1)"
-printf '%s\n' "$serve_out" | sed -n '1,2p'
+printf '%s\n' "$serve_out" | sed -n '1,4p'
 printf '%s\n' "$serve_out" | sed -n 1p | grep -q '"ok":1'
 printf '%s\n' "$serve_out" | sed -n 1p | grep -q '"cache_hits":0,'
 printf '%s\n' "$serve_out" | sed -n 2p | grep -q '"cache_misses":0,'
 printf '%s\n' "$serve_out" | sed -n 2p | grep -Eq '"cache_hits":[1-9]'
+# The metrics snapshot covers exactly the two compiles served before it.
+printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"requests":2,'
+printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"service_count":2,'
+printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"service_p50_us":'
+printf '%s\n' "$serve_out" | sed -n 4p | grep -q '"machines":"toyp,'
+printf '%s\n' "$serve_out" | sed -n 4p | grep -q '"strategies":"Postpass,IPS,RASE"'
+printf '%s\n' "$serve_out" | sed -n 4p | grep -q '"protocol_version":1'
+printf '%s\n' "$serve_out" | sed -n 3p > metrics_snapshot.json
+
+echo "==> HTML report from demo trace (must be fully self-contained)"
+cargo run --release --offline -q -p marion-bench --bin marion-report -- \
+  --demo --html --serve metrics_snapshot.json --out report.html
+test -s report.html
+# Self-containment contract: no network references, no external assets.
+! grep -Eq 'http://|https://' report.html
+! grep -Eq 'src=|href=' report.html
+grep -q '<style>' report.html
+grep -q 'Compile service' report.html
 
 echo "==> serve bench smoke (cold vs warm over the shared cache, writes BENCH_serve_smoke.json)"
 cargo run --release --offline -q -p marion-bench --bin marion-bench -- serve --smoke --out BENCH_serve_smoke.json

@@ -18,33 +18,66 @@
 //! ```text
 //! marion-report TRACE.jsonl [MORE.jsonl ...]
 //! marion-report --demo [--jsonl OUT.jsonl]
+//! marion-report --html [--out REPORT.html] [--serve METRICS.json] TRACE.jsonl ...
 //! ```
 //!
 //! `--demo` compiles a Livermore kernel for the R2000 (IPS) and the
 //! dual-issue i860 (Postpass) with tracing and reservation tables
 //! enabled, then reports on the result; `--jsonl` additionally writes
-//! the merged trace for re-aggregation.
+//! the merged trace for re-aggregation. `--html` renders the same
+//! aggregation as one self-contained HTML page (inline CSS, no
+//! external assets — it opens offline from a `file:` URL) to stdout or
+//! to `--out`; `--serve` folds one `metrics` response line from
+//! `marion-serve` into the page as a request-latency section.
 
-use marion_bench::row;
+use marion_bench::{html::render_html, row};
 use marion_core::{CompileOptions, Compiler, StrategyKind};
-use marion_trace::{Record, TraceConfig, TraceData};
+use marion_trace::json::parse_flat;
+use marion_trace::{Record, TraceConfig, TraceData, Value};
 use std::collections::BTreeMap;
 
 fn usage() -> ! {
     eprintln!("usage: marion-report TRACE.jsonl [MORE.jsonl ...]");
     eprintln!("       marion-report --demo [--jsonl OUT.jsonl]");
+    eprintln!("       marion-report --html [--out REPORT.html] [--serve METRICS.json] [--demo | TRACE.jsonl ...]");
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+    let mut html = false;
+    let mut demo_mode = false;
+    let mut jsonl_out: Option<String> = None;
+    let mut html_out: Option<String> = None;
+    let mut serve_path: Option<String> = None;
+    let mut traces: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("marion-report: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--html" => html = true,
+            "--demo" => demo_mode = true,
+            "--jsonl" => jsonl_out = Some(value("--jsonl")),
+            "--out" => html_out = Some(value("--out")),
+            "--serve" => serve_path = Some(value("--serve")),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("marion-report: unknown flag `{other}`");
+                usage()
+            }
+            path => traces.push(path.to_string()),
+        }
+    }
+    if !demo_mode && traces.is_empty() {
         usage();
     }
-    let data = if args[0] == "--demo" {
+    let data = if demo_mode {
         let data = demo();
-        if let Some(pos) = args.iter().position(|a| a == "--jsonl") {
-            let path = args.get(pos + 1).unwrap_or_else(|| usage());
+        if let Some(path) = &jsonl_out {
             std::fs::write(path, data.to_jsonl()).unwrap_or_else(|e| {
                 eprintln!("marion-report: cannot write {path}: {e}");
                 std::process::exit(1);
@@ -53,7 +86,7 @@ fn main() {
         }
         data
     } else {
-        let parts: Vec<TraceData> = args
+        let parts: Vec<TraceData> = traces
             .iter()
             .map(|path| {
                 let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -68,7 +101,37 @@ fn main() {
             .collect();
         merge_traces(parts)
     };
-    print!("{}", report(&data));
+    if !html {
+        print!("{}", report(&data));
+        return;
+    }
+    // `--serve` points at a file holding one `metrics` response line
+    // (extra lines — e.g. a whole response stream — are scanned for
+    // the first line carrying `service_buckets`).
+    let serve_fields: Option<Vec<(String, Value)>> = serve_path.map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("marion-report: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        text.lines()
+            .filter_map(|line| parse_flat(line).ok())
+            .find(|fields| fields.iter().any(|(k, _)| k == "service_buckets"))
+            .unwrap_or_else(|| {
+                eprintln!("marion-report: {path}: no `metrics` response line found");
+                std::process::exit(1);
+            })
+    });
+    let page = render_html(&data, serve_fields.as_deref());
+    match html_out {
+        Some(path) => {
+            std::fs::write(&path, &page).unwrap_or_else(|e| {
+                eprintln!("marion-report: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => print!("{page}"),
+    }
 }
 
 /// Merges any number of parsed trace files into one [`TraceData`].
@@ -258,6 +321,34 @@ fn report(data: &TraceData) -> String {
             out.push_str(&row(&cells, &widths));
             out.push('\n');
         }
+        out.push('\n');
+    }
+
+    // ---- sample distributions + gauges ----
+    let mut any_hist = false;
+    for r in &data.records {
+        if let Record::Hist { name, ctx, hist } = r {
+            if !any_hist {
+                out.push_str("sample distributions (log2 buckets)\n");
+                any_hist = true;
+            }
+            out.push_str(&format!("  {ctx} \u{2014} {name}: {}\n", hist.summarize()));
+        }
+    }
+    if any_hist {
+        out.push('\n');
+    }
+    let mut any_gauge = false;
+    for r in &data.records {
+        if let Record::Gauge { name, ctx, value } = r {
+            if !any_gauge {
+                out.push_str("gauges (high-water)\n");
+                any_gauge = true;
+            }
+            out.push_str(&format!("  {ctx} \u{2014} {name}: {value}\n"));
+        }
+    }
+    if any_gauge {
         out.push('\n');
     }
 

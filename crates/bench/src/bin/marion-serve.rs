@@ -36,8 +36,10 @@ OPTIONS:
 Request lines look like:
     {\"id\":1,\"machine\":\"r2000\",\"strategy\":\"IPS\",\"workload\":\"livermore\"}
     {\"id\":2,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main(){return 7;}\",\"emit_asm\":1}
-    {\"id\":3,\"cmd\":\"stats\"}
-    {\"id\":4,\"cmd\":\"shutdown\"}
+    {\"id\":3,\"cmd\":\"stats\"}      cache counters (hits/misses/evictions/disk load)
+    {\"id\":4,\"cmd\":\"metrics\"}    latency histograms (p50/p90/p99), queue + worker gauges
+    {\"id\":5,\"cmd\":\"machines\"}   machines, strategies, protocol/format versions
+    {\"id\":6,\"cmd\":\"shutdown\"}
 ";
 
 struct Args {

@@ -1,0 +1,590 @@
+//! Self-contained HTML observability report.
+//!
+//! [`render_html`] turns an aggregated [`TraceData`] — plus, when
+//! available, one `metrics` response line from the compile service —
+//! into a single HTML page with **zero external assets**: all CSS is
+//! inline in one `<style>` block, charts are plain `<div>` bars, and
+//! collapsible sections use `<details>`, so the page renders fully
+//! offline from a `file:` URL. The renderer never emits a link or an
+//! embedded-resource attribute; CI grep-asserts that the output stays
+//! that way.
+//!
+//! Sections mirror the text report (`marion-report`): phase wall-clock
+//! timing, per-function counters, stall attribution per scheduling
+//! strategy, the log2 sample distributions recorded by
+//! `Tracer::observe`, cache effectiveness, reservation tables with
+//! their scheduler narratives — and, when serve metrics are supplied,
+//! request-latency distributions and worker utilization.
+
+use marion_trace::{hist, Histogram, Record, TraceData, Value};
+use std::collections::BTreeMap;
+
+/// Escapes text for HTML body and attribute positions.
+fn esc(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// A horizontal bar scaled to `value / max`, labelled on the right.
+fn bar(out: &mut String, label: &str, value: f64, max: f64, text: &str) {
+    let pct = if max > 0.0 {
+        (value / max * 100.0).clamp(0.0, 100.0)
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "<div class=\"barrow\"><span class=\"barlabel\">{}</span>\
+         <span class=\"bartrack\"><span class=\"bar\" style=\"width:{pct:.1}%\"></span></span>\
+         <span class=\"barvalue\">{}</span></div>\n",
+        esc(label),
+        esc(text)
+    ));
+}
+
+fn section(out: &mut String, title: &str) {
+    out.push_str(&format!("<h2>{}</h2>\n", esc(title)));
+}
+
+fn tile(out: &mut String, label: &str, value: &str) {
+    out.push_str(&format!(
+        "<div class=\"tile\"><div class=\"tilevalue\">{}</div>\
+         <div class=\"tilelabel\">{}</div></div>\n",
+        esc(value),
+        esc(label)
+    ));
+}
+
+fn table_open(out: &mut String, headers: &[&str]) {
+    out.push_str("<table><thead><tr>");
+    for h in headers {
+        out.push_str(&format!("<th>{}</th>", esc(h)));
+    }
+    out.push_str("</tr></thead><tbody>\n");
+}
+
+fn table_row(out: &mut String, cells: &[String]) {
+    out.push_str("<tr>");
+    for (i, c) in cells.iter().enumerate() {
+        let class = if i == 0 { " class=\"name\"" } else { "" };
+        out.push_str(&format!("<td{class}>{}</td>", esc(c)));
+    }
+    out.push_str("</tr>\n");
+}
+
+fn table_close(out: &mut String) {
+    out.push_str("</tbody></table>\n");
+}
+
+/// Renders one log2 histogram as bucket bars plus a summary line.
+fn hist_block(out: &mut String, title: &str, h: &Histogram, unit: &str) {
+    out.push_str(&format!(
+        "<div class=\"hist\"><div class=\"histtitle\">{} <span class=\"muted\">{}</span></div>\n",
+        esc(title),
+        esc(&h.summarize())
+    ));
+    let max = h.counts().iter().copied().max().unwrap_or(0) as f64;
+    for (i, &c) in h.counts().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let label = if i == 0 {
+            format!("0 {unit}")
+        } else {
+            format!(
+                "{}\u{2013}{} {unit}",
+                hist::bucket_min(i),
+                hist::bucket_max(i)
+            )
+        };
+        bar(out, &label, c as f64, max, &c.to_string());
+    }
+    out.push_str("</div>\n");
+}
+
+fn event_str<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.as_str())
+}
+
+fn event_int(fields: &[(String, Value)], name: &str) -> Option<i64> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.as_int())
+}
+
+const STALL_REASONS: [(&str, &str); 6] = [
+    ("stall_dependence", "dependence"),
+    ("stall_resource", "resource"),
+    ("stall_class", "class"),
+    ("stall_temporal", "temporal"),
+    ("stall_pressure", "pressure"),
+    ("stall_order", "order"),
+];
+
+const STYLE: &str = "\
+:root{color-scheme:light dark}\
+body{font-family:ui-monospace,monospace;margin:2rem auto;max-width:70rem;\
+padding:0 1rem;line-height:1.5;background:#16181d;color:#d8dee9}\
+h1{font-size:1.4rem;border-bottom:2px solid #3b4252;padding-bottom:.4rem}\
+h2{font-size:1.05rem;margin-top:2rem;color:#88c0d0}\
+h3{font-size:.95rem;margin:.8rem 0 .3rem;color:#a3be8c}\
+table{border-collapse:collapse;margin:.5rem 0;font-size:.85rem}\
+th,td{border:1px solid #3b4252;padding:.2rem .6rem;text-align:right}\
+th{background:#242933;color:#88c0d0}\
+td.name{text-align:left;color:#e5e9f0}\
+.tiles{display:flex;flex-wrap:wrap;gap:.8rem;margin:.8rem 0}\
+.tile{background:#242933;border:1px solid #3b4252;border-radius:6px;\
+padding:.6rem 1rem;min-width:8rem;text-align:center}\
+.tilevalue{font-size:1.3rem;color:#ebcb8b}\
+.tilelabel{font-size:.75rem;color:#81a1c1}\
+.barrow{display:flex;align-items:center;gap:.5rem;font-size:.8rem;margin:.12rem 0}\
+.barlabel{flex:0 0 16rem;text-align:right;overflow:hidden;\
+text-overflow:ellipsis;white-space:nowrap;color:#81a1c1}\
+.bartrack{flex:1;background:#242933;border-radius:3px;height:.9rem;overflow:hidden}\
+.bar{display:block;height:100%;background:#5e81ac}\
+.barvalue{flex:0 0 10rem;color:#d8dee9}\
+.hist{margin:.7rem 0 1rem;border-left:3px solid #3b4252;padding-left:.8rem}\
+.histtitle{font-size:.9rem;margin-bottom:.2rem;color:#e5e9f0}\
+.muted{color:#616e88;font-size:.78rem}\
+pre{background:#242933;border:1px solid #3b4252;border-radius:4px;\
+padding:.6rem;overflow-x:auto;font-size:.78rem}\
+details{margin:.4rem 0}\
+summary{cursor:pointer;color:#81a1c1}\
+footer{margin-top:2.5rem;font-size:.75rem;color:#616e88;\
+border-top:1px solid #3b4252;padding-top:.5rem}";
+
+/// Renders the whole report. `serve` is the parsed flat-JSON field
+/// list of one `metrics` response from the compile service (see
+/// `serve::PROTOCOL_VERSION` docs); pass `None` for pure compile
+/// traces.
+pub fn render_html(data: &TraceData, serve: Option<&[(String, Value)]>) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n");
+    out.push_str("<title>Marion observability report</title>\n");
+    out.push_str(&format!("<style>{STYLE}</style>\n"));
+    out.push_str("</head><body>\n<h1>Marion observability report</h1>\n");
+
+    // ---- aggregate the counters per ctx once ----
+    let mut funcs: BTreeMap<&str, BTreeMap<&str, i64>> = BTreeMap::new();
+    let mut phases: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for r in &data.records {
+        match r {
+            Record::Counter { name, ctx, value } => {
+                *funcs.entry(ctx).or_default().entry(name).or_insert(0) += value;
+            }
+            Record::Span { name, dur_us, .. } => {
+                let slot = phases.entry(name).or_insert((0, 0));
+                slot.0 += dur_us;
+                slot.1 += 1;
+            }
+            _ => {}
+        }
+    }
+    let total = |name: &str| data.counter_total(name);
+
+    // ---- summary tiles ----
+    out.push_str("<div class=\"tiles\">\n");
+    tile(&mut out, "functions", &funcs.len().to_string());
+    tile(
+        &mut out,
+        "instructions",
+        &total("insts_generated").to_string(),
+    );
+    tile(
+        &mut out,
+        "estimated cycles",
+        &total("estimated_cycles").to_string(),
+    );
+    tile(
+        &mut out,
+        "stall cycles",
+        &total("sched_stall_cycles").to_string(),
+    );
+    let wall: u64 = phases.values().map(|(t, _)| t).sum();
+    tile(&mut out, "traced wall time", &format!("{wall} us"));
+    out.push_str("</div>\n");
+
+    // ---- phase timing ----
+    if !phases.is_empty() {
+        section(&mut out, "Phase timing (wall clock)");
+        let mut rows: Vec<(&str, u64, u64)> =
+            phases.iter().map(|(n, (t, c))| (*n, *t, *c)).collect();
+        rows.sort_by_key(|(_, t, _)| std::cmp::Reverse(*t));
+        let max = rows.first().map(|(_, t, _)| *t).unwrap_or(0) as f64;
+        for (name, total, count) in rows {
+            bar(
+                &mut out,
+                name,
+                total as f64,
+                max,
+                &format!("{total} us / {count} span(s)"),
+            );
+        }
+    }
+
+    // ---- per-function counters ----
+    if !funcs.is_empty() {
+        section(&mut out, "Per-function summary");
+        let cols = [
+            ("insts_generated", "insts"),
+            ("spills", "spills"),
+            ("estimated_cycles", "est cycles"),
+            ("delay_slots_filled", "filled"),
+            ("nops_emitted", "nops"),
+            ("sched_stall_cycles", "stalls"),
+            ("packed_words", "packed"),
+        ];
+        let mut headers = vec!["machine/function"];
+        headers.extend(cols.iter().map(|(_, h)| *h));
+        table_open(&mut out, &headers);
+        for (ctx, counters) in &funcs {
+            let mut cells = vec![(*ctx).to_string()];
+            cells.extend(
+                cols.iter()
+                    .map(|(key, _)| counters.get(key).copied().unwrap_or(0).to_string()),
+            );
+            table_row(&mut out, &cells);
+        }
+        table_close(&mut out);
+    }
+
+    // ---- stall reasons per strategy pass ----
+    // Final sched_block events carry a per-pass label ("sched:ips",
+    // "sched:postpass-final", …) and typed stall cycles; summing per
+    // (pass, reason) gives the strategy-by-strategy breakdown.
+    let mut by_pass: BTreeMap<String, BTreeMap<&str, i64>> = BTreeMap::new();
+    for (_, fields) in data.events_named("sched_block") {
+        if event_int(fields, "final") != Some(1) {
+            continue;
+        }
+        let pass = event_str(fields, "pass").unwrap_or("?").to_string();
+        let slot = by_pass.entry(pass).or_default();
+        for (key, reason) in STALL_REASONS {
+            *slot.entry(reason).or_insert(0) += event_int(fields, key).unwrap_or(0);
+        }
+    }
+    by_pass.retain(|_, reasons| reasons.values().any(|&v| v > 0));
+    if !by_pass.is_empty() {
+        section(&mut out, "Stall reasons by strategy");
+        let max = by_pass
+            .values()
+            .flat_map(|r| r.values())
+            .copied()
+            .max()
+            .unwrap_or(0) as f64;
+        for (pass, reasons) in &by_pass {
+            out.push_str(&format!("<h3>{}</h3>\n", esc(pass)));
+            for (key, reason) in STALL_REASONS {
+                let _ = key;
+                let cycles = reasons.get(reason).copied().unwrap_or(0);
+                if cycles > 0 {
+                    bar(
+                        &mut out,
+                        reason,
+                        cycles as f64,
+                        max,
+                        &format!("{cycles} cycle(s)"),
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- sample distributions (log2 histograms) ----
+    let hists: Vec<(&str, &str, &Histogram)> = data
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Hist { name, ctx, hist } => Some((ctx.as_str(), name.as_str(), hist.as_ref())),
+            _ => None,
+        })
+        .collect();
+    if !hists.is_empty() {
+        section(&mut out, "Sample distributions (log2 buckets)");
+        for (ctx, name, h) in hists {
+            hist_block(&mut out, &format!("{ctx} \u{2014} {name}"), h, "");
+        }
+    }
+
+    // ---- gauges ----
+    let gauges: Vec<(&str, &str, i64)> = data
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Gauge { name, ctx, value } => Some((ctx.as_str(), name.as_str(), *value)),
+            _ => None,
+        })
+        .collect();
+    if !gauges.is_empty() {
+        section(&mut out, "Gauges (high-water)");
+        table_open(&mut out, &["context", "gauge", "value"]);
+        for (ctx, name, value) in gauges {
+            table_row(
+                &mut out,
+                &[ctx.to_string(), name.to_string(), value.to_string()],
+            );
+        }
+        table_close(&mut out);
+    }
+
+    // ---- cache effectiveness ----
+    let hits = total("cache_hit");
+    let misses = total("cache_miss");
+    let evicts = total("cache_evict");
+    if hits + misses + evicts > 0 {
+        section(&mut out, "Compile-cache effectiveness");
+        let lookups = hits + misses;
+        let rate = if lookups > 0 {
+            hits as f64 * 100.0 / lookups as f64
+        } else {
+            0.0
+        };
+        out.push_str("<div class=\"tiles\">\n");
+        tile(&mut out, "hits", &hits.to_string());
+        tile(&mut out, "misses", &misses.to_string());
+        tile(&mut out, "evictions", &evicts.to_string());
+        tile(&mut out, "hit rate", &format!("{rate:.0}%"));
+        out.push_str("</div>\n");
+    }
+
+    // ---- reservation tables + narratives ----
+    let mut narratives: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+    for (ctx, fields) in data.events_named("sched_explain") {
+        let pass = event_str(fields, "pass").unwrap_or("?").to_string();
+        if let Some(text) = event_str(fields, "narrative") {
+            narratives
+                .entry((ctx.to_string(), pass))
+                .or_default()
+                .push(text.to_string());
+        }
+    }
+    let tables = data.events_named("reservation_table");
+    if !tables.is_empty() || !narratives.is_empty() {
+        section(&mut out, "Reservation tables and scheduler narratives");
+        for (ctx, fields) in tables {
+            let pass = event_str(fields, "pass").unwrap_or("?").to_string();
+            out.push_str(&format!(
+                "<details><summary>{} [{}]</summary>\n",
+                esc(ctx),
+                esc(&pass)
+            ));
+            if let Some(table) = event_str(fields, "table") {
+                out.push_str(&format!("<pre>{}</pre>\n", esc(table)));
+            }
+            if let Some(texts) = narratives.remove(&(ctx.to_string(), pass)) {
+                for text in texts {
+                    out.push_str(&format!("<pre>{}</pre>\n", esc(&text)));
+                }
+            }
+            out.push_str("</details>\n");
+        }
+        for ((ctx, pass), texts) in narratives {
+            out.push_str(&format!(
+                "<details><summary>{} [{}] (narrative)</summary>\n",
+                esc(&ctx),
+                esc(&pass)
+            ));
+            for text in texts {
+                out.push_str(&format!("<pre>{}</pre>\n", esc(&text)));
+            }
+            out.push_str("</details>\n");
+        }
+    }
+
+    // ---- serve metrics ----
+    if let Some(fields) = serve {
+        render_serve_section(&mut out, fields);
+    }
+
+    out.push_str(
+        "<footer>marion-report \u{2014} single-file report, no external assets; \
+         percentiles are log2-bucket upper bounds (&lt;2\u{00d7} relative error).</footer>\n",
+    );
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// The service section: request-latency distributions, utilization
+/// gauges, and cache rates from one `metrics` response line.
+fn render_serve_section(out: &mut String, fields: &[(String, Value)]) {
+    let int = |name: &str| event_int(fields, name);
+    let str_of = |name: &str| event_str(fields, name);
+    section(out, "Compile service");
+    out.push_str("<div class=\"tiles\">\n");
+    for (name, label) in [
+        ("requests", "requests served"),
+        ("failures", "failures"),
+        ("queue_depth", "queue depth"),
+        ("busy_workers", "busy workers"),
+        ("workers", "workers"),
+    ] {
+        if let Some(v) = int(name) {
+            tile(out, label, &v.to_string());
+        }
+    }
+    if let (Some(busy), Some(workers)) = (int("busy_workers"), int("workers")) {
+        if workers > 0 {
+            tile(
+                out,
+                "utilization",
+                &format!("{:.0}%", busy as f64 * 100.0 / workers as f64),
+            );
+        }
+    }
+    if let Some((_, Value::Float(rate))) = fields.iter().find(|(k, _)| k == "cache_hit_rate") {
+        tile(out, "cache hit rate", &format!("{:.0}%", rate * 100.0));
+    }
+    out.push_str("</div>\n");
+    for (prefix, title) in [("service", "Service time"), ("queue_wait", "Queue wait")] {
+        let Some(buckets) = str_of(&format!("{prefix}_buckets")) else {
+            continue;
+        };
+        let sum = int(&format!("{prefix}_sum_us")).unwrap_or(0).max(0) as u64;
+        if let Some(h) = Histogram::from_parts(buckets, sum) {
+            hist_block(out, title, &h, "us");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marion_trace::{TraceConfig, Tracer};
+
+    fn sample_trace() -> TraceData {
+        let t = Tracer::new(TraceConfig {
+            reservation_tables: true,
+            explanations: true,
+        });
+        t.add("r2000/kernel", "insts_generated", 42);
+        t.add("r2000/kernel", "sched_stall_cycles", 7);
+        t.add("r2000/kernel", "cache_miss", 1);
+        t.observe("r2000", "block_stall_cycles", 3);
+        t.observe("r2000", "block_stall_cycles", 900);
+        t.gauge("module", "workers", 4);
+        t.event(
+            "r2000/kernel/b0",
+            "sched_block",
+            &[
+                ("pass", Value::from("sched:ips-final")),
+                ("final", Value::Int(1)),
+                ("stall_dependence", Value::Int(5)),
+                ("stall_resource", Value::Int(2)),
+            ],
+        );
+        t.event(
+            "r2000/kernel/b0",
+            "reservation_table",
+            &[
+                ("pass", Value::from("final")),
+                ("table", Value::from("cyc0 ALU <raw> & stuff")),
+            ],
+        );
+        t.event(
+            "r2000/kernel/b0",
+            "sched_explain",
+            &[
+                ("pass", Value::from("final")),
+                ("narrative", Value::from("cycle 1: stalled")),
+            ],
+        );
+        let mut data = t.finish().unwrap();
+        for (name, dur_us) in [("select", 120u64), ("sched", 80)] {
+            data.records.push(Record::Span {
+                name: name.to_string(),
+                ctx: "module".to_string(),
+                depth: 0,
+                start_us: 0,
+                dur_us,
+            });
+        }
+        data
+    }
+
+    #[test]
+    fn page_is_self_contained_with_no_network_references() {
+        let html = render_html(&sample_trace(), None);
+        // The CI contract, asserted at the source: nothing that could
+        // trigger a network fetch or an external asset load.
+        assert!(!html.contains("http:"), "no absolute links");
+        assert!(!html.contains("https:"), "no absolute links");
+        assert!(!html.contains("src="), "no embedded resources");
+        assert!(!html.contains("href="), "no links");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(html.contains("<style>"), "inline styles present");
+    }
+
+    #[test]
+    fn sections_render_from_a_compile_trace() {
+        let html = render_html(&sample_trace(), None);
+        for needle in [
+            "Phase timing",
+            "Per-function summary",
+            "Stall reasons by strategy",
+            "sched:ips-final",
+            "Sample distributions",
+            "block_stall_cycles",
+            "Gauges",
+            "Compile-cache effectiveness",
+            "Reservation tables",
+        ] {
+            assert!(html.contains(needle), "missing section `{needle}`");
+        }
+        // Raw event text is escaped, not injected.
+        assert!(html.contains("&lt;raw&gt; &amp; stuff"));
+        assert!(!html.contains("<raw>"));
+    }
+
+    #[test]
+    fn serve_metrics_render_latency_and_utilization() {
+        let mut service_us = Histogram::new();
+        for v in [100u64, 250, 900, 40_000] {
+            service_us.record(v);
+        }
+        let fields = vec![
+            ("requests".to_string(), Value::Int(4)),
+            ("failures".to_string(), Value::Int(0)),
+            ("queue_depth".to_string(), Value::Int(1)),
+            ("busy_workers".to_string(), Value::Int(2)),
+            ("workers".to_string(), Value::Int(4)),
+            ("cache_hit_rate".to_string(), Value::Float(0.75)),
+            (
+                "service_buckets".to_string(),
+                Value::Str(service_us.encode_counts()),
+            ),
+            (
+                "service_sum_us".to_string(),
+                Value::Int(service_us.sum() as i64),
+            ),
+        ];
+        let html = render_html(&TraceData::default(), Some(&fields));
+        assert!(html.contains("Compile service"));
+        assert!(html.contains("Service time"));
+        assert!(html.contains("requests served"));
+        assert!(html.contains("50%"), "utilization tile: 2 of 4 busy");
+        assert!(html.contains("75%"), "cache hit rate tile");
+        assert!(!html.contains("https:"));
+        assert!(!html.contains("href="));
+    }
+
+    #[test]
+    fn empty_trace_still_renders_a_valid_page() {
+        let html = render_html(&TraceData::default(), None);
+        assert!(html.contains("<h1>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(!html.contains("Phase timing"), "empty sections elided");
+    }
+}

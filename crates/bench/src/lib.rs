@@ -14,6 +14,7 @@
 //! This library holds the shared plumbing: compile a workload for a
 //! machine/strategy pair, run it on the simulator, and lay out rows.
 
+pub mod html;
 pub mod serve;
 
 use marion_core::{CompiledProgram, Compiler, StrategyKind};

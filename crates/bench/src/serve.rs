@@ -13,11 +13,17 @@
 //! {"id":4,"cmd":"shutdown"}
 //! ```
 //!
-//! Requests: `cmd` is `compile` (default), `stats`, or `shutdown`.
-//! `compile` takes a `machine` name, a `strategy` name, and either a
-//! named `workload` (`livermore` for the combined Livermore suite, or
-//! `gen:<count>:<seed>` for the deterministic generator) or inline C
-//! `source`; `emit_asm:1` adds the rendered assembly to the response.
+//! Requests: `cmd` is `compile` (default), `stats`, `metrics`,
+//! `machines`, or `shutdown`. `compile` takes a `machine` name, a
+//! `strategy` name, and either a named `workload` (`livermore` for the
+//! combined Livermore suite, or `gen:<count>:<seed>` for the
+//! deterministic generator) or inline C `source`; `emit_asm:1` adds
+//! the rendered assembly to the response. `metrics` answers a
+//! service-level snapshot — request counts, queue-wait and
+//! service-time log2 histograms with p50/p90/p99, live queue-depth and
+//! busy-worker gauges, cache rates — without disturbing in-flight
+//! work. `machines` lists the supported machines, strategies, and
+//! protocol/cache-format versions.
 //!
 //! Responses stream back in request order, one line each:
 //!
@@ -33,13 +39,18 @@
 
 use marion_core::{CompileOptions, Compiler, FuncCache, StrategyKind};
 use marion_trace::json::{parse_flat, ObjWriter};
+use marion_trace::Histogram;
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufRead, Write};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
+
+/// Version of the request/response protocol described in the module
+/// docs. Bumped on incompatible changes; reported by `machines`.
+pub const PROTOCOL_VERSION: i64 = 1;
 
 /// How to build a [`Service`].
 #[derive(Debug, Clone)]
@@ -73,7 +84,7 @@ impl Default for ServeConfig {
 pub struct Request {
     /// Echoed back in the response for correlation.
     pub id: i64,
-    /// `compile`, `stats`, or `shutdown`.
+    /// `compile`, `stats`, `metrics`, `machines`, or `shutdown`.
     pub cmd: Cmd,
     /// Target machine name (`marion_machines::EXTENDED`).
     pub machine: String,
@@ -94,6 +105,10 @@ pub enum Cmd {
     Compile,
     /// Report service-level cache statistics.
     Stats,
+    /// Report a request-latency and utilization snapshot.
+    Metrics,
+    /// List machines, strategies, and protocol/format versions.
+    Machines,
     /// Answer, then stop reading and drain the queue.
     Shutdown,
 }
@@ -120,6 +135,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let cmd = match get_str("cmd").unwrap_or("compile") {
         "compile" => Cmd::Compile,
         "stats" => Cmd::Stats,
+        "metrics" => Cmd::Metrics,
+        "machines" => Cmd::Machines,
         "shutdown" => Cmd::Shutdown,
         other => return Err(format!("unknown cmd `{other}`")),
     };
@@ -158,6 +175,77 @@ pub struct ServeStats {
     pub cache_misses: u64,
 }
 
+/// Service-level metrics: live gauges (lock-free atomics, safe to
+/// touch from the stream's hot path) plus request counters and latency
+/// histograms guarded by one mutex.
+///
+/// Holding `requests` and the service-time histogram under the same
+/// lock is what makes the snapshot exact: the sum of the service-time
+/// bucket counts always equals the number of requests served, with no
+/// torn reads between the two.
+#[derive(Default)]
+pub struct Metrics {
+    queue_depth: AtomicI64,
+    busy_workers: AtomicI64,
+    workers: AtomicI64,
+    inner: Mutex<MetricsInner>,
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    requests: u64,
+    failures: u64,
+    queue_wait_us: Histogram,
+    service_us: Histogram,
+}
+
+/// A consistent point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests fully served (== `service_us.count()`).
+    pub requests: u64,
+    /// Requests that answered `ok:0`.
+    pub failures: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: i64,
+    /// Workers currently inside `handle_line`.
+    pub busy_workers: i64,
+    /// Worker threads configured for the current stream.
+    pub workers: i64,
+    /// Time from enqueue to dequeue, in microseconds.
+    pub queue_wait_us: Histogram,
+    /// Time inside `handle_line`, in microseconds.
+    pub service_us: Histogram,
+}
+
+impl Metrics {
+    /// Records one completed request. Both counters and both
+    /// histograms move under a single lock, so snapshots never see a
+    /// request counted but not yet observed (or vice versa).
+    fn record(&self, queue_wait_us: u64, service_us: u64, failed: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.requests += 1;
+        inner.failures += failed as u64;
+        inner.queue_wait_us.record(queue_wait_us);
+        inner.service_us.record(service_us);
+    }
+
+    /// A consistent snapshot; gauges are read alongside the locked
+    /// counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            requests: inner.requests,
+            failures: inner.failures,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            busy_workers: self.busy_workers.load(Ordering::Relaxed),
+            workers: self.workers.load(Ordering::Relaxed),
+            queue_wait_us: inner.queue_wait_us.clone(),
+            service_us: inner.service_us.clone(),
+        }
+    }
+}
+
 /// The compile service: compilers and parsed modules are built once
 /// and shared; compiled functions come from the content-addressed
 /// cache when enabled. `Service` is `Sync` — share one instance across
@@ -167,6 +255,7 @@ pub struct Service {
     jobs: Option<NonZeroUsize>,
     compilers: Mutex<HashMap<(String, String), Arc<Compiler>>>,
     modules: Mutex<HashMap<String, Arc<marion_ir::Module>>>,
+    metrics: Metrics,
 }
 
 impl Service {
@@ -192,12 +281,18 @@ impl Service {
             jobs: config.jobs,
             compilers: Mutex::new(HashMap::new()),
             modules: Mutex::new(HashMap::new()),
+            metrics: Metrics::default(),
         })
     }
 
     /// The shared compile cache, if enabled.
     pub fn cache(&self) -> Option<&Arc<FuncCache>> {
         self.cache.as_ref()
+    }
+
+    /// The service-level metrics (cumulative across streams).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     fn compiler(&self, machine: &str, strategy: &str) -> Result<Arc<Compiler>, String> {
@@ -287,6 +382,8 @@ impl Service {
         match req.cmd {
             Cmd::Compile => self.handle_compile(&req),
             Cmd::Stats => (self.stats_response(req.id), Outcome::default()),
+            Cmd::Metrics => (self.metrics_response(req.id), Outcome::default()),
+            Cmd::Machines => (machines_response(req.id), Outcome::default()),
             Cmd::Shutdown => {
                 let mut obj = ObjWriter::new();
                 obj.int("id", req.id);
@@ -359,13 +456,75 @@ impl Service {
                 obj.int("entries", cache.len() as i64);
                 obj.int("hits", stats.hits as i64);
                 obj.int("misses", stats.misses as i64);
+                obj.int("insertions", stats.insertions as i64);
                 obj.int("evictions", stats.evictions as i64);
                 obj.float("hit_rate", stats.hit_rate());
+                if let Some(load) = cache.disk_load() {
+                    obj.int("disk_loaded", load.loaded as i64);
+                    obj.int("disk_corrupt", load.corrupt as i64);
+                }
             }
             None => obj.int("cache_enabled", 0),
         }
         obj.finish()
     }
+
+    fn metrics_response(&self, id: i64) -> String {
+        let snap = self.metrics.snapshot();
+        let mut obj = ObjWriter::new();
+        obj.int("id", id);
+        obj.int("ok", 1);
+        obj.int("requests", snap.requests as i64);
+        obj.int("failures", snap.failures as i64);
+        obj.int("queue_depth", snap.queue_depth);
+        obj.int("busy_workers", snap.busy_workers);
+        obj.int("workers", snap.workers);
+        write_hist(&mut obj, "service", &snap.service_us);
+        write_hist(&mut obj, "queue_wait", &snap.queue_wait_us);
+        if let Some(cache) = &self.cache {
+            let stats = cache.stats();
+            obj.int("cache_hits", stats.hits as i64);
+            obj.int("cache_misses", stats.misses as i64);
+            obj.int("cache_evictions", stats.evictions as i64);
+            obj.float("cache_hit_rate", stats.hit_rate());
+        }
+        obj.finish()
+    }
+}
+
+/// Writes one histogram into a flat response as `<prefix>_count`,
+/// `<prefix>_sum_us`, `<prefix>_p50_us`/`p90`/`p99` (percentiles
+/// omitted when empty), and the sparse `<prefix>_buckets` string
+/// ([`Histogram::encode_counts`]).
+fn write_hist(obj: &mut ObjWriter, prefix: &str, hist: &Histogram) {
+    obj.int(&format!("{prefix}_count"), hist.count() as i64);
+    obj.int(
+        &format!("{prefix}_sum_us"),
+        i64::try_from(hist.sum()).unwrap_or(i64::MAX),
+    );
+    for (label, p) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+        if let Some(v) = hist.percentile(p) {
+            obj.int(
+                &format!("{prefix}_{label}_us"),
+                i64::try_from(v).unwrap_or(i64::MAX),
+            );
+        }
+    }
+    obj.str(&format!("{prefix}_buckets"), &hist.encode_counts());
+}
+
+/// The `machines` response: everything a client needs to discover
+/// before issuing compile requests.
+fn machines_response(id: i64) -> String {
+    let strategies: Vec<&str> = StrategyKind::ALL.iter().map(|k| k.name()).collect();
+    let mut obj = ObjWriter::new();
+    obj.int("id", id);
+    obj.int("ok", 1);
+    obj.str("machines", &marion_machines::EXTENDED.join(","));
+    obj.str("strategies", &strategies.join(","));
+    obj.int("protocol_version", PROTOCOL_VERSION);
+    obj.int("cache_format_version", marion_core::fcache::FORMAT_VERSION);
+    obj.finish()
 }
 
 fn error_response(id: i64, error: &str) -> String {
@@ -402,7 +561,9 @@ pub fn run_stream<R: BufRead, W: Write + Send>(
 ) -> io::Result<ServeStats> {
     let workers = workers.max(1);
     let queue = queue.max(1);
-    let (work_tx, work_rx) = mpsc::sync_channel::<(u64, String)>(queue);
+    let metrics = service.metrics();
+    metrics.workers.store(workers as i64, Ordering::Relaxed);
+    let (work_tx, work_rx) = mpsc::sync_channel::<(u64, String, Instant)>(queue);
     let work_rx = Mutex::new(work_rx);
     let (done_tx, done_rx) = mpsc::channel::<(u64, String)>();
     let requests = AtomicU64::new(0);
@@ -435,8 +596,23 @@ pub fn run_stream<R: BufRead, W: Write + Send>(
             let misses = &misses;
             s.spawn(move || loop {
                 let msg = work_rx.lock().unwrap().recv();
-                let Ok((seq, line)) = msg else { break };
+                let Ok((seq, line, enqueued)) = msg else {
+                    break;
+                };
+                let queue_wait_us = enqueued.elapsed().as_micros() as u64;
+                metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                metrics.busy_workers.fetch_add(1, Ordering::Relaxed);
+                let served = Instant::now();
                 let (response, outcome) = service.handle_line(&line);
+                metrics.busy_workers.fetch_sub(1, Ordering::Relaxed);
+                // Recorded *after* handle_line, so a `metrics` request
+                // snapshots only requests completed before it — and
+                // the bucket-count/request equality stays exact.
+                metrics.record(
+                    queue_wait_us,
+                    served.elapsed().as_micros() as u64,
+                    outcome.failed,
+                );
                 requests.fetch_add(1, Ordering::Relaxed);
                 failures.fetch_add(outcome.failed as u64, Ordering::Relaxed);
                 hits.fetch_add(outcome.cache_hits, Ordering::Relaxed);
@@ -458,7 +634,9 @@ pub fn run_stream<R: BufRead, W: Write + Send>(
                     continue;
                 }
                 let stop = is_shutdown(&line);
-                if work_tx.send((seq, line)).is_err() {
+                metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                if work_tx.send((seq, line, Instant::now())).is_err() {
+                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                     break;
                 }
                 seq += 1;
@@ -595,6 +773,159 @@ mod tests {
         assert_eq!(field(&lines[1], "cache_enabled"), Some(Value::Int(1)));
         assert_eq!(field(&lines[1], "entries"), Some(Value::Int(1)));
         assert_eq!(field(&lines[1], "misses"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn metrics_bucket_counts_exactly_equal_requests_served() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        let mut requests = String::new();
+        for id in 1..=5 {
+            requests.push_str(&format!(
+                "{{\"id\":{id},\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() {{ return {id}; }}\"}}\n"
+            ));
+        }
+        requests.push_str("{\"id\":6,\"cmd\":\"metrics\"}\n");
+        let (lines, stream_stats) = respond(&service, &requests, 1);
+        assert_eq!(lines.len(), 6);
+        let metrics = &lines[5];
+        assert_eq!(field(metrics, "ok"), Some(Value::Int(1)));
+        // Acceptance invariant: with one worker, the snapshot covers
+        // exactly the five compiles served before it, and the
+        // histogram bucket counts sum to that same number.
+        assert_eq!(field(metrics, "requests"), Some(Value::Int(5)));
+        assert_eq!(field(metrics, "service_count"), Some(Value::Int(5)));
+        let buckets = field(metrics, "service_buckets").unwrap();
+        let hist = Histogram::from_parts(buckets.as_str().unwrap(), 0).unwrap();
+        assert_eq!(hist.count(), 5, "sum of bucket counts == requests");
+        assert_eq!(field(metrics, "queue_wait_count"), Some(Value::Int(5)));
+        assert_eq!(field(metrics, "workers"), Some(Value::Int(1)));
+        assert_eq!(field(metrics, "failures"), Some(Value::Int(0)));
+        // Percentiles exist once there is data.
+        assert!(field(metrics, "service_p50_us").is_some());
+        assert!(field(metrics, "service_p99_us").is_some());
+        // The stream total counts the metrics request itself too.
+        assert_eq!(stream_stats.requests, 6);
+        // After the stream drains, the cumulative snapshot agrees with
+        // the stream accounting and the invariant still holds.
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.requests, 6);
+        assert_eq!(snap.service_us.count(), snap.requests);
+        assert_eq!(snap.queue_wait_us.count(), snap.requests);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.busy_workers, 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_stays_consistent_under_concurrent_requests() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        // Many workers, interleaved compiles and metrics probes: every
+        // snapshot must satisfy count(service_us) == requests, however
+        // the threads interleave.
+        let mut requests = String::new();
+        for id in 0..24 {
+            if id % 3 == 2 {
+                requests.push_str(&format!("{{\"id\":{id},\"cmd\":\"metrics\"}}\n"));
+            } else {
+                requests.push_str(&format!(
+                    "{{\"id\":{id},\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() {{ return {id}; }}\"}}\n"
+                ));
+            }
+        }
+        let (lines, stats) = respond(&service, &requests, 4);
+        assert_eq!(lines.len(), 24);
+        let mut probes = 0;
+        for line in &lines {
+            let Some(requests_seen) = field(line, "requests").and_then(|v| v.as_int()) else {
+                continue;
+            };
+            probes += 1;
+            assert_eq!(
+                field(line, "service_count"),
+                Some(Value::Int(requests_seen)),
+                "snapshot torn: {line}"
+            );
+            let buckets = field(line, "service_buckets").unwrap();
+            let hist = Histogram::from_parts(buckets.as_str().unwrap(), 0).unwrap();
+            assert_eq!(hist.count(), requests_seen as u64, "buckets vs requests");
+            // Gauges stay within configuration bounds.
+            let busy = field(line, "busy_workers")
+                .and_then(|v| v.as_int())
+                .unwrap();
+            assert!((0..=4).contains(&busy), "busy_workers {busy}");
+        }
+        assert_eq!(probes, 8);
+        assert_eq!(stats.requests, 24);
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.requests, 24);
+        assert_eq!(snap.service_us.count(), 24);
+    }
+
+    #[test]
+    fn machines_lists_targets_strategies_and_versions() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        let (lines, _) = respond(&service, "{\"id\":7,\"cmd\":\"machines\"}\n", 1);
+        let line = &lines[0];
+        assert_eq!(field(line, "ok"), Some(Value::Int(1)));
+        let machines = field(line, "machines").unwrap();
+        let machines = machines.as_str().unwrap();
+        for m in marion_machines::EXTENDED {
+            assert!(machines.split(',').any(|x| x == m), "missing {m}");
+        }
+        assert_eq!(
+            field(line, "strategies"),
+            Some(Value::Str("Postpass,IPS,RASE".into()))
+        );
+        assert_eq!(
+            field(line, "protocol_version"),
+            Some(Value::Int(PROTOCOL_VERSION))
+        );
+        assert_eq!(
+            field(line, "cache_format_version"),
+            Some(Value::Int(marion_core::fcache::FORMAT_VERSION))
+        );
+    }
+
+    #[test]
+    fn stats_reports_disk_load_and_corrupt_lines() {
+        let dir = std::env::temp_dir().join(format!("marion-serve-stats-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("store.jsonl");
+        // First service populates the disk store.
+        {
+            let service = Service::new(&ServeConfig {
+                cache_disk: Some(store.clone()),
+                ..ServeConfig::default()
+            })
+            .unwrap();
+            let (lines, _) = respond(
+                &service,
+                "{\"id\":1,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() { return 1; }\"}\n",
+                1,
+            );
+            assert_eq!(field(&lines[0], "ok"), Some(Value::Int(1)));
+        }
+        // Corrupt the store with a garbage line, then reopen: `stats`
+        // must report both what loaded and what was rejected.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&store)
+            .unwrap();
+        writeln!(f, "this is not a cache entry").unwrap();
+        drop(f);
+        let service = Service::new(&ServeConfig {
+            cache_disk: Some(store.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (lines, _) = respond(&service, "{\"id\":2,\"cmd\":\"stats\"}\n", 1);
+        let line = &lines[0];
+        assert_eq!(field(line, "cache_enabled"), Some(Value::Int(1)));
+        assert_eq!(field(line, "disk_loaded"), Some(Value::Int(1)));
+        assert_eq!(field(line, "disk_corrupt"), Some(Value::Int(1)));
+        assert!(field(line, "insertions").is_some());
+        assert!(field(line, "evictions").is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -296,6 +296,7 @@ impl Compiler {
                 shards.extend(shard);
             }
         }
+        tracer.gauge(&module_ctx, "workers", workers as i64);
         drop(module_span);
         let mut trace = tracer.finish();
         if let Some(data) = &mut trace {
@@ -452,6 +453,13 @@ impl Compiler {
         tracer.add(&ctx, "estimated_cycles", fs.estimated_cycles as i64);
         tracer.add(&ctx, "delay_slots_filled", fs.delay_slots_filled as i64);
         tracer.add(&ctx, "nops_emitted", fs.nops_emitted as i64);
+        // Machine-level size distributions: one sample per function,
+        // accumulated across the module into log2 histograms. These
+        // are structural (deterministic), so a cache hit replaying the
+        // recorded trace reproduces them exactly.
+        let mctx = self.machine.name();
+        tracer.observe(mctx, "func_insts", fs.insts_generated as u64);
+        tracer.observe(mctx, "func_est_cycles", fs.estimated_cycles);
         Ok((emitted, fs))
     }
 }

@@ -47,8 +47,9 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Entry format version, bumped whenever the payload codec changes so
-/// stale disk stores read as corrupt instead of mis-decoding.
-const FORMAT_VERSION: i64 = 1;
+/// stale disk stores read as corrupt instead of mis-decoding. Public
+/// so the serve protocol's `machines` introspection can report it.
+pub const FORMAT_VERSION: i64 = 1;
 
 /// One cached compiled function.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +121,8 @@ pub struct CacheLoad {
 pub struct FuncCache {
     mem: ShardedCache<CachedFunc>,
     disk: Option<DiskStore>,
+    /// What opening the disk store found; `None` for in-memory caches.
+    disk_load: Option<CacheLoad>,
 }
 
 impl std::fmt::Debug for FuncCache {
@@ -138,6 +141,7 @@ impl FuncCache {
         FuncCache {
             mem: ShardedCache::new(capacity),
             disk: None,
+            disk_load: None,
         }
     }
 
@@ -171,9 +175,17 @@ impl FuncCache {
             FuncCache {
                 mem,
                 disk: Some(disk),
+                disk_load: Some(load),
             },
             load,
         ))
+    }
+
+    /// What opening the disk store found (loaded and corrupt line
+    /// counts); `None` when the cache is purely in-memory. Operators
+    /// watch the corrupt count to spot store rot without a restart.
+    pub fn disk_load(&self) -> Option<CacheLoad> {
+        self.disk_load
     }
 
     /// Looks up a compiled function.

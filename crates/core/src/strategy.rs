@@ -258,6 +258,11 @@ fn record_sched_pass(
             ],
         );
         if final_pass {
+            // Per-block distributions at function scope: block stall
+            // cycles and final schedule length as log2 histograms, so
+            // reports can show the shape, not just the totals.
+            tracer.observe(ctx, "block_stall_cycles", m.stall_cycles as u64);
+            tracer.observe(ctx, "block_len_cycles", schedule.length as u64);
             tracer.add(ctx, "sched_stall_cycles", m.stall_cycles as i64);
             tracer.add(ctx, "sched_temporal_groups", m.temporal_groups as i64);
             tracer.add(ctx, "issue_slots_used", m.issue_slots_used as i64);

@@ -1,0 +1,351 @@
+//! Fixed-bucket log2 histograms for latency and size distributions.
+//!
+//! A [`Histogram`] counts `u64` samples into [`BUCKETS`] power-of-two
+//! buckets: bucket 0 holds the value 0, bucket `i` (1 ≤ i ≤ 64) holds
+//! values in `[2^(i-1), 2^i)`. The layout is fixed, so merging two
+//! histograms is a lossless element-wise sum — associative and
+//! commutative by construction — which is exactly what
+//! `TraceData::merge` and the serve-side metrics aggregation need.
+//!
+//! Percentiles are estimated from the bucket counts:
+//! [`Histogram::percentile`] returns the *upper bound* of the bucket
+//! containing the requested rank. The estimate `e` therefore bounds
+//! the true sample `v` by `e/2 < v ≤ e` (bucket 0 is exact), a
+//! relative error of strictly less than 2×. That is the price of
+//! fixed 65-slot storage; it is independent of sample count.
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in: 0 for 0, else `floor(log2 v) + 1`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Smallest value bucket `i` can hold.
+pub fn bucket_min(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Largest value bucket `i` can hold (saturating at `u64::MAX`).
+pub fn bucket_max(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("buckets", &self.encode_counts())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+    }
+
+    /// Element-wise sum of another histogram into this one. Lossless:
+    /// the result is identical to having recorded both sample streams
+    /// into one histogram, so merging is associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Estimated `p`-th percentile (`p` in `[0, 1]`): the upper bound
+    /// of the bucket holding the sample of rank `ceil(p·count)`.
+    /// `None` when the histogram is empty. The estimate is within a
+    /// factor of two above the true sample (see module docs).
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_max(i));
+            }
+        }
+        Some(bucket_max(BUCKETS - 1))
+    }
+
+    /// Sparse text form of the bucket counts: `"i:c"` pairs joined by
+    /// `,` for every non-empty bucket (empty string when empty). Flat
+    /// and scalar, so it fits the workspace's one-line JSON dialect.
+    pub fn encode_counts(&self) -> String {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, c)| format!("{i}:{c}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Rebuilds a histogram from [`Histogram::encode_counts`] plus the
+    /// recorded sum. `None` on malformed text or out-of-range bucket
+    /// indices; the count is recomputed from the buckets, so the
+    /// invariant `count == Σ bucket counts` holds by construction.
+    pub fn from_parts(buckets: &str, sum: u64) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        h.sum = sum;
+        if buckets.is_empty() {
+            return Some(h);
+        }
+        for pair in buckets.split(',') {
+            let (i, c) = pair.split_once(':')?;
+            let i: usize = i.parse().ok()?;
+            let c: u64 = c.parse().ok()?;
+            if i >= BUCKETS {
+                return None;
+            }
+            h.counts[i] += c;
+            h.count += c;
+        }
+        Some(h)
+    }
+
+    /// One summary line: count, sum, mean and the p50/p90/p99
+    /// estimates. Used by the text report.
+    pub fn summarize(&self) -> String {
+        match (
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+        ) {
+            (Some(p50), Some(p90), Some(p99)) => format!(
+                "n={} sum={} mean={:.1} p50<={p50} p90<={p90} p99<={p99}",
+                self.count,
+                self.sum,
+                self.mean()
+            ),
+            _ => "n=0".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for k in 1..64 {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(bucket_index(lo), k, "lower edge of bucket {k}");
+            assert_eq!(bucket_index(hi), k, "upper edge of bucket {k}");
+            assert_eq!(bucket_min(k), lo);
+            assert_eq!(bucket_max(k), hi);
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_max(64), u64::MAX);
+        assert_eq!(bucket_min(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn every_sample_lands_in_the_bucket_that_bounds_it() {
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            7,
+            8,
+            1023,
+            1024,
+            1025,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(bucket_min(i) <= v && v <= bucket_max(i), "v={v} bucket={i}");
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[0, 1, 5, 1000]);
+        let b = mk(&[2, 2, 3]);
+        let c = mk(&[u64::MAX, 7]);
+        // (a + b) + c == a + (b + c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // a + b == b + a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Lossless: merge equals recording both streams directly.
+        assert_eq!(ab, mk(&[0, 1, 5, 1000, 2, 2, 3]));
+        assert_eq!(ab.count(), 7);
+        assert_eq!(ab.sum(), 1013);
+    }
+
+    #[test]
+    fn percentiles_empty_single_and_saturated() {
+        // Empty: no percentile at all.
+        let empty = Histogram::new();
+        assert_eq!(empty.percentile(0.5), None);
+        assert_eq!(empty.percentile(0.99), None);
+        assert!(empty.is_empty());
+
+        // Single sample: every percentile is its bucket's upper bound.
+        let mut one = Histogram::new();
+        one.record(100); // bucket [64, 127]
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(p), Some(127), "p={p}");
+        }
+
+        // Zero is bucket-exact.
+        let mut zero = Histogram::new();
+        zero.record(0);
+        assert_eq!(zero.percentile(0.5), Some(0));
+
+        // Saturated top bucket.
+        let mut sat = Histogram::new();
+        sat.record(u64::MAX);
+        sat.record(u64::MAX - 7);
+        assert_eq!(sat.percentile(0.5), Some(u64::MAX));
+        assert_eq!(sat.count(), 2);
+
+        // The estimate bounds the true value: e/2 < v <= e.
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((500..1000).contains(&p50), "p50 estimate {p50}");
+        let p99 = h.percentile(0.99).unwrap();
+        assert!((990..1980).contains(&p99), "p99 estimate {p99}");
+    }
+
+    #[test]
+    fn counts_encode_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0, 0, 1, 5, 5, 5, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_parts(&h.encode_counts(), h.sum()).unwrap();
+        assert_eq!(back, h);
+        // Empty round-trips to empty.
+        assert_eq!(Histogram::from_parts("", 0).unwrap(), Histogram::new());
+        // Malformed forms are rejected.
+        assert!(Histogram::from_parts("nope", 0).is_none());
+        assert!(Histogram::from_parts("1", 0).is_none());
+        assert!(Histogram::from_parts("65:1", 0).is_none());
+        assert!(Histogram::from_parts("1:x", 0).is_none());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        a.record_n(9, 4);
+        let mut b = Histogram::new();
+        for _ in 0..4 {
+            b.record(9);
+        }
+        assert_eq!(a, b);
+    }
+}

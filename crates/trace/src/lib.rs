@@ -24,9 +24,11 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+pub mod hist;
 pub mod json;
 pub mod sink;
 
+pub use hist::Histogram;
 pub use sink::{JsonlSink, Sink, TextSink};
 
 /// What the tracer should collect beyond the always-on spans,
@@ -129,6 +131,24 @@ pub enum Record {
         ctx: String,
         fields: Vec<(String, Value)>,
     },
+    /// A fixed-bucket log2 distribution of samples (see
+    /// [`hist::Histogram`]). Merging sums bucket counts losslessly.
+    /// Boxed: the 65-bucket array would otherwise dominate the size of
+    /// every `Record`.
+    Hist {
+        name: String,
+        ctx: String,
+        hist: Box<Histogram>,
+    },
+    /// A point-in-time level (queue depth, busy workers, ...). The
+    /// tracer keeps the latest value per `(ctx, name)`; merging two
+    /// traces keeps the maximum (high-water) of duplicate gauges, the
+    /// only duplicate rule that is associative and commutative.
+    Gauge {
+        name: String,
+        ctx: String,
+        value: i64,
+    },
 }
 
 struct Inner {
@@ -137,6 +157,8 @@ struct Inner {
     /// Indices into `records` of spans that have begun but not ended.
     open: Vec<usize>,
     counters: BTreeMap<(String, String), i64>,
+    hists: BTreeMap<(String, String), Histogram>,
+    gauges: BTreeMap<(String, String), i64>,
     config: TraceConfig,
 }
 
@@ -160,6 +182,8 @@ impl Tracer {
                 records: Vec::new(),
                 open: Vec::new(),
                 counters: BTreeMap::new(),
+                hists: BTreeMap::new(),
+                gauges: BTreeMap::new(),
                 config,
             })),
         }
@@ -222,9 +246,31 @@ impl Tracer {
         }
     }
 
+    /// Records one sample into the log2 histogram `(ctx, name)`.
+    pub fn observe(&self, ctx: &str, name: &str, value: u64) {
+        if let Some(cell) = &self.inner {
+            cell.borrow_mut()
+                .hists
+                .entry((ctx.to_string(), name.to_string()))
+                .or_default()
+                .record(value);
+        }
+    }
+
+    /// Sets the gauge `(ctx, name)` to `value` (latest wins within one
+    /// tracer; merges across traces keep the maximum).
+    pub fn gauge(&self, ctx: &str, name: &str, value: i64) {
+        if let Some(cell) = &self.inner {
+            cell.borrow_mut()
+                .gauges
+                .insert((ctx.to_string(), name.to_string()), value);
+        }
+    }
+
     /// Replays a finished trace into this tracer: counters accumulate
     /// into the live counter map (summing with whatever this tracer
-    /// already recorded per `(ctx, name)`), events and spans append
+    /// already recorded per `(ctx, name)`), histograms merge
+    /// bucket-wise, gauges keep the maximum, events and spans append
     /// as-is. Used by the compile cache to reattribute a cached
     /// function's trace to the current compilation — replayed span
     /// timings describe the run that recorded them, exactly like the
@@ -241,6 +287,20 @@ impl Tracer {
                         .counters
                         .entry((ctx.clone(), name.clone()))
                         .or_insert(0) += value;
+                }
+                Record::Hist { name, ctx, hist } => {
+                    inner
+                        .hists
+                        .entry((ctx.clone(), name.clone()))
+                        .or_default()
+                        .merge(hist);
+                }
+                Record::Gauge { name, ctx, value } => {
+                    let slot = inner
+                        .gauges
+                        .entry((ctx.clone(), name.clone()))
+                        .or_insert(*value);
+                    *slot = (*slot).max(*value);
                 }
                 other => inner.records.push(other.clone()),
             }
@@ -281,6 +341,18 @@ impl Tracer {
         let counters = std::mem::take(&mut inner.counters);
         for ((ctx, name), value) in counters {
             inner.records.push(Record::Counter { name, ctx, value });
+        }
+        let hists = std::mem::take(&mut inner.hists);
+        for ((ctx, name), hist) in hists {
+            inner.records.push(Record::Hist {
+                name,
+                ctx,
+                hist: Box::new(hist),
+            });
+        }
+        let gauges = std::mem::take(&mut inner.gauges);
+        for ((ctx, name), value) in gauges {
+            inner.records.push(Record::Gauge { name, ctx, value });
         }
         Some(TraceData {
             records: inner.records,
@@ -368,28 +440,110 @@ impl TraceData {
             .collect()
     }
 
+    /// The histogram `(ctx, name)`, if recorded.
+    pub fn hist(&self, ctx: &str, name: &str) -> Option<&Histogram> {
+        self.records.iter().find_map(|r| match r {
+            Record::Hist {
+                name: n,
+                ctx: c,
+                hist,
+            } if n == name && c == ctx => Some(hist.as_ref()),
+            _ => None,
+        })
+    }
+
+    /// All histograms named `name`, with their contexts, in record
+    /// order.
+    pub fn hists_named(&self, name: &str) -> Vec<(&str, &Histogram)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Hist { name: n, ctx, hist } if n == name => {
+                    Some((ctx.as_str(), hist.as_ref()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Merge of every histogram named `name` across all contexts
+    /// (empty when none was recorded).
+    pub fn hist_total(&self, name: &str) -> Histogram {
+        let mut total = Histogram::new();
+        for (_, h) in self.hists_named(name) {
+            total.merge(h);
+        }
+        total
+    }
+
+    /// The gauge `(ctx, name)`, if recorded.
+    pub fn gauge(&self, ctx: &str, name: &str) -> Option<i64> {
+        self.records.iter().find_map(|r| match r {
+            Record::Gauge {
+                name: n,
+                ctx: c,
+                value,
+            } if n == name && c == ctx => Some(*value),
+            _ => None,
+        })
+    }
+
     /// Merge another trace's records (used by `marion-report` when
     /// aggregating several JSONL files). Spans and events append in
     /// order; a counter whose `(ctx, name)` already exists is *summed*
     /// into the existing record rather than appended, so per-context
     /// lookups ([`TraceData::counter`], which returns the first match)
     /// see the combined total instead of silently reporting whichever
-    /// file came first.
+    /// file came first. Histograms with an existing `(ctx, name)`
+    /// merge bucket-wise (lossless — see [`hist::Histogram::merge`]);
+    /// duplicate gauges keep the maximum, so merging is associative
+    /// and commutative for every record kind.
     pub fn merge(&mut self, other: TraceData) {
         for record in other.records {
-            if let Record::Counter { name, ctx, value } = &record {
-                let existing = self.records.iter_mut().find_map(|r| match r {
-                    Record::Counter {
-                        name: n,
-                        ctx: c,
-                        value: v,
-                    } if n == name && c == ctx => Some(v),
-                    _ => None,
-                });
-                if let Some(v) = existing {
-                    *v += value;
-                    continue;
+            match &record {
+                Record::Counter { name, ctx, value } => {
+                    let existing = self.records.iter_mut().find_map(|r| match r {
+                        Record::Counter {
+                            name: n,
+                            ctx: c,
+                            value: v,
+                        } if n == name && c == ctx => Some(v),
+                        _ => None,
+                    });
+                    if let Some(v) = existing {
+                        *v += value;
+                        continue;
+                    }
                 }
+                Record::Hist { name, ctx, hist } => {
+                    let existing = self.records.iter_mut().find_map(|r| match r {
+                        Record::Hist {
+                            name: n,
+                            ctx: c,
+                            hist: h,
+                        } if n == name && c == ctx => Some(h),
+                        _ => None,
+                    });
+                    if let Some(h) = existing {
+                        h.merge(hist);
+                        continue;
+                    }
+                }
+                Record::Gauge { name, ctx, value } => {
+                    let existing = self.records.iter_mut().find_map(|r| match r {
+                        Record::Gauge {
+                            name: n,
+                            ctx: c,
+                            value: v,
+                        } if n == name && c == ctx => Some(v),
+                        _ => None,
+                    });
+                    if let Some(v) = existing {
+                        *v = (*v).max(*value);
+                        continue;
+                    }
+                }
+                _ => {}
             }
             self.records.push(record);
         }
@@ -429,6 +583,32 @@ impl TraceData {
             out.push_str("counters:\n");
             for r in counters {
                 if let Record::Counter { name, ctx, value } = r {
+                    out.push_str(&format!("  {name:<28} {value:>12}  [{ctx}]\n"));
+                }
+            }
+        }
+        let hists: Vec<_> = self
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Hist { .. }))
+            .collect();
+        if !hists.is_empty() {
+            out.push_str("histograms (log2 buckets):\n");
+            for r in hists {
+                if let Record::Hist { name, ctx, hist } = r {
+                    out.push_str(&format!("  {name:<28} {}  [{ctx}]\n", hist.summarize()));
+                }
+            }
+        }
+        let gauges: Vec<_> = self
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Gauge { .. }))
+            .collect();
+        if !gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for r in gauges {
+                if let Record::Gauge { name, ctx, value } = r {
                     out.push_str(&format!("  {name:<28} {value:>12}  [{ctx}]\n"));
                 }
             }
@@ -501,6 +681,22 @@ impl TraceData {
                         }
                     }
                 }
+                Record::Hist { name, ctx, hist } => {
+                    obj.str("t", "hist");
+                    obj.str("name", name);
+                    obj.str("ctx", ctx);
+                    obj.int("count", hist.count() as i64);
+                    // The sum is carried as a string: it is a u64 and
+                    // may exceed i64 when samples saturate.
+                    obj.str("sum", &hist.sum().to_string());
+                    obj.str("buckets", &hist.encode_counts());
+                }
+                Record::Gauge { name, ctx, value } => {
+                    obj.str("t", "gauge");
+                    obj.str("name", name);
+                    obj.str("ctx", ctx);
+                    obj.int("value", *value);
+                }
             }
             out.push_str(&obj.finish());
             out.push('\n');
@@ -542,6 +738,30 @@ impl TraceData {
                     dur_us: get_int("dur_us")? as u64,
                 }),
                 "counter" => records.push(Record::Counter {
+                    name: get_str("name")?,
+                    ctx: get_str("ctx")?,
+                    value: get_int("value")?,
+                }),
+                "hist" => {
+                    let buckets = get_str("buckets")?;
+                    let sum: u64 = get_str("sum")?
+                        .parse()
+                        .map_err(|_| format!("line {}: bad hist sum", lineno + 1))?;
+                    let hist = Histogram::from_parts(&buckets, sum)
+                        .ok_or_else(|| format!("line {}: bad hist buckets", lineno + 1))?;
+                    if hist.count() as i64 != get_int("count")? {
+                        return Err(format!(
+                            "line {}: hist count does not match its buckets",
+                            lineno + 1
+                        ));
+                    }
+                    records.push(Record::Hist {
+                        name: get_str("name")?,
+                        ctx: get_str("ctx")?,
+                        hist: Box::new(hist),
+                    });
+                }
+                "gauge" => records.push(Record::Gauge {
                     name: get_str("name")?,
                     ctx: get_str("ctx")?,
                     value: get_int("value")?,
@@ -756,6 +976,103 @@ mod tests {
         let off = Tracer::off();
         off.import(&recorded);
         assert!(off.finish().is_none());
+    }
+
+    #[test]
+    fn hist_and_gauge_jsonl_round_trip_identity() {
+        let tracer = Tracer::new(TraceConfig::default());
+        tracer.observe("m/f", "service_us", 0);
+        tracer.observe("m/f", "service_us", 3);
+        tracer.observe("m/f", "service_us", 1_000_000);
+        tracer.observe("m/g", "service_us", u64::MAX);
+        tracer.gauge("serve", "queue_depth", 7);
+        tracer.gauge("serve", "queue_depth", 4); // latest wins
+        tracer.gauge("serve", "busy_workers", 2);
+        let data = tracer.finish().unwrap();
+        assert_eq!(data.gauge("serve", "queue_depth"), Some(4));
+        assert_eq!(data.hist("m/f", "service_us").unwrap().count(), 3);
+        assert_eq!(data.hist_total("service_us").count(), 4);
+        let parsed = TraceData::parse_jsonl(&data.to_jsonl()).unwrap();
+        assert_eq!(parsed, data, "JSONL round-trip is the identity");
+    }
+
+    #[test]
+    fn merge_combines_hists_and_takes_gauge_maximum() {
+        let mk = |v: u64, depth: i64| {
+            let t = Tracer::new(TraceConfig::default());
+            t.observe("m/f", "wait_us", v);
+            t.gauge("serve", "queue_depth", depth);
+            t.finish().unwrap()
+        };
+        let mut merged = mk(4, 9);
+        merged.merge(mk(1024, 3));
+        let h = merged.hist("m/f", "wait_us").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 1028);
+        assert_eq!(merged.gauge("serve", "queue_depth"), Some(9), "high-water");
+        let hist_records = merged
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Hist { .. }))
+            .count();
+        assert_eq!(hist_records, 1, "duplicates coalesced");
+        // Merge order does not matter.
+        let mut other_way = mk(1024, 3);
+        other_way.merge(mk(4, 9));
+        assert_eq!(
+            other_way.hist("m/f", "wait_us"),
+            merged.hist("m/f", "wait_us")
+        );
+        assert_eq!(other_way.gauge("serve", "queue_depth"), Some(9));
+    }
+
+    #[test]
+    fn import_merges_hists_and_gauges() {
+        let recorded = {
+            let t = Tracer::new(TraceConfig::default());
+            t.observe("m/f", "block_stall_cycles", 8);
+            t.gauge("m", "workers", 4);
+            t.finish().unwrap()
+        };
+        let live = Tracer::new(TraceConfig::default());
+        live.observe("m/f", "block_stall_cycles", 2);
+        live.gauge("m", "workers", 1);
+        live.import(&recorded);
+        let data = live.finish().unwrap();
+        let h = data.hist("m/f", "block_stall_cycles").unwrap();
+        assert_eq!((h.count(), h.sum()), (2, 10));
+        assert_eq!(data.gauge("m", "workers"), Some(4));
+    }
+
+    #[test]
+    fn render_text_mentions_hists_and_gauges() {
+        let tracer = Tracer::new(TraceConfig::default());
+        tracer.observe("m/f", "wait_us", 100);
+        tracer.gauge("serve", "queue_depth", 5);
+        let text = tracer.finish().unwrap().render_text();
+        assert!(text.contains("histograms"), "{text}");
+        assert!(text.contains("wait_us"), "{text}");
+        assert!(text.contains("gauges:"), "{text}");
+        assert!(text.contains("queue_depth"), "{text}");
+    }
+
+    #[test]
+    fn parse_rejects_bad_hist_lines() {
+        // count disagreeing with buckets is rejected, not silently fixed.
+        let bad = r#"{"t":"hist","name":"h","ctx":"c","count":5,"sum":"4","buckets":"3:1"}"#;
+        assert!(TraceData::parse_jsonl(bad).is_err());
+        let bad_buckets =
+            r#"{"t":"hist","name":"h","ctx":"c","count":1,"sum":"4","buckets":"99:1"}"#;
+        assert!(TraceData::parse_jsonl(bad_buckets).is_err());
+        let ok = r#"{"t":"hist","name":"h","ctx":"c","count":1,"sum":"4","buckets":"3:1"}"#;
+        assert_eq!(
+            TraceData::parse_jsonl(ok)
+                .unwrap()
+                .hist("c", "h")
+                .unwrap()
+                .sum(),
+            4
+        );
     }
 
     #[test]
