@@ -33,7 +33,8 @@ serve_out="$(printf '%s\n' \
   '{"id":2,"machine":"r2000","strategy":"IPS","workload":"livermore"}' \
   '{"id":3,"cmd":"metrics"}' \
   '{"id":4,"cmd":"machines"}' \
-  '{"id":5,"cmd":"shutdown"}' \
+  '{"id":5,"cmd":"capabilities"}' \
+  '{"id":6,"cmd":"shutdown"}' \
   | ./target/release/marion-serve --workers 1)"
 printf '%s\n' "$serve_out" | sed -n '1,4p'
 printf '%s\n' "$serve_out" | sed -n 1p | grep -q '"ok":1'
@@ -47,9 +48,15 @@ printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"service_p50_us":'
 printf '%s\n' "$serve_out" | sed -n 4p | grep -q '"machines":"toyp,'
 printf '%s\n' "$serve_out" | sed -n 4p | grep -q '"strategies":"Postpass,IPS,RASE"'
 printf '%s\n' "$serve_out" | sed -n 4p | grep -q '"protocol_version":1'
+# Capabilities: per-machine issue width, clocks, and register classes.
+printf '%s\n' "$serve_out" | sed -n 5p | grep -q '"ok":1'
+printf '%s\n' "$serve_out" | sed -n 5p | grep -q '"i860_issue_width":'
+printf '%s\n' "$serve_out" | sed -n 5p | grep -q '"r2000_issue_width":1'
+printf '%s\n' "$serve_out" | sed -n 5p | grep -q '"i860_clocks":'
+printf '%s\n' "$serve_out" | sed -n 5p | grep -q '"toyp_reg_classes":'
 printf '%s\n' "$serve_out" | sed -n 3p > metrics_snapshot.json
 
-echo "==> HTML report from demo trace (must be fully self-contained)"
+echo "==> HTML report from demo trace (flamegraph + DAG SVG, must be fully self-contained)"
 cargo run --release --offline -q -p marion-bench --bin marion-report -- \
   --demo --html --serve metrics_snapshot.json --out report.html
 test -s report.html
@@ -58,6 +65,24 @@ test -s report.html
 ! grep -Eq 'src=|href=' report.html
 grep -q '<style>' report.html
 grep -q 'Compile service' report.html
+# The self-profile flamegraph and dependence-DAG SVGs are embedded.
+grep -q 'self-profile flamegraph' report.html
+grep -q '<svg ' report.html
+grep -q 'Dependence DAG' report.html
+
+echo "==> perf-regression gate self-test (identical -> 0, 2x strategy time -> 1)"
+./target/release/marion-bench diff BENCH_compile.json BENCH_compile.json --tolerance 5 > /dev/null
+sed 's/"strategy": [0-9][0-9.]*/"strategy": 99999.0/' BENCH_compile.json > BENCH_regressed_tmp.json
+if ./target/release/marion-bench diff BENCH_compile.json BENCH_regressed_tmp.json --tolerance 25 > /dev/null; then
+  echo "diff gate failed to flag a synthetic regression" >&2
+  rm -f BENCH_regressed_tmp.json
+  exit 1
+fi
+rm -f BENCH_regressed_tmp.json
+
+echo "==> perf-regression gate vs committed baseline (advisory: runner speeds differ)"
+./target/release/marion-bench diff BENCH_compile.json BENCH_compile_smoke.json --tolerance 100 \
+  || echo "    (advisory only: smoke run differs from committed baseline)"
 
 echo "==> serve bench smoke (cold vs warm over the shared cache, writes BENCH_serve_smoke.json)"
 cargo run --release --offline -q -p marion-bench --bin marion-bench -- serve --smoke --out BENCH_serve_smoke.json

@@ -14,6 +14,12 @@
 //!   (same template choices, same stats, byte-identical assembly) for
 //!   every bundled machine × workload; exits non-zero on the first
 //!   divergence.
+//! * `diff OLD.json NEW.json [--tolerance PCT]` — the perf-regression
+//!   gate: compares two `BENCH_*.json` files metric by metric
+//!   (`*_ms` higher-is-worse, `per_sec`/`speedup` lower-is-worse),
+//!   prints per-phase deltas, and exits 1 when any metric regresses
+//!   past the tolerance (default 10%), 2 on unreadable input. Run in
+//!   CI against the committed baseline.
 //! * `serve [--smoke] [--out PATH]` — measures cold vs warm
 //!   throughput of the compile service on the combined Livermore
 //!   workload: every machine × strategy is requested twice through
@@ -65,6 +71,49 @@ fn main() {
             bench_compile(iters, &out);
         }
         "crosscheck" => crosscheck(),
+        "diff" => {
+            let mut tolerance = 10.0f64;
+            let mut files: Vec<String> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--tolerance" => {
+                        i += 1;
+                        tolerance = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                            eprintln!("--tolerance takes a percentage");
+                            std::process::exit(2);
+                        });
+                    }
+                    other if other.starts_with('-') => {
+                        eprintln!("unknown flag `{other}`");
+                        std::process::exit(2);
+                    }
+                    path => files.push(path.to_string()),
+                }
+                i += 1;
+            }
+            let [old_path, new_path] = files.as_slice() else {
+                eprintln!("usage: marion-bench diff OLD.json NEW.json [--tolerance PCT]");
+                std::process::exit(2);
+            };
+            let read = |path: &str| {
+                std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("marion-bench diff: cannot read {path}: {e}");
+                    std::process::exit(2);
+                })
+            };
+            let (old_text, new_text) = (read(old_path), read(new_path));
+            match marion_bench::diff::run_diff(&old_text, &new_text, tolerance) {
+                Ok((report, code)) => {
+                    print!("{report}");
+                    std::process::exit(code);
+                }
+                Err(e) => {
+                    eprintln!("marion-bench diff: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         "serve" => {
             let mut smoke = false;
             let mut out = "BENCH_serve.json".to_string();
@@ -88,7 +137,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: marion-bench <compile [--smoke] [--iters K] [--out PATH] \
-                 | crosscheck | serve [--smoke] [--out PATH]>"
+                 | crosscheck | serve [--smoke] [--out PATH] \
+                 | diff OLD.json NEW.json [--tolerance PCT]>"
             );
             std::process::exit(2);
         }

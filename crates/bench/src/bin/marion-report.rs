@@ -30,11 +30,11 @@
 //! to `--out`; `--serve` folds one `metrics` response line from
 //! `marion-serve` into the page as a request-latency section.
 
-use marion_bench::{html::render_html, row};
+use marion_bench::{html::render_html_with, row};
 use marion_core::{CompileOptions, Compiler, StrategyKind};
 use marion_trace::json::parse_flat;
 use marion_trace::{Record, TraceConfig, TraceData, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 fn usage() -> ! {
     eprintln!("usage: marion-report TRACE.jsonl [MORE.jsonl ...]");
@@ -86,20 +86,24 @@ fn main() {
         }
         data
     } else {
-        let parts: Vec<TraceData> = traces
+        let parts: Vec<(String, TraceData)> = traces
             .iter()
             .map(|path| {
                 let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                     eprintln!("marion-report: cannot read {path}: {e}");
                     std::process::exit(1);
                 });
-                TraceData::parse_jsonl(&text).unwrap_or_else(|e| {
+                let data = TraceData::parse_jsonl(&text).unwrap_or_else(|e| {
                     eprintln!("marion-report: {path}: {e}");
                     std::process::exit(1);
-                })
+                });
+                (path.clone(), data)
             })
             .collect();
-        merge_traces(parts)
+        for warning in mismatch_warnings(&parts) {
+            eprintln!("marion-report: warning: {warning}");
+        }
+        merge_traces(parts.into_iter().map(|(_, d)| d).collect())
     };
     if !html {
         print!("{}", report(&data));
@@ -121,7 +125,15 @@ fn main() {
                 std::process::exit(1);
             })
     });
-    let page = render_html(&data, serve_fields.as_deref());
+    // In demo mode the source is on hand, so the page also embeds
+    // per-function dependence-DAG renderings (native SVG, no
+    // graphviz) next to the trace-derived sections.
+    let extra_svg = if demo_mode {
+        demo_dag_svgs()
+    } else {
+        Vec::new()
+    };
+    let page = render_html_with(&data, serve_fields.as_deref(), &extra_svg);
     match html_out {
         Some(path) => {
             std::fs::write(&path, &page).unwrap_or_else(|e| {
@@ -144,6 +156,129 @@ fn merge_traces(parts: Vec<TraceData>) -> TraceData {
         data.merge(part);
     }
     data
+}
+
+/// `(machines, scheduling passes)` seen in one trace file: machine
+/// names are the first `/`-segment of record contexts; passes come
+/// from `sched_block` event labels plus `sched:*` span names. This is
+/// the identity a merge must agree on — summing counters from a
+/// `r2000` trace into an `i860` one, or IPS passes into Postpass
+/// ones, produces a nonsense flame tree.
+fn trace_signature(data: &TraceData) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut machines = BTreeSet::new();
+    let mut passes = BTreeSet::new();
+    let mut ctx_machine = |ctx: &str| {
+        let first = ctx.split('/').next().unwrap_or(ctx);
+        if !first.is_empty() {
+            machines.insert(first.to_string());
+        }
+    };
+    for r in &data.records {
+        match r {
+            Record::Counter { ctx, .. }
+            | Record::Gauge { ctx, .. }
+            | Record::Hist { ctx, .. }
+            | Record::Event { ctx, .. } => ctx_machine(ctx),
+            Record::Span { name, ctx, .. } => {
+                ctx_machine(ctx);
+                if name.starts_with("sched:") {
+                    passes.insert(name.clone());
+                }
+            }
+            Record::Prof { .. } => {}
+        }
+    }
+    for (_, fields) in data.events_named("sched_block") {
+        if let Some(pass) = fields
+            .iter()
+            .find(|(k, _)| k == "pass")
+            .and_then(|(_, v)| v.as_str())
+        {
+            passes.insert(pass.to_string());
+        }
+    }
+    (machines, passes)
+}
+
+/// Mismatched machine or strategy sets between trace files about to
+/// be merged. The merge still happens — summing is sometimes wanted —
+/// but silently producing a blended flame tree is not.
+fn mismatch_warnings(parts: &[(String, TraceData)]) -> Vec<String> {
+    let mut warnings = Vec::new();
+    let Some(((first_path, first_data), rest)) = parts.split_first() else {
+        return warnings;
+    };
+    let (machines0, passes0) = trace_signature(first_data);
+    for (path, data) in rest {
+        let (machines, passes) = trace_signature(data);
+        if machines != machines0 && !machines.is_empty() && !machines0.is_empty() {
+            warnings.push(format!(
+                "{path} traces machines {machines:?} but {first_path} traces {machines0:?}; \
+                 merged totals mix different targets"
+            ));
+        }
+        if passes != passes0 && !passes.is_empty() && !passes0.is_empty() {
+            warnings.push(format!(
+                "{path} carries strategy passes {passes:?} but {first_path} carries \
+                 {passes0:?}; merged totals mix different strategies"
+            ));
+        }
+    }
+    warnings
+}
+
+/// Native-SVG dependence DAGs for the demo workload: the largest
+/// block of each LL7 function on the R2000, scheduled with the same
+/// robust ladder the strategies use.
+fn demo_dag_svgs() -> Vec<(String, String)> {
+    let kernels = marion_workloads::livermore::kernels();
+    let ll7 = kernels.iter().find(|k| k.name == "LL7").expect("LL7");
+    let mut module = ll7.module();
+    marion_core::driver::materialize_float_constants(&mut module);
+    let spec = marion_machines::load("r2000");
+    let machine = &spec.machine;
+    let mut out = Vec::new();
+    for f in &module.funcs {
+        let mut f = f.clone();
+        if marion_core::glue::apply_glue(machine, &mut f).is_err() {
+            continue;
+        }
+        let Ok(mut code) = marion_core::select_func(machine, &spec.escapes, &module, &f) else {
+            continue;
+        };
+        if marion_core::regalloc::allocate(machine, &mut code, &std::collections::HashMap::new())
+            .is_err()
+        {
+            continue;
+        }
+        let Some((bi, block)) = code
+            .blocks
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.insts.len())
+        else {
+            continue;
+        };
+        if block.insts.is_empty() {
+            continue;
+        }
+        let (schedule, discipline) = marion_core::sched::schedule_block_robust(
+            machine,
+            &code,
+            block,
+            &marion_core::sched::SchedOptions::default(),
+        );
+        let (dag, _) = marion_core::explain::dag_for_discipline(machine, block, discipline);
+        let svg = marion_bench::dagviz::dag_to_svg(
+            machine,
+            block,
+            &dag,
+            &schedule,
+            &format!("r2000/{} block {bi} ({discipline})", f.name),
+        );
+        out.push((format!("Dependence DAG \u{2014} r2000/{}", f.name), svg));
+    }
+    out
 }
 
 /// Compiles a kernel on a scalar and a dual-issue machine with full
@@ -562,6 +697,40 @@ mod tests {
     fn traces_without_cache_counters_skip_the_cache_section() {
         let rendered = report(&trace_with("m/f", 3, 0));
         assert!(!rendered.contains("compile-cache"), "{rendered}");
+    }
+
+    #[test]
+    fn mismatched_machines_and_strategies_warn_on_merge() {
+        let t = Tracer::new(TraceConfig::default());
+        t.add("r2000/f", "insts_generated", 3);
+        {
+            let _s = t.span("r2000/f", "sched:ips-final");
+        }
+        let a = t.finish().unwrap();
+        let t = Tracer::new(TraceConfig::default());
+        t.add("i860/f", "insts_generated", 4);
+        {
+            let _s = t.span("i860/f", "sched:postpass");
+        }
+        let b = t.finish().unwrap();
+        let warnings = mismatch_warnings(&[("a.jsonl".into(), a), ("b.jsonl".into(), b)]);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("different targets"));
+        assert!(warnings[1].contains("different strategies"));
+    }
+
+    #[test]
+    fn matching_trace_files_merge_without_warnings() {
+        let mk = || {
+            let t = Tracer::new(TraceConfig::default());
+            t.add("r2000/f", "insts_generated", 3);
+            {
+                let _s = t.span("r2000/f", "sched:postpass");
+            }
+            t.finish().unwrap()
+        };
+        let warnings = mismatch_warnings(&[("a.jsonl".into(), mk()), ("b.jsonl".into(), mk())]);
+        assert!(warnings.is_empty(), "{warnings:?}");
     }
 
     #[test]

@@ -170,6 +170,18 @@ border-top:1px solid #3b4252;padding-top:.5rem}";
 /// `serve::PROTOCOL_VERSION` docs); pass `None` for pure compile
 /// traces.
 pub fn render_html(data: &TraceData, serve: Option<&[(String, Value)]>) -> String {
+    render_html_with(data, serve, &[])
+}
+
+/// [`render_html`] plus caller-supplied extra sections: `(title, svg)`
+/// pairs appended before the footer. The SVG must itself be
+/// self-contained (the inline-DAG renderer and the flamegraph
+/// renderer both are); titles are escaped here.
+pub fn render_html_with(
+    data: &TraceData,
+    serve: Option<&[(String, Value)]>,
+    extra_svg: &[(String, String)],
+) -> String {
     let mut out = String::with_capacity(16 * 1024);
     out.push_str("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n");
     out.push_str("<title>Marion observability report</title>\n");
@@ -231,6 +243,39 @@ pub fn render_html(data: &TraceData, serve: Option<&[(String, Value)]>) -> Strin
                 max,
                 &format!("{total} us / {count} span(s)"),
             );
+        }
+    }
+
+    // ---- strategy-interior flamegraph ----
+    // `prof` records (micro-span aggregation) render as a call-tree
+    // flamegraph next to the phase bars: where `strategy`'s wall time
+    // actually goes, loop by loop.
+    let flame_root = crate::flame::flame_tree(data);
+    if !flame_root.children.is_empty() {
+        section(&mut out, "Where the time goes (self-profile flamegraph)");
+        out.push_str(&crate::flame::render_svg(
+            &flame_root,
+            "micro-span wall-clock attribution (hover for self time)",
+        ));
+        // Top self-time frames as a table, for grep-ability.
+        let mut rows: Vec<(String, u64, u64, u64)> = Vec::new();
+        collect_self_rows(&flame_root, "", &mut rows);
+        rows.sort_by_key(|(_, s, _, _)| std::cmp::Reverse(*s));
+        rows.truncate(12);
+        if !rows.is_empty() {
+            table_open(&mut out, &["frame", "self us", "total us", "calls"]);
+            for (path, self_us, total_us, count) in rows {
+                table_row(
+                    &mut out,
+                    &[
+                        path,
+                        self_us.to_string(),
+                        total_us.to_string(),
+                        count.to_string(),
+                    ],
+                );
+            }
+            table_close(&mut out);
         }
     }
 
@@ -408,12 +453,36 @@ pub fn render_html(data: &TraceData, serve: Option<&[(String, Value)]>) -> Strin
         render_serve_section(&mut out, fields);
     }
 
+    // ---- caller-supplied SVG sections (inline DAGs and the like) ----
+    for (title, svg) in extra_svg {
+        section(&mut out, title);
+        out.push_str(svg);
+    }
+
     out.push_str(
         "<footer>marion-report \u{2014} single-file report, no external assets; \
          percentiles are log2-bucket upper bounds (&lt;2\u{00d7} relative error).</footer>\n",
     );
     out.push_str("</body></html>\n");
     out
+}
+
+/// Depth-first collection of `(path, self_us, total_us, count)` rows
+/// from the flame tree, for the top-frames table.
+fn collect_self_rows(
+    node: &crate::flame::FlameNode,
+    prefix: &str,
+    rows: &mut Vec<(String, u64, u64, u64)>,
+) {
+    for child in &node.children {
+        let path = if prefix.is_empty() {
+            child.name.clone()
+        } else {
+            format!("{prefix}/{}", child.name)
+        };
+        rows.push((path.clone(), child.self_us(), child.total_us, child.count));
+        collect_self_rows(child, &path, rows);
+    }
 }
 
 /// The service section: request-latency distributions, utilization
@@ -510,6 +579,18 @@ mod tests {
                 dur_us,
             });
         }
+        for (path, count, total_us, child_us) in [
+            ("compile_func", 1u64, 200u64, 180u64),
+            ("compile_func/strategy", 1, 180, 100),
+            ("compile_func/strategy/regalloc", 1, 100, 0),
+        ] {
+            data.records.push(Record::Prof {
+                path: path.to_string(),
+                count,
+                total_us,
+                child_us,
+            });
+        }
         data
     }
 
@@ -532,6 +613,8 @@ mod tests {
         let html = render_html(&sample_trace(), None);
         for needle in [
             "Phase timing",
+            "self-profile flamegraph",
+            "<svg ",
             "Per-function summary",
             "Stall reasons by strategy",
             "sched:ips-final",
@@ -578,6 +661,19 @@ mod tests {
         assert!(html.contains("75%"), "cache hit rate tile");
         assert!(!html.contains("https:"));
         assert!(!html.contains("href="));
+    }
+
+    #[test]
+    fn extra_svg_sections_append_and_stay_self_contained() {
+        let extra = vec![(
+            "Dependence DAG — main b1".to_string(),
+            "<svg viewBox=\"0 0 10 10\"><rect x=\"0\" y=\"0\" width=\"5\" height=\"5\"/></svg>\n"
+                .to_string(),
+        )];
+        let html = render_html_with(&sample_trace(), None, &extra);
+        assert!(html.contains("Dependence DAG"));
+        assert!(!html.contains("http:") && !html.contains("https:"));
+        assert!(!html.contains("src=") && !html.contains("href="));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! This library holds the shared plumbing: compile a workload for a
 //! machine/strategy pair, run it on the simulator, and lay out rows.
 
+pub mod dagviz;
+pub mod diff;
+pub mod flame;
 pub mod html;
 pub mod serve;
 

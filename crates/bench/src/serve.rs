@@ -84,7 +84,8 @@ impl Default for ServeConfig {
 pub struct Request {
     /// Echoed back in the response for correlation.
     pub id: i64,
-    /// `compile`, `stats`, `metrics`, `machines`, or `shutdown`.
+    /// `compile`, `stats`, `metrics`, `machines`, `capabilities`, or
+    /// `shutdown`.
     pub cmd: Cmd,
     /// Target machine name (`marion_machines::EXTENDED`).
     pub machine: String,
@@ -109,6 +110,9 @@ pub enum Cmd {
     Metrics,
     /// List machines, strategies, and protocol/format versions.
     Machines,
+    /// Per-machine detail: issue width, temporal clocks, and register
+    /// classes for every served target.
+    Capabilities,
     /// Answer, then stop reading and drain the queue.
     Shutdown,
 }
@@ -137,6 +141,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Cmd::Stats,
         "metrics" => Cmd::Metrics,
         "machines" => Cmd::Machines,
+        "capabilities" => Cmd::Capabilities,
         "shutdown" => Cmd::Shutdown,
         other => return Err(format!("unknown cmd `{other}`")),
     };
@@ -384,6 +389,7 @@ impl Service {
             Cmd::Stats => (self.stats_response(req.id), Outcome::default()),
             Cmd::Metrics => (self.metrics_response(req.id), Outcome::default()),
             Cmd::Machines => (machines_response(req.id), Outcome::default()),
+            Cmd::Capabilities => (capabilities_response(req.id), Outcome::default()),
             Cmd::Shutdown => {
                 let mut obj = ObjWriter::new();
                 obj.int("id", req.id);
@@ -524,6 +530,43 @@ fn machines_response(id: i64) -> String {
     obj.str("strategies", &strategies.join(","));
     obj.int("protocol_version", PROTOCOL_VERSION);
     obj.int("cache_format_version", marion_core::fcache::FORMAT_VERSION);
+    obj.finish()
+}
+
+/// The `capabilities` response: per-machine scheduling detail so a
+/// client can pick a target without consulting the Maril sources.
+///
+/// For each served machine: `<name>_issue_width` (long-word elements,
+/// min 1 for single-issue targets), `<name>_clocks` (declared temporal
+/// clocks), `<name>_reg_classes` (`class:count` pairs), and
+/// `<name>_temporals` (`latch@clock` pairs).
+fn capabilities_response(id: i64) -> String {
+    let mut obj = ObjWriter::new();
+    obj.int("id", id);
+    obj.int("ok", 1);
+    obj.int("protocol_version", PROTOCOL_VERSION);
+    obj.str("machines", &marion_machines::EXTENDED.join(","));
+    for name in marion_machines::EXTENDED {
+        let machine = marion_machines::load(name).machine;
+        let issue_width = machine.elements().len().max(1);
+        obj.int(
+            &format!("{name}_issue_width"),
+            i64::try_from(issue_width).unwrap_or(i64::MAX),
+        );
+        obj.str(&format!("{name}_clocks"), &machine.clocks().join(","));
+        let classes: Vec<String> = machine
+            .reg_classes()
+            .iter()
+            .map(|c| format!("{}:{}", c.name, c.count))
+            .collect();
+        obj.str(&format!("{name}_reg_classes"), &classes.join(","));
+        let temporals: Vec<String> = machine
+            .temporals()
+            .iter()
+            .map(|t| format!("{}@{}", t.name, machine.clocks()[t.clock.0 as usize]))
+            .collect();
+        obj.str(&format!("{name}_temporals"), &temporals.join(","));
+    }
     obj.finish()
 }
 
@@ -882,6 +925,48 @@ mod tests {
         assert_eq!(
             field(line, "cache_format_version"),
             Some(Value::Int(marion_core::fcache::FORMAT_VERSION))
+        );
+    }
+
+    #[test]
+    fn capabilities_reports_per_machine_detail() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        let (lines, _) = respond(&service, "{\"id\":8,\"cmd\":\"capabilities\"}\n", 1);
+        let line = &lines[0];
+        assert_eq!(field(line, "ok"), Some(Value::Int(1)));
+        assert_eq!(
+            field(line, "protocol_version"),
+            Some(Value::Int(PROTOCOL_VERSION))
+        );
+        for m in marion_machines::EXTENDED {
+            let width = field(line, &format!("{m}_issue_width")).unwrap();
+            let width = width.as_int().unwrap();
+            assert!(width >= 1, "{m}: issue width {width}");
+            assert!(field(line, &format!("{m}_clocks")).is_some(), "{m} clocks");
+            let classes = field(line, &format!("{m}_reg_classes")).unwrap();
+            let classes = classes.as_str().unwrap().to_string();
+            // Every target declares at least one class, `name:count`.
+            assert!(
+                classes.split(',').all(|c| {
+                    let (name, count) = c.split_once(':').unwrap_or(("", ""));
+                    !name.is_empty() && count.parse::<u32>().is_ok()
+                }),
+                "{m}: bad reg_classes `{classes}`"
+            );
+        }
+        // The i860 is the paper's LIW target: multiple long-word
+        // elements, plus temporal latches on its adder/multiplier
+        // clocks. Scalar machines report width 1.
+        let width = field(line, "i860_issue_width").unwrap();
+        assert!(width.as_int().unwrap() > 1, "i860 must be multi-issue");
+        assert_eq!(
+            field(line, "r2000_issue_width").and_then(|v| v.as_int()),
+            Some(1)
+        );
+        let temporals = field(line, "i860_temporals").unwrap();
+        assert!(
+            temporals.as_str().unwrap().contains('@'),
+            "i860 temporals should be latch@clock pairs"
         );
     }
 

@@ -8,7 +8,7 @@ use crate::fcache::{
     base_fingerprint, func_key, strip_spans, CacheSummary, CacheTally, CachedFunc, FuncCache,
 };
 use crate::glue::apply_glue;
-use crate::select::{select_func_opts, EscapeRegistry};
+use crate::select::EscapeRegistry;
 use crate::strategy::{strategy_for, Strategy, StrategyKind, StrategyStats};
 use marion_cache::StableHasher;
 use marion_ir as ir;
@@ -402,13 +402,14 @@ impl Compiler {
         }
         let mut code: CodeFunc = {
             let _span = tracer.span(&ctx, "select");
-            select_func_opts(
+            crate::select::select_func_traced(
                 &self.machine,
                 &self.escapes,
                 module,
                 &func,
                 self.options.indexed_select,
                 self.options.memo_select,
+                tracer,
             )?
         };
         let (schedules, s): (_, StrategyStats) = {

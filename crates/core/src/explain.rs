@@ -764,7 +764,9 @@ fn dot_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn inst_label(machine: &Machine, block: &CodeBlock, i: usize) -> String {
+/// `mnemonic op,op,…` display form of one block instruction, as used
+/// in DAG node labels (dot and SVG renderings).
+pub fn inst_label(machine: &Machine, block: &CodeBlock, i: usize) -> String {
     let inst = &block.insts[i];
     let mut s = machine.template(inst.template).mnemonic.clone();
     for (k, op) in inst.ops.iter().enumerate() {

@@ -265,15 +265,15 @@ pub fn func_key(base: &StableHasher, module: &ir::Module, func: &ir::Function) -
     h.finish()
 }
 
-/// Drops spans from a recorded trace: their wall-clock timings belong
-/// to the run that recorded them and must not replay into later
-/// compiles.
+/// Drops spans and profile rows from a recorded trace: their
+/// wall-clock timings belong to the run that recorded them and must
+/// not replay into later compiles.
 pub(crate) fn strip_spans(data: &TraceData) -> TraceData {
     TraceData {
         records: data
             .records
             .iter()
-            .filter(|r| !matches!(r, Record::Span { .. }))
+            .filter(|r| !matches!(r, Record::Span { .. } | Record::Prof { .. }))
             .cloned()
             .collect(),
     }

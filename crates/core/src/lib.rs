@@ -32,6 +32,7 @@ pub use explain::{
 };
 pub use fcache::{CacheLoad, CacheSummary, CachedFunc, FuncCache};
 pub use select::{
-    select_func, select_func_opts, select_func_with, EscapeCtx, EscapeFn, EscapeRegistry,
+    select_func, select_func_opts, select_func_traced, select_func_with, EscapeCtx, EscapeFn,
+    EscapeRegistry,
 };
 pub use strategy::{Strategy, StrategyKind};

@@ -15,6 +15,7 @@
 use crate::code::*;
 use crate::error::{CodegenError, Phase};
 use marion_maril::{Machine, PhysReg};
+use marion_trace::Tracer;
 use std::collections::{HashMap, HashSet};
 
 /// Result of one allocation run.
@@ -63,20 +64,43 @@ pub fn allocate(
     func: &mut CodeFunc,
     extra_cost: &HashMap<Vreg, f64>,
 ) -> Result<AllocResult, CodegenError> {
+    allocate_traced(machine, func, extra_cost, &Tracer::off())
+}
+
+/// [`allocate`] with micro-span profiling: the interference-graph
+/// build, simplify/select coloring loops, eviction scans and spill
+/// rewrites each fold into the tracer's profile trie (no-ops when the
+/// tracer is off).
+///
+/// # Errors
+///
+/// Same failure modes as [`allocate`].
+pub fn allocate_traced(
+    machine: &Machine,
+    func: &mut CodeFunc,
+    extra_cost: &HashMap<Vreg, f64>,
+    tracer: &Tracer,
+) -> Result<AllocResult, CodegenError> {
     let mut result = AllocResult::default();
     // Temporaries created by spilling have minimal live ranges and
     // must never themselves be spilled (that would loop forever).
     let mut no_spill: std::collections::HashSet<Vreg> = std::collections::HashSet::new();
     for round in 0..32 {
         result.rounds = round + 1;
-        let graph = build_interference(machine, func);
+        let graph = {
+            let _m = tracer.mspan("ig_build");
+            build_interference(machine, func)
+        };
         if round == 0 {
             result.graph_nodes = graph.nodes.len();
             result.graph_edges = graph.adj.values().map(|s| s.len()).sum::<usize>() / 2;
         }
-        match color(machine, func, &graph, extra_cost, &no_spill)? {
+        match color(machine, func, &graph, extra_cost, &no_spill, tracer)? {
             Coloring::Complete { colors } => {
-                rewrite(machine, func, &colors)?;
+                {
+                    let _m = tracer.mspan("phys_rewrite");
+                    rewrite(machine, func, &colors)?;
+                }
                 let mut saves: Vec<PhysReg> = Vec::new();
                 for reg in colors.values() {
                     for cs in &machine.cwvm().callee_save {
@@ -99,6 +123,7 @@ pub fn allocate(
                 // A failing spill temporary must not be re-spilled (that
                 // loops): evict a colourable neighbor instead, or give
                 // up — the site is structurally over-committed.
+                let _m = tracer.mspan("evict_scan");
                 let mut to_spill: Vec<Vreg> = Vec::new();
                 for v in vregs {
                     if !no_spill.contains(&v) {
@@ -147,6 +172,8 @@ pub fn allocate(
                         }
                     }
                 }
+                drop(_m);
+                let _m = tracer.mspan("spill_rewrite");
                 for v in &to_spill {
                     result.spill_cost += graph.cost.get(v).copied().unwrap_or(0.0);
                     let first_temp = func.vregs.len();
@@ -338,6 +365,7 @@ fn color(
     graph: &Graph,
     extra_cost: &HashMap<Vreg, f64>,
     no_spill: &HashSet<Vreg>,
+    tracer: &Tracer,
 ) -> Result<Coloring, CodegenError> {
     // Only vregs that actually occur need colors.
     let occurring: HashSet<Vreg> = graph
@@ -361,6 +389,7 @@ fn color(
     }
 
     // Simplify with optimistic push (Briggs).
+    let _m = tracer.mspan("simplify");
     let mut stack: Vec<Vreg> = Vec::new();
     let mut removed: HashSet<Vreg> = HashSet::new();
     let mut work: Vec<Vreg> = occurring.iter().copied().collect();
@@ -406,6 +435,8 @@ fn color(
     }
 
     // Select.
+    drop(_m);
+    let _m = tracer.mspan("select_colors");
     let mut colors: HashMap<Vreg, PhysReg> = HashMap::new();
     let mut spilled: Vec<Vreg> = Vec::new();
     while let Some(v) = stack.pop() {

@@ -21,6 +21,7 @@ use crate::error::{CodegenError, Phase};
 use crate::explain::{log_stall, ScheduleExplanation, Stall, StallReason};
 use marion_maril::machine::ClockId;
 use marion_maril::{Machine, ResSet};
+use marion_trace::Tracer;
 use std::collections::HashMap;
 
 /// Scheduling options.
@@ -139,10 +140,26 @@ pub fn schedule_block(
     dag: &CodeDag,
     opts: &SchedOptions,
 ) -> Result<Schedule, CodegenError> {
+    schedule_block_traced(machine, func, block, dag, opts, &Tracer::off())
+}
+
+/// [`schedule_block`] with micro-span attribution of the scheduler's
+/// interior: ready-list scans, temporal-group probes, candidate
+/// pick-and-place, and clock advances each fold into the tracer's
+/// self-profile.
+pub fn schedule_block_traced(
+    machine: &Machine,
+    func: &CodeFunc,
+    block: &CodeBlock,
+    dag: &CodeDag,
+    opts: &SchedOptions,
+    tracer: &Tracer,
+) -> Result<Schedule, CodegenError> {
     let n = block.insts.len();
     if n == 0 {
         return Ok(Schedule::default());
     }
+    let prep = tracer.mspan("prep");
     let priority = dag.critical_path();
 
     // Local-vreg pressure bookkeeping (for the IPS limit).
@@ -179,6 +196,7 @@ pub fn schedule_block(
     };
 
     let mut metrics = SchedMetrics::from_dag(dag);
+    drop(prep);
     // Per-instruction hazard log: one entry per cycle an instruction
     // was ready but could not issue, stamped just before the clock
     // advances (when cycle membership is final). Together with the
@@ -190,7 +208,10 @@ pub fn schedule_block(
     // Scratch for rule-1 destination lists, reused across cycles.
     let mut dests = Vec::new();
     while remaining > 0 {
-        let ready = (0..n).filter(|&i| state.is_ready(i)).count();
+        let ready = {
+            let _m = tracer.mspan("ready_scan");
+            (0..n).filter(|&i| state.is_ready(i)).count()
+        };
         metrics.ready_high_water = metrics.ready_high_water.max(ready);
         let mut progress = true;
         while progress {
@@ -198,6 +219,7 @@ pub fn schedule_block(
             // 1. Temporal groups: all open destinations of a clock go
             //    together.
             if !opts.ignore_rule1 {
+                let _m = tracer.mspan("group_scan");
                 for k in 0..machine.clocks().len() {
                     let clock = ClockId(k as u32);
                     state.open_dests_into(clock, &mut dests);
@@ -212,6 +234,7 @@ pub fn schedule_block(
                 }
             }
             // 2. Best regular candidate.
+            let _m = tracer.mspan("pick_place");
             if let Some(i) = state.pick_candidate(remaining) {
                 state.place(i);
                 remaining -= 1;
@@ -219,6 +242,7 @@ pub fn schedule_block(
             }
         }
         if remaining > 0 {
+            let _m = tracer.mspan("advance");
             for (i, log) in hazard.iter_mut().enumerate() {
                 if state.is_ready(i) {
                     log_stall(log, state.t, state.stall_reason_at(i));
@@ -235,6 +259,7 @@ pub fn schedule_block(
         }
     }
 
+    let _m = tracer.mspan("finalize");
     // Schedule length: last issue cycle + 1, plus the delay slots of
     // the block's final control transfer.
     let mut length = state.cycles.len() as u32;
@@ -403,22 +428,41 @@ pub fn schedule_block_robust(
     block: &CodeBlock,
     opts: &SchedOptions,
 ) -> (Schedule, &'static str) {
+    schedule_block_robust_traced(machine, func, block, opts, &Tracer::off())
+}
+
+/// [`schedule_block_robust`] with micro-span attribution: DAG
+/// construction for each fallback rung folds into `dag_build`, and the
+/// list scheduler's interior is traced via [`schedule_block_traced`].
+pub fn schedule_block_robust_traced(
+    machine: &Machine,
+    func: &CodeFunc,
+    block: &CodeBlock,
+    opts: &SchedOptions,
+    tracer: &Tracer,
+) -> (Schedule, &'static str) {
+    let m = tracer.mspan("dag_build");
     let dag = crate::dag::build_dag(machine, block, true);
-    if let Ok(s) = schedule_block(machine, func, block, &dag, opts) {
+    drop(m);
+    if let Ok(s) = schedule_block_traced(machine, func, block, &dag, opts, tracer) {
         return (s, "rule1");
     }
+    let m = tracer.mspan("dag_build");
     let mut dag2 = crate::dag::build_dag(machine, block, true);
     crate::dag::serialize_same_clock_sequences(&mut dag2);
-    if let Ok(mut s) = schedule_block(machine, func, block, &dag2, opts) {
+    drop(m);
+    if let Ok(mut s) = schedule_block_traced(machine, func, block, &dag2, opts, tracer) {
         s.explanation.discipline = "serialized";
         return (s, "serialized");
     }
+    let m = tracer.mspan("dag_build");
     let dag3 = crate::dag::build_dag_with(machine, block, true, true);
+    drop(m);
     let relaxed = SchedOptions {
         ignore_rule1: true,
         ..opts.clone()
     };
-    if let Ok(s) = schedule_block(machine, func, block, &dag3, &relaxed) {
+    if let Ok(s) = schedule_block_traced(machine, func, block, &dag3, &relaxed, tracer) {
         return (s, "name-deps");
     }
     (serial_schedule(machine, block, &dag3), "serial")

@@ -127,6 +127,33 @@ pub fn select_func_opts(
     use_index: bool,
     use_memo: bool,
 ) -> Result<CodeFunc, CodegenError> {
+    select_func_traced(
+        machine,
+        escapes,
+        module,
+        func,
+        use_index,
+        use_memo,
+        &marion_trace::Tracer::off(),
+    )
+}
+
+/// [`select_func_opts`] with micro-span attribution: the pattern-match
+/// tree cover itself folds into the tracer's self-profile as
+/// `match_cover`.
+///
+/// # Errors
+///
+/// Same failure modes as [`select_func`].
+pub fn select_func_traced(
+    machine: &Machine,
+    escapes: &EscapeRegistry,
+    module: &ir::Module,
+    func: &ir::Function,
+    use_index: bool,
+    use_memo: bool,
+    tracer: &marion_trace::Tracer,
+) -> Result<CodeFunc, CodegenError> {
     let parents = func.parent_counts();
     let mut out = CodeFunc::new(&func.name);
     out.local_frame_size = (func.frame_locals_size() + 7) & !7;
@@ -147,7 +174,10 @@ pub fn select_func_opts(
         use_memo,
         memo: HashMap::new(),
     };
-    ctx.run()?;
+    {
+        let _m = tracer.mspan("match_cover");
+        ctx.run()?;
+    }
     Ok(ctx.out)
 }
 

@@ -15,7 +15,7 @@
 use crate::code::{CodeFunc, Operand, VregKind};
 use crate::dag::build_dag;
 use crate::error::CodegenError;
-use crate::regalloc::{allocate, AllocResult};
+use crate::regalloc::{allocate_traced, AllocResult};
 use crate::sched::{SchedOptions, Schedule};
 use marion_maril::Machine;
 use marion_trace::{Tracer, Value};
@@ -142,11 +142,17 @@ impl Strategy for NoSchedule {
         {
             let _span = tracer.span(ctx, "sched:serial");
             for block in &func.blocks {
-                let dag = build_dag(machine, block, true);
+                let dag = {
+                    let _m = tracer.mspan("dag_build");
+                    build_dag(machine, block, true)
+                };
                 schedules.push(crate::sched::serial_schedule(machine, block, &dag));
             }
         }
-        record_sched_pass(machine, func, &schedules, tracer, ctx, "serial", true);
+        {
+            let _m = tracer.mspan("sched_metrics");
+            record_sched_pass(machine, func, &schedules, tracer, ctx, "serial", true);
+        }
         let stats = StrategyStats {
             spills: alloc.spills,
             schedule_passes: 0,
@@ -168,7 +174,7 @@ fn run_allocate(
 ) -> Result<AllocResult, CodegenError> {
     let alloc = {
         let _span = tracer.span(ctx, "regalloc");
-        allocate(machine, func, extra_cost)?
+        allocate_traced(machine, func, extra_cost, tracer)?
     };
     tracer.add(ctx, "ra_graph_nodes", alloc.graph_nodes as i64);
     tracer.add(ctx, "ra_graph_edges", alloc.graph_edges as i64);
@@ -315,7 +321,7 @@ fn schedule_all(
         let _span = tracer.span(ctx, pass);
         for (bi, block) in func.blocks.iter().enumerate() {
             let (schedule, discipline) =
-                crate::sched::schedule_block_robust(machine, func, block, opts);
+                crate::sched::schedule_block_robust_traced(machine, func, block, opts, tracer);
             if discipline != "rule1" {
                 if std::env::var("MARION_SCHED_DEBUG").is_ok() {
                     eprintln!("fallback: {discipline} ({} insts)", block.insts.len());
@@ -337,7 +343,10 @@ fn schedule_all(
             out.push(schedule);
         }
     }
-    record_sched_pass(machine, func, &out, tracer, ctx, pass, final_pass);
+    {
+        let _m = tracer.mspan("sched_metrics");
+        record_sched_pass(machine, func, &out, tracer, ctx, pass, final_pass);
+    }
     Ok(out)
 }
 
@@ -351,7 +360,8 @@ fn schedule_all(
 /// sequence, an instruction *reading* a temporal latch must precede
 /// the instruction *writing* it, or the rebuilt code DAG would pair
 /// stages with the wrong pipeline occupancy.
-fn reorder(machine: &Machine, func: &mut CodeFunc, schedules: &[Schedule]) {
+fn reorder(machine: &Machine, func: &mut CodeFunc, schedules: &[Schedule], tracer: &Tracer) {
+    let _m = tracer.mspan("reorder");
     for (block, schedule) in func.blocks.iter_mut().zip(schedules) {
         let mut order: Vec<usize> = Vec::with_capacity(block.insts.len());
         for cycle in &schedule.cycles {
@@ -478,7 +488,7 @@ impl Strategy for Ips {
             false,
         )?;
         let before = func.clone();
-        reorder(machine, func, &prepass);
+        reorder(machine, func, &prepass, tracer);
         let alloc = match run_allocate(machine, func, &HashMap::new(), tracer, ctx) {
             Ok(a) => a,
             Err(_) => {
@@ -573,7 +583,7 @@ impl Strategy for Rase {
             }
         }
         let before = func.clone();
-        reorder(machine, func, &unlimited);
+        reorder(machine, func, &unlimited, tracer);
         let alloc = match run_allocate(machine, func, &extra_cost, tracer, ctx) {
             Ok(a) => a,
             Err(_) => {

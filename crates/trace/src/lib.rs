@@ -19,6 +19,21 @@
 //! start eagerly (so records appear in begin order) and fills in the
 //! duration when dropped. Counters are keyed by `(ctx, name)` and
 //! accumulate; events carry arbitrary flat key/value payloads.
+//!
+//! ## Micro-spans and the self-profile
+//!
+//! [`Tracer::mspan`] opens a *micro-span*: an aggregated timed region
+//! for hot interior loops where recording one [`Record::Span`] per
+//! instance would flood the stream. Spans and micro-spans share one
+//! call-tree: every drop folds `(count, duration)` into a trie node
+//! keyed by the path of open span/micro-span names, and the parent
+//! node accumulates the child's duration into its `child_us` (so
+//! *self* time is `total_us - child_us`). [`Tracer::finish`] walks the
+//! trie and emits one [`Record::Prof`] per path — deterministic
+//! structure (paths and counts) for a given input, wall-clock values
+//! varying run to run. Micro-spans must close in LIFO order; the guard
+//! checks the balanced-stack invariant at drop and a violation
+//! surfaces as the `mspan_unbalanced` counter in ctx `prof`.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -149,6 +164,29 @@ pub enum Record {
         ctx: String,
         value: i64,
     },
+    /// One aggregated call-tree profile node: all instances of the
+    /// span/micro-span whose open-name path is `path` (components
+    /// joined with `/`), with their total wall time and the portion
+    /// attributed to nested children. Self time is
+    /// `total_us - child_us`. Purely timing data — stripped from
+    /// compile-cache entries exactly like spans. Merging sums
+    /// `count`/`total_us`/`child_us` per path.
+    Prof {
+        path: String,
+        count: u64,
+        total_us: u64,
+        child_us: u64,
+    },
+}
+
+/// One node of the in-tracer profile trie (see [`Tracer::mspan`]).
+struct ProfNode {
+    name: String,
+    parent: u32,
+    children: Vec<u32>,
+    count: u64,
+    total_us: u64,
+    child_us: u64,
 }
 
 struct Inner {
@@ -160,6 +198,59 @@ struct Inner {
     hists: BTreeMap<(String, String), Histogram>,
     gauges: BTreeMap<(String, String), i64>,
     config: TraceConfig,
+    /// Profile trie; index 0 is the synthetic root.
+    prof: Vec<ProfNode>,
+    /// Current trie position (innermost open span/micro-span).
+    prof_cur: u32,
+    /// Number of currently open micro-span frames (balance check).
+    prof_open: u32,
+    /// Micro-span guards dropped out of LIFO order.
+    prof_violations: u64,
+}
+
+impl Inner {
+    /// Descends into the trie child of `prof_cur` named `name`
+    /// (creating it on first visit); returns `(node, previous cur)`.
+    fn prof_enter(&mut self, name: &str) -> (u32, u32) {
+        let prev = self.prof_cur;
+        let found = self.prof[prev as usize]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.prof[c as usize].name == name);
+        let node = match found {
+            Some(c) => c,
+            None => {
+                let id = self.prof.len() as u32;
+                self.prof.push(ProfNode {
+                    name: name.to_string(),
+                    parent: prev,
+                    children: Vec::new(),
+                    count: 0,
+                    total_us: 0,
+                    child_us: 0,
+                });
+                self.prof[prev as usize].children.push(id);
+                id
+            }
+        };
+        self.prof_cur = node;
+        (node, prev)
+    }
+
+    /// Closes a trie frame: folds the elapsed time into `node`,
+    /// attributes it to the parent's `child_us`, and restores `prev`
+    /// as the current position.
+    fn prof_exit(&mut self, node: u32, prev: u32, dur_us: u64) {
+        let parent = self.prof[node as usize].parent;
+        let n = &mut self.prof[node as usize];
+        n.count += 1;
+        n.total_us += dur_us;
+        if parent != 0 {
+            self.prof[parent as usize].child_us += dur_us;
+        }
+        self.prof_cur = prev;
+    }
 }
 
 /// The collector. Cheap to pass by reference everywhere; all methods
@@ -185,6 +276,17 @@ impl Tracer {
                 hists: BTreeMap::new(),
                 gauges: BTreeMap::new(),
                 config,
+                prof: vec![ProfNode {
+                    name: String::new(),
+                    parent: 0,
+                    children: Vec::new(),
+                    count: 0,
+                    total_us: 0,
+                    child_us: 0,
+                }],
+                prof_cur: 0,
+                prof_open: 0,
+                prof_violations: 0,
             })),
         }
     }
@@ -214,7 +316,7 @@ impl Tracer {
     /// Begin a timed span; the region ends when the returned guard is
     /// dropped. Spans may nest freely.
     pub fn span(&self, ctx: &str, name: &str) -> SpanGuard<'_> {
-        let index = self.inner.as_ref().map(|cell| {
+        let frame = self.inner.as_ref().map(|cell| {
             let mut inner = cell.borrow_mut();
             let start_us = inner.origin.elapsed().as_micros() as u64;
             let depth = inner.open.len() as u32;
@@ -227,11 +329,37 @@ impl Tracer {
                 dur_us: 0,
             });
             inner.open.push(index);
-            index
+            let (node, prev) = inner.prof_enter(name);
+            (index, node, prev)
         });
         SpanGuard {
             tracer: self,
-            index,
+            frame,
+        }
+    }
+
+    /// Begin an aggregated micro-span for a hot interior region. No
+    /// per-instance record is emitted; the elapsed time folds into the
+    /// profile trie under the current open span/micro-span path (see
+    /// [`Record::Prof`]). Guards must drop in LIFO order — the drop
+    /// checks the balanced-stack invariant and records a violation
+    /// otherwise. Near-zero cost when the tracer is off.
+    pub fn mspan(&self, name: &str) -> MicroGuard<'_> {
+        let frame = self.inner.as_ref().map(|cell| {
+            let mut inner = cell.borrow_mut();
+            let start_us = inner.origin.elapsed().as_micros() as u64;
+            let (node, prev) = inner.prof_enter(name);
+            inner.prof_open += 1;
+            MicroFrame {
+                node,
+                prev,
+                start_us,
+                expect_open: inner.prof_open,
+            }
+        });
+        MicroGuard {
+            tracer: self,
+            frame,
         }
     }
 
@@ -354,6 +482,48 @@ impl Tracer {
         for ((ctx, name), value) in gauges {
             inner.records.push(Record::Gauge { name, ctx, value });
         }
+        if inner.prof_violations > 0 {
+            let value = inner.prof_violations as i64;
+            inner.records.push(Record::Counter {
+                name: "mspan_unbalanced".to_string(),
+                ctx: "prof".to_string(),
+                value,
+            });
+        }
+        // Emit the profile trie depth-first, children in name order so
+        // the record stream is deterministic for a given input.
+        let mut stack: Vec<(u32, String)> = Vec::new();
+        let mut roots = inner.prof[0].children.clone();
+        roots.sort_by(|&a, &b| {
+            inner.prof[a as usize]
+                .name
+                .cmp(&inner.prof[b as usize].name)
+        });
+        for r in roots.into_iter().rev() {
+            stack.push((r, inner.prof[r as usize].name.clone()));
+        }
+        let mut prof_records = Vec::new();
+        while let Some((id, path)) = stack.pop() {
+            let node = &inner.prof[id as usize];
+            if node.count > 0 {
+                prof_records.push(Record::Prof {
+                    path: path.clone(),
+                    count: node.count,
+                    total_us: node.total_us,
+                    child_us: node.child_us,
+                });
+            }
+            let mut kids = node.children.clone();
+            kids.sort_by(|&a, &b| {
+                inner.prof[a as usize]
+                    .name
+                    .cmp(&inner.prof[b as usize].name)
+            });
+            for k in kids.into_iter().rev() {
+                stack.push((k, format!("{path}/{}", inner.prof[k as usize].name)));
+            }
+        }
+        inner.records.extend(prof_records);
         Some(TraceData {
             records: inner.records,
         })
@@ -364,12 +534,13 @@ impl Tracer {
 /// drop.
 pub struct SpanGuard<'t> {
     tracer: &'t Tracer,
-    index: Option<usize>,
+    /// `(record index, profile-trie node, previous trie position)`.
+    frame: Option<(usize, u32, u32)>,
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
-        let (Some(cell), Some(index)) = (&self.tracer.inner, self.index) else {
+        let (Some(cell), Some((index, node, prev))) = (&self.tracer.inner, self.frame) else {
             return;
         };
         let mut inner = cell.borrow_mut();
@@ -377,12 +548,50 @@ impl Drop for SpanGuard<'_> {
         if let Some(pos) = inner.open.iter().rposition(|&i| i == index) {
             inner.open.remove(pos);
         }
+        let mut dur = 0;
         if let Record::Span {
             start_us, dur_us, ..
         } = &mut inner.records[index]
         {
             *dur_us = now.saturating_sub(*start_us);
+            dur = *dur_us;
         }
+        inner.prof_exit(node, prev, dur);
+    }
+}
+
+struct MicroFrame {
+    node: u32,
+    prev: u32,
+    start_us: u64,
+    /// `prof_open` right after this frame pushed; at drop any other
+    /// value means guards closed out of LIFO order.
+    expect_open: u32,
+}
+
+/// Guard returned by [`Tracer::mspan`]; folds the elapsed time into
+/// the profile trie on drop and checks the balanced-stack invariant.
+pub struct MicroGuard<'t> {
+    tracer: &'t Tracer,
+    frame: Option<MicroFrame>,
+}
+
+impl Drop for MicroGuard<'_> {
+    fn drop(&mut self) {
+        let (Some(cell), Some(frame)) = (&self.tracer.inner, self.frame.take()) else {
+            return;
+        };
+        let mut inner = cell.borrow_mut();
+        let now = inner.origin.elapsed().as_micros() as u64;
+        if inner.prof_open != frame.expect_open {
+            // Balanced-stack invariant: this guard is not the top of
+            // the micro-span stack (a nested guard leaked or was
+            // dropped out of order). Recover by truncating to this
+            // frame and record the violation.
+            inner.prof_violations += 1;
+        }
+        inner.prof_open = frame.expect_open.saturating_sub(1);
+        inner.prof_exit(frame.node, frame.prev, now.saturating_sub(frame.start_us));
     }
 }
 
@@ -476,6 +685,46 @@ impl TraceData {
         total
     }
 
+    /// All profile nodes, in record order: `(path, count, total_us,
+    /// child_us)`.
+    pub fn profs(&self) -> Vec<(&str, u64, u64, u64)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Prof {
+                    path,
+                    count,
+                    total_us,
+                    child_us,
+                } => Some((path.as_str(), *count, *total_us, *child_us)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Summed `(count, total_us, child_us)` of every profile node with
+    /// exactly this path; `None` when the path never appears.
+    pub fn prof_total(&self, path: &str) -> Option<(u64, u64, u64)> {
+        let mut found = None;
+        for r in &self.records {
+            if let Record::Prof {
+                path: p,
+                count,
+                total_us,
+                child_us,
+            } = r
+            {
+                if p == path {
+                    let slot = found.get_or_insert((0, 0, 0));
+                    slot.0 += count;
+                    slot.1 += total_us;
+                    slot.2 += child_us;
+                }
+            }
+        }
+        found
+    }
+
     /// The gauge `(ctx, name)`, if recorded.
     pub fn gauge(&self, ctx: &str, name: &str) -> Option<i64> {
         self.records.iter().find_map(|r| match r {
@@ -540,6 +789,28 @@ impl TraceData {
                     });
                     if let Some(v) = existing {
                         *v = (*v).max(*value);
+                        continue;
+                    }
+                }
+                Record::Prof {
+                    path,
+                    count,
+                    total_us,
+                    child_us,
+                } => {
+                    let existing = self.records.iter_mut().find_map(|r| match r {
+                        Record::Prof {
+                            path: p,
+                            count: c,
+                            total_us: t,
+                            child_us: ch,
+                        } if p == path => Some((c, t, ch)),
+                        _ => None,
+                    });
+                    if let Some((c, t, ch)) = existing {
+                        *c += count;
+                        *t += total_us;
+                        *ch += child_us;
                         continue;
                     }
                 }
@@ -611,6 +882,19 @@ impl TraceData {
                 if let Record::Gauge { name, ctx, value } = r {
                     out.push_str(&format!("  {name:<28} {value:>12}  [{ctx}]\n"));
                 }
+            }
+        }
+        let profs = self.profs();
+        if !profs.is_empty() {
+            out.push_str("profile (self us = total - child):\n");
+            for (path, count, total_us, child_us) in profs {
+                let depth = path.matches('/').count();
+                let indent = "  ".repeat(depth + 1);
+                let self_us = total_us.saturating_sub(child_us);
+                let name = path.rsplit('/').next().unwrap_or(path);
+                out.push_str(&format!(
+                    "{indent}{name:<24} total {total_us:>10}  self {self_us:>10}  x{count}\n"
+                ));
             }
         }
         let events: Vec<_> = self
@@ -697,6 +981,18 @@ impl TraceData {
                     obj.str("ctx", ctx);
                     obj.int("value", *value);
                 }
+                Record::Prof {
+                    path,
+                    count,
+                    total_us,
+                    child_us,
+                } => {
+                    obj.str("t", "prof");
+                    obj.str("path", path);
+                    obj.int("count", *count as i64);
+                    obj.int("total_us", *total_us as i64);
+                    obj.int("child_us", *child_us as i64);
+                }
             }
             out.push_str(&obj.finish());
             out.push('\n');
@@ -765,6 +1061,12 @@ impl TraceData {
                     name: get_str("name")?,
                     ctx: get_str("ctx")?,
                     value: get_int("value")?,
+                }),
+                "prof" => records.push(Record::Prof {
+                    path: get_str("path")?,
+                    count: get_int("count")? as u64,
+                    total_us: get_int("total_us")? as u64,
+                    child_us: get_int("child_us")? as u64,
                 }),
                 "event" => {
                     let name = get_str("name")?;
@@ -1073,6 +1375,89 @@ mod tests {
                 .sum(),
             4
         );
+    }
+
+    #[test]
+    fn micro_spans_fold_into_the_profile_trie() {
+        let tracer = Tracer::new(TraceConfig::default());
+        {
+            let _outer = tracer.span("m/f", "strategy");
+            for _ in 0..3 {
+                let _m = tracer.mspan("ig_build");
+            }
+            {
+                let _m = tracer.mspan("color");
+                let _n = tracer.mspan("simplify");
+            }
+        }
+        let data = tracer.finish().unwrap();
+        let (count, _, _) = data.prof_total("strategy/ig_build").unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(data.prof_total("strategy/color").unwrap().0, 1);
+        assert_eq!(data.prof_total("strategy/color/simplify").unwrap().0, 1);
+        // Parent totals cover children: strategy's child_us is the sum
+        // of its direct children's totals.
+        let (_, _, strat_child) = data.prof_total("strategy").unwrap();
+        let ig = data.prof_total("strategy/ig_build").unwrap().1;
+        let color = data.prof_total("strategy/color").unwrap().1;
+        assert_eq!(strat_child, ig + color);
+        let (_, color_total, color_child) = data.prof_total("strategy/color").unwrap();
+        let simplify = data.prof_total("strategy/color/simplify").unwrap().1;
+        assert_eq!(color_child, simplify);
+        assert!(color_total >= color_child);
+        // Balanced usage records no violation.
+        assert_eq!(data.counter("prof", "mspan_unbalanced"), None);
+    }
+
+    #[test]
+    fn unbalanced_micro_span_stack_is_detected_at_drop() {
+        let tracer = Tracer::new(TraceConfig::default());
+        {
+            let _outer = tracer.span("m/f", "strategy");
+            let parent = tracer.mspan("parent");
+            let child = tracer.mspan("child");
+            std::mem::forget(child); // leak: parent now drops first
+            drop(parent);
+        }
+        let data = tracer.finish().unwrap();
+        assert_eq!(data.counter("prof", "mspan_unbalanced"), Some(1));
+        // The parent still folded (recovered), the leaked child never
+        // closed so it has no instances.
+        assert_eq!(data.prof_total("strategy/parent").unwrap().0, 1);
+        assert!(data.prof_total("strategy/parent/child").is_none());
+    }
+
+    #[test]
+    fn prof_records_round_trip_and_merge_by_path() {
+        let mk = || {
+            let t = Tracer::new(TraceConfig::default());
+            {
+                let _s = t.span("m/f", "strategy");
+                let _m = t.mspan("ig_build");
+            }
+            t.finish().unwrap()
+        };
+        let data = mk();
+        let parsed = TraceData::parse_jsonl(&data.to_jsonl()).unwrap();
+        assert_eq!(parsed, data, "prof JSONL round-trip is the identity");
+        let mut merged = mk();
+        merged.merge(mk());
+        assert_eq!(merged.prof_total("strategy/ig_build").unwrap().0, 2);
+        let prof_records = merged
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Prof { .. }))
+            .count();
+        assert_eq!(prof_records, 2, "duplicates coalesced per path");
+    }
+
+    #[test]
+    fn off_tracer_micro_spans_are_no_ops() {
+        let tracer = Tracer::off();
+        {
+            let _m = tracer.mspan("hot_loop");
+        }
+        assert!(tracer.finish().is_none());
     }
 
     #[test]
