@@ -27,24 +27,37 @@ cargo run --release --offline -q -p marion-bench --bin marion-bench -- crosschec
 echo "==> compile bench smoke (single iteration, writes BENCH_compile_smoke.json)"
 cargo run --release --offline -q -p marion-bench --bin marion-bench -- compile --smoke --out BENCH_compile_smoke.json
 
-echo "==> marion-serve round-trip (cache warm-up, metrics snapshot, machines introspection)"
+echo "==> marion-serve round-trip (cache warm-up, metrics, dashboard, access log, SLOs)"
+rm -f access.log access.log.1
 serve_out="$(printf '%s\n' \
   '{"id":1,"machine":"r2000","strategy":"IPS","workload":"livermore"}' \
   '{"id":2,"machine":"r2000","strategy":"IPS","workload":"livermore"}' \
   '{"id":3,"cmd":"metrics"}' \
   '{"id":4,"cmd":"machines"}' \
   '{"id":5,"cmd":"capabilities"}' \
-  '{"id":6,"cmd":"shutdown"}' \
-  | ./target/release/marion-serve --workers 1)"
+  '{"id":6,"cmd":"dashboard"}' \
+  '{"id":7,"cmd":"shutdown"}' \
+  | ./target/release/marion-serve --workers 1 \
+      --access-log access.log --slo p99_ms=60000,error_rate=50%)"
 printf '%s\n' "$serve_out" | sed -n '1,4p'
 printf '%s\n' "$serve_out" | sed -n 1p | grep -q '"ok":1'
 printf '%s\n' "$serve_out" | sed -n 1p | grep -q '"cache_hits":0,'
 printf '%s\n' "$serve_out" | sed -n 2p | grep -q '"cache_misses":0,'
 printf '%s\n' "$serve_out" | sed -n 2p | grep -Eq '"cache_hits":[1-9]'
+# Every response echoes its stable request id.
+for n in 1 2 3 4 5 6 7; do
+  printf '%s\n' "$serve_out" | sed -n "${n}p" | grep -q "\"request_id\":\"r${n}\""
+done
 # The metrics snapshot covers exactly the two compiles served before it.
 printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"requests":2,'
 printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"service_count":2,'
 printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"service_p50_us":'
+printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"format_version":2'
+printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"uptime_s":'
+printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"started_requests":3,'
+printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"win_p99_us":'
+printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"slo_count":2,'
+printf '%s\n' "$serve_out" | sed -n 3p | grep -q '"slo_violations":0'
 printf '%s\n' "$serve_out" | sed -n 4p | grep -q '"machines":"toyp,'
 printf '%s\n' "$serve_out" | sed -n 4p | grep -q '"strategies":"Postpass,IPS,RASE"'
 printf '%s\n' "$serve_out" | sed -n 4p | grep -q '"protocol_version":1'
@@ -55,6 +68,42 @@ printf '%s\n' "$serve_out" | sed -n 5p | grep -q '"r2000_issue_width":1'
 printf '%s\n' "$serve_out" | sed -n 5p | grep -q '"i860_clocks":'
 printf '%s\n' "$serve_out" | sed -n 5p | grep -q '"toyp_reg_classes":'
 printf '%s\n' "$serve_out" | sed -n 3p > metrics_snapshot.json
+printf '%s\n' "$serve_out" | sed -n 6p > dashboard_response.jsonl
+
+echo "==> access log: exactly one line per request served"
+test "$(wc -l < access.log)" = 7
+grep -q '"request_id":"r1"' access.log
+grep -q '"request_id":"r7"' access.log
+test "$(grep -c '"cmd":"compile"' access.log)" = 2
+
+echo "==> SLO gate: generous objectives pass (exit 0)"
+./target/release/marion-report --check-slo metrics_snapshot.json
+
+echo "==> SLO gate: an unsatisfiable objective is flagged (exit 1)"
+slo_out="$(printf '%s\n' \
+  '{"id":1,"machine":"toyp","strategy":"Postpass","source":"int main() { return 3; }"}' \
+  '{"id":2,"cmd":"metrics"}' \
+  '{"id":3,"cmd":"shutdown"}' \
+  | ./target/release/marion-serve --workers 1 --slo p99_ms=0)"
+printf '%s\n' "$slo_out" | sed -n 2p > metrics_violated.json
+if ./target/release/marion-report --check-slo metrics_violated.json; then
+  echo "check-slo failed to flag a violated objective" >&2
+  exit 1
+fi
+rm -f metrics_violated.json
+
+echo "==> dashboard HTML (extracted via marion-report, must be fully self-contained)"
+./target/release/marion-report --dashboard dashboard_response.jsonl --out dashboard.html
+test -s dashboard.html
+! grep -Eq 'http://|https://' dashboard.html
+! grep -Eq 'src=|href=' dashboard.html
+grep -q '<style>' dashboard.html
+grep -q 'marion-serve dashboard' dashboard.html
+grep -q '<svg' dashboard.html
+# The slowest request was tail-sampled and rendered as a flamegraph.
+grep -q 'Slowest requests' dashboard.html
+grep -q 'wall-clock attribution' dashboard.html
+rm -f dashboard_response.jsonl
 
 echo "==> HTML report from demo trace (flamegraph + DAG SVG, must be fully self-contained)"
 cargo run --release --offline -q -p marion-bench --bin marion-report -- \

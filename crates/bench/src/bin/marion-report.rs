@@ -29,7 +29,26 @@
 //! external assets — it opens offline from a `file:` URL) to stdout or
 //! to `--out`; `--serve` folds one `metrics` response line from
 //! `marion-serve` into the page as a request-latency section.
+//!
+//! Two service-side modes operate on `marion-serve` responses instead
+//! of traces:
+//!
+//! ```text
+//! marion-report --check-slo METRICS.jsonl
+//! marion-report --dashboard RESPONSES.jsonl [--out DASH.html]
+//! ```
+//!
+//! `--check-slo` scans the file for the first `metrics` response line
+//! carrying SLO fields and exits 0 when every objective holds, 1 when
+//! any is violated (for CI gates), 2 when the file is unreadable or
+//! carries no SLO fields. `--dashboard` extracts the self-contained
+//! HTML payload from a `dashboard` response line and writes it out.
+//!
+//! Exit codes everywhere: 0 success, 1 a report/check failed (SLO
+//! violated, output unwritable), 2 the input was unusable (unreadable
+//! or truncated trace file, bad flags, missing fields).
 
+use marion_bench::serve::check_slo_fields;
 use marion_bench::{html::render_html_with, row};
 use marion_core::{CompileOptions, Compiler, StrategyKind};
 use marion_trace::json::parse_flat;
@@ -40,7 +59,104 @@ fn usage() -> ! {
     eprintln!("usage: marion-report TRACE.jsonl [MORE.jsonl ...]");
     eprintln!("       marion-report --demo [--jsonl OUT.jsonl]");
     eprintln!("       marion-report --html [--out REPORT.html] [--serve METRICS.json] [--demo | TRACE.jsonl ...]");
+    eprintln!("       marion-report --check-slo METRICS.jsonl       exit 1 if any SLO is violated");
+    eprintln!("       marion-report --dashboard RESP.jsonl [--out DASH.html]");
     std::process::exit(2);
+}
+
+/// Reads a file or exits 2 — unreadable input is an environment
+/// problem, distinct from a failed report (exit 1).
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("marion-report: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `--check-slo`: find the first `metrics` line with SLO fields and
+/// report each objective's verdict. Exit 0 all met, 1 any violated,
+/// 2 no usable metrics line.
+fn check_slo(path: &str) -> ! {
+    let text = read_or_die(path);
+    let fields = text
+        .lines()
+        .filter_map(|line| parse_flat(line).ok())
+        .find(|fields| fields.iter().any(|(k, _)| k == "slo_count"))
+        .unwrap_or_else(|| {
+            eprintln!("marion-report: {path}: no metrics line with SLO fields found");
+            std::process::exit(2);
+        });
+    let violated = check_slo_fields(&fields).unwrap_or_else(|e| {
+        eprintln!("marion-report: {path}: {e}");
+        std::process::exit(2);
+    });
+    // Per-objective summary: every `slo_<name>_violated` key, with its
+    // sibling budget/burn fields when present.
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    for (key, _) in &fields {
+        let Some(name) = key
+            .strip_prefix("slo_")
+            .and_then(|rest| rest.strip_suffix("_violated"))
+        else {
+            continue;
+        };
+        let verdict = if violated.iter().any(|v| v == name) {
+            "VIOLATED"
+        } else {
+            "ok"
+        };
+        let detail = |suffix: &str| {
+            get(&format!("slo_{name}_{suffix}"))
+                .map(|v| match v {
+                    Value::Int(i) => format!(" {suffix}={i}"),
+                    Value::Float(f) => format!(" {suffix}={f:.4}"),
+                    Value::Str(s) => format!(" {suffix}={s}"),
+                })
+                .unwrap_or_default()
+        };
+        println!(
+            "slo {name}: {verdict}{}{}",
+            detail("budget_used"),
+            detail("burn_rate")
+        );
+    }
+    if violated.is_empty() {
+        println!("all SLOs met");
+        std::process::exit(0);
+    }
+    eprintln!("marion-report: {} SLO(s) violated", violated.len());
+    std::process::exit(1);
+}
+
+/// `--dashboard`: extract the self-contained HTML payload from the
+/// first `dashboard` response line in the file.
+fn extract_dashboard(path: &str, out: Option<&str>) -> ! {
+    let text = read_or_die(path);
+    let html = text
+        .lines()
+        .filter_map(|line| parse_flat(line).ok())
+        .find_map(|fields| {
+            fields.into_iter().find_map(|(k, v)| {
+                (k == "html")
+                    .then(|| v.as_str().map(str::to_string))
+                    .flatten()
+            })
+        })
+        .unwrap_or_else(|| {
+            eprintln!("marion-report: {path}: no `dashboard` response line with an html field");
+            std::process::exit(2);
+        });
+    match out {
+        Some(out_path) => {
+            std::fs::write(out_path, &html).unwrap_or_else(|e| {
+                eprintln!("marion-report: cannot write {out_path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {out_path}");
+        }
+        None => print!("{html}"),
+    }
+    std::process::exit(0);
 }
 
 fn main() {
@@ -49,6 +165,8 @@ fn main() {
     let mut jsonl_out: Option<String> = None;
     let mut html_out: Option<String> = None;
     let mut serve_path: Option<String> = None;
+    let mut check_slo_path: Option<String> = None;
+    let mut dashboard_path: Option<String> = None;
     let mut traces: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -64,6 +182,8 @@ fn main() {
             "--jsonl" => jsonl_out = Some(value("--jsonl")),
             "--out" => html_out = Some(value("--out")),
             "--serve" => serve_path = Some(value("--serve")),
+            "--check-slo" => check_slo_path = Some(value("--check-slo")),
+            "--dashboard" => dashboard_path = Some(value("--dashboard")),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("marion-report: unknown flag `{other}`");
@@ -71,6 +191,12 @@ fn main() {
             }
             path => traces.push(path.to_string()),
         }
+    }
+    if let Some(path) = check_slo_path {
+        check_slo(&path);
+    }
+    if let Some(path) = dashboard_path {
+        extract_dashboard(&path, html_out.as_deref());
     }
     if !demo_mode && traces.is_empty() {
         usage();
@@ -89,13 +215,15 @@ fn main() {
         let parts: Vec<(String, TraceData)> = traces
             .iter()
             .map(|path| {
-                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    eprintln!("marion-report: cannot read {path}: {e}");
-                    std::process::exit(1);
-                });
+                let text = read_or_die(path);
+                // A truncated or corrupt trace is an unusable input
+                // (exit 2), not a failed report.
                 let data = TraceData::parse_jsonl(&text).unwrap_or_else(|e| {
-                    eprintln!("marion-report: {path}: {e}");
-                    std::process::exit(1);
+                    eprintln!(
+                        "marion-report: {path}: unreadable trace (truncated or not \
+                         marion_trace JSONL): {e}"
+                    );
+                    std::process::exit(2);
                 });
                 (path.clone(), data)
             })
@@ -113,16 +241,13 @@ fn main() {
     // (extra lines — e.g. a whole response stream — are scanned for
     // the first line carrying `service_buckets`).
     let serve_fields: Option<Vec<(String, Value)>> = serve_path.map(|path| {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("marion-report: cannot read {path}: {e}");
-            std::process::exit(1);
-        });
+        let text = read_or_die(&path);
         text.lines()
             .filter_map(|line| parse_flat(line).ok())
             .find(|fields| fields.iter().any(|(k, _)| k == "service_buckets"))
             .unwrap_or_else(|| {
                 eprintln!("marion-report: {path}: no `metrics` response line found");
-                std::process::exit(1);
+                std::process::exit(2);
             })
     });
     // In demo mode the source is on hand, so the page also embeds

@@ -11,7 +11,7 @@
 //! marion-serve --listen 127.0.0.1:7777 --cache-disk /tmp/marion-cache.jsonl
 //! ```
 
-use marion_bench::serve::{run_stream, ServeConfig, Service};
+use marion_bench::serve::{parse_slos, run_stream, ServeConfig, Service};
 use std::io::{BufReader, Write as _};
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
@@ -31,15 +31,32 @@ OPTIONS:
     --cache-capacity N    max cached functions          [default: 4096]
     --cache-disk PATH     write-through JSONL cache store
     --no-cache            disable the compile cache
+
+OBSERVABILITY:
+    --access-log PATH     structured JSONL access log, one line per request
+    --access-log-max-bytes N
+                          rotate the access log to PATH.1 past N bytes
+                                                        [default: 4194304]
+    --slo SPEC            comma-separated objectives over the rolling
+                          windows, e.g. p99_ms=50,error_rate=0.1%
+    --tail N              keep the N slowest requests per window as
+                          exemplar traces                [default: 4]
+    --window-ms N         rolling time-series window width [default: 1000]
+    --windows N           rolling windows retained         [default: 60]
+    --no-exemplars        disable request tracing / tail sampling
     -h, --help            print this help
 
 Request lines look like:
     {\"id\":1,\"machine\":\"r2000\",\"strategy\":\"IPS\",\"workload\":\"livermore\"}
     {\"id\":2,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main(){return 7;}\",\"emit_asm\":1}
     {\"id\":3,\"cmd\":\"stats\"}      cache counters (hits/misses/evictions/disk load)
-    {\"id\":4,\"cmd\":\"metrics\"}    latency histograms (p50/p90/p99), queue + worker gauges
+    {\"id\":4,\"cmd\":\"metrics\"}    latency histograms, windowed rates, SLO burn
     {\"id\":5,\"cmd\":\"machines\"}   machines, strategies, protocol/format versions
-    {\"id\":6,\"cmd\":\"shutdown\"}
+    {\"id\":6,\"cmd\":\"dashboard\"}  self-contained HTML dashboard in the response
+    {\"id\":7,\"cmd\":\"shutdown\"}
+
+Every response echoes a stable request_id (\"r1\", \"r2\", ...) that also
+keys the access-log line for the same request.
 ";
 
 struct Args {
@@ -89,6 +106,32 @@ fn parse_args() -> Result<Args, String> {
             }
             "--cache-disk" => args.config.cache_disk = Some(value("--cache-disk")?.into()),
             "--no-cache" => args.config.cache = false,
+            "--access-log" => args.config.access_log = Some(value("--access-log")?.into()),
+            "--access-log-max-bytes" => {
+                args.config.access_log_max_bytes = value("--access-log-max-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--access-log-max-bytes: {e}"))?
+            }
+            "--slo" => {
+                args.config.slos =
+                    parse_slos(&value("--slo")?).map_err(|e| format!("--slo: {e}"))?
+            }
+            "--tail" => {
+                args.config.tail_k = value("--tail")?
+                    .parse()
+                    .map_err(|e| format!("--tail: {e}"))?
+            }
+            "--window-ms" => {
+                args.config.window_ms = value("--window-ms")?
+                    .parse()
+                    .map_err(|e| format!("--window-ms: {e}"))?
+            }
+            "--windows" => {
+                args.config.windows = value("--windows")?
+                    .parse()
+                    .map_err(|e| format!("--windows: {e}"))?
+            }
+            "--no-exemplars" => args.config.exemplars = false,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -110,7 +153,7 @@ fn main() -> ExitCode {
     let service = match Service::new(&args.config) {
         Ok(s) => Arc::new(s),
         Err(e) => {
-            eprintln!("marion-serve: cache: {e}");
+            eprintln!("marion-serve: {e}");
             return ExitCode::FAILURE;
         }
     };

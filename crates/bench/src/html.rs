@@ -527,6 +527,232 @@ fn render_serve_section(out: &mut String, fields: &[(String, Value)]) {
     }
 }
 
+/// Extra styles for the dashboard page, appended to [`STYLE`].
+const DASH_STYLE: &str = "\
+.spark{margin:.6rem 0 1rem;border-left:3px solid #3b4252;padding-left:.8rem}\
+.sparktitle{font-size:.85rem;color:#e5e9f0;margin-bottom:.2rem}\
+.ok{color:#a3be8c}\
+.bad{color:#bf616a;font-weight:bold}";
+
+/// One sparkline: the per-window values as a self-contained inline SVG
+/// polyline (no external assets), labelled with the last and max
+/// values.
+fn sparkline(out: &mut String, title: &str, points: &[f64]) {
+    const W: f64 = 720.0;
+    const H: f64 = 48.0;
+    const PAD: f64 = 4.0;
+    let max = points.iter().copied().fold(0.0f64, f64::max);
+    let last = points.last().copied().unwrap_or(0.0);
+    out.push_str(&format!(
+        "<div class=\"spark\"><div class=\"sparktitle\">{} \
+         <span class=\"muted\">last {} \u{00b7} max {}</span></div>\n",
+        esc(title),
+        fmt_value(last),
+        fmt_value(max)
+    ));
+    let step = W / (points.len().max(2) - 1) as f64;
+    let mut pts = String::new();
+    for (i, v) in points.iter().enumerate() {
+        let x = i as f64 * step;
+        let y = if max > 0.0 {
+            H - PAD - (v / max) * (H - 2.0 * PAD)
+        } else {
+            H - PAD
+        };
+        pts.push_str(&format!("{x:.1},{y:.1} "));
+    }
+    out.push_str(&format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"100%\" height=\"48\" \
+         preserveAspectRatio=\"none\" role=\"img\" aria-label=\"{}\">\
+         <rect x=\"0\" y=\"0\" width=\"{W}\" height=\"{H}\" fill=\"#242933\"/>\
+         <polyline points=\"{}\" fill=\"none\" stroke=\"#88c0d0\" stroke-width=\"1.5\"/>\
+         </svg></div>\n",
+        esc(title),
+        pts.trim_end()
+    ));
+}
+
+/// Compact number for tile/sparkline labels.
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders the `dashboard` protocol command's page: a self-contained
+/// HTML status view of one running service — summary tiles, rolling
+/// sparklines, SLO budgets, and tail-sampled exemplar flamegraphs.
+/// Same self-containment contract as [`render_html`] (CI grep-asserts
+/// it): inline CSS/SVG only, no links, no external assets.
+pub fn render_dashboard(d: &crate::serve::DashboardData) -> String {
+    let snap = &d.snap;
+    let win = &d.windowed;
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n");
+    out.push_str("<title>marion-serve dashboard</title>\n");
+    out.push_str(&format!("<style>{STYLE}{DASH_STYLE}</style>\n"));
+    out.push_str("</head><body>\n<h1>marion-serve dashboard</h1>\n");
+
+    // ---- lifetime tiles ----
+    out.push_str("<div class=\"tiles\">\n");
+    tile(
+        &mut out,
+        "uptime",
+        &format!("{:.1} s", snap.uptime_us as f64 / 1e6),
+    );
+    tile(&mut out, "requests served", &snap.requests.to_string());
+    tile(&mut out, "started", &snap.started.to_string());
+    tile(
+        &mut out,
+        "in flight",
+        &snap.started.saturating_sub(snap.requests).to_string(),
+    );
+    tile(&mut out, "failures", &snap.failures.to_string());
+    tile(&mut out, "queue depth", &snap.queue_depth.to_string());
+    tile(&mut out, "workers", &snap.workers.to_string());
+    if let Some(rate) = d.cache_hit_rate {
+        tile(&mut out, "cache hit rate", &format!("{:.0}%", rate * 100.0));
+    }
+    out.push_str("</div>\n");
+
+    // ---- windowed tiles ----
+    section(
+        &mut out,
+        &format!(
+            "Last {} window(s) \u{2014} {:.0} s",
+            win.windows, win.covered_s
+        ),
+    );
+    out.push_str("<div class=\"tiles\">\n");
+    tile(&mut out, "requests", &win.requests.to_string());
+    tile(&mut out, "requests / s", &fmt_value(win.rps));
+    tile(
+        &mut out,
+        "hit rate",
+        &format!("{:.0}%", win.hit_rate * 100.0),
+    );
+    tile(
+        &mut out,
+        "error rate",
+        &format!("{:.1}%", win.error_rate * 100.0),
+    );
+    if let Some(p) = win.p50_us {
+        tile(&mut out, "p50", &format!("{p} us"));
+    }
+    if let Some(p) = win.p99_us {
+        tile(&mut out, "p99", &format!("{p} us"));
+    }
+    out.push_str("</div>\n");
+
+    // ---- sparklines ----
+    section(
+        &mut out,
+        &format!(
+            "Rolling windows ({} \u{00d7} {} ms)",
+            snap.service_ts.num_windows(),
+            snap.window_ms
+        ),
+    );
+    for s in &d.series {
+        sparkline(&mut out, &s.title, &s.points);
+    }
+
+    // ---- SLOs ----
+    section(&mut out, "Service-level objectives");
+    if d.slos.is_empty() {
+        out.push_str(
+            "<p class=\"muted\">none configured \u{2014} start marion-serve \
+             with --slo to track error budgets here.</p>\n",
+        );
+    } else {
+        table_open(
+            &mut out,
+            &[
+                "objective",
+                "target",
+                "bad/total",
+                "budget used",
+                "burn rate",
+                "status",
+            ],
+        );
+        for eval in &d.slos {
+            let status = if eval.violated { "VIOLATED" } else { "ok" };
+            table_row(
+                &mut out,
+                &[
+                    eval.slo.name.clone(),
+                    fmt_value(eval.slo.target),
+                    format!("{}/{}", eval.bad, eval.total),
+                    format!("{:.1}%", eval.budget_used * 100.0),
+                    format!("{:.2}\u{00d7}", eval.burn_rate),
+                    status.to_string(),
+                ],
+            );
+        }
+        table_close(&mut out);
+    }
+
+    // ---- tail exemplars ----
+    section(&mut out, "Slowest requests (tail exemplars)");
+    if d.exemplars.is_empty() {
+        out.push_str(
+            "<p class=\"muted\">no exemplars yet \u{2014} compiles are traced \
+             and the slowest per window are kept here.</p>\n",
+        );
+    } else {
+        for ex in &d.exemplars {
+            out.push_str(&format!(
+                "<details open><summary>r{} \u{2014} {}/{} \u{2014} {:.1} ms \
+                 <span class=\"muted\">(queue {:.1} ms, {} hit / {} miss, \
+                 {} func(s), window {})</span></summary>\n",
+                ex.request_id,
+                esc(&ex.machine),
+                esc(&ex.strategy),
+                ex.service_us as f64 / 1000.0,
+                ex.queue_wait_us as f64 / 1000.0,
+                ex.cache_hits,
+                ex.cache_misses,
+                ex.funcs,
+                ex.window
+            ));
+            let tree = crate::flame::flame_tree(&ex.trace);
+            if tree.children.is_empty() {
+                out.push_str(
+                    "<p class=\"muted\">no profile for this request: every \
+                     function replayed from the cache, and cached entries \
+                     carry no timing.</p>\n",
+                );
+            } else {
+                out.push_str(&crate::flame::render_svg(
+                    &tree,
+                    &format!("r{} wall-clock attribution", ex.request_id),
+                ));
+            }
+            out.push_str("</details>\n");
+        }
+    }
+
+    // ---- lifetime distributions ----
+    section(&mut out, "Lifetime latency distributions");
+    hist_block(&mut out, "Service time", &snap.service_us, "us");
+    hist_block(&mut out, "Queue wait", &snap.queue_wait_us, "us");
+
+    out.push_str(
+        "<footer>marion-serve dashboard \u{2014} single-file page, no external \
+         assets; percentiles are log2-bucket upper bounds (&lt;2\u{00d7} \
+         relative error).</footer>\n",
+    );
+    out.push_str("</body></html>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,36 +14,54 @@
 //! ```
 //!
 //! Requests: `cmd` is `compile` (default), `stats`, `metrics`,
-//! `machines`, or `shutdown`. `compile` takes a `machine` name, a
-//! `strategy` name, and either a named `workload` (`livermore` for the
-//! combined Livermore suite, or `gen:<count>:<seed>` for the
-//! deterministic generator) or inline C `source`; `emit_asm:1` adds
-//! the rendered assembly to the response. `metrics` answers a
-//! service-level snapshot — request counts, queue-wait and
-//! service-time log2 histograms with p50/p90/p99, live queue-depth and
-//! busy-worker gauges, cache rates — without disturbing in-flight
-//! work. `machines` lists the supported machines, strategies, and
-//! protocol/cache-format versions.
+//! `machines`, `capabilities`, `dashboard`, or `shutdown`. `compile`
+//! takes a `machine` name, a `strategy` name, and either a named
+//! `workload` (`livermore` for the combined Livermore suite, or
+//! `gen:<count>:<seed>` for the deterministic generator) or inline C
+//! `source`; `emit_asm:1` adds the rendered assembly to the response.
+//! `metrics` answers a service-level snapshot — request counts,
+//! queue-wait and service-time log2 histograms with p50/p90/p99,
+//! rolling-window rates and percentiles, SLO budget/burn figures, live
+//! queue-depth and busy-worker gauges, cache rates — without
+//! disturbing in-flight work. `machines` lists the supported machines,
+//! strategies, and protocol/cache-format versions. `dashboard` returns
+//! a self-contained HTML status page (inline CSS/SVG only) as a
+//! JSON-escaped `html` field.
 //!
-//! Responses stream back in request order, one line each:
+//! Responses stream back in request order, one line each. Every
+//! response carries a server-assigned, stable `request_id` (`"r<n>"`)
+//! for correlation with the access log:
 //!
 //! ```text
-//! {"id":1,"ok":1,"machine":"r2000","strategy":"IPS","funcs":15,"insts":…,
-//!  "spills":…,"estimated_cycles":…,"nops":…,"cache_hits":0,"cache_misses":15,
-//!  "wall_us":…}
+//! {"id":1,"request_id":"r1","ok":1,"machine":"r2000","strategy":"IPS",
+//!  "funcs":15,"insts":…,"spills":…,"estimated_cycles":…,"nops":…,
+//!  "cache_hits":0,"cache_misses":15,"wall_us":…}
 //! ```
 //!
-//! Failures respond `{"id":…,"ok":0,"error":"…"}` — a bad request
-//! never kills the stream. `shutdown` answers, stops reading, and
-//! drains every request already queued before returning.
+//! Failures respond `{"id":…,"request_id":…,"ok":0,"error":"…"}` — a
+//! bad request never kills the stream. `shutdown` answers, stops
+//! reading, and drains every request already queued before returning.
+//!
+//! ## Observability
+//!
+//! With `ServeConfig::access_log` set, every request served through
+//! [`run_stream`] appends exactly one JSONL line to the access log —
+//! the line count always equals the requests served — rotating
+//! `PATH` → `PATH.1` when `access_log_max_bytes` would be exceeded.
+//! With `exemplars` on (the default), compiles are traced and a tail
+//! sampler keeps the K slowest requests per window with their full
+//! `TraceData`, which the `dashboard` page renders as per-request
+//! flamegraphs. Declarative SLOs ([`parse_slos`]) are evaluated over
+//! the rolling [`TimeSeries`] windows; see DESIGN.md "Metrics model"
+//! for the exact semantics.
 
 use marion_core::{CompileOptions, Compiler, FuncCache, StrategyKind};
 use marion_trace::json::{parse_flat, ObjWriter};
-use marion_trace::Histogram;
-use std::collections::{BTreeMap, HashMap};
+use marion_trace::{Histogram, TimeSeries, TraceConfig, TraceData, Value};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufRead, Write};
 use std::num::NonZeroUsize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
@@ -51,6 +69,15 @@ use std::time::Instant;
 /// Version of the request/response protocol described in the module
 /// docs. Bumped on incompatible changes; reported by `machines`.
 pub const PROTOCOL_VERSION: i64 = 1;
+
+/// Version of the `metrics` response schema, reported as
+/// `format_version` so archived snapshots are self-describing.
+/// 2 added uptime/started/windowed/SLO fields.
+pub const METRICS_FORMAT_VERSION: i64 = 2;
+
+/// Rolling windows aggregated for the `win_*` metrics fields and the
+/// SLO burn rate ("latency over the last ~10 windows").
+pub const SLO_RECENT_WINDOWS: usize = 10;
 
 /// How to build a [`Service`].
 #[derive(Debug, Clone)]
@@ -66,6 +93,23 @@ pub struct ServeConfig {
     /// 1: the service already parallelises across requests, and nested
     /// pools oversubscribe.
     pub jobs: Option<NonZeroUsize>,
+    /// Append one JSONL line per served request to this path.
+    pub access_log: Option<PathBuf>,
+    /// Rotate the access log (`PATH` → `PATH.1`) before exceeding this
+    /// many bytes. Default 4 MiB.
+    pub access_log_max_bytes: u64,
+    /// Trace compiles and keep tail-sampled exemplars for the
+    /// `dashboard` command (on by default).
+    pub exemplars: bool,
+    /// Slowest requests kept per window by the tail sampler.
+    pub tail_k: usize,
+    /// Width of one rolling metrics window, in milliseconds.
+    pub window_ms: u64,
+    /// Rolling windows retained.
+    pub windows: usize,
+    /// Service-level objectives evaluated over the rolling windows
+    /// ([`parse_slos`]).
+    pub slos: Vec<Slo>,
 }
 
 impl Default for ServeConfig {
@@ -75,8 +119,102 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             cache_disk: None,
             jobs: NonZeroUsize::new(1),
+            access_log: None,
+            access_log_max_bytes: 4 << 20,
+            exemplars: true,
+            tail_k: 4,
+            window_ms: 1000,
+            windows: 60,
+            slos: Vec::new(),
         }
     }
+}
+
+/// One declarative service-level objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slo {
+    /// The spec key, e.g. `p99_ms` or `error_rate` — used for the
+    /// `slo_<name>_*` metrics fields.
+    pub name: String,
+    /// The spec value as written (ms for latency objectives, a
+    /// fraction for `error_rate`) — echoed as `slo_<name>_target`.
+    pub target: f64,
+    /// What to evaluate.
+    pub kind: SloKind,
+}
+
+/// The objective kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloKind {
+    /// `p<q>_ms=<t>`: at least `q`% of requests must finish within
+    /// `threshold_us`. The error budget is the `1 − q` tail.
+    LatencyQuantile {
+        /// Quantile as a fraction in (0, 1).
+        q: f64,
+        /// Latency threshold in microseconds.
+        threshold_us: u64,
+    },
+    /// `error_rate=<r>` (or `<r>%`): at most this fraction of requests
+    /// may fail.
+    ErrorRate {
+        /// Allowed failure fraction in (0, 1].
+        max_rate: f64,
+    },
+}
+
+/// Parses a `--slo` spec: comma-separated `name=value` objectives,
+/// e.g. `p99_ms=50,error_rate=0.1%`. Latency objectives are `p<q>_ms`
+/// with `0 < q < 100`; `error_rate` takes a fraction or a percentage.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending objective.
+pub fn parse_slos(spec: &str) -> Result<Vec<Slo>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (name, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("SLO `{part}` must be `name=value`"))?;
+        let (name, value) = (name.trim(), value.trim());
+        let bad = |what: &str| format!("SLO `{name}`: bad {what} `{value}`");
+        let (target, kind) = if let Some(q) = name
+            .strip_prefix('p')
+            .and_then(|rest| rest.strip_suffix("_ms"))
+        {
+            let q: f64 = q.parse().map_err(|_| bad("quantile"))?;
+            if !(0.0..100.0).contains(&q) || q == 0.0 {
+                return Err(format!("SLO `{name}`: quantile must be in (0, 100)"));
+            }
+            let ms: f64 = value.parse().map_err(|_| bad("threshold"))?;
+            if !(0.0..=f64::MAX).contains(&ms) {
+                return Err(bad("threshold"));
+            }
+            (
+                ms,
+                SloKind::LatencyQuantile {
+                    q: q / 100.0,
+                    threshold_us: (ms * 1000.0) as u64,
+                },
+            )
+        } else if name == "error_rate" {
+            let rate = match value.strip_suffix('%') {
+                Some(pct) => pct.parse::<f64>().map_err(|_| bad("rate"))? / 100.0,
+                None => value.parse::<f64>().map_err(|_| bad("rate"))?,
+            };
+            if !(rate > 0.0 && rate <= 1.0) {
+                return Err(format!("SLO `{name}`: rate must be in (0, 1]"));
+            }
+            (rate, SloKind::ErrorRate { max_rate: rate })
+        } else {
+            return Err(format!("unknown SLO `{name}` (have: p<q>_ms, error_rate)"));
+        };
+        out.push(Slo {
+            name: name.to_string(),
+            target,
+            kind,
+        });
+    }
+    Ok(out)
 }
 
 /// A parsed request line.
@@ -113,6 +251,9 @@ pub enum Cmd {
     /// Per-machine detail: issue width, temporal clocks, and register
     /// classes for every served target.
     Capabilities,
+    /// Self-contained HTML status page (sparklines, SLOs, exemplar
+    /// flamegraphs) as a JSON-escaped `html` field.
+    Dashboard,
     /// Answer, then stop reading and drain the queue.
     Shutdown,
 }
@@ -142,6 +283,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "metrics" => Cmd::Metrics,
         "machines" => Cmd::Machines,
         "capabilities" => Cmd::Capabilities,
+        "dashboard" => Cmd::Dashboard,
         "shutdown" => Cmd::Shutdown,
         other => return Err(format!("unknown cmd `{other}`")),
     };
@@ -156,15 +298,40 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     })
 }
 
-/// What one handled request contributed, for stream accounting.
-#[derive(Debug, Clone, Copy, Default)]
+/// What one handled request contributed: stream accounting plus the
+/// request-scoped detail the access log and tail sampler consume.
+#[derive(Debug, Clone, Default)]
 pub struct Outcome {
+    /// Server-assigned request id (echoed as `"r<n>"`).
+    pub request_id: u64,
+    /// The client's `id` field.
+    pub client_id: i64,
+    /// The request verb as served (`"invalid"` for unparsable lines).
+    pub cmd: &'static str,
+    /// Target machine (empty for non-compile requests).
+    pub machine: String,
+    /// Strategy name (empty for non-compile requests).
+    pub strategy: String,
+    /// Functions in the compiled module.
+    pub funcs: u64,
     /// Functions served from the cache.
     pub cache_hits: u64,
     /// Functions compiled cold.
     pub cache_misses: u64,
     /// The request failed.
     pub failed: bool,
+    /// Per-request trace (compiles with exemplars enabled), consumed
+    /// by the tail sampler.
+    pub trace: Option<TraceData>,
+}
+
+fn outcome(request_id: u64, client_id: i64, cmd: &'static str) -> Outcome {
+    Outcome {
+        request_id,
+        client_id,
+        cmd,
+        ..Outcome::default()
+    }
 }
 
 /// Totals for one [`run_stream`] call.
@@ -181,27 +348,38 @@ pub struct ServeStats {
 }
 
 /// Service-level metrics: live gauges (lock-free atomics, safe to
-/// touch from the stream's hot path) plus request counters and latency
-/// histograms guarded by one mutex.
+/// touch from the stream's hot path) plus request counters, latency
+/// histograms, and the rolling [`TimeSeries`] — all guarded by one
+/// mutex.
 ///
-/// Holding `requests` and the service-time histogram under the same
-/// lock is what makes the snapshot exact: the sum of the service-time
-/// bucket counts always equals the number of requests served, with no
-/// torn reads between the two.
-#[derive(Default)]
+/// Holding `requests`, the service-time histogram, and the time
+/// series under the same lock is what makes the snapshot exact: the
+/// sum of the service-time bucket counts always equals the number of
+/// requests served, with no torn reads between them.
 pub struct Metrics {
+    origin: Instant,
+    window_ms: u64,
     queue_depth: AtomicI64,
     busy_workers: AtomicI64,
     workers: AtomicI64,
+    started: AtomicU64,
     inner: Mutex<MetricsInner>,
 }
 
-#[derive(Default)]
 struct MetricsInner {
     requests: u64,
     failures: u64,
     queue_wait_us: Histogram,
     service_us: Histogram,
+    /// Per-window service-time samples (count, sum, max, histogram).
+    service_ts: TimeSeries,
+    /// Per request: value 1 when failed, 0 when ok — window `count` is
+    /// requests, window `sum` is failures.
+    error_ts: TimeSeries,
+    /// Per-window function-level cache hits (`count == sum`).
+    hit_ts: TimeSeries,
+    /// Per-window function-level cache misses.
+    miss_ts: TimeSeries,
 }
 
 /// A consistent point-in-time copy of [`Metrics`].
@@ -211,6 +389,16 @@ pub struct MetricsSnapshot {
     pub requests: u64,
     /// Requests that answered `ok:0`.
     pub failures: u64,
+    /// Requests dequeued for service, including in-flight ones
+    /// (`started - requests` is the in-flight count).
+    pub started: u64,
+    /// Microseconds since the service was built.
+    pub uptime_us: u64,
+    /// Milliseconds since the service was built (the time-series tick
+    /// of this snapshot).
+    pub now_ms: u64,
+    /// Width of one rolling window, in milliseconds.
+    pub window_ms: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: i64,
     /// Workers currently inside `handle_line`.
@@ -221,34 +409,430 @@ pub struct MetricsSnapshot {
     pub queue_wait_us: Histogram,
     /// Time inside `handle_line`, in microseconds.
     pub service_us: Histogram,
+    /// Rolling per-window service-time series.
+    pub service_ts: TimeSeries,
+    /// Rolling per-window failure series (count=requests,
+    /// sum=failures).
+    pub error_ts: TimeSeries,
+    /// Rolling per-window cache-hit series.
+    pub hit_ts: TimeSeries,
+    /// Rolling per-window cache-miss series.
+    pub miss_ts: TimeSeries,
+}
+
+/// Aggregates over the most recent rolling windows of a
+/// [`MetricsSnapshot`] — the `win_*` fields of the `metrics` response.
+#[derive(Debug, Clone, Default)]
+pub struct Windowed {
+    /// Windows actually covered (capped by uptime).
+    pub windows: usize,
+    /// Seconds those windows span.
+    pub covered_s: f64,
+    /// Requests completed in the covered windows.
+    pub requests: u64,
+    /// Failures in the covered windows.
+    pub failures: u64,
+    /// Function-level cache hits in the covered windows.
+    pub cache_hits: u64,
+    /// Function-level cache misses in the covered windows.
+    pub cache_misses: u64,
+    /// Requests per second over the covered span.
+    pub rps: f64,
+    /// Cache hit fraction (0 when no cache traffic).
+    pub hit_rate: f64,
+    /// Failure fraction (0 when no requests).
+    pub error_rate: f64,
+    /// Windowed service-time p50 (absent when no requests).
+    pub p50_us: Option<u64>,
+    /// Windowed service-time p99.
+    pub p99_us: Option<u64>,
 }
 
 impl Metrics {
-    /// Records one completed request. Both counters and both
-    /// histograms move under a single lock, so snapshots never see a
+    fn new(window_ms: u64, windows: usize) -> Metrics {
+        let ts = || TimeSeries::new(window_ms.max(1), windows.max(1));
+        Metrics {
+            origin: Instant::now(),
+            window_ms: window_ms.max(1),
+            queue_depth: AtomicI64::new(0),
+            busy_workers: AtomicI64::new(0),
+            workers: AtomicI64::new(0),
+            started: AtomicU64::new(0),
+            inner: Mutex::new(MetricsInner {
+                requests: 0,
+                failures: 0,
+                queue_wait_us: Histogram::new(),
+                service_us: Histogram::new(),
+                service_ts: ts(),
+                error_ts: ts(),
+                hit_ts: ts(),
+                miss_ts: ts(),
+            }),
+        }
+    }
+
+    /// Microseconds since the service was built (the monotonic offset
+    /// used by access-log timestamps).
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Records one completed request. Counters, histograms, and time
+    /// series all move under a single lock, so snapshots never see a
     /// request counted but not yet observed (or vice versa).
-    fn record(&self, queue_wait_us: u64, service_us: u64, failed: bool) {
+    fn record(&self, queue_wait_us: u64, service_us: u64, outcome: &Outcome) {
+        let now_ms = self.now_us() / 1000;
         let mut inner = self.inner.lock().unwrap();
         inner.requests += 1;
-        inner.failures += failed as u64;
+        inner.failures += outcome.failed as u64;
         inner.queue_wait_us.record(queue_wait_us);
         inner.service_us.record(service_us);
+        inner.service_ts.record(now_ms, service_us);
+        inner.error_ts.record(now_ms, outcome.failed as u64);
+        if outcome.cache_hits > 0 {
+            inner.hit_ts.record_n(now_ms, 1, outcome.cache_hits);
+        }
+        if outcome.cache_misses > 0 {
+            inner.miss_ts.record_n(now_ms, 1, outcome.cache_misses);
+        }
     }
 
     /// A consistent snapshot; gauges are read alongside the locked
     /// counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().unwrap();
+        let uptime_us = self.now_us();
         MetricsSnapshot {
             requests: inner.requests,
             failures: inner.failures,
+            started: self.started.load(Ordering::Relaxed).max(inner.requests),
+            uptime_us,
+            now_ms: uptime_us / 1000,
+            window_ms: self.window_ms,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             busy_workers: self.busy_workers.load(Ordering::Relaxed),
             workers: self.workers.load(Ordering::Relaxed),
             queue_wait_us: inner.queue_wait_us.clone(),
             service_us: inner.service_us.clone(),
+            service_ts: inner.service_ts.clone(),
+            error_ts: inner.error_ts.clone(),
+            hit_ts: inner.hit_ts.clone(),
+            miss_ts: inner.miss_ts.clone(),
         }
     }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        let d = ServeConfig::default();
+        Metrics::new(d.window_ms, d.windows)
+    }
+}
+
+impl MetricsSnapshot {
+    /// Aggregates over the last `n` rolling windows (capped by the
+    /// windows that have actually elapsed since startup, so rates are
+    /// never diluted by time the daemon has not lived).
+    pub fn windowed(&self, n: usize) -> Windowed {
+        let elapsed_windows = (self.now_ms / self.window_ms) as usize + 1;
+        let covered = n.max(1).min(elapsed_windows);
+        let service = self.service_ts.recent(self.now_ms, covered);
+        let errors = self.error_ts.recent(self.now_ms, covered);
+        let hits = self.hit_ts.recent(self.now_ms, covered).sum;
+        let misses = self.miss_ts.recent(self.now_ms, covered).sum;
+        let covered_s = covered as f64 * self.window_ms as f64 / 1000.0;
+        let frac = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        Windowed {
+            windows: covered,
+            covered_s,
+            requests: service.count,
+            failures: errors.sum,
+            cache_hits: hits,
+            cache_misses: misses,
+            rps: service.count as f64 / covered_s,
+            hit_rate: frac(hits, hits + misses),
+            error_rate: frac(errors.sum, errors.count),
+            p50_us: service.hist.percentile(0.50),
+            p99_us: service.hist.percentile(0.99),
+        }
+    }
+}
+
+/// One evaluated objective.
+#[derive(Debug, Clone)]
+pub struct SloEval {
+    /// The objective.
+    pub slo: Slo,
+    /// Requests that violated the objective, over the retained
+    /// horizon.
+    pub bad: u64,
+    /// Requests considered.
+    pub total: u64,
+    /// Fraction of the error budget consumed over the retained
+    /// horizon (`bad_rate / allowed_rate`; > 1 means violated).
+    pub budget_used: f64,
+    /// Same ratio over the last [`SLO_RECENT_WINDOWS`] windows — how
+    /// fast the budget is burning *right now* (1.0 = exactly on
+    /// budget).
+    pub burn_rate: f64,
+    /// `budget_used > 1`.
+    pub violated: bool,
+}
+
+/// Splits a latency histogram at `threshold_us`: samples whose bucket
+/// upper bound is within the threshold are good; a bucket straddling
+/// the threshold counts entirely against the budget (conservative —
+/// see DESIGN.md).
+fn split_latency(hist: &Histogram, threshold_us: u64) -> (u64, u64) {
+    let (mut good, mut bad) = (0u64, 0u64);
+    for (i, &c) in hist.counts().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if marion_trace::hist::bucket_max(i) <= threshold_us {
+            good += c;
+        } else {
+            bad += c;
+        }
+    }
+    (good, bad)
+}
+
+/// Evaluates objectives against a snapshot's rolling windows: the
+/// budget over the full retained horizon, the burn rate over the last
+/// [`SLO_RECENT_WINDOWS`] windows. An empty horizon evaluates to a
+/// clean slate (nothing violated).
+pub fn evaluate_slos(snap: &MetricsSnapshot, slos: &[Slo]) -> Vec<SloEval> {
+    let frac = |bad: u64, total: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        }
+    };
+    slos.iter()
+        .map(|slo| {
+            let (bad, total, recent_bad, recent_total, allowed) = match &slo.kind {
+                SloKind::LatencyQuantile { q, threshold_us } => {
+                    let horizon = snap.service_ts.horizon();
+                    let recent = snap.service_ts.recent(snap.now_ms, SLO_RECENT_WINDOWS);
+                    let (good, bad) = split_latency(&horizon.hist, *threshold_us);
+                    let (rgood, rbad) = split_latency(&recent.hist, *threshold_us);
+                    (bad, good + bad, rbad, rgood + rbad, 1.0 - q)
+                }
+                SloKind::ErrorRate { max_rate } => {
+                    let horizon = snap.error_ts.horizon();
+                    let recent = snap.error_ts.recent(snap.now_ms, SLO_RECENT_WINDOWS);
+                    (
+                        horizon.sum,
+                        horizon.count,
+                        recent.sum,
+                        recent.count,
+                        *max_rate,
+                    )
+                }
+            };
+            let budget_used = frac(bad, total) / allowed;
+            SloEval {
+                slo: slo.clone(),
+                bad,
+                total,
+                budget_used,
+                burn_rate: frac(recent_bad, recent_total) / allowed,
+                violated: budget_used > 1.0,
+            }
+        })
+        .collect()
+}
+
+/// Scans a flat-parsed `metrics` response for SLO verdicts, returning
+/// the violated objective names. Used by `marion-report --check-slo`.
+///
+/// # Errors
+///
+/// When the line carries no SLO fields at all (the server was not
+/// started with `--slo`, or the line is not a metrics response).
+pub fn check_slo_fields(fields: &[(String, Value)]) -> Result<Vec<String>, String> {
+    if !fields.iter().any(|(k, _)| k == "slo_count") {
+        return Err(
+            "no SLO fields in metrics line (was marion-serve started with --slo?)".to_string(),
+        );
+    }
+    Ok(fields
+        .iter()
+        .filter_map(|(k, v)| {
+            let name = k.strip_prefix("slo_")?.strip_suffix("_violated")?;
+            (v.as_int() == Some(1)).then(|| name.to_string())
+        })
+        .collect())
+}
+
+/// A bounded JSONL access log: one line per served request, rotated
+/// `PATH` → `PATH.1` (one rotated generation kept) before the active
+/// file would exceed `max_bytes`. Writes are whole lines, so a reader
+/// can `wc -l` mid-run and always see complete records.
+struct AccessLog {
+    path: PathBuf,
+    file: std::fs::File,
+    bytes: u64,
+    max_bytes: u64,
+    rotations: u64,
+}
+
+impl AccessLog {
+    fn create(path: &Path, max_bytes: u64) -> io::Result<AccessLog> {
+        Ok(AccessLog {
+            path: path.to_path_buf(),
+            file: std::fs::File::create(path)?,
+            bytes: 0,
+            max_bytes: max_bytes.max(1),
+            rotations: 0,
+        })
+    }
+
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        let len = line.len() as u64 + 1;
+        if self.bytes > 0 && self.bytes + len > self.max_bytes {
+            let rotated = PathBuf::from(format!("{}.1", self.path.display()));
+            std::fs::rename(&self.path, &rotated)?;
+            self.file = std::fs::File::create(&self.path)?;
+            self.bytes = 0;
+            self.rotations += 1;
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.bytes += len;
+        Ok(())
+    }
+}
+
+/// One tail-sampled slow request: the access-log facts plus the full
+/// per-request trace, so a latency outlier links to its flamegraph.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// Server-assigned request id.
+    pub request_id: u64,
+    /// The client's `id` field.
+    pub client_id: i64,
+    /// Target machine.
+    pub machine: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Functions compiled.
+    pub funcs: u64,
+    /// Queue wait, microseconds.
+    pub queue_wait_us: u64,
+    /// Service time, microseconds.
+    pub service_us: u64,
+    /// Function-level cache hits.
+    pub cache_hits: u64,
+    /// Function-level cache misses.
+    pub cache_misses: u64,
+    /// Absolute rolling-window id the request completed in.
+    pub window: u64,
+    /// The request's trace (spans/prof cold; counters only when every
+    /// function replayed from the cache — cached entries carry no
+    /// timing).
+    pub trace: TraceData,
+}
+
+/// Rolling windows retained by the tail sampler beyond the current
+/// one, so an outlier survives long enough to be inspected.
+const TAIL_KEEP_WINDOWS: usize = 4;
+
+/// Keeps the `k` slowest traced requests per rolling window, plus the
+/// last [`TAIL_KEEP_WINDOWS`] windows' survivors.
+struct TailSampler {
+    k: usize,
+    window_ms: u64,
+    cur_window: u64,
+    cur: Vec<Exemplar>,
+    recent: VecDeque<Vec<Exemplar>>,
+}
+
+impl TailSampler {
+    fn new(k: usize, window_ms: u64) -> TailSampler {
+        TailSampler {
+            k,
+            window_ms: window_ms.max(1),
+            cur_window: 0,
+            cur: Vec::new(),
+            recent: VecDeque::new(),
+        }
+    }
+
+    fn offer(&mut self, now_ms: u64, mut ex: Exemplar) {
+        if self.k == 0 {
+            return;
+        }
+        let window = now_ms / self.window_ms;
+        ex.window = window;
+        if window > self.cur_window {
+            if !self.cur.is_empty() {
+                self.recent.push_front(std::mem::take(&mut self.cur));
+                while self.recent.len() > TAIL_KEEP_WINDOWS {
+                    self.recent.pop_back();
+                }
+            }
+            self.cur_window = window;
+        }
+        // Keep `cur` sorted slowest-first and bounded at k.
+        let pos = self
+            .cur
+            .iter()
+            .position(|e| e.service_us < ex.service_us)
+            .unwrap_or(self.cur.len());
+        if pos < self.k {
+            self.cur.insert(pos, ex);
+            self.cur.truncate(self.k);
+        }
+    }
+
+    /// All retained exemplars, slowest first.
+    fn exemplars(&self) -> Vec<Exemplar> {
+        let mut all: Vec<Exemplar> = self
+            .cur
+            .iter()
+            .chain(self.recent.iter().flatten())
+            .cloned()
+            .collect();
+        all.sort_by_key(|e| std::cmp::Reverse(e.service_us));
+        all
+    }
+}
+
+/// One sparkline: a fixed-shape array of per-window values, oldest
+/// first (empty windows are zero).
+#[derive(Debug, Clone)]
+pub struct SeriesView {
+    /// Display title, unit included.
+    pub title: String,
+    /// Per-window values, oldest first.
+    pub points: Vec<f64>,
+}
+
+/// Everything `html::render_dashboard` needs, assembled by
+/// [`Service::dashboard_data`].
+#[derive(Debug, Clone)]
+pub struct DashboardData {
+    /// The metrics snapshot the page was built from.
+    pub snap: MetricsSnapshot,
+    /// Aggregates over the last [`SLO_RECENT_WINDOWS`] windows.
+    pub windowed: Windowed,
+    /// Sparkline series (requests/s, p99, p50, hit rate, error rate).
+    pub series: Vec<SeriesView>,
+    /// Evaluated objectives.
+    pub slos: Vec<SloEval>,
+    /// Tail-sampled slow requests, slowest first.
+    pub exemplars: Vec<Exemplar>,
+    /// Lifetime cache hit rate, when the cache is enabled.
+    pub cache_hit_rate: Option<f64>,
 }
 
 /// The compile service: compilers and parsed modules are built once
@@ -261,14 +845,20 @@ pub struct Service {
     compilers: Mutex<HashMap<(String, String), Arc<Compiler>>>,
     modules: Mutex<HashMap<String, Arc<marion_ir::Module>>>,
     metrics: Metrics,
+    exemplars_on: bool,
+    slos: Vec<Slo>,
+    next_request_id: AtomicU64,
+    access: Option<Mutex<AccessLog>>,
+    tail: Mutex<TailSampler>,
 }
 
 impl Service {
-    /// Builds a service (opening the disk store when configured).
+    /// Builds a service (opening the disk store and access log when
+    /// configured).
     ///
     /// # Errors
     ///
-    /// I/O failures opening the disk store.
+    /// I/O failures opening the disk store or creating the access log.
     pub fn new(config: &ServeConfig) -> io::Result<Service> {
         let cache = if config.cache {
             Some(match &config.cache_disk {
@@ -281,12 +871,24 @@ impl Service {
         } else {
             None
         };
+        let access = match &config.access_log {
+            Some(path) => Some(Mutex::new(AccessLog::create(
+                path,
+                config.access_log_max_bytes,
+            )?)),
+            None => None,
+        };
         Ok(Service {
             cache,
             jobs: config.jobs,
             compilers: Mutex::new(HashMap::new()),
             modules: Mutex::new(HashMap::new()),
-            metrics: Metrics::default(),
+            metrics: Metrics::new(config.window_ms, config.windows),
+            exemplars_on: config.exemplars,
+            slos: config.slos.clone(),
+            next_request_id: AtomicU64::new(0),
+            access,
+            tail: Mutex::new(TailSampler::new(config.tail_k, config.window_ms)),
         })
     }
 
@@ -298,6 +900,141 @@ impl Service {
     /// The service-level metrics (cumulative across streams).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The configured objectives.
+    pub fn slos(&self) -> &[Slo] {
+        &self.slos
+    }
+
+    /// Records a completed request everywhere at once: metrics (and
+    /// time series), one access-log line, and — when the outcome
+    /// carries a trace — the tail sampler. [`run_stream`] calls this
+    /// exactly once per request, which is what makes "access-log lines
+    /// == requests served" exact.
+    pub fn observe_request(&self, queue_wait_us: u64, service_us: u64, outcome: &mut Outcome) {
+        self.metrics.record(queue_wait_us, service_us, outcome);
+        let now_us = self.metrics.now_us();
+        if let Some(access) = &self.access {
+            let mut obj = ObjWriter::new();
+            obj.str("request_id", &format!("r{}", outcome.request_id));
+            obj.int("id", outcome.client_id);
+            obj.int("ts_us", i64::try_from(now_us).unwrap_or(i64::MAX));
+            obj.str("cmd", outcome.cmd);
+            obj.str("machine", &outcome.machine);
+            obj.str("strategy", &outcome.strategy);
+            obj.int("funcs", outcome.funcs as i64);
+            obj.int(
+                "queue_wait_us",
+                i64::try_from(queue_wait_us).unwrap_or(i64::MAX),
+            );
+            obj.int("service_us", i64::try_from(service_us).unwrap_or(i64::MAX));
+            obj.int("cache_hits", outcome.cache_hits as i64);
+            obj.int("cache_misses", outcome.cache_misses as i64);
+            obj.int("ok", (!outcome.failed) as i64);
+            let line = obj.finish();
+            let mut log = access.lock().unwrap();
+            if let Err(e) = log.write_line(&line) {
+                eprintln!("marion-serve: access log write failed: {e}");
+            }
+        }
+        if let Some(trace) = outcome.trace.take() {
+            if !outcome.failed {
+                self.tail.lock().unwrap().offer(
+                    now_us / 1000,
+                    Exemplar {
+                        request_id: outcome.request_id,
+                        client_id: outcome.client_id,
+                        machine: outcome.machine.clone(),
+                        strategy: outcome.strategy.clone(),
+                        funcs: outcome.funcs,
+                        queue_wait_us,
+                        service_us,
+                        cache_hits: outcome.cache_hits,
+                        cache_misses: outcome.cache_misses,
+                        window: 0, // set by offer
+                        trace,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Everything the dashboard page shows, gathered consistently.
+    pub fn dashboard_data(&self) -> DashboardData {
+        let snap = self.metrics.snapshot();
+        let windowed = snap.windowed(SLO_RECENT_WINDOWS);
+        let slos = evaluate_slos(&snap, &self.slos);
+        let exemplars = self.tail.lock().unwrap().exemplars();
+        let cache_hit_rate = self.cache.as_ref().map(|c| c.stats().hit_rate());
+        let n = snap.service_ts.num_windows();
+        let service: Vec<_> = snap.service_ts.series(snap.now_ms, n);
+        let errors: Vec<_> = snap.error_ts.series(snap.now_ms, n);
+        let hits: Vec<_> = snap.hit_ts.series(snap.now_ms, n);
+        let misses: Vec<_> = snap.miss_ts.series(snap.now_ms, n);
+        let per_window_s = snap.window_ms as f64 / 1000.0;
+        let series = vec![
+            SeriesView {
+                title: "requests / s".to_string(),
+                points: service
+                    .iter()
+                    .map(|(_, w)| w.map_or(0.0, |w| w.count as f64 / per_window_s))
+                    .collect(),
+            },
+            SeriesView {
+                title: "service p99 (us)".to_string(),
+                points: service
+                    .iter()
+                    .map(|(_, w)| w.and_then(|w| w.hist.percentile(0.99)).unwrap_or(0) as f64)
+                    .collect(),
+            },
+            SeriesView {
+                title: "service p50 (us)".to_string(),
+                points: service
+                    .iter()
+                    .map(|(_, w)| w.and_then(|w| w.hist.percentile(0.50)).unwrap_or(0) as f64)
+                    .collect(),
+            },
+            SeriesView {
+                title: "cache hit rate (%)".to_string(),
+                points: hits
+                    .iter()
+                    .zip(&misses)
+                    .map(|((_, h), (_, m))| {
+                        let h = h.map_or(0, |w| w.sum);
+                        let m = m.map_or(0, |w| w.sum);
+                        if h + m == 0 {
+                            0.0
+                        } else {
+                            h as f64 / (h + m) as f64 * 100.0
+                        }
+                    })
+                    .collect(),
+            },
+            SeriesView {
+                title: "error rate (%)".to_string(),
+                points: errors
+                    .iter()
+                    .map(|(_, w)| {
+                        w.map_or(0.0, |w| {
+                            if w.count == 0 {
+                                0.0
+                            } else {
+                                w.sum as f64 / w.count as f64 * 100.0
+                            }
+                        })
+                    })
+                    .collect(),
+            },
+        ];
+        DashboardData {
+            snap,
+            windowed,
+            series,
+            slos,
+            exemplars,
+            cache_hit_rate,
+        }
     }
 
     fn compiler(&self, machine: &str, strategy: &str) -> Result<Arc<Compiler>, String> {
@@ -314,9 +1051,13 @@ impl Service {
         let kind = StrategyKind::parse(strategy)
             .ok_or_else(|| format!("unknown strategy `{strategy}`"))?;
         let spec = marion_machines::load(machine);
+        // One trace config for every compile: the cache key covers the
+        // trace config, so mixing traced and untraced requests would
+        // split the cache and break warm==cold outputs.
         let options = CompileOptions {
             jobs: self.jobs,
             cache: self.cache.clone(),
+            trace: self.exemplars_on.then(TraceConfig::default),
             ..CompileOptions::default()
         };
         let compiler = Arc::new(Compiler::with_options(
@@ -370,45 +1111,59 @@ impl Service {
     }
 
     /// Handles one raw request line, returning the response line and
-    /// its accounting.
+    /// its accounting. Assigns the stable `request_id` echoed in every
+    /// response.
     pub fn handle_line(&self, line: &str) -> (String, Outcome) {
+        let rid = self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.started.fetch_add(1, Ordering::Relaxed);
         let req = match parse_request(line) {
             Ok(req) => req,
             Err(e) => {
-                return (
-                    error_response(0, &e),
-                    Outcome {
-                        failed: true,
-                        ..Outcome::default()
-                    },
-                )
+                let mut out = outcome(rid, 0, "invalid");
+                out.failed = true;
+                return (error_response(0, rid, &e), out);
             }
         };
         match req.cmd {
-            Cmd::Compile => self.handle_compile(&req),
-            Cmd::Stats => (self.stats_response(req.id), Outcome::default()),
-            Cmd::Metrics => (self.metrics_response(req.id), Outcome::default()),
-            Cmd::Machines => (machines_response(req.id), Outcome::default()),
-            Cmd::Capabilities => (capabilities_response(req.id), Outcome::default()),
+            Cmd::Compile => self.handle_compile(&req, rid),
+            Cmd::Stats => (
+                self.stats_response(req.id, rid),
+                outcome(rid, req.id, "stats"),
+            ),
+            Cmd::Metrics => (
+                self.metrics_response(req.id, rid),
+                outcome(rid, req.id, "metrics"),
+            ),
+            Cmd::Machines => (
+                machines_response(req.id, rid),
+                outcome(rid, req.id, "machines"),
+            ),
+            Cmd::Capabilities => (
+                capabilities_response(req.id, rid),
+                outcome(rid, req.id, "capabilities"),
+            ),
+            Cmd::Dashboard => (
+                self.dashboard_response(req.id, rid),
+                outcome(rid, req.id, "dashboard"),
+            ),
             Cmd::Shutdown => {
                 let mut obj = ObjWriter::new();
                 obj.int("id", req.id);
+                write_request_id(&mut obj, rid);
                 obj.int("ok", 1);
                 obj.str("cmd", "shutdown");
-                (obj.finish(), Outcome::default())
+                (obj.finish(), outcome(rid, req.id, "shutdown"))
             }
         }
     }
 
-    fn handle_compile(&self, req: &Request) -> (String, Outcome) {
+    fn handle_compile(&self, req: &Request, rid: u64) -> (String, Outcome) {
         let fail = |e: String| {
-            (
-                error_response(req.id, &e),
-                Outcome {
-                    failed: true,
-                    ..Outcome::default()
-                },
-            )
+            let mut out = outcome(rid, req.id, "compile");
+            out.failed = true;
+            out.machine = req.machine.clone();
+            out.strategy = req.strategy.clone();
+            (error_response(req.id, rid, &e), out)
         };
         let compiler = match self.compiler(&req.machine, &req.strategy) {
             Ok(c) => c,
@@ -427,6 +1182,7 @@ impl Service {
         let summary = program.cache.unwrap_or_default();
         let mut obj = ObjWriter::new();
         obj.int("id", req.id);
+        write_request_id(&mut obj, rid);
         obj.int("ok", 1);
         obj.str("machine", &program.machine_name);
         obj.str("strategy", program.strategy.name());
@@ -444,16 +1200,24 @@ impl Service {
         (
             obj.finish(),
             Outcome {
+                request_id: rid,
+                client_id: req.id,
+                cmd: "compile",
+                machine: program.machine_name.clone(),
+                strategy: program.strategy.name().to_string(),
+                funcs: program.stats.per_func.len() as u64,
                 cache_hits: summary.hits,
                 cache_misses: summary.misses,
                 failed: false,
+                trace: program.trace,
             },
         )
     }
 
-    fn stats_response(&self, id: i64) -> String {
+    fn stats_response(&self, id: i64, rid: u64) -> String {
         let mut obj = ObjWriter::new();
         obj.int("id", id);
+        write_request_id(&mut obj, rid);
         obj.int("ok", 1);
         match &self.cache {
             Some(cache) => {
@@ -475,16 +1239,39 @@ impl Service {
         obj.finish()
     }
 
-    fn metrics_response(&self, id: i64) -> String {
+    fn metrics_response(&self, id: i64, rid: u64) -> String {
         let snap = self.metrics.snapshot();
+        let win = snap.windowed(SLO_RECENT_WINDOWS);
         let mut obj = ObjWriter::new();
         obj.int("id", id);
+        write_request_id(&mut obj, rid);
         obj.int("ok", 1);
+        obj.int("format_version", METRICS_FORMAT_VERSION);
+        obj.float("uptime_s", snap.uptime_us as f64 / 1e6);
         obj.int("requests", snap.requests as i64);
         obj.int("failures", snap.failures as i64);
+        obj.int("started_requests", snap.started as i64);
+        obj.int(
+            "in_flight",
+            snap.started.saturating_sub(snap.requests) as i64,
+        );
         obj.int("queue_depth", snap.queue_depth);
         obj.int("busy_workers", snap.busy_workers);
         obj.int("workers", snap.workers);
+        obj.int("window_ms", snap.window_ms as i64);
+        obj.int("windows", snap.service_ts.num_windows() as i64);
+        obj.int("win_windows", win.windows as i64);
+        obj.float("win_covered_s", win.covered_s);
+        obj.int("win_requests", win.requests as i64);
+        obj.float("win_rps", win.rps);
+        obj.float("win_hit_rate", win.hit_rate);
+        obj.float("win_error_rate", win.error_rate);
+        if let Some(p) = win.p50_us {
+            obj.int("win_p50_us", i64::try_from(p).unwrap_or(i64::MAX));
+        }
+        if let Some(p) = win.p99_us {
+            obj.int("win_p99_us", i64::try_from(p).unwrap_or(i64::MAX));
+        }
         write_hist(&mut obj, "service", &snap.service_us);
         write_hist(&mut obj, "queue_wait", &snap.queue_wait_us);
         if let Some(cache) = &self.cache {
@@ -494,8 +1281,36 @@ impl Service {
             obj.int("cache_evictions", stats.evictions as i64);
             obj.float("cache_hit_rate", stats.hit_rate());
         }
+        let evals = evaluate_slos(&snap, &self.slos);
+        obj.int("slo_count", evals.len() as i64);
+        let mut violations = 0i64;
+        for eval in &evals {
+            let name = &eval.slo.name;
+            obj.float(&format!("slo_{name}_target"), eval.slo.target);
+            obj.float(&format!("slo_{name}_budget_used"), eval.budget_used);
+            obj.float(&format!("slo_{name}_burn_rate"), eval.burn_rate);
+            obj.int(&format!("slo_{name}_violated"), eval.violated as i64);
+            violations += eval.violated as i64;
+        }
+        obj.int("slo_violations", violations);
         obj.finish()
     }
+
+    fn dashboard_response(&self, id: i64, rid: u64) -> String {
+        let html = crate::html::render_dashboard(&self.dashboard_data());
+        let mut obj = ObjWriter::new();
+        obj.int("id", id);
+        write_request_id(&mut obj, rid);
+        obj.int("ok", 1);
+        obj.str("cmd", "dashboard");
+        obj.int("bytes", html.len() as i64);
+        obj.str("html", &html);
+        obj.finish()
+    }
+}
+
+fn write_request_id(obj: &mut ObjWriter, rid: u64) {
+    obj.str("request_id", &format!("r{rid}"));
 }
 
 /// Writes one histogram into a flat response as `<prefix>_count`,
@@ -521,10 +1336,11 @@ fn write_hist(obj: &mut ObjWriter, prefix: &str, hist: &Histogram) {
 
 /// The `machines` response: everything a client needs to discover
 /// before issuing compile requests.
-fn machines_response(id: i64) -> String {
+fn machines_response(id: i64, rid: u64) -> String {
     let strategies: Vec<&str> = StrategyKind::ALL.iter().map(|k| k.name()).collect();
     let mut obj = ObjWriter::new();
     obj.int("id", id);
+    write_request_id(&mut obj, rid);
     obj.int("ok", 1);
     obj.str("machines", &marion_machines::EXTENDED.join(","));
     obj.str("strategies", &strategies.join(","));
@@ -540,9 +1356,10 @@ fn machines_response(id: i64) -> String {
 /// min 1 for single-issue targets), `<name>_clocks` (declared temporal
 /// clocks), `<name>_reg_classes` (`class:count` pairs), and
 /// `<name>_temporals` (`latch@clock` pairs).
-fn capabilities_response(id: i64) -> String {
+fn capabilities_response(id: i64, rid: u64) -> String {
     let mut obj = ObjWriter::new();
     obj.int("id", id);
+    write_request_id(&mut obj, rid);
     obj.int("ok", 1);
     obj.int("protocol_version", PROTOCOL_VERSION);
     obj.str("machines", &marion_machines::EXTENDED.join(","));
@@ -570,9 +1387,10 @@ fn capabilities_response(id: i64) -> String {
     obj.finish()
 }
 
-fn error_response(id: i64, error: &str) -> String {
+fn error_response(id: i64, rid: u64, error: &str) -> String {
     let mut obj = ObjWriter::new();
     obj.int("id", id);
+    write_request_id(&mut obj, rid);
     obj.int("ok", 0);
     obj.str("error", error);
     obj.finish()
@@ -646,20 +1464,21 @@ pub fn run_stream<R: BufRead, W: Write + Send>(
                 metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 metrics.busy_workers.fetch_add(1, Ordering::Relaxed);
                 let served = Instant::now();
-                let (response, outcome) = service.handle_line(&line);
+                let (response, mut outcome) = service.handle_line(&line);
                 metrics.busy_workers.fetch_sub(1, Ordering::Relaxed);
-                // Recorded *after* handle_line, so a `metrics` request
-                // snapshots only requests completed before it — and
-                // the bucket-count/request equality stays exact.
-                metrics.record(
-                    queue_wait_us,
-                    served.elapsed().as_micros() as u64,
-                    outcome.failed,
-                );
                 requests.fetch_add(1, Ordering::Relaxed);
                 failures.fetch_add(outcome.failed as u64, Ordering::Relaxed);
                 hits.fetch_add(outcome.cache_hits, Ordering::Relaxed);
                 misses.fetch_add(outcome.cache_misses, Ordering::Relaxed);
+                // Observed *after* handle_line, so a `metrics` request
+                // snapshots only requests completed before it — and
+                // the bucket-count/request/access-log-line equalities
+                // stay exact.
+                service.observe_request(
+                    queue_wait_us,
+                    served.elapsed().as_micros() as u64,
+                    &mut outcome,
+                );
                 if done_tx.send((seq, response)).is_err() {
                     break;
                 }
@@ -1011,6 +1830,342 @@ mod tests {
         assert!(field(line, "insertions").is_some());
         assert!(field(line, "evictions").is_some());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_response_echoes_a_stable_request_id() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        let requests = concat!(
+            "{\"id\":10,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() { return 1; }\"}\n",
+            "{\"id\":11,\"cmd\":\"metrics\"}\n",
+            "{\"id\":12,\"cmd\":\"machines\"}\n",
+            "not json at all\n",
+            "{\"id\":14,\"cmd\":\"shutdown\"}\n",
+        );
+        // One worker: request ids assign in stream order, 1-based.
+        let (lines, stats) = respond(&service, requests, 1);
+        assert_eq!(lines.len(), 5);
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(
+                field(line, "request_id"),
+                Some(Value::Str(format!("r{}", i + 1))),
+                "line {i}"
+            );
+        }
+        assert_eq!(stats.requests, 5);
+    }
+
+    #[test]
+    fn access_log_lines_equal_requests_served_exactly() {
+        let dir = std::env::temp_dir().join(format!("marion-access-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("access.jsonl");
+        let service = Service::new(&ServeConfig {
+            access_log: Some(log_path.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut requests = String::new();
+        for id in 0..5 {
+            requests.push_str(&format!(
+                "{{\"id\":{id},\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() {{ return {id}; }}\"}}\n"
+            ));
+        }
+        requests.push_str("bad line\n");
+        requests.push_str("{\"id\":6,\"cmd\":\"metrics\"}\n");
+        let (lines, stats) = respond(&service, &requests, 4);
+        assert_eq!(stats.requests, 7);
+        let log = std::fs::read_to_string(&log_path).unwrap();
+        let log_lines: Vec<&str> = log.lines().collect();
+        // The acceptance invariant: exactly one log line per request
+        // served, even under concurrency, even for invalid requests.
+        assert_eq!(log_lines.len(), 7, "log lines == requests served");
+        let mut log_ids = Vec::new();
+        for line in &log_lines {
+            let fields = parse_flat(line).expect("log line parses");
+            let get = |name: &str| {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v.clone())
+            };
+            for key in [
+                "request_id",
+                "id",
+                "ts_us",
+                "cmd",
+                "machine",
+                "strategy",
+                "funcs",
+                "queue_wait_us",
+                "service_us",
+                "cache_hits",
+                "cache_misses",
+                "ok",
+            ] {
+                assert!(get(key).is_some(), "log line missing `{key}`: {line}");
+            }
+            log_ids.push(get("request_id").unwrap().as_str().unwrap().to_string());
+        }
+        log_ids.sort();
+        log_ids.dedup();
+        assert_eq!(log_ids.len(), 7, "request ids unique");
+        // Every response's request_id has a matching log line.
+        for line in &lines {
+            let rid = field(line, "request_id").unwrap();
+            let rid = rid.as_str().unwrap();
+            assert!(
+                log_lines.iter().any(|l| {
+                    parse_flat(l)
+                        .unwrap()
+                        .iter()
+                        .any(|(k, v)| k == "request_id" && v.as_str() == Some(rid))
+                }),
+                "response {rid} not in access log"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn access_log_rotates_and_stays_bounded() {
+        let dir = std::env::temp_dir().join(format!("marion-rotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("access.jsonl");
+        // Tiny cap: every line forces a rotation, so only the active
+        // file plus one rotated generation survive.
+        let service = Service::new(&ServeConfig {
+            access_log: Some(log_path.clone()),
+            access_log_max_bytes: 64,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut requests = String::new();
+        for id in 0..6 {
+            requests.push_str(&format!("{{\"id\":{id},\"cmd\":\"stats\"}}\n"));
+        }
+        let (_, stats) = respond(&service, &requests, 1);
+        assert_eq!(stats.requests, 6);
+        let active = std::fs::read_to_string(&log_path).unwrap();
+        let rotated = std::fs::read_to_string(format!("{}.1", log_path.display())).unwrap();
+        assert_eq!(active.lines().count(), 1, "active file holds last line");
+        assert_eq!(rotated.lines().count(), 1, "one rotated generation");
+        // The newest record is in the active file.
+        assert!(active.contains("\"request_id\":\"r6\""), "{active}");
+        assert!(rotated.contains("\"request_id\":\"r5\""), "{rotated}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_sampler_keeps_k_slowest_per_window() {
+        let ex = |rid: u64, service_us: u64| Exemplar {
+            request_id: rid,
+            client_id: rid as i64,
+            machine: "toyp".to_string(),
+            strategy: "Postpass".to_string(),
+            funcs: 1,
+            queue_wait_us: 0,
+            service_us,
+            cache_hits: 0,
+            cache_misses: 1,
+            window: 0,
+            trace: TraceData::default(),
+        };
+        let mut sampler = TailSampler::new(2, 1000);
+        for (rid, us) in [(1, 5), (2, 50), (3, 20), (4, 40)] {
+            sampler.offer(100, ex(rid, us));
+        }
+        let kept: Vec<u64> = sampler.exemplars().iter().map(|e| e.request_id).collect();
+        assert_eq!(kept, [2, 4], "k slowest, slowest first");
+        // A new window keeps the previous survivors around.
+        sampler.offer(1500, ex(5, 7));
+        let kept: Vec<u64> = sampler.exemplars().iter().map(|e| e.request_id).collect();
+        assert_eq!(kept, [2, 4, 5]);
+        assert_eq!(sampler.exemplars()[2].window, 1);
+        // Retention counts non-empty windows, so survivors outlive idle
+        // gaps; only the oldest groups fall off the back.
+        sampler.offer(1000 * (2 + TAIL_KEEP_WINDOWS as u64 + 2), ex(6, 1));
+        let kept: Vec<u64> = sampler.exemplars().iter().map(|e| e.request_id).collect();
+        assert!(kept.contains(&6));
+        assert_eq!(kept.len(), 4, "both earlier windows still retained");
+        for _ in 0..TAIL_KEEP_WINDOWS as u64 {
+            let w = sampler.cur_window + 1;
+            sampler.offer(1000 * w, ex(100 + w, 1));
+        }
+        let kept: Vec<u64> = sampler.exemplars().iter().map(|e| e.request_id).collect();
+        assert!(
+            !kept.contains(&2) && !kept.contains(&4),
+            "window 0 aged out after {TAIL_KEEP_WINDOWS} newer non-empty windows: {kept:?}"
+        );
+    }
+
+    #[test]
+    fn dashboard_returns_self_contained_html_with_exemplar_flamegraph() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        let requests = concat!(
+            "{\"id\":1,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() { return 6; }\"}\n",
+            "{\"id\":2,\"cmd\":\"dashboard\"}\n",
+        );
+        let (lines, _) = respond(&service, requests, 1);
+        let line = &lines[1];
+        assert_eq!(field(line, "ok"), Some(Value::Int(1)));
+        assert_eq!(field(line, "cmd"), Some(Value::Str("dashboard".into())));
+        let html = field(line, "html").unwrap();
+        let html = html.as_str().unwrap().to_string();
+        assert_eq!(
+            field(line, "bytes"),
+            Some(Value::Int(html.len() as i64)),
+            "bytes matches decoded html"
+        );
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("marion-serve dashboard"));
+        // The cold compile was traced, tail-sampled, and rendered as a
+        // flamegraph.
+        assert!(html.contains("Slowest requests"));
+        assert!(html.contains("r1 \u{2014} toyp/Postpass"));
+        assert!(html.contains("<svg"), "sparkline + flamegraph SVGs");
+        assert!(
+            html.contains("wall-clock attribution"),
+            "flamegraph present"
+        );
+        // Same self-containment contract as report.html.
+        assert!(!html.contains("http:") && !html.contains("https:"));
+        assert!(!html.contains("src=") && !html.contains("href="));
+        assert!(html.contains("<style>"));
+    }
+
+    #[test]
+    fn slo_specs_parse_and_reject_garbage() {
+        let slos = parse_slos("p99_ms=50, error_rate=0.1%").unwrap();
+        assert_eq!(slos.len(), 2);
+        assert_eq!(slos[0].name, "p99_ms");
+        assert_eq!(
+            slos[0].kind,
+            SloKind::LatencyQuantile {
+                q: 0.99,
+                threshold_us: 50_000
+            }
+        );
+        assert_eq!(slos[1].name, "error_rate");
+        assert_eq!(slos[1].kind, SloKind::ErrorRate { max_rate: 0.001 });
+        let half = parse_slos("p50_ms=1.5").unwrap();
+        assert_eq!(
+            half[0].kind,
+            SloKind::LatencyQuantile {
+                q: 0.5,
+                threshold_us: 1500
+            }
+        );
+        assert_eq!(parse_slos("error_rate=0.25").unwrap()[0].target, 0.25);
+        assert!(parse_slos("").unwrap().is_empty());
+        for bad in [
+            "nonsense",
+            "latency=5",
+            "p0_ms=5",
+            "p100_ms=5",
+            "p99_ms=abc",
+            "error_rate=0",
+            "error_rate=150%",
+        ] {
+            assert!(parse_slos(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn slo_evaluation_flags_violations_and_check_slo_agrees() {
+        // p99_ms=0 is unsatisfiable (every real request is slower);
+        // error_rate=50% is satisfied by an all-ok run.
+        let service = Service::new(&ServeConfig {
+            slos: parse_slos("p99_ms=0,error_rate=50%").unwrap(),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut requests = String::new();
+        for id in 1..=3 {
+            requests.push_str(&format!(
+                "{{\"id\":{id},\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() {{ return {id}; }}\"}}\n"
+            ));
+        }
+        requests.push_str("{\"id\":4,\"cmd\":\"metrics\"}\n");
+        let (lines, _) = respond(&service, &requests, 1);
+        let metrics = &lines[3];
+        assert_eq!(field(metrics, "slo_count"), Some(Value::Int(2)));
+        assert_eq!(field(metrics, "slo_p99_ms_violated"), Some(Value::Int(1)));
+        assert_eq!(
+            field(metrics, "slo_error_rate_violated"),
+            Some(Value::Int(0))
+        );
+        assert_eq!(field(metrics, "slo_violations"), Some(Value::Int(1)));
+        assert!(field(metrics, "slo_p99_ms_budget_used").is_some());
+        assert!(field(metrics, "slo_p99_ms_burn_rate").is_some());
+        // The CI helper agrees with the server's verdicts.
+        let fields = parse_flat(metrics).unwrap();
+        assert_eq!(check_slo_fields(&fields).unwrap(), vec!["p99_ms"]);
+        // And errors out on a line with no SLO fields at all.
+        let plain = parse_flat(&lines[0]).unwrap();
+        assert!(check_slo_fields(&plain).is_err());
+    }
+
+    #[test]
+    fn metrics_reports_uptime_version_started_and_windowed_fields() {
+        let service = Service::new(&ServeConfig::default()).unwrap();
+        let requests = concat!(
+            "{\"id\":1,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() { return 1; }\"}\n",
+            "{\"id\":2,\"machine\":\"toyp\",\"strategy\":\"Postpass\",\"source\":\"int main() { return 2; }\"}\n",
+            "{\"id\":3,\"cmd\":\"metrics\"}\n",
+        );
+        let (lines, _) = respond(&service, requests, 1);
+        let m = &lines[2];
+        assert_eq!(
+            field(m, "format_version"),
+            Some(Value::Int(METRICS_FORMAT_VERSION))
+        );
+        assert!(
+            matches!(field(m, "uptime_s"), Some(Value::Float(s)) if s >= 0.0),
+            "uptime_s: {m}"
+        );
+        // The metrics request itself has started but not completed.
+        assert_eq!(field(m, "requests"), Some(Value::Int(2)));
+        assert_eq!(field(m, "started_requests"), Some(Value::Int(3)));
+        assert_eq!(field(m, "in_flight"), Some(Value::Int(1)));
+        assert_eq!(field(m, "window_ms"), Some(Value::Int(1000)));
+        assert_eq!(field(m, "windows"), Some(Value::Int(60)));
+        // Both compiles finished within the recent windows.
+        assert_eq!(field(m, "win_requests"), Some(Value::Int(2)));
+        assert!(field(m, "win_rps").is_some());
+        assert!(field(m, "win_hit_rate").is_some());
+        assert!(field(m, "win_error_rate").is_some());
+        assert!(field(m, "win_p50_us").is_some());
+        assert!(field(m, "win_p99_us").is_some());
+        // No --slo: the fields exist with count 0 so --check-slo can
+        // still give a definitive "nothing configured" answer.
+        assert_eq!(field(m, "slo_count"), Some(Value::Int(0)));
+        assert_eq!(field(m, "slo_violations"), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn windowed_p99_stays_within_2x_of_true_sample() {
+        // Feed known latencies straight into Metrics and compare the
+        // windowed p99 against the true rank statistic.
+        let metrics = Metrics::new(1000, 60);
+        let mut samples = Vec::new();
+        for i in 0..200u64 {
+            let v = 100 + i * 37 % 5000;
+            samples.push(v);
+            metrics.record(0, v, &outcome(i + 1, i as i64, "compile"));
+        }
+        let snap = metrics.snapshot();
+        let win = snap.windowed(SLO_RECENT_WINDOWS);
+        assert_eq!(win.requests, 200);
+        samples.sort_unstable();
+        let rank = ((0.99 * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let true_p99 = samples[rank - 1];
+        let est = win.p99_us.unwrap();
+        assert!(est >= true_p99, "estimate below true sample");
+        assert!(
+            est < 2 * true_p99,
+            "estimate {est} not within 2x of {true_p99}"
+        );
     }
 
     #[test]

@@ -348,4 +348,92 @@ mod tests {
         }
         assert_eq!(a, b);
     }
+
+    /// True rank statistic matching `percentile`'s rank definition:
+    /// the sample of rank `ceil(p·n)` (1-based) in sorted order.
+    fn true_rank(samples: &[u64], p: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+        sorted[(rank - 1) as usize]
+    }
+
+    /// The documented bound: the estimate `e` is the upper bound of
+    /// the true sample's bucket, so `v ≤ e` and (for `v > 0`)
+    /// `e < 2·v`; a true value of 0 must be reported exactly.
+    fn assert_bound(samples: &[u64], p: f64) {
+        let mut h = Histogram::new();
+        for &v in samples {
+            h.record(v);
+        }
+        let e = h.percentile(p).unwrap();
+        let v = true_rank(samples, p);
+        assert!(v <= e, "p{p}: estimate {e} below true sample {v}");
+        if v == 0 {
+            assert_eq!(e, 0, "p{p}: zero must be exact");
+        } else {
+            // e < 2v, written overflow-safe as e − v < v (e ≥ v held
+            // above; v may be u64::MAX).
+            assert!(e - v < v, "p{p}: estimate {e} not within 2x of {v}");
+        }
+    }
+
+    #[test]
+    fn percentile_bound_all_mass_in_one_bucket() {
+        // 10_000 identical samples mid-bucket: every percentile must
+        // return that bucket's upper bound, within 2x of 1000.
+        let samples = vec![1000u64; 10_000];
+        for p in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_bound(&samples, p);
+        }
+        let mut h = Histogram::new();
+        h.record_n(1000, 10_000);
+        assert_eq!(h.percentile(0.5), Some(1023));
+        assert_eq!(h.percentile(0.99), Some(1023));
+    }
+
+    #[test]
+    fn percentile_bound_bimodal_extremes() {
+        // 99 fast samples and one catastrophic outlier: p99's rank-99
+        // sample is still fast — the outlier must not leak into it —
+        // while p100 must land in the outlier's bucket.
+        let mut samples = vec![3u64; 99];
+        samples.push(u64::MAX);
+        for p in [0.5, 0.9, 0.99, 1.0] {
+            assert_bound(&samples, p);
+        }
+        let mut h = Histogram::new();
+        h.record_n(3, 99);
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(0.99), Some(3));
+        assert_eq!(h.percentile(1.0), Some(u64::MAX));
+
+        // Half zeros, half huge: p50 is the rank-50 sample of 100,
+        // which is still a zero and must be reported exactly as 0.
+        let mut bimodal = vec![0u64; 50];
+        bimodal.extend(std::iter::repeat_n(1u64 << 40, 50));
+        for p in [0.25, 0.5, 0.75, 0.99] {
+            assert_bound(&bimodal, p);
+        }
+        let mut h = Histogram::new();
+        h.record_n(0, 50);
+        h.record_n(1 << 40, 50);
+        assert_eq!(h.percentile(0.5), Some(0));
+    }
+
+    #[test]
+    fn percentile_bound_single_sample() {
+        for v in [0u64, 1, 2, 7, 1023, 1024, u64::MAX] {
+            for p in [0.0, 0.5, 0.99, 1.0] {
+                assert_bound(&[v], p);
+            }
+        }
+        // Every percentile of a one-sample histogram is that sample's
+        // bucket upper bound.
+        let mut h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.percentile(0.0), h.percentile(1.0));
+        assert_eq!(h.percentile(0.5), Some(7));
+    }
 }

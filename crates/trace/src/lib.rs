@@ -42,9 +42,11 @@ use std::time::Instant;
 pub mod hist;
 pub mod json;
 pub mod sink;
+pub mod timeseries;
 
 pub use hist::Histogram;
 pub use sink::{JsonlSink, Sink, TextSink};
+pub use timeseries::{TimeSeries, WindowStats};
 
 /// What the tracer should collect beyond the always-on spans,
 /// counters and events.
