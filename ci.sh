@@ -105,9 +105,10 @@ grep -q 'Slowest requests' dashboard.html
 grep -q 'wall-clock attribution' dashboard.html
 rm -f dashboard_response.jsonl
 
-echo "==> HTML report from demo trace (flamegraph + DAG SVG, must be fully self-contained)"
+echo "==> HTML report from demo trace (flamegraph + DAG SVG + subphase diff, must be fully self-contained)"
 cargo run --release --offline -q -p marion-bench --bin marion-report -- \
-  --demo --html --serve metrics_snapshot.json --out report.html
+  --demo --html --serve metrics_snapshot.json \
+  --bench-diff BENCH_compile.json BENCH_compile_smoke.json --out report.html
 test -s report.html
 # Self-containment contract: no network references, no external assets.
 ! grep -Eq 'http://|https://' report.html
@@ -118,6 +119,9 @@ grep -q 'Compile service' report.html
 grep -q 'self-profile flamegraph' report.html
 grep -q '<svg ' report.html
 grep -q 'Dependence DAG' report.html
+# The before/after subphase self-time table is embedded.
+grep -q 'subphase self-time' report.html
+grep -q 'ready_scan' report.html
 
 echo "==> perf-regression gate self-test (identical -> 0, 2x strategy time -> 1)"
 ./target/release/marion-bench diff BENCH_compile.json BENCH_compile.json --tolerance 5 > /dev/null
@@ -129,9 +133,18 @@ if ./target/release/marion-bench diff BENCH_compile.json BENCH_regressed_tmp.jso
 fi
 rm -f BENCH_regressed_tmp.json
 
-echo "==> perf-regression gate vs committed baseline (advisory: runner speeds differ)"
-./target/release/marion-bench diff BENCH_compile.json BENCH_compile_smoke.json --tolerance 100 \
-  || echo "    (advisory only: smoke run differs from committed baseline)"
+# Enforcing perf-regression gate. The committed BENCH_compile.json was
+# produced on the reference runner; other machines differ in absolute
+# speed, so the tolerance is wide (percent slowdown allowed per phase).
+# Set MARION_PERF_GATE=off to skip on hosts whose speed falls outside
+# even that band, or override MARION_PERF_GATE_TOLERANCE to retune.
+if [ "${MARION_PERF_GATE:-on}" = "off" ]; then
+  echo "==> perf-regression gate vs committed baseline (SKIPPED: MARION_PERF_GATE=off)"
+else
+  echo "==> perf-regression gate vs committed baseline (enforcing, tolerance ${MARION_PERF_GATE_TOLERANCE:-300}%)"
+  ./target/release/marion-bench diff BENCH_compile.json BENCH_compile_smoke.json \
+    --tolerance "${MARION_PERF_GATE_TOLERANCE:-300}"
+fi
 
 echo "==> serve bench smoke (cold vs warm over the shared cache, writes BENCH_serve_smoke.json)"
 cargo run --release --offline -q -p marion-bench --bin marion-bench -- serve --smoke --out BENCH_serve_smoke.json

@@ -41,6 +41,34 @@ use std::time::Instant;
 
 const PHASES: [&str; 5] = ["glue", "select", "strategy", "emit", "fill_delay_slots"];
 
+/// Strategy-interior micro-spans whose self time (total minus nested
+/// children) lands in `BENCH_compile.json` as `subphase_self_ms`, so
+/// the perf gate sees where inside the scheduler and allocator the
+/// time moved, not just the phase total.
+const SUBPHASES: [&str; 15] = [
+    "dag_build",
+    "prep",
+    "ready_scan",
+    "group_scan",
+    "pick_place",
+    "advance",
+    "finalize",
+    "ig_build",
+    "simplify",
+    "select_colors",
+    "evict_scan",
+    "spill_rewrite",
+    "phys_rewrite",
+    "sched_metrics",
+    "reorder",
+];
+
+/// Subphase self-times below this floor are omitted from the JSON:
+/// sub-50µs medians are timer noise, and gating on their percent
+/// deltas would flake. Presence asymmetry between two files is a diff
+/// warning, never a regression.
+const SUBPHASE_FLOOR_MS: f64 = 0.05;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("");
@@ -177,14 +205,15 @@ fn time_compile(spec: &MachineSpec, module: &Module, opts: CompileOptions, iters
     times[times.len() / 2]
 }
 
-/// Per-phase wall-time split (milliseconds): the per-function trace
-/// spans of each phase, summed per run, median over `iters` runs.
-fn phase_split(
-    spec: &MachineSpec,
-    module: &Module,
-    indexed: bool,
-    iters: usize,
-) -> Vec<(&'static str, f64)> {
+/// Per-phase wall-time split and per-subphase self-time split
+/// (milliseconds), both medians over `iters` traced runs. Phases come
+/// from their trace spans summed per run; subphases from the profile
+/// trie (`Record::Prof`), self time = total minus nested children,
+/// summed across every trie path ending in the subphase name.
+/// Per-phase and per-subphase `(name, milliseconds)` splits.
+type PhaseSplits = (Vec<(&'static str, f64)>, Vec<(&'static str, f64)>);
+
+fn phase_split(spec: &MachineSpec, module: &Module, indexed: bool, iters: usize) -> PhaseSplits {
     let opts = CompileOptions {
         trace: Some(TraceConfig::default()),
         ..options(1, indexed)
@@ -196,6 +225,7 @@ fn phase_split(
         opts,
     );
     let mut per_phase: Vec<Vec<f64>> = vec![Vec::new(); PHASES.len()];
+    let mut per_sub: Vec<Vec<f64>> = vec![Vec::new(); SUBPHASES.len()];
     for _ in 0..iters {
         let program = compiler
             .compile_module(module)
@@ -212,15 +242,39 @@ fn phase_split(
                 .sum();
             per_phase[pi].push(total_us as f64 / 1e3);
         }
+        let mut self_us = vec![0u64; SUBPHASES.len()];
+        for r in &trace.records {
+            if let Record::Prof {
+                path,
+                total_us,
+                child_us,
+                ..
+            } = r
+            {
+                let leaf = path.rsplit('/').next().unwrap_or(path);
+                if let Some(si) = SUBPHASES.iter().position(|s| *s == leaf) {
+                    self_us[si] += total_us.saturating_sub(*child_us);
+                }
+            }
+        }
+        for (si, us) in self_us.into_iter().enumerate() {
+            per_sub[si].push(us as f64 / 1e3);
+        }
     }
-    PHASES
-        .iter()
-        .zip(per_phase)
-        .map(|(phase, mut times)| {
-            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            (*phase, times[times.len() / 2])
-        })
-        .collect()
+    let median = |names: &[&'static str], mut cols: Vec<Vec<f64>>| {
+        names
+            .iter()
+            .zip(cols.iter_mut())
+            .map(|(name, times)| {
+                times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                (*name, times[times.len() / 2])
+            })
+            .collect::<Vec<_>>()
+    };
+    (
+        median(&PHASES[..], per_phase),
+        median(&SUBPHASES[..], per_sub),
+    )
 }
 
 struct Row {
@@ -232,6 +286,8 @@ struct Row {
     parallel4_ms: f64,
     /// Per-phase split of a serial indexed run (trace spans).
     phases: Vec<(&'static str, f64)>,
+    /// Per-subphase self-time of the same run (profile trie).
+    subphases: Vec<(&'static str, f64)>,
     /// The select phase alone, brute-force matching (trace spans).
     brute_select_ms: f64,
 }
@@ -280,8 +336,9 @@ fn bench_compile(iters: usize, out: &str) {
             let serial_brute_ms = time_compile(spec, module, options(1, false), iters);
             let serial_indexed_ms = time_compile(spec, module, options(1, true), iters);
             let parallel4_ms = time_compile(spec, module, options(4, true), iters);
-            let phases = phase_split(spec, module, true, iters);
+            let (phases, subphases) = phase_split(spec, module, true, iters);
             let brute_select_ms = phase_split(spec, module, false, iters)
+                .0
                 .iter()
                 .find(|(p, _)| *p == "select")
                 .map(|(_, ms)| *ms)
@@ -294,6 +351,7 @@ fn bench_compile(iters: usize, out: &str) {
                 serial_indexed_ms,
                 parallel4_ms,
                 phases,
+                subphases,
                 brute_select_ms,
             });
         }
@@ -391,6 +449,22 @@ fn render_json(iters: usize, cores: usize, rows: &[Row], sel: f64, par: f64) -> 
         for (j, (phase, ms)) in r.phases.iter().enumerate() {
             let _ = write!(s, "\"{phase}\": {ms:.4}");
             if j + 1 < r.phases.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push_str("},\n");
+        // Self-times under the noise floor are omitted (see
+        // SUBPHASE_FLOOR_MS); the diff tool treats one-sided keys as
+        // warnings, not regressions.
+        s.push_str("      \"subphase_self_ms\": {");
+        let kept: Vec<&(&str, f64)> = r
+            .subphases
+            .iter()
+            .filter(|(_, ms)| *ms >= SUBPHASE_FLOOR_MS)
+            .collect();
+        for (j, (sub, ms)) in kept.iter().enumerate() {
+            let _ = write!(s, "\"{sub}\": {ms:.4}");
+            if j + 1 < kept.len() {
                 s.push_str(", ");
             }
         }

@@ -58,7 +58,7 @@ use std::collections::{BTreeMap, BTreeSet};
 fn usage() -> ! {
     eprintln!("usage: marion-report TRACE.jsonl [MORE.jsonl ...]");
     eprintln!("       marion-report --demo [--jsonl OUT.jsonl]");
-    eprintln!("       marion-report --html [--out REPORT.html] [--serve METRICS.json] [--demo | TRACE.jsonl ...]");
+    eprintln!("       marion-report --html [--out REPORT.html] [--serve METRICS.json] [--bench-diff OLD.json NEW.json] [--demo | TRACE.jsonl ...]");
     eprintln!("       marion-report --check-slo METRICS.jsonl       exit 1 if any SLO is violated");
     eprintln!("       marion-report --dashboard RESP.jsonl [--out DASH.html]");
     std::process::exit(2);
@@ -167,6 +167,7 @@ fn main() {
     let mut serve_path: Option<String> = None;
     let mut check_slo_path: Option<String> = None;
     let mut dashboard_path: Option<String> = None;
+    let mut bench_diff: Option<(String, String)> = None;
     let mut traces: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -184,6 +185,11 @@ fn main() {
             "--serve" => serve_path = Some(value("--serve")),
             "--check-slo" => check_slo_path = Some(value("--check-slo")),
             "--dashboard" => dashboard_path = Some(value("--dashboard")),
+            "--bench-diff" => {
+                let old = value("--bench-diff");
+                let new = value("--bench-diff");
+                bench_diff = Some((old, new));
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("marion-report: unknown flag `{other}`");
@@ -198,10 +204,14 @@ fn main() {
     if let Some(path) = dashboard_path {
         extract_dashboard(&path, html_out.as_deref());
     }
-    if !demo_mode && traces.is_empty() {
+    if !demo_mode && traces.is_empty() && bench_diff.is_none() {
         usage();
     }
-    let data = if demo_mode {
+    let data = if !demo_mode && traces.is_empty() {
+        // `--bench-diff` alone: a page holding just the before/after
+        // subphase table, no trace-derived sections.
+        TraceData::default()
+    } else if demo_mode {
         let data = demo();
         if let Some(path) = &jsonl_out {
             std::fs::write(path, data.to_jsonl()).unwrap_or_else(|e| {
@@ -253,11 +263,25 @@ fn main() {
     // In demo mode the source is on hand, so the page also embeds
     // per-function dependence-DAG renderings (native SVG, no
     // graphviz) next to the trace-derived sections.
-    let extra_svg = if demo_mode {
+    let mut extra_svg = if demo_mode {
         demo_dag_svgs()
     } else {
         Vec::new()
     };
+    // `--bench-diff OLD.json NEW.json`: a before/after table of
+    // strategy-subphase self-times from two BENCH_compile.json files.
+    if let Some((old_path, new_path)) = &bench_diff {
+        let table =
+            marion_bench::html::subphase_diff_table(&read_or_die(old_path), &read_or_die(new_path))
+                .unwrap_or_else(|e| {
+                    eprintln!("marion-report: --bench-diff: {e}");
+                    std::process::exit(2);
+                });
+        extra_svg.push((
+            "Strategy subphase self-time \u{2014} before vs after".to_string(),
+            table,
+        ));
+    }
     let page = render_html_with(&data, serve_fields.as_deref(), &extra_svg);
     match html_out {
         Some(path) => {

@@ -209,14 +209,15 @@ fn operand_atoms(machine: &Machine, op: &Operand, out: &mut Vec<Atom>) {
     }
 }
 
-/// Def and use atom sets of one instruction.
-fn atoms_of(machine: &Machine, inst: &Inst) -> (Vec<Atom>, Vec<Atom>) {
+/// Def and use atom sets of one instruction, written into reusable
+/// caller buffers.
+fn atoms_of(machine: &Machine, inst: &Inst, defs: &mut Vec<Atom>, uses: &mut Vec<Atom>) {
+    defs.clear();
+    uses.clear();
     let t = machine.template(inst.template);
-    let mut defs = Vec::new();
-    let mut uses = Vec::new();
     for k in &t.effects.defs {
         if let Some(op) = inst.ops.get((*k - 1) as usize) {
-            operand_atoms(machine, op, &mut defs);
+            operand_atoms(machine, op, defs);
             // A half-register def leaves the other half live: it also
             // counts as a use so the whole pair stays intact.
             if let Operand::VregHalf(v, h) = op {
@@ -226,7 +227,7 @@ fn atoms_of(machine: &Machine, inst: &Inst) -> (Vec<Atom>, Vec<Atom>) {
     }
     for k in &t.effects.uses {
         if let Some(op) = inst.ops.get((*k - 1) as usize) {
-            operand_atoms(machine, op, &mut uses);
+            operand_atoms(machine, op, uses);
         }
     }
     for p in &inst.extra_defs {
@@ -245,7 +246,6 @@ fn atoms_of(machine: &Machine, inst: &Inst) -> (Vec<Atom>, Vec<Atom>) {
     for t_id in &t.effects.temporal_uses {
         uses.push(Atom::Temporal(*t_id));
     }
-    (defs, uses)
 }
 
 /// Builds the code DAG for one block.
@@ -281,8 +281,32 @@ pub fn build_dag_with(
         succs: vec![Vec::new(); n],
         preds: vec![Vec::new(); n],
     };
-    let mut last_def: HashMap<Atom, usize> = HashMap::new();
-    let mut last_uses: HashMap<Atom, Vec<usize>> = HashMap::new();
+    // Dense atom ids: the block's atom universe is bounded by the vreg
+    // ids it mentions (two halves each) plus the machine's register
+    // units and temporal latches, so last-def/last-use tracking is
+    // plain array indexing instead of hashing.
+    let mut max_vreg: usize = 0;
+    for inst in &block.insts {
+        for op in &inst.ops {
+            if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
+                max_vreg = max_vreg.max(v.0 as usize + 1);
+            }
+        }
+    }
+    let unit_base = 2 * max_vreg;
+    let temporal_base = unit_base + machine.unit_count() as usize;
+    let universe = temporal_base + machine.temporals().len();
+    let atom_id = |a: Atom| -> usize {
+        match a {
+            Atom::VregHalf(v, h) => (v.0 as usize) * 2 + h as usize,
+            Atom::Unit(u) => unit_base + u as usize,
+            Atom::Temporal(t) => temporal_base + t.0 as usize,
+        }
+    };
+    let mut last_def: Vec<usize> = vec![usize::MAX; universe];
+    let mut last_uses: Vec<Vec<usize>> = vec![Vec::new(); universe];
+    let mut defs: Vec<Atom> = Vec::new();
+    let mut uses: Vec<Atom> = Vec::new();
     let mut loads_since_store: Vec<usize> = Vec::new();
     let mut last_store: Option<usize> = None;
     let mut last_control: Option<usize> = None;
@@ -296,12 +320,13 @@ pub fn build_dag_with(
 
     for (i, inst) in block.insts.iter().enumerate() {
         let t = machine.template(inst.template);
-        let (defs, uses) = atoms_of(machine, inst);
+        atoms_of(machine, inst, &mut defs, &mut uses);
         let reads_mem = t.effects.reads_mem || t.effects.is_call;
         let writes_mem = t.effects.writes_mem || t.effects.is_call;
 
         for atom in &uses {
-            if let Some(&d) = last_def.get(atom) {
+            let d = last_def[atom_id(*atom)];
+            if d != usize::MAX {
                 let producer = &block.insts[d];
                 let lat = machine.edge_latency(producer.template, inst.template, &|a, b| {
                     ops_equal(producer, inst, a, b)
@@ -312,7 +337,7 @@ pub fn build_dag_with(
                 };
                 dag.add_edge(d, i, lat, kind);
             }
-            last_uses.entry(*atom).or_default().push(i);
+            last_uses[atom_id(*atom)].push(i);
         }
         for atom in &defs {
             // Normally no anti/output edges on temporal latches: Rule
@@ -323,22 +348,23 @@ pub fn build_dag_with(
             if matches!(atom, Atom::Temporal(_)) && !latch_name_deps {
                 continue;
             }
+            let aid = atom_id(*atom);
             if include_anti {
-                if let Some(users) = last_uses.get(atom) {
-                    for &u in users {
-                        if u != i {
-                            dag.add_edge(u, i, 0, EdgeKind::Anti);
-                        }
+                for &u in &last_uses[aid] {
+                    if u != i {
+                        dag.add_edge(u, i, 0, EdgeKind::Anti);
                     }
                 }
             }
-            if let Some(&d) = last_def.get(atom) {
+            let d = last_def[aid];
+            if d != usize::MAX {
                 dag.add_edge(d, i, 1, EdgeKind::Output);
             }
         }
-        for atom in defs {
-            last_def.insert(atom, i);
-            last_uses.remove(&atom);
+        for atom in &defs {
+            let aid = atom_id(*atom);
+            last_def[aid] = i;
+            last_uses[aid].clear();
         }
 
         if reads_mem {
@@ -490,38 +516,60 @@ fn protect_temporal_sequences(machine: &Machine, block: &CodeBlock, dag: &mut Co
         .map(|inst| machine.template(inst.template).affects_clock)
         .collect();
     let mut new_edges: Vec<(usize, usize)> = Vec::new();
+    // Scratch shared across sequences: membership and head-descendant
+    // flags, the ancestor-walk visited set, and per-sequence entry
+    // dedup. The DAG is not mutated until every protection edge is
+    // collected, so the head's descendant set can be computed once per
+    // sequence and the cycle check becomes a flag lookup instead of a
+    // DFS per candidate. An entry's ancestor walk depends only on the
+    // entry and the sequence (not on which member it enters through),
+    // so each distinct entry is walked once — repeat walks only
+    // re-pushed duplicate edges that `add_edge` merges away anyway.
+    let mut member_set = vec![false; dag.n];
+    let mut head_desc = vec![false; dag.n];
+    let mut seen = vec![false; dag.n];
+    let mut entry_done = vec![false; dag.n];
+    let mut stack: Vec<usize> = Vec::new();
     for seq in &seqs {
+        member_set.fill(false);
+        for &m in &seq.members {
+            member_set[m] = true;
+        }
+        head_desc.fill(false);
+        head_desc[seq.head] = true;
+        stack.push(seq.head);
+        while let Some(i) = stack.pop() {
+            for &ei in &dag.succs[i] {
+                let t = dag.edges[ei].to;
+                if !head_desc[t] {
+                    head_desc[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        entry_done.fill(false);
         for &x in &seq.members {
             if x == seq.head {
                 continue;
             }
             // Alternate entries: non-temporal predecessors from
             // outside the sequence.
-            let entries: Vec<usize> = dag.preds[x]
-                .iter()
-                .filter_map(|&ei| {
-                    let e = dag.edges[ei];
-                    let from_inside = seq.members.contains(&e.from);
-                    if from_inside {
-                        None
-                    } else {
-                        Some(e.from)
-                    }
-                })
-                .collect();
-            for y in entries {
+            for &ei in &dag.preds[x] {
+                let y = dag.edges[ei].from;
+                if member_set[y] || entry_done[y] {
+                    continue;
+                }
+                entry_done[y] = true;
                 // Walk backward from the entry, collecting ancestors
                 // (including the entry itself).
-                let mut seen = vec![false; dag.n];
-                let mut stack = vec![y];
+                seen.fill(false);
                 seen[y] = true;
+                stack.push(y);
                 while let Some(a) = stack.pop() {
-                    if affects[a] == Some(seq.clock) && !seq.members.contains(&a) {
+                    if affects[a] == Some(seq.clock) && !member_set[a] && !head_desc[a] {
                         // The dashed (p, q) edge of Figure 6 — unless
                         // it would create a cycle.
-                        if !dag.reaches(seq.head, a) {
-                            new_edges.push((a, seq.head));
-                        }
+                        new_edges.push((a, seq.head));
                     }
                     for &ei in &dag.preds[a] {
                         let p = dag.edges[ei].from;
@@ -550,8 +598,14 @@ pub fn serialize_same_clock_sequences(dag: &mut CodeDag) {
     for s in &seqs {
         by_clock.entry(s.clock).or_default().push(s);
     }
+    // Iterate clocks in id order: HashMap order would make the edge
+    // insertion order (hence edge indices and succ-list order) vary
+    // run to run.
+    let mut clocks: Vec<ClockId> = by_clock.keys().copied().collect();
+    clocks.sort_by_key(|k| k.0);
     let mut new_edges: Vec<(usize, usize)> = Vec::new();
-    for list in by_clock.values_mut() {
+    for k in clocks {
+        let list = by_clock.get_mut(&k).expect("clock key from by_clock");
         list.sort_by_key(|s| s.members.iter().min().copied().unwrap_or(0));
         for pair in list.windows(2) {
             let tail = *pair[0].members.iter().max().unwrap();

@@ -8,8 +8,9 @@
 //!
 //! * the complete compiled [`Machine`] description (every template,
 //!   resource vector, latency, glue rule and CWVM entry — hashed
-//!   through its structural `Debug` rendering, which is a pure
-//!   function of the parsed description);
+//!   directly via [`crate::stablehash::StableHash`], a length-prefixed
+//!   field-order-stable structural encoding that is a pure function of
+//!   the parsed description and allocates nothing on the probe path);
 //! * the [`StrategyKind`];
 //! * the cache-relevant [`CompileOptions`] fields:
 //!   `fill_delay_slots` and the trace configuration (a traced compile
@@ -37,6 +38,7 @@
 
 use crate::driver::{CompileOptions, FuncStats};
 use crate::emit::{AsmBlock, AsmFunc, AsmInst, Word};
+use crate::stablehash::StableHash;
 use crate::strategy::StrategyKind;
 use marion_cache::{CacheKey, DiskStore, ShardedCache, StableHasher};
 use marion_ir as ir;
@@ -231,9 +233,10 @@ pub fn base_fingerprint(
     let mut h = StableHasher::new();
     h.write_i64(FORMAT_VERSION);
     // `Machine` is a pure value compiled from the description source;
-    // its Debug rendering is a complete structural serialisation
-    // (templates, semantics, resources, latencies, glue, CWVM).
-    h.write_str(&format!("{machine:?}"));
+    // its `StableHash` impl feeds every codegen-relevant table
+    // (templates, semantics, resources, latencies, glue, CWVM)
+    // straight into the hasher — no string render, no allocation.
+    machine.stable_hash(&mut h);
     h.write_str(strategy.name());
     h.write_u64(options.fill_delay_slots as u64);
     match &options.trace {
@@ -252,10 +255,10 @@ pub fn base_fingerprint(
 pub fn func_key(base: &StableHasher, module: &ir::Module, func: &ir::Function) -> CacheKey {
     let mut h = base.clone();
     // The function body: blocks, statements, node forest, types,
-    // locals — `Function`'s Debug rendering covers all of it
+    // locals — `Function`'s `StableHash` impl covers all of it
     // structurally (and float constants were already materialised
-    // into globals, so no `ConstF` bit-pattern subtleties remain).
-    h.write_str(&format!("{func:?}"));
+    // into globals, so `ConstF` hashes by IEEE bit pattern anyway).
+    func.stable_hash(&mut h);
     // Symbol ids embedded in the body and in the cached assembly are
     // indices into this table; the mapping is part of the content.
     h.write_u64(module.symbol_count() as u64);

@@ -12,6 +12,7 @@
 
 pub mod code;
 pub mod dag;
+pub mod dense;
 pub mod driver;
 pub mod emit;
 pub mod error;
@@ -21,6 +22,7 @@ pub mod glue;
 pub mod regalloc;
 pub mod sched;
 pub mod select;
+pub mod stablehash;
 pub mod strategy;
 
 pub use code::{CodeBlock, CodeFunc, ImmVal, Inst, Operand, Vreg, VregInfo, VregKind};

@@ -15,14 +15,55 @@
 //! temporal groups, which schedule all open destinations of a clock as
 //! one unit (§4.6).
 
-use crate::code::{CodeBlock, CodeFunc, Operand, Vreg, VregKind};
+use crate::code::{CodeBlock, CodeFunc, Operand, VregKind};
 use crate::dag::{CodeDag, EdgeKind};
 use crate::error::{CodegenError, Phase};
 use crate::explain::{log_stall, ScheduleExplanation, Stall, StallReason};
 use marion_maril::machine::ClockId;
 use marion_maril::{Machine, ResSet};
 use marion_trace::Tracer;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable per-block scratch buffers — a small bump arena for the
+/// scheduler's hot state. One `Scratch` serves any number of
+/// consecutive [`schedule_block_scratch`] calls (each call resets the
+/// lengths it needs but keeps the capacity), so a caller walking a
+/// whole function allocates the scheduler's working set once instead
+/// of once per block. All state is dense: vreg-indexed, cycle-indexed,
+/// or clock-indexed arrays — no hashing on the scheduling path.
+#[derive(Default)]
+pub struct Scratch {
+    /// Remaining uses per local vreg (vreg-indexed; 0 = untracked).
+    uses_left: Vec<u32>,
+    /// Liveness flag per tracked local vreg (vreg-indexed).
+    live_local: Vec<bool>,
+    /// Temporal edge indices bucketed by clock id.
+    temporal_by_clock: Vec<Vec<usize>>,
+    /// Open temporal-group destination list.
+    dests: Vec<usize>,
+    /// Combined group resource vector, cycle-offset-indexed.
+    extra: Vec<ResSet>,
+    scheduled: Vec<bool>,
+    pred_left: Vec<usize>,
+    earliest: Vec<u32>,
+    timeline: Vec<ResSet>,
+    /// Ready-set worklist: instructions with all predecessors issued
+    /// and operands arrived, plus each instruction's slot in it.
+    ready: Vec<usize>,
+    ready_pos: Vec<u32>,
+    /// Min-heap of (arrival cycle, instruction) for instructions whose
+    /// predecessors all issued but whose operands are still in flight.
+    pending: BinaryHeap<Reverse<(u32, usize)>>,
+    /// Open temporal edges per clock id.
+    open_clock_edges: Vec<u32>,
+}
+
+impl Scratch {
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+}
 
 /// Scheduling options.
 #[derive(Debug, Clone, Default)]
@@ -155,6 +196,22 @@ pub fn schedule_block_traced(
     opts: &SchedOptions,
     tracer: &Tracer,
 ) -> Result<Schedule, CodegenError> {
+    schedule_block_scratch(machine, func, block, dag, opts, tracer, &mut Scratch::new())
+}
+
+/// [`schedule_block_traced`] with caller-provided [`Scratch`]: the hot
+/// loops (`ready_scan`, `group_scan`, `pick_place`) allocate nothing,
+/// and a caller scheduling many blocks (see [`crate::strategy`])
+/// amortises the scheduler's working set across all of them.
+pub fn schedule_block_scratch(
+    machine: &Machine,
+    func: &CodeFunc,
+    block: &CodeBlock,
+    dag: &CodeDag,
+    opts: &SchedOptions,
+    tracer: &Tracer,
+    scratch: &mut Scratch,
+) -> Result<Schedule, CodegenError> {
     let n = block.insts.len();
     if n == 0 {
         return Ok(Schedule::default());
@@ -162,15 +219,62 @@ pub fn schedule_block_traced(
     let prep = tracer.mspan("prep");
     let priority = dag.critical_path();
 
-    // Local-vreg pressure bookkeeping (for the IPS limit).
-    let mut use_count: HashMap<Vreg, u32> = HashMap::new();
+    // Local-vreg pressure bookkeeping (for the IPS limit), dense over
+    // vreg ids. A vreg the block never uses keeps a zero count, which
+    // the dense reads treat exactly like the old missing map entry.
+    let nv = func.vregs.len();
+    scratch.uses_left.clear();
+    scratch.uses_left.resize(nv, 0);
+    scratch.live_local.clear();
+    scratch.live_local.resize(nv, false);
     for inst in &block.insts {
         for op in inst.use_operands(machine) {
             if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
                 if func.vreg(*v).kind == VregKind::Local {
-                    *use_count.entry(*v).or_insert(0) += 1;
+                    scratch.uses_left[v.0 as usize] += 1;
                 }
             }
+        }
+    }
+
+    // Temporal edges bucketed per clock, so the group and Rule-1 scans
+    // touch only one clock's (few) temporal edges instead of the whole
+    // edge list on every probe.
+    for list in scratch.temporal_by_clock.iter_mut() {
+        list.clear();
+    }
+    let nclocks = machine.clocks().len();
+    if scratch.temporal_by_clock.len() < nclocks {
+        scratch.temporal_by_clock.resize_with(nclocks, Vec::new);
+    }
+    for (ei, e) in dag.edges.iter().enumerate() {
+        if let EdgeKind::TrueTemporal(k) = e.kind {
+            scratch.temporal_by_clock[k.0 as usize].push(ei);
+        }
+    }
+
+    scratch.scheduled.clear();
+    scratch.scheduled.resize(n, false);
+    scratch.pred_left.clear();
+    scratch.pred_left.extend(dag.preds.iter().map(|p| p.len()));
+    scratch.earliest.clear();
+    scratch.earliest.resize(n, 0);
+    scratch.timeline.clear();
+    // Seed the ready worklist with the DAG roots. An instruction's
+    // `earliest` is final once its last predecessor issues (nothing
+    // updates it afterwards), so readiness is event-driven: the last
+    // releasing `place` either enqueues the successor here or parks it
+    // in the pending heap until its operands arrive.
+    scratch.ready.clear();
+    scratch.ready_pos.clear();
+    scratch.ready_pos.resize(n, u32::MAX);
+    scratch.pending.clear();
+    scratch.open_clock_edges.clear();
+    scratch.open_clock_edges.resize(nclocks, 0);
+    for i in 0..n {
+        if scratch.pred_left[i] == 0 {
+            scratch.ready_pos[i] = scratch.ready.len() as u32;
+            scratch.ready.push(i);
         }
     }
 
@@ -179,16 +283,23 @@ pub fn schedule_block_traced(
         block,
         dag,
         priority,
-        scheduled: vec![false; n],
+        scheduled: std::mem::take(&mut scratch.scheduled),
         inst_cycle: vec![0u32; n],
-        pred_left: dag.preds.iter().map(|p| p.len()).collect(),
-        earliest: vec![0u32; n],
-        timeline: Vec::new(),
+        pred_left: std::mem::take(&mut scratch.pred_left),
+        earliest: std::mem::take(&mut scratch.earliest),
+        timeline: std::mem::take(&mut scratch.timeline),
         cycles: Vec::new(),
         t: 0,
         word_elems: None,
-        live_local: HashMap::new(),
-        uses_left: use_count,
+        live_local: std::mem::take(&mut scratch.live_local),
+        live_count: 0,
+        uses_left: std::mem::take(&mut scratch.uses_left),
+        temporal_by_clock: std::mem::take(&mut scratch.temporal_by_clock),
+        extra: std::mem::take(&mut scratch.extra),
+        ready: std::mem::take(&mut scratch.ready),
+        ready_pos: std::mem::take(&mut scratch.ready_pos),
+        pending: std::mem::take(&mut scratch.pending),
+        open_clock_edges: std::mem::take(&mut scratch.open_clock_edges),
         local_limit: opts.local_reg_limit,
         ignore_rule1: opts.ignore_rule1,
         peak_pressure: 0,
@@ -205,12 +316,19 @@ pub fn schedule_block_traced(
     let mut hazard: Vec<Vec<Stall>> = vec![Vec::new(); n];
     let mut remaining = n;
     let max_cycles = (n as u32 + 8) * 64 + 1024;
-    // Scratch for rule-1 destination lists, reused across cycles.
-    let mut dests = Vec::new();
+    // Rule-1 destination list, reused across cycles.
+    let mut dests = std::mem::take(&mut scratch.dests);
     while remaining > 0 {
+        // The worklist *is* the ready set, so the per-cycle count is a
+        // length read; the span only brackets high-water bookkeeping.
         let ready = {
             let _m = tracer.mspan("ready_scan");
-            (0..n).filter(|&i| state.is_ready(i)).count()
+            debug_assert!(state.ready.iter().all(|&i| state.is_ready(i)));
+            debug_assert_eq!(
+                state.ready.len(),
+                (0..n).filter(|&i| state.is_ready(i)).count()
+            );
+            state.ready.len()
         };
         metrics.ready_high_water = metrics.ready_high_water.max(ready);
         let mut progress = true;
@@ -220,7 +338,10 @@ pub fn schedule_block_traced(
             //    together.
             if !opts.ignore_rule1 {
                 let _m = tracer.mspan("group_scan");
-                for k in 0..machine.clocks().len() {
+                for k in 0..nclocks {
+                    if state.open_clock_edges[k] == 0 {
+                        continue;
+                    }
                     let clock = ClockId(k as u32);
                     state.open_dests_into(clock, &mut dests);
                     if dests.is_empty() {
@@ -243,14 +364,14 @@ pub fn schedule_block_traced(
         }
         if remaining > 0 {
             let _m = tracer.mspan("advance");
-            for (i, log) in hazard.iter_mut().enumerate() {
-                if state.is_ready(i) {
-                    log_stall(log, state.t, state.stall_reason_at(i));
-                }
+            for idx in 0..state.ready.len() {
+                let i = state.ready[idx];
+                log_stall(&mut hazard[i], state.t, state.stall_reason_at(i));
             }
             state.advance_cycle();
             if state.t > max_cycles {
                 let stuck: Vec<usize> = (0..n).filter(|i| !state.scheduled[*i]).collect();
+                state.reclaim(scratch, dests);
                 return Err(CodegenError::new(
                     Phase::Schedule,
                     format!("scheduling deadlock; unscheduled instructions {stuck:?}"),
@@ -260,9 +381,10 @@ pub fn schedule_block_traced(
     }
 
     let _m = tracer.mspan("finalize");
+    let (cycles, inst_cycle, peak_pressure) = state.reclaim(scratch, dests);
     // Schedule length: last issue cycle + 1, plus the delay slots of
     // the block's final control transfer.
-    let mut length = state.cycles.len() as u32;
+    let mut length = cycles.len() as u32;
     if let Some(last) = block
         .insts
         .iter()
@@ -272,15 +394,15 @@ pub fn schedule_block_traced(
         .max()
     {
         let slots = machine.template(block.insts[last].template).slots;
-        length = length.max(state.inst_cycle[last] + 1 + slots.unsigned_abs());
+        length = length.max(inst_cycle[last] + 1 + slots.unsigned_abs());
     }
     metrics.issue_slots_used = n;
-    metrics.issue_cycles = state.cycles.iter().filter(|c| !c.is_empty()).count();
-    metrics.packed_words = state.cycles.iter().filter(|c| c.len() >= 2).count();
-    metrics.stall_cycles = state.cycles.iter().filter(|c| c.is_empty()).count();
+    metrics.issue_cycles = cycles.iter().filter(|c| !c.is_empty()).count();
+    metrics.packed_words = cycles.iter().filter(|c| c.len() >= 2).count();
+    metrics.stall_cycles = cycles.iter().filter(|c| c.is_empty()).count();
     let (slack, critical_path) = crate::explain::critical_path_slack(dag);
     let explanation = ScheduleExplanation {
-        records: crate::explain::build_records(dag, &state.inst_cycle, hazard),
+        records: crate::explain::build_records(dag, &inst_cycle, hazard),
         slack,
         critical_path,
         discipline: if opts.ignore_rule1 {
@@ -290,10 +412,10 @@ pub fn schedule_block_traced(
         },
     };
     Ok(Schedule {
-        cycles: state.cycles,
-        inst_cycle: state.inst_cycle,
+        cycles,
+        inst_cycle,
         length,
-        peak_local_pressure: state.peak_pressure,
+        peak_local_pressure: peak_pressure,
         metrics,
         explanation,
     })
@@ -350,27 +472,30 @@ pub fn verify_schedule_with(
             ));
         }
     }
-    // 2. Structural hazards.
-    let mut usage: HashMap<u32, ResSet> = HashMap::new();
+    // 2. Structural hazards (cycle-indexed reservation timeline).
+    let mut usage: Vec<ResSet> = Vec::new();
     for (i, inst) in block.insts.iter().enumerate() {
         let t = machine.template(inst.template);
         for (c, need) in t.rsrc.iter().enumerate() {
-            let at = schedule.inst_cycle[i] + c as u32;
-            let slot = usage.entry(at).or_insert(ResSet::EMPTY);
-            if slot.intersects(need) {
+            let at = (schedule.inst_cycle[i] + c as u32) as usize;
+            if usage.len() <= at {
+                usage.resize(at + 1, ResSet::EMPTY);
+            }
+            if usage[at].intersects(need) {
                 return Err(format!(
                     "resource conflict at cycle {at} caused by instruction {i}"
                 ));
             }
-            slot.union_with(need);
+            usage[at].union_with(need);
         }
     }
-    // 3. Class packing.
-    let mut per_cycle: HashMap<u32, Vec<usize>> = HashMap::new();
+    // 3. Class packing (cycle-indexed membership lists).
+    let max_cycle = schedule.inst_cycle.iter().copied().max().unwrap_or(0) as usize;
+    let mut per_cycle: Vec<Vec<usize>> = vec![Vec::new(); max_cycle + 1];
     for (i, c) in schedule.inst_cycle.iter().enumerate() {
-        per_cycle.entry(*c).or_default().push(i);
+        per_cycle[*c as usize].push(i);
     }
-    for (cycle, members) in &per_cycle {
+    for (cycle, members) in per_cycle.iter().enumerate() {
         let mut word: Option<ResSet> = None;
         for &i in members {
             if let Some(cid) = machine.template(block.insts[i].template).class {
@@ -441,17 +566,30 @@ pub fn schedule_block_robust_traced(
     opts: &SchedOptions,
     tracer: &Tracer,
 ) -> (Schedule, &'static str) {
+    schedule_block_robust_scratch(machine, func, block, opts, tracer, &mut Scratch::new())
+}
+
+/// [`schedule_block_robust_traced`] with caller-provided [`Scratch`],
+/// reused by every rung of the fallback ladder.
+pub fn schedule_block_robust_scratch(
+    machine: &Machine,
+    func: &CodeFunc,
+    block: &CodeBlock,
+    opts: &SchedOptions,
+    tracer: &Tracer,
+    scratch: &mut Scratch,
+) -> (Schedule, &'static str) {
     let m = tracer.mspan("dag_build");
     let dag = crate::dag::build_dag(machine, block, true);
     drop(m);
-    if let Ok(s) = schedule_block_traced(machine, func, block, &dag, opts, tracer) {
+    if let Ok(s) = schedule_block_scratch(machine, func, block, &dag, opts, tracer, scratch) {
         return (s, "rule1");
     }
     let m = tracer.mspan("dag_build");
     let mut dag2 = crate::dag::build_dag(machine, block, true);
     crate::dag::serialize_same_clock_sequences(&mut dag2);
     drop(m);
-    if let Ok(mut s) = schedule_block_traced(machine, func, block, &dag2, opts, tracer) {
+    if let Ok(mut s) = schedule_block_scratch(machine, func, block, &dag2, opts, tracer, scratch) {
         s.explanation.discipline = "serialized";
         return (s, "serialized");
     }
@@ -462,7 +600,7 @@ pub fn schedule_block_robust_traced(
         ignore_rule1: true,
         ..opts.clone()
     };
-    if let Ok(s) = schedule_block_traced(machine, func, block, &dag3, &relaxed, tracer) {
+    if let Ok(s) = schedule_block_scratch(machine, func, block, &dag3, &relaxed, tracer, scratch) {
         return (s, "name-deps");
     }
     (serial_schedule(machine, block, &dag3), "serial")
@@ -623,8 +761,31 @@ struct SchedState<'a> {
     t: u32,
     /// Intersection of the packing classes issued this cycle.
     word_elems: Option<ResSet>,
-    live_local: HashMap<Vreg, bool>,
-    uses_left: HashMap<Vreg, u32>,
+    /// Vreg-indexed liveness of tracked locals plus an incrementally
+    /// maintained count of `true` entries (the IPS pressure figure).
+    live_local: Vec<bool>,
+    live_count: usize,
+    /// Vreg-indexed remaining-use counts; 0 means untracked.
+    uses_left: Vec<u32>,
+    /// Temporal edge indices bucketed by clock id, in edge order.
+    temporal_by_clock: Vec<Vec<usize>>,
+    /// Reusable group resource-probe buffer.
+    extra: Vec<ResSet>,
+    /// Exactly the instructions for which [`SchedState::is_ready`]
+    /// holds, maintained incrementally; `ready_pos[i]` is `i`'s slot
+    /// (or `u32::MAX`) so placement removes in O(1). Membership can
+    /// only end by issuing: `earliest` never moves once `pred_left`
+    /// hits zero and `t` never decreases.
+    ready: Vec<usize>,
+    ready_pos: Vec<u32>,
+    /// Instructions whose predecessors all issued but whose operands
+    /// land at a future cycle, keyed by that cycle.
+    pending: BinaryHeap<Reverse<(u32, usize)>>,
+    /// Open temporal edges per clock (source issued, destination
+    /// not): the group scan, Rule 1 and stall attribution all probe
+    /// "is anything open on this clock" — a counter answers that
+    /// without walking the clock's edge bucket.
+    open_clock_edges: Vec<u32>,
     local_limit: Option<usize>,
     ignore_rule1: bool,
     peak_pressure: usize,
@@ -632,25 +793,78 @@ struct SchedState<'a> {
 }
 
 impl<'a> SchedState<'a> {
+    /// Returns the reusable buffers to `scratch` and hands back the
+    /// pieces the caller still needs.
+    fn reclaim(
+        self,
+        scratch: &mut Scratch,
+        dests: Vec<usize>,
+    ) -> (Vec<Vec<usize>>, Vec<u32>, usize) {
+        scratch.scheduled = self.scheduled;
+        scratch.pred_left = self.pred_left;
+        scratch.earliest = self.earliest;
+        scratch.timeline = self.timeline;
+        scratch.live_local = self.live_local;
+        scratch.uses_left = self.uses_left;
+        scratch.temporal_by_clock = self.temporal_by_clock;
+        scratch.extra = self.extra;
+        scratch.ready = self.ready;
+        scratch.ready_pos = self.ready_pos;
+        scratch.pending = self.pending;
+        scratch.open_clock_edges = self.open_clock_edges;
+        scratch.dests = dests;
+        (self.cycles, self.inst_cycle, self.peak_pressure)
+    }
+
     /// Destinations of currently open temporal edges on `clock`:
     /// source scheduled, destination not.
     fn open_dests_into(&self, clock: ClockId, out: &mut Vec<usize>) {
         out.clear();
-        for e in &self.dag.edges {
-            if let EdgeKind::TrueTemporal(k) = e.kind {
-                if k == clock
-                    && self.scheduled[e.from]
-                    && !self.scheduled[e.to]
-                    && !out.contains(&e.to)
-                {
-                    out.push(e.to);
-                }
+        for &ei in &self.temporal_by_clock[clock.0 as usize] {
+            let e = &self.dag.edges[ei];
+            if self.scheduled[e.from] && !self.scheduled[e.to] && !out.contains(&e.to) {
+                out.push(e.to);
             }
         }
     }
 
     fn is_ready(&self, i: usize) -> bool {
         !self.scheduled[i] && self.pred_left[i] == 0 && self.earliest[i] <= self.t
+    }
+
+    fn push_ready(&mut self, i: usize) {
+        self.ready_pos[i] = self.ready.len() as u32;
+        self.ready.push(i);
+    }
+
+    fn remove_ready(&mut self, i: usize) {
+        let p = self.ready_pos[i] as usize;
+        let last = self.ready.pop().expect("ready list underflow");
+        if last != i {
+            self.ready[p] = last;
+            self.ready_pos[last] = p as u32;
+        }
+        self.ready_pos[i] = u32::MAX;
+    }
+
+    /// All of `j`'s predecessors have issued: make it ready now or
+    /// park it until its operands arrive.
+    fn release(&mut self, j: usize) {
+        if self.earliest[j] <= self.t {
+            self.push_ready(j);
+        } else {
+            self.pending.push(Reverse((self.earliest[j], j)));
+        }
+    }
+
+    fn drain_pending(&mut self) {
+        while let Some(&Reverse((at, j))) = self.pending.peek() {
+            if at > self.t {
+                break;
+            }
+            self.pending.pop();
+            self.push_ready(j);
+        }
     }
 
     fn resources_fit(&self, i: usize, extra: &[ResSet]) -> bool {
@@ -704,16 +918,17 @@ impl<'a> SchedState<'a> {
         else {
             return true;
         };
-        for e in &self.dag.edges {
-            if let EdgeKind::TrueTemporal(ek) = e.kind {
-                if ek == k
-                    && self.scheduled[e.from]
-                    && !self.scheduled[e.to]
-                    && e.to != i
-                    && self.inst_cycle[e.from] != self.t
-                {
-                    return false;
-                }
+        if self.open_clock_edges[k.0 as usize] == 0 {
+            return true;
+        }
+        for &ei in &self.temporal_by_clock[k.0 as usize] {
+            let e = &self.dag.edges[ei];
+            if self.scheduled[e.from]
+                && !self.scheduled[e.to]
+                && e.to != i
+                && self.inst_cycle[e.from] != self.t
+            {
+                return false;
             }
         }
         true
@@ -726,8 +941,7 @@ impl<'a> SchedState<'a> {
             return true;
         };
         let delta = self.pressure_delta(i);
-        let live = self.live_local.values().filter(|v| **v).count() as i64;
-        live + delta <= limit as i64
+        self.live_count as i64 + delta <= limit as i64
     }
 
     fn pressure_delta(&self, i: usize) -> i64 {
@@ -735,18 +949,18 @@ impl<'a> SchedState<'a> {
         let mut delta = 0i64;
         for op in inst.use_operands(self.machine) {
             if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
-                if let Some(left) = self.uses_left.get(v) {
-                    if *left == 1 && self.live_local.get(v) == Some(&true) {
-                        delta -= 1;
-                    }
+                let vi = v.0 as usize;
+                if self.uses_left[vi] == 1 && self.live_local[vi] {
+                    delta -= 1;
                 }
             }
         }
         for op in inst.def_operands(self.machine) {
             if let Operand::Vreg(v) | Operand::VregHalf(v, _) = op {
+                let vi = v.0 as usize;
                 if self.func.vreg(*v).kind == VregKind::Local
-                    && self.uses_left.get(v).copied().unwrap_or(0) > 0
-                    && self.live_local.get(v) != Some(&true)
+                    && self.uses_left[vi] > 0
+                    && !self.live_local[vi]
                 {
                     delta += 1;
                 }
@@ -758,8 +972,13 @@ impl<'a> SchedState<'a> {
     fn pick_candidate(&mut self, remaining: usize) -> Option<usize> {
         let mut best: Option<usize> = None;
         let mut relax_best: Option<usize> = None;
-        for i in 0..self.block.insts.len() {
-            if !self.is_ready(i) || !self.rule1_allows(i) {
+        // The winner is the maximum of a total order (priority, then
+        // lowest index), so walking the unordered ready list picks the
+        // same instruction the full 0..n scan did.
+        for idx in 0..self.ready.len() {
+            let i = self.ready[idx];
+            debug_assert!(self.is_ready(i));
+            if !self.rule1_allows(i) {
                 continue;
             }
             if !self.resources_fit(i, &[]) {
@@ -789,10 +1008,10 @@ impl<'a> SchedState<'a> {
         // (Goodman–Hsu switch from CSP to CSR).
         if best.is_none() && remaining > 0 {
             if let Some(r) = relax_best {
-                let waiting_on_time = (0..self.block.insts.len()).any(|i| {
-                    !self.scheduled[i] && self.pred_left[i] == 0 && self.earliest[i] > self.t
-                });
-                if !waiting_on_time {
+                // The pending heap holds exactly the released-but-not-
+                // arrived instructions, i.e. the old full-scan
+                // "ready-once-time-advances" set.
+                if self.pending.is_empty() {
                     return Some(r);
                 }
             }
@@ -819,22 +1038,38 @@ impl<'a> SchedState<'a> {
             else {
                 continue;
             };
-            for e in &self.dag.edges {
-                if let EdgeKind::TrueTemporal(ek) = e.kind {
-                    if ek == k
-                        && self.scheduled[e.from]
-                        && !self.scheduled[e.to]
-                        && e.to != d
-                        && !dests.contains(&e.to)
-                        && self.inst_cycle[e.from] != self.t
-                    {
-                        return false;
-                    }
+            if self.open_clock_edges[k.0 as usize] == 0 {
+                continue;
+            }
+            for &ei in &self.temporal_by_clock[k.0 as usize] {
+                let e = &self.dag.edges[ei];
+                if self.scheduled[e.from]
+                    && !self.scheduled[e.to]
+                    && e.to != d
+                    && !dests.contains(&e.to)
+                    && self.inst_cycle[e.from] != self.t
+                {
+                    return false;
                 }
             }
         }
         // Combined resources must fit and classes must intersect.
-        let mut extra: Vec<ResSet> = Vec::new();
+        let mut extra = std::mem::take(&mut self.extra);
+        extra.clear();
+        let ok = self.group_resources_fit(dests, &mut extra);
+        self.extra = extra;
+        if !ok {
+            return false;
+        }
+        for &d in dests {
+            self.place(d);
+        }
+        true
+    }
+
+    /// Combined resource + class probe for a temporal group, writing
+    /// the group's composite resource vector into `extra`.
+    fn group_resources_fit(&self, dests: &[usize], extra: &mut Vec<ResSet>) -> bool {
         let mut word = self.word_elems;
         for &d in dests {
             let t = self.machine.template(self.block.insts[d].template);
@@ -860,14 +1095,12 @@ impl<'a> SchedState<'a> {
                 return false;
             }
         }
-        for &d in dests {
-            self.place(d);
-        }
         true
     }
 
     fn place(&mut self, i: usize) {
         debug_assert!(!self.scheduled[i]);
+        self.remove_ready(i);
         // Reborrow through the 'a references so the operand iterators
         // below don't hold `&self` across the map mutations.
         let block = self.block;
@@ -892,38 +1125,75 @@ impl<'a> SchedState<'a> {
             self.cycles.push(Vec::new());
         }
         self.cycles[self.t as usize].push(i);
-        // Release successors.
+        // Release successors. The last releasing edge fixes the
+        // successor's `earliest` for good, so it can be enqueued at
+        // exactly that arrival cycle. Issuing a temporal source opens
+        // its edge (the destination cannot have issued first — it
+        // depends on the source); issuing a destination closes every
+        // temporal edge into it.
         for &ei in &self.dag.succs[i] {
             let e = self.dag.edges[ei];
+            if let EdgeKind::TrueTemporal(k) = e.kind {
+                self.open_clock_edges[k.0 as usize] += 1;
+            }
             self.pred_left[e.to] -= 1;
             self.earliest[e.to] = self.earliest[e.to].max(self.t + e.latency);
+            if self.pred_left[e.to] == 0 {
+                self.release(e.to);
+            }
         }
-        // Pressure bookkeeping.
+        for &ei in &self.dag.preds[i] {
+            if let EdgeKind::TrueTemporal(k) = self.dag.edges[ei].kind {
+                self.open_clock_edges[k.0 as usize] -= 1;
+            }
+        }
+        // Pressure bookkeeping. `live_count` tracks the number of
+        // `true` liveness flags incrementally: uses first (a final use
+        // kills its vreg), then defs (a def of a still-used local
+        // makes it live).
         for op in inst.use_operands(machine) {
             if let Operand::Vreg(v) | Operand::VregHalf(v, _) = *op {
-                if let Some(left) = self.uses_left.get_mut(&v) {
-                    *left = left.saturating_sub(1);
-                    if *left == 0 {
-                        self.live_local.insert(v, false);
+                let vi = v.0 as usize;
+                if self.uses_left[vi] > 0 {
+                    self.uses_left[vi] -= 1;
+                    if self.uses_left[vi] == 0 && self.live_local[vi] {
+                        self.live_local[vi] = false;
+                        self.live_count -= 1;
                     }
                 }
             }
         }
         for op in inst.def_operands(machine) {
             if let Operand::Vreg(v) | Operand::VregHalf(v, _) = *op {
+                let vi = v.0 as usize;
                 if self.func.vreg(v).kind == VregKind::Local
-                    && self.uses_left.get(&v).copied().unwrap_or(0) > 0
+                    && self.uses_left[vi] > 0
+                    && !self.live_local[vi]
                 {
-                    self.live_local.insert(v, true);
+                    self.live_local[vi] = true;
+                    self.live_count += 1;
                 }
             }
         }
-        let live = self.live_local.values().filter(|x| **x).count();
-        self.peak_pressure = self.peak_pressure.max(live);
+        self.peak_pressure = self.peak_pressure.max(self.live_count);
     }
 
     fn advance_cycle(&mut self) {
-        self.t += 1;
+        if self.ready.is_empty() {
+            // Nothing can issue until an in-flight result lands: jump
+            // straight to the next arrival. The skipped cycles are
+            // provably empty, so the schedule is identical — only the
+            // walk is shorter. With nothing pending either this is a
+            // deadlock; stepping once lets the caller's cycle cap
+            // fire with its usual diagnostic.
+            self.t = match self.pending.peek() {
+                Some(&Reverse((at, _))) => at,
+                None => self.t + 1,
+            };
+        } else {
+            self.t += 1;
+        }
+        self.drain_pending();
         self.word_elems = None;
         while self.cycles.len() < self.t as usize {
             self.cycles.push(Vec::new());
@@ -944,10 +1214,10 @@ impl<'a> SchedState<'a> {
                 .template(self.block.insts[i].template)
                 .affects_clock
             {
-                for e in &self.dag.edges {
-                    if let EdgeKind::TrueTemporal(ek) = e.kind {
-                        if ek == k
-                            && self.scheduled[e.from]
+                if self.open_clock_edges[k.0 as usize] > 0 {
+                    for &ei in &self.temporal_by_clock[k.0 as usize] {
+                        let e = &self.dag.edges[ei];
+                        if self.scheduled[e.from]
                             && !self.scheduled[e.to]
                             && e.to != i
                             && self.inst_cycle[e.from] != self.t
@@ -983,7 +1253,7 @@ impl<'a> SchedState<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::code::{CodeFunc, ImmVal, Inst};
+    use crate::code::{CodeFunc, ImmVal, Inst, Vreg};
     use crate::dag::build_dag;
     use marion_maril::RegClassId;
 

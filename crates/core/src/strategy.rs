@@ -319,9 +319,17 @@ fn schedule_all(
     let mut out = Vec::with_capacity(func.blocks.len());
     {
         let _span = tracer.span(ctx, pass);
+        // One scratch arena reused by every block this pass schedules.
+        let mut scratch = crate::sched::Scratch::new();
         for (bi, block) in func.blocks.iter().enumerate() {
-            let (schedule, discipline) =
-                crate::sched::schedule_block_robust_traced(machine, func, block, opts, tracer);
+            let (schedule, discipline) = crate::sched::schedule_block_robust_scratch(
+                machine,
+                func,
+                block,
+                opts,
+                tracer,
+                &mut scratch,
+            );
             if discipline != "rule1" {
                 if std::env::var("MARION_SCHED_DEBUG").is_ok() {
                     eprintln!("fallback: {discipline} ({} insts)", block.insts.len());

@@ -208,6 +208,12 @@ impl ResSet {
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         (0..256u32).filter(move |i| self.contains(*i))
     }
+
+    /// The raw 64-bit words (bit `i` of word `i / 64` = member
+    /// `i`). Exposed for structural hashing.
+    pub fn words(&self) -> &[u64; 4] {
+        &self.words
+    }
 }
 
 /// A register class (one `%reg` array declaration).
@@ -745,6 +751,11 @@ pub struct Machine {
     cwvm: Cwvm,
     stats: crate::stats::DescriptionStats,
     index: SelectionIndex,
+    /// Indices into `aux` whose `first` mnemonic is the template's,
+    /// per producer template id — derived at construction so
+    /// [`Machine::edge_latency`] touches the aux list only for the
+    /// few templates that actually carry `%aux` overrides.
+    aux_by_first: Vec<Vec<u32>>,
 }
 
 impl Machine {
@@ -780,6 +791,16 @@ impl Machine {
         stats: crate::stats::DescriptionStats,
     ) -> Machine {
         let index = SelectionIndex::build(&templates, temporals.len());
+        let aux_by_first: Vec<Vec<u32>> = templates
+            .iter()
+            .map(|t| {
+                aux.iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.first == t.mnemonic)
+                    .map(|(i, _)| i as u32)
+                    .collect()
+            })
+            .collect();
         Machine {
             name,
             reg_classes,
@@ -797,6 +818,7 @@ impl Machine {
             cwvm,
             stats,
             index,
+            aux_by_first,
         }
     }
 
@@ -867,6 +889,11 @@ impl Machine {
         &self.label_defs
     }
 
+    /// Declared memory banks.
+    pub fn memories(&self) -> &[String] {
+        &self.memories
+    }
+
     /// Declared clocks.
     pub fn clocks(&self) -> &[String] {
         &self.clocks
@@ -925,6 +952,7 @@ impl Machine {
     pub fn without_aux(&self) -> Machine {
         let mut m = self.clone();
         m.aux.clear();
+        m.aux_by_first = vec![Vec::new(); m.templates.len()];
         m
     }
 
@@ -939,9 +967,16 @@ impl Machine {
         ops_equal: &dyn Fn(u8, u8) -> bool,
     ) -> u32 {
         let ft = self.template(first);
+        // Only the few templates named in `%aux` directives have
+        // candidate overrides; everything else returns immediately.
+        let cands = &self.aux_by_first[first.0 as usize];
+        if cands.is_empty() {
+            return ft.latency;
+        }
         let st = self.template(second);
-        for aux in &self.aux {
-            if aux.first == ft.mnemonic && aux.second == st.mnemonic {
+        for &ai in cands {
+            let aux = &self.aux[ai as usize];
+            if aux.second == st.mnemonic {
                 match aux.cond {
                     None => return aux.latency,
                     Some((i, j)) if ops_equal(i, j) => return aux.latency,
@@ -991,10 +1026,20 @@ impl Machine {
         start..start + c.unit_width
     }
 
-    /// Whether two physical registers overlap (same storage).
+    /// The register units occupied by `reg`, as a half-open range
+    /// `[start, end)`. Units of one register are always contiguous.
+    pub fn unit_range(&self, reg: PhysReg) -> (u32, u32) {
+        let c = self.reg_class(reg.class);
+        let start = c.unit_base + reg.index * c.unit_stride;
+        (start, start + c.unit_width)
+    }
+
+    /// Whether two physical registers overlap (same storage). Unit
+    /// ranges are contiguous, so this is interval intersection.
     pub fn regs_overlap(&self, a: PhysReg, b: PhysReg) -> bool {
-        let ua: Vec<u32> = self.units_of(a).collect();
-        self.units_of(b).any(|u| ua.contains(&u))
+        let (sa, ea) = self.unit_range(a);
+        let (sb, eb) = self.unit_range(b);
+        sa < eb && sb < ea
     }
 
     /// Allocable registers of one class, in CWVM order.

@@ -190,6 +190,179 @@ fn randomized_inputs_never_collide() {
     }
 }
 
+/// The key an earlier fcache computed: `Debug`-render the machine and
+/// the function into strings and hash those. Re-implemented here so
+/// the structural `StableHash` scheme can be crosschecked against it:
+/// wherever the render-based key distinguished two inputs, the
+/// structural key must too.
+fn debug_render_key(
+    machine_render: &str,
+    strategy: StrategyKind,
+    fill_delay_slots: bool,
+    module: &marion::ir::Module,
+    func: &marion::ir::Function,
+) -> CacheKey {
+    let mut h = StableHasher::new();
+    h.write_i64(marion::backend::fcache::FORMAT_VERSION);
+    h.write_str(machine_render);
+    h.write_str(strategy.name());
+    h.write_u64(fill_delay_slots as u64);
+    h.write_u64(0); // trace: None
+    h.write_str(&format!("{func:?}"));
+    h.write_u64(module.symbol_count() as u64);
+    for i in 0..module.symbol_count() {
+        h.write_str(module.symbol_name(marion::ir::SymbolId(i as u32)));
+    }
+    h.finish()
+}
+
+#[test]
+fn structural_keys_are_injective_wherever_render_keys_were() {
+    use marion::backend::fcache::{base_fingerprint, func_key};
+
+    // A pool of functions: 18 linked modules over disjoint seed
+    // ranges with varying unit counts. Driver `main`s repeat across
+    // modules with equal unit counts (same calls, same symbol table) —
+    // those are genuinely identical cache inputs, so dedupe by input
+    // identity and demand equal keys for them instead.
+    let modules: Vec<marion::ir::Module> = (0..18u64)
+        .map(|s| marion::workloads::multi::combined_generated(6 + s % 5, 1000 + 100 * s))
+        .collect();
+    let symtabs: Vec<Vec<&str>> = modules
+        .iter()
+        .map(|m| {
+            (0..m.symbol_count())
+                .map(|i| m.symbol_name(marion::ir::SymbolId(i as u32)))
+                .collect()
+        })
+        .collect();
+
+    let mut old_keys: HashSet<CacheKey> = HashSet::new();
+    let mut new_keys: HashSet<CacheKey> = HashSet::new();
+    let mut seen: BTreeMap<String, (CacheKey, CacheKey)> = BTreeMap::new();
+    for machine in MACHINES {
+        let spec = marion::machines::load(machine);
+        let machine_render = format!("{:?}", spec.machine);
+        for strategy in STRATEGIES {
+            for fill in [false, true] {
+                let options = CompileOptions {
+                    fill_delay_slots: fill,
+                    ..CompileOptions::default()
+                };
+                let new_base = base_fingerprint(&spec.machine, strategy, &options);
+                for (module, symtab) in modules.iter().zip(&symtabs) {
+                    for func in &module.funcs {
+                        let old = debug_render_key(&machine_render, strategy, fill, module, func);
+                        let new = func_key(&new_base, module, func);
+                        // Everything either key scheme covers, rendered
+                        // as the input's identity.
+                        let input = format!("{machine}/{strategy:?}/{fill}/{symtab:?}/{func:?}");
+                        match seen.get(&input) {
+                            Some(&(prev_old, prev_new)) => {
+                                assert_eq!(prev_old, old, "render key not deterministic");
+                                assert_eq!(prev_new, new, "structural key not deterministic");
+                            }
+                            None => {
+                                assert!(
+                                    old_keys.insert(old),
+                                    "{machine}/{strategy:?}/fill={fill}: render-key collision \
+                                     for {}",
+                                    func.name
+                                );
+                                assert!(
+                                    new_keys.insert(new),
+                                    "{machine}/{strategy:?}/fill={fill}: structural-key \
+                                     collision for {}",
+                                    func.name
+                                );
+                                seen.insert(input, (old, new));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        seen.len() >= 4000,
+        "need at least 4000 distinct machine x function variants, swept {}",
+        seen.len()
+    );
+    assert_eq!(old_keys.len(), new_keys.len());
+}
+
+#[test]
+fn shifting_a_field_boundary_flips_the_structural_key() {
+    use marion::backend::stablehash::StableHash;
+    use marion::ir::{Block, Function, Local, Terminator};
+
+    // Two functions whose locals concatenate to the same byte string:
+    // ("ab", "c") vs ("a", "bc"). A length-prefix-free encoding would
+    // collide; the structural key must not.
+    let func_with_locals = |names: [&str; 2]| Function {
+        name: "f".to_string(),
+        params: Vec::new(),
+        ret_ty: None,
+        vreg_tys: Vec::new(),
+        locals: names
+            .iter()
+            .map(|n| Local {
+                name: n.to_string(),
+                size: 4,
+            })
+            .collect(),
+        blocks: vec![Block {
+            stmts: Vec::new(),
+            term: Terminator::Ret(None),
+        }],
+        nodes: Vec::new(),
+    };
+    let key = |f: &Function| {
+        let mut h = StableHasher::new();
+        f.stable_hash(&mut h);
+        h.finish()
+    };
+    assert_ne!(
+        key(&func_with_locals(["ab", "c"])),
+        key(&func_with_locals(["a", "bc"])),
+        "local-name boundary shift must flip the function key"
+    );
+
+    // Same at the machine level: resources ("AB", "C") vs ("A", "BC").
+    let machine_with_resources = |decl: &str| {
+        let src = format!(
+            r#"
+            declare {{
+                %reg r[0:3] (int);
+                %resource {decl} IE;
+                %def c16 [-32768:32767];
+            }}
+            cwvm {{
+                %general (int) r;
+                %allocable r[1:2];
+                %sp r[3] +down;
+                %fp r[0] +down;
+                %retaddr r[1];
+            }}
+            instr {{
+                %instr add r, r, r (int) {{$1 = $2 + $3;}} [IE;] (1,1,0)
+            }}
+        "#
+        );
+        marion::maril::Machine::parse("bshift", &src).expect("parses")
+    };
+    let mkey = |m: &marion::maril::Machine| {
+        let mut h = StableHasher::new();
+        m.stable_hash(&mut h);
+        h.finish()
+    };
+    assert_ne!(
+        mkey(&machine_with_resources("AB; C;")),
+        mkey(&machine_with_resources("A; BC;")),
+        "resource-name boundary shift must flip the machine key"
+    );
+}
+
 #[test]
 fn corrupted_disk_entry_is_recompiled_not_served() {
     let dir = std::env::temp_dir().join(format!("marion-cache-corrupt-{}", std::process::id()));

@@ -115,6 +115,36 @@ fn compiling_the_same_module_twice_is_deterministic() {
 }
 
 #[test]
+fn fifty_repeated_compiles_per_strategy_are_byte_identical() {
+    // Regression guard for hash-iteration-order nondeterminism in the
+    // scheduler: same-clock serialisation once walked a `HashMap` of
+    // clock buckets in iteration order, so the chain chosen for the
+    // i860's explicitly clocked pipelines (and hence the successor
+    // lists, priorities and final schedule) could differ from run to
+    // run. Fifty identical compiles per strategy on the clocked
+    // machine must render the same bytes, serial or parallel.
+    let module = marion::workloads::multi::combined_generated(2, 9);
+    let machine = "i860";
+    for strategy in STRATEGIES {
+        let baseline = compile(machine, strategy, &module, 1, true, false);
+        let expected = render(machine, &baseline);
+        for run in 1..50usize {
+            let jobs = if run % 2 == 0 { 1 } else { 4 };
+            let again = compile(machine, strategy, &module, jobs, true, false);
+            assert_eq!(
+                expected,
+                render(machine, &again),
+                "{machine}/{strategy:?}: run {run} (jobs={jobs}) diverged"
+            );
+            assert_eq!(
+                baseline.stats, again.stats,
+                "{machine}/{strategy:?}: run {run} (jobs={jobs}) stats diverged"
+            );
+        }
+    }
+}
+
+#[test]
 fn indexed_selection_matches_brute_force() {
     let module = marion::workloads::multi::combined_livermore();
     for machine in MACHINES {
