@@ -27,6 +27,11 @@ cargo run --release --offline -q -p marion-bench --bin marion-bench -- crosschec
 echo "==> compile bench smoke (single iteration, writes BENCH_compile_smoke.json)"
 cargo run --release --offline -q -p marion-bench --bin marion-bench -- compile --smoke --out BENCH_compile_smoke.json
 
+echo "==> retargeting fuzz smoke (marion-fuzz --smoke: generated machines through the full differential audit)"
+cargo run --release --offline -q -p marion-bench --bin marion-fuzz -- --smoke --out BENCH_retarget_smoke.json
+grep -q '"bench": "retarget"' BENCH_retarget_smoke.json
+grep -q '"failing_machines": 0' BENCH_retarget_smoke.json
+
 echo "==> marion-serve round-trip (cache warm-up, metrics, dashboard, access log, SLOs)"
 rm -f access.log access.log.1
 serve_out="$(printf '%s\n' \
@@ -108,7 +113,8 @@ rm -f dashboard_response.jsonl
 echo "==> HTML report from demo trace (flamegraph + DAG SVG + subphase diff, must be fully self-contained)"
 cargo run --release --offline -q -p marion-bench --bin marion-report -- \
   --demo --html --serve metrics_snapshot.json \
-  --bench-diff BENCH_compile.json BENCH_compile_smoke.json --out report.html
+  --bench-diff BENCH_compile.json BENCH_compile_smoke.json \
+  --retarget BENCH_retarget_smoke.json --out report.html
 test -s report.html
 # Self-containment contract: no network references, no external assets.
 ! grep -Eq 'http://|https://' report.html
@@ -122,6 +128,9 @@ grep -q 'Dependence DAG' report.html
 # The before/after subphase self-time table is embedded.
 grep -q 'subphase self-time' report.html
 grep -q 'ready_scan' report.html
+# The retargeting fuzz audit section is embedded.
+grep -q 'Retargeting fuzz audit' report.html
+grep -q 'blocks audited' report.html
 
 echo "==> perf-regression gate self-test (identical -> 0, 2x strategy time -> 1)"
 ./target/release/marion-bench diff BENCH_compile.json BENCH_compile.json --tolerance 5 > /dev/null

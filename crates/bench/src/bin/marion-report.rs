@@ -58,7 +58,7 @@ use std::collections::{BTreeMap, BTreeSet};
 fn usage() -> ! {
     eprintln!("usage: marion-report TRACE.jsonl [MORE.jsonl ...]");
     eprintln!("       marion-report --demo [--jsonl OUT.jsonl]");
-    eprintln!("       marion-report --html [--out REPORT.html] [--serve METRICS.json] [--bench-diff OLD.json NEW.json] [--demo | TRACE.jsonl ...]");
+    eprintln!("       marion-report --html [--out REPORT.html] [--serve METRICS.json] [--bench-diff OLD.json NEW.json] [--retarget RETARGET.json] [--demo | TRACE.jsonl ...]");
     eprintln!("       marion-report --check-slo METRICS.jsonl       exit 1 if any SLO is violated");
     eprintln!("       marion-report --dashboard RESP.jsonl [--out DASH.html]");
     std::process::exit(2);
@@ -168,6 +168,7 @@ fn main() {
     let mut check_slo_path: Option<String> = None;
     let mut dashboard_path: Option<String> = None;
     let mut bench_diff: Option<(String, String)> = None;
+    let mut retarget_path: Option<String> = None;
     let mut traces: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -190,6 +191,7 @@ fn main() {
                 let new = value("--bench-diff");
                 bench_diff = Some((old, new));
             }
+            "--retarget" => retarget_path = Some(value("--retarget")),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("marion-report: unknown flag `{other}`");
@@ -204,7 +206,7 @@ fn main() {
     if let Some(path) = dashboard_path {
         extract_dashboard(&path, html_out.as_deref());
     }
-    if !demo_mode && traces.is_empty() && bench_diff.is_none() {
+    if !demo_mode && traces.is_empty() && bench_diff.is_none() && retarget_path.is_none() {
         usage();
     }
     let data = if !demo_mode && traces.is_empty() {
@@ -281,6 +283,16 @@ fn main() {
             "Strategy subphase self-time \u{2014} before vs after".to_string(),
             table,
         ));
+    }
+    // `--retarget BENCH_retarget.json`: the marion-fuzz audit-coverage
+    // summary (generated machines, differential-audit verdicts).
+    if let Some(path) = &retarget_path {
+        let section =
+            marion_bench::html::retarget_section(&read_or_die(path)).unwrap_or_else(|e| {
+                eprintln!("marion-report: --retarget: {e}");
+                std::process::exit(2);
+            });
+        extra_svg.push(("Retargeting fuzz audit".to_string(), section));
     }
     let page = render_html_with(&data, serve_fields.as_deref(), &extra_svg);
     match html_out {

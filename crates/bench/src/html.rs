@@ -544,6 +544,92 @@ pub fn subphase_diff_table(old_text: &str, new_text: &str) -> Result<String, Str
     Ok(out)
 }
 
+/// Renders the retargeting-fuzz section from a `BENCH_retarget.json`
+/// file (written by `marion-fuzz`): the audit-coverage headline
+/// numbers and, when the run found anything, the failing machines.
+///
+/// # Errors
+///
+/// Returns a description of the problem when the text is not a
+/// retarget bench document.
+pub fn retarget_section(text: &str) -> Result<String, String> {
+    use crate::diff::{parse, Json};
+    let doc = parse(text)?;
+    let Json::Obj(top) = &doc else {
+        return Err("bench document is not an object".into());
+    };
+    let field = |key: &str| top.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    match field("bench") {
+        Some(Json::Str(s)) if s == "retarget" => {}
+        _ => return Err("not a retarget bench document (bench != \"retarget\")".into()),
+    }
+    let num = |key: &str| -> Option<f64> {
+        match field(key) {
+            Some(Json::Num(n)) => Some(*n),
+            _ => None,
+        }
+    };
+    let mut out = String::new();
+    table_open(&mut out, &["metric", "value"]);
+    let rows: &[(&str, &str, usize)] = &[
+        ("machines generated", "count", 0),
+        ("distinct machine texts", "distinct_machines", 0),
+        ("workloads per machine", "workloads", 0),
+        ("strategies per workload", "strategies", 0),
+        ("compilations", "compilations", 0),
+        ("blocks audited", "blocks_audited", 0),
+        ("failing machines", "failing_machines", 0),
+        ("elapsed (s)", "elapsed_sec", 1),
+        ("machines / sec", "machines_per_sec", 3),
+    ];
+    for (label, key, decimals) in rows {
+        if let Some(v) = num(key) {
+            table_row(
+                &mut out,
+                &[(*label).to_string(), format!("{v:.*}", decimals)],
+            );
+        }
+    }
+    table_close(&mut out);
+    // Failing runs, when any: seed and knob summary point straight at
+    // the corpus entry the fuzzer wrote.
+    let mut failures = String::new();
+    if let Some(Json::Arr(runs)) = field("runs") {
+        for run in runs {
+            let Json::Obj(fields) = run else { continue };
+            let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            if !matches!(get("status"), Some(Json::Str(s)) if s == "fail") {
+                continue;
+            }
+            let seed = match get("seed") {
+                Some(Json::Num(n)) => format!("{n:.0}"),
+                _ => "?".into(),
+            };
+            let summary = match get("summary") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => String::new(),
+            };
+            table_row(&mut failures, &[seed, summary]);
+        }
+    }
+    if failures.is_empty() {
+        out.push_str(
+            "<p class=\"muted\">every generated machine passed the full \
+             differential audit (interp vs sim, per-block legality and \
+             provenance, byte-identical recompile).</p>\n",
+        );
+    } else {
+        table_open(&mut out, &["failing seed", "machine"]);
+        out.push_str(&failures);
+        table_close(&mut out);
+        out.push_str(
+            "<p class=\"muted\">each failing seed has a minimised reproducer \
+             under <code>corpus/</code>.</p>\n",
+        );
+    }
+    Ok(out)
+}
+
 /// Depth-first collection of `(path, self_us, total_us, count)` rows
 /// from the flame tree, for the top-frames table.
 fn collect_self_rows(

@@ -37,14 +37,11 @@ impl fmt::Display for CacheKey {
     }
 }
 
-/// SplitMix64's finalizer: a full-avalanche 64-bit permutation.
-#[inline]
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// SplitMix64's finalizer: a full-avalanche 64-bit permutation. The
+/// single implementation lives in `marion-rng`; on-disk cache keys are
+/// a defined function of exactly this permutation, so sharing one copy
+/// (rather than a drifting duplicate) is a correctness property.
+use marion_rng::mix64;
 
 /// The incremental hasher producing a [`CacheKey`].
 ///

@@ -310,6 +310,7 @@ pub fn build_dag_with(
     let mut loads_since_store: Vec<usize> = Vec::new();
     let mut last_store: Option<usize> = None;
     let mut last_control: Option<usize> = None;
+    let mut last_call: Option<usize> = None;
 
     let ops_equal = |a: &Inst, b: &Inst, i: u8, j: u8| -> bool {
         match (a.ops.get((i - 1) as usize), b.ops.get((j - 1) as usize)) {
@@ -386,6 +387,27 @@ pub fn build_dag_with(
             }
             loads_since_store.clear();
             last_store = Some(i);
+        }
+
+        // A call is a full barrier for everything threaded after it:
+        // the callee clobbers caller-save registers, memory, and any
+        // temporal pipeline state (its own chain sub-ops advance the
+        // clocks and overwrite the latches), and — subtler — any
+        // later instruction scheduled within `slots` cycles of the
+        // call lands in its architectural delay-slot window and
+        // executes *before* the transfer. Data edges only cover
+        // instructions that touch the call's declared operands, so an
+        // independent instruction (say, loading an address into a
+        // caller-save register) could otherwise drift into the
+        // window. The explicit edge keeps every successor out; the
+        // stretch loop below widens it past the delay slots. (The
+        // control edges added below keep *pre*-call instructions from
+        // sinking past one.)
+        if let Some(c) = last_call {
+            dag.add_edge(c, i, 1, EdgeKind::Order);
+        }
+        if t.effects.is_call {
+            last_call = Some(i);
         }
 
         if t.effects.is_control() {
@@ -582,8 +604,19 @@ fn protect_temporal_sequences(machine: &Machine, block: &CodeBlock, dag: &mut Co
             }
         }
     }
+    // Materialise the protection edges one at a time, dropping any
+    // that would close a cycle. The `head_desc` guard above only
+    // checked each edge against the *original* DAG; two overlapped
+    // sequences on the same clock can each nominate the other's head
+    // (13 → 19 and 19 → 13, say), and while neither edge alone cycles,
+    // the pair does — and a cyclic DAG is unsatisfiable by any
+    // schedule. The paper's "unless it would create a cycle" applies
+    // to the DAG as the edges accumulate, so re-check reachability
+    // against the growing graph, keeping whichever edge came first.
     for (from, to) in new_edges {
-        dag.add_edge(from, to, 1, EdgeKind::Order);
+        if !dag.reaches(to, from) {
+            dag.add_edge(from, to, 1, EdgeKind::Order);
+        }
     }
 }
 

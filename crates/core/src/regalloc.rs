@@ -677,7 +677,19 @@ fn rewrite(
 /// Recognises a spill run that is a pure register copy between `v`
 /// and exactly one physical register of `v`'s class. Returns that
 /// register and whether `v` is the source.
-fn pure_copy_run(machine: &Machine, run: &[Inst], v: Vreg) -> Option<(PhysReg, bool)> {
+///
+/// The composed register must belong to `class` (the spilled vreg's
+/// own class): a lone half-move — an escape pair split apart by
+/// pre-allocation scheduling — composes a single-unit register of the
+/// *overlay* class, and transferring through it with the full-width
+/// spill template would store the wrong class at the wrong width.
+/// Such runs take the general read-modify-write path instead.
+fn pure_copy_run(
+    machine: &Machine,
+    run: &[Inst],
+    v: Vreg,
+    class: marion_maril::RegClassId,
+) -> Option<(PhysReg, bool)> {
     let mut phys_units: Vec<u32> = Vec::new();
     let mut v_source: Option<bool> = None;
     for inst in run {
@@ -710,14 +722,13 @@ fn pure_copy_run(machine: &Machine, run: &[Inst], v: Vreg) -> Option<(PhysReg, b
     // class for it.
     phys_units.sort_unstable();
     phys_units.dedup();
-    for (ci, c) in machine.reg_classes().iter().enumerate() {
-        for r in 0..c.count {
-            let reg = PhysReg::new(marion_maril::RegClassId(ci as u32), r);
-            let mut units: Vec<u32> = machine.units_of(reg).collect();
-            units.sort_unstable();
-            if units == phys_units {
-                return Some((reg, v_source));
-            }
+    let c = &machine.reg_classes()[class.0 as usize];
+    for r in 0..c.count {
+        let reg = PhysReg::new(class, r);
+        let mut units: Vec<u32> = machine.units_of(reg).collect();
+        units.sort_unstable();
+        if units == phys_units {
+            return Some((reg, v_source));
         }
     }
     None
@@ -808,7 +819,7 @@ fn spill_vreg(machine: &Machine, func: &mut CodeFunc, v: Vreg) -> Result<(), Cod
             // transfer directly between the spill slot and that
             // register. This is what keeps call boundaries colourable
             // on machines whose register pairs cover the whole file.
-            if let Some((phys, v_is_source)) = pure_copy_run(machine, &run, v) {
+            if let Some((phys, v_is_source)) = pure_copy_run(machine, &run, v, class) {
                 if v_is_source {
                     // phys := v  ==>  load phys from the slot.
                     new_insts.push(Inst::new(

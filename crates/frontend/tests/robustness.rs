@@ -2,27 +2,23 @@
 //! line numbers, never panics; fuzzed inputs never crash the
 //! lexer/parser/lowerer.
 //!
-//! Fuzzing is driven by a local SplitMix64 stream (deterministic, no
-//! external dependency); each case can be reproduced from its index.
+//! Fuzzing is driven by the workspace's shared SplitMix64 stream
+//! (`marion-rng`, deterministic); each case can be reproduced from
+//! its index.
 
 use marion_frontend::compile;
+use marion_rng::SplitMix64;
 
-/// Minimal deterministic PRNG for the fuzz loops (SplitMix64; the
-//  shared implementation lives in `marion_workloads::rng`, which this
-//  crate cannot depend on without a cycle).
-struct Rng(u64);
+/// A small character-soup helper over the shared stream.
+struct Rng(SplitMix64);
 
 impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+    fn new(seed: u64) -> Rng {
+        Rng(SplitMix64::new(seed))
     }
 
     fn below(&mut self, n: usize) -> usize {
-        ((u128::from(self.next()) * n as u128) >> 64) as usize
+        self.0.index(n)
     }
 
     fn string(&mut self, charset: &[u8], max_len: usize) -> String {
@@ -66,7 +62,7 @@ fn truncations_never_panic() {
 #[test]
 fn mutations_never_panic() {
     let charset = printable();
-    let mut rng = Rng(0xF00D);
+    let mut rng = Rng::new(0xF00D);
     for _ in 0..256 {
         let mut pos = rng.below(BASE.len());
         while !BASE.is_char_boundary(pos) {
@@ -85,7 +81,7 @@ fn mutations_never_panic() {
 fn source_soup_never_panics() {
     let charset: Vec<u8> =
         b"abcdefghijklmnopqrstuvwxyz0123456789{}()[];,+*/%<>=!&|^~. \n-".to_vec();
-    let mut rng = Rng(0x50FA);
+    let mut rng = Rng::new(0x50FA);
     for _ in 0..256 {
         let src = rng.string(&charset, 300);
         let _ = compile(&src);

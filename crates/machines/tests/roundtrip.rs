@@ -1,0 +1,119 @@
+//! Pretty-print → reparse → re-pretty-print round trips over every
+//! bundled machine description.
+//!
+//! This is the load-bearing invariant behind generative retargeting
+//! (`marion-mdgen`): a machine emitted as Maril text via
+//! `maril::pretty::print_description` must go through the real front
+//! door (`lexer → parser → sema → Machine::from_parts`) and mean the
+//! same machine. The five hand-written descriptions exercise every
+//! directive the language has — temporal registers, packing classes,
+//! `%aux` conditions, escapes, labelled moves, glue rules — so a
+//! printer/parser divergence on any construct surfaces here first.
+
+use marion_maril::lexer::lex;
+use marion_maril::parser::parse;
+use marion_maril::pretty::print_description;
+use marion_maril::Machine;
+
+fn all_machines() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("toyp", marion_machines::toyp::text()),
+        ("r2000", marion_machines::r2000::text()),
+        ("m88k", marion_machines::m88k::text()),
+        ("i860", marion_machines::i860::text()),
+        ("rs6000", marion_machines::rs6000::text()),
+    ]
+}
+
+/// `print(parse(print(parse(s))))` must equal `print(parse(s))`: the
+/// printed form is a fixpoint of the printer∘parser composition.
+#[test]
+fn printed_form_is_a_parse_fixpoint_on_every_machine() {
+    for (name, src) in all_machines() {
+        let first = parse(&lex(src).unwrap_or_else(|e| panic!("{name}: lex: {e}")))
+            .unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+        let printed = print_description(&first);
+        let second = parse(&lex(&printed).unwrap_or_else(|e| panic!("{name}: relex: {e}")))
+            .unwrap_or_else(|e| {
+                panic!("{name}: reparse of printed form failed: {e}\n--- printed ---\n{printed}")
+            });
+        let reprinted = print_description(&second);
+        assert_eq!(
+            printed, reprinted,
+            "{name}: printed form is not a fixpoint (printer/parser divergence)"
+        );
+    }
+}
+
+/// The printed text must also survive the whole front door and
+/// compile to the same machine tables the original text produced.
+#[test]
+fn printed_form_compiles_to_the_same_machine() {
+    for (name, src) in all_machines() {
+        let original = Machine::parse(name, src)
+            .unwrap_or_else(|e| panic!("{}", e.render(&format!("{name}.maril"), src)));
+        let desc = parse(&lex(src).unwrap()).unwrap();
+        let printed = print_description(&desc);
+        let reparsed = Machine::parse(name, &printed).unwrap_or_else(|e| {
+            panic!(
+                "{name}: printed description rejected by the front door:\n{}\n--- printed ---\n{printed}",
+                e.render(&format!("{name}.printed.maril"), &printed)
+            )
+        });
+        // Structural equality of the compiled tables. Line statistics
+        // legitimately differ (the printer normalises whitespace), so
+        // compare everything else via the public accessors.
+        assert_eq!(
+            original.templates().len(),
+            reparsed.templates().len(),
+            "{name}: template count changed through the round trip"
+        );
+        for (a, b) in original.templates().iter().zip(reparsed.templates()) {
+            assert_eq!(a.mnemonic, b.mnemonic, "{name}: mnemonic order changed");
+            assert_eq!(a.label, b.label, "{name}: {}: label", a.mnemonic);
+            assert_eq!(a.escape, b.escape, "{name}: {}: escape", a.mnemonic);
+            assert_eq!(a.operands, b.operands, "{name}: {}: operands", a.mnemonic);
+            assert_eq!(a.ty, b.ty, "{name}: {}: type", a.mnemonic);
+            assert_eq!(
+                a.affects_clock, b.affects_clock,
+                "{name}: {}: clock",
+                a.mnemonic
+            );
+            assert_eq!(a.class, b.class, "{name}: {}: packing class", a.mnemonic);
+            assert_eq!(a.sem, b.sem, "{name}: {}: semantics", a.mnemonic);
+            assert_eq!(a.rsrc, b.rsrc, "{name}: {}: resource vector", a.mnemonic);
+            assert_eq!(
+                (a.cost, a.latency, a.slots),
+                (b.cost, b.latency, b.slots),
+                "{name}: {}: (cost, latency, slots)",
+                a.mnemonic
+            );
+            assert_eq!(a.is_move, b.is_move, "{name}: {}: %move", a.mnemonic);
+        }
+        assert_eq!(
+            original.resources(),
+            reparsed.resources(),
+            "{name}: resources"
+        );
+        assert_eq!(original.imm_defs(), reparsed.imm_defs(), "{name}: %defs");
+        assert_eq!(
+            original.label_defs(),
+            reparsed.label_defs(),
+            "{name}: %labels"
+        );
+        assert_eq!(
+            original.aux_latencies(),
+            reparsed.aux_latencies(),
+            "{name}: %aux table"
+        );
+        assert_eq!(original.cwvm(), reparsed.cwvm(), "{name}: cwvm model");
+        for c in 0..original.reg_classes().len() {
+            let id = marion_maril::RegClassId(c as u32);
+            assert_eq!(
+                original.reg_class(id),
+                reparsed.reg_class(id),
+                "{name}: register class {c}"
+            );
+        }
+    }
+}

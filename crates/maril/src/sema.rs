@@ -507,7 +507,10 @@ impl<'a> Analyzer<'a> {
         let (lo, hi) = range.range.unwrap_or((0, count - 1));
         if hi >= count {
             return Err(MarilError::sema(
-                format!("register range {}..{} out of bounds", lo, hi),
+                format!(
+                    "register range {}..{} out of bounds for class `{}` ({} registers)",
+                    lo, hi, range.class, count
+                ),
                 range.span,
             ));
         }
@@ -535,7 +538,10 @@ impl<'a> Analyzer<'a> {
                     span,
                 } => {
                     if *latency < 0 {
-                        return Err(MarilError::sema("negative aux latency", *span));
+                        return Err(MarilError::sema(
+                            format!("negative %aux latency for pair `{first}`:`{second}`"),
+                            *span,
+                        ));
                     }
                     self.aux.push(AuxLatency {
                         first: first.clone(),
@@ -608,7 +614,10 @@ impl<'a> Analyzer<'a> {
                 OperandAst::RegClass(name) => {
                     let id = self.class_id(name).ok_or_else(|| {
                         MarilError::sema(
-                            format!("unknown register class `{name}` in operand list"),
+                            format!(
+                                "unknown register class `{name}` in operand list of `{}`",
+                                def.mnemonic
+                            ),
                             def.span,
                         )
                     })?;
@@ -622,7 +631,10 @@ impl<'a> Analyzer<'a> {
                         OperandSpec::Lab(crate::machine::LabelDefId(i as u32))
                     } else {
                         return Err(MarilError::sema(
-                            format!("unknown %def/%label `{name}`"),
+                            format!(
+                                "unknown %def/%label `{name}` on instruction `{}`",
+                                def.mnemonic
+                            ),
                             def.span,
                         ));
                     }
@@ -634,10 +646,12 @@ impl<'a> Analyzer<'a> {
         for cycle in &def.resources {
             let mut set = ResSet::EMPTY;
             for r in cycle {
-                let id =
-                    self.resources.iter().position(|x| x == r).ok_or_else(|| {
-                        MarilError::sema(format!("unknown resource `{r}`"), def.span)
-                    })?;
+                let id = self.resources.iter().position(|x| x == r).ok_or_else(|| {
+                    MarilError::sema(
+                        format!("unknown resource `{r}` on instruction `{}`", def.mnemonic),
+                        def.span,
+                    )
+                })?;
                 set.insert(id as u32);
             }
             rsrc.push(set);
@@ -652,12 +666,23 @@ impl<'a> Analyzer<'a> {
                     .iter()
                     .position(|x| x.name == *c)
                     .map(|i| ClassId(i as u32))
-                    .ok_or_else(|| MarilError::sema(format!("unknown class `{c}`"), def.span))?,
+                    .ok_or_else(|| {
+                        MarilError::sema(
+                            format!("unknown class `{c}` on instruction `{}`", def.mnemonic),
+                            def.span,
+                        )
+                    })?,
             ),
             None => None,
         };
         if def.cost < 0 || def.latency < 0 {
-            return Err(MarilError::sema("negative cost or latency", def.span));
+            return Err(MarilError::sema(
+                format!(
+                    "negative cost or latency ({}, {}) on instruction `{}`",
+                    def.cost, def.latency, def.mnemonic
+                ),
+                def.span,
+            ));
         }
         let effects = self.effects_of(def, &operands)?;
         Ok(Template {
@@ -692,7 +717,10 @@ impl<'a> Analyzer<'a> {
         let check_ref = |k: u8| -> Result<(), MarilError> {
             if k == 0 || k > n {
                 Err(MarilError::sema(
-                    format!("operand reference ${k} out of range (instruction has {n} operands)"),
+                    format!(
+                        "operand reference ${k} out of range in `{}` (instruction has {n} operands)",
+                        def.mnemonic
+                    ),
                     def.span,
                 ))
             } else {

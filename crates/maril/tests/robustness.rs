@@ -2,25 +2,23 @@
 //! never panics — mutated descriptions, truncations and random token
 //! soup all produce `Err`, and spans stay within the source.
 //!
-//! Fuzzing is driven by a local SplitMix64 stream (deterministic, no
-//! external dependency); each case can be reproduced from its index.
+//! Fuzzing is driven by the workspace's shared SplitMix64 stream
+//! (`marion-rng`, deterministic); each case can be reproduced from
+//! its index.
 
 use marion_maril::Machine;
+use marion_rng::SplitMix64;
 
-/// Minimal deterministic PRNG for the fuzz loops (SplitMix64).
-struct Rng(u64);
+/// A small character-soup helper over the shared stream.
+struct Rng(SplitMix64);
 
 impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+    fn new(seed: u64) -> Rng {
+        Rng(SplitMix64::new(seed))
     }
 
     fn below(&mut self, n: usize) -> usize {
-        ((u128::from(self.next()) * n as u128) >> 64) as usize
+        self.0.index(n)
     }
 
     fn string(&mut self, charset: &[u8], max_len: usize) -> String {
@@ -68,7 +66,7 @@ fn truncations_never_panic() {
 #[test]
 fn mutations_never_panic() {
     let charset: Vec<u8> = (b' '..=b'~').collect();
-    let mut rng = Rng(0xBEEF);
+    let mut rng = Rng::new(0xBEEF);
     for _ in 0..256 {
         let mut pos = rng.below(BASE.len());
         while !BASE.is_char_boundary(pos) {
@@ -95,7 +93,7 @@ fn mutations_never_panic() {
 fn token_soup_never_panics() {
     let charset: Vec<u8> =
         b"%abcdefghijklmnopqrstuvwxyz0123456789[]{}();:,#$*+<>=!&|^~. -".to_vec();
-    let mut rng = Rng(0x5011);
+    let mut rng = Rng::new(0x5011);
     for _ in 0..256 {
         let src = rng.string(&charset, 200);
         let _ = Machine::parse("t", &src);

@@ -1,0 +1,113 @@
+//! Sema rejections must name the offending construct.
+//!
+//! The machine-description generator (`marion-mdgen`) leans on these
+//! diagnostics: when a generated variant is rejected, the message is
+//! the only evidence of which knob produced an invalid machine. Each
+//! test here covers one of the rejection paths a generator most
+//! commonly trips — bad register ranges, unknown resources, dangling
+//! operand references — and pins the construct name into the message.
+
+use marion_maril::Machine;
+
+/// A valid skeleton; each test perturbs exactly one construct.
+fn skeleton(instrs: &str, cwvm_extra: &str) -> String {
+    format!(
+        r#"
+declare {{
+    %reg r[0:7] (int);
+    %resource IF; ID;
+    %def c16 [-32768:32767];
+    %label l [-128:127] +relative;
+    %memory m[0:65535];
+}}
+cwvm {{
+    %general (int) r;
+    %allocable r[1:5];
+    %sp r[7] +down;
+    %fp r[6];
+    %retaddr r[1];
+    {cwvm_extra}
+}}
+instr {{
+    %instr add r, r, r (int) {{$1 = $2 + $3;}} [IF; ID;] (1,1,0)
+    {instrs}
+}}
+"#
+    )
+}
+
+fn reject(src: &str) -> String {
+    match Machine::parse("t", src) {
+        Ok(_) => panic!("expected a sema rejection, but the description was accepted"),
+        Err(e) => e.to_string(),
+    }
+}
+
+/// An `%allocable` (or any) register range past the class size must
+/// name the class and its true size, not just the numbers.
+#[test]
+fn out_of_bounds_range_names_the_class() {
+    let src = skeleton("", "%calleesave r[6:12];");
+    let msg = reject(&src);
+    assert!(
+        msg.contains("register range 6..12 out of bounds")
+            && msg.contains("`r`")
+            && msg.contains("8 registers"),
+        "message must name the class and its size: {msg}"
+    );
+}
+
+/// An instruction claiming a resource that was never declared must
+/// name both the resource and the instruction.
+#[test]
+fn unknown_resource_names_the_instruction() {
+    let src = skeleton(
+        "%instr mul r, r, r (int) {$1 = $2 * $3;} [MUL;] (1,3,0)",
+        "",
+    );
+    let msg = reject(&src);
+    assert!(
+        msg.contains("unknown resource `MUL`") && msg.contains("`mul`"),
+        "message must name the resource and the instruction: {msg}"
+    );
+}
+
+/// A semantic statement referencing `$3` on a two-operand instruction
+/// must name the instruction and its real operand count.
+#[test]
+fn operand_reference_out_of_range_names_the_instruction() {
+    let src = skeleton("%instr neg r, r (int) {$1 = $2 - $3;} [IF;] (1,1,0)", "");
+    let msg = reject(&src);
+    assert!(
+        msg.contains("operand reference $3 out of range")
+            && msg.contains("`neg`")
+            && msg.contains("2 operands"),
+        "message must name the instruction and operand count: {msg}"
+    );
+}
+
+/// A negative `%aux` latency must name the instruction pair.
+#[test]
+fn negative_aux_latency_names_the_pair() {
+    let src = skeleton("%aux add : add (-2)", "");
+    let msg = reject(&src);
+    assert!(
+        msg.contains("negative %aux latency") && msg.contains("`add`:`add`"),
+        "message must name the pair: {msg}"
+    );
+}
+
+/// Negative cost/latency — the generator's most direct arithmetic
+/// failure mode — must name the instruction.
+#[test]
+fn negative_cost_or_latency_names_the_instruction() {
+    let src = skeleton(
+        "%instr sub r, r, r (int) {$1 = $2 - $3;} [IF;] (1,-1,0)",
+        "",
+    );
+    let msg = reject(&src);
+    assert!(
+        msg.contains("negative cost or latency") && msg.contains("`sub`"),
+        "message must name the instruction: {msg}"
+    );
+}

@@ -1,0 +1,406 @@
+//! The differential-audit harness.
+//!
+//! For one generated machine, every workload in the suite is compiled
+//! under all three strategies with three independent cross-checks:
+//!
+//! * **block legality** — every scheduled block is re-checked with
+//!   both `sched::verify_schedule_with` and `explain::audit_schedule`
+//!   (the independent checker that also validates provenance) against
+//!   the DAG its scheduling discipline used;
+//! * **differential execution** — the compiled program runs on the
+//!   pipeline simulator and its `main` result must equal the IR
+//!   interpreter's checksum (computed once per workload, machines
+//!   don't change IR semantics);
+//! * **reproducibility** — one rotating (workload, strategy) pair per
+//!   machine is compiled twice and the rendered assembly must be
+//!   byte-identical.
+//!
+//! The harness replicates the driver's per-function pipeline (glue →
+//! select → strategy → emit → delay-slot fill) so the audited
+//! schedules are exactly the ones behind the simulated program, then
+//! assembles the same [`CompiledProgram`] the driver would.
+
+use marion_core::driver::{CompileStats, CompiledProgram};
+use marion_core::emit::{emit_func, fill_delay_slots, render_program, AsmProgram};
+use marion_core::strategy::strategy_for;
+use marion_core::{explain, glue, sched, select, EscapeRegistry, StrategyKind};
+use marion_ir::interp::{Interp, Value};
+use marion_maril::{Machine, Ty};
+use marion_sim::{run_program, SimConfig};
+use marion_trace::Tracer;
+use marion_workloads::{livermore, suite, Workload};
+
+/// A workload with its IR and interpreter checksum precomputed, so
+/// the per-machine audit pays neither front-end nor interpreter cost.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// Workload name (`LL3`, `nasker`, ...).
+    pub name: String,
+    /// C-subset source (kept for corpus entries).
+    pub source: String,
+    /// Compiled IR.
+    pub module: marion_ir::Module,
+    /// The interpreter's `main` checksum.
+    pub expected: i64,
+}
+
+/// Prepares arbitrary workloads (used with probe programs too).
+///
+/// # Panics
+///
+/// Panics if a workload fails to compile or interpret — the bundled
+/// suite is covered by its own tests, and probes are fixed strings.
+pub fn prepare(workloads: &[Workload]) -> Vec<PreparedWorkload> {
+    workloads
+        .iter()
+        .map(|w| {
+            let module = w.module();
+            let expected = interp_main(&module)
+                .unwrap_or_else(|e| panic!("workload {}: interpreter: {e}", w.name));
+            PreparedWorkload {
+                name: w.name.clone(),
+                source: w.source.clone(),
+                module,
+                expected,
+            }
+        })
+        .collect()
+}
+
+/// The full audit suite: the compile-time programs (Table 3's
+/// stand-ins) plus all fourteen Livermore kernels.
+pub fn prepare_full_suite() -> Vec<PreparedWorkload> {
+    let mut all = suite::programs();
+    all.extend(livermore::kernels());
+    prepare(&all)
+}
+
+/// A small deterministic subset for `--smoke` runs and CI: `sphot`
+/// (the suite program that has caught every real fuzzer finding so
+/// far — calls, doubles, spills) plus three short Livermore kernels
+/// covering float pipelines, reductions, and control flow.
+pub fn prepare_smoke_suite() -> Vec<PreparedWorkload> {
+    let keep = ["sphot", "LL1", "LL3", "LL5"];
+    let mut all = suite::programs();
+    all.extend(livermore::kernels());
+    all.retain(|w| keep.contains(&w.name.as_str()));
+    prepare(&all)
+}
+
+/// Runs `main` in the IR interpreter and returns its integer result.
+pub fn interp_main(module: &marion_ir::Module) -> Result<i64, String> {
+    let mut interp = Interp::new(module, 1 << 22).with_budget(400_000_000);
+    match interp.call_by_name("main", &[]) {
+        Ok(Some(Value::I(v))) => Ok(v),
+        Ok(other) => Err(format!("main returned {other:?}, expected an int")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// What went wrong, at which stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Glue, selection, scheduling, allocation or emission refused a
+    /// machine the front door accepted.
+    Compile,
+    /// `verify_schedule_with` or `audit_schedule` rejected a block.
+    BlockAudit,
+    /// Simulator result differs from the interpreter checksum.
+    Differential,
+    /// Two compiles of the same input rendered different bytes.
+    Reproducibility,
+}
+
+impl FailureKind {
+    /// Stable lowercase tag (corpus files, JSON).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FailureKind::Compile => "compile",
+            FailureKind::BlockAudit => "block-audit",
+            FailureKind::Differential => "differential",
+            FailureKind::Reproducibility => "reproducibility",
+        }
+    }
+
+    /// Parses [`FailureKind::tag`].
+    pub fn from_tag(tag: &str) -> Option<FailureKind> {
+        Some(match tag {
+            "compile" => FailureKind::Compile,
+            "block-audit" => FailureKind::BlockAudit,
+            "differential" => FailureKind::Differential,
+            "reproducibility" => FailureKind::Reproducibility,
+            _ => return None,
+        })
+    }
+}
+
+/// One audit failure: which workload/strategy tripped, and how.
+#[derive(Debug, Clone)]
+pub struct AuditFailure {
+    /// The check that failed.
+    pub kind: FailureKind,
+    /// Workload name.
+    pub workload: String,
+    /// Strategy in use.
+    pub strategy: StrategyKind,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+/// The audit result for one machine.
+#[derive(Debug, Clone, Default)]
+pub struct MachineAudit {
+    /// Non-empty blocks whose schedules passed both checkers.
+    pub blocks_audited: usize,
+    /// (workload × strategy) compilations performed.
+    pub compilations: usize,
+    /// Workloads differentially executed (sim vs interpreter).
+    pub workloads_run: usize,
+    /// Everything that failed.
+    pub failures: Vec<AuditFailure>,
+}
+
+impl MachineAudit {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Audits one machine over the prepared workloads.
+///
+/// `repro_rotation` picks which (workload, strategy) pair gets the
+/// double-compile byte-identity check — callers rotate it per machine
+/// so a 200-machine run covers many pairs without doubling every
+/// compile.
+pub fn audit_machine(
+    machine: &Machine,
+    escapes: &EscapeRegistry,
+    workloads: &[PreparedWorkload],
+    repro_rotation: usize,
+) -> MachineAudit {
+    let mut audit = MachineAudit::default();
+    let pairs = workloads.len() * StrategyKind::ALL.len();
+    let repro_pick = if pairs == 0 {
+        0
+    } else {
+        repro_rotation % pairs
+    };
+    for (wi, w) in workloads.iter().enumerate() {
+        for (si, &strategy) in StrategyKind::ALL.iter().enumerate() {
+            let pair_index = wi * StrategyKind::ALL.len() + si;
+            audit_one(
+                machine,
+                escapes,
+                w,
+                strategy,
+                pair_index == repro_pick,
+                &mut audit,
+            );
+        }
+        audit.workloads_run += 1;
+    }
+    audit
+}
+
+/// Audits a single (workload, strategy) pair — the minimiser's and
+/// corpus replayer's unit of reproduction. No reproducibility check.
+pub fn audit_pair(
+    machine: &Machine,
+    escapes: &EscapeRegistry,
+    w: &PreparedWorkload,
+    strategy: StrategyKind,
+) -> Vec<AuditFailure> {
+    let mut audit = MachineAudit::default();
+    audit_one(machine, escapes, w, strategy, false, &mut audit);
+    audit.failures
+}
+
+/// Compiles one workload under one strategy with block auditing, then
+/// simulates and cross-checks. Failures are appended to `audit`.
+fn audit_one(
+    machine: &Machine,
+    escapes: &EscapeRegistry,
+    w: &PreparedWorkload,
+    strategy: StrategyKind,
+    check_repro: bool,
+    audit: &mut MachineAudit,
+) {
+    let fail = |audit: &mut MachineAudit, kind, detail: String| {
+        audit.failures.push(AuditFailure {
+            kind,
+            workload: w.name.clone(),
+            strategy,
+            detail,
+        });
+    };
+    audit.compilations += 1;
+    let (program, blocks) = match compile_audited(machine, escapes, &w.module, strategy) {
+        Ok(ok) => ok,
+        Err((kind, detail)) => {
+            fail(audit, kind, detail);
+            return;
+        }
+    };
+    audit.blocks_audited += blocks;
+    if check_repro {
+        audit.compilations += 1;
+        match compile_audited(machine, escapes, &w.module, strategy) {
+            Ok((second, _)) => {
+                if program.render(machine) != second.render(machine) {
+                    fail(
+                        audit,
+                        FailureKind::Reproducibility,
+                        "two compiles rendered different assembly".to_string(),
+                    );
+                }
+            }
+            Err((_, detail)) => {
+                fail(
+                    audit,
+                    FailureKind::Reproducibility,
+                    format!("second compile failed: {detail}"),
+                );
+            }
+        }
+    }
+    // The simulator is allowed to panic on machine-level type
+    // confusion (a fuzzer finding in itself) — catch it and record a
+    // differential failure instead of killing the whole run.
+    let sim = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_program(
+            machine,
+            &program,
+            "main",
+            &[],
+            Some(Ty::Int),
+            &SimConfig::default(),
+        )
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("panic");
+        Err(marion_sim::SimError(format!("simulator panicked: {msg}")))
+    });
+    match sim {
+        Ok(run) => match run.result {
+            Some(Value::I(got)) if got == w.expected => {}
+            Some(Value::I(got)) => fail(
+                audit,
+                FailureKind::Differential,
+                format!("interp {} != sim {got}", w.expected),
+            ),
+            other => fail(
+                audit,
+                FailureKind::Differential,
+                format!("sim returned {other:?}, expected {}", w.expected),
+            ),
+        },
+        Err(e) => fail(audit, FailureKind::Differential, format!("simulator: {e}")),
+    }
+}
+
+/// The driver's per-function pipeline with per-block auditing wired
+/// in between scheduling and emission, assembled into the same
+/// [`CompiledProgram`] the driver builds. Returns the program and the
+/// number of audited (non-empty) blocks.
+#[allow(clippy::result_large_err)]
+pub fn compile_audited(
+    machine: &Machine,
+    escapes: &EscapeRegistry,
+    module: &marion_ir::Module,
+    strategy_kind: StrategyKind,
+) -> Result<(CompiledProgram, usize), (FailureKind, String)> {
+    let mut module = module.clone();
+    marion_core::driver::materialize_float_constants(&mut module);
+    let strategy = strategy_for(strategy_kind);
+    let tracer = Tracer::off();
+    let mut asm = AsmProgram::default();
+    let mut blocks_audited = 0usize;
+    for func in &module.funcs {
+        let mut f = func.clone();
+        glue::apply_glue(machine, &mut f)
+            .map_err(|e| (FailureKind::Compile, format!("glue {}: {e}", f.name)))?;
+        let mut code = select::select_func(machine, escapes, &module, &f)
+            .map_err(|e| (FailureKind::Compile, format!("select {}: {e}", f.name)))?;
+        let (schedules, _stats) = strategy
+            .run(machine, &mut code, &tracer, &f.name)
+            .map_err(|e| (FailureKind::Compile, format!("strategy {}: {e}", f.name)))?;
+        for (bi, (block, schedule)) in code.blocks.iter().zip(&schedules).enumerate() {
+            if block.insts.is_empty() {
+                continue;
+            }
+            let discipline = schedule.explanation.discipline;
+            let (dag, check_rule1) = explain::dag_for_discipline(machine, block, discipline);
+            sched::verify_schedule_with(machine, block, &dag, schedule, check_rule1).map_err(
+                |e| {
+                    (
+                        FailureKind::BlockAudit,
+                        format!("{}/b{bi}: verify_schedule: {e}", f.name),
+                    )
+                },
+            )?;
+            explain::audit_schedule(machine, block, &dag, schedule, check_rule1).map_err(|e| {
+                (
+                    FailureKind::BlockAudit,
+                    format!("{}/b{bi}: audit_schedule: {e}", f.name),
+                )
+            })?;
+            blocks_audited += 1;
+        }
+        let mut emitted = emit_func(machine, &code, &schedules)
+            .map_err(|e| (FailureKind::Compile, format!("emit {}: {e}", f.name)))?;
+        fill_delay_slots(machine, &mut emitted);
+        asm.funcs.push(emitted);
+    }
+    let symbols: Vec<String> = (0..module.symbol_count())
+        .map(|i| module.symbol_name(marion_ir::SymbolId(i as u32)).to_owned())
+        .collect();
+    let globals = module
+        .globals
+        .iter()
+        .map(|g| (g.name.clone(), g.init.clone()))
+        .collect();
+    Ok((
+        CompiledProgram {
+            asm,
+            globals,
+            symbols,
+            machine_name: machine.name().to_owned(),
+            strategy: strategy_kind,
+            stats: CompileStats::default(),
+            trace: None,
+            cache: None,
+        },
+        blocks_audited,
+    ))
+}
+
+/// Renders a program for byte-comparison (exposed for tests).
+pub fn render(machine: &Machine, program: &CompiledProgram) -> String {
+    render_program(machine, &program.asm, &program.symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The audit harness must agree with reality on a known-good
+    /// machine: TOYP over one small kernel passes every check.
+    #[test]
+    fn toyp_passes_the_audit_on_a_small_kernel() {
+        let spec = marion_machines::load("toyp");
+        let kernels = livermore::kernels();
+        let small: Vec<Workload> = kernels.into_iter().filter(|k| k.name == "LL3").collect();
+        let prepared = prepare(&small);
+        let audit = audit_machine(&spec.machine, &spec.escapes, &prepared, 0);
+        assert!(audit.passed(), "failures: {:?}", audit.failures);
+        assert!(audit.blocks_audited > 0);
+        assert_eq!(audit.workloads_run, 1);
+        // The rotation doubled exactly one compile.
+        assert_eq!(audit.compilations, StrategyKind::ALL.len() + 1);
+    }
+}

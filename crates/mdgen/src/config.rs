@@ -1,0 +1,302 @@
+//! The generator's parameter space.
+//!
+//! A [`MachineConfig`] is a point in the space of machines the
+//! generator can describe: a TOYP-shaped validity envelope (the fixed
+//! calling convention, immediate formats and escape contract every
+//! generated machine shares so the full workload suite is guaranteed
+//! to compile) with every scheduling-relevant dimension varied —
+//! issue width, operation latencies, branch delay slots, register
+//! file sizes and the callee-save split, and optional explicitly
+//! advanced floating-point pipelines (temporal clocks, latch chains
+//! of varying depth and packing classes, the i860 features of paper
+//! §4.5–4.6).
+//!
+//! Configs are sampled deterministically from a seed via the shared
+//! [`marion_rng::SplitMix64`] stream and can be *shrunk*: each
+//! [`shrink_steps`] transform removes one source of complexity, so a
+//! failing machine minimises toward the simplest config that still
+//! reproduces the failure.
+
+use marion_rng::SplitMix64;
+
+/// How instructions contend for issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueModel {
+    /// TOYP-style: every instruction claims the fetch stage, one
+    /// instruction per cycle.
+    Single,
+    /// i860-style: the integer and floating units draw from disjoint
+    /// resource sets, so one of each may issue per cycle.
+    Dual,
+}
+
+/// An explicitly advanced floating-point pipeline pair (adder and
+/// multiplier), modelled on the i860's Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EapConfig {
+    /// Latches in the adder chain (`a1..aK`); the chain is
+    /// `A1/S1, A2, …, AWB`. 2..=4 keeps selection's recursive chain
+    /// match well inside its depth bound.
+    pub add_stages: u32,
+    /// Latches in the multiplier chain (`m1..mJ`).
+    pub mul_stages: u32,
+    /// One `%clock` shared by both pipes (they advance together)
+    /// instead of a clock per pipe.
+    pub shared_clock: bool,
+    /// Whether adder and multiplier sub-operations share a dual
+    /// long-word element, i.e. may pack into one instruction word.
+    pub cross_packing: bool,
+}
+
+/// One sampled machine: every knob the generator varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// The seed this config was sampled from (the machine's identity).
+    pub seed: u64,
+    /// Double registers; the integer file is exactly twice as large
+    /// and overlays it (`%equiv r[0] d[0]`), preserving the TOYP
+    /// half-register escape contract.
+    pub dbl_regs: u32,
+    /// First callee-save integer register (`%calleesave
+    /// r[callee_save_from : int_regs-1]`). At least 4 so the argument
+    /// and return-address registers stay caller-save.
+    pub callee_save_from: u32,
+    /// Issue width model.
+    pub issue: IssueModel,
+    /// Integer load-to-use latency.
+    pub load_latency: u32,
+    /// Iterative integer multiply latency.
+    pub mul_latency: u32,
+    /// Integer divide/remainder latency.
+    pub div_latency: u32,
+    /// Double add/subtract latency (plain pipeline; an EAP chain's
+    /// effective latency is its stage count instead).
+    pub fadd_latency: u32,
+    /// Double multiply latency.
+    pub fmul_latency: u32,
+    /// Double divide latency.
+    pub fdiv_latency: u32,
+    /// Branch latency.
+    pub branch_latency: u32,
+    /// Branch delay slots (0..=2).
+    pub delay_slots: u32,
+    /// Extra float-op-to-store latency published as `%aux` pairs
+    /// (`fadd.d : st.d` and `fmul.d : st.d`, or the EAP write-backs).
+    pub store_aux: u32,
+    /// Explicitly advanced FP pipelines, when present.
+    pub eap: Option<EapConfig>,
+}
+
+impl MachineConfig {
+    /// Number of integer registers (always twice the double file).
+    pub fn int_regs(&self) -> u32 {
+        self.dbl_regs * 2
+    }
+
+    /// Samples one config from a seed. Every field is drawn from the
+    /// seed's own SplitMix64 stream, so equal seeds give equal
+    /// configs byte-for-byte.
+    pub fn sample(seed: u64) -> MachineConfig {
+        let mut rng = SplitMix64::new(seed);
+        let dbl_regs = 4 + rng.below(13) as u32; // 4..=16 → r: 8..=32
+        let int_regs = dbl_regs * 2;
+        // Callee-save split: keep r0 (zero), r1 (retaddr), r2/r3
+        // (args) caller-save; leave at least two caller-save
+        // scratch registers above the args.
+        let callee_save_from = 4 + rng.below(u64::from(int_regs - 5)) as u32;
+        let issue = if rng.below(5) < 2 {
+            IssueModel::Dual
+        } else {
+            IssueModel::Single
+        };
+        let eap = if rng.below(5) < 2 {
+            Some(EapConfig {
+                add_stages: 2 + rng.below(3) as u32, // 2..=4
+                mul_stages: 2 + rng.below(3) as u32,
+                shared_clock: rng.below(3) == 0,
+                cross_packing: rng.below(2) == 0,
+            })
+        } else {
+            None
+        };
+        MachineConfig {
+            seed,
+            dbl_regs,
+            callee_save_from,
+            issue,
+            load_latency: 1 + rng.below(4) as u32,   // 1..=4
+            mul_latency: 2 + rng.below(11) as u32,   // 2..=12
+            div_latency: 8 + rng.below(33) as u32,   // 8..=40
+            fadd_latency: 2 + rng.below(7) as u32,   // 2..=8
+            fmul_latency: 3 + rng.below(8) as u32,   // 3..=10
+            fdiv_latency: 10 + rng.below(21) as u32, // 10..=30
+            branch_latency: 1 + rng.below(3) as u32, // 1..=3
+            delay_slots: rng.below(3) as u32,        // 0..=2
+            store_aux: 1 + rng.below(4) as u32,      // 1..=4 extra cycles
+            eap,
+        }
+    }
+
+    /// A one-line human summary of the knobs (for logs and reports).
+    pub fn summary(&self) -> String {
+        let issue = match self.issue {
+            IssueModel::Single => "single",
+            IssueModel::Dual => "dual",
+        };
+        let eap = match self.eap {
+            None => "none".to_string(),
+            Some(e) => format!(
+                "a{}m{}{}{}",
+                e.add_stages,
+                e.mul_stages,
+                if e.shared_clock { " shared-clk" } else { "" },
+                if e.cross_packing { " xpack" } else { "" }
+            ),
+        };
+        format!(
+            "r{}/d{} cs@{} {issue}-issue ld{} mul{} div{} fadd{} fmul{} fdiv{} br{}+{}slot aux+{} eap:{eap}",
+            self.int_regs(),
+            self.dbl_regs,
+            self.callee_save_from,
+            self.load_latency,
+            self.mul_latency,
+            self.div_latency,
+            self.fadd_latency,
+            self.fmul_latency,
+            self.fdiv_latency,
+            self.branch_latency,
+            self.delay_slots,
+            self.store_aux,
+        )
+    }
+
+    /// The minimal config every shrink sequence converges toward.
+    pub fn minimal(seed: u64) -> MachineConfig {
+        MachineConfig {
+            seed,
+            dbl_regs: 4,
+            callee_save_from: 4,
+            issue: IssueModel::Single,
+            load_latency: 1,
+            mul_latency: 2,
+            div_latency: 8,
+            fadd_latency: 2,
+            fmul_latency: 3,
+            fdiv_latency: 10,
+            branch_latency: 1,
+            delay_slots: 0,
+            store_aux: 1,
+            eap: None,
+        }
+    }
+}
+
+/// One named shrinking transform: returns `Some(simpler)` when it
+/// changes the config, `None` when already applied.
+pub type ShrinkStep = (&'static str, fn(&MachineConfig) -> Option<MachineConfig>);
+
+/// The ordered shrink ladder: big structural removals first, then
+/// individual latency and size reductions. `minimize` applies each
+/// greedily, keeping a step only when the failure still reproduces.
+pub fn shrink_steps() -> Vec<ShrinkStep> {
+    fn set<F: FnOnce(&mut MachineConfig)>(c: &MachineConfig, f: F) -> Option<MachineConfig> {
+        let mut out = *c;
+        f(&mut out);
+        (out != *c).then_some(out)
+    }
+    vec![
+        ("drop-eap", |c| set(c, |c| c.eap = None)),
+        ("single-issue", |c| set(c, |c| c.issue = IssueModel::Single)),
+        ("no-delay-slots", |c| set(c, |c| c.delay_slots = 0)),
+        ("shallow-eap", |c| {
+            set(c, |c| {
+                if let Some(e) = &mut c.eap {
+                    e.add_stages = 2;
+                    e.mul_stages = 2;
+                    e.shared_clock = false;
+                    e.cross_packing = false;
+                }
+            })
+        }),
+        ("unit-latencies", |c| {
+            set(c, |c| {
+                c.load_latency = 1;
+                c.mul_latency = 2;
+                c.div_latency = 8;
+                c.fadd_latency = 2;
+                c.fmul_latency = 3;
+                c.fdiv_latency = 10;
+                c.branch_latency = 1;
+                c.store_aux = 1;
+            })
+        }),
+        ("minimal-registers", |c| {
+            set(c, |c| {
+                c.dbl_regs = 4;
+                c.callee_save_from = 4;
+            })
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(MachineConfig::sample(42), MachineConfig::sample(42));
+        assert_ne!(MachineConfig::sample(42), MachineConfig::sample(43));
+    }
+
+    #[test]
+    fn sampled_configs_stay_in_bounds() {
+        for seed in 0..500 {
+            let c = MachineConfig::sample(seed);
+            assert!((4..=16).contains(&c.dbl_regs), "{c:?}");
+            assert!(c.callee_save_from >= 4 && c.callee_save_from < c.int_regs() - 1);
+            assert!(c.delay_slots <= 2);
+            if let Some(e) = c.eap {
+                assert!((2..=4).contains(&e.add_stages));
+                assert!((2..=4).contains(&e.mul_stages));
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_ladder_converges_to_the_minimal_config() {
+        // A maximally complex config: every step has something to do.
+        let c = MachineConfig {
+            seed: 7,
+            dbl_regs: 16,
+            callee_save_from: 10,
+            issue: IssueModel::Dual,
+            load_latency: 4,
+            mul_latency: 12,
+            div_latency: 40,
+            fadd_latency: 8,
+            fmul_latency: 10,
+            fdiv_latency: 30,
+            branch_latency: 3,
+            delay_slots: 2,
+            store_aux: 4,
+            eap: Some(EapConfig {
+                add_stages: 4,
+                mul_stages: 3,
+                shared_clock: true,
+                cross_packing: true,
+            }),
+        };
+        let mut current = c;
+        for (_, step) in shrink_steps() {
+            if let Some(next) = step(&current) {
+                current = next;
+            }
+        }
+        assert_eq!(current, MachineConfig::minimal(7));
+        // Idempotence: nothing fires on the minimal config.
+        for (name, step) in shrink_steps() {
+            assert!(step(&current).is_none(), "{name} fired on minimal");
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The corpus: minimised reproducers on disk.
+//!
+//! Every failure `marion-fuzz` finds is minimised and written to
+//! `corpus/` as one plain-text file: a small header, the machine's
+//! canonical Maril text, and the C program that tripped it. The
+//! regression suite (`tests/retarget_corpus.rs`) replays every entry
+//! on each run — a corpus entry is a bug that *was* found, so replay
+//! must pass once the bug is fixed, and a reappearing failure points
+//! at a regression with a ready-made reproducer.
+//!
+//! The format is deliberately dumb — `key: value` header lines, two
+//! `---`-fenced sections — so entries stay reviewable in a diff and
+//! writable by hand.
+
+use crate::audit::{audit_pair, FailureKind, PreparedWorkload};
+use crate::minimize::Minimized;
+use marion_core::StrategyKind;
+use marion_maril::Machine;
+use std::path::{Path, PathBuf};
+
+/// One reproducer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// Generator seed of the (possibly shrunk) machine.
+    pub seed: u64,
+    /// Which check failed when the entry was recorded.
+    pub kind: FailureKind,
+    /// Strategy under which it failed.
+    pub strategy: StrategyKind,
+    /// Workload or probe name.
+    pub workload: String,
+    /// One-line knob summary (informational).
+    pub summary: String,
+    /// One-line diagnosis when recorded (informational).
+    pub detail: String,
+    /// Canonical Maril text of the machine.
+    pub machine_text: String,
+    /// C source of the reproducing program.
+    pub program: String,
+}
+
+const MACHINE_FENCE: &str = "--- machine ---";
+const PROGRAM_FENCE: &str = "--- program ---";
+
+impl CorpusEntry {
+    /// Builds an entry from a minimised failure.
+    pub fn from_minimized(min: &Minimized) -> CorpusEntry {
+        CorpusEntry {
+            seed: min.machine.config.seed,
+            kind: min.kind,
+            strategy: min.strategy,
+            workload: min.workload_name.clone(),
+            summary: min.machine.config.summary(),
+            detail: min.detail.replace('\n', " "),
+            machine_text: min.machine.text.clone(),
+            program: min.program.trim().to_string(),
+        }
+    }
+
+    /// The machine's name as fed to `Machine::parse`.
+    pub fn machine_name(&self) -> String {
+        format!("gen-{:016x}", self.seed)
+    }
+
+    /// A stable file name for this entry.
+    pub fn file_name(&self) -> String {
+        format!(
+            "seed-{:016x}-{}-{}-{}.txt",
+            self.seed,
+            self.kind.tag(),
+            self.strategy.name().to_ascii_lowercase(),
+            self.workload
+        )
+    }
+
+    /// Renders the on-disk form.
+    pub fn render(&self) -> String {
+        format!(
+            "# marion-fuzz corpus entry\n\
+             version: 1\n\
+             seed: {:#018x}\n\
+             kind: {}\n\
+             strategy: {}\n\
+             workload: {}\n\
+             summary: {}\n\
+             detail: {}\n\
+             {MACHINE_FENCE}\n\
+             {}\n\
+             {PROGRAM_FENCE}\n\
+             {}\n",
+            self.seed,
+            self.kind.tag(),
+            self.strategy.name().to_ascii_lowercase(),
+            self.workload,
+            self.summary,
+            self.detail,
+            self.machine_text.trim_end(),
+            self.program.trim_end(),
+        )
+    }
+
+    /// Parses the [`CorpusEntry::render`] form.
+    pub fn parse(text: &str) -> Result<CorpusEntry, String> {
+        let machine_at = text
+            .find(MACHINE_FENCE)
+            .ok_or_else(|| format!("missing `{MACHINE_FENCE}` fence"))?;
+        let program_at = text
+            .find(PROGRAM_FENCE)
+            .ok_or_else(|| format!("missing `{PROGRAM_FENCE}` fence"))?;
+        if program_at < machine_at {
+            return Err("program fence precedes machine fence".to_string());
+        }
+        let header = &text[..machine_at];
+        // Canonical Maril text (print_description output) ends with a
+        // newline; restore it after fence trimming so parse∘render is
+        // the identity on entries holding canonical text.
+        let machine_text = format!(
+            "{}\n",
+            text[machine_at + MACHINE_FENCE.len()..program_at].trim()
+        );
+        let program = text[program_at + PROGRAM_FENCE.len()..].trim().to_string();
+        let mut seed = None;
+        let mut kind = None;
+        let mut strategy = None;
+        let mut workload = None;
+        let mut summary = String::new();
+        let mut detail = String::new();
+        for line in header.lines() {
+            let line = line.trim();
+            let Some((key, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            match key.trim() {
+                "seed" => {
+                    let digits = value.trim_start_matches("0x");
+                    seed = Some(
+                        u64::from_str_radix(digits, 16)
+                            .map_err(|e| format!("bad seed `{value}`: {e}"))?,
+                    );
+                }
+                "kind" => {
+                    kind = Some(
+                        FailureKind::from_tag(value)
+                            .ok_or_else(|| format!("bad kind `{value}`"))?,
+                    );
+                }
+                "strategy" => {
+                    strategy = Some(
+                        StrategyKind::parse(value)
+                            .ok_or_else(|| format!("bad strategy `{value}`"))?,
+                    );
+                }
+                "workload" => workload = Some(value.to_string()),
+                "summary" => summary = value.to_string(),
+                "detail" => detail = value.to_string(),
+                _ => {}
+            }
+        }
+        Ok(CorpusEntry {
+            seed: seed.ok_or("missing `seed:`")?,
+            kind: kind.ok_or("missing `kind:`")?,
+            strategy: strategy.ok_or("missing `strategy:`")?,
+            workload: workload.ok_or("missing `workload:`")?,
+            summary,
+            detail,
+            machine_text,
+            program,
+        })
+    }
+
+    /// Replays the entry: the machine must pass the front door and
+    /// the recorded (workload, strategy) pair must pass the full
+    /// audit. `Err` carries the replayed failure — the recorded bug
+    /// is back (or was never fixed).
+    pub fn replay(&self) -> Result<(), String> {
+        let machine = Machine::parse(&self.machine_name(), &self.machine_text)
+            .map_err(|e| format!("machine rejected: {e}"))?;
+        let module = marion_frontend::compile(&self.program)
+            .map_err(|e| format!("program rejected: {e}"))?;
+        let expected = crate::audit::interp_main(&module)?;
+        let prepared = PreparedWorkload {
+            name: self.workload.clone(),
+            source: self.program.clone(),
+            module,
+            expected,
+        };
+        // Generated machines all share the TOYP escape contract.
+        let escapes = marion_machines::toyp::escapes();
+        let failures = audit_pair(&machine, &escapes, &prepared, self.strategy);
+        match failures.first() {
+            None => Ok(()),
+            Some(f) => Err(format!("{}: {}", f.kind.tag(), f.detail)),
+        }
+    }
+}
+
+/// Reads every `*.txt` entry in `dir`, sorted by file name. A missing
+/// directory is an empty corpus.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusEntry)>, String> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(out),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let entry = CorpusEntry::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path, entry));
+    }
+    Ok(out)
+}
+
+/// Writes an entry into `dir` (created if needed). Returns the path.
+pub fn write_entry(dir: &Path, entry: &CorpusEntry) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let path = dir.join(entry.file_name());
+    std::fs::write(&path, entry.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> CorpusEntry {
+        let gen = crate::emit::generate(11).unwrap();
+        CorpusEntry {
+            seed: 11,
+            kind: FailureKind::Differential,
+            strategy: StrategyKind::Ips,
+            summary: gen.config.summary(),
+            detail: "interp 42 != sim 41".to_string(),
+            workload: "probe-int-arith".to_string(),
+            machine_text: gen.text,
+            program: "int main() { return 42; }".to_string(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let entry = sample_entry();
+        let parsed = CorpusEntry::parse(&entry.render()).unwrap();
+        assert_eq!(parsed, entry);
+        // And the parsed machine text still compiles.
+        Machine::parse(&parsed.machine_name(), &parsed.machine_text).unwrap();
+    }
+
+    #[test]
+    fn replay_passes_on_a_healthy_machine() {
+        // Seed 11's machine works today, so replaying a recorded
+        // (fixed) failure against it must succeed.
+        sample_entry().replay().unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(CorpusEntry::parse("no fences at all").is_err());
+        let entry = sample_entry().render();
+        let broken = entry.replace("kind: differential", "kind: nonsense");
+        assert!(CorpusEntry::parse(&broken).is_err());
+    }
+}

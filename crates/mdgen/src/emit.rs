@@ -1,0 +1,587 @@
+//! Config → Maril text.
+//!
+//! The emitter renders a [`MachineConfig`] as a complete Maril
+//! machine description shaped like TOYP (the paper's Figures 1–3
+//! machine): the same mnemonics, calling convention, immediate
+//! formats and glue rules, so the TOYP escape registry
+//! (`*li32`/`*movd`/`*cvt8`/`*cvt16`) and the whole workload suite
+//! work unchanged — while issue width, latencies, delay slots,
+//! register file sizes and the optional explicitly advanced FP
+//! pipelines all come from the config.
+//!
+//! The raw text is then pushed through the real front half of the
+//! language (`lexer → parser`) and re-rendered with
+//! [`marion_maril::pretty::print_description`]; that printed form is
+//! the machine's *canonical text* — the exact bytes later fed to
+//! [`Machine::parse`], hashed for distinctness and stored in corpus
+//! entries. Nothing about a generated machine bypasses the front
+//! door.
+
+use crate::config::{IssueModel, MachineConfig};
+use marion_maril::lexer::lex;
+use marion_maril::parser::parse;
+use marion_maril::pretty::print_description;
+use marion_maril::{Machine, MarilError};
+use std::fmt::Write;
+
+/// One generated machine: its sampled config and canonical text.
+#[derive(Debug, Clone)]
+pub struct GeneratedMachine {
+    /// The sampled knobs.
+    pub config: MachineConfig,
+    /// `gen-<seed hex>` — the name `Machine::parse` is given.
+    pub name: String,
+    /// Canonical Maril text (`print_description` of the parsed raw
+    /// emission).
+    pub text: String,
+}
+
+impl GeneratedMachine {
+    /// Compiles the canonical text through the full front door.
+    pub fn machine(&self) -> Result<Machine, Box<MarilError>> {
+        Machine::parse(&self.name, &self.text)
+    }
+}
+
+/// Samples the config for `seed`, emits it and canonicalises the
+/// text. `Err` means the emitter produced text the parser rejects —
+/// a generator bug, surfaced rather than hidden.
+pub fn generate(seed: u64) -> Result<GeneratedMachine, MarilError> {
+    let config = MachineConfig::sample(seed);
+    generate_from_config(&config)
+}
+
+/// Emits and canonicalises a specific config (used by the minimiser,
+/// which edits configs directly).
+pub fn generate_from_config(config: &MachineConfig) -> Result<GeneratedMachine, MarilError> {
+    let raw = emit_text(config);
+    let desc = parse(&lex(&raw)?)?;
+    let text = print_description(&desc);
+    Ok(GeneratedMachine {
+        config: *config,
+        name: format!("gen-{:016x}", config.seed),
+        text,
+    })
+}
+
+/// A `[A; B; C;]` resource vector from stage names.
+fn rv(stages: &[&str]) -> String {
+    let mut s = String::from("[");
+    for st in stages {
+        s.push_str(st);
+        s.push_str("; ");
+    }
+    s.pop();
+    if s.len() > 1 {
+        s.pop();
+        s.push(';');
+    }
+    s.push(']');
+    s
+}
+
+/// A vector that repeats `stage` `n` times between a prefix and
+/// suffix (iterative units occupying one stage for several cycles).
+fn rv_rep(prefix: &[&str], stage: &str, n: u32, suffix: &[&str]) -> String {
+    let mut stages: Vec<&str> = prefix.to_vec();
+    for _ in 0..n {
+        stages.push(stage);
+    }
+    stages.extend_from_slice(suffix);
+    rv(&stages)
+}
+
+fn emit_text(c: &MachineConfig) -> String {
+    let mut s = String::with_capacity(8192);
+    let rc = c.int_regs();
+    let dc = c.dbl_regs;
+    let dual = c.issue == IssueModel::Dual;
+
+    // Occupancy caps keep resource vectors (and the scheduler's
+    // reservation tables) bounded even at the largest latencies.
+    let occ = |lat: u32, cap: u32| lat.clamp(1, cap);
+
+    // ---------------- declare ----------------
+    s.push_str("declare {\n");
+    let _ = writeln!(s, "    %reg r[0:{}] (int);", rc - 1);
+    let _ = writeln!(s, "    %reg d[0:{}] (double);", dc - 1);
+    s.push_str("    %equiv r[0] d[0];\n");
+    if dual {
+        s.push_str("    %resource CE; CM; FG; DV;\n");
+    } else {
+        s.push_str("    %resource IF; ID; IE; IA; IW; F1; F2;\n");
+    }
+    if let Some(e) = c.eap {
+        for i in 1..=e.add_stages {
+            let _ = write!(s, "    %resource RA{i};");
+        }
+        s.push('\n');
+        for i in 1..=e.mul_stages {
+            let _ = write!(s, "    %resource RM{i};");
+        }
+        s.push_str("\n    %resource RWB;\n");
+        let (clk_a, clk_m) = eap_clocks(c);
+        if e.shared_clock {
+            let _ = writeln!(s, "    %clock {clk_a};");
+        } else {
+            let _ = writeln!(s, "    %clock {clk_a};\n    %clock {clk_m};");
+        }
+        for i in 1..=e.add_stages {
+            let _ = writeln!(s, "    %reg a{i} (double; {clk_a}) +temporal;");
+        }
+        for i in 1..=e.mul_stages {
+            let _ = writeln!(s, "    %reg m{i} (double; {clk_m}) +temporal;");
+        }
+        s.push_str("    %element eA; %element eS; %element eM;\n");
+        if e.cross_packing {
+            s.push_str("    %element eD;\n");
+            s.push_str("    %class cls_add { eA, eD };\n");
+            s.push_str("    %class cls_sub { eS };\n");
+            s.push_str("    %class cls_apass { eA, eS, eD };\n");
+            s.push_str("    %class cls_mul { eM, eD };\n");
+            s.push_str("    %class cls_mpass { eM, eD };\n");
+            s.push_str("    %class cls_wb { eA, eS, eM, eD };\n");
+        } else {
+            s.push_str("    %class cls_add { eA };\n");
+            s.push_str("    %class cls_sub { eS };\n");
+            s.push_str("    %class cls_apass { eA, eS };\n");
+            s.push_str("    %class cls_mul { eM };\n");
+            s.push_str("    %class cls_mpass { eM };\n");
+            s.push_str("    %class cls_wb { eA, eS, eM };\n");
+        }
+    }
+    s.push_str("    %def const16 [-32768:32767];\n");
+    s.push_str("    %def uconst5 [0:31];\n");
+    s.push_str("    %def addr16 [0:32767] +abs;\n");
+    s.push_str("    %def const32 [-2147483648:2147483647] +abs;\n");
+    s.push_str("    %label rlab [-32768:32767] +relative;\n");
+    s.push_str("    %memory m[0:2147483647];\n");
+    s.push_str("}\n\n");
+
+    // ---------------- cwvm ----------------
+    // TOYP's calling convention, scaled to the register file: sp and
+    // fp live in the top two integer registers, the callee-save split
+    // point comes from the config.
+    s.push_str("cwvm {\n");
+    s.push_str("    %general (int) r;\n");
+    s.push_str("    %general (double) d;\n");
+    s.push_str("    %general (float) d;\n");
+    let _ = writeln!(s, "    %allocable r[1:{}];", rc - 2);
+    let _ = writeln!(s, "    %allocable d[1:{}];", dc - 2);
+    let _ = writeln!(s, "    %calleesave r[{}:{}];", c.callee_save_from, rc - 1);
+    let _ = writeln!(s, "    %sp r[{}] +down;", rc - 1);
+    let _ = writeln!(s, "    %fp r[{}] +down;", rc - 2);
+    s.push_str("    %retaddr r[1];\n");
+    s.push_str("    %hard r[0] 0;\n");
+    s.push_str("    %arg (int) r[2] 1;\n");
+    s.push_str("    %arg (int) r[3] 2;\n");
+    s.push_str("    %arg (double) d[1] 1;\n");
+    s.push_str("    %result r[2] (int);\n");
+    s.push_str("    %result d[1] (double);\n");
+    s.push_str("}\n\n");
+
+    // ---------------- instr ----------------
+    // Family resource vectors.
+    let alu = if dual {
+        rv(&["CE"])
+    } else {
+        rv(&["IF", "ID", "IE", "IA", "IW"])
+    };
+    let mul_v = if dual {
+        rv_rep(&[], "CE", occ(c.mul_latency, 12), &[])
+    } else {
+        rv_rep(
+            &["IF", "ID"],
+            "IE",
+            occ(c.mul_latency - 1, 10),
+            &["IA", "IW"],
+        )
+    };
+    let div_v = if dual {
+        rv_rep(&["CE"], "DV", occ(c.div_latency / 2, 16), &[])
+    } else {
+        rv_rep(
+            &["IF", "ID"],
+            "IE",
+            occ(c.div_latency - 2, 16),
+            &["IA", "IW"],
+        )
+    };
+    let ld_v = if dual {
+        rv(&["CE", "CM"])
+    } else {
+        rv(&["IF", "ID", "IE", "IA", "IW"])
+    };
+    let ldd_v = if dual {
+        rv(&["CE", "CM", "CM"])
+    } else {
+        rv(&["IF", "ID", "IE", "IA", "IA", "IW"])
+    };
+    let fp2 = |n: u32| {
+        if dual {
+            rv_rep(&[], "FG", occ(n / 2, 8), &[])
+        } else {
+            rv_rep(&["IF", "ID"], "F1", occ(n / 2, 8), &["F2"])
+        }
+    };
+    let fdiv_v = if dual {
+        rv_rep(&[], "DV", occ(c.fdiv_latency / 2, 20), &[])
+    } else {
+        rv_rep(&["IF", "ID"], "F1", occ(c.fdiv_latency - 2, 20), &["F2"])
+    };
+    let ctl = if dual {
+        rv(&["CE"])
+    } else {
+        rv(&["IF", "ID", "IE"])
+    };
+
+    let ll = c.load_latency;
+    let (fa, fm, fd) = (c.fadd_latency, c.fmul_latency, c.fdiv_latency);
+    // Single-precision latencies ride a notch under the double ones.
+    let fa_s = (fa.saturating_sub(1)).max(2);
+    let fm_s = (fm.saturating_sub(2)).max(2);
+    let fd_s = (fd / 2 + 2).max(4);
+    // A branch cannot resolve before its architectural delay slots
+    // have issued.
+    let blat = c.branch_latency.max(c.delay_slots.max(1));
+    let slots = c.delay_slots;
+
+    s.push_str("instr {\n");
+    // Integer ALU — the full TOYP set (what selection and the escapes
+    // rely on).
+    for (mn, ops, sem) in [
+        ("add", "r, r, r", "$1 = $2 + $3;"),
+        ("addi", "r, r, #const16", "$1 = $2 + $3;"),
+        ("sub", "r, r, r", "$1 = $2 - $3;"),
+        ("subi", "r, r, #const16", "$1 = $2 - $3;"),
+        ("neg", "r, r", "$1 = -$2;"),
+        ("not", "r, r", "$1 = ~$2;"),
+        ("and", "r, r, r", "$1 = $2 & $3;"),
+        ("andi", "r, r, #const16", "$1 = $2 & $3;"),
+        ("or", "r, r, r", "$1 = $2 | $3;"),
+        ("ori", "r, r, #const16", "$1 = $2 | $3;"),
+        ("xor", "r, r, r", "$1 = $2 ^ $3;"),
+        ("shl", "r, r, r", "$1 = $2 << $3;"),
+        ("shli", "r, r, #uconst5", "$1 = $2 << $3;"),
+        ("sra", "r, r, r", "$1 = $2 >> $3;"),
+        ("srai", "r, r, #uconst5", "$1 = $2 >> $3;"),
+    ] {
+        let _ = writeln!(s, "    %instr {mn} {ops} (int) {{{sem}}} {alu} (1,1,0)");
+    }
+    let _ = writeln!(
+        s,
+        "    %instr li r, r[0], #const16 (int) {{$1 = $3;}} {alu} (1,1,0)"
+    );
+    let _ = writeln!(
+        s,
+        "    %instr la r, r[0], #addr16 (int) {{$1 = $3;}} {alu} (1,1,0)"
+    );
+    let _ = writeln!(
+        s,
+        "    %instr *li32 r, #const32 (int) {{$1 = $2;}} {alu} (1,1,0)"
+    );
+    let _ = writeln!(
+        s,
+        "    %instr mul r, r, r (int) {{$1 = $2 * $3;}} {mul_v} (1,{},0)",
+        c.mul_latency
+    );
+    let _ = writeln!(
+        s,
+        "    %instr div r, r, r (int) {{$1 = $2 / $3;}} {div_v} (1,{},0)",
+        c.div_latency
+    );
+    let _ = writeln!(
+        s,
+        "    %instr rem r, r, r (int) {{$1 = $2 % $3;}} {div_v} (1,{},0)",
+        c.div_latency
+    );
+    // Generic compares, fed by the glue rules.
+    let _ = writeln!(
+        s,
+        "    %instr cmp r, r, r (int) {{$1 = $2 :: $3;}} {alu} (1,1,0)"
+    );
+    let _ = writeln!(
+        s,
+        "    %instr fcmp r, d, d (int) {{$1 = $2 :: $3;}} {} (1,{fa},0)",
+        fp2(fa)
+    );
+    let _ = writeln!(
+        s,
+        "    %instr fcmp.s r, d, d (int) {{$1 = $2 :: $3;}} {} (1,{fa_s},0)",
+        fp2(fa_s)
+    );
+    // Memory.
+    for (mn, ty, lat) in [
+        ("ld", "int", ll),
+        ("ld.b", "char", ll),
+        ("ld.h", "short", ll),
+    ] {
+        let _ = writeln!(
+            s,
+            "    %instr {mn} r, r, #const16 ({ty}) {{$1 = m[$2+$3];}} {ld_v} (1,{lat},0)"
+        );
+    }
+    for (mn, ty) in [("st", "int"), ("st.b", "char"), ("st.h", "short")] {
+        let _ = writeln!(
+            s,
+            "    %instr {mn} r, r, #const16 ({ty}) {{m[$2+$3] = $1;}} {ld_v} (1,1,0)"
+        );
+    }
+    let _ = writeln!(
+        s,
+        "    %instr ld.d d, r, #const16 (double) {{$1 = m[$2+$3];}} {ldd_v} (1,{},0)",
+        ll + 1
+    );
+    let _ = writeln!(
+        s,
+        "    %instr st.d d, r, #const16 (double) {{m[$2+$3] = $1;}} {ldd_v} (1,1,0)"
+    );
+    let _ = writeln!(
+        s,
+        "    %instr ld.s d, r, #const16 (float) {{$1 = m[$2+$3];}} {ld_v} (1,{ll},0)"
+    );
+    let _ = writeln!(
+        s,
+        "    %instr st.s d, r, #const16 (float) {{m[$2+$3] = $1;}} {ld_v} (1,1,0)"
+    );
+
+    // Double-precision arithmetic: plain pipelines, or explicitly
+    // advanced sub-operation chains when the config says so.
+    if let Some(e) = c.eap {
+        let (clk_a, clk_m) = eap_clocks(c);
+        let ka = e.add_stages;
+        let km = e.mul_stages;
+        let _ = writeln!(
+            s,
+            "    %instr A1 d, d (double; {clk_a}) <cls_add> {{a1 = $1 + $2;}} [RA1;] (1,1,0)"
+        );
+        let _ = writeln!(
+            s,
+            "    %instr S1 d, d (double; {clk_a}) <cls_sub> {{a1 = $1 - $2;}} [RA1;] (1,1,0)"
+        );
+        for i in 2..=ka {
+            let _ = writeln!(
+                s,
+                "    %instr A{i} (double; {clk_a}) <cls_apass> {{a{i} = a{};}} [RA{i};] (1,1,0)",
+                i - 1
+            );
+        }
+        let _ = writeln!(
+            s,
+            "    %instr AWB d (double; {clk_a}) <cls_wb> {{$1 = a{ka};}} [RWB;] (1,1,0)"
+        );
+        let _ = writeln!(
+            s,
+            "    %instr M1 d, d (double; {clk_m}) <cls_mul> {{m1 = $1 * $2;}} [RM1;] (1,1,0)"
+        );
+        for i in 2..=km {
+            let _ = writeln!(
+                s,
+                "    %instr M{i} (double; {clk_m}) <cls_mpass> {{m{i} = m{};}} [RM{i};] (1,1,0)",
+                i - 1
+            );
+        }
+        let _ = writeln!(
+            s,
+            "    %instr MWB d (double; {clk_m}) <cls_wb> {{$1 = m{km};}} [RWB;] (1,1,0)"
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "    %instr fadd.d d, d, d (double) {{$1 = $2 + $3;}} {} (1,{fa},0)",
+            fp2(fa)
+        );
+        let _ = writeln!(
+            s,
+            "    %instr fsub.d d, d, d (double) {{$1 = $2 - $3;}} {} (1,{fa},0)",
+            fp2(fa)
+        );
+        let _ = writeln!(
+            s,
+            "    %instr fmul.d d, d, d (double) {{$1 = $2 * $3;}} {} (1,{fm},0)",
+            fp2(fm)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "    %instr fneg.d d, d (double) {{$1 = -$2;}} {} (1,{},0)",
+        fp2(2),
+        2
+    );
+    let _ = writeln!(
+        s,
+        "    %instr fdiv.d d, d, d (double) {{$1 = $2 / $3;}} {fdiv_v} (1,{fd},0)"
+    );
+    // Single precision: always plain (the real i860 runs these units
+    // in a three-stage non-advanced mode).
+    for (mn, sem, lat) in [
+        ("fadd.s", "$1 = $2 + $3;", fa_s),
+        ("fsub.s", "$1 = $2 - $3;", fa_s),
+        ("fmul.s", "$1 = $2 * $3;", fm_s),
+    ] {
+        let _ = writeln!(
+            s,
+            "    %instr {mn} d, d, d (float) {{{sem}}} {} (1,{lat},0)",
+            fp2(lat)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "    %instr fneg.s d, d (float) {{$1 = -$2;}} {} (1,2,0)",
+        fp2(2)
+    );
+    let _ = writeln!(
+        s,
+        "    %instr fdiv.s d, d, d (float) {{$1 = $2 / $3;}} {} (1,{fd_s},0)",
+        fp2(fd_s)
+    );
+    // Conversions.
+    let _ = writeln!(
+        s,
+        "    %instr cvt.w r, r (int) {{$1 = (int)$2;}} [] (0,0,0)"
+    );
+    for (mn, ops, ty, lat) in [
+        ("cvtid", "d, r", "double", fa),
+        ("cvtdi", "r, d", "int", fa),
+        ("cvtis", "d, r", "float", fa_s),
+        ("cvtsi", "r, d", "int", fa_s),
+        ("fcvt.ds", "d, d", "double", 3),
+        ("fcvt.sd", "d, d", "float", 3),
+    ] {
+        let _ = writeln!(
+            s,
+            "    %instr {mn} {ops} ({ty}) {{$1 = ({ty})$2;}} {} (1,{lat},0)",
+            fp2(lat)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "    %instr *cvt8 r, r (char) {{$1 = (char)$2;}} [] (0,0,0)"
+    );
+    let _ = writeln!(
+        s,
+        "    %instr *cvt16 r, r (short) {{$1 = (short)$2;}} [] (0,0,0)"
+    );
+    // Control.
+    for (mn, cond) in [
+        ("beq0", "=="),
+        ("bne0", "!="),
+        ("blt0", "<"),
+        ("ble0", "<="),
+        ("bgt0", ">"),
+        ("bge0", ">="),
+    ] {
+        let _ = writeln!(
+            s,
+            "    %instr {mn} r, #rlab {{if ($1 {cond} 0) goto $2;}} {ctl} (1,{blat},{slots})"
+        );
+    }
+    let _ = writeln!(
+        s,
+        "    %instr br #rlab {{goto $1;}} {ctl} (1,{blat},{slots})"
+    );
+    let _ = writeln!(
+        s,
+        "    %instr bsr #rlab {{call $1;}} {ctl} (1,{blat},{slots})"
+    );
+    let _ = writeln!(s, "    %instr rts {{return;}} {ctl} (1,{blat},{slots})");
+    let _ = writeln!(s, "    %instr nop {{}} {alu} (1,1,0)");
+    // Moves: the labelled single move the `*movd` escape emits, and
+    // the escape itself.
+    let _ = writeln!(
+        s,
+        "    %move [s.movs] add r, r, r[0] {{$1 = $2;}} {alu} (1,1,0)"
+    );
+    s.push_str("    %move *movd d, d {$1 = $2;} [] (0,0,0)\n");
+    // Aux latencies: float results take extra cycles to become
+    // storable (the TOYP Figure 3 `fadd.d : st.d` pattern, or the
+    // write-back sub-operations on an EAP machine).
+    if c.eap.is_some() {
+        let wb_aux = c.store_aux + 1;
+        let _ = writeln!(s, "    %aux AWB : st.d (1.$1 == 2.$1) ({wb_aux})");
+        let _ = writeln!(s, "    %aux MWB : st.d (1.$1 == 2.$1) ({wb_aux})");
+        s.push_str("    %aux AWB : A1 (1.$1 == 2.$1) (2)\n");
+        s.push_str("    %aux MWB : M1 (1.$1 == 2.$1) (2)\n");
+    } else {
+        let _ = writeln!(
+            s,
+            "    %aux fadd.d : st.d (1.$1 == 2.$1) ({})",
+            fa + c.store_aux
+        );
+        let _ = writeln!(
+            s,
+            "    %aux fmul.d : st.d (1.$1 == 2.$1) ({})",
+            fm + c.store_aux
+        );
+    }
+    // Glue: TOYP's strength reduction and compare expansion.
+    s.push_str("    %glue r {($1 * 2) ==> ($1 + $1);}\n");
+    for class in ["r", "d"] {
+        for op in ["==", "!=", "<", "<="] {
+            let _ = writeln!(
+                s,
+                "    %glue {class}, {class} {{($1 {op} $2) ==> (($1 :: $2) {op} 0);}}"
+            );
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Clock names for the two EAP pipes (equal when shared).
+fn eap_clocks(c: &MachineConfig) -> (&'static str, &'static str) {
+    match c.eap {
+        Some(e) if e.shared_clock => ("clk_f", "clk_f"),
+        _ => ("clk_a", "clk_m"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_canonical() {
+        let a = generate(99).unwrap();
+        let b = generate(99).unwrap();
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.name, "gen-0000000000000063");
+        // Canonical: printing the parse of the text is a fixpoint.
+        let desc = parse(&lex(&a.text).unwrap()).unwrap();
+        assert_eq!(print_description(&desc), a.text);
+    }
+
+    #[test]
+    fn many_seeds_produce_valid_distinct_machines() {
+        let mut texts = std::collections::HashSet::new();
+        for seed in 0..64 {
+            let g = generate(seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let m = g
+                .machine()
+                .unwrap_or_else(|e| panic!("seed {seed}:\n{}", e.render("gen.maril", &g.text)));
+            assert!(m.nop_template().is_some());
+            assert!(m.template_by_mnemonic("add").is_some());
+            texts.insert(g.text);
+        }
+        assert!(texts.len() >= 60, "only {} distinct texts", texts.len());
+    }
+
+    #[test]
+    fn eap_configs_compile_with_clocks_and_classes() {
+        let g = (0..)
+            .map(|s| generate(s).unwrap())
+            .find(|g| g.config.eap.is_some())
+            .unwrap();
+        let m = g.machine().unwrap();
+        assert!(m.stats().clocks >= 1);
+        assert!(m.stats().classes >= 6);
+        assert!(m.temporals().len() >= 4);
+        assert!(m.template_by_mnemonic("AWB").is_some());
+    }
+
+    #[test]
+    fn minimal_config_compiles() {
+        let g = generate_from_config(&MachineConfig::minimal(0)).unwrap();
+        g.machine().unwrap();
+    }
+}

@@ -1,0 +1,33 @@
+//! # marion-mdgen — generative machine descriptions + differential audit
+//!
+//! A seeded, deterministic generator of Maril machine descriptions
+//! and the audit harness that turns them into a retargeting fuzzer
+//! (the `marion-fuzz` binary):
+//!
+//! * [`config`] — the sampled parameter space: issue width, operation
+//!   latencies, delay slots, register-class shapes and sizes, and
+//!   optional explicitly advanced FP pipelines (temporal clocks,
+//!   latch chains, packing classes), plus the shrink ladder;
+//! * [`emit`] — renders a config as Maril text and canonicalises it
+//!   through `lexer → parser → pretty::print_description`, so every
+//!   generated machine enters the compiler through the same front
+//!   door as the hand-written ones;
+//! * [`audit`] — per machine, compiles the full workload suite under
+//!   all three strategies and cross-checks (a) simulator execution
+//!   results against IR-interpreter checksums, (b) `audit_schedule`
+//!   legality and provenance on every block, (c) byte-identical
+//!   recompilation;
+//! * [`minimize`] — greedy failure shrinking over the config ladder
+//!   and a probe-program ladder, producing small reproducers;
+//! * [`corpus`] — the plain-text reproducer format written to
+//!   `corpus/` and replayed as regression tests.
+
+pub mod audit;
+pub mod config;
+pub mod corpus;
+pub mod emit;
+pub mod minimize;
+
+pub use audit::{audit_machine, AuditFailure, FailureKind, MachineAudit, PreparedWorkload};
+pub use config::{EapConfig, IssueModel, MachineConfig};
+pub use emit::{generate, generate_from_config, GeneratedMachine};

@@ -1,117 +1,10 @@
-//! A tiny in-repo pseudo-random number generator (SplitMix64), so the
-//! workload generator and the test suites need no external `rand`
-//! dependency and build offline.
+//! Deterministic pseudo-randomness for workload generation.
 //!
-//! SplitMix64 (Steele, Lea & Flood, "Fast splittable pseudorandom
-//! number generators", OOPSLA 2014) passes BigCrush for this use: it
-//! drives deterministic *program generation*, not cryptography or
-//! statistics. The same seed always yields the same stream on every
-//! platform, which is all the differential tests require.
+//! The implementation lives in the shared [`marion_rng`] crate — the
+//! workspace's single SplitMix64 — so the program generator, the
+//! machine-description generator (`marion-mdgen`) and every test
+//! suite draw from the same stream function and seeds can never drift
+//! between them. This module re-exports it under the historical path
+//! `marion_workloads::rng::SplitMix64`.
 
-/// A seeded SplitMix64 stream.
-#[derive(Debug, Clone)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    /// Creates a generator from a seed; equal seeds give equal streams.
-    pub fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
-    }
-
-    /// The next 64 raw bits.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// A uniform value in `[0, n)`. `n` must be non-zero.
-    ///
-    /// Uses the widening-multiply trick (Lemire); the modulo bias is
-    /// far below what program generation could ever observe.
-    pub fn below(&mut self, n: u64) -> u64 {
-        debug_assert!(n > 0);
-        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
-    }
-
-    /// A uniform value in the half-open range `[lo, hi)`.
-    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
-        debug_assert!(lo < hi);
-        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
-    }
-
-    /// A uniform index in `[0, n)`.
-    pub fn index(&mut self, n: usize) -> usize {
-        self.below(n as u64) as usize
-    }
-
-    /// `true` with probability `p`.
-    pub fn chance(&mut self, p: f64) -> bool {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_per_seed() {
-        let a: Vec<u64> = {
-            let mut r = SplitMix64::new(42);
-            (0..8).map(|_| r.next_u64()).collect()
-        };
-        let b: Vec<u64> = {
-            let mut r = SplitMix64::new(42);
-            (0..8).map(|_| r.next_u64()).collect()
-        };
-        assert_eq!(a, b);
-        let c: Vec<u64> = {
-            let mut r = SplitMix64::new(43);
-            (0..8).map(|_| r.next_u64()).collect()
-        };
-        assert_ne!(a, c);
-    }
-
-    #[test]
-    fn matches_reference_vector() {
-        // Reference values for seed 1234567 from the published
-        // SplitMix64 algorithm.
-        let mut r = SplitMix64::new(1234567);
-        let got: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
-        assert_eq!(
-            got,
-            vec![
-                6457827717110365317,
-                3203168211198807973,
-                9817491932198370423
-            ]
-        );
-    }
-
-    #[test]
-    fn ranges_stay_in_bounds() {
-        let mut r = SplitMix64::new(7);
-        for _ in 0..10_000 {
-            let v = r.range(-50, 50);
-            assert!((-50..50).contains(&v));
-            let i = r.index(13);
-            assert!(i < 13);
-        }
-        // chance(0)/chance(1) are degenerate but must not panic.
-        assert!(!r.chance(0.0));
-        assert!(r.chance(1.0));
-    }
-
-    #[test]
-    fn chance_is_roughly_calibrated() {
-        let mut r = SplitMix64::new(99);
-        let hits = (0..20_000).filter(|_| r.chance(0.3)).count();
-        let rate = hits as f64 / 20_000.0;
-        assert!((0.27..0.33).contains(&rate), "rate {rate}");
-    }
-}
+pub use marion_rng::{mix64, SplitMix64};

@@ -1,0 +1,88 @@
+//! Retargeting regression tests: replay the fuzz corpus and keep the
+//! generator's core contracts honest.
+//!
+//! `corpus/` holds minimised reproducers for every compiler bug the
+//! retargeting fuzzer (`marion-fuzz`, `crates/mdgen`) has found. Each
+//! entry records the generated machine (canonical Maril text), the
+//! program that tripped it, and the (workload, strategy) pair it
+//! failed under. Replaying an entry runs the machine through the real
+//! Maril front door and the full differential audit — a failure here
+//! means a fixed bug has reappeared, with the reproducer already in
+//! hand.
+
+use marion_mdgen::audit::{audit_machine, prepare_smoke_suite};
+use marion_mdgen::corpus::load_dir;
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Every corpus entry must replay clean: the recorded bugs are fixed,
+/// and this is the tripwire that keeps them fixed.
+#[test]
+fn corpus_entries_replay_clean() {
+    let entries = load_dir(&corpus_dir()).expect("corpus directory must parse");
+    assert!(
+        !entries.is_empty(),
+        "corpus/ is empty — the checked-in reproducers are missing"
+    );
+    let mut broken = Vec::new();
+    for (path, entry) in &entries {
+        if let Err(e) = entry.replay() {
+            broken.push(format!("{}: {e}", path.display()));
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "recorded bugs have reappeared:\n{}",
+        broken.join("\n")
+    );
+}
+
+/// A fixed-seed fuzz smoke: freshly generated machines must pass the
+/// differential audit on the reduced workload suite. Seeds land in the
+/// band `marion-fuzz --smoke` exercises in CI, so a regression shows
+/// up identically in both places.
+#[test]
+fn fixed_seed_smoke_audit_passes() {
+    let workloads = prepare_smoke_suite();
+    let escapes = marion_machines::toyp::escapes();
+    for seed in [0u64, 1] {
+        let gen =
+            marion_mdgen::generate(seed).unwrap_or_else(|e| panic!("seed {seed}: generator: {e}"));
+        let machine = gen
+            .machine()
+            .unwrap_or_else(|e| panic!("seed {seed}: front door: {e}"));
+        let audit = audit_machine(&machine, &escapes, &workloads, seed as usize);
+        assert!(
+            audit.passed(),
+            "seed {seed} ({}) failed the audit: {:?}",
+            gen.config.summary(),
+            audit
+                .failures
+                .iter()
+                .map(|f| format!(
+                    "{} {} {}: {}",
+                    f.kind.tag(),
+                    f.workload,
+                    f.strategy.name(),
+                    f.detail
+                ))
+                .collect::<Vec<_>>()
+        );
+        assert!(audit.blocks_audited > 0, "seed {seed}: audited no blocks");
+    }
+}
+
+/// Generation is a pure function of the seed: same seed, byte-equal
+/// canonical text. Everything downstream (the corpus, `--seed`
+/// replays, BENCH_retarget.json) leans on this.
+#[test]
+fn generation_is_byte_reproducible() {
+    for seed in [0u64, 7, 19, 123456789] {
+        let a = marion_mdgen::generate(seed).unwrap();
+        let b = marion_mdgen::generate(seed).unwrap();
+        assert_eq!(a.text, b.text, "seed {seed}: texts differ between runs");
+    }
+}
