@@ -27,10 +27,27 @@ cargo run --release --offline -q -p marion-bench --bin marion-bench -- crosschec
 echo "==> compile bench smoke (single iteration, writes BENCH_compile_smoke.json)"
 cargo run --release --offline -q -p marion-bench --bin marion-bench -- compile --smoke --out BENCH_compile_smoke.json
 
+echo "==> quality bench smoke (writes BENCH_quality_smoke.json)"
+cargo run --release --offline -q -p marion-bench --bin marion-bench -- quality --smoke --out BENCH_quality_smoke.json
+grep -q '"bench": "quality"' BENCH_quality_smoke.json
+grep -q '"sim_cycles":' BENCH_quality_smoke.json
+
 echo "==> retargeting fuzz smoke (marion-fuzz --smoke: generated machines through the full differential audit)"
 cargo run --release --offline -q -p marion-bench --bin marion-fuzz -- --smoke --out BENCH_retarget_smoke.json
 grep -q '"bench": "retarget"' BENCH_retarget_smoke.json
 grep -q '"failing_machines": 0' BENCH_retarget_smoke.json
+# Cross-strategy quality differentials on every generated machine:
+# zero unexplained anomalies on the committed smoke seed range.
+grep -q '"quality_anomalies": 0' BENCH_retarget_smoke.json
+
+echo "==> paper-table binaries (each reproduces one table/figure of §5)"
+./target/release/table1 | grep -q 'Table 1: Maril machine description statistics'
+./target/release/table2 | grep -q 'Table 2: Marion system source size'
+./target/release/table3 | grep -q 'Table 3: back-end compile time'
+./target/release/table4 toyp | grep -q 'Table 4: Livermore loops on toyp'
+./target/release/fig7 | grep -q 'Figure 7: Marion i860 Postpass code'
+./target/release/speedup --from BENCH_quality.json | grep -q 'Strategy speedups over Postpass'
+./target/release/ablation | grep -q 'Ablation 1: what does list scheduling buy?'
 
 echo "==> marion-serve round-trip (cache warm-up, metrics, dashboard, access log, SLOs)"
 rm -f access.log access.log.1
@@ -114,7 +131,8 @@ echo "==> HTML report from demo trace (flamegraph + DAG SVG + subphase diff, mus
 cargo run --release --offline -q -p marion-bench --bin marion-report -- \
   --demo --html --serve metrics_snapshot.json \
   --bench-diff BENCH_compile.json BENCH_compile_smoke.json \
-  --retarget BENCH_retarget_smoke.json --out report.html
+  --retarget BENCH_retarget_smoke.json \
+  --quality BENCH_quality.json --out report.html
 test -s report.html
 # Self-containment contract: no network references, no external assets.
 ! grep -Eq 'http://|https://' report.html
@@ -131,6 +149,10 @@ grep -q 'ready_scan' report.html
 # The retargeting fuzz audit section is embedded.
 grep -q 'Retargeting fuzz audit' report.html
 grep -q 'blocks audited' report.html
+# The quality observatory section is embedded.
+grep -q 'Quality observatory' report.html
+grep -q 'stall-cycle composition' report.html
+grep -q 'speedups over Postpass' report.html
 
 echo "==> perf-regression gate self-test (identical -> 0, 2x strategy time -> 1)"
 ./target/release/marion-bench diff BENCH_compile.json BENCH_compile.json --tolerance 5 > /dev/null
@@ -154,6 +176,26 @@ else
   ./target/release/marion-bench diff BENCH_compile.json BENCH_compile_smoke.json \
     --tolerance "${MARION_PERF_GATE_TOLERANCE:-300}"
 fi
+
+echo "==> quality-regression gate self-test (identical -> 0, +1 sim cycle -> 1)"
+./target/release/marion-bench diff BENCH_quality.json BENCH_quality.json --tolerance 0 > /dev/null
+sed 's/"sim_cycles": \([0-9][0-9]*\)/"sim_cycles": 1\1/' BENCH_quality.json > BENCH_quality_regressed_tmp.json
+if ./target/release/marion-bench diff BENCH_quality.json BENCH_quality_regressed_tmp.json --tolerance 0 > /dev/null; then
+  echo "quality gate failed to flag a synthetic cycle regression" >&2
+  rm -f BENCH_quality_regressed_tmp.json
+  exit 1
+fi
+rm -f BENCH_quality_regressed_tmp.json
+
+# Enforcing quality-regression gate: the simulator is deterministic, so
+# a fresh full sweep must reproduce the committed matrix cycle-for-cycle
+# (tolerance 0). Any kernel whose sim or estimated cycles regress fails
+# here; an intentional scheduler change regenerates the baseline with
+# `marion-bench quality` and commits it alongside the change.
+echo "==> quality-regression gate vs committed baseline (enforcing, tolerance 0)"
+cargo run --release --offline -q -p marion-bench --bin marion-bench -- quality --out BENCH_quality_fresh.json > /dev/null
+./target/release/marion-bench diff BENCH_quality.json BENCH_quality_fresh.json --tolerance 0
+rm -f BENCH_quality_fresh.json
 
 echo "==> serve bench smoke (cold vs warm over the shared cache, writes BENCH_serve_smoke.json)"
 cargo run --release --offline -q -p marion-bench --bin marion-bench -- serve --smoke --out BENCH_serve_smoke.json

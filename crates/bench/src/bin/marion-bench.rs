@@ -16,7 +16,8 @@
 //!   divergence.
 //! * `diff OLD.json NEW.json [--tolerance PCT]` — the perf-regression
 //!   gate: compares two `BENCH_*.json` files metric by metric
-//!   (`*_ms` higher-is-worse, `per_sec`/`speedup` lower-is-worse),
+//!   (`*_ms`/`*_cycles` higher-is-worse, `per_sec`/`speedup`
+//!   lower-is-worse),
 //!   prints per-phase deltas, and exits 1 when any metric regresses
 //!   past the tolerance (default 10%), 2 on unreadable input. Run in
 //!   CI against the committed baseline.
@@ -29,6 +30,14 @@
 //!   runs with full observability on (request tracing, tail
 //!   sampling, access log) and records the overhead honestly as
 //!   `observability_overhead_pct`.
+//! * `quality [--smoke] [--out PATH]` — the codegen-quality matrix:
+//!   every bundled machine × strategy × workload compiled once,
+//!   simulated, and condensed into one `ProgramQuality` row each
+//!   (sim vs estimated cycles, critical-path lower bound, stall
+//!   breakdown, issue-slot utilization, spill/nop/delay-slot counts)
+//!   in `BENCH_quality.json`. Cycle counts are deterministic, so CI
+//!   diffs the committed matrix with `--tolerance 0`: any regression
+//!   in codegen quality fails the build.
 
 use marion_bench::serve::{run_stream, ServeConfig, Service};
 use marion_core::{CompileOptions, Compiler, StrategyKind};
@@ -165,10 +174,38 @@ fn main() {
             }
             bench_serve(smoke, &out);
         }
+        "quality" => {
+            let mut smoke = false;
+            let mut out: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--smoke" => smoke = true,
+                    "--out" => {
+                        i += 1;
+                        out = Some(args[i].clone());
+                    }
+                    other => {
+                        eprintln!("unknown flag `{other}`");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
+            }
+            let out = out.unwrap_or_else(|| {
+                if smoke {
+                    "BENCH_quality_smoke.json".to_string()
+                } else {
+                    "BENCH_quality.json".to_string()
+                }
+            });
+            bench_quality(smoke, &out);
+        }
         _ => {
             eprintln!(
                 "usage: marion-bench <compile [--smoke] [--iters K] [--out PATH] \
                  | crosscheck | serve [--smoke] [--out PATH] \
+                 | quality [--smoke] [--out PATH] \
                  | diff OLD.json NEW.json [--tolerance PCT]>"
             );
             std::process::exit(2);
@@ -631,6 +668,62 @@ fn bench_serve(smoke: bool, out: &str) {
     }
     s.push_str("  ]\n}\n");
     std::fs::write(out, s).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}
+
+/// The codegen-quality matrix: machines × strategies × workloads,
+/// each cell one deterministic compile-and-simulate condensed into a
+/// `ProgramQuality` row.
+fn bench_quality(smoke: bool, out: &str) {
+    let machines: Vec<&str> = if smoke {
+        vec!["toyp", "r2000"]
+    } else {
+        marion_machines::EXTENDED.to_vec()
+    };
+    let workloads = if smoke {
+        marion_bench::quality::smoke_workloads()
+    } else {
+        marion_bench::quality::full_workloads()
+    };
+    let runs = marion_bench::quality::sweep(&machines, &workloads);
+
+    println!(
+        "quality bench  ({} machines x {} strategies x {} workloads, deterministic cycles)",
+        machines.len(),
+        StrategyKind::ALL.len(),
+        workloads.len()
+    );
+    println!(
+        "{:<8} {:<9} {:<9} {:>10} {:>10} {:>9} {:>7} {:>7} {:>7}",
+        "machine",
+        "strategy",
+        "workload",
+        "sim cyc",
+        "est cyc",
+        "crit path",
+        "drift%",
+        "util",
+        "stalls"
+    );
+    for run in &runs {
+        let q = &run.quality;
+        let t = q.total();
+        println!(
+            "{:<8} {:<9} {:<9} {:>10} {:>10} {:>9} {:>7.2} {:>7.3} {:>7}",
+            q.machine,
+            q.strategy,
+            q.workload,
+            q.sim_cycles,
+            t.est_cycles,
+            t.critical_path_cycles,
+            q.drift_pct(),
+            t.issue_utilization(),
+            t.stalls.total()
+        );
+    }
+
+    let json = marion_bench::quality::render_json(smoke, machines.len(), workloads.len(), &runs);
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out}");
 }
 

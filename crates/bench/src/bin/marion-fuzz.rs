@@ -6,7 +6,11 @@
 //! legality/provenance auditing, executed on the pipeline simulator,
 //! and cross-checked against the IR reference interpreter, with one
 //! rotating (workload, strategy) pair per machine double-compiled for
-//! byte-identical reproducibility.
+//! byte-identical reproducibility. Every passing run also records its
+//! sim-measured and estimated cycles, and cross-strategy comparison
+//! flags quality anomalies — a strategy drastically worse than the
+//! best on the same workload, or estimate drift beyond any plausible
+//! cache effect (`quality_anomalies` in the JSON; CI expects zero).
 //!
 //! ```text
 //! marion-fuzz [--seed S] [--count N] [--smoke] [--out PATH] [--corpus DIR]
@@ -113,6 +117,8 @@ fn main() {
     let mut compilations = 0usize;
     let mut failing_machines = 0usize;
     let mut duplicate_machines = 0usize;
+    let mut quality_runs = 0usize;
+    let mut quality_anomalies = 0usize;
     let mut runs = String::new();
     for k in 0..count {
         let s = seed + k as u64;
@@ -146,15 +152,34 @@ fn main() {
         let audit = marion_mdgen::audit_machine(&machine, &escapes, &workloads, k);
         blocks_audited += audit.blocks_audited;
         compilations += audit.compilations;
+        // Cross-strategy quality differentials: correct-but-terrible
+        // code (one strategy far worse than the best, or an estimate
+        // implausibly far from the simulator) is a finding the
+        // checksum can't see. Anomalies are reported, not failures:
+        // they flag schedules for a human, the gate greps the count.
+        let anomalies = audit.quality_anomalies();
+        for a in &anomalies {
+            eprintln!(
+                "seed {s}: QUALITY {} {}: {}",
+                a.workload,
+                a.strategy.name(),
+                a.detail
+            );
+        }
+        quality_anomalies += anomalies.len();
+        quality_runs += audit.quality.len();
         let status = if audit.passed() { "ok" } else { "fail" };
         if !runs.is_empty() {
             runs.push_str(",\n");
         }
         let _ = write!(
             runs,
-            "    {{\"seed\": {s}, \"summary\": \"{}\", \"blocks_audited\": {}, \"status\": \"{status}\"}}",
+            "    {{\"seed\": {s}, \"summary\": \"{}\", \"blocks_audited\": {}, \
+             \"quality_runs\": {}, \"quality_anomalies\": {}, \"status\": \"{status}\"}}",
             gen.config.summary(),
-            audit.blocks_audited
+            audit.blocks_audited,
+            audit.quality.len(),
+            anomalies.len()
         );
         if audit.passed() {
             if (k + 1) % 10 == 0 || k + 1 == count {
@@ -219,6 +244,7 @@ fn main() {
          \"distinct_machines\": {},\n  \"duplicate_machines\": {duplicate_machines},\n  \
          \"workloads\": {},\n  \"strategies\": {},\n  \"compilations\": {compilations},\n  \
          \"blocks_audited\": {blocks_audited},\n  \"failing_machines\": {failing_machines},\n  \
+         \"quality_runs\": {quality_runs},\n  \"quality_anomalies\": {quality_anomalies},\n  \
          \"elapsed_sec\": {elapsed:.1},\n  \"machines_per_sec\": {machines_per_sec:.3},\n  \
          \"runs\": [\n{runs}\n  ]\n}}\n",
         distinct.len(),
@@ -233,6 +259,10 @@ fn main() {
         "marion-fuzz: {} distinct machines, {compilations} compilations, \
          {blocks_audited} blocks audited in {elapsed:.1}s ({machines_per_sec:.3} machines/sec) -> {out}",
         distinct.len()
+    );
+    eprintln!(
+        "marion-fuzz: {quality_runs} quality observations, \
+         {quality_anomalies} cross-strategy anomalies"
     );
     if failing_machines > 0 || duplicate_machines > 0 {
         eprintln!(

@@ -28,7 +28,10 @@
 //! aggregation as one self-contained HTML page (inline CSS, no
 //! external assets — it opens offline from a `file:` URL) to stdout or
 //! to `--out`; `--serve` folds one `metrics` response line from
-//! `marion-serve` into the page as a request-latency section.
+//! `marion-serve` into the page as a request-latency section;
+//! `--quality` folds a `BENCH_quality.json` matrix in as the
+//! quality-observatory section (cycle heatmap, stall composition,
+//! estimate drift, Livermore speedups).
 //!
 //! Two service-side modes operate on `marion-serve` responses instead
 //! of traces:
@@ -58,7 +61,7 @@ use std::collections::{BTreeMap, BTreeSet};
 fn usage() -> ! {
     eprintln!("usage: marion-report TRACE.jsonl [MORE.jsonl ...]");
     eprintln!("       marion-report --demo [--jsonl OUT.jsonl]");
-    eprintln!("       marion-report --html [--out REPORT.html] [--serve METRICS.json] [--bench-diff OLD.json NEW.json] [--retarget RETARGET.json] [--demo | TRACE.jsonl ...]");
+    eprintln!("       marion-report --html [--out REPORT.html] [--serve METRICS.json] [--bench-diff OLD.json NEW.json] [--retarget RETARGET.json] [--quality QUALITY.json] [--demo | TRACE.jsonl ...]");
     eprintln!("       marion-report --check-slo METRICS.jsonl       exit 1 if any SLO is violated");
     eprintln!("       marion-report --dashboard RESP.jsonl [--out DASH.html]");
     std::process::exit(2);
@@ -169,6 +172,7 @@ fn main() {
     let mut dashboard_path: Option<String> = None;
     let mut bench_diff: Option<(String, String)> = None;
     let mut retarget_path: Option<String> = None;
+    let mut quality_path: Option<String> = None;
     let mut traces: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -192,6 +196,7 @@ fn main() {
                 bench_diff = Some((old, new));
             }
             "--retarget" => retarget_path = Some(value("--retarget")),
+            "--quality" => quality_path = Some(value("--quality")),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("marion-report: unknown flag `{other}`");
@@ -206,7 +211,12 @@ fn main() {
     if let Some(path) = dashboard_path {
         extract_dashboard(&path, html_out.as_deref());
     }
-    if !demo_mode && traces.is_empty() && bench_diff.is_none() && retarget_path.is_none() {
+    if !demo_mode
+        && traces.is_empty()
+        && bench_diff.is_none()
+        && retarget_path.is_none()
+        && quality_path.is_none()
+    {
         usage();
     }
     let data = if !demo_mode && traces.is_empty() {
@@ -293,6 +303,15 @@ fn main() {
                 std::process::exit(2);
             });
         extra_svg.push(("Retargeting fuzz audit".to_string(), section));
+    }
+    // `--quality BENCH_quality.json`: the codegen-quality observatory
+    // (cycle heatmap, stall composition, drift, Livermore speedups).
+    if let Some(path) = &quality_path {
+        let section = marion_bench::html::quality_section(&read_or_die(path)).unwrap_or_else(|e| {
+            eprintln!("marion-report: --quality: {e}");
+            std::process::exit(2);
+        });
+        extra_svg.push(("Quality observatory".to_string(), section));
     }
     let page = render_html_with(&data, serve_fields.as_deref(), &extra_svg);
     match html_out {

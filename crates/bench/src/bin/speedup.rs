@@ -2,24 +2,94 @@
 //! faster than that produced by Postpass, on a computation-intensive
 //! workload" \[BEH91b\].
 //!
-//! Measures the Livermore suite plus the floating-point suite programs
-//! on every machine and prints each strategy's speedup over Postpass
-//! (geometric mean over the workload).
+//! Reads the committed quality matrix (`BENCH_quality.json`, written
+//! by `marion-bench quality`) and prints each strategy's speedup over
+//! Postpass per machine (geometric mean over the compute-intensive
+//! workload set — the Livermore kernels plus the float suite
+//! programs). The table derives from the same measurements the
+//! quality-regression gate enforces, so it never re-measures.
+//!
+//! ```text
+//! speedup [--from BENCH_quality.json]
+//! ```
 
-use marion_bench::{geomean, measure, row};
-use marion_core::StrategyKind;
-use marion_sim::SimConfig;
+use marion_bench::diff::{parse, Json};
+use marion_bench::{geomean, row};
+
+struct Run {
+    machine: String,
+    strategy: String,
+    sim_cycles: f64,
+}
+
+fn load_runs(path: &str) -> Result<Vec<Run>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e} (run `marion-bench quality` first)"))?;
+    let doc = parse(&text)?;
+    let Json::Obj(top) = &doc else {
+        return Err("quality document is not an object".into());
+    };
+    match top.iter().find(|(k, _)| k == "bench") {
+        Some((_, Json::Str(s))) if s == "quality" => {}
+        _ => return Err(format!("{path} is not a quality bench document")),
+    }
+    let Some((_, Json::Arr(runs))) = top.iter().find(|(k, _)| k == "runs") else {
+        return Err("quality document has no runs[]".into());
+    };
+    runs.iter()
+        .filter_map(|run| {
+            let Json::Obj(fields) = run else { return None };
+            let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            let s = |key: &str| match get(key) {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            };
+            let n = |key: &str| match get(key) {
+                Some(Json::Num(n)) => Some(*n),
+                _ => None,
+            };
+            Some(Ok(Run {
+                machine: s("machine")?,
+                strategy: s("strategy")?,
+                sim_cycles: n("sim_cycles")?,
+            }))
+        })
+        .collect()
+}
 
 fn main() {
-    let config = SimConfig::default();
-    let mut workloads = marion_workloads::livermore::kernels();
-    workloads.extend(
-        marion_workloads::suite::programs()
-            .into_iter()
-            .filter(|w| w.name != "lcc"), // compute-intensive subset
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut from = "BENCH_quality.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--from" => {
+                i += 1;
+                from = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("speedup: --from needs a value");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("speedup: unknown argument `{other}` (usage: speedup [--from PATH])");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let runs = load_runs(&from).unwrap_or_else(|e| {
+        eprintln!("speedup: {e}");
+        std::process::exit(2);
+    });
+
+    let mut machines: Vec<String> = Vec::new();
+    for r in &runs {
+        if !machines.contains(&r.machine) {
+            machines.push(r.machine.clone());
+        }
+    }
     println!("Strategy speedups over Postpass (geomean cycles, computation-intensive suite)");
-    println!("(paper: RASE and IPS each about 12% faster than Postpass)");
+    println!("(paper: RASE and IPS each about 12% faster than Postpass; from {from})");
     println!();
     let widths = [7usize, 14, 12, 12];
     println!(
@@ -34,23 +104,25 @@ fn main() {
             &widths
         )
     );
-    for machine in marion_machines::ALL {
-        let spec = marion_machines::load(machine);
-        let mut cycles = [Vec::new(), Vec::new(), Vec::new()];
-        for w in &workloads {
-            for (si, strategy) in StrategyKind::ALL.iter().enumerate() {
-                let m = measure(&spec, *strategy, w, &config);
-                cycles[si].push(m.run.cycles as f64);
-            }
+    for machine in &machines {
+        let cycles = |strategy: &str| -> Vec<f64> {
+            runs.iter()
+                .filter(|r| &r.machine == machine && r.strategy.eq_ignore_ascii_case(strategy))
+                .map(|r| r.sim_cycles)
+                .collect()
+        };
+        let post = geomean(&cycles("postpass"));
+        let ips = geomean(&cycles("ips"));
+        let rase = geomean(&cycles("rase"));
+        if post == 0.0 || ips == 0.0 || rase == 0.0 {
+            eprintln!("speedup: {machine}: incomplete strategy coverage in {from}");
+            std::process::exit(2);
         }
-        let post = geomean(&cycles[0]);
-        let ips = geomean(&cycles[1]);
-        let rase = geomean(&cycles[2]);
         println!(
             "{}",
             row(
                 &[
-                    machine.into(),
+                    machine.clone(),
                     format!("{post:.0}"),
                     format!("{:+.1}%", (post / ips - 1.0) * 100.0),
                     format!("{:+.1}%", (post / rase - 1.0) * 100.0),

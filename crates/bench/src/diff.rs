@@ -9,8 +9,9 @@
 //! — still zero dependencies.
 //!
 //! Direction is inferred from the metric name: `*_ms` / `*_us` are
-//! wall-clock times (bigger is worse); names containing `per_sec` or
-//! `speedup` are rates (smaller is worse). Everything else
+//! wall-clock times and `*_cycles` are simulated schedule lengths
+//! (bigger is worse); names containing `per_sec` or `speedup` are
+//! rates (smaller is worse). Everything else
 //! (`functions`, `iterations`, hit counts…) is context, compared for
 //! identity-matching only, never gated. Array elements are matched by
 //! their string-valued identity fields (`machine`, `workload`,
@@ -260,7 +261,7 @@ enum Direction {
 fn direction(key: &str) -> Direction {
     if key.contains("per_sec") || key.contains("speedup") {
         Direction::LowerWorse
-    } else if key.ends_with("_ms") || key.ends_with("_us") {
+    } else if key.ends_with("_ms") || key.ends_with("_us") || key.ends_with("_cycles") {
         Direction::HigherWorse
     } else {
         Direction::Info
@@ -504,6 +505,35 @@ mod tests {
         );
         let (_, code) = run_diff(BASE, &slower, 10.0).unwrap();
         assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn cycle_counts_gate_higher_is_worse() {
+        // Quality-matrix keys: sim/est cycles gate exactly, while the
+        // diagnostic columns (stalls, drift, utilization) stay Info.
+        let base = r#"{
+          "bench": "quality",
+          "runs": [
+            {"machine": "r2000", "strategy": "rase", "workload": "LL3",
+             "sim_cycles": 1000, "est_cycles": 900, "critical_path": 700,
+             "stall_total": 40, "drift_pct": 11.11}
+          ]
+        }"#;
+        let worse = base.replace("\"sim_cycles\": 1000", "\"sim_cycles\": 1001");
+        let (report, code) = run_diff(base, &worse, 0.0).unwrap();
+        assert_eq!(code, 1, "{report}");
+        assert!(report.contains("r2000/rase/LL3/sim_cycles"));
+        // Non-cycle quality columns never gate, even at tolerance 0.
+        let noisy = base
+            .replace("\"stall_total\": 40", "\"stall_total\": 90")
+            .replace("\"drift_pct\": 11.11", "\"drift_pct\": 44.44")
+            .replace("\"critical_path\": 700", "\"critical_path\": 800");
+        let (report, code) = run_diff(base, &noisy, 0.0).unwrap();
+        assert_eq!(code, 0, "{report}");
+        // A cycle improvement passes.
+        let better = base.replace("\"est_cycles\": 900", "\"est_cycles\": 850");
+        let (_, code) = run_diff(base, &better, 0.0).unwrap();
+        assert_eq!(code, 0);
     }
 
     #[test]

@@ -579,6 +579,8 @@ pub fn retarget_section(text: &str) -> Result<String, String> {
         ("compilations", "compilations", 0),
         ("blocks audited", "blocks_audited", 0),
         ("failing machines", "failing_machines", 0),
+        ("quality observations", "quality_runs", 0),
+        ("cross-strategy quality anomalies", "quality_anomalies", 0),
         ("elapsed (s)", "elapsed_sec", 1),
         ("machines / sec", "machines_per_sec", 3),
     ];
@@ -626,6 +628,258 @@ pub fn retarget_section(text: &str) -> Result<String, String> {
             "<p class=\"muted\">each failing seed has a minimised reproducer \
              under <code>corpus/</code>.</p>\n",
         );
+    }
+    Ok(out)
+}
+
+/// Renders the quality-observatory section from a
+/// `BENCH_quality.json` file (written by `marion-bench quality`): a
+/// strategy × machine cycle heatmap (geomean over workloads, shaded
+/// by distance from the best strategy on that machine), the
+/// stall-reason composition per strategy, the estimate-vs-sim drift
+/// table, and the per-Livermore-kernel speedup reproduction of the
+/// paper's Table 4 headline.
+///
+/// # Errors
+///
+/// Returns a description of the problem when the text is not a
+/// quality bench document.
+pub fn quality_section(text: &str) -> Result<String, String> {
+    use crate::diff::{parse, Json};
+    let doc = parse(text)?;
+    let Json::Obj(top) = &doc else {
+        return Err("bench document is not an object".into());
+    };
+    let field = |key: &str| top.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    match field("bench") {
+        Some(Json::Str(s)) if s == "quality" => {}
+        _ => return Err("not a quality bench document (bench != \"quality\")".into()),
+    }
+    struct Row {
+        machine: String,
+        strategy: String,
+        workload: String,
+        sim: f64,
+        drift: f64,
+        stalls: Vec<(String, f64)>,
+        stall_total: f64,
+        util: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let Some(Json::Arr(runs)) = field("runs") else {
+        return Err("quality document has no runs[]".into());
+    };
+    for run in runs {
+        let Json::Obj(fields) = run else { continue };
+        let get_str = |key: &str| match fields.iter().find(|(k, _)| k == key) {
+            Some((_, Json::Str(s))) => Some(s.clone()),
+            _ => None,
+        };
+        let get_num = |key: &str| match fields.iter().find(|(k, _)| k == key) {
+            Some((_, Json::Num(n))) => Some(*n),
+            _ => None,
+        };
+        let stalls = fields
+            .iter()
+            .filter_map(|(k, v)| match v {
+                Json::Num(n) if k.starts_with("stall_") && k != "stall_total" => {
+                    Some((k["stall_".len()..].to_string(), *n))
+                }
+                _ => None,
+            })
+            .collect();
+        rows.push(Row {
+            machine: get_str("machine").ok_or("run missing machine")?,
+            strategy: get_str("strategy").ok_or("run missing strategy")?,
+            workload: get_str("workload").ok_or("run missing workload")?,
+            sim: get_num("sim_cycles").ok_or("run missing sim_cycles")?,
+            drift: get_num("drift_pct").unwrap_or(0.0),
+            stalls,
+            stall_total: get_num("stall_total").unwrap_or(0.0),
+            util: get_num("issue_utilization").unwrap_or(0.0),
+        });
+    }
+    if rows.is_empty() {
+        return Err("quality document has no runs".into());
+    }
+    let mut machines: Vec<String> = Vec::new();
+    let mut strategies: Vec<String> = Vec::new();
+    for r in &rows {
+        if !machines.contains(&r.machine) {
+            machines.push(r.machine.clone());
+        }
+        if !strategies.contains(&r.strategy) {
+            strategies.push(r.strategy.clone());
+        }
+    }
+    let geo = |xs: &[f64]| crate::geomean(xs);
+    let cell = |machine: &str, strategy: &str| -> Vec<f64> {
+        rows.iter()
+            .filter(|r| r.machine == machine && r.strategy == strategy)
+            .map(|r| r.sim)
+            .collect()
+    };
+
+    let mut out = String::new();
+    // ---- strategy × machine cycle heatmap ----
+    out.push_str("<h3>sim-measured cycles (geomean over workloads)</h3>\n");
+    out.push_str("<table><thead><tr><th>machine</th>");
+    for s in &strategies {
+        out.push_str(&format!("<th>{}</th>", esc(s)));
+    }
+    out.push_str("<th>best</th></tr></thead><tbody>\n");
+    for m in &machines {
+        let cycles: Vec<f64> = strategies.iter().map(|s| geo(&cell(m, s))).collect();
+        let best = cycles.iter().copied().fold(f64::INFINITY, f64::min);
+        out.push_str(&format!("<tr><td class=\"name\">{}</td>", esc(m)));
+        for c in &cycles {
+            // Shade by distance from the machine's best strategy:
+            // transparent at parity, saturating red at +30% cycles.
+            let excess = if best > 0.0 { c / best - 1.0 } else { 0.0 };
+            let alpha = (excess / 0.30).clamp(0.0, 1.0) * 0.55;
+            out.push_str(&format!(
+                "<td style=\"background:rgba(200,72,56,{alpha:.2})\">{c:.0}</td>"
+            ));
+        }
+        let winner = strategies
+            .iter()
+            .zip(&cycles)
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(s, _)| s.as_str())
+            .unwrap_or("\u{2014}");
+        out.push_str(&format!("<td>{}</td></tr>\n", esc(winner)));
+    }
+    out.push_str("</tbody></table>\n");
+
+    // ---- stall-reason composition per strategy ----
+    out.push_str("<h3>stall-cycle composition by strategy</h3>\n");
+    let mut max_stall = 0.0f64;
+    // (strategy, per-reason stall sums, total stall cycles)
+    type StallSums = Vec<(String, f64)>;
+    let mut per_strategy: Vec<(String, StallSums, f64)> = Vec::new();
+    for s in &strategies {
+        let mut sums: Vec<(String, f64)> = Vec::new();
+        let mut total = 0.0;
+        for r in rows.iter().filter(|r| &r.strategy == s) {
+            total += r.stall_total;
+            for (reason, cycles) in &r.stalls {
+                match sums.iter_mut().find(|(k, _)| k == reason) {
+                    Some((_, sum)) => *sum += cycles,
+                    None => sums.push((reason.clone(), *cycles)),
+                }
+            }
+        }
+        max_stall = max_stall.max(sums.iter().map(|(_, v)| *v).fold(0.0, f64::max));
+        per_strategy.push((s.clone(), sums, total));
+    }
+    for (s, sums, total) in &per_strategy {
+        out.push_str(&format!(
+            "<div class=\"histtitle\">{} <span class=\"muted\">{total:.0} stall cycles \
+             across the whole matrix</span></div>\n",
+            esc(s)
+        ));
+        for (reason, cycles) in sums {
+            if *cycles > 0.0 {
+                bar(
+                    &mut out,
+                    reason,
+                    *cycles,
+                    max_stall,
+                    &format!("{cycles:.0}"),
+                );
+            }
+        }
+    }
+
+    // ---- estimate drift ----
+    out.push_str("<h3>estimate vs sim drift</h3>\n");
+    table_open(
+        &mut out,
+        &[
+            "machine",
+            "strategy",
+            "mean drift %",
+            "max drift %",
+            "issue util",
+        ],
+    );
+    for m in &machines {
+        for s in &strategies {
+            let sel: Vec<&Row> = rows
+                .iter()
+                .filter(|r| &r.machine == m && &r.strategy == s)
+                .collect();
+            if sel.is_empty() {
+                continue;
+            }
+            let mean = sel.iter().map(|r| r.drift).sum::<f64>() / sel.len() as f64;
+            let max = sel.iter().map(|r| r.drift.abs()).fold(0.0, f64::max);
+            let util = sel.iter().map(|r| r.util).sum::<f64>() / sel.len() as f64;
+            table_row(
+                &mut out,
+                &[
+                    m.clone(),
+                    s.clone(),
+                    format!("{mean:+.2}"),
+                    format!("{max:.2}"),
+                    format!("{util:.3}"),
+                ],
+            );
+        }
+    }
+    table_close(&mut out);
+    out.push_str(
+        "<p class=\"muted\">drift = (sim \u{2212} estimate) / estimate; the simulator \
+         adds cache and memory-system cycles the schedule estimate deliberately \
+         excludes, so small positive drift is expected.</p>\n",
+    );
+
+    // ---- per-Livermore-kernel speedups vs Postpass ----
+    let kernels: Vec<&String> = {
+        let mut ks: Vec<&String> = rows
+            .iter()
+            .map(|r| &r.workload)
+            .filter(|w| w.starts_with("LL"))
+            .collect();
+        ks.sort_by_key(|w| w[2..].parse::<u32>().unwrap_or(0));
+        ks.dedup();
+        ks
+    };
+    let is_postpass = |s: &str| s.eq_ignore_ascii_case("postpass");
+    let others: Vec<&String> = strategies.iter().filter(|s| !is_postpass(s)).collect();
+    if !kernels.is_empty() && strategies.iter().any(|s| is_postpass(s)) && !others.is_empty() {
+        out.push_str(
+            "<h3>Livermore kernel speedups over Postpass (geomean across machines)</h3>\n",
+        );
+        let mut headers = vec!["kernel"];
+        for s in &others {
+            headers.push(s.as_str());
+        }
+        table_open(&mut out, &headers);
+        for k in &kernels {
+            let mut cells = vec![(*k).clone()];
+            for s in &others {
+                let ratios: Vec<f64> = machines
+                    .iter()
+                    .filter_map(|m| {
+                        let base = rows.iter().find(|r| {
+                            &r.machine == m && is_postpass(&r.strategy) && &r.workload == *k
+                        })?;
+                        let new = rows
+                            .iter()
+                            .find(|r| &r.machine == m && r.strategy == **s && &r.workload == *k)?;
+                        (new.sim > 0.0).then(|| base.sim / new.sim)
+                    })
+                    .collect();
+                cells.push(if ratios.is_empty() {
+                    "\u{2014}".into()
+                } else {
+                    format!("{:.3}x", geo(&ratios))
+                });
+            }
+            table_row(&mut out, &cells);
+        }
+        table_close(&mut out);
     }
     Ok(out)
 }
@@ -1085,6 +1339,46 @@ mod tests {
         assert!(table.contains("new"), "{table}");
         // Files without the map are a structured error, not a panic.
         assert!(subphase_diff_table(r#"{"runs": []}"#, r#"{"runs": []}"#).is_err());
+    }
+
+    #[test]
+    fn quality_section_renders_heatmap_stalls_drift_and_speedups() {
+        let text = r#"{
+          "bench": "quality",
+          "runs": [
+            {"machine": "r2000", "strategy": "Postpass", "workload": "LL1",
+             "sim_cycles": 1200, "est_cycles": 1100, "drift_pct": 9.09,
+             "stall_dependence": 40, "stall_resource": 10, "stall_total": 50,
+             "issue_utilization": 0.61},
+            {"machine": "r2000", "strategy": "IPS", "workload": "LL1",
+             "sim_cycles": 1000, "est_cycles": 950, "drift_pct": 5.26,
+             "stall_dependence": 20, "stall_resource": 5, "stall_total": 25,
+             "issue_utilization": 0.70},
+            {"machine": "r2000", "strategy": "RASE", "workload": "LL1",
+             "sim_cycles": 960, "est_cycles": 900, "drift_pct": 6.67,
+             "stall_dependence": 15, "stall_resource": 5, "stall_total": 20,
+             "issue_utilization": 0.72}
+          ]
+        }"#;
+        let html = quality_section(text).expect("renders");
+        // Heatmap: per-machine winner column picks the fewest cycles.
+        assert!(html.contains("sim-measured cycles"), "{html}");
+        assert!(html.contains("<td>RASE</td>"), "{html}");
+        // Stall composition bars carry the per-reason labels.
+        assert!(html.contains("stall-cycle composition"), "{html}");
+        assert!(html.contains("dependence"), "{html}");
+        // Drift table and the Livermore speedup reproduction.
+        assert!(html.contains("estimate vs sim drift"), "{html}");
+        assert!(html.contains("speedups over Postpass"), "{html}");
+        // 1200/1000 and 1200/960 as geomean over one machine.
+        assert!(html.contains("1.200x"), "{html}");
+        assert!(html.contains("1.250x"), "{html}");
+        // Self-contained: no external references, escaped content only.
+        assert!(!html.contains("http:") && !html.contains("https:"));
+        assert!(!html.contains("src=") && !html.contains("href="));
+        // Wrong document kinds are structured errors, not panics.
+        assert!(quality_section(r#"{"bench": "serve"}"#).is_err());
+        assert!(quality_section("{").is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod dagviz;
 pub mod diff;
 pub mod flame;
 pub mod html;
+pub mod quality;
 pub mod serve;
 
 use marion_core::{CompiledProgram, Compiler, StrategyKind};

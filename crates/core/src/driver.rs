@@ -100,6 +100,11 @@ pub struct FuncStats {
     pub delay_slots_filled: usize,
     /// `nop`s remaining in the emitted code.
     pub nops_emitted: usize,
+    /// Per-block schedule quality (critical-path bound, issue-slot
+    /// usage, stall breakdown), index-aligned with the emitted blocks.
+    /// Structural — cached entries replay it exactly (see
+    /// [`crate::quality`]).
+    pub blocks: Vec<crate::quality::BlockQuality>,
 }
 
 /// Options controlling one [`Compiler`].
@@ -445,6 +450,10 @@ impl Compiler {
             estimated_cycles: s.estimated_cycles,
             delay_slots_filled: fills.len(),
             nops_emitted: emitted.nop_count(&self.machine),
+            blocks: schedules
+                .iter()
+                .map(crate::quality::BlockQuality::from_schedule)
+                .collect(),
         };
         // "spills" is recorded by the strategy's allocator hook;
         // everything else lands here so the trace and `CompileStats`

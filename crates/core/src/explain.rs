@@ -190,6 +190,10 @@ pub struct ScheduleExplanation {
     pub slack: Vec<u32>,
     /// One maximal zero-slack chain through the DAG, in issue order.
     pub critical_path: Vec<usize>,
+    /// The DAG critical path in cycles — the dependence-only lower
+    /// bound on any legal schedule's length for this block (see
+    /// [`critical_path_cycles`]). Zero for empty blocks.
+    pub critical_path_cycles: u32,
     /// Scheduling discipline that produced the schedule (`"rule1"`,
     /// `"serialized"`, `"name-deps"` or `"serial"`; see
     /// `sched::schedule_block_robust`).
@@ -283,6 +287,21 @@ pub(crate) fn log_stall(log: &mut Vec<Stall>, at: u32, reason: StallReason) {
 }
 
 /// Computes per-node slack and one zero-slack chain for a DAG.
+/// The DAG critical path in cycles: `max(est[i] + ltl[i]) + 1` over
+/// the nodes, where `est` is the earliest dependence-legal issue cycle
+/// and `ltl` the longest latency chain to a leaf. No legal schedule of
+/// the block can finish in fewer issue cycles, so this is the quality
+/// subsystem's per-block lower bound (`critical_path ≤ est_cycles`).
+/// Zero for empty blocks.
+pub fn critical_path_cycles(dag: &CodeDag) -> u32 {
+    if dag.n == 0 {
+        return 0;
+    }
+    let est = dag.earliest_starts();
+    let ltl = dag.critical_path();
+    (0..dag.n).map(|i| est[i] + ltl[i]).max().unwrap_or(0) + 1
+}
+
 pub fn critical_path_slack(dag: &CodeDag) -> (Vec<u32>, Vec<usize>) {
     if dag.n == 0 {
         return (Vec::new(), Vec::new());

@@ -51,7 +51,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Entry format version, bumped whenever the payload codec changes so
 /// stale disk stores read as corrupt instead of mis-decoding. Public
 /// so the serve protocol's `machines` introspection can report it.
-pub const FORMAT_VERSION: i64 = 1;
+pub const FORMAT_VERSION: i64 = 2;
 
 /// One cached compiled function.
 #[derive(Debug, Clone, PartialEq)]
@@ -433,6 +433,66 @@ fn decode_blocks(text: &str) -> Option<Vec<AsmBlock>> {
     Some(blocks)
 }
 
+/// Compact positional text for per-block schedule quality: blocks
+/// joined by `|`, each block the eleven counters of
+/// [`crate::quality::BlockQuality`] joined by `,` (estimate, critical
+/// path, issue slots, issue cycles, then the seven stall buckets in
+/// [`crate::quality::STALL_KEYS`] order).
+fn encode_quality(blocks: &[crate::quality::BlockQuality]) -> String {
+    blocks
+        .iter()
+        .map(|b| {
+            let s = &b.stalls;
+            format!(
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                b.est_cycles,
+                b.critical_path_cycles,
+                b.issue_slots_used,
+                b.issue_cycles,
+                s.dependence,
+                s.resource,
+                s.class,
+                s.temporal,
+                s.pressure,
+                s.order,
+                s.other
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn decode_quality(text: &str) -> Option<Vec<crate::quality::BlockQuality>> {
+    if text.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    for btext in text.split('|') {
+        let mut it = btext.split(',');
+        let mut next_u32 = || -> Option<u32> { it.next()?.parse().ok() };
+        let mut b = crate::quality::BlockQuality {
+            est_cycles: next_u32()?,
+            critical_path_cycles: next_u32()?,
+            issue_slots_used: next_u32()?,
+            issue_cycles: next_u32()?,
+            ..Default::default()
+        };
+        let mut next_u64 = || -> Option<u64> { it.next()?.parse().ok() };
+        b.stalls.dependence = next_u64()?;
+        b.stalls.resource = next_u64()?;
+        b.stalls.class = next_u64()?;
+        b.stalls.temporal = next_u64()?;
+        b.stalls.pressure = next_u64()?;
+        b.stalls.order = next_u64()?;
+        b.stalls.other = next_u64()?;
+        if it.next().is_some() {
+            return None;
+        }
+        out.push(b);
+    }
+    Some(out)
+}
+
 /// Serialises an entry as one flat JSON line (the disk payload).
 pub fn encode_entry(entry: &CachedFunc) -> String {
     let mut obj = marion_trace::json::ObjWriter::new();
@@ -446,6 +506,7 @@ pub fn encode_entry(entry: &CachedFunc) -> String {
     obj.int("estimated_cycles", entry.stats.estimated_cycles as i64);
     obj.int("delay_slots_filled", entry.stats.delay_slots_filled as i64);
     obj.int("nops_emitted", entry.stats.nops_emitted as i64);
+    obj.str("quality", &encode_quality(&entry.stats.blocks));
     if let Some(trace) = &entry.trace {
         obj.str("trace", &trace.to_jsonl());
     }
@@ -481,6 +542,7 @@ pub fn decode_entry(payload: &str) -> Option<CachedFunc> {
         estimated_cycles: u64::try_from(get_int("estimated_cycles")?).ok()?,
         delay_slots_filled: usize_of(get_int("delay_slots_filled")?)?,
         nops_emitted: usize_of(get_int("nops_emitted")?)?,
+        blocks: decode_quality(get_str("quality")?)?,
     };
     let asm = AsmFunc {
         name,
@@ -558,6 +620,27 @@ mod tests {
             estimated_cycles: 8,
             delay_slots_filled: 1,
             nops_emitted: 0,
+            blocks: vec![
+                crate::quality::BlockQuality {
+                    est_cycles: 7,
+                    critical_path_cycles: 5,
+                    issue_slots_used: 3,
+                    issue_cycles: 2,
+                    stalls: {
+                        let mut s = crate::quality::StallBreakdown::default();
+                        s.add("dependence", 2);
+                        s.add("resource", 1);
+                        s
+                    },
+                },
+                crate::quality::BlockQuality {
+                    est_cycles: 1,
+                    critical_path_cycles: 1,
+                    issue_slots_used: 1,
+                    issue_cycles: 1,
+                    stalls: crate::quality::StallBreakdown::default(),
+                },
+            ],
         };
         let trace = {
             let t = marion_trace::Tracer::new(marion_trace::TraceConfig::default());
@@ -593,7 +676,11 @@ mod tests {
         let good = encode_entry(&sample_entry());
         assert!(decode_entry("").is_none());
         assert!(decode_entry("{}").is_none());
-        assert!(decode_entry(&good.replace("\"v\":1", "\"v\":999")).is_none());
+        assert!(decode_entry(&good.replace("\"v\":2", "\"v\":999")).is_none());
+        // A mangled quality payload reads as corrupt, not as zeros.
+        assert!(
+            decode_entry(&good.replacen("\"quality\":\"7,5", "\"quality\":\"x,5", 1)).is_none()
+        );
         assert!(decode_entry(&good.replacen("P0.2", "Q0.2", 1)).is_none());
         assert!(
             decode_entry(&good.replacen("\"frame_size\":48", "\"frame_size\":-1", 1)).is_none()

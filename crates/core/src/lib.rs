@@ -19,6 +19,7 @@ pub mod error;
 pub mod explain;
 pub mod fcache;
 pub mod glue;
+pub mod quality;
 pub mod regalloc;
 pub mod sched;
 pub mod select;
@@ -33,6 +34,7 @@ pub use explain::{
     audit_schedule, AuditError, PlacementRecord, ScheduleExplanation, Stall, StallReason,
 };
 pub use fcache::{CacheLoad, CacheSummary, CachedFunc, FuncCache};
+pub use quality::{BlockQuality, ProgramQuality, QualityRecord, StallBreakdown};
 pub use select::{
     select_func, select_func_opts, select_func_traced, select_func_with, EscapeCtx, EscapeFn,
     EscapeRegistry,

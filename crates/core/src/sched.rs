@@ -405,6 +405,7 @@ pub fn schedule_block_scratch(
         records: crate::explain::build_records(dag, &inst_cycle, hazard),
         slack,
         critical_path,
+        critical_path_cycles: crate::explain::critical_path_cycles(dag),
         discipline: if opts.ignore_rule1 {
             "name-deps"
         } else {
@@ -686,6 +687,7 @@ pub fn serial_schedule(machine: &Machine, block: &CodeBlock, dag: &CodeDag) -> S
         records: crate::explain::build_records(dag, &inst_cycle, hazard),
         slack,
         critical_path,
+        critical_path_cycles: crate::explain::critical_path_cycles(dag),
         discipline: "serial",
     };
     Schedule {

@@ -13,7 +13,12 @@
 //!   don't change IR semantics);
 //! * **reproducibility** — one rotating (workload, strategy) pair per
 //!   machine is compiled twice and the rendered assembly must be
-//!   byte-identical.
+//!   byte-identical;
+//! * **quality differentials** — every passing run's sim-measured and
+//!   estimated cycles are recorded, and cross-strategy comparison
+//!   flags a strategy drastically worse than the best on the same
+//!   workload or an estimate implausibly far from the simulator —
+//!   scheduler bugs that still produce correct code.
 //!
 //! The harness replicates the driver's per-function pipeline (glue →
 //! select → strategy → emit → delay-slot fill) so the audited
@@ -147,6 +152,52 @@ pub struct AuditFailure {
     pub detail: String,
 }
 
+/// Sim-measured and estimated cycles for one passing
+/// (workload, strategy) run — the raw material for cross-strategy
+/// quality differentials. Only recorded when the differential check
+/// itself passed: cycle counts from wrong code are noise.
+#[derive(Debug, Clone)]
+pub struct QualityObservation {
+    /// Workload name.
+    pub workload: String,
+    /// Strategy that produced the code.
+    pub strategy: StrategyKind,
+    /// Simulator-measured cycles (with caches and memory system).
+    pub sim_cycles: u64,
+    /// Scheduler-estimated cycles for the same execution profile.
+    pub est_cycles: u64,
+}
+
+/// A cross-strategy quality differential the audit could not explain:
+/// either one strategy's code is drastically worse than the best
+/// strategy on the same (machine, workload), or the schedule estimate
+/// and the simulator disagree beyond any plausible cache effect. Both
+/// point at scheduler or description bugs that still produce *correct*
+/// code — exactly the class the checksum differential cannot see.
+#[derive(Debug, Clone)]
+pub struct QualityAnomaly {
+    /// Workload name.
+    pub workload: String,
+    /// Strategy whose numbers look wrong.
+    pub strategy: StrategyKind,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+/// A strategy this much slower (in sim cycles) than the best strategy
+/// on the same machine and workload is flagged. Generated machines
+/// legitimately spread strategies far wider than the bundled ones —
+/// deep exposed pipelines reward scheduling enormously — so the bound
+/// is deliberately loose; it exists to catch pathological blowups
+/// (a strategy emitting serialized code), not ordinary gaps.
+pub const QUALITY_GAP_LIMIT: f64 = 3.0;
+
+/// Sim/estimate ratio bounds. The simulator adds cache and memory
+/// cycles the estimate excludes (ratio > 1 expected); a ratio below
+/// 0.5 means the estimate double-counts, above 10 that the schedule
+/// estimate misses most of the machine's real cost.
+pub const QUALITY_DRIFT_RANGE: (f64, f64) = (0.5, 10.0);
+
 /// The audit result for one machine.
 #[derive(Debug, Clone, Default)]
 pub struct MachineAudit {
@@ -158,12 +209,58 @@ pub struct MachineAudit {
     pub workloads_run: usize,
     /// Everything that failed.
     pub failures: Vec<AuditFailure>,
+    /// Cycle observations from every passing run.
+    pub quality: Vec<QualityObservation>,
 }
 
 impl MachineAudit {
     /// True when every check passed.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Cross-strategy quality differentials: for every workload with
+    /// observations from all strategies, flags any strategy more than
+    /// [`QUALITY_GAP_LIMIT`]× the best strategy's sim cycles, and any
+    /// run whose sim/estimate ratio falls outside
+    /// [`QUALITY_DRIFT_RANGE`].
+    pub fn quality_anomalies(&self) -> Vec<QualityAnomaly> {
+        let mut anomalies = Vec::new();
+        let mut workloads: Vec<&str> = self.quality.iter().map(|q| q.workload.as_str()).collect();
+        workloads.dedup();
+        for w in workloads {
+            let obs: Vec<&QualityObservation> =
+                self.quality.iter().filter(|q| q.workload == w).collect();
+            let best = obs.iter().map(|q| q.sim_cycles).min().unwrap_or(0);
+            for q in obs {
+                if best > 0 && q.sim_cycles as f64 > best as f64 * QUALITY_GAP_LIMIT {
+                    anomalies.push(QualityAnomaly {
+                        workload: q.workload.clone(),
+                        strategy: q.strategy,
+                        detail: format!(
+                            "sim {} cycles vs best strategy's {best} (> {QUALITY_GAP_LIMIT}x)",
+                            q.sim_cycles
+                        ),
+                    });
+                }
+                if q.est_cycles > 0 {
+                    let ratio = q.sim_cycles as f64 / q.est_cycles as f64;
+                    let (lo, hi) = QUALITY_DRIFT_RANGE;
+                    if ratio < lo || ratio > hi {
+                        anomalies.push(QualityAnomaly {
+                            workload: q.workload.clone(),
+                            strategy: q.strategy,
+                            detail: format!(
+                                "sim {} vs estimate {} cycles (ratio {ratio:.2} outside \
+                                 {lo}..{hi})",
+                                q.sim_cycles, q.est_cycles
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        anomalies
     }
 }
 
@@ -287,7 +384,14 @@ fn audit_one(
     });
     match sim {
         Ok(run) => match run.result {
-            Some(Value::I(got)) if got == w.expected => {}
+            Some(Value::I(got)) if got == w.expected => {
+                audit.quality.push(QualityObservation {
+                    workload: w.name.clone(),
+                    strategy,
+                    sim_cycles: run.cycles,
+                    est_cycles: marion_sim::run::estimated_cycles(&program, &run.block_counts),
+                });
+            }
             Some(Value::I(got)) => fail(
                 audit,
                 FailureKind::Differential,
@@ -402,5 +506,42 @@ mod tests {
         assert_eq!(audit.workloads_run, 1);
         // The rotation doubled exactly one compile.
         assert_eq!(audit.compilations, StrategyKind::ALL.len() + 1);
+        // Every passing run left a cycle observation, and a known-good
+        // machine shows no cross-strategy anomaly.
+        assert_eq!(audit.quality.len(), StrategyKind::ALL.len());
+        assert!(audit.quality.iter().all(|q| q.sim_cycles > 0));
+        assert!(audit.quality_anomalies().is_empty());
+    }
+
+    /// The anomaly detector fires on a pathological gap and on
+    /// implausible drift, and stays quiet inside the bounds.
+    #[test]
+    fn quality_anomalies_flag_gaps_and_drift() {
+        let obs = |strategy, sim, est| QualityObservation {
+            workload: "LL1".to_string(),
+            strategy,
+            sim_cycles: sim,
+            est_cycles: est,
+        };
+        let mut audit = MachineAudit {
+            quality: vec![
+                obs(StrategyKind::Postpass, 1000, 900),
+                obs(StrategyKind::Ips, 900, 850),
+                obs(StrategyKind::Rase, 880, 840),
+            ],
+            ..MachineAudit::default()
+        };
+        assert!(audit.quality_anomalies().is_empty());
+        // One strategy 4x the best: a gap anomaly.
+        audit.quality[0].sim_cycles = 4000;
+        let anomalies = audit.quality_anomalies();
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        assert!(anomalies[0].detail.contains("best strategy"));
+        // Estimate wildly below sim: a drift anomaly.
+        audit.quality[0].sim_cycles = 1000;
+        audit.quality[0].est_cycles = 50;
+        let anomalies = audit.quality_anomalies();
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        assert!(anomalies[0].detail.contains("ratio"));
     }
 }

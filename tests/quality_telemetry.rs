@@ -1,0 +1,168 @@
+//! The quality-telemetry invariants, swept over the whole bundled
+//! matrix:
+//!
+//! * the DAG critical path is a true lower bound — for every machine ×
+//!   strategy × Livermore kernel, `critical_path ≤ est_cycles` holds
+//!   per function and in aggregate (enforced by
+//!   `ProgramQuality::validate`);
+//! * estimate-vs-sim drift stays inside the documented plausibility
+//!   band: the simulator adds cache and memory-system cycles the
+//!   schedule estimate deliberately excludes, so sim/estimate must
+//!   land in 0.5..10 (the same band the retargeting fuzzer's anomaly
+//!   detector uses);
+//! * quality telemetry is cache-invisible — warm compiles replay
+//!   byte-identical per-block quality, so `QualityRecord`s assembled
+//!   from a warm program equal the cold ones exactly.
+
+use marion::backend::quality::records_for_program;
+use marion::backend::{CompileOptions, CompiledProgram, Compiler, FuncCache, StrategyKind};
+use marion::sim::{run_program, RunResult, SimConfig};
+use std::sync::Arc;
+
+const STRATEGIES: [StrategyKind; 3] = [
+    StrategyKind::Postpass,
+    StrategyKind::Ips,
+    StrategyKind::Rase,
+];
+
+/// Sim/estimate plausibility band (see module doc).
+const DRIFT_RANGE: (f64, f64) = (0.5, 10.0);
+
+fn compile_and_run(
+    machine: &str,
+    strategy: StrategyKind,
+    w: &marion::workloads::Workload,
+) -> (CompiledProgram, RunResult) {
+    let spec = marion::machines::load(machine);
+    let compiler = Compiler::new(spec.machine.clone(), spec.escapes, strategy);
+    let program = compiler
+        .compile_module(&w.module())
+        .unwrap_or_else(|e| panic!("{machine}/{strategy:?}/{}: {e}", w.name));
+    let run = run_program(
+        &spec.machine,
+        &program,
+        "main",
+        &[],
+        Some(marion::maril::Ty::Int),
+        &SimConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("{machine}/{strategy:?}/{}: {e}", w.name));
+    (program, run)
+}
+
+/// Every machine × strategy × Livermore kernel: assemble the quality
+/// record, check the critical-path invariant and the drift band.
+fn check_machine(machine: &str) {
+    for w in marion::workloads::livermore::kernels() {
+        for strategy in STRATEGIES {
+            let (program, run) = compile_and_run(machine, strategy, &w);
+            let quality = marion::backend::ProgramQuality::assemble(
+                &program,
+                &w.name,
+                run.cycles,
+                run.nops_retired,
+                &run.block_counts,
+            );
+            // critical_path <= est_cycles, per function and aggregate.
+            quality
+                .validate()
+                .unwrap_or_else(|e| panic!("{machine}/{strategy:?}/{}: {e}", w.name));
+            let total = quality.total();
+            assert!(
+                total.est_cycles > 0,
+                "{machine}/{strategy:?}/{}: zero estimate",
+                w.name
+            );
+            let ratio = quality.sim_cycles as f64 / total.est_cycles as f64;
+            assert!(
+                ratio >= DRIFT_RANGE.0 && ratio <= DRIFT_RANGE.1,
+                "{machine}/{strategy:?}/{}: sim {} vs est {} — ratio {ratio:.2} \
+                 outside the documented {:?} band",
+                w.name,
+                quality.sim_cycles,
+                total.est_cycles,
+                DRIFT_RANGE
+            );
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_on_toyp() {
+    check_machine("toyp");
+}
+
+#[test]
+fn invariants_hold_on_r2000() {
+    check_machine("r2000");
+}
+
+#[test]
+fn invariants_hold_on_m88k() {
+    check_machine("m88k");
+}
+
+#[test]
+fn invariants_hold_on_i860() {
+    check_machine("i860");
+}
+
+#[test]
+fn invariants_hold_on_rs6000() {
+    check_machine("rs6000");
+}
+
+/// Warm-cache compiles must replay the exact per-block quality the
+/// cold compile recorded: the assembled `QualityRecord`s are compared
+/// for full structural equality under the same execution profile.
+#[test]
+fn warm_cache_quality_records_are_identical() {
+    let machine = "r2000";
+    let spec = marion::machines::load(machine);
+    let module = marion::workloads::multi::combined_livermore();
+    let compile = |cache: Option<Arc<FuncCache>>| -> CompiledProgram {
+        Compiler::with_options(
+            spec.machine.clone(),
+            spec.escapes.clone(),
+            StrategyKind::Ips,
+            CompileOptions {
+                cache,
+                ..CompileOptions::default()
+            },
+        )
+        .compile_module(&module)
+        .expect("compiles")
+    };
+    let cold = compile(None);
+    let cache = Arc::new(FuncCache::in_memory(1024));
+    let filling = compile(Some(cache.clone()));
+    let warm = compile(Some(cache.clone()));
+    assert_eq!(filling.cache.as_ref().expect("accounting").hits, 0);
+    assert_eq!(warm.cache.as_ref().expect("accounting").misses, 0);
+
+    // One execution profile, shared across all three programs (they
+    // render byte-identically, so block indices line up).
+    let run = run_program(
+        &spec.machine,
+        &cold,
+        "main",
+        &[],
+        Some(marion::maril::Ty::Int),
+        &SimConfig::default(),
+    )
+    .expect("runs");
+    let cold_records = records_for_program(&cold, &run.block_counts);
+    assert!(!cold_records.is_empty());
+    for (label, program) in [("filling", &filling), ("warm", &warm)] {
+        assert_eq!(
+            cold.render(&spec.machine),
+            program.render(&spec.machine),
+            "{label}: assembly must not depend on the cache"
+        );
+        assert_eq!(
+            cold_records,
+            records_for_program(program, &run.block_counts),
+            "{label}: quality records must be byte-identical to cold"
+        );
+    }
+}
